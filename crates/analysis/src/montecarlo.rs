@@ -1,0 +1,262 @@
+//! Deterministic, parallel Monte-Carlo estimation of cache-adaptivity in
+//! expectation (Definition 3).
+//!
+//! Each trial draws an independent infinite profile (via a caller-supplied
+//! source factory), runs the execution to completion, and records the
+//! bounded-potential sum, box count, and adaptivity ratio. Trials fan out
+//! over `crossbeam::scope` threads; every trial's randomness comes from a
+//! `ChaCha8Rng` seeded by (experiment seed, trial index), so results are
+//! bit-identical regardless of thread count — the reproducibility rule the
+//! HPC guides insist on.
+
+use crate::stats::Stats;
+use cadapt_core::{Blocks, BoxSource};
+use cadapt_recursion::{run_on_profile, AbcParams, RunConfig, RunError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Base seed; trial i uses stream i of this seed.
+    pub seed: u64,
+    /// Execution/run settings shared by all trials.
+    pub run: RunConfig,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            trials: 64,
+            threads: 0,
+            seed: 0x00CA_DA97,
+            run: RunConfig::default(),
+        }
+    }
+}
+
+/// Aggregated Monte-Carlo outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McSummary {
+    /// Problem size.
+    pub n: Blocks,
+    /// Adaptivity ratio R(n) across trials.
+    pub ratio: Stats,
+    /// Boxes used across trials (the stopping time S_n; its mean estimates
+    /// f(n)).
+    pub boxes: Stats,
+    /// Bounded-potential sum across trials (Definition 3's expectation).
+    pub bounded_potential: Stats,
+}
+
+/// The deterministic per-trial RNG: stream `trial` of `seed`.
+#[must_use]
+pub fn trial_rng(seed: u64, trial: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.set_stream(trial);
+    rng
+}
+
+/// Estimate cache-adaptivity in expectation: run `config.trials`
+/// independent executions of `params` on problems of size `n`, drawing each
+/// trial's profile from `make_source(trial_rng)`.
+///
+/// ```
+/// use cadapt_analysis::{monte_carlo_ratio, McConfig};
+/// use cadapt_profiles::dist::{DistSource, PowerOfB};
+/// use cadapt_recursion::AbcParams;
+///
+/// // Theorem 1 in one call: MM-Scan under i.i.d. power-of-4 boxes.
+/// let summary = monte_carlo_ratio(
+///     AbcParams::mm_scan(),
+///     1024,
+///     &McConfig { trials: 32, ..McConfig::default() },
+///     |rng| DistSource::new(PowerOfB::new(4, 0, 5), rng),
+/// )?;
+/// assert!(summary.ratio.mean < 3.0); // adaptive in expectation
+/// # Ok::<(), cadapt_recursion::RunError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] hit by any trial (bad problem size, or
+/// a trial exceeding the box budget).
+pub fn monte_carlo_ratio<S, F>(
+    params: AbcParams,
+    n: Blocks,
+    config: &McConfig,
+    make_source: F,
+) -> Result<McSummary, RunError>
+where
+    S: BoxSource,
+    F: Fn(ChaCha8Rng) -> S + Sync,
+{
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        config.threads
+    };
+    let threads = threads.min(config.trials.max(1) as usize).max(1);
+    let next_trial = std::sync::atomic::AtomicU64::new(0);
+    let make_source = &make_source;
+
+    let results: Vec<Result<(Stats, Stats, Stats), RunError>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next_trial;
+            handles.push(scope.spawn(move |_| {
+                let mut ratio = Stats::new();
+                let mut boxes = Stats::new();
+                let mut potential = Stats::new();
+                loop {
+                    let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if trial >= config.trials {
+                        break;
+                    }
+                    let mut source = make_source(trial_rng(config.seed, trial));
+                    let report = run_on_profile(params, n, &mut source, &config.run)?;
+                    ratio.push(report.ratio());
+                    boxes.push(report.boxes_used as f64);
+                    potential.push(report.bounded_potential_sum);
+                }
+                Ok((ratio, boxes, potential))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
+
+    let mut ratio = Stats::new();
+    let mut boxes = Stats::new();
+    let mut potential = Stats::new();
+    for r in results {
+        let (r0, b0, p0) = r?;
+        ratio.merge(&r0);
+        boxes.merge(&b0);
+        potential.merge(&p0);
+    }
+    Ok(McSummary {
+        n,
+        ratio,
+        boxes,
+        bounded_potential: potential,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadapt_profiles::dist::{DistSource, PointMass, PowerOfB};
+
+    #[test]
+    fn point_mass_is_deterministic_across_trials() {
+        let params = AbcParams::mm_scan();
+        let config = McConfig {
+            trials: 8,
+            ..McConfig::default()
+        };
+        let summary = monte_carlo_ratio(params, 64, &config, |rng| {
+            DistSource::new(PointMass { size: 16 }, rng)
+        })
+        .unwrap();
+        assert_eq!(summary.ratio.count, 8);
+        // All trials identical: zero variance, known ratio 1.5 (see the
+        // recursion crate's constant-box test).
+        assert!(summary.ratio.std_dev() < 1e-12);
+        assert!((summary.ratio.mean - 1.5).abs() < 1e-9);
+        assert!((summary.boxes.mean - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reproducible_regardless_of_thread_count() {
+        let params = AbcParams::mm_scan();
+        let run = |threads| {
+            let config = McConfig {
+                trials: 16,
+                threads,
+                seed: 42,
+                ..McConfig::default()
+            };
+            monte_carlo_ratio(params, 256, &config, |rng| {
+                DistSource::new(PowerOfB::new(4, 0, 5), rng)
+            })
+            .unwrap()
+        };
+        let single = run(1);
+        let multi = run(4);
+        assert_eq!(single.ratio.count, multi.ratio.count);
+        assert!((single.ratio.mean - multi.ratio.mean).abs() < 1e-12);
+        assert!((single.boxes.mean - multi.boxes.mean).abs() < 1e-12);
+        assert_eq!(single.ratio.min, multi.ratio.min);
+        assert_eq!(single.ratio.max, multi.ratio.max);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let params = AbcParams::mm_scan();
+        let run = |seed| {
+            let config = McConfig {
+                trials: 8,
+                seed,
+                ..McConfig::default()
+            };
+            monte_carlo_ratio(params, 256, &config, |rng| {
+                DistSource::new(PowerOfB::new(4, 0, 5), rng)
+            })
+            .unwrap()
+        };
+        assert_ne!(run(1).ratio.mean, run(2).ratio.mean);
+    }
+
+    #[test]
+    fn wald_identity_holds() {
+        // E[Σ min(n,|□_i|)^e] = E[S_n] · m_n (optional stopping): the MC
+        // estimates of both sides must agree within CI noise.
+        let params = AbcParams::mm_scan();
+        let dist = PowerOfB::new(4, 0, 4);
+        let config = McConfig {
+            trials: 256,
+            seed: 7,
+            ..McConfig::default()
+        };
+        let summary =
+            monte_carlo_ratio(params, 256, &config, |rng| DistSource::new(dist, rng)).unwrap();
+        let sigma = crate::recurrence::DiscreteSigma::from_dist(&dist).unwrap();
+        let m_n = sigma.average_bounded_potential(&params.potential(), 256);
+        let lhs = summary.bounded_potential.mean;
+        let rhs = summary.boxes.mean * m_n;
+        // Both sides estimate the same expectation; their difference is
+        // sampling noise bounded by the (correlated) standard errors.
+        let tolerance = 5.0 * (summary.bounded_potential.std_err() + summary.boxes.std_err() * m_n);
+        assert!(
+            (lhs - rhs).abs() < tolerance,
+            "Wald identity violated: {lhs} vs {rhs} (tolerance {tolerance})"
+        );
+    }
+
+    #[test]
+    fn error_propagates() {
+        let params = AbcParams::mm_scan();
+        let config = McConfig {
+            trials: 4,
+            run: RunConfig {
+                max_boxes: 2,
+                ..RunConfig::default()
+            },
+            ..McConfig::default()
+        };
+        let err = monte_carlo_ratio(params, 64, &config, |rng| {
+            DistSource::new(PointMass { size: 1 }, rng)
+        })
+        .unwrap_err();
+        assert!(matches!(err, RunError::BoxBudgetExhausted { .. }));
+    }
+}

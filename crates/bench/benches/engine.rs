@@ -1,0 +1,154 @@
+//! Criterion benches of the execution engine itself: cursor throughput
+//! (boxes/second) across models and profile shapes, and worst-case profile
+//! generation.
+
+use cadapt_core::profile::ConstantSource;
+use cadapt_core::BoxSource;
+use cadapt_profiles::dist::{DistSource, PowerOfB};
+use cadapt_profiles::WorstCase;
+use cadapt_recursion::{run_on_profile, AbcParams, ExecModel, RunConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_cursor_worst_case(c: &mut Criterion) {
+    let params = AbcParams::mm_scan();
+    let mut group = c.benchmark_group("cursor/worst_case");
+    for k in [5u32, 6, 7] {
+        let n = params.canonical_size(k);
+        let wc = WorstCase::for_problem(&params, n).expect("canonical");
+        group.throughput(Throughput::Elements(wc.num_boxes() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut source = wc.source();
+                run_on_profile(params, n, &mut source, &RunConfig::default())
+                    .expect("run completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cursor_models(c: &mut Criterion) {
+    let params = AbcParams::mm_scan();
+    let n = params.canonical_size(6);
+    let mut group = c.benchmark_group("cursor/models");
+    for model in [ExecModel::Simplified, ExecModel::capacity()] {
+        group.bench_function(model.label(), |b| {
+            b.iter(|| {
+                let mut source = ConstantSource::new(16);
+                let config = RunConfig {
+                    model,
+                    ..RunConfig::default()
+                };
+                run_on_profile(params, n, &mut source, &config).expect("run completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_profiles(c: &mut Criterion) {
+    let params = AbcParams::mm_scan();
+    let n = params.canonical_size(6);
+    c.bench_function("cursor/random_boxes", |b| {
+        b.iter(|| {
+            let rng = ChaCha8Rng::seed_from_u64(1);
+            let mut source = DistSource::new(PowerOfB::new(4, 0, 6), rng);
+            run_on_profile(params, n, &mut source, &RunConfig::default()).expect("run completes")
+        });
+    });
+}
+
+fn bench_profile_generation(c: &mut Criterion) {
+    let wc = WorstCase::new(8, 4, 1, 6).expect("valid");
+    let boxes = wc.num_boxes() as u64;
+    let mut group = c.benchmark_group("profiles/worst_case_gen");
+    group.throughput(Throughput::Elements(boxes));
+    group.bench_function("stream_depth6", |b| {
+        b.iter(|| {
+            let mut source = wc.source();
+            let mut acc = 0u64;
+            for _ in 0..boxes {
+                acc = acc.wrapping_add(source.next_box());
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    use cadapt_sched::{EqualShares, JobSpec, Scheduler, SchedulerConfig};
+    let specs = vec![JobSpec::new(AbcParams::mm_scan(), 4096); 4];
+    let config = SchedulerConfig {
+        total_cache: 2048,
+        ..SchedulerConfig::default()
+    };
+    c.bench_function("sched/equal_shares_4x4096", |b| {
+        b.iter(|| {
+            Scheduler::new(&specs, EqualShares, config)
+                .expect("admits")
+                .run()
+                .expect("completes")
+        });
+    });
+}
+
+/// Short measurement windows: the benched kernels are deterministic
+/// simulations, so tight timing suffices and the full suite stays fast.
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_cursor_worst_case,
+    bench_cursor_models,
+    bench_random_profiles,
+    bench_profile_generation,
+    analysis_benches::bench_recurrence,
+    analysis_benches::bench_monte_carlo,
+    bench_scheduler
+}
+criterion_main!(benches);
+
+// Appended: analysis-layer benches (recurrence engine and Monte-Carlo
+// driver throughput).
+mod analysis_benches {
+    use cadapt_analysis::recurrence::{recurrence_bounds, DiscreteSigma};
+    use cadapt_analysis::{monte_carlo_ratio, McConfig};
+    use cadapt_profiles::dist::{BoxDist, DistSource, PowerLawBoxes};
+    use cadapt_recursion::AbcParams;
+    use criterion::Criterion;
+
+    pub fn bench_recurrence(c: &mut Criterion) {
+        let dist = PowerLawBoxes::new(4, 0, 12, 1.0);
+        let sigma =
+            DiscreteSigma::new(dist.discrete_support().expect("discrete")).expect("valid support");
+        c.bench_function("analysis/recurrence_depth24", |b| {
+            b.iter(|| recurrence_bounds(8, 4, &sigma, 24));
+        });
+    }
+
+    pub fn bench_monte_carlo(c: &mut Criterion) {
+        let params = AbcParams::mm_scan();
+        let dist = PowerLawBoxes::new(4, 0, 5, 1.0);
+        c.bench_function("analysis/monte_carlo_32trials", |b| {
+            b.iter(|| {
+                let config = McConfig {
+                    trials: 32,
+                    ..McConfig::default()
+                };
+                monte_carlo_ratio(params, 1024, &config, |rng| {
+                    DistSource::new(dist.clone(), rng)
+                })
+                .expect("mc run")
+            });
+        });
+    }
+}

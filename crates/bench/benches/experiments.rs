@@ -1,0 +1,66 @@
+//! Criterion benches timing one kernel per experiment (E1–E11 + ablations)
+//! at Quick scale — regression guards for the harness itself.
+
+use cadapt_bench::experiments::*;
+use cadapt_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("e1_worst_case_gap", |b| {
+        b.iter(|| e1_worst_case_gap::run(Scale::Quick))
+    });
+    group.bench_function("e2_iid_smoothing", |b| {
+        b.iter(|| e2_iid_smoothing::run(Scale::Quick))
+    });
+    group.bench_function("e3_size_perturb", |b| {
+        b.iter(|| e3_size_perturb::run(Scale::Quick))
+    });
+    group.bench_function("e4_start_shift", |b| {
+        b.iter(|| e4_start_shift::run(Scale::Quick))
+    });
+    group.bench_function("e5_box_order", |b| {
+        b.iter(|| e5_box_order::run(Scale::Quick))
+    });
+    group.bench_function("e6_recurrence", |b| {
+        b.iter(|| e6_recurrence::run(Scale::Quick))
+    });
+    group.bench_function("e7_potential", |b| {
+        b.iter(|| e7_potential::run(Scale::Quick))
+    });
+    group.bench_function("e8_trace_validation", |b| {
+        b.iter(|| e8_trace_validation::run(Scale::Quick))
+    });
+    group.bench_function("e9_taxonomy", |b| b.iter(|| e9_taxonomy::run(Scale::Quick)));
+    group.bench_function("e10_contention", |b| {
+        b.iter(|| e10_contention::run(Scale::Quick))
+    });
+    group.bench_function("e11_no_catchup", |b| {
+        b.iter(|| e11_no_catchup::run(Scale::Quick))
+    });
+    group.bench_function("e12_scan_hiding", |b| {
+        b.iter(|| e12_scan_hiding::run(Scale::Quick))
+    });
+    group.bench_function("e13_scheduling", |b| {
+        b.iter(|| e13_scheduling::run(Scale::Quick))
+    });
+    group.bench_function("ablations", |b| b.iter(|| ablations::run(Scale::Quick)));
+    group.finish();
+}
+
+/// Short measurement windows: the benched kernels are deterministic
+/// simulations, so tight timing suffices and the full suite stays fast.
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_experiments
+}
+criterion_main!(benches);

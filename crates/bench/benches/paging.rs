@@ -1,0 +1,92 @@
+//! Criterion benches of the paging substrate: LRU throughput and trace
+//! replay under fixed caches, square profiles, and arbitrary profiles.
+
+use cadapt_core::profile::ConstantSource;
+use cadapt_core::Potential;
+use cadapt_paging::{replay_fixed, replay_memory_profile, replay_square_profile, LruCache};
+use cadapt_profiles::contention::sawtooth;
+use cadapt_trace::mm::{mm_inplace, mm_scan};
+use cadapt_trace::ZMatrix;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn matrices(side: usize) -> (ZMatrix, ZMatrix) {
+    let a: Vec<f64> = (0..side * side).map(|i| (i % 9) as f64).collect();
+    let b: Vec<f64> = (0..side * side).map(|i| (i % 7) as f64).collect();
+    (
+        ZMatrix::from_row_major(side, &a),
+        ZMatrix::from_row_major(side, &b),
+    )
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paging/lru");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("access_1M_zipfish", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(256);
+            let mut hits = 0u64;
+            for i in 0..1_000_000u64 {
+                // A simple skewed pattern: low blocks hot, high blocks cold.
+                let block = (i * i + i / 3) % 1024;
+                if cache.access(block) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let (a, b) = matrices(32);
+    let (_, trace_scan) = mm_scan(&a, &b, 4);
+    let (_, trace_inplace) = mm_inplace(&a, &b, 4);
+    let mut group = c.benchmark_group("paging/replay");
+    group.throughput(Throughput::Elements(trace_scan.accesses()));
+    group.bench_function("fixed_mm_scan_32", |bch| {
+        bch.iter(|| replay_fixed(&trace_scan, 64));
+    });
+    group.bench_function("square_mm_scan_32", |bch| {
+        bch.iter(|| {
+            let mut source = ConstantSource::new(64);
+            replay_square_profile(&trace_scan, &mut source, Potential::new(8, 4))
+        });
+    });
+    group.bench_function("square_mm_inplace_32", |bch| {
+        bch.iter(|| {
+            let mut source = ConstantSource::new(64);
+            replay_square_profile(&trace_inplace, &mut source, Potential::new(8, 4))
+        });
+    });
+    let ws = trace_scan.distinct_blocks();
+    let profile = sawtooth(ws / 8 + 1, ws, u128::from(ws), u128::from(ws) * 1000);
+    group.bench_function("memory_profile_mm_scan_32", |bch| {
+        bch.iter(|| replay_memory_profile(&trace_scan, &profile));
+    });
+    group.finish();
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let (a, b) = matrices(32);
+    let mut group = c.benchmark_group("trace/generate");
+    group.bench_function("mm_scan_32", |bch| bch.iter(|| mm_scan(&a, &b, 4)));
+    group.bench_function("mm_inplace_32", |bch| bch.iter(|| mm_inplace(&a, &b, 4)));
+    group.finish();
+}
+
+/// Short measurement windows: the benched kernels are deterministic
+/// simulations, so tight timing suffices and the full suite stays fast.
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_lru, bench_replay, bench_tracing
+}
+criterion_main!(benches);

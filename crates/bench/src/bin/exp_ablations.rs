@@ -1,0 +1,29 @@
+//! Harness: the DESIGN.md ablation suite (A1–A4).
+use cadapt_bench::experiments::ablations;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = ablations::run(Scale::from_args());
+    for table in [
+        &result.shuffle_table,
+        &result.layout_table,
+        &result.model_table,
+        &result.min_box_table,
+    ] {
+        print!("{table}");
+        println!();
+    }
+    for (name, series) in [
+        ("A1", &result.shuffle_series),
+        ("A2", &result.layout_series),
+        ("A3", &result.model_series),
+        ("A4", &result.min_box_series),
+    ] {
+        for s in series {
+            println!(
+                "{name} {:<24} growth: {} (slope {:.3}/level)",
+                s.label, s.class, s.fit.slope
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Harness: run every experiment and print every table (EXPERIMENTS.md is
+//! generated from this output).
+use cadapt_analysis::Table;
+use cadapt_bench::experiments::*;
+use cadapt_bench::Scale;
+use std::path::PathBuf;
+
+/// Optional `--json DIR`: write every table as JSON next to the printout.
+fn json_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn emit(table: &Table, dir: Option<&PathBuf>) {
+    print!("{table}");
+    if let Some(dir) = dir {
+        if let Err(e) = table.write_json(dir) {
+            eprintln!("[exp_all] failed to write JSON: {e}");
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = json_dir();
+    eprintln!("[exp_all] running e1…");
+    let e1 = e1_worst_case_gap::run(scale);
+    emit(&e1.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e2…");
+    let e2 = e2_iid_smoothing::run(scale);
+    emit(&e2.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e3…");
+    let e3 = e3_size_perturb::run(scale);
+    emit(&e3.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e4…");
+    let e4 = e4_start_shift::run(scale);
+    emit(&e4.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e5…");
+    let e5 = e5_box_order::run(scale);
+    emit(&e5.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e6…");
+    let e6 = e6_recurrence::run(scale);
+    emit(&e6.table, json.as_ref());
+    emit(&e6.eq6_table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e7…");
+    let e7 = e7_potential::run(scale);
+    emit(&e7.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e8…");
+    let e8 = e8_trace_validation::run(scale);
+    emit(&e8.dam_table, json.as_ref());
+    emit(&e8.adaptivity_table, json.as_ref());
+    emit(&e8.square_table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e9…");
+    let e9 = e9_taxonomy::run(scale);
+    emit(&e9.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e10…");
+    let e10 = e10_contention::run(scale);
+    emit(&e10.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e11…");
+    let e11 = e11_no_catchup::run(scale);
+    emit(&e11.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e12…");
+    let e12 = e12_scan_hiding::run(scale);
+    emit(&e12.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running e13…");
+    let e13 = e13_scheduling::run(scale);
+    emit(&e13.table, json.as_ref());
+    println!();
+    eprintln!("[exp_all] running ab…");
+    let ab = ablations::run(scale);
+    emit(&ab.shuffle_table, json.as_ref());
+    emit(&ab.layout_table, json.as_ref());
+    emit(&ab.model_table, json.as_ref());
+    emit(&ab.min_box_table, json.as_ref());
+}

@@ -1,0 +1,15 @@
+//! Harness: E10 — realistic contention profiles behave like smoothed ones.
+use cadapt_bench::experiments::e10_contention;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e10_contention::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    for s in &result.series {
+        println!(
+            "{:<14} growth: {} (slope {:.3}/level)",
+            s.label, s.class, s.fit.slope
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Harness: E11 — the No-Catch-up Lemma at scale (Lemma 2).
+use cadapt_bench::experiments::e11_no_catchup;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e11_no_catchup::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    println!(
+        "checked {} instances, {} violations",
+        result.checked, result.violations
+    );
+}

@@ -1,0 +1,16 @@
+//! Harness: E12 — scan-hiding closes the worst-case gap at constant
+//! overhead.
+use cadapt_bench::experiments::e12_scan_hiding;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e12_scan_hiding::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    for (orig, hidden) in &result.series {
+        println!(
+            "{:<28} {} (slope {:.3})   →   {:<30} {} (slope {:.3})",
+            orig.label, orig.class, orig.fit.slope, hidden.label, hidden.class, hidden.fit.slope
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Harness: E13 — the introduction's multi-programmed system, quantified.
+use cadapt_bench::experiments::e13_scheduling;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e13_scheduling::run(Scale::from_args());
+    print!("{}", result.table);
+}

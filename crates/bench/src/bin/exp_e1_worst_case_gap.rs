@@ -1,0 +1,15 @@
+//! Harness: E1 — the worst-case gap (Figure 1 + Theorem 2).
+use cadapt_bench::experiments::e1_worst_case_gap;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e1_worst_case_gap::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    for s in &result.series {
+        println!(
+            "{:<22} growth: {} (slope {:.3}/level, r² {:.3})",
+            s.label, s.class, s.fit.slope, s.fit.r2
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Harness: E2 — i.i.d. smoothing closes the gap (Theorem 1/3).
+use cadapt_bench::experiments::e2_iid_smoothing;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e2_iid_smoothing::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    for s in &result.series {
+        println!(
+            "{:<50} growth: {} (slope {:.3}/level)",
+            s.label, s.class, s.fit.slope
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Harness: E3 — box-size perturbations do not close the gap.
+use cadapt_bench::experiments::e3_size_perturb;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e3_size_perturb::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    for s in &result.series {
+        println!(
+            "{:<16} growth: {} (slope {:.3}/level)",
+            s.label, s.class, s.fit.slope
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Harness: E4 — random start-time shifts do not close the gap.
+use cadapt_bench::experiments::e4_start_shift;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e4_start_shift::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    let s = &result.series;
+    println!(
+        "growth: {} (slope {:.3}/level, r² {:.3})",
+        s.class, s.fit.slope, s.fit.r2
+    );
+}

@@ -1,0 +1,15 @@
+//! Harness: E5 — box-order perturbations do not close the gap.
+use cadapt_bench::experiments::e5_box_order;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e5_box_order::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    for s in &result.series {
+        println!(
+            "{:<24} growth: {} (slope {:.3}/level)",
+            s.label, s.class, s.fit.slope
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Harness: E6 — Lemma-3 recurrence bounds vs Monte-Carlo measurement.
+use cadapt_bench::experiments::e6_recurrence;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e6_recurrence::run(Scale::from_args());
+    print!("{}", result.table);
+    let contained = result.rows.iter().filter(|r| r.contained()).count();
+    println!();
+    println!(
+        "{contained}/{} measurements inside predicted bounds",
+        result.rows.len()
+    );
+    println!();
+    print!("{}", result.eq6_table);
+    println!();
+    for (label, _, product) in &result.eq6 {
+        println!("{label:<20} telescoped Eq.6 margin product: {product:.3}");
+    }
+    println!();
+    for (label, eq7, (lo, hi)) in &result.eq7_eq8 {
+        let boundary_ok = eq7
+            .iter()
+            .filter(|(_, ratio_hi)| *ratio_hi >= 2.0)
+            .all(|(c, _)| c.holds());
+        println!(
+            "{label:<20} Eq.7 holds at the Eq.9 boundary: {boundary_ok}                Eq.8 product in [{lo:.3}, {hi:.3}]"
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Harness: E7 — the potential lemma (Lemma 1), measured.
+use cadapt_bench::experiments::e7_potential;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e7_potential::run(Scale::from_args());
+    print!("{}", result.table);
+}

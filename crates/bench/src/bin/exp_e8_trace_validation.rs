@@ -1,0 +1,12 @@
+//! Harness: E8 — abstract model vs block-level replay of real traces.
+use cadapt_bench::experiments::e8_trace_validation;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e8_trace_validation::run(Scale::from_args());
+    print!("{}", result.dam_table);
+    println!();
+    print!("{}", result.adaptivity_table);
+    println!();
+    print!("{}", result.square_table);
+}

@@ -1,0 +1,18 @@
+//! Harness: E9 — the Theorem 2 (a, b, c) taxonomy.
+use cadapt_bench::experiments::e9_taxonomy;
+use cadapt_bench::Scale;
+
+fn main() {
+    let result = e9_taxonomy::run(Scale::from_args());
+    print!("{}", result.table);
+    println!();
+    for e in &result.entries {
+        println!(
+            "{:<20} measured: {:<9} expected: {:<9} (slope {:.3}/level)",
+            e.label,
+            e.series.class.to_string(),
+            e.expected.to_string(),
+            e.series.fit.slope
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared helpers for the experiment modules.
+
+use cadapt_analysis::{classify_growth, GrowthClass, LineFit};
+use cadapt_recursion::AbcParams;
+
+/// A (log_b n, ratio) series for one configuration, with its growth
+/// verdict.
+#[derive(Debug, Clone)]
+pub struct RatioSeries {
+    /// Configuration label.
+    pub label: String,
+    /// (log_b n, mean ratio) points.
+    pub points: Vec<(f64, f64)>,
+    /// Growth classification.
+    pub class: GrowthClass,
+    /// The underlying line fit.
+    pub fit: LineFit,
+}
+
+impl RatioSeries {
+    /// Classify a finished point series.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two points.
+    #[must_use]
+    pub fn classify(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        let (class, fit) = classify_growth(&points);
+        RatioSeries {
+            label: label.into(),
+            points,
+            class,
+            fit,
+        }
+    }
+}
+
+/// The canonical sweep of problem sizes for `params`: levels
+/// `k_lo ..= k_hi` (clamped so n stays ≤ `n_cap`).
+#[must_use]
+pub fn size_sweep(params: &AbcParams, k_lo: u32, k_hi: u32, n_cap: u64) -> Vec<u64> {
+    (k_lo..=k_hi)
+        .map(|k| params.canonical_size(k))
+        .filter(|&n| n <= n_cap)
+        .collect()
+}
+
+/// log_b n as f64.
+#[must_use]
+pub fn log_b(params: &AbcParams, n: u64) -> f64 {
+    (n as f64).ln() / (params.b() as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_respects_cap() {
+        let p = AbcParams::mm_scan();
+        assert_eq!(size_sweep(&p, 1, 5, 300), vec![4, 16, 64, 256]);
+    }
+
+    #[test]
+    fn log_b_values() {
+        let p = AbcParams::mm_scan();
+        assert!((log_b(&p, 256) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_wraps_fit() {
+        let s = RatioSeries::classify("demo", vec![(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)]);
+        assert_eq!(s.class, GrowthClass::Constant);
+        assert_eq!(s.label, "demo");
+    }
+}

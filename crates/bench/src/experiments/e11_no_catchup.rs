@@ -1,0 +1,96 @@
+//! **E11 — the No-Catch-up Lemma at scale** (Lemma 2).
+//!
+//! The property tests in `cadapt-recursion` already check the lemma on
+//! small instances; this experiment hammers it with large randomized
+//! instances across algorithms, models, and box regimes, reporting the
+//! count of checked instances (all of which must hold — a violation is a
+//! simulator bug, not a finding about the paper).
+
+use crate::Scale;
+use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::Table;
+use cadapt_recursion::no_catchup::final_positions;
+use cadapt_recursion::{AbcParams, ExecModel};
+use rand::Rng;
+
+/// Result of E11.
+#[derive(Debug)]
+pub struct E11Result {
+    /// Printed table.
+    pub table: Table,
+    /// Total instances checked.
+    pub checked: u64,
+    /// Instances where the lemma failed (must be 0).
+    pub violations: u64,
+}
+
+/// Run E11.
+///
+/// # Panics
+///
+/// Panics if an execution fails.
+#[must_use]
+pub fn run(scale: Scale) -> E11Result {
+    let instances = scale.pick(200, 2000);
+    let mut table = Table::new(
+        "E11: No-Catch-up Lemma — randomized instances checked",
+        &["algorithm", "model", "instances", "violations"],
+    );
+    let mut checked = 0u64;
+    let mut violations = 0u64;
+    for (label, params, k) in [
+        ("MM-Scan", AbcParams::mm_scan(), 4u32),
+        ("Strassen", AbcParams::strassen(), 4),
+        ("CO-DP", AbcParams::co_dp(), 8),
+    ] {
+        let n = params.canonical_size(k);
+        for model in [ExecModel::Simplified, ExecModel::capacity()] {
+            let mut local_violations = 0u64;
+            for i in 0..instances {
+                let mut rng = trial_rng(0xE11, i);
+                let len = rng.gen_range(1..60);
+                let boxes: Vec<u64> = (0..len).map(|_| rng.gen_range(1..=2 * n)).collect();
+                let s1 = rng.gen_range(0..4 * n);
+                let s2 = rng.gen_range(0..4 * n);
+                let (early, late) = (s1.min(s2), s1.max(s2));
+                let (pe, pl) = final_positions(
+                    params,
+                    n,
+                    &boxes,
+                    u128::from(early),
+                    u128::from(late),
+                    model,
+                )
+                .expect("execution runs");
+                checked += 1;
+                if pe > pl {
+                    local_violations += 1;
+                }
+            }
+            violations += local_violations;
+            table.push_row(vec![
+                label.to_string(),
+                model.label(),
+                instances.to_string(),
+                local_violations.to_string(),
+            ]);
+        }
+    }
+    E11Result {
+        table,
+        checked,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violations_ever() {
+        let result = run(Scale::Quick);
+        assert!(result.checked >= 1000);
+        assert_eq!(result.violations, 0, "No-Catch-up Lemma violated!");
+    }
+}

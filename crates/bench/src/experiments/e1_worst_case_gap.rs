@@ -1,0 +1,163 @@
+//! **E1 — the worst-case gap** (Figure 1 + Theorem 2).
+//!
+//! Run each algorithm on its own recursive worst-case profile M_{a,b}(n)
+//! and measure the adaptivity ratio across a sweep of problem sizes. The
+//! paper predicts:
+//!
+//! * (a, b, 1)-regular with a > b (MM-Scan, Strassen, CO-DP): ratio grows
+//!   as Θ(log_b n) — for the exact construction, precisely log_b n + 1;
+//! * (8, 4, 0) MM-Inplace on the *same* profile: ratio stays Θ(1).
+
+use super::common::{log_b, size_sweep, RatioSeries};
+use crate::Scale;
+use cadapt_analysis::table::fnum;
+use cadapt_analysis::Table;
+use cadapt_profiles::WorstCase;
+use cadapt_recursion::{run_on_profile, AbcParams, ExecModel, RunConfig};
+
+/// Result of E1.
+#[derive(Debug)]
+pub struct E1Result {
+    /// Per-row measurements.
+    pub table: Table,
+    /// One classified series per algorithm.
+    pub series: Vec<RatioSeries>,
+}
+
+/// Algorithms measured by E1: (label, params, worst-case profile donor).
+///
+/// MM-Inplace has no scans of its own, so it is measured against MM-Scan's
+/// profile (the comparison the paper makes in §3: MM-Inplace performs
+/// Ω(log n) multiplies on MM-Scan's bad profile).
+fn algorithms() -> Vec<(&'static str, AbcParams, AbcParams)> {
+    vec![
+        (
+            "MM-Scan (8,4,1)",
+            AbcParams::mm_scan(),
+            AbcParams::mm_scan(),
+        ),
+        (
+            "MM-Inplace (8,4,0)",
+            AbcParams::mm_inplace(),
+            AbcParams::mm_scan(),
+        ),
+        (
+            "Strassen (7,4,1)",
+            AbcParams::strassen(),
+            AbcParams::strassen(),
+        ),
+        ("CO-DP (3,2,1)", AbcParams::co_dp(), AbcParams::co_dp()),
+    ]
+}
+
+/// Run E1.
+///
+/// # Panics
+///
+/// Panics if a run fails (cannot happen for the canonical configurations).
+#[must_use]
+pub fn run(scale: Scale) -> E1Result {
+    let n_cap = scale.pick(1 << 16, 1 << 18);
+    let mut table = Table::new(
+        "E1: adaptivity ratio on the recursive worst-case profile",
+        &["algorithm", "n", "log_b n", "boxes", "ratio", "predicted"],
+    );
+    let mut series = Vec::new();
+    for (label, params, donor) in algorithms() {
+        let k_hi = scale.pick(8, 9);
+        let mut points = Vec::new();
+        for n in size_sweep(&donor, 2, k_hi, n_cap) {
+            let wc = WorstCase::for_problem(&donor, n).expect("canonical size");
+            let mut source = wc.source();
+            // The block-capacity model: tight for the c = 1 profiles (each
+            // box lands exactly on its matching scan) and fair to
+            // MM-Inplace, whose boxes the §4 simplified model would
+            // pessimistically truncate ("goes no further").
+            let config = RunConfig {
+                model: ExecModel::capacity(),
+                ..RunConfig::default()
+            };
+            let report = run_on_profile(params, n, &mut source, &config).expect("run completes");
+            let predicted = if params.in_gap_regime() {
+                format!("{} (log_b n + 1)", fnum(log_b(&params, n) + 1.0))
+            } else {
+                "O(1)".to_string()
+            };
+            table.push_row(vec![
+                label.to_string(),
+                n.to_string(),
+                fnum(log_b(&donor, n)),
+                report.boxes_used.to_string(),
+                fnum(report.ratio()),
+                predicted,
+            ]);
+            points.push((log_b(&donor, n), report.ratio()));
+        }
+        series.push(RatioSeries::classify(label, points));
+    }
+    E1Result { table, series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadapt_analysis::GrowthClass;
+
+    #[test]
+    fn gap_algorithms_grow_logarithmically() {
+        let result = run(Scale::Quick);
+        for s in &result.series {
+            if s.label.starts_with("MM-Scan")
+                || s.label.starts_with("Strassen")
+                || s.label.starts_with("CO-DP")
+            {
+                assert_eq!(
+                    s.class,
+                    GrowthClass::Logarithmic,
+                    "{}: slope {}",
+                    s.label,
+                    s.fit.slope
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mm_inplace_stays_constant() {
+        let result = run(Scale::Quick);
+        let inplace = result
+            .series
+            .iter()
+            .find(|s| s.label.starts_with("MM-Inplace"))
+            .expect("series present");
+        assert_eq!(
+            inplace.class,
+            GrowthClass::Constant,
+            "slope {}",
+            inplace.fit.slope
+        );
+        // And strictly below MM-Scan's final ratio.
+        let scan = result
+            .series
+            .iter()
+            .find(|s| s.label.starts_with("MM-Scan"))
+            .unwrap();
+        assert!(
+            inplace.points.last().unwrap().1 < scan.points.last().unwrap().1,
+            "MM-Inplace must beat MM-Scan on the adversarial profile"
+        );
+    }
+
+    #[test]
+    fn mm_scan_ratio_is_exactly_log_plus_one() {
+        let result = run(Scale::Quick);
+        let scan = result
+            .series
+            .iter()
+            .find(|s| s.label.starts_with("MM-Scan"))
+            .unwrap();
+        for &(x, y) in &scan.points {
+            assert!((y - (x + 1.0)).abs() < 1e-9, "ratio {y} at log_b n = {x}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! **E7 — the potential lemma, measured** (Lemma 1).
+//!
+//! Drop a single box of size x at a grid of execution offsets (plus random
+//! ones) and record the best progress observed. Lemma 1 says the maximum
+//! is Θ(x^{log_b a}); for the §4 simplified model on canonical box sizes it
+//! is *exactly* a^{log_b x} = x^{log_b a} (the box completes one size-x
+//! subtree at best).
+
+use crate::Scale;
+use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::table::fnum;
+use cadapt_analysis::Table;
+use cadapt_recursion::probe::{empirical_potential, probe_offsets};
+use cadapt_recursion::{AbcParams, ClosedForms, ExecModel};
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct E7Row {
+    /// Algorithm label.
+    pub algo: String,
+    /// Execution model label.
+    pub model: String,
+    /// Box size probed.
+    pub box_size: u64,
+    /// Best progress observed.
+    pub measured: u128,
+    /// ρ(x) = x^{log_b a}.
+    pub rho: f64,
+}
+
+/// Result of E7.
+#[derive(Debug)]
+pub struct E7Result {
+    /// Printed table.
+    pub table: Table,
+    /// Raw rows.
+    pub rows: Vec<E7Row>,
+}
+
+/// Run E7.
+///
+/// # Panics
+///
+/// Panics if a probe fails.
+#[must_use]
+pub fn run(scale: Scale) -> E7Result {
+    let k_hi = scale.pick(4, 6);
+    let random_probes = scale.pick(64, 512);
+    let mut table = Table::new(
+        "E7: measured box potential vs ρ(x) = x^{log_b a}",
+        &[
+            "algorithm",
+            "model",
+            "box x",
+            "max progress",
+            "rho(x)",
+            "measured/rho",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (algo, params) in [
+        ("MM-Scan (8,4,1)", AbcParams::mm_scan()),
+        ("Strassen (7,4,1)", AbcParams::strassen()),
+        ("CO-DP (3,2,1)", AbcParams::co_dp()),
+    ] {
+        let n = params.canonical_size(k_hi + 2);
+        let cf = ClosedForms::for_size(params, n).expect("canonical");
+        let mut rng = trial_rng(0xE7, 0);
+        let offsets = probe_offsets(cf.total_time(), 128, random_probes, &mut rng);
+        for model in [ExecModel::Simplified, ExecModel::capacity()] {
+            for k in 0..=k_hi {
+                let x = params.canonical_size(k);
+                let sample =
+                    empirical_potential(params, n, x, model, &offsets).expect("probe runs");
+                let rho = params.potential().eval(x);
+                let row = E7Row {
+                    algo: algo.to_string(),
+                    model: model.label(),
+                    box_size: x,
+                    measured: sample.max_progress,
+                    rho,
+                };
+                table.push_row(vec![
+                    row.algo.clone(),
+                    row.model.clone(),
+                    x.to_string(),
+                    row.measured.to_string(),
+                    fnum(rho),
+                    fnum(row.measured as f64 / rho),
+                ]);
+                rows.push(row);
+            }
+        }
+    }
+    E7Result { table, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simplified_model_matches_rho_exactly() {
+        let result = run(Scale::Quick);
+        for row in result.rows.iter().filter(|r| r.model == "simplified") {
+            assert!(
+                (row.measured as f64 - row.rho).abs() < 1e-9,
+                "{} box {}: measured {} vs rho {}",
+                row.algo,
+                row.box_size,
+                row.measured,
+                row.rho
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_model_within_constant_factor() {
+        let result = run(Scale::Quick);
+        for row in result
+            .rows
+            .iter()
+            .filter(|r| r.model.starts_with("capacity"))
+        {
+            let factor = row.measured as f64 / row.rho;
+            assert!(
+                (0.9..=8.0).contains(&factor),
+                "{} box {}: factor {factor}",
+                row.algo,
+                row.box_size
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment implementations, one module per DESIGN.md index entry.
+
+pub mod ablations;
+pub mod common;
+pub mod e10_contention;
+pub mod e11_no_catchup;
+pub mod e12_scan_hiding;
+pub mod e13_scheduling;
+pub mod e1_worst_case_gap;
+pub mod e2_iid_smoothing;
+pub mod e3_size_perturb;
+pub mod e4_start_shift;
+pub mod e5_box_order;
+pub mod e6_recurrence;
+pub mod e7_potential;
+pub mod e8_trace_validation;
+pub mod e9_taxonomy;

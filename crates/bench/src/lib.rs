@@ -1,0 +1,47 @@
+//! # cadapt-bench — the experiment harness
+//!
+//! One module per experiment in DESIGN.md's per-experiment index, each
+//! exposing a `run(scale) -> …Result` function used three ways:
+//!
+//! * the `exp_*` binaries print the tables (EXPERIMENTS.md embeds them);
+//! * the workspace integration tests assert the qualitative shape
+//!   (who wins, which growth law);
+//! * the Criterion benches time the underlying kernels.
+//!
+//! [`Scale`] keeps the same code usable from debug-mode tests (`Quick`) and
+//! release-mode harness runs (`Full`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes / few trials — fast enough for debug-mode tests.
+    Quick,
+    /// Paper-scale sizes and trial counts (use release builds).
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI argument (`--quick` / `--full`; default full).
+    #[must_use]
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Pick between the two variants.
+    #[must_use]
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! `cadapt` — command-line front end to the cache-adaptive toolkit.
+//!
+//! ```text
+//! cadapt gap        --a 8 --b 4 --k 7 [--model capacity]
+//! cadapt smooth     --a 8 --b 4 --k 7 --dist shuffled [--trials 64] [--seed 1]
+//! cadapt recurrence --a 8 --b 4 --levels 8 --dist powb
+//! cadapt replay     --algo mm-scan --side 32 --block 4 --box 128
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (`--key value` pairs);
+//! every command prints a short table to stdout.
+
+use cadapt::analysis::recurrence::{recurrence_bounds, DiscreteSigma};
+use cadapt::analysis::table::fnum;
+use cadapt::paging::{replay_fixed, replay_square_profile};
+use cadapt::prelude::*;
+use cadapt::trace::gep::floyd_warshall;
+use cadapt::trace::mm::{mm_inplace, mm_scan};
+use cadapt::trace::strassen::strassen;
+use cadapt::trace::ZMatrix;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, opts)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "gap" => cmd_gap(&opts),
+        "smooth" => cmd_smooth(&opts),
+        "recurrence" => cmd_recurrence(&opts),
+        "replay" => cmd_replay(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cadapt — cache-adaptive analysis toolkit
+
+USAGE:
+  cadapt gap        --a A --b B --k K [--c C] [--model simplified|capacity]
+                    run an (A,B,C)-regular algorithm on its worst-case
+                    profile at sizes base·B^2 .. base·B^K
+  cadapt smooth     --a A --b B --k K --dist DIST [--trials T] [--seed S]
+                    Monte-Carlo expected ratio under i.i.d. boxes
+                    (DIST: shuffled | powb | powerlaw | uniform | point)
+  cadapt recurrence --a A --b B --levels L --dist DIST
+                    Lemma-3 bounds on f(n) and the predicted ratio
+  cadapt replay     --algo ALGO --side S --block W --box X
+                    trace a real algorithm and replay it under constant
+                    boxes (ALGO: mm-scan | mm-inplace | strassen | gep)";
+
+/// Parse `command --key value …` into (command, map).
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let mut iter = args.iter();
+    let command = iter.next()?.clone();
+    let mut opts = HashMap::new();
+    while let Some(key) = iter.next() {
+        let key = key.strip_prefix("--")?;
+        let value = iter.next()?;
+        opts.insert(key.to_string(), value.clone());
+    }
+    Some((command, opts))
+}
+
+fn get<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: Option<T>,
+) -> Result<T, String> {
+    match opts.get(key) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: {raw}")),
+        None => default.ok_or_else(|| format!("missing required option --{key}")),
+    }
+}
+
+fn params_from(opts: &HashMap<String, String>) -> Result<AbcParams, String> {
+    let a: u64 = get(opts, "a", None)?;
+    let b: u64 = get(opts, "b", None)?;
+    let c: f64 = get(opts, "c", Some(1.0))?;
+    AbcParams::new(a, b, c, 1).map_err(|e| e.to_string())
+}
+
+fn cmd_gap(opts: &HashMap<String, String>) -> Result<(), String> {
+    let params = params_from(opts)?;
+    let k: u32 = get(opts, "k", Some(7))?;
+    let model = match opts.get("model").map(String::as_str) {
+        None | Some("capacity") => ExecModel::capacity(),
+        Some("simplified") => ExecModel::Simplified,
+        Some(other) => return Err(format!("unknown model `{other}`")),
+    };
+    println!("{params} on its worst-case profile ({}):", model.label());
+    println!(
+        "{:>10} {:>9} {:>12} {:>8}",
+        "n", "log_b n", "boxes", "ratio"
+    );
+    for level in 2..=k {
+        let n = params.canonical_size(level);
+        let worst = WorstCase::for_problem(&params, n).map_err(|e| e.to_string())?;
+        let mut source = worst.source();
+        let config = RunConfig {
+            model,
+            ..RunConfig::default()
+        };
+        let report = run_on_profile(params, n, &mut source, &config).map_err(|e| e.to_string())?;
+        println!(
+            "{n:>10} {level:>9} {:>12} {:>8}",
+            report.boxes_used,
+            fnum(report.ratio())
+        );
+    }
+    Ok(())
+}
+
+fn dist_from(
+    opts: &HashMap<String, String>,
+    params: &AbcParams,
+    n_max: u64,
+) -> Result<Box<dyn BoxDist>, String> {
+    let k_max = params.depth_of(n_max).unwrap_or(8);
+    Ok(match opts.get("dist").map(String::as_str) {
+        None | Some("shuffled") => {
+            let worst = WorstCase::for_problem(params, n_max).map_err(|e| e.to_string())?;
+            Box::new(EmpiricalMultiset::from_counts(
+                &worst.box_multiset(),
+                "shuffled",
+            ))
+        }
+        Some("powb") => Box::new(PowerOfB::new(params.b(), 0, k_max)),
+        Some("powerlaw") => Box::new(PowerLawBoxes::new(params.b(), 0, k_max, 1.0)),
+        Some("uniform") => Box::new(UniformBoxes::new(1, n_max)),
+        Some("point") => Box::new(PointMass {
+            size: (n_max / params.b()).max(1),
+        }),
+        Some(other) => return Err(format!("unknown distribution `{other}`")),
+    })
+}
+
+fn cmd_smooth(opts: &HashMap<String, String>) -> Result<(), String> {
+    let params = params_from(opts)?;
+    let k: u32 = get(opts, "k", Some(7))?;
+    let trials: u64 = get(opts, "trials", Some(64))?;
+    let seed: u64 = get(opts, "seed", Some(0xCADA))?;
+    let n_max = params.canonical_size(k);
+    let dist = dist_from(opts, &params, n_max)?;
+    println!(
+        "{params}, i.i.d. boxes from {} ({trials} trials):",
+        dist.label()
+    );
+    println!(
+        "{:>10} {:>9} {:>14} {:>12}",
+        "n", "log_b n", "E[ratio]", "ci95"
+    );
+    for level in 2..=k {
+        let n = params.canonical_size(level);
+        let config = McConfig {
+            trials,
+            seed,
+            ..McConfig::default()
+        };
+        let summary = monte_carlo_ratio(params, n, &config, |rng| {
+            cadapt::profiles::dist::DynDistSource::new(dist.as_ref(), rng)
+        })
+        .map_err(|e| e.to_string())?;
+        println!(
+            "{n:>10} {level:>9} {:>14} {:>12}",
+            fnum(summary.ratio.mean),
+            fnum(summary.ratio.ci95())
+        );
+    }
+    Ok(())
+}
+
+fn cmd_recurrence(opts: &HashMap<String, String>) -> Result<(), String> {
+    let params = params_from(opts)?;
+    let levels: u32 = get(opts, "levels", Some(8))?;
+    let n_max = params.canonical_size(levels);
+    let dist = dist_from(opts, &params, n_max)?;
+    let sigma = DiscreteSigma::from_dist(dist.as_ref()).map_err(|e| e.to_string())?;
+    println!("Lemma-3 bounds for {params} under {}:", dist.label());
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "n", "f_lo", "f_hi", "ratio_lo", "ratio_hi"
+    );
+    for rb in recurrence_bounds(params.a(), params.b(), &sigma, levels) {
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>12}",
+            rb.n,
+            fnum(rb.f_lo),
+            fnum(rb.f_hi),
+            fnum(rb.ratio_lo),
+            fnum(rb.ratio_hi)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_replay(opts: &HashMap<String, String>) -> Result<(), String> {
+    let side: usize = get(opts, "side", Some(32))?;
+    let block: u64 = get(opts, "block", Some(4))?;
+    let box_size: u64 = get(opts, "box", Some(64))?;
+    if !side.is_power_of_two() {
+        return Err("--side must be a power of two".into());
+    }
+    let rows_a: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 7) % 13) as f64 - 6.0)
+        .collect();
+    let rows_b: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 5) % 11) as f64 - 5.0)
+        .collect();
+    let a = ZMatrix::from_row_major(side, &rows_a);
+    let b = ZMatrix::from_row_major(side, &rows_b);
+    let algo = opts.get("algo").map_or("mm-scan", String::as_str);
+    let (trace, rho) = match algo {
+        "mm-scan" => (mm_scan(&a, &b, block).1, Potential::new(8, 4)),
+        "mm-inplace" => (mm_inplace(&a, &b, block).1, Potential::new(8, 4)),
+        "strassen" => (strassen(&a, &b, block).1, Potential::new(7, 4)),
+        "gep" => (floyd_warshall(&a, block).1, Potential::new(8, 4)),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    println!(
+        "{algo} side {side}, block {block} words: {} accesses, {} distinct blocks",
+        trace.accesses(),
+        trace.distinct_blocks()
+    );
+    let fixed = replay_fixed(&trace, box_size);
+    println!("fixed LRU cache of {box_size}: {} I/Os", fixed.io);
+    let profile = SquareProfile::new(vec![box_size]).map_err(|e| e.to_string())?;
+    let mut source = profile.cycle();
+    let report = replay_square_profile(&trace, &mut source, rho);
+    println!(
+        "square boxes of {box_size}: {} I/Os over {} boxes (ratio {})",
+        report.total_io,
+        report.boxes_used,
+        fnum(report.ratio())
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_key_value_pairs() {
+        let (cmd, opts) = parse(&args(&["gap", "--a", "8", "--b", "4"])).unwrap();
+        assert_eq!(cmd, "gap");
+        assert_eq!(opts["a"], "8");
+        assert_eq!(opts["b"], "4");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse(&args(&[])).is_none());
+        assert!(parse(&args(&["gap", "a", "8"])).is_none()); // missing --
+        assert!(parse(&args(&["gap", "--a"])).is_none()); // missing value
+    }
+
+    #[test]
+    fn get_defaults_and_errors() {
+        let (_, opts) = parse(&args(&["gap", "--a", "8"])).unwrap();
+        assert_eq!(get::<u64>(&opts, "a", None).unwrap(), 8);
+        assert_eq!(get::<u64>(&opts, "k", Some(7)).unwrap(), 7);
+        assert!(get::<u64>(&opts, "b", None).is_err());
+        let (_, bad) = parse(&args(&["gap", "--a", "eight"])).unwrap();
+        assert!(get::<u64>(&bad, "a", None).is_err());
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        let (_, opts) = parse(&args(&["gap", "--a", "8", "--b", "4", "--k", "3"])).unwrap();
+        cmd_gap(&opts).unwrap();
+        let (_, opts) = parse(&args(&[
+            "smooth", "--a", "8", "--b", "4", "--k", "3", "--trials", "4",
+        ]))
+        .unwrap();
+        cmd_smooth(&opts).unwrap();
+        let (_, opts) = parse(&args(&[
+            "recurrence",
+            "--a",
+            "8",
+            "--b",
+            "4",
+            "--levels",
+            "4",
+            "--dist",
+            "powb",
+        ]))
+        .unwrap();
+        cmd_recurrence(&opts).unwrap();
+        let (_, opts) = parse(&args(&[
+            "replay",
+            "--algo",
+            "mm-inplace",
+            "--side",
+            "8",
+            "--box",
+            "16",
+        ]))
+        .unwrap();
+        cmd_replay(&opts).unwrap();
+    }
+
+    #[test]
+    fn unknown_dist_is_an_error() {
+        let (_, opts) = parse(&args(&[
+            "smooth", "--a", "8", "--b", "4", "--dist", "bogus",
+        ]))
+        .unwrap();
+        assert!(cmd_smooth(&opts).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! # cadapt — a cache-adaptive analysis toolkit
+//!
+//! An executable reproduction of *"Closing the Gap Between Cache-oblivious
+//! and Cache-adaptive Analysis"* (Bender, Chowdhury, Das, Johnson,
+//! Kuszmaul, Lincoln, Liu, Lynch, Xu — SPAA 2020): simulators, profile
+//! generators, and analysis machinery for studying how (a, b, c)-regular
+//! algorithms behave when the cache changes size under them.
+//!
+//! This crate re-exports the whole workspace behind one façade:
+//!
+//! * [`core`] — the cache-adaptive model: square profiles, boxes,
+//!   potential, progress, adaptivity reports.
+//! * [`recursion`] — (a, b, c)-regular algorithms as executable objects:
+//!   the lazy cursor, box semantics, closed forms, the No-Catch-up Lemma.
+//! * [`profiles`] — the adversarial worst-case construction, i.i.d.
+//!   smoothing distributions, the §4 perturbations, contention generators.
+//! * [`trace`] — real algorithms (matrix multiplication three ways, edit
+//!   distance) instrumented to emit block-level memory traces.
+//! * [`paging`] — a DAM/LRU cache simulator replaying traces under fixed
+//!   caches, square profiles, and arbitrary memory profiles.
+//! * [`analysis`] — the Lemma 3 recurrence engine, parallel Monte-Carlo
+//!   estimation, growth-law fitting, and experiment tables.
+//! * [`sched`] — a multi-programmed cache scheduler built on the cursor:
+//!   the system the paper's introduction motivates, as a simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cadapt::prelude::*;
+//!
+//! // MM-Scan, the canonical non-adaptive (8, 4, 1)-regular algorithm…
+//! let params = AbcParams::mm_scan();
+//! let n = 1024;
+//!
+//! // …pays the logarithmic gap on its recursive worst-case profile…
+//! let worst = WorstCase::for_problem(&params, n).unwrap();
+//! let report = run_on_profile(
+//!     params, n, &mut worst.source(), &RunConfig::default(),
+//! ).unwrap();
+//! assert_eq!(report.ratio(), 6.0); // log_4 n + 1
+//!
+//! // …but becomes cache-adaptive when the same boxes arrive i.i.d.
+//! let dist = EmpiricalMultiset::from_counts(&worst.box_multiset(), "shuffled");
+//! let summary = monte_carlo_ratio(params, n, &McConfig::default(), |rng| {
+//!     DistSource::new(dist.clone(), rng)
+//! }).unwrap();
+//! assert!(summary.ratio.mean < 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cadapt_analysis as analysis;
+pub use cadapt_core as core;
+pub use cadapt_paging as paging;
+pub use cadapt_profiles as profiles;
+pub use cadapt_recursion as recursion;
+pub use cadapt_sched as sched;
+pub use cadapt_trace as trace;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use cadapt_analysis::{
+        classify_growth, monte_carlo_ratio, GrowthClass, McConfig, McSummary, Stats, Table,
+    };
+    pub use cadapt_core::{
+        AdaptivityReport, Blocks, BoxSource, Io, Leaves, MemoryProfile, Potential, SquareProfile,
+    };
+    pub use cadapt_profiles::dist::{
+        BoxDist, DistSource, EmpiricalMultiset, LogUniform, ParetoBoxes, PointMass, PowerLawBoxes,
+        PowerOfB, UniformBoxes,
+    };
+    pub use cadapt_profiles::{MatchedWorstCase, WorstCase};
+    pub use cadapt_recursion::{
+        run_on_profile, AbcParams, ClosedForms, ExecCursor, ExecModel, RunConfig, ScanLayout,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_stack() {
+        let params = AbcParams::mm_scan();
+        let rho = params.potential();
+        assert_eq!(rho.eval(16), 64.0);
+        let profile = SquareProfile::new(vec![4, 4]).unwrap();
+        assert_eq!(profile.total_time(), 8);
+    }
+}

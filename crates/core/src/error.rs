@@ -1,0 +1,82 @@
+//! Error type shared by the model primitives.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A memory profile violated the CA-model growth rule: the cache may
+    /// grow by at most one block per I/O (it may shrink arbitrarily).
+    ProfileGrowthViolation {
+        /// Index of the offending step.
+        at: usize,
+        /// Size before the step.
+        from: u64,
+        /// Size after the step.
+        to: u64,
+    },
+    /// A box of size zero was supplied; boxes must have positive size.
+    EmptyBox {
+        /// Index of the offending box.
+        at: usize,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ProfileGrowthViolation { at, from, to } => write!(
+                f,
+                "memory profile grows by more than one block at step {at}: {from} -> {to}"
+            ),
+            CoreError::EmptyBox { at } => {
+                write!(f, "box at index {at} has size zero; boxes must be positive")
+            }
+            CoreError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::ProfileGrowthViolation {
+            at: 3,
+            from: 2,
+            to: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 3"));
+        assert!(s.contains("2 -> 9"));
+
+        let e = CoreError::EmptyBox { at: 0 };
+        assert!(e.to_string().contains("index 0"));
+
+        let e = CoreError::InvalidParameter {
+            name: "b",
+            message: "must exceed 1".into(),
+        };
+        assert!(e.to_string().contains('`'));
+        assert!(e.to_string().contains("must exceed 1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CoreError::EmptyBox { at: 1 });
+    }
+}

@@ -1,0 +1,503 @@
+//! Square profiles: sequences of boxes, finite and infinite.
+//!
+//! A *square profile* (Definition 1) is a step function where each step is
+//! exactly as long (in I/Os) as it is tall (in blocks); the steps are the
+//! *boxes* (□). Prior work shows any memory profile can be approximated by a
+//! square profile up to constant factors, so boxes are the universal currency
+//! of cache-adaptive analysis.
+//!
+//! * [`SquareProfile`] — a finite, materialised profile. Worst-case profiles
+//!   for the problem sizes used in experiments have millions of boxes, so the
+//!   representation is a flat `Vec<Blocks>`.
+//! * [`BoxSource`] — an infinite stream of boxes, the form consumed by the
+//!   execution drivers. Definition 3 of the paper quantifies over *infinite*
+//!   square profiles; samplers and generators implement this trait lazily so
+//!   nothing unbounded is ever materialised.
+
+use crate::potential::Potential;
+use crate::{Blocks, CoreError, Io};
+use serde::{Deserialize, Serialize};
+
+/// An infinite stream of boxes.
+///
+/// The CA model runs an algorithm against an infinite square profile; the
+/// algorithm consumes a prefix. Implementors must always be able to produce
+/// a next box (of positive size).
+pub trait BoxSource {
+    /// Produce the next box in the profile. Must be ≥ 1 block.
+    fn next_box(&mut self) -> Blocks;
+}
+
+/// Blanket impl so `&mut S` is itself a source (mirrors `Iterator`).
+impl<S: BoxSource + ?Sized> BoxSource for &mut S {
+    fn next_box(&mut self) -> Blocks {
+        (**self).next_box()
+    }
+}
+
+/// Boxed sources are sources (enables heterogeneous `Box<dyn BoxSource>`).
+impl<S: BoxSource + ?Sized> BoxSource for Box<S> {
+    fn next_box(&mut self) -> Blocks {
+        (**self).next_box()
+    }
+}
+
+/// A finite square profile, optionally extended by a filler box size.
+///
+/// Finite profiles arise from the recursive worst-case construction
+/// M_{a,b}(n) and from square-approximating measured memory profiles. To use
+/// one where an infinite profile is required, [`SquareProfile::cycle`] or
+/// [`SquareProfile::extended`] lift it to a [`BoxSource`].
+///
+/// ```
+/// use cadapt_core::{Potential, SquareProfile};
+///
+/// let profile = SquareProfile::new(vec![1, 4, 16])?;
+/// assert_eq!(profile.total_time(), 21); // a box of size x lasts x I/Os
+///
+/// let rho = Potential::new(8, 4); // MM-Scan's ρ(x) = x^{3/2}
+/// assert_eq!(profile.total_potential(&rho), 1.0 + 8.0 + 64.0);
+/// // Eq. 2 caps each box at the problem size:
+/// assert_eq!(profile.bounded_potential(&rho, 4), 1.0 + 8.0 + 8.0);
+/// # Ok::<(), cadapt_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SquareProfile {
+    boxes: Vec<Blocks>,
+}
+
+impl SquareProfile {
+    /// Build a profile from explicit box sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyBox`] if any box has size zero.
+    pub fn new(boxes: Vec<Blocks>) -> Result<Self, CoreError> {
+        if let Some(at) = boxes.iter().position(|&b| b == 0) {
+            return Err(CoreError::EmptyBox { at });
+        }
+        Ok(SquareProfile { boxes })
+    }
+
+    /// Build a profile without checking box positivity.
+    ///
+    /// Intended for generators that guarantee positivity by construction.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert every box is positive.
+    #[must_use]
+    pub fn from_boxes_unchecked(boxes: Vec<Blocks>) -> Self {
+        debug_assert!(boxes.iter().all(|&b| b > 0), "boxes must be positive");
+        SquareProfile { boxes }
+    }
+
+    /// The empty profile.
+    #[must_use]
+    pub fn empty() -> Self {
+        SquareProfile { boxes: Vec::new() }
+    }
+
+    /// Number of boxes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether the profile has no boxes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// The box sizes.
+    #[must_use]
+    pub fn boxes(&self) -> &[Blocks] {
+        &self.boxes
+    }
+
+    /// Consume the profile, returning its boxes.
+    #[must_use]
+    pub fn into_boxes(self) -> Vec<Blocks> {
+        self.boxes
+    }
+
+    /// Total duration in I/Os: Σ |□_i| (a box of size x lasts x I/Os).
+    #[must_use]
+    pub fn total_time(&self) -> Io {
+        self.boxes.iter().map(|&b| Io::from(b)).sum()
+    }
+
+    /// Total potential Σ ρ(|□_i|) under the given potential function.
+    #[must_use]
+    pub fn total_potential(&self, rho: &Potential) -> f64 {
+        self.boxes.iter().map(|&b| rho.eval(b)).sum()
+    }
+
+    /// Total *n-bounded* potential Σ min(n, |□_i|)^{log_b a} (Eq. 2).
+    #[must_use]
+    pub fn bounded_potential(&self, rho: &Potential, n: Blocks) -> f64 {
+        self.boxes.iter().map(|&b| rho.bounded(n, b)).sum()
+    }
+
+    /// Largest box in the profile (`None` when empty).
+    #[must_use]
+    pub fn max_box(&self) -> Option<Blocks> {
+        self.boxes.iter().copied().max()
+    }
+
+    /// Smallest box in the profile (`None` when empty).
+    #[must_use]
+    pub fn min_box(&self) -> Option<Blocks> {
+        self.boxes.iter().copied().min()
+    }
+
+    /// Append another profile's boxes.
+    pub fn concat(&mut self, other: &SquareProfile) {
+        self.boxes.extend_from_slice(&other.boxes);
+    }
+
+    /// Push one box (must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn push(&mut self, size: Blocks) {
+        assert!(size > 0, "boxes must be positive");
+        self.boxes.push(size);
+    }
+
+    /// Rotate the profile left by `k` boxes (cyclic shift at box
+    /// granularity). Used by the start-time perturbation of §4: starting the
+    /// algorithm at box k of the cyclic profile is the same as running it on
+    /// `rotated_by_boxes(k)`.
+    #[must_use]
+    pub fn rotated_by_boxes(&self, k: usize) -> SquareProfile {
+        if self.boxes.is_empty() {
+            return self.clone();
+        }
+        let k = k % self.boxes.len();
+        let mut boxes = Vec::with_capacity(self.boxes.len());
+        boxes.extend_from_slice(&self.boxes[k..]);
+        boxes.extend_from_slice(&self.boxes[..k]);
+        SquareProfile { boxes }
+    }
+
+    /// Index of the box containing I/O timestamp `t` (0-based), i.e. the
+    /// unique i with Σ_{j<i} |□_j| ≤ t < Σ_{j≤i} |□_j|; `None` if `t` is at
+    /// or beyond the end of the profile.
+    #[must_use]
+    pub fn box_at_time(&self, t: Io) -> Option<usize> {
+        let mut acc: Io = 0;
+        for (i, &b) in self.boxes.iter().enumerate() {
+            acc += Io::from(b);
+            if t < acc {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Rotate the profile so it starts at the box containing time `t` of the
+    /// cyclic profile — the time-weighted variant of the start-time shift
+    /// (a uniformly random `t` picks box i with probability |□_i| / Σ |□_j|).
+    ///
+    /// The shift happens at box granularity: square profiles are closed
+    /// under box rotation but not under mid-box truncation.
+    #[must_use]
+    pub fn rotated_by_time(&self, t: Io) -> SquareProfile {
+        let total = self.total_time();
+        if total == 0 {
+            return self.clone();
+        }
+        let t = t % total;
+        let idx = self.box_at_time(t).expect("t reduced modulo total time");
+        self.rotated_by_boxes(idx)
+    }
+
+    /// Lift to an infinite [`BoxSource`] by repeating the profile forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is empty (an empty profile cannot be cycled).
+    #[must_use]
+    pub fn cycle(&self) -> CycleSource<'_> {
+        assert!(!self.boxes.is_empty(), "cannot cycle an empty profile");
+        CycleSource {
+            boxes: &self.boxes,
+            pos: 0,
+        }
+    }
+
+    /// Lift to an infinite [`BoxSource`] by appending `filler`-sized boxes
+    /// after the profile is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filler == 0`.
+    #[must_use]
+    pub fn extended(&self, filler: Blocks) -> ExtendedSource<'_> {
+        assert!(filler > 0, "filler box must be positive");
+        ExtendedSource {
+            boxes: &self.boxes,
+            pos: 0,
+            filler,
+        }
+    }
+
+    /// Collect `count` boxes from a [`BoxSource`] into a finite profile.
+    #[must_use]
+    pub fn take_from<S: BoxSource>(source: &mut S, count: usize) -> SquareProfile {
+        let mut boxes = Vec::with_capacity(count);
+        for _ in 0..count {
+            boxes.push(source.next_box());
+        }
+        SquareProfile { boxes }
+    }
+}
+
+impl FromIterator<Blocks> for SquareProfile {
+    /// Collects boxes; panics (in debug) on zero-sized boxes.
+    fn from_iter<T: IntoIterator<Item = Blocks>>(iter: T) -> Self {
+        SquareProfile::from_boxes_unchecked(iter.into_iter().collect())
+    }
+}
+
+/// Infinite source cycling over a finite profile. See [`SquareProfile::cycle`].
+#[derive(Debug, Clone)]
+pub struct CycleSource<'a> {
+    boxes: &'a [Blocks],
+    pos: usize,
+}
+
+impl BoxSource for CycleSource<'_> {
+    fn next_box(&mut self) -> Blocks {
+        let b = self.boxes[self.pos];
+        self.pos = (self.pos + 1) % self.boxes.len();
+        b
+    }
+}
+
+/// Infinite source that plays a finite profile then a constant filler.
+/// See [`SquareProfile::extended`].
+#[derive(Debug, Clone)]
+pub struct ExtendedSource<'a> {
+    boxes: &'a [Blocks],
+    pos: usize,
+    filler: Blocks,
+}
+
+impl BoxSource for ExtendedSource<'_> {
+    fn next_box(&mut self) -> Blocks {
+        match self.boxes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                b
+            }
+            None => self.filler,
+        }
+    }
+}
+
+/// A source producing one constant box size forever (a "point mass" profile).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantSource {
+    size: Blocks,
+}
+
+impl ConstantSource {
+    /// Boxes of fixed `size` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(size: Blocks) -> Self {
+        assert!(size > 0, "boxes must be positive");
+        ConstantSource { size }
+    }
+}
+
+impl BoxSource for ConstantSource {
+    fn next_box(&mut self) -> Blocks {
+        self.size
+    }
+}
+
+/// Adaptor recording every box drawn from an inner source, so a run can be
+/// replayed or audited after the fact.
+#[derive(Debug)]
+pub struct RecordingSource<S> {
+    inner: S,
+    record: Vec<Blocks>,
+}
+
+impl<S: BoxSource> RecordingSource<S> {
+    /// Wrap `inner`, recording each box it emits.
+    pub fn new(inner: S) -> Self {
+        RecordingSource {
+            inner,
+            record: Vec::new(),
+        }
+    }
+
+    /// The boxes emitted so far.
+    #[must_use]
+    pub fn record(&self) -> &[Blocks] {
+        &self.record
+    }
+
+    /// Finish recording, returning the emitted prefix as a profile.
+    #[must_use]
+    pub fn into_profile(self) -> SquareProfile {
+        SquareProfile::from_boxes_unchecked(self.record)
+    }
+}
+
+impl<S: BoxSource> BoxSource for RecordingSource<S> {
+    fn next_box(&mut self) -> Blocks {
+        let b = self.inner.next_box();
+        self.record.push(b);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(v: &[Blocks]) -> SquareProfile {
+        SquareProfile::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_boxes() {
+        assert_eq!(
+            SquareProfile::new(vec![4, 0, 2]),
+            Err(CoreError::EmptyBox { at: 1 })
+        );
+    }
+
+    #[test]
+    fn totals() {
+        let p = profile(&[1, 4, 16]);
+        assert_eq!(p.total_time(), 21);
+        let rho = Potential::new(8, 4);
+        // 1 + 8 + 64
+        assert_eq!(p.total_potential(&rho), 73.0);
+        // bounded at n = 4: 1 + 8 + 8
+        assert_eq!(p.bounded_potential(&rho, 4), 17.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let p = profile(&[3, 9, 1]);
+        assert_eq!(p.max_box(), Some(9));
+        assert_eq!(p.min_box(), Some(1));
+        assert_eq!(SquareProfile::empty().max_box(), None);
+    }
+
+    #[test]
+    fn rotation_by_boxes() {
+        let p = profile(&[1, 2, 3, 4]);
+        assert_eq!(p.rotated_by_boxes(0).boxes(), &[1, 2, 3, 4]);
+        assert_eq!(p.rotated_by_boxes(1).boxes(), &[2, 3, 4, 1]);
+        assert_eq!(p.rotated_by_boxes(4).boxes(), &[1, 2, 3, 4]);
+        assert_eq!(p.rotated_by_boxes(6).boxes(), &[3, 4, 1, 2]);
+    }
+
+    #[test]
+    fn rotation_preserves_multiset_and_time() {
+        let p = profile(&[5, 1, 7, 2, 2]);
+        for k in 0..10 {
+            let r = p.rotated_by_boxes(k);
+            assert_eq!(r.total_time(), p.total_time());
+            let mut a = r.boxes().to_vec();
+            let mut b = p.boxes().to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn box_at_time_boundaries() {
+        let p = profile(&[2, 3, 1]);
+        assert_eq!(p.box_at_time(0), Some(0));
+        assert_eq!(p.box_at_time(1), Some(0));
+        assert_eq!(p.box_at_time(2), Some(1));
+        assert_eq!(p.box_at_time(4), Some(1));
+        assert_eq!(p.box_at_time(5), Some(2));
+        assert_eq!(p.box_at_time(6), None);
+    }
+
+    #[test]
+    fn rotation_by_time() {
+        let p = profile(&[2, 3, 1]);
+        assert_eq!(p.rotated_by_time(0).boxes(), &[2, 3, 1]);
+        assert_eq!(p.rotated_by_time(2).boxes(), &[3, 1, 2]);
+        assert_eq!(p.rotated_by_time(5).boxes(), &[1, 2, 3]);
+        // wraps modulo total time
+        assert_eq!(p.rotated_by_time(6).boxes(), &[2, 3, 1]);
+    }
+
+    #[test]
+    fn cycle_source_repeats() {
+        let p = profile(&[1, 2]);
+        let mut s = p.cycle();
+        let drawn: Vec<_> = (0..5).map(|_| s.next_box()).collect();
+        assert_eq!(drawn, vec![1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn extended_source_fills() {
+        let p = profile(&[3, 4]);
+        let mut s = p.extended(9);
+        let drawn: Vec<_> = (0..4).map(|_| s.next_box()).collect();
+        assert_eq!(drawn, vec![3, 4, 9, 9]);
+    }
+
+    #[test]
+    fn recording_source_captures_prefix() {
+        let mut rec = RecordingSource::new(ConstantSource::new(7));
+        for _ in 0..3 {
+            let _ = rec.next_box();
+        }
+        assert_eq!(rec.record(), &[7, 7, 7]);
+        assert_eq!(rec.into_profile().boxes(), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn take_from_collects() {
+        let mut c = ConstantSource::new(5);
+        let p = SquareProfile::take_from(&mut c, 3);
+        assert_eq!(p.boxes(), &[5, 5, 5]);
+    }
+
+    #[test]
+    fn mut_ref_is_source() {
+        fn draw<S: BoxSource>(s: S) -> Blocks {
+            let mut s = s;
+            s.next_box()
+        }
+        let mut c = ConstantSource::new(2);
+        assert_eq!(draw(&mut c), 2);
+        assert_eq!(draw(&mut c), 2);
+    }
+
+    #[test]
+    fn concat_and_push() {
+        let mut p = profile(&[1]);
+        p.push(2);
+        p.concat(&profile(&[3, 4]));
+        assert_eq!(p.boxes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = profile(&[1, 2, 3]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SquareProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-box progress accounting.
+//!
+//! An execution driver (the recursion cursor in `cadapt-recursion`, or the
+//! trace replayer in `cadapt-paging`) feeds one [`BoxRecord`] per consumed
+//! box into a [`ProgressLedger`]. The ledger accumulates the quantities the
+//! optimality condition needs — in particular the n-bounded potential sum of
+//! Eq. 2 — and finishes into an [`AdaptivityReport`].
+//!
+//! Worst-case runs consume millions of boxes, so by default the ledger only
+//! keeps aggregates; construct it with [`ProgressLedger::retaining`] to also
+//! keep the full per-box history for auditing or plotting.
+
+use crate::potential::Potential;
+use crate::report::AdaptivityReport;
+use crate::{Blocks, Io, Leaves};
+use serde::{Deserialize, Serialize};
+
+/// What one box achieved: its size, the progress (base cases at least partly
+/// completed) inside it, and the I/Os actually used (≤ size; the final box
+/// of a run is typically only partly used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxRecord {
+    /// Size of the box in blocks (= its duration in I/Os).
+    pub size: Blocks,
+    /// Base-case subproblems completed (at least partly) within the box.
+    pub progress: Leaves,
+    /// I/Os of the box actually consumed by the algorithm.
+    pub used: Io,
+}
+
+/// Accumulator of per-box records for one execution on one profile.
+#[derive(Debug, Clone)]
+pub struct ProgressLedger {
+    rho: Potential,
+    n: Blocks,
+    boxes_used: u64,
+    bounded_potential_sum: f64,
+    raw_potential_sum: f64,
+    total_progress: Leaves,
+    total_io: Io,
+    max_box: Blocks,
+    min_box: Blocks,
+    history: Option<Vec<BoxRecord>>,
+}
+
+impl ProgressLedger {
+    /// Ledger for a problem of size `n` blocks under potential `rho`,
+    /// keeping aggregates only.
+    #[must_use]
+    pub fn new(rho: Potential, n: Blocks) -> Self {
+        ProgressLedger {
+            rho,
+            n,
+            boxes_used: 0,
+            bounded_potential_sum: 0.0,
+            raw_potential_sum: 0.0,
+            total_progress: 0,
+            total_io: 0,
+            max_box: 0,
+            min_box: Blocks::MAX,
+            history: None,
+        }
+    }
+
+    /// Like [`ProgressLedger::new`], but also retains every [`BoxRecord`].
+    #[must_use]
+    pub fn retaining(rho: Potential, n: Blocks) -> Self {
+        let mut ledger = ProgressLedger::new(rho, n);
+        ledger.history = Some(Vec::new());
+        ledger
+    }
+
+    /// Record one consumed box.
+    pub fn record(&mut self, record: BoxRecord) {
+        self.boxes_used += 1;
+        self.bounded_potential_sum += self.rho.bounded(self.n, record.size);
+        self.raw_potential_sum += self.rho.eval(record.size);
+        self.total_progress += record.progress;
+        self.total_io += record.used;
+        self.max_box = self.max_box.max(record.size);
+        self.min_box = self.min_box.min(record.size);
+        if let Some(h) = &mut self.history {
+            h.push(record);
+        }
+    }
+
+    /// Number of boxes recorded so far.
+    #[must_use]
+    pub fn boxes_used(&self) -> u64 {
+        self.boxes_used
+    }
+
+    /// Running Σ min(n, |□_i|)^{log_b a}.
+    #[must_use]
+    pub fn bounded_potential_sum(&self) -> f64 {
+        self.bounded_potential_sum
+    }
+
+    /// Running Σ ρ(|□_i|) (unbounded potential; Eq. 1 form).
+    #[must_use]
+    pub fn raw_potential_sum(&self) -> f64 {
+        self.raw_potential_sum
+    }
+
+    /// Total progress (base cases) across all boxes so far.
+    #[must_use]
+    pub fn total_progress(&self) -> Leaves {
+        self.total_progress
+    }
+
+    /// The retained per-box history, if this ledger keeps one.
+    #[must_use]
+    pub fn history(&self) -> Option<&[BoxRecord]> {
+        self.history.as_deref()
+    }
+
+    /// Finish the run and produce the report.
+    #[must_use]
+    pub fn finish(self) -> AdaptivityReport {
+        AdaptivityReport {
+            a: self.rho.a(),
+            b: self.rho.b(),
+            exponent: self.rho.exponent(),
+            n: self.n,
+            boxes_used: self.boxes_used,
+            bounded_potential_sum: self.bounded_potential_sum,
+            raw_potential_sum: self.raw_potential_sum,
+            required_progress: self.rho.required_progress(self.n),
+            total_progress: self.total_progress,
+            total_io: self.total_io,
+            max_box: if self.boxes_used == 0 {
+                0
+            } else {
+                self.max_box
+            },
+            min_box: if self.boxes_used == 0 {
+                0
+            } else {
+                self.min_box
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_accumulate() {
+        let rho = Potential::new(8, 4);
+        let mut ledger = ProgressLedger::new(rho, 16);
+        ledger.record(BoxRecord {
+            size: 4,
+            progress: 8,
+            used: 4,
+        });
+        ledger.record(BoxRecord {
+            size: 64,
+            progress: 64,
+            used: 30,
+        });
+        assert_eq!(ledger.boxes_used(), 2);
+        // min(16,4)^1.5 + min(16,64)^1.5 = 8 + 64
+        assert_eq!(ledger.bounded_potential_sum(), 72.0);
+        // 8 + 512
+        assert_eq!(ledger.raw_potential_sum(), 520.0);
+        assert_eq!(ledger.total_progress(), 72);
+
+        let report = ledger.finish();
+        assert_eq!(report.boxes_used, 2);
+        assert_eq!(report.max_box, 64);
+        assert_eq!(report.min_box, 4);
+        assert_eq!(report.total_io, 34);
+        assert_eq!(report.required_progress, 64.0);
+        assert!((report.ratio() - 72.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_ledger_keeps_no_history() {
+        let rho = Potential::new(8, 4);
+        let mut ledger = ProgressLedger::new(rho, 16);
+        ledger.record(BoxRecord {
+            size: 4,
+            progress: 1,
+            used: 4,
+        });
+        assert!(ledger.history().is_none());
+    }
+
+    #[test]
+    fn retaining_ledger_keeps_history() {
+        let rho = Potential::new(8, 4);
+        let mut ledger = ProgressLedger::retaining(rho, 16);
+        let r1 = BoxRecord {
+            size: 4,
+            progress: 1,
+            used: 4,
+        };
+        let r2 = BoxRecord {
+            size: 2,
+            progress: 0,
+            used: 2,
+        };
+        ledger.record(r1);
+        ledger.record(r2);
+        assert_eq!(ledger.history().unwrap(), &[r1, r2]);
+    }
+
+    #[test]
+    fn empty_run_reports_zeroes() {
+        let rho = Potential::new(8, 4);
+        let report = ProgressLedger::new(rho, 16).finish();
+        assert_eq!(report.boxes_used, 0);
+        assert_eq!(report.max_box, 0);
+        assert_eq!(report.min_box, 0);
+        assert_eq!(report.bounded_potential_sum, 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cadapt-paging — the machine under the model
+//!
+//! A two-level memory-hierarchy simulator in the DAM tradition: a cache of
+//! m(t) blocks in front of an infinite disk, time measured in I/Os (block
+//! transfers), hits free. Three replay modes over the block traces produced
+//! by `cadapt-trace`:
+//!
+//! * [`replay::replay_fixed`] — classical DAM: constant cache of M blocks
+//!   with LRU replacement (the ideal-cache baseline).
+//! * [`replay::replay_square_profile`] — the cache-adaptive model on square
+//!   profiles: each box of size x grants x I/Os and x blocks of (cleared)
+//!   cache; the per-box progress ledger feeds the same
+//!   [`AdaptivityReport`](cadapt_core::AdaptivityReport) the abstract
+//!   cursor produces, making the two layers directly comparable (E8).
+//! * [`replay::replay_memory_profile`] — the general CA model: an arbitrary
+//!   m(t), evicting down to the new size at every step.
+//!
+//! The LRU structure itself is [`lru::LruCache`], a slab-backed O(1)
+//! doubly-linked implementation; [`opt::replay_opt`] provides Belady's
+//! offline-optimal replacement as the baseline the ideal-cache model
+//! assumes, with the Sleator–Tarjan LRU-vs-OPT inequality checked in its
+//! tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lru;
+pub mod opt;
+pub mod replay;
+
+pub use lru::LruCache;
+pub use opt::replay_opt;
+pub use replay::{replay_fixed, replay_memory_profile, replay_square_profile};

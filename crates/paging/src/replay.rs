@@ -1,0 +1,319 @@
+//! Trace replay under fixed caches, square profiles, and arbitrary
+//! profiles.
+
+use crate::lru::LruCache;
+use cadapt_core::{
+    AdaptivityReport, Blocks, BoxRecord, BoxSource, Io, Leaves, MemoryProfile, Potential,
+    ProgressLedger,
+};
+use cadapt_trace::{BlockTrace, TraceEvent};
+
+/// Outcome of a fixed-cache (classical DAM) replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedReplay {
+    /// Cache size used.
+    pub cache_blocks: Blocks,
+    /// Total I/Os (misses).
+    pub io: Io,
+    /// Total accesses (hits + misses).
+    pub accesses: u64,
+}
+
+/// Replay a trace through a constant LRU cache of `cache_blocks` blocks —
+/// the ideal-cache/DAM baseline. Time is the number of misses.
+///
+/// ```
+/// use cadapt_paging::replay_fixed;
+/// use cadapt_trace::mm::mm_inplace;
+/// use cadapt_trace::ZMatrix;
+///
+/// let m = ZMatrix::from_row_major(4, &[1.0; 16]);
+/// let (_, trace) = mm_inplace(&m, &m, 4);
+/// // With ample cache every distinct block misses exactly once.
+/// let replay = replay_fixed(&trace, 1 << 20);
+/// assert_eq!(replay.io, u128::from(trace.distinct_blocks()));
+/// ```
+#[must_use]
+pub fn replay_fixed(trace: &BlockTrace, cache_blocks: Blocks) -> FixedReplay {
+    let mut cache = LruCache::new(cache_blocks as usize);
+    let mut io: Io = 0;
+    let mut accesses: u64 = 0;
+    for event in trace.events() {
+        if let TraceEvent::Access(block) = event {
+            accesses += 1;
+            if !cache.access(*block) {
+                io += 1;
+            }
+        }
+    }
+    FixedReplay {
+        cache_blocks,
+        io,
+        accesses,
+    }
+}
+
+/// Replay a trace in the cache-adaptive model against a square profile.
+///
+/// Each box of size x grants x I/Os of time and x blocks of cache, cleared
+/// at the box boundary (§2's w.l.o.g. convention). Hits are free; each miss
+/// consumes one I/O of the box. When the box's I/Os are spent, the pending
+/// access retries in the next box. Per-box progress is the number of
+/// base-case marks replayed within the box; the ledger produces the same
+/// [`AdaptivityReport`] as the abstract execution drivers, with the trace's
+/// working-set size as the problem size n.
+#[must_use]
+pub fn replay_square_profile<S: BoxSource>(
+    trace: &BlockTrace,
+    source: &mut S,
+    rho: Potential,
+) -> AdaptivityReport {
+    let n = trace.distinct_blocks();
+    let mut ledger = ProgressLedger::new(rho, n);
+    let mut events = trace.events().iter().peekable();
+    // Consume trailing leaf marks of the final box correctly by treating
+    // leaf marks as attached to the preceding access.
+    while events.peek().is_some() {
+        let size = source.next_box();
+        let mut cache = LruCache::new(size as usize);
+        let mut budget = Io::from(size);
+        let mut progress: Leaves = 0;
+        let mut used: Io = 0;
+        while let Some(event) = events.peek() {
+            match event {
+                TraceEvent::Leaf => {
+                    progress += 1;
+                    events.next();
+                }
+                TraceEvent::Access(block) => {
+                    if cache.contains(*block) {
+                        let _ = cache.access(*block);
+                        events.next();
+                    } else if budget > 0 {
+                        let _ = cache.access(*block);
+                        budget -= 1;
+                        used += 1;
+                        events.next();
+                    } else {
+                        // Box exhausted: this access starts the next box.
+                        break;
+                    }
+                }
+            }
+        }
+        ledger.record(BoxRecord {
+            size,
+            progress,
+            used,
+        });
+    }
+    ledger.finish()
+}
+
+/// Outcome of an arbitrary-profile replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileReplay {
+    /// I/Os consumed (= profile steps advanced).
+    pub io: Io,
+    /// Did the trace complete within the profile?
+    pub completed: bool,
+    /// Base-case marks replayed.
+    pub leaves: Leaves,
+}
+
+/// Replay a trace in the general cache-adaptive model: the cache holds
+/// m(t) blocks after the t-th I/O (LRU replacement, immediate eviction on
+/// shrink). Hits are free; each miss advances t. Returns how far the
+/// profile got; `completed` is false if the profile ended first.
+#[must_use]
+pub fn replay_memory_profile(trace: &BlockTrace, profile: &MemoryProfile) -> ProfileReplay {
+    let mut t: Io = 0;
+    let Some(initial) = profile.value_at(0) else {
+        return ProfileReplay {
+            io: 0,
+            completed: !trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Access(_))),
+            leaves: 0,
+        };
+    };
+    let mut cache = LruCache::new(initial as usize);
+    let mut leaves: Leaves = 0;
+    for event in trace.events() {
+        match event {
+            TraceEvent::Leaf => leaves += 1,
+            TraceEvent::Access(block) => {
+                // The cache holds m(t) blocks *now*; shrink eagerly so a
+                // smaller allocation evicts immediately (the CA model lets
+                // the size drop arbitrarily between I/Os).
+                match profile.value_at(t) {
+                    None => {
+                        // Profile exhausted: no cache, no I/O budget left.
+                        return ProfileReplay {
+                            io: t,
+                            completed: false,
+                            leaves,
+                        };
+                    }
+                    Some(m) => cache.resize(m as usize),
+                }
+                if cache.access(*block) {
+                    continue; // hit: free
+                }
+                t += 1; // miss: one I/O
+            }
+        }
+    }
+    ProfileReplay {
+        io: t,
+        completed: true,
+        leaves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadapt_core::memory_profile::Segment;
+    use cadapt_core::profile::ConstantSource;
+    use cadapt_trace::mm::{mm_inplace, mm_scan};
+    use cadapt_trace::ZMatrix;
+
+    fn small_matrices(side: usize) -> (ZMatrix, ZMatrix) {
+        let a: Vec<f64> = (0..side * side).map(|i| (i % 7) as f64 - 3.0).collect();
+        let b: Vec<f64> = (0..side * side).map(|i| (i % 5) as f64 - 2.0).collect();
+        (
+            ZMatrix::from_row_major(side, &a),
+            ZMatrix::from_row_major(side, &b),
+        )
+    }
+
+    #[test]
+    fn fixed_replay_with_huge_cache_is_cold_misses_only() {
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_inplace(&a, &b, 4);
+        let replay = replay_fixed(&trace, 1 << 20);
+        // Every distinct block misses exactly once.
+        assert_eq!(replay.io, Io::from(trace.distinct_blocks()));
+    }
+
+    #[test]
+    fn fixed_replay_io_decreases_with_cache_size() {
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_scan(&a, &b, 4);
+        let io4 = replay_fixed(&trace, 4).io;
+        let io16 = replay_fixed(&trace, 16).io;
+        let io64 = replay_fixed(&trace, 64).io;
+        assert!(io4 >= io16, "{io4} < {io16}");
+        assert!(io16 >= io64, "{io16} < {io64}");
+        assert!(io4 > io64, "more cache must help this workload");
+    }
+
+    #[test]
+    fn fixed_replay_cache_one_makes_everything_miss_across_blocks() {
+        let (a, b) = small_matrices(4);
+        let (_, trace) = mm_inplace(&a, &b, 1);
+        let replay = replay_fixed(&trace, 1);
+        // With one block of cache only immediate re-accesses hit.
+        assert!(replay.io > Io::from(trace.distinct_blocks()));
+    }
+
+    #[test]
+    fn square_replay_completes_and_counts_all_leaves() {
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_inplace(&a, &b, 4);
+        let mut source = ConstantSource::new(16);
+        let report = replay_square_profile(&trace, &mut source, Potential::new(8, 4));
+        assert_eq!(report.total_progress, trace.leaves());
+        assert_eq!(report.n, trace.distinct_blocks());
+        assert!(report.boxes_used > 0);
+    }
+
+    #[test]
+    fn square_replay_single_giant_box() {
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_scan(&a, &b, 4);
+        let mut source = ConstantSource::new(1 << 20);
+        let report = replay_square_profile(&trace, &mut source, Potential::new(8, 4));
+        assert_eq!(report.boxes_used, 1);
+        // One cold miss per distinct block.
+        assert_eq!(report.total_io, Io::from(trace.distinct_blocks()));
+    }
+
+    #[test]
+    fn square_replay_smaller_boxes_use_more_boxes() {
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_scan(&a, &b, 4);
+        let rho = Potential::new(8, 4);
+        let boxes_small = {
+            let mut s = ConstantSource::new(8);
+            replay_square_profile(&trace, &mut s, rho).boxes_used
+        };
+        let boxes_large = {
+            let mut s = ConstantSource::new(64);
+            replay_square_profile(&trace, &mut s, rho).boxes_used
+        };
+        assert!(boxes_small > boxes_large);
+    }
+
+    #[test]
+    fn memory_profile_replay_completion() {
+        let (a, b) = small_matrices(4);
+        let (_, trace) = mm_inplace(&a, &b, 2);
+        // Ample profile: constant large cache, long duration.
+        let profile = MemoryProfile::from_segments(vec![Segment {
+            size: 1 << 16,
+            len: 1 << 20,
+        }])
+        .unwrap();
+        let replay = replay_memory_profile(&trace, &profile);
+        assert!(replay.completed);
+        assert_eq!(replay.io, Io::from(trace.distinct_blocks()));
+        assert_eq!(replay.leaves, trace.leaves());
+    }
+
+    #[test]
+    fn memory_profile_replay_can_run_out() {
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_scan(&a, &b, 2);
+        let profile = MemoryProfile::from_segments(vec![Segment { size: 2, len: 10 }]).unwrap();
+        let replay = replay_memory_profile(&trace, &profile);
+        assert!(!replay.completed);
+        assert_eq!(replay.io, 10);
+    }
+
+    #[test]
+    fn shrinking_profile_evicts() {
+        // Trace: touch blocks 1..=4, then re-touch them after the cache
+        // shrinks; the re-touches must miss.
+        let mut tracer = cadapt_trace::Tracer::new(1);
+        for blk in [1u64, 2, 3, 4, 1, 2, 3, 4] {
+            tracer.touch(blk);
+        }
+        let trace = tracer.into_trace();
+        // Cache: 4 blocks for the first 4 I/Os, then 1 block.
+        let profile = MemoryProfile::from_segments(vec![
+            Segment { size: 4, len: 4 },
+            Segment { size: 1, len: 100 },
+        ])
+        .unwrap();
+        let replay = replay_memory_profile(&trace, &profile);
+        assert!(replay.completed);
+        // First pass: 4 misses. Second pass: cache shrunk to 1 → 4 misses.
+        assert_eq!(replay.io, 8);
+    }
+
+    #[test]
+    fn square_vs_abstract_report_shape() {
+        // The trace-level report and the ideal formula agree that a box of
+        // the working-set size completes everything in one box.
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_inplace(&a, &b, 4);
+        let n = trace.distinct_blocks();
+        let mut source = ConstantSource::new(n);
+        let report = replay_square_profile(&trace, &mut source, Potential::new(8, 4));
+        assert_eq!(report.boxes_used, 1);
+        assert!((report.ratio() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! Realistic fluctuating-cache generators (experiment E10).
+//!
+//! The paper's introduction motivates cache-adaptivity with two real-world
+//! patterns:
+//!
+//! * the **winner-take-all sawtooth** — a process's cache allocation slowly
+//!   grows to the maximum (the cache grows by at most one block per I/O in
+//!   the CA model) and then crashes down when the cache is flushed or a
+//!   competitor wins ([`sawtooth`]);
+//! * **multi-tenant fair sharing** — k processes share a fixed cache; our
+//!   process's share is total/k, and k changes as tenants arrive and depart
+//!   ([`multi_tenant`]).
+//!
+//! Both return arbitrary [`MemoryProfile`]s; square-approximate them with
+//! [`MemoryProfile::inner_squares`](cadapt_core::MemoryProfile::inner_squares)
+//! before feeding the execution drivers. The E10 experiment shows these
+//! profiles behave like the paper's *smoothed* profiles (constant
+//! adaptivity ratio), not like the adversarial construction.
+
+use cadapt_core::memory_profile::Segment;
+use cadapt_core::{Blocks, Io, MemoryProfile};
+use rand::Rng;
+
+/// Winner-take-all sawtooth: starting at `m_min`, the cache grows by one
+/// block per I/O up to `m_max`, dwells there for `plateau` I/Os, then
+/// crashes back to `m_min`; the pattern repeats until at least `duration`
+/// I/Os are covered.
+///
+/// # Panics
+///
+/// Panics unless 1 ≤ m_min ≤ m_max and duration ≥ 1.
+#[must_use]
+pub fn sawtooth(m_min: Blocks, m_max: Blocks, plateau: Io, duration: Io) -> MemoryProfile {
+    assert!(m_min >= 1 && m_min <= m_max, "need 1 <= m_min <= m_max");
+    assert!(duration >= 1, "duration must be positive");
+    let mut segments = Vec::new();
+    let mut elapsed: Io = 0;
+    while elapsed < duration {
+        // Ramp: one I/O per size step (the CA model's +1 growth rule).
+        for size in m_min..=m_max {
+            segments.push(Segment { size, len: 1 });
+        }
+        elapsed += Io::from(m_max - m_min + 1);
+        if plateau > 0 {
+            segments.push(Segment {
+                size: m_max,
+                len: plateau,
+            });
+            elapsed += plateau;
+        }
+        // The crash is instantaneous (shrinking is unrestricted).
+    }
+    MemoryProfile::from_segments(segments).expect("sawtooth sizes are positive")
+}
+
+/// Multi-tenant fair sharing: `total` blocks of cache are split evenly among
+/// the active tenants (us plus the others). Tenant count evolves by a lazy
+/// random walk: every `epoch` I/Os, with probability `churn` a tenant
+/// arrives or departs (equally likely, clamped to [1, max_tenants]).
+/// Our share is ⌊total / tenants⌋, at least 1.
+///
+/// # Panics
+///
+/// Panics unless total ≥ 1, max_tenants ≥ 1, epoch ≥ 1, duration ≥ 1 and
+/// churn ∈ [0, 1].
+pub fn multi_tenant<R: Rng>(
+    total: Blocks,
+    max_tenants: u64,
+    epoch: Io,
+    churn: f64,
+    duration: Io,
+    rng: &mut R,
+) -> MemoryProfile {
+    assert!(
+        total >= 1 && max_tenants >= 1,
+        "need total >= 1 and max_tenants >= 1"
+    );
+    assert!(
+        epoch >= 1 && duration >= 1,
+        "need positive epoch and duration"
+    );
+    assert!((0.0..=1.0).contains(&churn), "churn must be a probability");
+    let mut segments = Vec::new();
+    let mut tenants: u64 = 1 + rng.gen_range(0..max_tenants);
+    let mut elapsed: Io = 0;
+    while elapsed < duration {
+        let share = (total / tenants).max(1);
+        let len = epoch.min(duration - elapsed);
+        segments.push(Segment { size: share, len });
+        elapsed += len;
+        if rng.gen_bool(churn) {
+            if rng.gen_bool(0.5) {
+                tenants = (tenants + 1).min(max_tenants);
+            } else {
+                tenants = tenants.saturating_sub(1).max(1);
+            }
+        }
+    }
+    MemoryProfile::from_segments(segments).expect("shares are positive")
+}
+
+/// A lazy random walk obeying the CA model's growth rule: each I/O the
+/// cache grows by one block with probability `up_prob`; otherwise, with
+/// probability `crash_prob`, it drops to a uniformly random level in
+/// [m_min, current]; else it holds. Produces the "breathing" cache shapes
+/// between the sawtooth's extremes and fair sharing's steps.
+///
+/// # Panics
+///
+/// Panics unless 1 ≤ m_min ≤ m_max, duration ≥ 1, and the probabilities
+/// are in [0, 1].
+pub fn random_walk<R: Rng>(
+    m_min: Blocks,
+    m_max: Blocks,
+    up_prob: f64,
+    crash_prob: f64,
+    duration: Io,
+    rng: &mut R,
+) -> MemoryProfile {
+    assert!(m_min >= 1 && m_min <= m_max, "need 1 <= m_min <= m_max");
+    assert!(duration >= 1, "duration must be positive");
+    assert!(
+        (0.0..=1.0).contains(&up_prob),
+        "up_prob must be a probability"
+    );
+    assert!(
+        (0.0..=1.0).contains(&crash_prob),
+        "crash_prob must be a probability"
+    );
+    let mut segments = Vec::new();
+    let mut size = m_min;
+    let mut run: Io = 0;
+    let mut elapsed: Io = 0;
+    while elapsed < duration {
+        elapsed += 1;
+        run += 1;
+        let next = if rng.gen_bool(up_prob) {
+            (size + 1).min(m_max)
+        } else if rng.gen_bool(crash_prob) {
+            rng.gen_range(m_min..=size)
+        } else {
+            size
+        };
+        if next != size {
+            segments.push(Segment { size, len: run });
+            size = next;
+            run = 0;
+        }
+    }
+    if run > 0 {
+        segments.push(Segment { size, len: run });
+    }
+    MemoryProfile::from_segments(segments).expect("sizes are positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sawtooth_shape() {
+        let p = sawtooth(1, 4, 2, 10);
+        // One period: sizes 1,2,3,4 (one I/O each) then 4 for 2 I/Os.
+        assert_eq!(p.value_at(0), Some(1));
+        assert_eq!(p.value_at(3), Some(4));
+        assert_eq!(p.value_at(5), Some(4));
+        // Crash: next period starts at 1 again.
+        assert_eq!(p.value_at(6), Some(1));
+        assert!(p.total_time() >= 10);
+    }
+
+    #[test]
+    fn sawtooth_respects_growth_rule() {
+        // Except at crashes (which are legal shrinks), growth is +1 per I/O:
+        // the whole profile must validate.
+        let p = sawtooth(2, 16, 5, 200);
+        assert!(p.validate_growth().is_ok());
+    }
+
+    #[test]
+    fn sawtooth_squares_cover_duration() {
+        let p = sawtooth(1, 8, 4, 100);
+        let sq = p.inner_squares();
+        assert_eq!(sq.total_time(), p.total_time());
+        assert!(sq.max_box().unwrap() <= 8);
+    }
+
+    #[test]
+    fn multi_tenant_shares() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = multi_tenant(64, 8, 16, 0.5, 1000, &mut rng);
+        assert_eq!(p.total_time(), 1000);
+        // Every share divides the total fairly and is at least 1.
+        for seg in p.segments() {
+            assert!(seg.size >= 64 / 8 && seg.size <= 64, "share {}", seg.size);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_share_one_floor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // More tenants than blocks: share clamps to 1.
+        let p = multi_tenant(2, 10, 8, 1.0, 200, &mut rng);
+        assert!(p.segments().iter().all(|s| s.size >= 1));
+    }
+
+    #[test]
+    fn multi_tenant_varies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let p = multi_tenant(64, 8, 4, 0.9, 2000, &mut rng);
+        // With heavy churn the share should take several distinct values.
+        let distinct: std::collections::HashSet<_> = p.segments().iter().map(|s| s.size).collect();
+        assert!(
+            distinct.len() >= 3,
+            "only {} distinct shares",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = multi_tenant(32, 4, 8, 0.3, 500, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = multi_tenant(32, 4, 8, 0.3, 500, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_walk_respects_bounds_and_growth_rule() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let p = random_walk(2, 32, 0.4, 0.05, 5000, &mut rng);
+        assert_eq!(p.total_time(), 5000);
+        assert!(p.segments().iter().all(|s| (2..=32).contains(&s.size)));
+        // +1 growth per I/O is the only way up: the profile must validate.
+        assert!(p.validate_growth().is_ok());
+    }
+
+    #[test]
+    fn random_walk_visits_multiple_levels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let p = random_walk(1, 64, 0.5, 0.02, 10_000, &mut rng);
+        let distinct: std::collections::HashSet<_> = p.segments().iter().map(|s| s.size).collect();
+        assert!(distinct.len() > 10, "only {} levels", distinct.len());
+    }
+
+    #[test]
+    fn random_walk_squares_cover_duration() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let p = random_walk(1, 16, 0.3, 0.1, 2000, &mut rng);
+        let sq = p.inner_squares();
+        assert_eq!(sq.total_time(), p.total_time());
+    }
+}

@@ -1,0 +1,31 @@
+//! # cadapt-profiles — the memory profiles of the paper
+//!
+//! Generators for every profile family the paper analyses:
+//!
+//! * [`worst_case`] — the recursive adversarial profile M_{a,b}(n) of §3/§4
+//!   (Figure 1): a copies of M_{a,b}(n/b) followed by a box of size n. On it,
+//!   an (a, b, 1)-regular algorithm pays the full Θ(log_b n) adaptivity gap.
+//! * [`dist`] — box-size distributions Σ for the smoothing theorem
+//!   (Theorem 1/3): i.i.d. draws from *any* distribution make the algorithm
+//!   cache-adaptive in expectation. Includes the empirical multiset of an
+//!   arbitrary profile (the "random reshuffling" headline) and a
+//!   without-replacement permutation variant.
+//! * [`perturb`] — the three weak smoothings of §4 that provably do *not*
+//!   close the gap: multiplicative box-size noise, random cyclic start
+//!   shifts, and box-order (big-box placement) perturbations.
+//! * [`contention`] — realistic fluctuating-cache generators from the
+//!   paper's introduction: the winner-take-all sawtooth and a multi-tenant
+//!   fair-share model. These produce arbitrary profiles m(t); compose with
+//!   [`MemoryProfile::inner_squares`](cadapt_core::MemoryProfile) to obtain
+//!   square profiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod dist;
+pub mod perturb;
+pub mod worst_case;
+
+pub use dist::{BoxDist, DistSource};
+pub use worst_case::{MatchedWorstCase, WorstCase};

@@ -1,0 +1,490 @@
+//! The recursive worst-case profile M_{a,b}(n) (§3, Figure 1).
+//!
+//! Construction: M_{a,b}(min_size) is a single box of size min_size;
+//! M_{a,b}(n) is a copies of M_{a,b}(n/b) followed by one box of size n.
+//! Equivalently, the boxes are the post-order traversal of the complete
+//! a-ary recursion tree, each node of size m emitting one box of size m
+//! after its children.
+//!
+//! Intuition (§3): the profile gives the algorithm a big cache exactly when
+//! it is scanning (cannot use it) and a tiny cache when it is recursing
+//! (could use it). On M_{a,b}(n), an (a, b, 1)-regular algorithm with scans
+//! at the end consumes *every* box — each box of size m completes exactly
+//! the size-m scan (or base case) it was sized for — so the bounded
+//! potential sum is Σ_k a^{D−k} · ρ(min·b^k) = Θ(n^{log_b a} · log_b n):
+//! the logarithmic gap.
+//!
+//! Profiles at experiment sizes have millions of boxes, so the generator is
+//! a streaming [`BoxSource`]; [`WorstCase::materialize`] exists for small
+//! instances and tests.
+
+use cadapt_core::{Blocks, BoxSource, CoreError, Io, Potential, SquareProfile};
+use cadapt_recursion::AbcParams;
+
+/// Description of a worst-case profile M_{a,b} for problems of size
+/// min_size · b^depth.
+///
+/// ```
+/// use cadapt_profiles::WorstCase;
+/// use cadapt_recursion::{run_on_profile, AbcParams, RunConfig};
+///
+/// let params = AbcParams::mm_scan();
+/// let worst = WorstCase::for_problem(&params, 256)?;
+/// let report = run_on_profile(
+///     params, 256, &mut worst.source(), &RunConfig::default(),
+/// ).expect("completes");
+/// // The Theorem 2 gap, exactly: log_4 256 + 1.
+/// assert_eq!(report.ratio(), 5.0);
+/// # Ok::<(), cadapt_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorstCase {
+    a: u64,
+    b: u64,
+    min_size: Blocks,
+    depth: u32,
+}
+
+impl WorstCase {
+    /// The worst-case profile with explicit parameters: boxes range from
+    /// `min_size` up to `min_size · b^depth`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a < 1, b < 2, or min_size < 1.
+    pub fn new(a: u64, b: u64, min_size: Blocks, depth: u32) -> Result<Self, CoreError> {
+        if a < 1 || b < 2 || min_size < 1 {
+            return Err(CoreError::InvalidParameter {
+                name: "worst_case",
+                message: format!(
+                    "need a >= 1, b >= 2, min_size >= 1; got a={a}, b={b}, min_size={min_size}"
+                ),
+            });
+        }
+        Ok(WorstCase {
+            a,
+            b,
+            min_size,
+            depth,
+        })
+    }
+
+    /// The worst-case profile tailored to `params` on a problem of `n`
+    /// blocks: boxes bottom out at the algorithm's base-case size.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if `n` is not canonical for `params`.
+    pub fn for_problem(params: &AbcParams, n: Blocks) -> Result<Self, CoreError> {
+        let depth = params
+            .depth_of(n)
+            .ok_or_else(|| CoreError::InvalidParameter {
+                name: "n",
+                message: format!("{n} is not a canonical size for {params}"),
+            })?;
+        WorstCase::new(params.a(), params.b(), params.base(), depth)
+    }
+
+    /// The branching factor a.
+    #[must_use]
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// The shrink factor b.
+    #[must_use]
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+
+    /// The smallest box size.
+    #[must_use]
+    pub fn min_size(&self) -> Blocks {
+        self.min_size
+    }
+
+    /// The recursion depth of the construction.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Box size emitted by tree level k: min_size · b^k.
+    #[must_use]
+    pub fn box_at_level(&self, k: u32) -> Blocks {
+        let mut v = self.min_size;
+        for _ in 0..k {
+            v = v.checked_mul(self.b).expect("box size overflows u64");
+        }
+        v
+    }
+
+    /// Largest box in the profile (the root's).
+    #[must_use]
+    pub fn max_box(&self) -> Blocks {
+        self.box_at_level(self.depth)
+    }
+
+    /// Number of boxes emitted by level k: a^{depth − k}.
+    #[must_use]
+    pub fn boxes_at_level(&self, k: u32) -> u128 {
+        u128::from(self.a).pow(self.depth - k)
+    }
+
+    /// Total number of boxes: Σ_k a^{depth − k} = (a^{depth+1} − 1)/(a − 1)
+    /// for a > 1, depth + 1 for a = 1.
+    #[must_use]
+    pub fn num_boxes(&self) -> u128 {
+        (0..=self.depth).map(|k| self.boxes_at_level(k)).sum()
+    }
+
+    /// Total duration Σ |□| in I/Os.
+    #[must_use]
+    pub fn total_time(&self) -> Io {
+        (0..=self.depth)
+            .map(|k| self.boxes_at_level(k) * Io::from(self.box_at_level(k)))
+            .sum()
+    }
+
+    /// Total potential Σ ρ(|□|). With min_size = 1 this is exactly
+    /// (depth + 1) · a^depth — the log_b n factor over the required
+    /// progress a^depth.
+    #[must_use]
+    pub fn total_potential(&self, rho: &Potential) -> f64 {
+        (0..=self.depth)
+            .map(|k| self.boxes_at_level(k) as f64 * rho.eval(self.box_at_level(k)))
+            .sum()
+    }
+
+    /// The box multiset as (size, count) pairs, smallest first. This is the
+    /// input to the empirical-distribution smoothing (Theorem 1 applied to
+    /// the adversary's own boxes).
+    #[must_use]
+    pub fn box_multiset(&self) -> Vec<(Blocks, u128)> {
+        (0..=self.depth)
+            .map(|k| (self.box_at_level(k), self.boxes_at_level(k)))
+            .collect()
+    }
+
+    /// Streaming source of the profile's boxes, in construction order,
+    /// repeating from the start when exhausted (the algorithm it is built
+    /// for finishes exactly at the end of one period).
+    #[must_use]
+    pub fn source(&self) -> WorstCaseSource {
+        WorstCaseSource {
+            wc: *self,
+            stack: vec![NodeState {
+                level: self.depth,
+                emitted: 0,
+            }],
+        }
+    }
+
+    /// Materialise the whole profile. Only for small depths — the box count
+    /// grows as a^depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has more than 2^32 boxes.
+    #[must_use]
+    pub fn materialize(&self) -> SquareProfile {
+        let count = self.num_boxes();
+        assert!(
+            count <= u128::from(u32::MAX),
+            "profile too large to materialise"
+        );
+        let mut source = self.source();
+        SquareProfile::take_from(&mut source, count as usize)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    level: u32,
+    emitted: u64,
+}
+
+/// Worst-case profile *matched to an algorithm's scan layout*: walks the
+/// recursion structure of `params` and emits one box per non-empty scan
+/// chunk, sized exactly to the chunk, plus one box per base case. For the
+/// canonical `End` layout with c = 1 this reproduces [`WorstCase`] exactly;
+/// for `Start`/`Split` layouts it is the adversary adapted to where the
+/// scans actually sit (the construction behind the paper's claim that
+/// upfront-scan algorithms are WLOG). Cycles when exhausted.
+#[derive(Debug, Clone)]
+pub struct MatchedWorstCase {
+    params: AbcParams,
+    depth: u32,
+    /// (level, next phase index). Phase p encodes: even p = chunk slot
+    /// p/2 (about to emit its box, if non-empty), odd p = child (p−1)/2.
+    stack: Vec<(u32, u64)>,
+}
+
+impl MatchedWorstCase {
+    /// The matched adversary for `params` on problems of size `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if `n` is not canonical for `params`.
+    pub fn new(params: AbcParams, n: Blocks) -> Result<Self, CoreError> {
+        let depth = params
+            .depth_of(n)
+            .ok_or_else(|| CoreError::InvalidParameter {
+                name: "n",
+                message: format!("{n} is not a canonical size for {params}"),
+            })?;
+        Ok(MatchedWorstCase {
+            params,
+            depth,
+            stack: Vec::new(),
+        })
+    }
+
+    fn node_size(&self, level: u32) -> Blocks {
+        self.params.canonical_size(level)
+    }
+}
+
+impl BoxSource for MatchedWorstCase {
+    fn next_box(&mut self) -> Blocks {
+        loop {
+            let Some(&(level, phase)) = self.stack.last() else {
+                self.stack.push((self.depth, 0));
+                continue;
+            };
+            if level == 0 {
+                // Base case: one box of the base-case size.
+                self.stack.pop();
+                if let Some(top) = self.stack.last_mut() {
+                    top.1 += 1;
+                }
+                return self.params.base();
+            }
+            let phases = 2 * self.params.a() + 1;
+            if phase >= phases {
+                self.stack.pop();
+                if let Some(top) = self.stack.last_mut() {
+                    top.1 += 1;
+                }
+                continue;
+            }
+            if phase % 2 == 0 {
+                // Chunk slot phase: emit a box matching the chunk, if any.
+                let slot = phase / 2;
+                let len = self.params.scan_chunk(self.node_size(level), slot);
+                self.stack.last_mut().expect("nonempty").1 += 1;
+                if len > 0 {
+                    return len;
+                }
+                continue;
+            }
+            // Child phase: descend (the child bumps our phase when done).
+            self.stack.push((level - 1, 0));
+        }
+    }
+}
+
+/// Streaming post-order box generator for [`WorstCase`]; cycles when one
+/// period of the profile is exhausted.
+#[derive(Debug, Clone)]
+pub struct WorstCaseSource {
+    wc: WorstCase,
+    stack: Vec<NodeState>,
+}
+
+impl BoxSource for WorstCaseSource {
+    fn next_box(&mut self) -> Blocks {
+        loop {
+            if self.stack.is_empty() {
+                // One full period emitted: cycle.
+                self.stack.push(NodeState {
+                    level: self.wc.depth,
+                    emitted: 0,
+                });
+            }
+            let top = *self.stack.last().expect("nonempty");
+            if top.level == 0 || top.emitted == self.wc.a {
+                // Leaf, or all children emitted: emit this node's box.
+                let size = self.wc.box_at_level(top.level);
+                self.stack.pop();
+                if let Some(parent) = self.stack.last_mut() {
+                    parent.emitted += 1;
+                }
+                return size;
+            }
+            self.stack.push(NodeState {
+                level: top.level - 1,
+                emitted: 0,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadapt_recursion::{run_on_profile, RunConfig};
+
+    #[test]
+    fn depth_zero_is_single_box() {
+        let wc = WorstCase::new(8, 4, 1, 0).unwrap();
+        assert_eq!(wc.materialize().boxes(), &[1]);
+        assert_eq!(wc.num_boxes(), 1);
+    }
+
+    #[test]
+    fn depth_one_structure() {
+        // a children of size 1, then the root box of size b.
+        let wc = WorstCase::new(3, 2, 1, 1).unwrap();
+        assert_eq!(wc.materialize().boxes(), &[1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn depth_two_structure() {
+        let wc = WorstCase::new(2, 2, 1, 2).unwrap();
+        // M(4) = M(2) M(2) [4]; M(2) = [1,1,2].
+        assert_eq!(wc.materialize().boxes(), &[1, 1, 2, 1, 1, 2, 4]);
+    }
+
+    #[test]
+    fn counts_match_closed_forms() {
+        let wc = WorstCase::new(8, 4, 1, 3).unwrap();
+        let profile = wc.materialize();
+        assert_eq!(profile.len() as u128, wc.num_boxes());
+        assert_eq!(profile.total_time(), wc.total_time());
+        let rho = Potential::new(8, 4);
+        let measured = profile.total_potential(&rho);
+        assert!((measured - wc.total_potential(&rho)).abs() < 1e-6);
+        // (depth+1) · a^depth = 4 · 512 = 2048 for min_size 1.
+        assert!((wc.total_potential(&rho) - 2048.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_cycles() {
+        let wc = WorstCase::new(2, 2, 1, 1).unwrap();
+        let mut s = wc.source();
+        let one_period: Vec<_> = (0..3).map(|_| s.next_box()).collect();
+        assert_eq!(one_period, vec![1, 1, 2]);
+        let second: Vec<_> = (0..3).map(|_| s.next_box()).collect();
+        assert_eq!(second, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn respects_min_size() {
+        let wc = WorstCase::new(8, 4, 4, 2).unwrap();
+        assert_eq!(wc.box_at_level(0), 4);
+        assert_eq!(wc.max_box(), 64);
+        let profile = wc.materialize();
+        assert_eq!(profile.min_box(), Some(4));
+    }
+
+    #[test]
+    fn for_problem_matches_params() {
+        let params = AbcParams::mm_scan();
+        let wc = WorstCase::for_problem(&params, 256).unwrap();
+        assert_eq!(wc.max_box(), 256);
+        assert_eq!(wc.num_boxes(), 8u128.pow(4) + 8u128.pow(3) + 64 + 8 + 1);
+        assert!(WorstCase::for_problem(&params, 100).is_err());
+    }
+
+    #[test]
+    fn algorithm_consumes_exactly_one_period() {
+        // The defining property: MM-Scan on M_{8,4}(n) uses every box, each
+        // box completing exactly its matching scan or base case.
+        let params = AbcParams::mm_scan();
+        for n in [4u64, 16, 64, 256] {
+            let wc = WorstCase::for_problem(&params, n).unwrap();
+            let mut source = wc.source();
+            let report = run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap();
+            assert_eq!(u128::from(report.boxes_used), wc.num_boxes(), "n = {n}");
+            // Ratio = (log_4 n + 1): the logarithmic gap.
+            let expected = (params.depth_of(n).unwrap() + 1) as f64;
+            assert!(
+                (report.ratio() - expected).abs() < 1e-9,
+                "n = {n}: ratio {} vs {expected}",
+                report.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn box_multiset_sums_to_num_boxes() {
+        let wc = WorstCase::new(7, 4, 1, 3).unwrap();
+        let total: u128 = wc.box_multiset().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, wc.num_boxes());
+    }
+
+    #[test]
+    fn matched_reproduces_canonical_for_end_layout() {
+        let params = AbcParams::mm_scan();
+        let wc = WorstCase::for_problem(&params, 64).unwrap();
+        let canonical = wc.materialize();
+        let mut matched = MatchedWorstCase::new(params, 64).unwrap();
+        let boxes: Vec<Blocks> = (0..canonical.len()).map(|_| matched.next_box()).collect();
+        assert_eq!(boxes, canonical.boxes());
+    }
+
+    #[test]
+    fn matched_start_layout_puts_big_boxes_first() {
+        use cadapt_recursion::ScanLayout;
+        let params = AbcParams::mm_scan().with_layout(ScanLayout::Start);
+        let mut matched = MatchedWorstCase::new(params, 16).unwrap();
+        // Root scan box (16) first, then the first size-4 node's scan box
+        // (4), then its eight leaf boxes.
+        assert_eq!(matched.next_box(), 16);
+        assert_eq!(matched.next_box(), 4);
+        for _ in 0..8 {
+            assert_eq!(matched.next_box(), 1);
+        }
+        // Second size-4 node.
+        assert_eq!(matched.next_box(), 4);
+    }
+
+    #[test]
+    fn matched_split_layout_conserves_scan_mass() {
+        use cadapt_recursion::ScanLayout;
+        let params = AbcParams::mm_scan().with_layout(ScanLayout::Split);
+        let n = 64u64;
+        let wc = WorstCase::for_problem(&AbcParams::mm_scan(), n).unwrap();
+        let count = wc.num_boxes() as usize;
+        let mut matched = MatchedWorstCase::new(params, n).unwrap();
+        // One period has the same total time as the canonical profile: the
+        // scan mass is redistributed, not changed. Split may produce a
+        // different box *count* (empty chunks are skipped; split chunks of
+        // tiny scans can vanish), so compare total time over one period by
+        // summing until the period repeats — here simply sum `count` worth
+        // of canonical boxes vs the same serial mass from matched boxes.
+        let canonical_time: u128 = wc.total_time();
+        let mut matched_time: u128 = 0;
+        let mut matched_boxes = 0usize;
+        while matched_time < canonical_time {
+            matched_time += u128::from(matched.next_box());
+            matched_boxes += 1;
+            assert!(matched_boxes < 10 * count, "runaway");
+        }
+        assert_eq!(matched_time, canonical_time, "scan mass must be conserved");
+    }
+
+    #[test]
+    fn matched_cycles() {
+        let params = AbcParams::mm_scan();
+        let wc = WorstCase::for_problem(&params, 16).unwrap();
+        let count = wc.num_boxes() as usize;
+        let mut matched = MatchedWorstCase::new(params, 16).unwrap();
+        let first: Vec<Blocks> = (0..count).map(|_| matched.next_box()).collect();
+        let second: Vec<Blocks> = (0..count).map(|_| matched.next_box()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn matched_rejects_bad_size() {
+        assert!(MatchedWorstCase::new(AbcParams::mm_scan(), 60).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(WorstCase::new(0, 4, 1, 2).is_err());
+        assert!(WorstCase::new(8, 1, 1, 2).is_err());
+        assert!(WorstCase::new(8, 4, 0, 2).is_err());
+    }
+}

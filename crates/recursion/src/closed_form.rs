@@ -1,0 +1,251 @@
+//! Exact closed forms for (a, b, c)-regular executions.
+//!
+//! The execution cursor never materialises the recursion tree; instead it
+//! jumps over whole subtrees using the per-level tables computed here:
+//! subtree leaf counts, scan lengths, and serial times
+//! T(k) = a · T(k−1) + scan(size(k)) with T(0) = base.
+
+use crate::params::AbcParams;
+use cadapt_core::{Blocks, CoreError, Io, Leaves};
+
+/// Per-level tables for a problem of canonical size n = base · b^K.
+///
+/// Level k refers to subproblems of size base · b^k; level K is the root and
+/// level 0 the base case.
+#[derive(Debug, Clone)]
+pub struct ClosedForms {
+    params: AbcParams,
+    /// size[k] = base · b^k.
+    sizes: Vec<Blocks>,
+    /// leaves[k] = a^k: base cases in a level-k subtree.
+    leaves: Vec<Leaves>,
+    /// scan[k] = scan_len(size[k]): total scan accesses of one level-k node.
+    scans: Vec<u64>,
+    /// time[k] = serial accesses of a level-k subtree.
+    times: Vec<Io>,
+}
+
+impl ClosedForms {
+    /// Build tables for a problem of size `n` blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if `n` is not a canonical size
+    /// (base · b^k) for `params`, or if a table entry overflows.
+    pub fn for_size(params: AbcParams, n: Blocks) -> Result<Self, CoreError> {
+        let depth = params
+            .depth_of(n)
+            .ok_or_else(|| CoreError::InvalidParameter {
+                name: "n",
+                message: format!(
+                    "{n} is not a canonical problem size (base {} times a power of {})",
+                    params.base(),
+                    params.b()
+                ),
+            })?;
+        let levels = depth as usize + 1;
+        let mut sizes: Vec<Blocks> = Vec::with_capacity(levels);
+        let mut leaves: Vec<Leaves> = Vec::with_capacity(levels);
+        let mut scans: Vec<u64> = Vec::with_capacity(levels);
+        let mut times: Vec<Io> = Vec::with_capacity(levels);
+        let overflow = |what: &'static str| CoreError::InvalidParameter {
+            name: "n",
+            message: format!("{what} overflows at n = {n}"),
+        };
+        for k in 0..levels {
+            let size = params.canonical_size(k as u32);
+            sizes.push(size);
+            let leaf: Leaves = if k == 0 {
+                1
+            } else {
+                leaves[k - 1]
+                    .checked_mul(Leaves::from(params.a()))
+                    .ok_or_else(|| overflow("leaf count"))?
+            };
+            leaves.push(leaf);
+            let scan = params.scan_len(size);
+            scans.push(scan);
+            let time: Io = if k == 0 {
+                // A base case of `base` blocks performs `base` accesses.
+                Io::from(params.base())
+            } else {
+                times[k - 1]
+                    .checked_mul(Io::from(params.a()))
+                    .and_then(|t| t.checked_add(Io::from(scan)))
+                    .ok_or_else(|| overflow("serial time"))?
+            };
+            times.push(time);
+        }
+        Ok(ClosedForms {
+            params,
+            sizes,
+            leaves,
+            scans,
+            times,
+        })
+    }
+
+    /// The parameters these tables were built for.
+    #[must_use]
+    pub fn params(&self) -> &AbcParams {
+        &self.params
+    }
+
+    /// Root depth K (number of recursion levels below the root).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        (self.sizes.len() - 1) as u32
+    }
+
+    /// Problem size at level k.
+    #[must_use]
+    pub fn size(&self, k: u32) -> Blocks {
+        self.sizes[k as usize]
+    }
+
+    /// Root problem size n.
+    #[must_use]
+    pub fn root_size(&self) -> Blocks {
+        *self.sizes.last().expect("tables are never empty")
+    }
+
+    /// Base cases in one level-k subtree: a^k.
+    #[must_use]
+    pub fn leaves(&self, k: u32) -> Leaves {
+        self.leaves[k as usize]
+    }
+
+    /// Base cases in the whole problem: a^K.
+    #[must_use]
+    pub fn total_leaves(&self) -> Leaves {
+        *self.leaves.last().expect("tables are never empty")
+    }
+
+    /// Total scan accesses of one level-k node (not counting descendants).
+    #[must_use]
+    pub fn scan(&self, k: u32) -> u64 {
+        self.scans[k as usize]
+    }
+
+    /// Serial accesses of a level-k subtree: T(k) = a·T(k−1) + scan(k).
+    #[must_use]
+    pub fn time(&self, k: u32) -> Io {
+        self.times[k as usize]
+    }
+
+    /// Serial accesses of the whole problem.
+    #[must_use]
+    pub fn total_time(&self) -> Io {
+        *self.times.last().expect("tables are never empty")
+    }
+
+    /// The largest level whose subtree size is ≤ `s` blocks, or `None` if
+    /// even a base case exceeds `s`. This is the level a size-s box
+    /// "completes to the end of" under the §4 simplified model.
+    #[must_use]
+    pub fn level_fitting(&self, s: Blocks) -> Option<u32> {
+        if s < self.sizes[0] {
+            return None;
+        }
+        // sizes are strictly increasing; linear scan is fine (≤ ~40 levels).
+        let mut level = 0u32;
+        for (k, &size) in self.sizes.iter().enumerate().skip(1) {
+            if size <= s {
+                level = k as u32;
+            } else {
+                break;
+            }
+        }
+        Some(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_scan_tables() {
+        let p = AbcParams::mm_scan();
+        let cf = ClosedForms::for_size(p, 64).unwrap();
+        assert_eq!(cf.depth(), 3);
+        assert_eq!(cf.size(0), 1);
+        assert_eq!(cf.size(3), 64);
+        assert_eq!(cf.leaves(3), 512); // 8^3
+        assert_eq!(cf.total_leaves(), 512);
+        // T(0)=1, T(1)=8·1+4=12, T(2)=8·12+16=112, T(3)=8·112+64=960.
+        assert_eq!(cf.time(0), 1);
+        assert_eq!(cf.time(1), 12);
+        assert_eq!(cf.time(2), 112);
+        assert_eq!(cf.total_time(), 960);
+        assert_eq!(cf.scan(3), 64);
+    }
+
+    #[test]
+    fn mm_inplace_tables() {
+        let p = AbcParams::mm_inplace();
+        let cf = ClosedForms::for_size(p, 16).unwrap();
+        // T(0)=1, T(1)=8+1=9, T(2)=72+1=73. Scans are Θ(1).
+        assert_eq!(cf.scan(2), 1);
+        assert_eq!(cf.time(2), 73);
+        assert_eq!(cf.leaves(2), 64);
+    }
+
+    #[test]
+    fn non_canonical_size_rejected() {
+        let p = AbcParams::mm_scan();
+        assert!(ClosedForms::for_size(p, 60).is_err());
+        assert!(ClosedForms::for_size(p, 0).is_err());
+    }
+
+    #[test]
+    fn respects_base() {
+        let p = AbcParams::mm_scan().with_base(4);
+        let cf = ClosedForms::for_size(p, 64).unwrap();
+        assert_eq!(cf.depth(), 2);
+        assert_eq!(cf.size(0), 4);
+        // T(0) = 4 (base blocks -> 4 accesses), T(1) = 8·4+16 = 48,
+        // T(2) = 8·48 + 64 = 448.
+        assert_eq!(cf.total_time(), 448);
+        assert_eq!(cf.total_leaves(), 64);
+    }
+
+    #[test]
+    fn level_fitting() {
+        let p = AbcParams::mm_scan();
+        let cf = ClosedForms::for_size(p, 64).unwrap();
+        assert_eq!(cf.level_fitting(0), None);
+        assert_eq!(cf.level_fitting(1), Some(0));
+        assert_eq!(cf.level_fitting(3), Some(0));
+        assert_eq!(cf.level_fitting(4), Some(1));
+        assert_eq!(cf.level_fitting(63), Some(2));
+        assert_eq!(cf.level_fitting(64), Some(3));
+        assert_eq!(cf.level_fitting(1 << 40), Some(3)); // clamped at root
+    }
+
+    #[test]
+    fn deep_tables_do_not_overflow_u128() {
+        // n = 4^20 with (8,4,1): leaves 8^20 ≈ 1.15e18, time ~ n^1.5 — all
+        // comfortably inside u128.
+        let p = AbcParams::mm_scan();
+        let n = 4u64.pow(20);
+        let cf = ClosedForms::for_size(p, n).unwrap();
+        assert_eq!(cf.total_leaves(), 8u128.pow(20));
+        assert!(cf.total_time() > cf.total_leaves());
+    }
+
+    #[test]
+    fn time_matches_recursive_definition_strassen() {
+        let p = AbcParams::strassen();
+        let cf = ClosedForms::for_size(p, 256).unwrap();
+        // Independent recursive evaluation.
+        fn t(p: &AbcParams, n: u64) -> u128 {
+            if n == p.base() {
+                u128::from(p.base())
+            } else {
+                u128::from(p.a()) * t(p, n / p.b()) + u128::from(p.scan_len(n))
+            }
+        }
+        assert_eq!(cf.total_time(), t(&p, 256));
+    }
+}

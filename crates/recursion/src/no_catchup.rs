@@ -1,0 +1,165 @@
+//! The No-Catch-up Lemma (Lemma 2) as an executable predicate.
+//!
+//! *Delaying the start of an algorithm can never help it finish earlier.*
+//! Formally: fix a square sequence S = (□_1, …, □_k). If running S from
+//! reference position r_i ends at r_j, then running S from any earlier
+//! r_{i'} (i' < i) ends at some r_{j'} with j' ≤ j.
+//!
+//! The lemma is a primitive of every robustness proof in §4 of the paper
+//! (it is what lets a perturbed profile "re-synchronise" with the
+//! algorithm). Here it becomes a property we can test directly against the
+//! execution models: [`final_positions`] runs the same box sequence from two
+//! start offsets and returns the two final serial positions;
+//! [`no_catchup_holds`] checks the earlier start does not finish later.
+
+use crate::closed_form::ClosedForms;
+use crate::cursor::ExecCursor;
+use crate::model::ExecModel;
+use crate::params::AbcParams;
+use cadapt_core::{Blocks, CoreError, Io};
+
+/// Run `boxes` from serial offsets `start_early ≤ start_late` and return the
+/// final serial positions (earlier start first).
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] for a non-canonical `n`.
+///
+/// # Panics
+///
+/// Panics if `start_early > start_late`.
+pub fn final_positions(
+    params: AbcParams,
+    n: Blocks,
+    boxes: &[Blocks],
+    start_early: Io,
+    start_late: Io,
+    model: ExecModel,
+) -> Result<(Io, Io), CoreError> {
+    assert!(start_early <= start_late, "offsets must be ordered");
+    let cf = ClosedForms::for_size(params, n)?;
+    let run = |start: Io| {
+        let mut cursor = ExecCursor::new(cf.clone());
+        let _ = cursor.advance_accesses(start);
+        for &b in boxes {
+            if cursor.is_done() {
+                break;
+            }
+            let _ = model.advance(&mut cursor, b);
+        }
+        cursor.serial_position()
+    };
+    Ok((run(start_early), run(start_late)))
+}
+
+/// Does the No-Catch-up Lemma hold for this instance? (It always should;
+/// a `false` here is a bug in the execution model.)
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] for a non-canonical `n`.
+pub fn no_catchup_holds(
+    params: AbcParams,
+    n: Blocks,
+    boxes: &[Blocks],
+    start_early: Io,
+    start_late: Io,
+    model: ExecModel,
+) -> Result<bool, CoreError> {
+    let (early, late) = final_positions(params, n, boxes, start_early, start_late, model)?;
+    Ok(early <= late)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_instance() {
+        assert!(no_catchup_holds(
+            AbcParams::mm_scan(),
+            64,
+            &[4, 16, 4],
+            0,
+            100,
+            ExecModel::Simplified,
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn equal_starts_tie() {
+        let (a, b) = final_positions(
+            AbcParams::mm_scan(),
+            64,
+            &[16, 16],
+            50,
+            50,
+            ExecModel::Simplified,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn no_catchup_simplified(
+            boxes in proptest::collection::vec(
+                prop_oneof![Just(1u64), Just(2), Just(4), Just(16), Just(64), 1u64..100],
+                1..40,
+            ),
+            s1 in 0u64..1000,
+            s2 in 0u64..1000,
+        ) {
+            let (early, late) = (s1.min(s2), s1.max(s2));
+            prop_assert!(no_catchup_holds(
+                AbcParams::mm_scan(),
+                64,
+                &boxes,
+                Io::from(early),
+                Io::from(late),
+                ExecModel::Simplified,
+            ).unwrap());
+        }
+
+        #[test]
+        fn no_catchup_capacity(
+            boxes in proptest::collection::vec(1u64..200, 1..40),
+            s1 in 0u64..1000,
+            s2 in 0u64..1000,
+        ) {
+            let (early, late) = (s1.min(s2), s1.max(s2));
+            prop_assert!(no_catchup_holds(
+                AbcParams::mm_scan(),
+                64,
+                &boxes,
+                Io::from(early),
+                Io::from(late),
+                ExecModel::capacity(),
+            ).unwrap());
+        }
+
+        #[test]
+        fn no_catchup_other_params(
+            boxes in proptest::collection::vec(1u64..64, 1..30),
+            s1 in 0u64..500,
+            s2 in 0u64..500,
+        ) {
+            let (early, late) = (s1.min(s2), s1.max(s2));
+            for params in [AbcParams::strassen(), AbcParams::co_dp()] {
+                let n = params.canonical_size(4);
+                prop_assert!(no_catchup_holds(
+                    params,
+                    n,
+                    &boxes,
+                    Io::from(early),
+                    Io::from(late),
+                    ExecModel::Simplified,
+                ).unwrap());
+            }
+        }
+    }
+}

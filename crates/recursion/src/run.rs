@@ -1,0 +1,214 @@
+//! Drivers: run an (a, b, c)-regular execution against a box source.
+
+use crate::closed_form::ClosedForms;
+use crate::cursor::ExecCursor;
+use crate::model::ExecModel;
+use crate::params::AbcParams;
+use cadapt_core::{AdaptivityReport, Blocks, BoxRecord, BoxSource, CoreError, ProgressLedger};
+
+/// Configuration of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Box semantics.
+    pub model: ExecModel,
+    /// Abort after this many boxes (safety net against degenerate
+    /// profiles; worst-case profiles at the largest benchmark sizes use
+    /// tens of millions of boxes, so the default is generous).
+    pub max_boxes: u64,
+    /// Retain the per-box history in the report's ledger.
+    pub retain_history: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            model: ExecModel::Simplified,
+            max_boxes: 2_000_000_000,
+            retain_history: false,
+        }
+    }
+}
+
+/// Run failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The problem size was not canonical for the parameters.
+    BadSize(CoreError),
+    /// The box cap was hit before the execution completed.
+    BoxBudgetExhausted {
+        /// The configured cap.
+        max_boxes: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::BadSize(e) => write!(f, "bad problem size: {e}"),
+            RunError::BoxBudgetExhausted { max_boxes } => {
+                write!(f, "execution did not complete within {max_boxes} boxes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Run algorithm `params` on a problem of `n` blocks against boxes drawn
+/// from `source`, returning the adaptivity report.
+///
+/// ```
+/// use cadapt_core::profile::ConstantSource;
+/// use cadapt_recursion::{run_on_profile, AbcParams, RunConfig};
+///
+/// // MM-Scan on constant boxes of 16 blocks, problem size 64:
+/// let mut source = ConstantSource::new(16);
+/// let report = run_on_profile(
+///     AbcParams::mm_scan(), 64, &mut source, &RunConfig::default(),
+/// )?;
+/// assert_eq!(report.boxes_used, 12); // 8 subproblems + 4 boxes of scan
+/// assert_eq!(report.ratio(), 1.5);
+/// # Ok::<(), cadapt_recursion::RunError>(())
+/// ```
+///
+/// The final box is recorded with its *used* I/O count, and the bounded
+/// potential sum uses full box sizes — Eq. 2's "don't bother rounding down
+/// the final square" convention, which it is insensitive to by construction.
+///
+/// # Errors
+///
+/// [`RunError::BadSize`] if `n` is not canonical; [`RunError::BoxBudgetExhausted`]
+/// if `config.max_boxes` boxes did not complete the problem.
+pub fn run_on_profile<S: BoxSource>(
+    params: AbcParams,
+    n: Blocks,
+    source: &mut S,
+    config: &RunConfig,
+) -> Result<AdaptivityReport, RunError> {
+    let ledger = run_with_ledger(params, n, source, config)?;
+    Ok(ledger.finish())
+}
+
+/// As [`run_on_profile`], but returns the raw ledger (with per-box history
+/// when `config.retain_history` is set).
+///
+/// # Errors
+///
+/// See [`run_on_profile`].
+pub fn run_with_ledger<S: BoxSource>(
+    params: AbcParams,
+    n: Blocks,
+    source: &mut S,
+    config: &RunConfig,
+) -> Result<ProgressLedger, RunError> {
+    let cf = ClosedForms::for_size(params, n).map_err(RunError::BadSize)?;
+    let mut cursor = ExecCursor::new(cf);
+    let rho = params.potential();
+    let mut ledger = if config.retain_history {
+        ProgressLedger::retaining(rho, n)
+    } else {
+        ProgressLedger::new(rho, n)
+    };
+    while !cursor.is_done() {
+        if ledger.boxes_used() >= config.max_boxes {
+            return Err(RunError::BoxBudgetExhausted {
+                max_boxes: config.max_boxes,
+            });
+        }
+        let size = source.next_box();
+        let out = config.model.advance(&mut cursor, size);
+        ledger.record(BoxRecord {
+            size,
+            progress: out.progress,
+            used: out.used,
+        });
+    }
+    Ok(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadapt_core::profile::ConstantSource;
+    use cadapt_core::SquareProfile;
+
+    #[test]
+    fn constant_boxes_complete_mm_scan() {
+        let mut source = ConstantSource::new(16);
+        let report =
+            run_on_profile(AbcParams::mm_scan(), 64, &mut source, &RunConfig::default()).unwrap();
+        // 8 boxes complete the 8 size-16 subtrees, then 4 boxes of 16
+        // drain the root scan of 64.
+        assert_eq!(report.boxes_used, 12);
+        assert_eq!(report.total_progress, 512);
+        // Ratio: 12 · 16^1.5 / 64^1.5 = 12 · 64 / 512 = 1.5.
+        assert!((report.ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_model_also_completes() {
+        let mut source = ConstantSource::new(16);
+        let config = RunConfig {
+            model: ExecModel::capacity(),
+            ..RunConfig::default()
+        };
+        let report = run_on_profile(AbcParams::mm_scan(), 64, &mut source, &config).unwrap();
+        assert_eq!(report.total_progress, 512);
+        assert!(report.boxes_used > 0);
+    }
+
+    #[test]
+    fn box_budget_error() {
+        let mut source = ConstantSource::new(1);
+        let config = RunConfig {
+            max_boxes: 3,
+            ..RunConfig::default()
+        };
+        let err = run_on_profile(AbcParams::mm_scan(), 64, &mut source, &config).unwrap_err();
+        assert_eq!(err, RunError::BoxBudgetExhausted { max_boxes: 3 });
+    }
+
+    #[test]
+    fn bad_size_error() {
+        let mut source = ConstantSource::new(4);
+        let err = run_on_profile(AbcParams::mm_scan(), 63, &mut source, &RunConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, RunError::BadSize(_)));
+    }
+
+    #[test]
+    fn history_retention() {
+        let profile = SquareProfile::new(vec![64]).unwrap();
+        let mut source = profile.extended(1);
+        let config = RunConfig {
+            retain_history: true,
+            ..RunConfig::default()
+        };
+        let ledger = run_with_ledger(AbcParams::mm_scan(), 64, &mut source, &config).unwrap();
+        let history = ledger.history().unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].size, 64);
+        assert_eq!(history[0].progress, 512);
+    }
+
+    #[test]
+    fn single_giant_box_is_optimal() {
+        let mut source = ConstantSource::new(1 << 20);
+        let report = run_on_profile(
+            AbcParams::mm_scan(),
+            256,
+            &mut source,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.boxes_used, 1);
+        // Bounded potential: min(n, huge)^1.5 = n^1.5 -> ratio exactly 1.
+        assert!((report.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_errors_display() {
+        let e = RunError::BoxBudgetExhausted { max_boxes: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,419 @@
+//! Naive reference execution — an independent, O(tree-size)
+//! re-implementation of both box models used to cross-validate
+//! [`ExecCursor`](crate::ExecCursor).
+//!
+//! The cursor is heavily optimised (subtree skipping, closed-form jumps);
+//! the implementations here instead materialise the execution explicitly —
+//! [`enumerate_segments`] lists every scan chunk and base case with its tree
+//! path — and simulate box consumption segment by segment. They are only
+//! usable for small problems, which is exactly what tests need: any
+//! divergence between the two implementations is a bug in one of them.
+
+use crate::closed_form::ClosedForms;
+use cadapt_core::{BoxRecord, BoxSource, Io, Leaves};
+
+/// One maximal run of consecutive accesses in the execution: either a scan
+/// chunk of an internal node or a base case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Level of the node this segment belongs to.
+    pub level: u32,
+    /// Length in accesses (> 0; empty chunks are omitted).
+    pub len: u64,
+    /// Child indices from the root to the owning node (empty = the root).
+    pub path: Vec<u64>,
+    /// Is this a base case (as opposed to scan work)?
+    pub is_base: bool,
+}
+
+/// Materialise the execution of a problem as its segment list, in order.
+///
+/// Only for small problems: the list has Θ(a^depth) entries.
+#[must_use]
+pub fn enumerate_segments(cf: &ClosedForms) -> Vec<Segment> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    push_node(cf, cf.depth(), &mut path, &mut out);
+    out
+}
+
+fn push_node(cf: &ClosedForms, k: u32, path: &mut Vec<u64>, out: &mut Vec<Segment>) {
+    let params = cf.params();
+    if k == 0 {
+        out.push(Segment {
+            level: 0,
+            len: params.base(),
+            path: path.clone(),
+            is_base: true,
+        });
+        return;
+    }
+    for slot in 0..=params.a() {
+        let len = params.scan_chunk(cf.size(k), slot);
+        if len > 0 {
+            out.push(Segment {
+                level: k,
+                len,
+                path: path.clone(),
+                is_base: false,
+            });
+        }
+        if slot < params.a() {
+            path.push(slot);
+            push_node(cf, k - 1, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Naive simplified-model run: returns the per-box records, in order.
+///
+/// Semantics mirror
+/// [`ExecCursor::advance_box_simplified`](crate::ExecCursor::advance_box_simplified)
+/// but are computed by walking the explicit segment list.
+///
+/// # Panics
+///
+/// Panics if `max_boxes` boxes do not complete the execution.
+#[must_use]
+pub fn naive_simplified_run<S: BoxSource>(
+    cf: &ClosedForms,
+    source: &mut S,
+    max_boxes: u64,
+) -> Vec<BoxRecord> {
+    let segs = enumerate_segments(cf);
+    let depth = cf.depth();
+    let mut records = Vec::new();
+    let mut pos = 0usize; // current segment
+    let mut off = 0u64; // accesses done within it
+    while pos < segs.len() {
+        assert!((records.len() as u64) < max_boxes, "box budget exhausted");
+        let s = source.next_box();
+        let seg = &segs[pos];
+        if cf.size(seg.level) <= s {
+            // Complete the largest enclosing problem of size ≤ s.
+            let j = cf.level_fitting(s).expect("segment level fits");
+            let prefix = (depth - j) as usize;
+            let anchor = segs[pos].path[..prefix].to_vec();
+            let mut progress: Leaves = 0;
+            while pos < segs.len()
+                && segs[pos].path.len() >= prefix
+                && segs[pos].path[..prefix] == anchor[..]
+            {
+                progress += Leaves::from(segs[pos].is_base);
+                pos += 1;
+            }
+            off = 0;
+            records.push(BoxRecord {
+                size: s,
+                progress,
+                used: Io::from(cf.size(j).min(s)),
+            });
+        } else {
+            // Scan (or undersized-box base-case) advancement within the
+            // current segment.
+            let avail = seg.len - off;
+            let take = avail.min(s);
+            off += take;
+            let mut progress: Leaves = 0;
+            if off == seg.len {
+                progress += Leaves::from(seg.is_base);
+                pos += 1;
+                off = 0;
+            }
+            records.push(BoxRecord {
+                size: s,
+                progress,
+                used: Io::from(take),
+            });
+        }
+    }
+    records
+}
+
+/// Naive capacity-model run over the explicit segment list.
+///
+/// Semantics mirror
+/// [`ExecCursor::advance_box_capacity`](crate::ExecCursor::advance_box_capacity):
+/// at every step the run either
+/// completes the remainder of the largest enclosing subtree whose charge
+/// min(cost_factor · size, remaining accesses) fits the box's remaining
+/// budget, or streams one run of accesses of the current segment. All
+/// "remaining accesses" quantities are recomputed from the segment list
+/// (quadratic, tests only).
+///
+/// # Panics
+///
+/// Panics if `max_boxes` boxes do not complete the execution.
+#[must_use]
+pub fn naive_capacity_run<S: BoxSource>(
+    cf: &ClosedForms,
+    source: &mut S,
+    cost_factor: u64,
+    max_boxes: u64,
+) -> Vec<BoxRecord> {
+    let segs = enumerate_segments(cf);
+    let depth = cf.depth() as usize;
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut off = 0u64;
+    // Remaining accesses in the subtree rooted at the ancestor with path
+    // prefix of length `prefix` over the current position.
+    let remaining_in = |pos: usize, off: u64, prefix: usize| -> Io {
+        let anchor = &segs[pos].path[..prefix.min(segs[pos].path.len())];
+        let mut total: Io = 0;
+        for seg in &segs[pos..] {
+            if seg.path.len() < prefix || seg.path[..prefix] != *anchor {
+                break;
+            }
+            total += Io::from(seg.len);
+        }
+        total - Io::from(off)
+    };
+    while pos < segs.len() {
+        assert!((records.len() as u64) < max_boxes, "box budget exhausted");
+        let size = source.next_box();
+        let mut left = Io::from(size);
+        let mut progress: Leaves = 0;
+        'spend: while left > 0 && pos < segs.len() {
+            // Jump rule: highest enclosing subtree whose remainder fits.
+            // Ancestors correspond to path prefixes 0 (root) ..= path len;
+            // a prefix of length p is a node at level depth − p. Prefixes
+            // longer than the current segment's path do not denote
+            // enclosing nodes.
+            for prefix in 0..=segs[pos].path.len() {
+                let level = (depth - prefix) as u32;
+                let working_set = Io::from(cf.size(level)) * Io::from(cost_factor);
+                let remaining = remaining_in(pos, off, prefix);
+                let charge = working_set.min(remaining);
+                if charge <= left {
+                    left -= charge;
+                    // Count base segments in the skipped remainder,
+                    // including a partially-done current base segment.
+                    let anchor = segs[pos].path[..prefix].to_vec();
+                    while pos < segs.len()
+                        && segs[pos].path.len() >= prefix
+                        && segs[pos].path[..prefix] == anchor[..]
+                    {
+                        progress += Leaves::from(segs[pos].is_base);
+                        pos += 1;
+                    }
+                    off = 0;
+                    continue 'spend;
+                }
+            }
+            // Stream within the current segment.
+            let avail = Io::from(segs[pos].len - off);
+            let take = avail.min(left);
+            left -= take;
+            off += take as u64;
+            if off == segs[pos].len {
+                progress += Leaves::from(segs[pos].is_base);
+                pos += 1;
+                off = 0;
+            }
+        }
+        records.push(BoxRecord {
+            size,
+            progress,
+            used: Io::from(size) - left,
+        });
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::ExecCursor;
+    use crate::params::{AbcParams, ScanLayout};
+    use cadapt_core::profile::ConstantSource;
+    use cadapt_core::Blocks;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// A box source drawing uniformly from a fixed set of sizes.
+    struct RandomSource {
+        rng: ChaCha8Rng,
+        sizes: Vec<Blocks>,
+    }
+
+    impl BoxSource for RandomSource {
+        fn next_box(&mut self) -> Blocks {
+            self.sizes[self.rng.gen_range(0..self.sizes.len())]
+        }
+    }
+
+    #[test]
+    fn segment_lengths_sum_to_total_time() {
+        for params in [
+            AbcParams::mm_scan(),
+            AbcParams::mm_inplace(),
+            AbcParams::strassen(),
+            AbcParams::co_dp(),
+            AbcParams::mm_scan().with_layout(ScanLayout::Start),
+            AbcParams::mm_scan().with_layout(ScanLayout::Split),
+            AbcParams::mm_scan().with_base(4),
+        ] {
+            let n = params.canonical_size(3);
+            let cf = ClosedForms::for_size(params, n).unwrap();
+            let segs = enumerate_segments(&cf);
+            let total: Io = segs.iter().map(|s| Io::from(s.len)).sum();
+            assert_eq!(total, cf.total_time(), "{params}");
+            let bases = segs.iter().filter(|s| s.is_base).count();
+            assert_eq!(bases as u128, cf.total_leaves(), "{params}");
+        }
+    }
+
+    #[test]
+    fn segments_are_in_serial_order() {
+        let cf = ClosedForms::for_size(AbcParams::mm_scan(), 64).unwrap();
+        let segs = enumerate_segments(&cf);
+        // Base cases appear in lexicographic path order.
+        let base_paths: Vec<_> = segs
+            .iter()
+            .filter(|s| s.is_base)
+            .map(|s| s.path.clone())
+            .collect();
+        let mut sorted = base_paths.clone();
+        sorted.sort();
+        assert_eq!(base_paths, sorted);
+    }
+
+    fn cursor_run_simplified<S: BoxSource>(cf: &ClosedForms, source: &mut S) -> Vec<BoxRecord> {
+        let mut cursor = ExecCursor::new(cf.clone());
+        let mut out = Vec::new();
+        while !cursor.is_done() {
+            let s = source.next_box();
+            let o = cursor.advance_box_simplified(s);
+            out.push(BoxRecord {
+                size: s,
+                progress: o.progress,
+                used: o.used,
+            });
+            assert!(out.len() < 1_000_000);
+        }
+        out
+    }
+
+    fn cursor_run_capacity<S: BoxSource>(
+        cf: &ClosedForms,
+        source: &mut S,
+        cost_factor: u64,
+    ) -> Vec<BoxRecord> {
+        let mut cursor = ExecCursor::new(cf.clone());
+        let mut out = Vec::new();
+        while !cursor.is_done() {
+            let s = source.next_box();
+            let o = cursor.advance_box_capacity(s, cost_factor);
+            out.push(BoxRecord {
+                size: s,
+                progress: o.progress,
+                used: o.used,
+            });
+            assert!(out.len() < 1_000_000);
+        }
+        out
+    }
+
+    fn all_test_params() -> Vec<AbcParams> {
+        vec![
+            AbcParams::mm_scan(),
+            AbcParams::mm_inplace(),
+            AbcParams::strassen(),
+            AbcParams::co_dp(),
+            AbcParams::a_equals_b(),
+            AbcParams::a_below_b(),
+            AbcParams::mm_scan().with_layout(ScanLayout::Start),
+            AbcParams::mm_scan().with_layout(ScanLayout::Split),
+            AbcParams::co_dp().with_layout(ScanLayout::Split),
+            AbcParams::mm_scan().with_base(4),
+        ]
+    }
+
+    #[test]
+    fn cursor_matches_naive_simplified_constant_boxes() {
+        for params in all_test_params() {
+            let n = params.canonical_size(3);
+            let cf = ClosedForms::for_size(params, n).unwrap();
+            for s in [1u64, 2, params.base(), 4 * params.base(), n, 3 * n] {
+                let naive = naive_simplified_run(&cf, &mut ConstantSource::new(s), 1_000_000);
+                let fast = cursor_run_simplified(&cf, &mut ConstantSource::new(s));
+                assert_eq!(naive, fast, "{params}, box {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_matches_naive_simplified_random_boxes() {
+        for params in all_test_params() {
+            let n = params.canonical_size(3);
+            let cf = ClosedForms::for_size(params, n).unwrap();
+            for seed in 0..10u64 {
+                let sizes: Vec<Blocks> =
+                    vec![1, 2, 3, params.base(), 4 * params.base(), n / 2, n, 2 * n];
+                let mut a = RandomSource {
+                    rng: ChaCha8Rng::seed_from_u64(seed),
+                    sizes: sizes.clone(),
+                };
+                let mut b = RandomSource {
+                    rng: ChaCha8Rng::seed_from_u64(seed),
+                    sizes,
+                };
+                let naive = naive_simplified_run(&cf, &mut a, 1_000_000);
+                let fast = cursor_run_simplified(&cf, &mut b);
+                assert_eq!(naive, fast, "{params}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_matches_naive_capacity() {
+        for params in all_test_params() {
+            let n = params.canonical_size(3);
+            let cf = ClosedForms::for_size(params, n).unwrap();
+            for cost_factor in [1u64, 2, 4] {
+                for seed in 0..5u64 {
+                    let sizes: Vec<Blocks> = vec![1, 2, params.base(), 8 * params.base(), n, 2 * n];
+                    let mut a = RandomSource {
+                        rng: ChaCha8Rng::seed_from_u64(seed),
+                        sizes: sizes.clone(),
+                    };
+                    let mut b = RandomSource {
+                        rng: ChaCha8Rng::seed_from_u64(seed),
+                        sizes,
+                    };
+                    let naive = naive_capacity_run(&cf, &mut a, cost_factor, 1_000_000);
+                    let fast = cursor_run_capacity(&cf, &mut b, cost_factor);
+                    assert_eq!(naive, fast, "{params}, cf {cost_factor}, seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_capacity_progress_totals_leaves() {
+        let cf = ClosedForms::for_size(AbcParams::mm_scan(), 64).unwrap();
+        let records = naive_capacity_run(&cf, &mut ConstantSource::new(5), 1, 1_000_000);
+        let total: Leaves = records.iter().map(|r| r.progress).sum();
+        assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn deeper_cross_check_simplified() {
+        // One deeper instance (depth 4) to catch depth-related bugs.
+        let params = AbcParams::mm_scan();
+        let cf = ClosedForms::for_size(params, 256).unwrap();
+        let mut a = RandomSource {
+            rng: ChaCha8Rng::seed_from_u64(42),
+            sizes: vec![1, 4, 16, 64, 256, 1024],
+        };
+        let mut b = RandomSource {
+            rng: ChaCha8Rng::seed_from_u64(42),
+            sizes: vec![1, 4, 16, 64, 256, 1024],
+        };
+        let naive = naive_simplified_run(&cf, &mut a, 10_000_000);
+        let fast = cursor_run_simplified(&cf, &mut b);
+        assert_eq!(naive, fast);
+    }
+}

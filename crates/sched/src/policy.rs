@@ -1,0 +1,150 @@
+//! Cache-allocation policies: who gets how much of the shared cache.
+
+use cadapt_core::Blocks;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A policy assigning each live job a share of the machine's `total`
+/// blocks for the coming round. Shares must sum to at most `total`;
+/// a job may receive 0 (it idles that round).
+pub trait AllocationPolicy {
+    /// Compute shares for `live` jobs (identified by index). `round` is the
+    /// scheduler's round counter.
+    fn allocate(&mut self, live: usize, total: Blocks, round: u64) -> Vec<Blocks>;
+
+    /// Human-readable label for tables.
+    fn label(&self) -> String;
+}
+
+/// Fair static partitioning: every live job gets ⌊total / live⌋.
+///
+/// When a job finishes, the survivors' shares grow automatically — the
+/// redistribution the paper's intro describes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualShares;
+
+impl AllocationPolicy for EqualShares {
+    fn allocate(&mut self, live: usize, total: Blocks, _round: u64) -> Vec<Blocks> {
+        if live == 0 {
+            return Vec::new();
+        }
+        vec![(total / live as u64).max(1); live]
+    }
+
+    fn label(&self) -> String {
+        "equal-shares".to_string()
+    }
+}
+
+/// Random churn: each round the shares are a fresh random split of the
+/// cache (a symmetric Dirichlet-ish split via stick breaking on uniform
+/// weights). Models bursty co-tenants grabbing and releasing cache.
+#[derive(Debug)]
+pub struct ChurnShares {
+    rng: ChaCha8Rng,
+}
+
+impl ChurnShares {
+    /// Churning shares driven by the given RNG.
+    #[must_use]
+    pub fn new(rng: ChaCha8Rng) -> Self {
+        ChurnShares { rng }
+    }
+}
+
+impl AllocationPolicy for ChurnShares {
+    fn allocate(&mut self, live: usize, total: Blocks, _round: u64) -> Vec<Blocks> {
+        if live == 0 {
+            return Vec::new();
+        }
+        // Random positive weights, normalised to the total.
+        let weights: Vec<f64> = (0..live).map(|_| self.rng.gen_range(0.05..1.0)).collect();
+        let sum: f64 = weights.iter().sum();
+        weights
+            .iter()
+            .map(|w| (((w / sum) * total as f64).floor() as u64).max(1))
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        "churn".to_string()
+    }
+}
+
+/// Winner-take-all: one job monopolises the cache for a stretch of rounds,
+/// then the crown moves on — the cache-residency-imbalance phenomenon
+/// (Dice, Marathe, Shavit, SPAA '14) cited in the paper's introduction.
+/// Losers receive a single block (they crawl).
+#[derive(Debug, Clone, Copy)]
+pub struct WinnerTakeAll {
+    /// Rounds each winner holds the cache.
+    pub reign: u64,
+}
+
+impl AllocationPolicy for WinnerTakeAll {
+    fn allocate(&mut self, live: usize, total: Blocks, round: u64) -> Vec<Blocks> {
+        if live == 0 {
+            return Vec::new();
+        }
+        let winner = ((round / self.reign.max(1)) % live as u64) as usize;
+        let loser_share = 1u64;
+        let winner_share = total.saturating_sub(loser_share * (live as u64 - 1)).max(1);
+        (0..live)
+            .map(|i| {
+                if i == winner {
+                    winner_share
+                } else {
+                    loser_share
+                }
+            })
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        format!("winner-take-all({})", self.reign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equal_shares_split_evenly_and_grow_on_departure() {
+        let mut p = EqualShares;
+        assert_eq!(p.allocate(4, 64, 0), vec![16, 16, 16, 16]);
+        assert_eq!(p.allocate(2, 64, 1), vec![32, 32]);
+        assert_eq!(p.allocate(0, 64, 2), Vec::<Blocks>::new());
+    }
+
+    #[test]
+    fn equal_shares_floor_at_one() {
+        let mut p = EqualShares;
+        assert_eq!(p.allocate(10, 4, 0), vec![1; 10]);
+    }
+
+    #[test]
+    fn churn_shares_sum_within_total_and_vary() {
+        let mut p = ChurnShares::new(ChaCha8Rng::seed_from_u64(1));
+        let a = p.allocate(4, 1000, 0);
+        let b = p.allocate(4, 1000, 1);
+        assert_ne!(a, b, "churn must churn");
+        for shares in [&a, &b] {
+            assert!(shares.iter().sum::<u64>() <= 1000 + 4);
+            assert!(shares.iter().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn winner_rotates() {
+        let mut p = WinnerTakeAll { reign: 2 };
+        let r0 = p.allocate(3, 100, 0);
+        let r1 = p.allocate(3, 100, 1);
+        let r2 = p.allocate(3, 100, 2);
+        assert_eq!(r0, r1, "same winner within a reign");
+        assert_ne!(r0, r2, "crown moves after the reign");
+        assert_eq!(r0.iter().max(), Some(&98));
+        assert_eq!(r0.iter().filter(|&&s| s == 1).count(), 2);
+    }
+}

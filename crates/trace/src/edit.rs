@@ -1,0 +1,221 @@
+//! Traced cache-oblivious edit distance — the boundary method,
+//! (4, 2, 1)-regular.
+//!
+//! The classic cache-oblivious dynamic program (in the style of
+//! Chowdhury–Ramachandran): an s × s region of the DP grid is solved from
+//! its top/left input boundaries by recursing into its four s/2 × s/2
+//! quadrants in dependency order (TL, TR, BL, BR) and stitching their
+//! boundaries with linear scans. With problem "size" measured by the string
+//! length, each problem spawns 4 half-size subproblems plus Θ(s) scan work
+//! — a = 4 > b = 2, c = 1: the gap regime, with a different (a, b) than the
+//! matrix-multiplication family.
+//!
+//! The implementation computes the true Levenshtein distance (verified
+//! against the textbook O(n²) DP) while tracing every access to the
+//! strings and boundary buffers.
+
+use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+
+struct EditCtx<'a> {
+    space: &'a mut AddressSpace,
+    tracer: &'a mut Tracer,
+    x: TracedBuf,
+    y: TracedBuf,
+}
+
+impl EditCtx<'_> {
+    /// Traced copy of `src[off .. off + len]` into a fresh buffer (a scan).
+    fn copy_scan(&mut self, src: &TracedBuf, off: usize, len: usize) -> TracedBuf {
+        let mut out = self.space.alloc(len);
+        for i in 0..len {
+            let v = src.read(off + i, self.tracer);
+            out.write(i, v, self.tracer);
+        }
+        out
+    }
+
+    /// Traced concatenation of two buffers (a scan).
+    fn concat_scan(&mut self, a: &TracedBuf, b: &TracedBuf) -> TracedBuf {
+        let mut out = self.space.alloc(a.len() + b.len());
+        for i in 0..a.len() {
+            let v = a.read(i, self.tracer);
+            out.write(i, v, self.tracer);
+        }
+        for i in 0..b.len() {
+            let v = b.read(i, self.tracer);
+            out.write(a.len() + i, v, self.tracer);
+        }
+        out
+    }
+
+    /// Solve the s × s region with top-left cell (i0, j0) (0-based string
+    /// indices), given `top[j] = D[i0][j0 + j + 1]`, `left[i] =
+    /// D[i0 + i + 1][j0]`, and `corner = D[i0][j0]`. Returns (bottom,
+    /// right): `bottom[j] = D[i0 + s][j0 + j + 1]`, `right[i] =
+    /// D[i0 + i + 1][j0 + s]`.
+    fn solve(
+        &mut self,
+        i0: usize,
+        j0: usize,
+        s: usize,
+        top: &TracedBuf,
+        left: &TracedBuf,
+        corner: f64,
+    ) -> (TracedBuf, TracedBuf) {
+        debug_assert_eq!(top.len(), s);
+        debug_assert_eq!(left.len(), s);
+        if s == 1 {
+            let xc = self.x.read(i0, self.tracer);
+            let yc = self.y.read(j0, self.tracer);
+            let t = top.read(0, self.tracer);
+            let l = left.read(0, self.tracer);
+            let sub = corner + f64::from(xc != yc);
+            let d = sub.min(t + 1.0).min(l + 1.0);
+            let mut bottom = self.space.alloc(1);
+            bottom.write(0, d, self.tracer);
+            let mut right = self.space.alloc(1);
+            right.write(0, d, self.tracer);
+            self.tracer.leaf();
+            return (bottom, right);
+        }
+        let h = s / 2;
+        // Boundary splits (linear scans).
+        let top_l = self.copy_scan(top, 0, h);
+        let top_r = self.copy_scan(top, h, h);
+        let left_t = self.copy_scan(left, 0, h);
+        let left_b = self.copy_scan(left, h, h);
+        // Corners for the side quadrants come off the parent boundaries.
+        let corner_tr = top.read(h - 1, self.tracer);
+        let corner_bl = left.read(h - 1, self.tracer);
+
+        let (bot_tl, right_tl) = self.solve(i0, j0, h, &top_l, &left_t, corner);
+        let corner_br = bot_tl.read(h - 1, self.tracer);
+        let (bot_tr, right_tr) = self.solve(i0, j0 + h, h, &top_r, &right_tl, corner_tr);
+        let (bot_bl, right_bl) = self.solve(i0 + h, j0, h, &bot_tl, &left_b, corner_bl);
+        let (bot_br, right_br) = self.solve(i0 + h, j0 + h, h, &bot_tr, &right_bl, corner_br);
+
+        // Stitch output boundaries (linear scans).
+        let bottom = self.concat_scan(&bot_bl, &bot_br);
+        let right = self.concat_scan(&right_tr, &right_br);
+        (bottom, right)
+    }
+}
+
+/// Compute the Levenshtein distance between two equal-length strings whose
+/// length is a power of two, tracing at block size `block_words`.
+///
+/// # Panics
+///
+/// Panics unless `x.len() == y.len()` and the length is a positive power of
+/// two.
+#[must_use]
+pub fn edit_distance(x: &[u8], y: &[u8], block_words: u64) -> (u64, BlockTrace) {
+    assert_eq!(x.len(), y.len(), "strings must have equal length");
+    let n = x.len();
+    assert!(
+        n.is_power_of_two(),
+        "length must be a positive power of two"
+    );
+    let mut space = AddressSpace::new(block_words);
+    let mut tracer = Tracer::new(block_words);
+    let xs: Vec<f64> = x.iter().map(|&c| f64::from(c)).collect();
+    let ys: Vec<f64> = y.iter().map(|&c| f64::from(c)).collect();
+    let tx = space.alloc_from(&xs);
+    let ty = space.alloc_from(&ys);
+    // Initial boundaries: D[0][j] = j, D[i][0] = i.
+    let top_init: Vec<f64> = (1..=n).map(|j| j as f64).collect();
+    let left_init: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+    let top = space.alloc_from(&top_init);
+    let left = space.alloc_from(&left_init);
+    let mut ctx = EditCtx {
+        space: &mut space,
+        tracer: &mut tracer,
+        x: tx,
+        y: ty,
+    };
+    let (bottom, _right) = ctx.solve(0, 0, n, &top, &left, 0.0);
+    let d = bottom.read(n - 1, &mut tracer);
+    (d as u64, tracer.into_trace())
+}
+
+/// Textbook O(n²) Levenshtein distance (reference for verification).
+#[must_use]
+pub fn naive_edit_distance(x: &[u8], y: &[u8]) -> u64 {
+    let (n, m) = (x.len(), y.len());
+    let mut prev: Vec<u64> = (0..=m as u64).collect();
+    let mut cur = vec![0u64; m + 1];
+    for i in 1..=n {
+        cur[0] = i as u64;
+        for j in 1..=m {
+            let sub = prev[j - 1] + u64::from(x[i - 1] != y[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn identical_strings_have_distance_zero() {
+        let s = b"abcdabcd";
+        let (d, _) = edit_distance(s, s, 4);
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(edit_distance(b"ab", b"ba", 1).0, 2);
+        assert_eq!(edit_distance(b"abcd", b"abcf", 1).0, 1);
+        assert_eq!(edit_distance(b"aaaa", b"bbbb", 1).0, 4);
+        // Classic kitten/sitting needs equal power-of-two lengths; use a
+        // padded variant checked against the naive DP instead.
+        let x = b"kittenxx";
+        let y = b"sittingx";
+        assert_eq!(edit_distance(x, y, 1).0, naive_edit_distance(x, y));
+    }
+
+    #[test]
+    fn matches_naive_on_random_strings() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            for _ in 0..5 {
+                let x: Vec<u8> = (0..n).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+                let y: Vec<u8> = (0..n).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+                let (d, _) = edit_distance(&x, &y, 2);
+                assert_eq!(d, naive_edit_distance(&x, &y), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_count_is_quadratic() {
+        let x = b"abcdefgh";
+        let y = b"hgfedcba";
+        let (_, t) = edit_distance(x, y, 1);
+        assert_eq!(t.leaves(), 64, "one leaf per DP cell");
+    }
+
+    #[test]
+    fn naive_reference_sanity() {
+        assert_eq!(naive_edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(naive_edit_distance(b"", b"abc"), 3);
+        assert_eq!(naive_edit_distance(b"abc", b""), 3);
+    }
+
+    #[test]
+    fn trace_has_scan_structure() {
+        // The boundary method does Θ(n log n)-ish extra scan accesses over
+        // the n² cell updates; at the very least the access count exceeds
+        // 4 per cell (each cell reads x, y, top, left and writes two).
+        let x = b"abcdefghabcdefgh";
+        let y = b"aacdefghabcdefgg";
+        let (_, t) = edit_distance(x, y, 1);
+        assert!(t.accesses() > 6 * 256);
+    }
+}

@@ -1,0 +1,278 @@
+//! Traced Gaussian Elimination Paradigm kernel: recursive Floyd–Warshall
+//! (Kleene's algorithm) over the (min, +) semiring.
+//!
+//! The GEP family (Chowdhury–Ramachandran '10) covers Gaussian elimination
+//! without pivoting, Floyd–Warshall APSP, and LU decomposition — all
+//! sharing the I-GEP recursion whose I/O recurrence matches matrix
+//! multiplication: the paper lists Gaussian elimination among the
+//! (8, 4, 1)-regular gap-regime algorithms.
+//!
+//! The concrete instance here computes all-pairs shortest paths by the
+//! recursive 2×2 blocked Kleene scheme:
+//!
+//! ```text
+//!   A = [A11 A12]      A11 ← fw(A11)
+//!       [A21 A22]      A12 ← A11 ⊗ A12,  A21 ← A21 ⊗ A11
+//!                      A22 ← A22 ⊕ (A21 ⊗ A12)
+//!                      A22 ← fw(A22)
+//!                      A21 ← A22 ⊗ A21,  A12 ← A12 ⊗ A22
+//!                      A11 ← A11 ⊕ (A12 ⊗ A21)
+//! ```
+//!
+//! with ⊗ the (min, +) matrix product (computed by the in-place recursive
+//! multiply — the MM-Inplace structure over the tropical semiring) and ⊕
+//! element-wise min. Verified against the textbook cubic Floyd–Warshall.
+
+use crate::matrix::ZMatrix;
+use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+
+/// Edge-weight infinity for the (min, +) semiring; large enough that two
+/// additions never overflow f64 precision, small enough to round-trip.
+pub const INF: f64 = 1e15;
+
+/// Tropical (min, +) in-place product: C[i][j] ← min(C[i][j], A ⊗ B) over
+/// the Z-layout windows, recursively (the MM-Inplace structure).
+#[allow(clippy::too_many_arguments)]
+fn minplus_rec(
+    tracer: &mut Tracer,
+    a: &TracedBuf,
+    a_off: usize,
+    b: &TracedBuf,
+    b_off: usize,
+    c: &mut TracedBuf,
+    c_off: usize,
+    side: usize,
+) {
+    if side == 1 {
+        let via = a.read(a_off, tracer) + b.read(b_off, tracer);
+        let cur = c.read(c_off, tracer);
+        if via < cur {
+            c.write(c_off, via, tracer);
+        }
+        tracer.leaf();
+        return;
+    }
+    let half = side / 2;
+    let q = half * half;
+    let [a11, a12, a21, a22] = [a_off, a_off + q, a_off + 2 * q, a_off + 3 * q];
+    let [b11, b12, b21, b22] = [b_off, b_off + q, b_off + 2 * q, b_off + 3 * q];
+    let [c11, c12, c21, c22] = [c_off, c_off + q, c_off + 2 * q, c_off + 3 * q];
+    minplus_rec(tracer, a, a11, b, b11, c, c11, half);
+    minplus_rec(tracer, a, a12, b, b21, c, c11, half);
+    minplus_rec(tracer, a, a11, b, b12, c, c12, half);
+    minplus_rec(tracer, a, a12, b, b22, c, c12, half);
+    minplus_rec(tracer, a, a21, b, b11, c, c21, half);
+    minplus_rec(tracer, a, a22, b, b21, c, c21, half);
+    minplus_rec(tracer, a, a21, b, b12, c, c22, half);
+    minplus_rec(tracer, a, a22, b, b22, c, c22, half);
+}
+
+/// Tropical product into self-aliased windows needs a snapshot of the
+/// operand: traced copy scan.
+fn copy_window(
+    space: &mut AddressSpace,
+    tracer: &mut Tracer,
+    src: &TracedBuf,
+    off: usize,
+    len: usize,
+) -> TracedBuf {
+    let mut out = space.alloc(len);
+    for i in 0..len {
+        let v = src.read(off + i, tracer);
+        out.write(i, v, tracer);
+    }
+    out
+}
+
+fn fw_rec(
+    space: &mut AddressSpace,
+    tracer: &mut Tracer,
+    a: &mut TracedBuf,
+    off: usize,
+    side: usize,
+) {
+    if side == 1 {
+        // Self-loops: d(i, i) ≤ 0 handled by initialisation; nothing to do
+        // for a single vertex beyond counting the base case.
+        tracer.leaf();
+        return;
+    }
+    let half = side / 2;
+    let q = half * half;
+    let [a11, a12, a21, a22] = [off, off + q, off + 2 * q, off + 3 * q];
+
+    fw_rec(space, tracer, a, a11, half);
+    // A12 ← min(A12, A11 ⊗ A12); A21 ← min(A21, A21 ⊗ A11).
+    // The products read windows of `a` while writing others, so snapshot
+    // the operands (linear scans — the GEP family's Θ(N) per-level work).
+    let s11 = copy_window(space, tracer, a, a11, q);
+    let s12 = copy_window(space, tracer, a, a12, q);
+    let s21 = copy_window(space, tracer, a, a21, q);
+    minplus_rec(tracer, &s11, 0, &s12, 0, a, a12, half);
+    minplus_rec(tracer, &s21, 0, &s11, 0, a, a21, half);
+    // A22 ← min(A22, A21 ⊗ A12).
+    let s12 = copy_window(space, tracer, a, a12, q);
+    let s21 = copy_window(space, tracer, a, a21, q);
+    minplus_rec(tracer, &s21, 0, &s12, 0, a, a22, half);
+    fw_rec(space, tracer, a, a22, half);
+    // Back-substitution half.
+    let s22 = copy_window(space, tracer, a, a22, q);
+    let s21 = copy_window(space, tracer, a, a21, q);
+    let s12 = copy_window(space, tracer, a, a12, q);
+    minplus_rec(tracer, &s22, 0, &s21, 0, a, a21, half);
+    minplus_rec(tracer, &s12, 0, &s22, 0, a, a12, half);
+    let s12 = copy_window(space, tracer, a, a12, q);
+    let s21 = copy_window(space, tracer, a, a21, q);
+    minplus_rec(tracer, &s12, 0, &s21, 0, a, a11, half);
+}
+
+/// All-pairs shortest paths of a weighted digraph given as a dense
+/// adjacency matrix (use [`INF`] for "no edge"), via the recursive blocked
+/// Kleene/GEP scheme, traced at block size `block_words`.
+///
+/// Returns the distance matrix and the block trace. Diagonal entries are
+/// clamped to ≤ 0 on input (vertices reach themselves for free).
+///
+/// # Panics
+///
+/// Panics unless the matrix side is a power of two.
+#[must_use]
+pub fn floyd_warshall(adj: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
+    let side = adj.side();
+    let mut space = AddressSpace::new(block_words);
+    let mut tracer = Tracer::new(block_words);
+    let mut init = adj.clone();
+    for i in 0..side {
+        if init.get(i, i) > 0.0 {
+            init.set(i, i, 0.0);
+        }
+    }
+    let mut buf = space.alloc_from(init.z_data());
+    fw_rec(&mut space, &mut tracer, &mut buf, 0, side);
+    (
+        ZMatrix::from_z_data(side, buf.untraced()),
+        tracer.into_trace(),
+    )
+}
+
+/// Textbook O(V³) Floyd–Warshall (reference for verification).
+#[must_use]
+pub fn naive_floyd_warshall(side: usize, adj_row_major: &[f64]) -> Vec<f64> {
+    let mut d = adj_row_major.to_vec();
+    for i in 0..side {
+        d[i * side + i] = d[i * side + i].min(0.0);
+    }
+    for k in 0..side {
+        for i in 0..side {
+            let dik = d[i * side + k];
+            if dik >= INF {
+                continue;
+            }
+            for j in 0..side {
+                let via = dik + d[k * side + j];
+                if via < d[i * side + j] {
+                    d[i * side + j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_graph(side: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..side * side)
+            .map(|_| {
+                if rng.gen_bool(0.4) {
+                    f64::from(rng.gen_range(1u8..=20))
+                } else {
+                    INF
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiny_path_graph() {
+        // 0 → 1 (5), 1 → 0 (2): d(0,1) = 5, d(1,0) = 2, diagonals 0.
+        let adj = vec![INF, 5.0, 2.0, INF];
+        let m = ZMatrix::from_row_major(2, &adj);
+        let (d, _) = floyd_warshall(&m, 1);
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.get(0, 1), 5.0);
+        assert_eq!(d.get(1, 0), 2.0);
+        assert_eq!(d.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for side in [2usize, 4, 8, 16] {
+            for seed in 0..3u64 {
+                let adj = random_graph(side, seed + 100);
+                let m = ZMatrix::from_row_major(side, &adj);
+                let (d, _) = floyd_warshall(&m, 2);
+                let expected = naive_floyd_warshall(side, &adj);
+                let got = d.to_row_major();
+                for (i, (&g, &e)) in got.iter().zip(&expected).enumerate() {
+                    // Unreachable stays huge (may differ in exact INF sums).
+                    if e >= INF {
+                        assert!(g >= INF / 2.0, "side {side} seed {seed} idx {i}");
+                    } else {
+                        assert_eq!(g, e, "side {side} seed {seed} idx {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let side = 8;
+        let adj = random_graph(side, 7);
+        let m = ZMatrix::from_row_major(side, &adj);
+        let (d, _) = floyd_warshall(&m, 2);
+        for i in 0..side {
+            for j in 0..side {
+                for k in 0..side {
+                    let direct = d.get(i, j);
+                    let via = d.get(i, k) + d.get(k, j);
+                    assert!(
+                        direct <= via + 1e-9,
+                        "d({i},{j}) = {direct} > {via} via {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_has_gep_shape() {
+        let side = 8;
+        let adj = random_graph(side, 9);
+        let m = ZMatrix::from_row_major(side, &adj);
+        let (_, trace) = floyd_warshall(&m, 1);
+        // Θ(V³) base cases: 2 fw leaves per vertex pair path... precisely,
+        // leaves = fw leaves (V at side 1) + minplus leaves. The dominant
+        // term is the ~V³ tropical multiply-adds.
+        assert!(trace.leaves() >= (side * side * side / 2) as u128);
+        assert!(trace.accesses() > trace.leaves() as u64);
+        // Snapshot scans allocate temporaries: more blocks than the matrix.
+        assert!(trace.distinct_blocks() > (side * side) as u64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let adj = random_graph(8, 11);
+        let m = ZMatrix::from_row_major(8, &adj);
+        let (d1, t1) = floyd_warshall(&m, 2);
+        let (d2, t2) = floyd_warshall(&m, 2);
+        assert_eq!(d1, d2);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cadapt-trace — real algorithms, really traced
+//!
+//! The abstract (a, b, c)-regular cursor of `cadapt-recursion` is a model.
+//! This crate grounds it: genuine cache-oblivious algorithms run on real
+//! data and record every memory access as a block-level trace, which
+//! `cadapt-paging` then replays under arbitrary memory profiles. Experiment
+//! E8 compares the two layers.
+//!
+//! Implemented algorithms (all verified against naive references in their
+//! tests):
+//!
+//! * [`mm::mm_scan`] — divide-and-conquer matrix multiplication that merges
+//!   subresults with linear scans; the paper's canonical non-adaptive
+//!   (8, 4, 1)-regular algorithm.
+//! * [`mm::mm_inplace`] — the in-place accumulating variant; (8, 4, 0) and
+//!   optimally cache-adaptive.
+//! * [`strassen::strassen`] — Strassen's seven-multiplication scheme,
+//!   (7, 4, 1)-regular with genuine add/subtract scans.
+//! * [`edit::edit_distance`] — cache-oblivious edit distance via the
+//!   boundary method: four half-size quadrant solves stitched with
+//!   linear boundary scans, (4, 2, 1)-regular.
+//! * [`gep::floyd_warshall`] — the Gaussian Elimination Paradigm family:
+//!   recursive blocked Kleene APSP over the (min, +) semiring, the
+//!   (8, 4, 1)-regular GEP kernel the paper cites.
+//! * [`transpose::transpose`] — the classic FLPR quadrant transpose, an
+//!   a = b linear-work control case outside the gap regime.
+//!
+//! Matrices use the Z-Morton (bit-interleaved) layout so that quadrants are
+//! contiguous — the layout that makes these algorithms cache-oblivious.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edit;
+pub mod gep;
+pub mod matrix;
+pub mod mm;
+pub mod strassen;
+pub mod tracer;
+pub mod transpose;
+
+pub use matrix::ZMatrix;
+pub use tracer::{AddressSpace, BlockTrace, TraceEvent, TracedBuf, Tracer};

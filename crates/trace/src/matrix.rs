@@ -1,0 +1,211 @@
+//! Z-Morton (bit-interleaved) square matrices.
+//!
+//! The recursive layout that makes divide-and-conquer matrix algorithms
+//! cache-oblivious: a 2^k × 2^k matrix is stored as its four quadrants in
+//! row-major *quadrant* order, recursively. Each quadrant of a Z-ordered
+//! matrix is therefore one contiguous quarter of the buffer — which is what
+//! lets the traced algorithms treat "a quadrant" as "(offset, side)".
+
+/// A dense square matrix of side 2^k in Z-Morton order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZMatrix {
+    side: usize,
+    data: Vec<f64>,
+}
+
+/// Interleave the bits of (row, col) into a Z-Morton index.
+#[must_use]
+pub fn morton_index(row: usize, col: usize) -> usize {
+    let mut idx = 0usize;
+    let mut bit = 0;
+    let (mut r, mut c) = (row, col);
+    while r > 0 || c > 0 {
+        idx |= (c & 1) << (2 * bit);
+        idx |= (r & 1) << (2 * bit + 1);
+        r >>= 1;
+        c >>= 1;
+        bit += 1;
+    }
+    idx
+}
+
+impl ZMatrix {
+    /// Zero matrix of side `side` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `side` is a positive power of two.
+    #[must_use]
+    pub fn zero(side: usize) -> Self {
+        assert!(side.is_power_of_two(), "side must be a power of two");
+        ZMatrix {
+            side,
+            data: vec![0.0; side * side],
+        }
+    }
+
+    /// Build from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != side²` or side is not a power of two.
+    #[must_use]
+    pub fn from_row_major(side: usize, rows: &[f64]) -> Self {
+        assert_eq!(rows.len(), side * side, "need side² entries");
+        let mut m = ZMatrix::zero(side);
+        for r in 0..side {
+            for c in 0..side {
+                m.data[morton_index(r, c)] = rows[r * side + c];
+            }
+        }
+        m
+    }
+
+    /// Side length.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// The Z-ordered backing buffer.
+    #[must_use]
+    pub fn z_data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element at (row, col).
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[morton_index(row, col)]
+    }
+
+    /// Set element at (row, col).
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[morton_index(row, col)] = value;
+    }
+
+    /// Convert back to row-major.
+    #[must_use]
+    pub fn to_row_major(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.side * self.side];
+        for r in 0..self.side {
+            for c in 0..self.side {
+                out[r * self.side + c] = self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Rebuild a matrix from a Z-ordered buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a square power of four.
+    #[must_use]
+    pub fn from_z_data(side: usize, z: &[f64]) -> Self {
+        assert!(side.is_power_of_two(), "side must be a power of two");
+        assert_eq!(z.len(), side * side, "need side² entries");
+        ZMatrix {
+            side,
+            data: z.to_vec(),
+        }
+    }
+}
+
+/// Naive O(side³) row-major reference multiply (for verification).
+#[must_use]
+pub fn naive_multiply(side: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), side * side);
+    assert_eq!(b.len(), side * side);
+    let mut c = vec![0.0; side * side];
+    for i in 0..side {
+        for k in 0..side {
+            let aik = a[i * side + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..side {
+                c[i * side + j] += aik * b[k * side + j];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_small_cases() {
+        // 2x2: indices [ (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3 ].
+        assert_eq!(morton_index(0, 0), 0);
+        assert_eq!(morton_index(0, 1), 1);
+        assert_eq!(morton_index(1, 0), 2);
+        assert_eq!(morton_index(1, 1), 3);
+        // 4x4 quadrant contiguity: top-left quadrant = indices 0..4.
+        let tl: Vec<usize> = vec![
+            morton_index(0, 0),
+            morton_index(0, 1),
+            morton_index(1, 0),
+            morton_index(1, 1),
+        ];
+        assert_eq!(tl, vec![0, 1, 2, 3]);
+        // Top-right quadrant = indices 4..8.
+        assert_eq!(morton_index(0, 2), 4);
+        assert_eq!(morton_index(1, 3), 7);
+        // Bottom-left = 8..12, bottom-right = 12..16.
+        assert_eq!(morton_index(2, 0), 8);
+        assert_eq!(morton_index(3, 3), 15);
+    }
+
+    #[test]
+    fn morton_is_bijective_on_16x16() {
+        let mut seen = vec![false; 256];
+        for r in 0..16 {
+            for c in 0..16 {
+                let i = morton_index(r, c);
+                assert!(i < 256);
+                assert!(!seen[i], "collision at ({r},{c})");
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_round_trip() {
+        let rows: Vec<f64> = (0..64).map(f64::from).collect();
+        let m = ZMatrix::from_row_major(8, &rows);
+        assert_eq!(m.to_row_major(), rows);
+        assert_eq!(m.get(1, 2), rows[8 + 2]);
+    }
+
+    #[test]
+    fn quadrants_are_contiguous() {
+        let rows: Vec<f64> = (0..16).map(f64::from).collect();
+        let m = ZMatrix::from_row_major(4, &rows);
+        // Top-left quadrant in row-major: 0,1,4,5.
+        assert_eq!(&m.z_data()[0..4], &[0.0, 1.0, 4.0, 5.0]);
+        // Top-right: 2,3,6,7.
+        assert_eq!(&m.z_data()[4..8], &[2.0, 3.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn naive_multiply_identity() {
+        let side = 4;
+        let mut id = vec![0.0; 16];
+        for i in 0..side {
+            id[i * side + i] = 1.0;
+        }
+        let a: Vec<f64> = (0..16).map(f64::from).collect();
+        assert_eq!(naive_multiply(side, &a, &id), a);
+        assert_eq!(naive_multiply(side, &id, &a), a);
+    }
+
+    #[test]
+    fn naive_multiply_known_2x2() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(naive_multiply(2, &a, &b), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Traced divide-and-conquer matrix multiplication: MM-Scan and MM-Inplace.
+//!
+//! The paper's §3 canonical pair:
+//!
+//! * **MM-Scan** computes the eight quadrant products into temporaries and
+//!   merges them with element-wise addition scans. Its I/O recurrence is
+//!   T(N) = 8 T(N/4) + Θ(N/B) — (8, 4, 1)-regular, optimal in the DAM but
+//!   *not* cache-adaptive.
+//! * **MM-Inplace** accumulates elementary products directly into the
+//!   output (C += A·B); no merge scans — (8, 4, 0)-regular and optimally
+//!   cache-adaptive (footnote 5).
+//!
+//! Both run on Z-Morton matrices so each quadrant is a contiguous
+//! (offset, side) window of the buffer.
+
+use crate::matrix::ZMatrix;
+use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+
+/// Quadrant word offsets within a Z-ordered matrix window of side `side`:
+/// (TL, TR, BL, BR), each a contiguous run of (side/2)² words.
+fn quadrants(offset: usize, side: usize) -> [usize; 4] {
+    let q = (side / 2) * (side / 2);
+    [offset, offset + q, offset + 2 * q, offset + 3 * q]
+}
+
+/// Element-wise addition scan: out[i] = x[x_off + i] + y[y_off + i].
+fn add_scan(
+    space: &mut AddressSpace,
+    tracer: &mut Tracer,
+    x: &TracedBuf,
+    x_off: usize,
+    y: &TracedBuf,
+    y_off: usize,
+    len: usize,
+) -> TracedBuf {
+    let mut out = space.alloc(len);
+    for i in 0..len {
+        let v = x.read(x_off + i, tracer) + y.read(y_off + i, tracer);
+        out.write(i, v, tracer);
+    }
+    out
+}
+
+fn mm_scan_rec(
+    space: &mut AddressSpace,
+    tracer: &mut Tracer,
+    a: &TracedBuf,
+    a_off: usize,
+    b: &TracedBuf,
+    b_off: usize,
+    side: usize,
+) -> TracedBuf {
+    if side == 1 {
+        let mut out = space.alloc(1);
+        let v = a.read(a_off, tracer) * b.read(b_off, tracer);
+        out.write(0, v, tracer);
+        tracer.leaf();
+        return out;
+    }
+    let half = side / 2;
+    let q = half * half;
+    let [a11, a12, a21, a22] = quadrants(a_off, side);
+    let [b11, b12, b21, b22] = quadrants(b_off, side);
+    // Eight recursive products…
+    let p11a = mm_scan_rec(space, tracer, a, a11, b, b11, half);
+    let p11b = mm_scan_rec(space, tracer, a, a12, b, b21, half);
+    let p12a = mm_scan_rec(space, tracer, a, a11, b, b12, half);
+    let p12b = mm_scan_rec(space, tracer, a, a12, b, b22, half);
+    let p21a = mm_scan_rec(space, tracer, a, a21, b, b11, half);
+    let p21b = mm_scan_rec(space, tracer, a, a22, b, b21, half);
+    let p22a = mm_scan_rec(space, tracer, a, a21, b, b12, half);
+    let p22b = mm_scan_rec(space, tracer, a, a22, b, b22, half);
+    // …then the linear merge scan (Θ(side²) = Θ(N) work).
+    let c11 = add_scan(space, tracer, &p11a, 0, &p11b, 0, q);
+    let c12 = add_scan(space, tracer, &p12a, 0, &p12b, 0, q);
+    let c21 = add_scan(space, tracer, &p21a, 0, &p21b, 0, q);
+    let c22 = add_scan(space, tracer, &p22a, 0, &p22b, 0, q);
+    // Assemble the result window (contiguous copy, part of the scan).
+    let mut out = space.alloc(side * side);
+    for (qi, quad) in [c11, c12, c21, c22].iter().enumerate() {
+        for i in 0..q {
+            let v = quad.read(i, tracer);
+            out.write(qi * q + i, v, tracer);
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mm_inplace_rec(
+    tracer: &mut Tracer,
+    a: &TracedBuf,
+    a_off: usize,
+    b: &TracedBuf,
+    b_off: usize,
+    c: &mut TracedBuf,
+    c_off: usize,
+    side: usize,
+) {
+    if side == 1 {
+        let v = c.read(c_off, tracer) + a.read(a_off, tracer) * b.read(b_off, tracer);
+        c.write(c_off, v, tracer);
+        tracer.leaf();
+        return;
+    }
+    let half = side / 2;
+    let [a11, a12, a21, a22] = quadrants(a_off, side);
+    let [b11, b12, b21, b22] = quadrants(b_off, side);
+    let [c11, c12, c21, c22] = quadrants(c_off, side);
+    mm_inplace_rec(tracer, a, a11, b, b11, c, c11, half);
+    mm_inplace_rec(tracer, a, a12, b, b21, c, c11, half);
+    mm_inplace_rec(tracer, a, a11, b, b12, c, c12, half);
+    mm_inplace_rec(tracer, a, a12, b, b22, c, c12, half);
+    mm_inplace_rec(tracer, a, a21, b, b11, c, c21, half);
+    mm_inplace_rec(tracer, a, a22, b, b21, c, c21, half);
+    mm_inplace_rec(tracer, a, a21, b, b12, c, c22, half);
+    mm_inplace_rec(tracer, a, a22, b, b22, c, c22, half);
+}
+
+/// Multiply `a · b` with MM-Scan, returning the product and the block trace
+/// at block size `block_words`.
+///
+/// # Panics
+///
+/// Panics if the matrices differ in side.
+#[must_use]
+pub fn mm_scan(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
+    assert_eq!(a.side(), b.side(), "sides must match");
+    let mut space = AddressSpace::new(block_words);
+    let mut tracer = Tracer::new(block_words);
+    let ta = space.alloc_from(a.z_data());
+    let tb = space.alloc_from(b.z_data());
+    let out = mm_scan_rec(&mut space, &mut tracer, &ta, 0, &tb, 0, a.side());
+    let result = ZMatrix::from_z_data(a.side(), out.untraced());
+    (result, tracer.into_trace())
+}
+
+/// Multiply `a · b` with MM-Inplace, returning the product and the block
+/// trace at block size `block_words`.
+///
+/// # Panics
+///
+/// Panics if the matrices differ in side.
+#[must_use]
+pub fn mm_inplace(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
+    assert_eq!(a.side(), b.side(), "sides must match");
+    let mut space = AddressSpace::new(block_words);
+    let mut tracer = Tracer::new(block_words);
+    let ta = space.alloc_from(a.z_data());
+    let tb = space.alloc_from(b.z_data());
+    let mut out = space.alloc(a.side() * a.side());
+    mm_inplace_rec(&mut tracer, &ta, 0, &tb, 0, &mut out, 0, a.side());
+    let result = ZMatrix::from_z_data(a.side(), out.untraced());
+    (result, tracer.into_trace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::naive_multiply;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_matrix(side: usize, seed: u64) -> ZMatrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<f64> = (0..side * side)
+            .map(|_| f64::from(rng.gen_range(-4i8..=4)))
+            .collect();
+        ZMatrix::from_row_major(side, &rows)
+    }
+
+    #[test]
+    fn mm_scan_correct_up_to_16() {
+        for side in [1usize, 2, 4, 8, 16] {
+            let a = random_matrix(side, 1);
+            let b = random_matrix(side, 2);
+            let (c, _) = mm_scan(&a, &b, 4);
+            let expected = naive_multiply(side, &a.to_row_major(), &b.to_row_major());
+            assert_eq!(c.to_row_major(), expected, "side {side}");
+        }
+    }
+
+    #[test]
+    fn mm_inplace_correct_up_to_16() {
+        for side in [1usize, 2, 4, 8, 16] {
+            let a = random_matrix(side, 3);
+            let b = random_matrix(side, 4);
+            let (c, _) = mm_inplace(&a, &b, 4);
+            let expected = naive_multiply(side, &a.to_row_major(), &b.to_row_major());
+            assert_eq!(c.to_row_major(), expected, "side {side}");
+        }
+    }
+
+    #[test]
+    fn both_algorithms_agree() {
+        let a = random_matrix(8, 5);
+        let b = random_matrix(8, 6);
+        let (c1, _) = mm_scan(&a, &b, 2);
+        let (c2, _) = mm_inplace(&a, &b, 2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn leaf_counts_are_cubic() {
+        let side = 8;
+        let a = random_matrix(side, 7);
+        let b = random_matrix(side, 8);
+        let (_, t1) = mm_scan(&a, &b, 1);
+        let (_, t2) = mm_inplace(&a, &b, 1);
+        assert_eq!(t1.leaves(), (side * side * side) as u128);
+        assert_eq!(t2.leaves(), (side * side * side) as u128);
+    }
+
+    #[test]
+    fn scan_variant_touches_more_blocks() {
+        // MM-Scan allocates temporaries at every level; its working set is
+        // a log factor larger, and its access count strictly higher.
+        let a = random_matrix(16, 9);
+        let b = random_matrix(16, 10);
+        let (_, t_scan) = mm_scan(&a, &b, 4);
+        let (_, t_inplace) = mm_inplace(&a, &b, 4);
+        assert!(t_scan.distinct_blocks() > t_inplace.distinct_blocks());
+        assert!(t_scan.accesses() > t_inplace.accesses());
+    }
+
+    #[test]
+    fn inplace_working_set_is_three_matrices() {
+        let side = 16;
+        let a = random_matrix(side, 11);
+        let b = random_matrix(side, 12);
+        let block_words = 4;
+        let (_, t) = mm_inplace(&a, &b, block_words);
+        let expected_blocks = 3 * (side * side) as u64 / block_words;
+        assert_eq!(t.distinct_blocks(), expected_blocks);
+    }
+
+    #[test]
+    fn block_size_one_equals_word_granularity() {
+        let a = random_matrix(4, 13);
+        let b = random_matrix(4, 14);
+        let (_, t) = mm_inplace(&a, &b, 1);
+        assert_eq!(t.distinct_blocks(), 3 * 16);
+    }
+}

@@ -1,0 +1,169 @@
+//! Traced Strassen matrix multiplication — (7, 4, 1)-regular.
+//!
+//! Seven half-size products stitched together by element-wise add/subtract
+//! scans: T(N) = 7 T(N/4) + Θ(N/B). The paper's conclusion highlights that
+//! all known subcubic multiplications (Strassen included) sit in the gap
+//! regime (a = 7 > b = 4, c = 1) — logarithmically non-adaptive in the
+//! worst case, adaptive in expectation under smoothing.
+
+use crate::matrix::ZMatrix;
+use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+
+/// A window into a traced buffer: (offset, length implied by context).
+type Win<'a> = (&'a TracedBuf, usize);
+
+fn scan_binop(
+    space: &mut AddressSpace,
+    tracer: &mut Tracer,
+    x: Win<'_>,
+    y: Win<'_>,
+    len: usize,
+    sub: bool,
+) -> TracedBuf {
+    let mut out = space.alloc(len);
+    for i in 0..len {
+        let a = x.0.read(x.1 + i, tracer);
+        let b = y.0.read(y.1 + i, tracer);
+        out.write(i, if sub { a - b } else { a + b }, tracer);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn strassen_rec(
+    space: &mut AddressSpace,
+    tracer: &mut Tracer,
+    a: &TracedBuf,
+    a_off: usize,
+    b: &TracedBuf,
+    b_off: usize,
+    side: usize,
+) -> TracedBuf {
+    if side == 1 {
+        let mut out = space.alloc(1);
+        let v = a.read(a_off, tracer) * b.read(b_off, tracer);
+        out.write(0, v, tracer);
+        tracer.leaf();
+        return out;
+    }
+    let half = side / 2;
+    let q = half * half;
+    let [a11, a12, a21, a22] = [a_off, a_off + q, a_off + 2 * q, a_off + 3 * q];
+    let [b11, b12, b21, b22] = [b_off, b_off + q, b_off + 2 * q, b_off + 3 * q];
+
+    // Operand scans (each Θ(q), together the level's Θ(N) linear work).
+    let s1 = scan_binop(space, tracer, (a, a11), (a, a22), q, false); // A11+A22
+    let s2 = scan_binop(space, tracer, (b, b11), (b, b22), q, false); // B11+B22
+    let s3 = scan_binop(space, tracer, (a, a21), (a, a22), q, false); // A21+A22
+    let s4 = scan_binop(space, tracer, (b, b12), (b, b22), q, true); // B12−B22
+    let s5 = scan_binop(space, tracer, (b, b21), (b, b11), q, true); // B21−B11
+    let s6 = scan_binop(space, tracer, (a, a11), (a, a12), q, false); // A11+A12
+    let s7 = scan_binop(space, tracer, (a, a21), (a, a11), q, true); // A21−A11
+    let s8 = scan_binop(space, tracer, (b, b11), (b, b12), q, false); // B11+B12
+    let s9 = scan_binop(space, tracer, (a, a12), (a, a22), q, true); // A12−A22
+    let s10 = scan_binop(space, tracer, (b, b21), (b, b22), q, false); // B21+B22
+
+    // Seven recursive products.
+    let m1 = strassen_rec(space, tracer, &s1, 0, &s2, 0, half);
+    let m2 = strassen_rec(space, tracer, &s3, 0, b, b11, half);
+    let m3 = strassen_rec(space, tracer, a, a11, &s4, 0, half);
+    let m4 = strassen_rec(space, tracer, a, a22, &s5, 0, half);
+    let m5 = strassen_rec(space, tracer, &s6, 0, b, b22, half);
+    let m6 = strassen_rec(space, tracer, &s7, 0, &s8, 0, half);
+    let m7 = strassen_rec(space, tracer, &s9, 0, &s10, 0, half);
+
+    // Combine scans: C11 = M1+M4−M5+M7, C12 = M3+M5, C21 = M2+M4,
+    // C22 = M1−M2+M3+M6.
+    let mut out = space.alloc(side * side);
+    for i in 0..q {
+        let v = m1.read(i, tracer) + m4.read(i, tracer) - m5.read(i, tracer) + m7.read(i, tracer);
+        out.write(i, v, tracer);
+    }
+    for i in 0..q {
+        let v = m3.read(i, tracer) + m5.read(i, tracer);
+        out.write(q + i, v, tracer);
+    }
+    for i in 0..q {
+        let v = m2.read(i, tracer) + m4.read(i, tracer);
+        out.write(2 * q + i, v, tracer);
+    }
+    for i in 0..q {
+        let v = m1.read(i, tracer) - m2.read(i, tracer) + m3.read(i, tracer) + m6.read(i, tracer);
+        out.write(3 * q + i, v, tracer);
+    }
+    out
+}
+
+/// Multiply `a · b` with Strassen's algorithm, returning the product and
+/// the block trace at block size `block_words`.
+///
+/// # Panics
+///
+/// Panics if the matrices differ in side.
+#[must_use]
+pub fn strassen(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
+    assert_eq!(a.side(), b.side(), "sides must match");
+    let mut space = AddressSpace::new(block_words);
+    let mut tracer = Tracer::new(block_words);
+    let ta = space.alloc_from(a.z_data());
+    let tb = space.alloc_from(b.z_data());
+    let out = strassen_rec(&mut space, &mut tracer, &ta, 0, &tb, 0, a.side());
+    let result = ZMatrix::from_z_data(a.side(), out.untraced());
+    (result, tracer.into_trace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::naive_multiply;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_matrix(side: usize, seed: u64) -> ZMatrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<f64> = (0..side * side)
+            .map(|_| f64::from(rng.gen_range(-3i8..=3)))
+            .collect();
+        ZMatrix::from_row_major(side, &rows)
+    }
+
+    #[test]
+    fn strassen_correct_up_to_16() {
+        for side in [1usize, 2, 4, 8, 16] {
+            let a = random_matrix(side, 21);
+            let b = random_matrix(side, 22);
+            let (c, _) = strassen(&a, &b, 4);
+            let expected = naive_multiply(side, &a.to_row_major(), &b.to_row_major());
+            assert_eq!(c.to_row_major(), expected, "side {side}");
+        }
+    }
+
+    #[test]
+    fn leaf_count_is_seven_to_the_log() {
+        // side = 2^k ⇒ 7^k base multiplications.
+        let side = 8; // k = 3
+        let a = random_matrix(side, 23);
+        let b = random_matrix(side, 24);
+        let (_, t) = strassen(&a, &b, 1);
+        assert_eq!(t.leaves(), 7u128.pow(3));
+    }
+
+    #[test]
+    fn fewer_leaves_than_classical() {
+        let side = 16;
+        let a = random_matrix(side, 25);
+        let b = random_matrix(side, 26);
+        let (_, ts) = strassen(&a, &b, 4);
+        let (_, tc) = crate::mm::mm_scan(&a, &b, 4);
+        assert!(ts.leaves() < tc.leaves(), "7^k < 8^k");
+    }
+
+    #[test]
+    fn agrees_with_mm_scan() {
+        let a = random_matrix(8, 27);
+        let b = random_matrix(8, 28);
+        let (c1, _) = strassen(&a, &b, 2);
+        let (c2, _) = crate::mm::mm_scan(&a, &b, 2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Traced cache-oblivious matrix transpose (out-of-place, quadrant
+//! recursion).
+//!
+//! The classic Frigo–Leiserson–Prokop–Ramachandran kernel: transpose by
+//! recursing into quadrants, swapping the off-diagonal pair. Four
+//! subproblems a quarter the size with O(1) extra work — (4, 4, 0)-regular
+//! in the block-size convention, i.e. *outside* the gap regime (a = b):
+//! the adaptivity taxonomy's boundary case with a genuinely linear-work
+//! algorithm, useful as a trace-level control next to the gap-regime
+//! multiplications.
+
+use crate::matrix::ZMatrix;
+use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+
+fn transpose_rec(
+    tracer: &mut Tracer,
+    src: &TracedBuf,
+    src_off: usize,
+    dst: &mut TracedBuf,
+    dst_off: usize,
+    side: usize,
+) {
+    if side == 1 {
+        let v = src.read(src_off, tracer);
+        dst.write(dst_off, v, tracer);
+        tracer.leaf();
+        return;
+    }
+    let half = side / 2;
+    let q = half * half;
+    let [s11, s12, s21, s22] = [src_off, src_off + q, src_off + 2 * q, src_off + 3 * q];
+    let [d11, d12, d21, d22] = [dst_off, dst_off + q, dst_off + 2 * q, dst_off + 3 * q];
+    // (Aᵀ)₁₁ = A₁₁ᵀ, (Aᵀ)₁₂ = A₂₁ᵀ, (Aᵀ)₂₁ = A₁₂ᵀ, (Aᵀ)₂₂ = A₂₂ᵀ.
+    transpose_rec(tracer, src, s11, dst, d11, half);
+    transpose_rec(tracer, src, s21, dst, d12, half);
+    transpose_rec(tracer, src, s12, dst, d21, half);
+    transpose_rec(tracer, src, s22, dst, d22, half);
+}
+
+/// Transpose `a` out-of-place with the quadrant recursion, tracing at
+/// block size `block_words`.
+#[must_use]
+pub fn transpose(a: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
+    let mut space = AddressSpace::new(block_words);
+    let mut tracer = Tracer::new(block_words);
+    let src = space.alloc_from(a.z_data());
+    let mut dst = space.alloc(a.side() * a.side());
+    transpose_rec(&mut tracer, &src, 0, &mut dst, 0, a.side());
+    (
+        ZMatrix::from_z_data(a.side(), dst.untraced()),
+        tracer.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::TraceEvent;
+
+    fn matrix(side: usize) -> ZMatrix {
+        let rows: Vec<f64> = (0..side * side).map(|i| i as f64).collect();
+        ZMatrix::from_row_major(side, &rows)
+    }
+
+    #[test]
+    fn transposes_correctly() {
+        for side in [1usize, 2, 4, 8, 16, 32] {
+            let a = matrix(side);
+            let (t, _) = transpose(&a, 4);
+            for r in 0..side {
+                for c in 0..side {
+                    assert_eq!(t.get(r, c), a.get(c, r), "side {side} at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn involution() {
+        let a = matrix(16);
+        let (t, _) = transpose(&a, 2);
+        let (back, _) = transpose(&t, 2);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn work_is_linear() {
+        // One leaf per element; accesses exactly 2 per element (read+write).
+        let side = 16;
+        let (_, trace) = transpose(&matrix(side), 1);
+        assert_eq!(trace.leaves(), (side * side) as u128);
+        assert_eq!(trace.accesses(), 2 * (side * side) as u64);
+    }
+
+    #[test]
+    fn io_is_cache_insensitive_beyond_two_blocks() {
+        // Linear-work streaming recursion: even a tiny cache achieves the
+        // cold-miss floor (Z-order makes source and destination runs
+        // contiguous at every granularity).
+        use cadapt_paging_shim::replay_fixed_shim;
+        let (_, trace) = transpose(&matrix(32), 4);
+        let cold = trace.distinct_blocks();
+        let few = replay_fixed_shim(&trace, 4);
+        assert_eq!(few, u128::from(cold), "4 blocks of cache suffice");
+    }
+
+    /// Minimal local LRU replay so this crate's tests stay independent of
+    /// `cadapt-paging` (which depends on us).
+    mod cadapt_paging_shim {
+        use crate::tracer::{BlockTrace, TraceEvent};
+        use std::collections::HashMap;
+
+        pub fn replay_fixed_shim(trace: &BlockTrace, capacity: usize) -> u128 {
+            let mut stamp = 0u64;
+            let mut resident: HashMap<u64, u64> = HashMap::new();
+            let mut io = 0u128;
+            for event in trace.events() {
+                let TraceEvent::Access(b) = event else {
+                    continue;
+                };
+                stamp += 1;
+                if resident.contains_key(b) {
+                    resident.insert(*b, stamp);
+                    continue;
+                }
+                io += 1;
+                if resident.len() >= capacity {
+                    let (&victim, _) = resident.iter().min_by_key(|&(_, &s)| s).expect("nonempty");
+                    resident.remove(&victim);
+                }
+                resident.insert(*b, stamp);
+            }
+            io
+        }
+    }
+
+    #[test]
+    fn trace_alternates_read_write() {
+        let (_, trace) = transpose(&matrix(4), 1);
+        // Events: (read, write, leaf) triplets.
+        let events = trace.events();
+        assert_eq!(events.len(), 3 * 16);
+        for chunk in events.chunks(3) {
+            assert!(matches!(chunk[0], TraceEvent::Access(_)));
+            assert!(matches!(chunk[1], TraceEvent::Access(_)));
+            assert!(matches!(chunk[2], TraceEvent::Leaf));
+        }
+    }
+}

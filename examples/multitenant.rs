@@ -1,0 +1,73 @@
+//! A multi-tenant cache story: what the paper's introduction is about.
+//!
+//! Simulate a process whose cache share fluctuates as other tenants arrive
+//! and depart, square-approximate the resulting m(t), and compare how
+//! MM-Scan fares on it against (a) the tailored adversarial profile drawn
+//! from the same size range and (b) the ideal single-tenant cache. The
+//! punchline is the paper's: real contention behaves like a *smoothed*
+//! profile — only an adversary that tracks the recursion hurts.
+//!
+//! Run with: `cargo run --release --example multitenant`
+
+use cadapt::prelude::*;
+use cadapt::profiles::contention::multi_tenant;
+use cadapt_analysis::montecarlo::trial_rng;
+
+fn main() {
+    let params = AbcParams::mm_scan();
+    println!("MM-Scan under multi-tenant cache sharing\n");
+    println!(
+        "{:>8} {:>22} {:>18} {:>12}",
+        "n", "multi-tenant E[R(n)]", "adversarial R(n)", "ideal R(n)"
+    );
+
+    for k in 3..=7u32 {
+        let n = params.canonical_size(k);
+
+        // Multi-tenant: total cache 2n shared fairly among 1..8 tenants,
+        // churning every n/4 I/Os.
+        let mut stats = Stats::new();
+        for trial in 0..16u64 {
+            let mut rng = trial_rng(0xBEEF, trial);
+            let profile = multi_tenant(
+                2 * n,
+                8,
+                u128::from(n / 4 + 1),
+                0.5,
+                32 * u128::from(n),
+                &mut rng,
+            );
+            let squares = profile.inner_squares();
+            let mut source = squares.cycle();
+            let report = run_on_profile(params, n, &mut source, &RunConfig::default())
+                .expect("run completes");
+            stats.push(report.ratio());
+        }
+
+        // The tailored adversary over the same size range.
+        let worst = WorstCase::for_problem(&params, n).expect("canonical size");
+        let mut source = worst.source();
+        let adversarial =
+            run_on_profile(params, n, &mut source, &RunConfig::default()).expect("run completes");
+
+        // Ideal: one box as large as the problem.
+        let ideal_profile = SquareProfile::new(vec![n]).expect("positive");
+        let mut source = ideal_profile.extended(n);
+        let ideal =
+            run_on_profile(params, n, &mut source, &RunConfig::default()).expect("run completes");
+
+        println!(
+            "{n:>8} {:>15.3} ± {:>4.3} {:>18.3} {:>12.3}",
+            stats.mean,
+            stats.ci95(),
+            adversarial.ratio(),
+            ideal.ratio()
+        );
+    }
+
+    println!();
+    println!("Multi-tenant sharing sits near the ideal and stays flat as n");
+    println!("grows; the adversarial column grows as log_4 n + 1. Fluctuation");
+    println!("per se is harmless — only fluctuation synchronised with the");
+    println!("algorithm's recursion is dangerous, and real systems aren't.");
+}

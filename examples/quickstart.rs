@@ -1,0 +1,57 @@
+//! Quickstart: the paper's story in sixty lines.
+//!
+//! 1. MM-Scan is optimal in the classical DAM, but on the recursive
+//!    worst-case profile it pays a Θ(log n) adaptivity penalty.
+//! 2. Randomly reshuffling the *very same boxes* (i.i.d. draws from the
+//!    profile's multiset) makes it cache-adaptive in expectation — the
+//!    paper's headline smoothing theorem.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cadapt::prelude::*;
+
+fn main() {
+    let params = AbcParams::mm_scan(); // (8, 4, 1)-regular
+    println!("algorithm: MM-Scan, {params}");
+    println!("potential exponent log_b a = {:.3}\n", params.exponent());
+
+    println!(
+        "{:>8} {:>10} {:>16} {:>18}",
+        "n", "log_4 n", "worst-case R(n)", "shuffled E[R(n)]"
+    );
+    for k in 3..=8u32 {
+        let n = params.canonical_size(k);
+
+        // The adversarial profile M_{8,4}(n): small boxes while recursing,
+        // big boxes exactly when the algorithm can only scan.
+        let worst = WorstCase::for_problem(&params, n).expect("canonical size");
+        let mut source = worst.source();
+        let report =
+            run_on_profile(params, n, &mut source, &RunConfig::default()).expect("run completes");
+
+        // The same box multiset, order destroyed: i.i.d. draws.
+        let dist = EmpiricalMultiset::from_counts(&worst.box_multiset(), "shuffled M_{8,4}");
+        let config = McConfig {
+            trials: 32,
+            ..McConfig::default()
+        };
+        let smoothed =
+            monte_carlo_ratio(params, n, &config, |rng| DistSource::new(dist.clone(), rng))
+                .expect("monte carlo completes");
+
+        println!(
+            "{:>8} {:>10} {:>16.3} {:>13.3} ± {:.3}",
+            n,
+            k,
+            report.ratio(),
+            smoothed.ratio.mean,
+            smoothed.ratio.ci95(),
+        );
+    }
+
+    println!();
+    println!("The worst-case column grows as log_4 n + 1 — the Theorem 2 gap.");
+    println!("The shuffled column stays flat — Theorem 1: any i.i.d. box");
+    println!("distribution, even the adversary's own multiset, is adaptive");
+    println!("in expectation.");
+}

@@ -1,0 +1,75 @@
+//! The introduction's system: jobs sharing a cache whose allocations
+//! change as tenants come, go, and churn.
+//!
+//! Runs mixes of adaptive (MM-Inplace) and non-adaptive (MM-Scan) jobs
+//! under three allocation policies and reports overhead against the
+//! static fair-share baseline, fairness, and the worst per-job Eq. 2
+//! ratio — the paper's opening story with numbers attached.
+//!
+//! Run with: `cargo run --release --example scheduler`
+
+use cadapt::prelude::*;
+use cadapt::sched::scheduler::run_alone;
+use cadapt::sched::{ChurnShares, EqualShares, JobSpec, Scheduler, SchedulerConfig, WinnerTakeAll};
+use cadapt_analysis::montecarlo::trial_rng;
+
+fn main() {
+    let n = 1 << 12;
+    let total_cache = n / 2;
+    let config = SchedulerConfig {
+        total_cache,
+        ..SchedulerConfig::default()
+    };
+    println!("four jobs share {total_cache} blocks of cache (each job: n = {n})\n");
+    println!(
+        "{:<22} {:<20} {:>10} {:>10} {:>12}",
+        "job mix", "policy", "overhead", "fairness", "worst R(n)"
+    );
+    for (mix_label, params) in [
+        ("4x MM-Inplace", AbcParams::mm_inplace()),
+        ("4x MM-Scan", AbcParams::mm_scan()),
+    ] {
+        let specs = vec![JobSpec::new(params, n); 4];
+        let share_config = SchedulerConfig {
+            total_cache: total_cache / 4,
+            ..config
+        };
+        let baseline: u128 = specs
+            .iter()
+            .map(|&s| run_alone(s, share_config).expect("baseline").bus_io)
+            .sum();
+        let report = |policy_label: &str, result: cadapt::sched::ScheduleResult| {
+            println!(
+                "{:<22} {:<20} {:>10.3} {:>10.3} {:>12.3}",
+                mix_label,
+                policy_label,
+                result.bus_io as f64 / baseline as f64,
+                result.fairness(),
+                result.worst_ratio()
+            );
+        };
+        let equal = Scheduler::new(&specs, EqualShares, config)
+            .expect("admits")
+            .run()
+            .expect("completes");
+        report("equal-shares", equal);
+        let wta = Scheduler::new(&specs, WinnerTakeAll { reign: 8 }, config)
+            .expect("admits")
+            .run()
+            .expect("completes");
+        report("winner-take-all", wta);
+        let churn = Scheduler::new(&specs, ChurnShares::new(trial_rng(1, 0)), config)
+            .expect("admits")
+            .run()
+            .expect("completes");
+        report("churn", churn);
+    }
+    println!();
+    println!("Overhead ≈ 1 everywhere: the emergent allocation patterns never");
+    println!("track a job's recursion, so even the non-adaptive MM-Scan is far");
+    println!("from its adversarial log-factor — smoothing at system level. The");
+    println!(
+        "worst R(n) column stays well under log_4 n + 1 = {}.",
+        (n as f64).log(4.0) + 1.0
+    );
+}

@@ -1,0 +1,146 @@
+//! Which randomness rescues adaptivity? (§4 of the paper, executable.)
+//!
+//! Starting from the adversarial profile M_{8,4}(n), apply each smoothing
+//! the paper considers and measure the expected adaptivity ratio at two
+//! problem sizes. The paper's dichotomy appears directly:
+//!
+//! * i.i.d. reshuffling (and without-replacement permutation) — rescued;
+//! * box-size noise U[0,t] — still adversarial;
+//! * random cyclic start shift — still adversarial;
+//! * box-order (big-box placement) perturbation — keeps a logarithmic
+//!   floor (slope 1/a) though the full slope-1 gap softens.
+//!
+//! Run with: `cargo run --release --example smoothing_rescue`
+
+use cadapt::prelude::*;
+use cadapt::profiles::dist::PermutationSource;
+use cadapt::profiles::perturb::{
+    random_cyclic_shift, BoxOrderPerturbedSource, RandomPlacement, SizePerturbedSource,
+    UniformMultiplier,
+};
+use cadapt_analysis::montecarlo::trial_rng;
+
+const TRIALS: u64 = 24;
+
+fn mean_ratio(
+    params: AbcParams,
+    n: Blocks,
+    mut make: impl FnMut(u64) -> Box<dyn BoxSource>,
+) -> (f64, f64) {
+    let mut stats = Stats::new();
+    for trial in 0..TRIALS {
+        let mut source = make(trial);
+        let report =
+            run_on_profile(params, n, &mut source, &RunConfig::default()).expect("run completes");
+        stats.push(report.ratio());
+    }
+    (stats.mean, stats.ci95())
+}
+
+fn main() {
+    let params = AbcParams::mm_scan();
+    let sizes = [params.canonical_size(5), params.canonical_size(7)];
+    println!(
+        "{:<28} {:>14} {:>14}   verdict",
+        "smoothing", "R(4^5)", "R(4^7)"
+    );
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for &n in &sizes {
+        let worst = WorstCase::for_problem(&params, n).expect("canonical size");
+        let profile = worst.materialize();
+        let multiset = worst.box_multiset();
+
+        let entries: Vec<(&str, (f64, f64))> = vec![
+            ("none (canonical order)", {
+                let mut source = worst.source();
+                let r = run_on_profile(params, n, &mut source, &RunConfig::default())
+                    .expect("run completes");
+                (r.ratio(), 0.0)
+            }),
+            ("iid reshuffle (Thm 1)", {
+                let dist = EmpiricalMultiset::from_counts(&multiset, "iid");
+                mean_ratio(params, n, |t| {
+                    Box::new(DistSource::new(dist.clone(), trial_rng(1, t)))
+                })
+            }),
+            ("random permutation", {
+                mean_ratio(params, n, |t| {
+                    Box::new(PermutationSource::new(&profile, trial_rng(2, t)))
+                })
+            }),
+            ("box sizes x U[0,2]", {
+                mean_ratio(params, n, |t| {
+                    Box::new(SizePerturbedSource::new(
+                        worst.source(),
+                        UniformMultiplier { t: 2.0 },
+                        trial_rng(3, t),
+                    ))
+                })
+            }),
+            ("random start shift", {
+                mean_ratio(params, n, |t| {
+                    let mut rng = trial_rng(4, t);
+                    Box::new(OwnedCycle::new(random_cyclic_shift(&profile, &mut rng)))
+                })
+            }),
+            ("random big-box placement", {
+                mean_ratio(params, n, |t| {
+                    Box::new(BoxOrderPerturbedSource::new(
+                        worst,
+                        RandomPlacement(trial_rng(5, t)),
+                    ))
+                })
+            }),
+        ];
+        for (label, (mean, _ci)) in entries {
+            match rows.iter_mut().find(|(l, _)| l == label) {
+                Some((_, values)) => values.push(mean),
+                None => rows.push((label.to_string(), vec![mean])),
+            }
+        }
+    }
+
+    for (label, values) in rows {
+        let verdict = if label.contains("placement") {
+            // E5's finding: the mean flattens but every sample keeps a
+            // logarithmic floor of slope 1/a.
+            "softened (log floor, slope 1/a)"
+        } else if values[1] < 3.0 {
+            "rescued (Θ(1))"
+        } else {
+            "still adversarial"
+        };
+        println!(
+            "{label:<28} {:>14.3} {:>14.3}   {verdict}",
+            values[0], values[1]
+        );
+    }
+    println!();
+    println!("Only destroying the box ORDER closes the gap. Noise in sizes or");
+    println!("start time leaves enough structure for the algorithm to re-sync");
+    println!("with the adversary (the paper's No-Catch-up machinery at work).");
+}
+
+/// Owning variant of `SquareProfile::cycle` for boxed sources.
+struct OwnedCycle {
+    boxes: Vec<Blocks>,
+    pos: usize,
+}
+
+impl OwnedCycle {
+    fn new(profile: SquareProfile) -> Self {
+        OwnedCycle {
+            boxes: profile.into_boxes(),
+            pos: 0,
+        }
+    }
+}
+
+impl BoxSource for OwnedCycle {
+    fn next_box(&mut self) -> Blocks {
+        let b = self.boxes[self.pos];
+        self.pos = (self.pos + 1) % self.boxes.len();
+        b
+    }
+}

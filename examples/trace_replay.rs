@@ -1,0 +1,102 @@
+//! Real algorithms under a fluctuating cache: multiply actual matrices,
+//! record every block access, and replay the trace through the paging
+//! simulator under different memory regimes.
+//!
+//! Shows the full pipeline: traced algorithm → block trace → (fixed DAM
+//! cache | square profile | arbitrary m(t)) replay, and the §3 phenomenon
+//! on real data: MM-Inplace converts cache into I/O savings, MM-Scan
+//! cannot.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use cadapt::paging::{replay_fixed, replay_memory_profile, replay_square_profile};
+use cadapt::prelude::*;
+use cadapt::profiles::contention::sawtooth;
+use cadapt::trace::mm::{mm_inplace, mm_scan};
+use cadapt::trace::{matrix::naive_multiply, ZMatrix};
+
+fn main() {
+    let side = 32;
+    let block_words = 4;
+    let a_rows: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 7) % 13) as f64 - 6.0)
+        .collect();
+    let b_rows: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 5) % 11) as f64 - 5.0)
+        .collect();
+    let a = ZMatrix::from_row_major(side, &a_rows);
+    let b = ZMatrix::from_row_major(side, &b_rows);
+
+    let (c_scan, trace_scan) = mm_scan(&a, &b, block_words);
+    let (c_inplace, trace_inplace) = mm_inplace(&a, &b, block_words);
+
+    // The algorithms really multiply: verify against the naive reference.
+    let expected = naive_multiply(side, &a_rows, &b_rows);
+    assert_eq!(c_scan.to_row_major(), expected);
+    assert_eq!(c_inplace.to_row_major(), expected);
+    println!("{side}x{side} product verified against the naive multiply\n");
+
+    for (label, trace) in [("MM-Scan", &trace_scan), ("MM-Inplace", &trace_inplace)] {
+        println!(
+            "{label}: {} accesses, working set {} blocks, {} base cases",
+            trace.accesses(),
+            trace.distinct_blocks(),
+            trace.leaves()
+        );
+    }
+
+    // Classical DAM: fixed cache sweep.
+    println!("\nfixed-cache (DAM) replay, I/O by cache size:");
+    print!("{:>12}", "M (blocks):");
+    for m in [8u64, 32, 128, 512, 2048] {
+        print!("{m:>9}");
+    }
+    println!();
+    for (label, trace) in [("MM-Scan", &trace_scan), ("MM-Inplace", &trace_inplace)] {
+        print!("{label:>12}");
+        for m in [8u64, 32, 128, 512, 2048] {
+            print!("{:>9}", replay_fixed(trace, m).io);
+        }
+        println!();
+    }
+
+    // Cache-adaptive replay: constant-box square profiles.
+    println!("\nsquare-profile replay, I/O by box size (cache cleared per box):");
+    print!("{:>12}", "box:");
+    for b0 in [8u64, 32, 128, 512] {
+        print!("{b0:>9}");
+    }
+    println!();
+    for (label, trace, rho) in [
+        ("MM-Scan", &trace_scan, Potential::new(8, 4)),
+        ("MM-Inplace", &trace_inplace, Potential::new(8, 4)),
+    ] {
+        print!("{label:>12}");
+        for b0 in [8u64, 32, 128, 512] {
+            let profile = SquareProfile::new(vec![b0]).expect("positive box");
+            let mut source = profile.cycle();
+            print!(
+                "{:>9}",
+                replay_square_profile(trace, &mut source, rho).total_io
+            );
+        }
+        println!();
+    }
+    println!("MM-Inplace's I/O collapses as boxes grow; MM-Scan's barely moves —");
+    println!("it streams its temporaries no matter how much cache it gets.");
+
+    // Arbitrary profile: the winner-take-all sawtooth from the paper's intro.
+    let ws = trace_inplace.distinct_blocks();
+    let profile = sawtooth(ws / 8 + 1, 2 * ws, u128::from(ws), 600 * u128::from(ws));
+    let replay = replay_memory_profile(&trace_inplace, &profile);
+    println!(
+        "\nMM-Inplace under a winner-take-all sawtooth m(t): completed = {}, {} I/Os",
+        replay.completed, replay.io
+    );
+    let squares = profile.inner_squares();
+    println!(
+        "the same profile square-decomposes into {} boxes (largest {})",
+        squares.len(),
+        squares.max_box().unwrap_or(0)
+    );
+}

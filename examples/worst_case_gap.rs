@@ -1,0 +1,76 @@
+//! The worst-case gap, algorithm by algorithm (the paper's Figure 1 made
+//! executable).
+//!
+//! Every (a, b, 1)-regular algorithm with a > b — MM-Scan, Strassen, the
+//! cache-oblivious DP kernel — pays ratio log_b n + 1 on its recursive
+//! worst-case profile, while MM-Inplace (c = 0) on the *same* profile
+//! converges to a small constant. Also prints the per-level anatomy of the
+//! adversarial profile so you can see where the potential hides.
+//!
+//! Run with: `cargo run --release --example worst_case_gap`
+
+use cadapt::prelude::*;
+
+fn gap_row(label: &str, params: AbcParams, donor: AbcParams, k: u32) {
+    let n = donor.canonical_size(k);
+    let worst = WorstCase::for_problem(&donor, n).expect("canonical size");
+    let mut source = worst.source();
+    let config = RunConfig {
+        model: ExecModel::capacity(),
+        ..RunConfig::default()
+    };
+    let report = run_on_profile(params, n, &mut source, &config).expect("run completes");
+    println!(
+        "{label:<22} n = {n:>7}  boxes = {:>9}  ratio = {:>6.3}",
+        report.boxes_used,
+        report.ratio()
+    );
+}
+
+fn main() {
+    // Anatomy of M_{8,4}(256): the box multiset by level.
+    let params = AbcParams::mm_scan();
+    let worst = WorstCase::for_problem(&params, 256).expect("canonical size");
+    let rho = params.potential();
+    println!("anatomy of M_{{8,4}}(256) — every level carries n^{{3/2}} potential:");
+    println!(
+        "{:>10} {:>10} {:>16} {:>14}",
+        "box size", "count", "potential each", "level total"
+    );
+    for (size, count) in worst.box_multiset() {
+        println!(
+            "{size:>10} {count:>10} {:>16.1} {:>14.1}",
+            rho.eval(size),
+            count as f64 * rho.eval(size)
+        );
+    }
+    println!(
+        "total potential {:.1} = (log_4 n + 1) · n^1.5 — the gap\n",
+        worst.total_potential(&rho)
+    );
+
+    println!("the gap, per algorithm (k = 7, capacity model):");
+    gap_row(
+        "MM-Scan (8,4,1)",
+        AbcParams::mm_scan(),
+        AbcParams::mm_scan(),
+        7,
+    );
+    gap_row(
+        "Strassen (7,4,1)",
+        AbcParams::strassen(),
+        AbcParams::strassen(),
+        7,
+    );
+    gap_row("CO-DP (3,2,1)", AbcParams::co_dp(), AbcParams::co_dp(), 11);
+    gap_row(
+        "MM-Inplace (8,4,0)",
+        AbcParams::mm_inplace(),
+        AbcParams::mm_scan(),
+        7,
+    );
+    println!();
+    println!("The three c = 1 algorithms pay log_b n + 1 exactly; MM-Inplace,");
+    println!("with no merge scans to waste boxes on, rides the same profile at");
+    println!("a small constant — the §3 contrast that motivates the paper.");
+}

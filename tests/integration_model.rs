@@ -1,0 +1,200 @@
+//! Cross-crate integration: the model stack end-to-end.
+//!
+//! Worst-case profiles from `cadapt-profiles` driving executions from
+//! `cadapt-recursion`, accounted by `cadapt-core`, across algorithms,
+//! models, and layouts.
+
+use cadapt::prelude::*;
+
+/// Theorem 2's gap, end-to-end and exactly: ratio = log_b n + 1 on the
+/// canonical adversary, in both execution models, for three different
+/// (a, b) pairs.
+#[test]
+fn worst_case_gap_is_exact_across_algorithms_and_models() {
+    for params in [
+        AbcParams::mm_scan(),
+        AbcParams::strassen(),
+        AbcParams::co_dp(),
+    ] {
+        for model in [ExecModel::Simplified, ExecModel::capacity()] {
+            for k in 2..=5u32 {
+                let n = params.canonical_size(k);
+                let worst = WorstCase::for_problem(&params, n).unwrap();
+                let mut source = worst.source();
+                let config = RunConfig {
+                    model,
+                    ..RunConfig::default()
+                };
+                let report = run_on_profile(params, n, &mut source, &config).unwrap();
+                assert!(
+                    (report.ratio() - (f64::from(k) + 1.0)).abs() < 1e-9,
+                    "{params} {} k={k}: ratio {}",
+                    model.label(),
+                    report.ratio()
+                );
+                // The algorithm consumes exactly one period of the profile.
+                assert_eq!(u128::from(report.boxes_used), worst.num_boxes());
+            }
+        }
+    }
+}
+
+/// The adversary's power comes from *order*, not from its box inventory:
+/// the same multiset delivered largest-first is near-optimal.
+#[test]
+fn sorted_profile_is_harmless() {
+    let params = AbcParams::mm_scan();
+    let n = params.canonical_size(6);
+    let worst = WorstCase::for_problem(&params, n).unwrap();
+    let mut boxes = worst.materialize().into_boxes();
+    boxes.sort_unstable_by(|a, b| b.cmp(a)); // biggest first
+    let profile = SquareProfile::new(boxes).unwrap();
+    let mut source = profile.cycle();
+    let report = run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap();
+    // The first box has size n and completes everything.
+    assert_eq!(report.boxes_used, 1);
+    assert!((report.ratio() - 1.0).abs() < 1e-9);
+}
+
+/// Reversed order (smallest-first) is also harmless: the algorithm crawls
+/// the small boxes at full potential extraction, then large boxes finish
+/// whole subproblems. The log gap needs interleaving synchronised with the
+/// recursion.
+#[test]
+fn reversed_sorted_profile_is_bounded() {
+    let params = AbcParams::mm_scan();
+    let n = params.canonical_size(5);
+    let worst = WorstCase::for_problem(&params, n).unwrap();
+    let mut boxes = worst.materialize().into_boxes();
+    boxes.sort_unstable(); // smallest first
+    let profile = SquareProfile::new(boxes).unwrap();
+    let mut source = profile.cycle();
+    let report = run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap();
+    assert!(report.ratio() < 3.0, "ratio {}", report.ratio());
+}
+
+/// MM-Inplace on MM-Scan's adversary: bounded, and strictly better than
+/// MM-Scan at every size (the §3 comparison).
+#[test]
+fn mm_inplace_beats_mm_scan_on_the_adversary() {
+    let scan = AbcParams::mm_scan();
+    let inplace = AbcParams::mm_inplace();
+    let mut last_gap = 0.0;
+    for k in 3..=7u32 {
+        let n = scan.canonical_size(k);
+        let worst = WorstCase::for_problem(&scan, n).unwrap();
+        let config = RunConfig {
+            model: ExecModel::capacity(),
+            ..RunConfig::default()
+        };
+        let scan_ratio = {
+            let mut source = worst.source();
+            run_on_profile(scan, n, &mut source, &config)
+                .unwrap()
+                .ratio()
+        };
+        let inplace_ratio = {
+            let mut source = worst.source();
+            run_on_profile(inplace, n, &mut source, &config)
+                .unwrap()
+                .ratio()
+        };
+        assert!(inplace_ratio < scan_ratio, "k={k}");
+        assert!(inplace_ratio < 3.0, "k={k}: inplace ratio {inplace_ratio}");
+        let gap = scan_ratio - inplace_ratio;
+        assert!(gap > last_gap, "the separation must widen with n");
+        last_gap = gap;
+    }
+}
+
+/// Scan layouts change where the adversary must put its boxes, not whether
+/// it can win (except pure upfront scans — see the A2 ablation).
+#[test]
+fn split_layout_matched_adversary_keeps_the_gap() {
+    let params = AbcParams::mm_scan().with_layout(ScanLayout::Split);
+    let mut ratios = Vec::new();
+    for k in 3..=6u32 {
+        let n = params.canonical_size(k);
+        let mut matched = MatchedWorstCase::new(params, n).unwrap();
+        let report = run_on_profile(params, n, &mut matched, &RunConfig::default()).unwrap();
+        ratios.push(report.ratio());
+    }
+    // Split scans divide each level's scan into a+1 chunks, so the matched
+    // boxes are smaller and each level contributes 1/(a+1)^{e-1} ≈ 1/3 of
+    // the canonical potential: the gap grows at slope ~1/3 per level.
+    for w in ratios.windows(2) {
+        assert!(w[1] > w[0] + 0.25, "gap must keep growing: {ratios:?}");
+    }
+}
+
+/// Cursor positions and reports are deterministic: same profile, same
+/// outcome, across repeated runs.
+#[test]
+fn runs_are_deterministic() {
+    let params = AbcParams::strassen();
+    let n = params.canonical_size(5);
+    let worst = WorstCase::for_problem(&params, n).unwrap();
+    let run = || {
+        let mut source = worst.source();
+        run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+/// The ideal-cache baseline through the same machinery: a single box of
+/// size n is exactly optimal for every algorithm.
+#[test]
+fn ideal_box_is_ratio_one_for_everyone() {
+    for params in [
+        AbcParams::mm_scan(),
+        AbcParams::mm_inplace(),
+        AbcParams::strassen(),
+        AbcParams::co_dp(),
+        AbcParams::gep(),
+    ] {
+        let n = params.canonical_size(4);
+        let profile = SquareProfile::new(vec![n]).unwrap();
+        let mut source = profile.extended(n);
+        let report = run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap();
+        assert_eq!(report.boxes_used, 1, "{params}");
+        assert!((report.ratio() - 1.0).abs() < 1e-9, "{params}");
+    }
+}
+
+/// Progress accounting is conserved: on any profile, total progress equals
+/// the leaf count when boxes are at least base-sized.
+#[test]
+fn progress_conservation_across_profiles() {
+    let params = AbcParams::mm_scan();
+    let n = params.canonical_size(5);
+    let expected = ClosedForms::for_size(params, n).unwrap().total_leaves();
+    for box_size in [1u64, 3, 4, 17, 64, 1000] {
+        let profile = SquareProfile::new(vec![box_size]).unwrap();
+        let mut source = profile.cycle();
+        let report = run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap();
+        assert_eq!(report.total_progress, expected, "box {box_size}");
+    }
+}
+
+/// A memory profile round trip: square profile → m(t) → inner squares is
+/// the identity, and the adaptivity outcome is unchanged.
+#[test]
+fn square_profile_memory_round_trip_preserves_outcome() {
+    let params = AbcParams::mm_scan();
+    let n = params.canonical_size(4);
+    let worst = WorstCase::for_problem(&params, n).unwrap();
+    let profile = worst.materialize();
+    let memory = MemoryProfile::from_square_profile(&profile);
+    let squares = memory.inner_squares();
+    let direct = {
+        let mut source = profile.cycle();
+        run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap()
+    };
+    let via_memory = {
+        let mut source = squares.cycle();
+        run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap()
+    };
+    assert_eq!(direct, via_memory);
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration: real algorithm traces through the paging
+//! simulator — the grounding of the abstract model in block-level reality.
+
+use cadapt::paging::{replay_fixed, replay_memory_profile, replay_square_profile};
+use cadapt::prelude::*;
+use cadapt::profiles::contention::{multi_tenant, sawtooth};
+use cadapt::trace::edit::{edit_distance, naive_edit_distance};
+use cadapt::trace::mm::{mm_inplace, mm_scan};
+use cadapt::trace::strassen::strassen;
+use cadapt::trace::{matrix::naive_multiply, ZMatrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn matrices(side: usize) -> (ZMatrix, ZMatrix, Vec<f64>, Vec<f64>) {
+    let a: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 3 + 1) % 7) as f64 - 3.0)
+        .collect();
+    let b: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 11 + 5) % 9) as f64 - 4.0)
+        .collect();
+    (
+        ZMatrix::from_row_major(side, &a),
+        ZMatrix::from_row_major(side, &b),
+        a,
+        b,
+    )
+}
+
+/// All three multiplication algorithms compute the same (correct) product
+/// while producing their distinct traces.
+#[test]
+fn all_multiplications_agree_and_are_correct() {
+    let (a, b, ar, br) = matrices(16);
+    let expected = naive_multiply(16, &ar, &br);
+    let (c1, t1) = mm_scan(&a, &b, 4);
+    let (c2, t2) = mm_inplace(&a, &b, 4);
+    let (c3, t3) = strassen(&a, &b, 4);
+    for c in [&c1, &c2, &c3] {
+        assert_eq!(c.to_row_major(), expected);
+    }
+    // Distinct I/O signatures: scan > strassen leaves, inplace smallest ws.
+    assert!(t1.leaves() > t3.leaves());
+    assert!(t2.distinct_blocks() < t1.distinct_blocks());
+    assert!(t2.distinct_blocks() < t3.distinct_blocks());
+}
+
+/// The DAM baseline behaves like the theory says: more cache, less I/O,
+/// down to exactly one cold miss per block at full cache.
+#[test]
+fn dam_replay_respects_cache_monotonicity() {
+    let (a, b, _, _) = matrices(16);
+    for (_, trace) in [
+        ("scan", mm_scan(&a, &b, 2).1),
+        ("inpl", mm_inplace(&a, &b, 2).1),
+    ] {
+        let mut prev = u128::MAX;
+        for m in [2u64, 8, 32, 128, 512, 1 << 20] {
+            let io = replay_fixed(&trace, m).io;
+            assert!(io <= prev, "I/O must not increase with cache size");
+            prev = io;
+        }
+        assert_eq!(
+            prev,
+            u128::from(trace.distinct_blocks()),
+            "cold-only at full cache"
+        );
+    }
+}
+
+/// Edit distance: the traced cache-oblivious boundary DP agrees with the
+/// classic DP and replays to completion under tight square profiles.
+#[test]
+fn edit_distance_trace_pipeline() {
+    let x = b"abacadabraabacadx";
+    let y = b"abracadabraabacax";
+    // Make power-of-two inputs.
+    let x = &x[..16];
+    let y = &y[..16];
+    let (d, trace) = edit_distance(x, y, 2);
+    assert_eq!(d, naive_edit_distance(x, y));
+    assert_eq!(trace.leaves(), 256);
+    let profile = SquareProfile::new(vec![8]).unwrap();
+    let mut source = profile.cycle();
+    let report = replay_square_profile(&trace, &mut source, Potential::new(4, 2));
+    assert_eq!(report.total_progress, 256);
+    assert!(report.total_io >= u128::from(trace.distinct_blocks()));
+}
+
+/// The abstract model's qualitative claim transfers to real traces: growing
+/// boxes help MM-Inplace dramatically and MM-Scan barely.
+#[test]
+fn adaptivity_distinction_transfers_to_traces() {
+    let (a, b, _, _) = matrices(32);
+    let rho = Potential::new(8, 4);
+    let io_at = |trace: &cadapt::trace::BlockTrace, b0: u64| {
+        let profile = SquareProfile::new(vec![b0]).unwrap();
+        let mut source = profile.cycle();
+        replay_square_profile(trace, &mut source, rho).total_io
+    };
+    let (_, scan) = mm_scan(&a, &b, 4);
+    let (_, inplace) = mm_inplace(&a, &b, 4);
+    let scan_speedup = io_at(&scan, 8) as f64 / io_at(&scan, 1024) as f64;
+    let inplace_speedup = io_at(&inplace, 8) as f64 / io_at(&inplace, 1024) as f64;
+    assert!(
+        inplace_speedup > 2.0 * scan_speedup,
+        "inplace {inplace_speedup} vs scan {scan_speedup}"
+    );
+}
+
+/// Square decomposition of a real contention profile changes trace I/O by
+/// at most a small constant factor (the §2 w.l.o.g., at trace level).
+#[test]
+fn inner_squares_preserve_trace_io_up_to_constants() {
+    let (a, b, _, _) = matrices(16);
+    let (_, trace) = mm_inplace(&a, &b, 2);
+    let ws = trace.distinct_blocks();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for profile in [
+        sawtooth(ws / 4 + 1, 2 * ws, u128::from(ws), 400 * u128::from(ws)),
+        multi_tenant(
+            2 * ws,
+            6,
+            u128::from(ws / 2 + 1),
+            0.4,
+            400 * u128::from(ws),
+            &mut rng,
+        ),
+    ] {
+        let direct = replay_memory_profile(&trace, &profile);
+        assert!(direct.completed, "profile long enough by construction");
+        let squares = profile.inner_squares();
+        let mut source = squares.cycle();
+        let via_squares = replay_square_profile(&trace, &mut source, Potential::new(8, 4));
+        let factor = via_squares.total_io as f64 / direct.io as f64;
+        assert!(
+            (0.2..=5.0).contains(&factor),
+            "square approximation factor {factor}"
+        );
+    }
+}
+
+/// Block size matters the way it should: bigger blocks, smaller working
+/// set, fewer I/Os at full cache.
+#[test]
+fn block_size_scales_working_set() {
+    let (a, b, _, _) = matrices(16);
+    let (_, t1) = mm_inplace(&a, &b, 1);
+    let (_, t4) = mm_inplace(&a, &b, 4);
+    let (_, t16) = mm_inplace(&a, &b, 16);
+    assert!(t1.distinct_blocks() > t4.distinct_blocks());
+    assert!(t4.distinct_blocks() > t16.distinct_blocks());
+    // Exactly 4x fewer blocks at 4x block size for the aligned matrices.
+    assert_eq!(t1.distinct_blocks(), 4 * t4.distinct_blocks());
+}
+
+/// Replays are pure functions of (trace, profile): repeated replays agree.
+#[test]
+fn replay_is_deterministic() {
+    let (a, b, _, _) = matrices(16);
+    let (_, trace) = mm_scan(&a, &b, 4);
+    let run = || {
+        let profile = SquareProfile::new(vec![64, 16, 256]).unwrap();
+        let mut source = profile.cycle();
+        replay_square_profile(&trace, &mut source, Potential::new(8, 4))
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,202 @@
+//! Property-based tests spanning crates: invariants that must hold for
+//! arbitrary inputs, not just the experiment configurations.
+
+use cadapt::core::memory_profile::Segment;
+use cadapt::prelude::*;
+use cadapt::sched::{EqualShares, JobSpec, Scheduler, SchedulerConfig, WinnerTakeAll};
+use proptest::prelude::*;
+
+/// Strategy: a plausible (a, b) pair with a > b (the gap regime).
+fn gap_params() -> impl Strategy<Value = AbcParams> {
+    prop_oneof![
+        Just(AbcParams::mm_scan()),
+        Just(AbcParams::strassen()),
+        Just(AbcParams::co_dp()),
+        Just(AbcParams::new(16, 4, 1.0, 1).unwrap()),
+        Just(AbcParams::new(5, 2, 1.0, 1).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any positive step function decomposes into squares that exactly
+    /// tile it and never poke above the curve.
+    #[test]
+    fn inner_squares_tile_any_profile(steps in proptest::collection::vec(1u64..200, 1..300)) {
+        let profile = MemoryProfile::from_steps(&steps).unwrap();
+        let squares = profile.inner_squares();
+        prop_assert_eq!(squares.total_time(), profile.total_time());
+        let mut t: u128 = 0;
+        for &b in squares.boxes() {
+            for u in t..t + u128::from(b) {
+                prop_assert!(profile.value_at(u).unwrap() >= b);
+            }
+            t += u128::from(b);
+        }
+    }
+
+    /// Greedy inner squares are locally maximal: growing any square by one
+    /// step would poke above the curve or past the end.
+    #[test]
+    fn inner_squares_are_maximal(steps in proptest::collection::vec(1u64..64, 1..120)) {
+        let profile = MemoryProfile::from_steps(&steps).unwrap();
+        let squares = profile.inner_squares();
+        let mut t: u128 = 0;
+        for &b in squares.boxes() {
+            let grown = u128::from(b) + 1;
+            let fits = (t..t + grown).all(|u| {
+                profile.value_at(u).is_some_and(|m| u128::from(m) >= grown)
+            });
+            prop_assert!(!fits, "square {b} at t={t} could have grown");
+            t += u128::from(b);
+        }
+    }
+
+    /// Runs complete with conserved progress on arbitrary box menus, for
+    /// arbitrary gap-regime parameters, in both models.
+    #[test]
+    fn progress_is_conserved_on_random_menus(
+        params in gap_params(),
+        menu in proptest::collection::vec(1u64..500, 1..8),
+        simplified in proptest::bool::ANY,
+    ) {
+        let n = params.canonical_size(3);
+        let expected = ClosedForms::for_size(params, n).unwrap().total_leaves();
+        let profile = SquareProfile::new(menu).unwrap();
+        let mut source = profile.cycle();
+        let model = if simplified { ExecModel::Simplified } else { ExecModel::capacity() };
+        let config = RunConfig { model, ..RunConfig::default() };
+        let report = run_on_profile(params, n, &mut source, &config).unwrap();
+        prop_assert_eq!(report.total_progress, expected);
+        // Eq. 2 lower bound: completing the problem requires at least
+        // n^{log_b a} worth of bounded potential.
+        prop_assert!(report.bounded_potential_sum >= report.required_progress - 1e-6);
+    }
+
+    /// Rotations and shifts never change a profile's multiset, time, or
+    /// potential.
+    #[test]
+    fn rotation_invariants(
+        boxes in proptest::collection::vec(1u64..100, 1..60),
+        k in 0usize..200,
+    ) {
+        let profile = SquareProfile::new(boxes).unwrap();
+        let rho = Potential::new(8, 4);
+        let rotated = profile.rotated_by_boxes(k);
+        prop_assert_eq!(rotated.total_time(), profile.total_time());
+        prop_assert!((rotated.total_potential(&rho) - profile.total_potential(&rho)).abs() < 1e-6);
+        prop_assert_eq!(rotated.len(), profile.len());
+    }
+
+    /// The bounded potential sum of a run is monotone in the box menu:
+    /// doubling every box size cannot reduce the number of leaves a prefix
+    /// completes (sanity of the potential accounting under scaling).
+    #[test]
+    fn bigger_boxes_use_fewer_boxes(
+        params in gap_params(),
+        size in 1u64..64,
+    ) {
+        let n = params.canonical_size(3);
+        let small = {
+            let profile = SquareProfile::new(vec![size]).unwrap();
+            let mut source = profile.cycle();
+            run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap()
+        };
+        let big = {
+            let profile = SquareProfile::new(vec![2 * size]).unwrap();
+            let mut source = profile.cycle();
+            run_on_profile(params, n, &mut source, &RunConfig::default()).unwrap()
+        };
+        prop_assert!(big.boxes_used <= small.boxes_used);
+    }
+
+    /// Memory profiles built from segments and from expanded steps agree.
+    #[test]
+    fn segment_and_step_construction_agree(
+        segs in proptest::collection::vec((1u64..40, 1u64..20), 1..30),
+    ) {
+        let segments: Vec<Segment> =
+            segs.iter().map(|&(size, len)| Segment { size, len: u128::from(len) }).collect();
+        let from_segments = MemoryProfile::from_segments(segments).unwrap();
+        let steps: Vec<u64> = segs
+            .iter()
+            .flat_map(|&(size, len)| std::iter::repeat_n(size, len as usize))
+            .collect();
+        let from_steps = MemoryProfile::from_steps(&steps).unwrap();
+        prop_assert_eq!(from_segments, from_steps);
+    }
+
+    /// Scheduling conserves work: every admitted job finishes with its
+    /// full leaf count, for arbitrary job counts, cache sizes, and both
+    /// deterministic policies.
+    #[test]
+    fn schedules_conserve_progress(
+        jobs in 1usize..5,
+        cache in 8u64..512,
+        k in 2u32..4,
+        wta in proptest::bool::ANY,
+    ) {
+        let params = AbcParams::mm_scan();
+        let n = params.canonical_size(k);
+        let specs = vec![JobSpec::new(params, n); jobs];
+        let config = SchedulerConfig {
+            total_cache: cache,
+            ..SchedulerConfig::default()
+        };
+        let result = if wta {
+            Scheduler::new(&specs, WinnerTakeAll { reign: 3 }, config)
+                .unwrap()
+                .run()
+                .unwrap()
+        } else {
+            Scheduler::new(&specs, EqualShares, config)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let expected = ClosedForms::for_size(params, n).unwrap().total_leaves();
+        prop_assert!(result.jobs.iter().all(|j| j.done));
+        for j in &result.jobs {
+            prop_assert_eq!(j.progress, expected);
+        }
+        let f = result.fairness();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
+    }
+
+    /// Scan-hiding preserves leaf counts and never blows the work up by
+    /// more than the analytic constant, for every gap-regime preset.
+    #[test]
+    fn scan_hiding_invariants(params in gap_params(), k in 2u32..6) {
+        let hidden = params.scan_hidden().unwrap();
+        let n = params.canonical_size(k);
+        let hn = hidden.canonical_size(k);
+        let orig = ClosedForms::for_size(params, n).unwrap();
+        let transformed = ClosedForms::for_size(hidden, hn).unwrap();
+        prop_assert_eq!(orig.total_leaves(), transformed.total_leaves());
+        prop_assert!(transformed.total_time() >= orig.total_time());
+        // base' = base·(1 + ⌈a/(a−b)⌉) bounds the work overhead.
+        let cap = 1.0 + (params.a() as f64 / (params.a() - params.b()) as f64).ceil();
+        let overhead = transformed.total_time() as f64 / orig.total_time() as f64;
+        prop_assert!(overhead <= cap + 1e-9, "overhead {overhead} vs cap {cap}");
+    }
+
+    /// The worst-case profile's closed forms agree with materialisation
+    /// for arbitrary (a, b, min, depth) in a small grid.
+    #[test]
+    fn worst_case_closed_forms_match_materialisation(
+        a in 2u64..6,
+        b in 2u64..5,
+        min_size in 1u64..4,
+        depth in 0u32..5,
+    ) {
+        let wc = WorstCase::new(a, b, min_size, depth).unwrap();
+        prop_assume!(wc.num_boxes() <= 100_000);
+        let profile = wc.materialize();
+        prop_assert_eq!(profile.len() as u128, wc.num_boxes());
+        prop_assert_eq!(profile.total_time(), wc.total_time());
+        let rho = Potential::new(a, b);
+        let diff = (profile.total_potential(&rho) - wc.total_potential(&rho)).abs();
+        prop_assert!(diff < 1e-6 * wc.total_potential(&rho).max(1.0));
+    }
+}
