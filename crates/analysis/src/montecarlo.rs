@@ -10,6 +10,7 @@
 //! HPC guides insist on.
 
 use crate::stats::Stats;
+use cadapt_core::counters::{CounterSnapshot, Recording, SharedCounters};
 use cadapt_core::{Blocks, BoxSource};
 use cadapt_recursion::{run_on_profile, AbcParams, RunConfig, RunError};
 use rand::SeedableRng;
@@ -52,6 +53,11 @@ pub struct McSummary {
     pub boxes: Stats,
     /// Bounded-potential sum across trials (Definition 3's expectation).
     pub bounded_potential: Stats,
+    /// Execution counters summed over all trials (boxes advanced, I/Os
+    /// charged, cursor steps, …) — the observability layer's per-call
+    /// totals. Independent of thread count: every trial records into its
+    /// worker's thread-local counters and the snapshots are summed.
+    pub counters: CounterSnapshot,
 }
 
 /// The deterministic per-trial RNG: stream `trial` of `seed`.
@@ -104,27 +110,35 @@ where
     let threads = threads.min(config.trials.max(1) as usize).max(1);
     let next_trial = std::sync::atomic::AtomicU64::new(0);
     let make_source = &make_source;
+    let shared_counters = SharedCounters::new();
 
     let results: Vec<Result<(Stats, Stats, Stats), RunError>> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let next = &next_trial;
+            let counters = &shared_counters;
             handles.push(scope.spawn(move |_| {
+                let recording = Recording::start();
                 let mut ratio = Stats::new();
                 let mut boxes = Stats::new();
                 let mut potential = Stats::new();
-                loop {
+                let outcome = loop {
                     let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if trial >= config.trials {
-                        break;
+                        break Ok(());
                     }
                     let mut source = make_source(trial_rng(config.seed, trial));
-                    let report = run_on_profile(params, n, &mut source, &config.run)?;
-                    ratio.push(report.ratio());
-                    boxes.push(report.boxes_used as f64);
-                    potential.push(report.bounded_potential_sum);
-                }
-                Ok((ratio, boxes, potential))
+                    match run_on_profile(params, n, &mut source, &config.run) {
+                        Ok(report) => {
+                            ratio.push(report.ratio());
+                            boxes.push(report.boxes_used as f64);
+                            potential.push(report.bounded_potential_sum);
+                        }
+                        Err(e) => break Err(e),
+                    }
+                };
+                counters.add(&recording.finish());
+                outcome.map(|()| (ratio, boxes, potential))
             }));
         }
         handles
@@ -143,11 +157,16 @@ where
         boxes.merge(&b0);
         potential.merge(&p0);
     }
+    // Make the workers' counts visible to the caller's own recording, so a
+    // scope timing a whole experiment sees its Monte-Carlo work too.
+    let counters = shared_counters.snapshot();
+    cadapt_core::counters::count_snapshot(&counters);
     Ok(McSummary {
         n,
         ratio,
         boxes,
         bounded_potential: potential,
+        counters,
     })
 }
 
@@ -197,6 +216,11 @@ mod tests {
         assert!((single.boxes.mean - multi.boxes.mean).abs() < 1e-12);
         assert_eq!(single.ratio.min, multi.ratio.min);
         assert_eq!(single.ratio.max, multi.ratio.max);
+        // The counter totals are per-trial sums, so they are exactly
+        // thread-count independent too.
+        assert_eq!(single.counters, multi.counters);
+        assert!(single.counters.boxes_advanced > 0);
+        assert!(single.counters.ios_charged > 0);
     }
 
     #[test]

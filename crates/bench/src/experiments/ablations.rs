@@ -73,8 +73,11 @@ impl<S: cadapt_core::BoxSource> cadapt_core::BoxSource for Augmented<S> {
 #[must_use]
 pub fn run(scale: Scale) -> AblationResult {
     let params = AbcParams::mm_scan();
-    let trials = scale.pick(12, 64);
-    let k_hi = scale.pick(5, 7);
+    let trials = scale.pick(24, 64);
+    // k_hi = 6 gives the sweep five points (four increments) even at Quick
+    // scale — the minimum for classify_growth's increment-trend rule to
+    // tell a converging shuffled series from sustained growth.
+    let k_hi = scale.pick(6, 7);
     let sizes = size_sweep(&params, 2, k_hi, u64::MAX);
 
     // --- A1: shuffle granularity ---------------------------------------
@@ -314,6 +317,47 @@ mod tests {
         let result = run(Scale::Quick);
         for s in &result.min_box_series {
             assert_eq!(s.class, GrowthClass::Logarithmic, "{}", s.label);
+        }
+    }
+}
+
+/// Registry adapter: the A1-A4 ablations through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "ablations"
+    }
+    fn title(&self) -> &'static str {
+        "Ablations A1-A4 (shuffle granularity, layout, model, min box)"
+    }
+    fn deterministic(&self) -> bool {
+        false // A1/A3 fan over monte_carlo_ratio worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for series in &result.shuffle_series {
+            crate::harness::push_series(&mut metrics, "a1", series);
+        }
+        for series in &result.layout_series {
+            crate::harness::push_series(&mut metrics, "a2", series);
+        }
+        for series in &result.model_series {
+            crate::harness::push_series(&mut metrics, "a3", series);
+        }
+        for series in &result.min_box_series {
+            crate::harness::push_series(&mut metrics, "a4", series);
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![
+                result.shuffle_table.render(),
+                result.layout_table.render(),
+                result.model_table.render(),
+                result.min_box_table.render(),
+            ],
         }
     }
 }

@@ -116,3 +116,30 @@ mod tests {
         }
     }
 }
+
+/// Registry adapter: E10 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e10"
+    }
+    fn title(&self) -> &'static str {
+        "Realistic contention profiles (square-approximated)"
+    }
+    fn deterministic(&self) -> bool {
+        true // serial per-trial RNG, no worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for series in &result.series {
+            crate::harness::push_series(&mut metrics, "series", series);
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

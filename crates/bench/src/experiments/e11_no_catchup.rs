@@ -94,3 +94,30 @@ mod tests {
         assert_eq!(result.violations, 0, "No-Catch-up Lemma violated!");
     }
 }
+
+/// Registry adapter: E11 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+    fn title(&self) -> &'static str {
+        "No-Catch-up Lemma on randomized instances"
+    }
+    fn deterministic(&self) -> bool {
+        true // serial per-instance RNG, no worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let metrics = vec![
+            crate::harness::metric("instances_checked", result.checked as f64),
+            crate::harness::metric("violations", result.violations as f64),
+        ];
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

@@ -147,3 +147,37 @@ mod tests {
         }
     }
 }
+
+/// Registry adapter: E12 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+    fn title(&self) -> &'static str {
+        "Scan-hiding: worst-case ratio before and after"
+    }
+    fn deterministic(&self) -> bool {
+        true // worst-case profiles, no randomness
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for (original, hidden) in &result.series {
+            crate::harness::push_series(&mut metrics, "original", original);
+            crate::harness::push_series(&mut metrics, "scan_hidden", hidden);
+        }
+        for (label, overhead) in &result.overheads {
+            metrics.push(crate::harness::metric(
+                format!("overhead/{label}"),
+                *overhead,
+            ));
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

@@ -216,3 +216,42 @@ mod tests {
         }
     }
 }
+
+/// Registry adapter: E13 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e13"
+    }
+    fn title(&self) -> &'static str {
+        "Multi-programmed cache scheduling policies"
+    }
+    fn deterministic(&self) -> bool {
+        true // serial per-trial RNG, no worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for cell in &result.cells {
+            let base = format!("{}/{}", cell.mix, cell.policy);
+            metrics.push(crate::harness::metric(
+                format!("{base}/overhead"),
+                cell.overhead,
+            ));
+            metrics.push(crate::harness::metric(
+                format!("{base}/fairness"),
+                cell.fairness,
+            ));
+            metrics.push(crate::harness::metric(
+                format!("{base}/worst_ratio"),
+                cell.worst_ratio,
+            ));
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

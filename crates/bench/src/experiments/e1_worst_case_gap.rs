@@ -161,3 +161,30 @@ mod tests {
         }
     }
 }
+
+/// Registry adapter: E1 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e1"
+    }
+    fn title(&self) -> &'static str {
+        "Worst-case adaptivity gap (Theorem 2)"
+    }
+    fn deterministic(&self) -> bool {
+        true
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for series in &result.series {
+            crate::harness::push_series(&mut metrics, "series", series);
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

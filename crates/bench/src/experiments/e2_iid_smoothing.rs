@@ -178,3 +178,30 @@ mod tests {
         );
     }
 }
+
+/// Registry adapter: E2 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e2"
+    }
+    fn title(&self) -> &'static str {
+        "I.i.d. smoothing across distributions (Theorem 1)"
+    }
+    fn deterministic(&self) -> bool {
+        false // trials fan over monte_carlo_ratio worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for series in &result.series {
+            crate::harness::push_series(&mut metrics, "series", series);
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

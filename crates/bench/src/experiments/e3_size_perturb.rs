@@ -123,3 +123,30 @@ mod tests {
         );
     }
 }
+
+/// Registry adapter: E3 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e3"
+    }
+    fn title(&self) -> &'static str {
+        "Size-perturbed worst-case profiles (Section 4)"
+    }
+    fn deterministic(&self) -> bool {
+        true // serial per-trial RNG, no worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for series in &result.series {
+            crate::harness::push_series(&mut metrics, "series", series);
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

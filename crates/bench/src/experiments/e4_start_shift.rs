@@ -82,3 +82,28 @@ mod tests {
         );
     }
 }
+
+/// Registry adapter: E4 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e4"
+    }
+    fn title(&self) -> &'static str {
+        "Random cyclic start shifts (Section 4)"
+    }
+    fn deterministic(&self) -> bool {
+        true // serial per-trial RNG, no worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        crate::harness::push_series(&mut metrics, "series", &result.series);
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

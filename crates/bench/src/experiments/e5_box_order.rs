@@ -168,3 +168,30 @@ mod tests {
         }
     }
 }
+
+/// Registry adapter: E5 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e5"
+    }
+    fn title(&self) -> &'static str {
+        "Box-order (big-box placement) perturbation (Section 4)"
+    }
+    fn deterministic(&self) -> bool {
+        true // serial per-trial RNG, no worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for series in &result.series {
+            crate::harness::push_series(&mut metrics, "series", series);
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

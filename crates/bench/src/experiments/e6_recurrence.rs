@@ -80,7 +80,7 @@ fn sigmas(n_max: u64) -> Vec<Box<dyn BoxDist>> {
 #[must_use]
 pub fn run(scale: Scale) -> E6Result {
     let params = AbcParams::mm_scan();
-    let trials = scale.pick(48, 128);
+    let trials = scale.pick(96, 192);
     let k_hi = scale.pick(5, 7);
     let n_max = params.canonical_size(k_hi);
     let mut table = Table::new(
@@ -255,5 +255,49 @@ mod tests {
             .unwrap();
         assert!((row.f_measured - 1.0).abs() < 1e-9);
         assert!((row.f_lo - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Registry adapter: E6 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e6"
+    }
+    fn title(&self) -> &'static str {
+        "Lemma 3 recurrence bounds and the Eq. 6-8 checks"
+    }
+    fn deterministic(&self) -> bool {
+        false // trials fan over monte_carlo_ratio worker threads
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for row in &result.rows {
+            let base = format!("rows/{}/n{}", row.dist, row.n);
+            metrics.push(crate::harness::metric(format!("{base}/lo"), row.f_lo));
+            metrics.push(crate::harness::metric_ci(
+                format!("{base}/measured"),
+                row.f_measured,
+                row.ci95,
+            ));
+            metrics.push(crate::harness::metric(format!("{base}/hi"), row.f_hi));
+        }
+        for (label, _, product) in &result.eq6 {
+            metrics.push(crate::harness::metric(
+                format!("eq6/{label}/product"),
+                *product,
+            ));
+        }
+        for (label, _, (lo, hi)) in &result.eq7_eq8 {
+            metrics.push(crate::harness::metric(format!("eq8/{label}/lo"), *lo));
+            metrics.push(crate::harness::metric(format!("eq8/{label}/hi"), *hi));
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render(), result.eq6_table.render()],
+        }
     }
 }

@@ -132,3 +132,35 @@ mod tests {
         }
     }
 }
+
+/// Registry adapter: E7 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e7"
+    }
+    fn title(&self) -> &'static str {
+        "Measured box potential vs rho(x) = x^(log_b a)"
+    }
+    fn deterministic(&self) -> bool {
+        true // serial probes with fixed seeds
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for row in &result.rows {
+            let base = format!("{}/{}/x{}", row.algo, row.model, row.box_size);
+            metrics.push(crate::harness::metric(
+                format!("{base}/measured"),
+                row.measured as f64,
+            ));
+            metrics.push(crate::harness::metric(format!("{base}/rho"), row.rho));
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

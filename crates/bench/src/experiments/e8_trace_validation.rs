@@ -222,3 +222,44 @@ mod tests {
         }
     }
 }
+
+/// Registry adapter: E8 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e8"
+    }
+    fn title(&self) -> &'static str {
+        "Trace-level validation (DAM and square-profile replay)"
+    }
+    fn deterministic(&self) -> bool {
+        true // pure trace replay
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for (label, speedup) in &result.speedups {
+            metrics.push(crate::harness::metric(format!("speedup/{label}"), *speedup));
+        }
+        for (i, (profile_io, square_io)) in result.square_pairs.iter().enumerate() {
+            metrics.push(crate::harness::metric(
+                format!("square/{i}/profile_io"),
+                *profile_io as f64,
+            ));
+            metrics.push(crate::harness::metric(
+                format!("square/{i}/square_io"),
+                *square_io as f64,
+            ));
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![
+                result.dam_table.render(),
+                result.adaptivity_table.render(),
+                result.square_table.render(),
+            ],
+        }
+    }
+}

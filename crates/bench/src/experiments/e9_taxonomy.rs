@@ -132,3 +132,34 @@ mod tests {
         }
     }
 }
+
+/// Registry adapter: E9 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e9"
+    }
+    fn title(&self) -> &'static str {
+        "Growth-law taxonomy over the (a, b, c) grid"
+    }
+    fn deterministic(&self) -> bool {
+        true // worst-case profiles, no randomness
+    }
+    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
+        let result = run(scale);
+        let mut metrics = Vec::new();
+        for entry in &result.entries {
+            crate::harness::push_series(&mut metrics, "series", &entry.series);
+            metrics.push(crate::harness::metric(
+                format!("expected/{}", entry.label),
+                crate::harness::class_code(entry.expected),
+            ));
+        }
+        crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![result.table.render()],
+        }
+    }
+}

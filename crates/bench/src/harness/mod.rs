@@ -1,0 +1,164 @@
+//! # The experiment engine
+//!
+//! One registry, one runner, one on-disk format — the machinery behind the
+//! `cadapt-bench` binary. Every experiment module implements [`Experiment`]
+//! (id, title, determinism, and a `run` producing metrics + rendered
+//! tables); [`run_record`] executes one under a counter [`Recording`] and a
+//! wall clock and packages the outcome as a schema-versioned [`RunRecord`];
+//! [`check::compare`] diffs a fresh record against a committed golden under
+//! explicit tolerance bands.
+//!
+//! Determinism contract: an experiment declares itself `deterministic` only
+//! if a re-run in any environment reproduces every metric bit-for-bit.
+//! Experiments that fan trials over `monte_carlo_ratio`'s worker threads
+//! are *statistically* reproducible (fixed per-trial seeds) but merge their
+//! running moments in a thread-dependent order, so they declare
+//! `deterministic = false` and are compared by CI overlap instead.
+
+pub mod check;
+pub mod record;
+
+pub use check::{compare, CheckReport};
+pub use record::{class_code, metric, metric_ci, push_series, Metric, RunRecord, SCHEMA_VERSION};
+
+use crate::experiments::{
+    ablations, e10_contention, e11_no_catchup, e12_scan_hiding, e13_scheduling, e1_worst_case_gap,
+    e2_iid_smoothing, e3_size_perturb, e4_start_shift, e5_box_order, e6_recurrence, e7_potential,
+    e8_trace_validation, e9_taxonomy,
+};
+use crate::Scale;
+use cadapt_core::counters::Recording;
+use std::time::Instant;
+
+/// What an experiment hands back to the engine: extracted scalars plus the
+/// rendered tables the old per-experiment binaries used to print.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Named scalars for golden comparison.
+    pub metrics: Vec<Metric>,
+    /// Rendered tables (printed by `run`, stored for reference).
+    pub tables: Vec<String>,
+}
+
+/// A registered experiment.
+pub trait Experiment: Sync {
+    /// Stable registry id (`"e1"` … `"e13"`, `"ablations"`).
+    fn id(&self) -> &'static str;
+    /// One-line human title.
+    fn title(&self) -> &'static str;
+    /// Is a re-run bit-identical? (See the module docs for the contract.)
+    fn deterministic(&self) -> bool;
+    /// Execute at the given scale.
+    fn run(&self, scale: Scale) -> ExperimentOutput;
+}
+
+/// Every experiment, in presentation order.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: [&dyn Experiment; 14] = [
+        &e1_worst_case_gap::Exp,
+        &e2_iid_smoothing::Exp,
+        &e3_size_perturb::Exp,
+        &e4_start_shift::Exp,
+        &e5_box_order::Exp,
+        &e6_recurrence::Exp,
+        &e7_potential::Exp,
+        &e8_trace_validation::Exp,
+        &e9_taxonomy::Exp,
+        &e10_contention::Exp,
+        &e11_no_catchup::Exp,
+        &e12_scan_hiding::Exp,
+        &e13_scheduling::Exp,
+        &ablations::Exp,
+    ];
+    &REGISTRY
+}
+
+/// Look up an experiment by registry id.
+#[must_use]
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().find(|e| e.id() == id).copied()
+}
+
+/// Run one experiment under the observability layer and package the
+/// outcome as a [`RunRecord`].
+#[must_use]
+pub fn run_record(exp: &dyn Experiment, scale: Scale) -> RunRecord {
+    let clock = Instant::now();
+    let recording = Recording::start();
+    let output = exp.run(scale);
+    let counters = recording.finish();
+    RunRecord {
+        schema_version: SCHEMA_VERSION,
+        experiment: exp.id().to_string(),
+        title: exp.title().to_string(),
+        scale: scale.name().to_string(),
+        deterministic: exp.deterministic(),
+        wall_ms: clock.elapsed().as_secs_f64() * 1e3,
+        counters,
+        metrics: output.metrics,
+        tables: output.tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_ids_are_unique_and_complete() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        let distinct: BTreeSet<&str> = ids.iter().copied().collect();
+        assert_eq!(ids.len(), distinct.len(), "duplicate registry id");
+        for k in 1..=13 {
+            assert!(distinct.contains(format!("e{k}").as_str()), "missing e{k}");
+        }
+        assert!(distinct.contains("ablations"));
+    }
+
+    #[test]
+    fn find_resolves_ids() {
+        assert_eq!(find("e1").unwrap().id(), "e1");
+        assert!(find("e99").is_none());
+    }
+
+    #[test]
+    fn deterministic_run_records_reproduce_and_count() {
+        let exp = find("e1").unwrap();
+        assert!(exp.deterministic());
+        let first = run_record(exp, Scale::Quick);
+        let second = run_record(exp, Scale::Quick);
+        assert!(!first.metrics.is_empty());
+        assert!(!first.tables.is_empty());
+        assert!(
+            first.counters.boxes_advanced > 0,
+            "the recording must see the execution: {:?}",
+            first.counters
+        );
+        let report = compare(&first, &second);
+        assert!(
+            report.passed(),
+            "self-comparison failed: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn run_record_round_trips_through_json() {
+        let exp = find("e11").unwrap();
+        let record = run_record(exp, Scale::Quick);
+        let back = RunRecord::from_json(&record.to_json()).unwrap();
+        assert!(compare(&record, &back).passed());
+        assert_eq!(record.counters, back.counters);
+    }
+
+    #[test]
+    fn tampered_golden_fails_the_check() {
+        let exp = find("e11").unwrap();
+        let golden = run_record(exp, Scale::Quick);
+        let mut fresh = golden.clone();
+        fresh.metrics[0].value += 1.0;
+        assert!(!compare(&golden, &fresh).passed());
+    }
+}

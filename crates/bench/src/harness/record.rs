@@ -1,0 +1,162 @@
+//! Schema-versioned run records: what one experiment run writes to disk.
+
+use crate::experiments::common::RatioSeries;
+use cadapt_analysis::GrowthClass;
+use cadapt_core::CounterSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Version of the on-disk record layout. Bump when a field changes meaning
+/// or shape; `check` refuses to compare records across versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One named scalar extracted from an experiment, with the half-width of
+/// its 95% confidence interval (0 for exact quantities).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Stable, slash-separated name (`"series/MM-Scan (8,4,1)/slope"`).
+    pub name: String,
+    /// The value.
+    pub value: f64,
+    /// Half-width of the 95% CI; 0 when the quantity is exact.
+    pub ci95: f64,
+}
+
+/// An exact metric (CI half-width 0).
+#[must_use]
+pub fn metric(name: impl Into<String>, value: f64) -> Metric {
+    Metric {
+        name: name.into(),
+        value,
+        ci95: 0.0,
+    }
+}
+
+/// A metric with a confidence interval.
+#[must_use]
+pub fn metric_ci(name: impl Into<String>, value: f64, ci95: f64) -> Metric {
+    Metric {
+        name: name.into(),
+        value,
+        ci95,
+    }
+}
+
+/// Stable numeric encoding of a growth class, so classifications can live
+/// in the metric list (a class flip is a regression worth failing on).
+#[must_use]
+pub fn class_code(class: GrowthClass) -> f64 {
+    match class {
+        GrowthClass::Constant => 0.0,
+        GrowthClass::Logarithmic => 1.0,
+        GrowthClass::Indeterminate => 2.0,
+    }
+}
+
+/// Extract the standard metrics of a classified ratio series: fitted
+/// slope, r², final mean ratio, and the growth class.
+pub fn push_series(metrics: &mut Vec<Metric>, prefix: &str, series: &RatioSeries) {
+    let base = format!("{prefix}/{}", series.label);
+    metrics.push(metric(format!("{base}/slope"), series.fit.slope));
+    metrics.push(metric(format!("{base}/r2"), series.fit.r2));
+    if let Some(&(_, last)) = series.points.last() {
+        metrics.push(metric(format!("{base}/final"), last));
+    }
+    metrics.push(metric(format!("{base}/class"), class_code(series.class)));
+}
+
+/// The complete, serialisable outcome of running one experiment once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Registry id (`"e1"` … `"e13"`, `"ablations"`).
+    pub experiment: String,
+    /// Human-readable title.
+    pub title: String,
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// Whether re-runs are bit-identical (exact golden comparison) or
+    /// Monte-Carlo (CI-overlap comparison).
+    pub deterministic: bool,
+    /// Wall-clock time of the run in milliseconds. Informational only;
+    /// never compared against goldens.
+    pub wall_ms: f64,
+    /// Execution counters recorded across the whole run (exact per-trial
+    /// sums — thread-count independent, compared exactly).
+    pub counters: CounterSnapshot,
+    /// Extracted scalars, compared against goldens under the tolerance
+    /// rules in [`crate::harness::check`].
+    pub metrics: Vec<Metric>,
+    /// Rendered tables (informational only; never compared).
+    pub tables: Vec<String>,
+}
+
+impl RunRecord {
+    /// Serialise to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (it cannot for this type).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunRecord serialises")
+    }
+
+    /// Parse a record from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error message.
+    pub fn from_json(text: &str) -> Result<RunRecord, String> {
+        serde_json::from_str(text).map_err(|e| format!("{e:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = RunRecord {
+            schema_version: SCHEMA_VERSION,
+            experiment: "e1".into(),
+            title: "demo".into(),
+            scale: "quick".into(),
+            deterministic: true,
+            wall_ms: 12.5,
+            counters: CounterSnapshot {
+                boxes_advanced: 7,
+                ..CounterSnapshot::ZERO
+            },
+            metrics: vec![metric("a/slope", 1.25), metric_ci("b/mean", 2.0, 0.125)],
+            tables: vec!["T\nrow".into()],
+        };
+        let back = RunRecord::from_json(&record.to_json()).unwrap();
+        assert_eq!(record, back);
+    }
+
+    #[test]
+    fn class_codes_are_distinct() {
+        let codes = [
+            class_code(GrowthClass::Constant),
+            class_code(GrowthClass::Logarithmic),
+            class_code(GrowthClass::Indeterminate),
+        ];
+        assert_eq!(codes, [0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn push_series_emits_the_standard_four() {
+        let series = RatioSeries::classify("demo", vec![(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)]);
+        let mut metrics = Vec::new();
+        push_series(&mut metrics, "s", &series);
+        let names: Vec<&str> = metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["s/demo/slope", "s/demo/r2", "s/demo/final", "s/demo/class"]
+        );
+        assert_eq!(metrics[2].value, 2.0);
+        assert_eq!(metrics[3].value, 0.0); // Constant
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,23 @@ impl Scale {
         } else {
             Scale::Full
         }
+    }
+
+    /// Parse a `--size` value (`quick` / `full`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`"quick"` / `"full"`), as stored in
+    /// run records.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.pick("quick", "full")
     }
 
     /// Pick between the two variants.

@@ -1,0 +1,197 @@
+//! `cadapt-bench` — the one CLI in front of every experiment.
+//!
+//! ```text
+//! cadapt-bench list
+//! cadapt-bench run   [--exp e1,e2,…] [--size quick|full] [--out DIR]
+//! cadapt-bench check [--exp e1,e2,…] [--size quick|full] [--golden DIR]
+//! ```
+//!
+//! `run` executes the selected experiments (all, by default) through the
+//! registry, prints their tables, and — with `--out` — writes one
+//! schema-versioned JSON run record per experiment. Regenerate the goldens
+//! with `cadapt-bench run --size quick --out tests/golden`.
+//!
+//! `check` re-runs the selected experiments and compares each against the
+//! committed record in the golden directory (default `tests/golden`) under
+//! the tolerance bands of `cadapt_bench::harness::check`. Exit status 1 on
+//! any mismatch.
+
+use cadapt_bench::harness::{self, CheckReport, RunRecord};
+use cadapt_bench::Scale;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cadapt-bench <command> [options]
+
+commands:
+  list                     print the experiment registry
+  run                      run experiments and print their tables
+  check                    re-run experiments and diff against goldens
+
+options:
+  --exp ID[,ID…]           experiments to touch (default: all)
+  --size quick|full        scale (default: full for run, quick for check)
+  --out DIR                run only: write one JSON run record per experiment
+  --golden DIR             check only: golden directory (default tests/golden)
+";
+
+struct Options {
+    ids: Vec<String>,
+    scale: Option<Scale>,
+    out: Option<PathBuf>,
+    golden: PathBuf,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        ids: Vec::new(),
+        scale: None,
+        out: None,
+        golden: PathBuf::from("tests/golden"),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--exp" => options.ids = value("--exp")?.split(',').map(str::to_string).collect(),
+            "--size" => {
+                let name = value("--size")?;
+                options.scale =
+                    Some(Scale::parse(&name).ok_or_else(|| format!("unknown size {name:?}"))?);
+            }
+            "--out" => options.out = Some(PathBuf::from(value("--out")?)),
+            "--golden" => options.golden = PathBuf::from(value("--golden")?),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Resolve the requested ids against the registry, defaulting to all.
+fn select(ids: &[String]) -> Result<Vec<&'static dyn harness::Experiment>, String> {
+    if ids.is_empty() {
+        return Ok(harness::registry().to_vec());
+    }
+    ids.iter()
+        .map(|id| harness::find(id).ok_or_else(|| format!("unknown experiment {id:?}")))
+        .collect()
+}
+
+fn cmd_list() {
+    for exp in harness::registry() {
+        println!(
+            "{:<10} {} {}",
+            exp.id(),
+            if exp.deterministic() {
+                "[exact]"
+            } else {
+                "[monte-carlo]"
+            },
+            exp.title()
+        );
+    }
+}
+
+fn cmd_run(options: &Options) -> Result<(), String> {
+    let scale = options.scale.unwrap_or(Scale::Full);
+    let experiments = select(&options.ids)?;
+    if let Some(dir) = &options.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    for exp in experiments {
+        eprintln!("[cadapt-bench] running {} ({})…", exp.id(), scale.name());
+        let record = harness::run_record(exp, scale);
+        for table in &record.tables {
+            print!("{table}");
+            println!();
+        }
+        eprintln!(
+            "[cadapt-bench] {} finished in {:.0} ms ({} metrics, {} boxes advanced)",
+            record.experiment,
+            record.wall_ms,
+            record.metrics.len(),
+            record.counters.boxes_advanced
+        );
+        if let Some(dir) = &options.out {
+            let path = dir.join(format!("{}.json", record.experiment));
+            std::fs::write(&path, record.to_json())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!("[cadapt-bench] wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn load_golden(dir: &Path, id: &str) -> Result<RunRecord, String> {
+    let path = dir.join(format!("{id}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading golden {}: {e}", path.display()))?;
+    RunRecord::from_json(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+fn cmd_check(options: &Options) -> Result<bool, String> {
+    let scale = options.scale.unwrap_or(Scale::Quick);
+    let experiments = select(&options.ids)?;
+    let mut reports: Vec<CheckReport> = Vec::new();
+    for exp in experiments {
+        let golden = load_golden(&options.golden, exp.id())?;
+        eprintln!("[cadapt-bench] checking {} ({})…", exp.id(), scale.name());
+        let fresh = harness::run_record(exp, scale);
+        reports.push(harness::compare(&golden, &fresh));
+    }
+    let mut all_passed = true;
+    for report in &reports {
+        if report.passed() {
+            println!("PASS {}", report.experiment);
+        } else {
+            all_passed = false;
+            println!("FAIL {}", report.experiment);
+            for failure in &report.failures {
+                println!("  {failure}");
+            }
+        }
+    }
+    Ok(all_passed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let options = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cadapt-bench: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(true)
+        }
+        "run" => cmd_run(&options).map(|()| true),
+        "check" => cmd_check(&options),
+        other => {
+            eprintln!("cadapt-bench: unknown command {other:?}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("cadapt-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

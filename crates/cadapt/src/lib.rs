@@ -22,6 +22,9 @@
 //!   estimation, growth-law fitting, and experiment tables.
 //! * [`sched`] — a multi-programmed cache scheduler built on the cursor:
 //!   the system the paper's introduction motivates, as a simulator.
+//! * [`bench`] — the experiment modules and the registry-driven engine
+//!   behind the `cadapt-bench` CLI (instrumented runs, schema-versioned
+//!   run records, golden-record regression checks).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub use cadapt_analysis as analysis;
+pub use cadapt_bench as bench;
 pub use cadapt_core as core;
 pub use cadapt_paging as paging;
 pub use cadapt_profiles as profiles;

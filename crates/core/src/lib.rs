@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod error;
 pub mod memory_profile;
 pub mod potential;
@@ -36,6 +37,7 @@ pub mod profile;
 pub mod progress;
 pub mod report;
 
+pub use counters::CounterSnapshot;
 pub use error::CoreError;
 pub use memory_profile::MemoryProfile;
 pub use potential::Potential;

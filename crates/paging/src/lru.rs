@@ -104,6 +104,7 @@ impl LruCache {
         self.detach(slot);
         self.index.remove(&block);
         self.free.push(slot);
+        cadapt_core::counters::count_cache_evictions(1);
         Some(block)
     }
 
@@ -114,6 +115,7 @@ impl LruCache {
         if let Some(&slot) = self.index.get(&block) {
             self.detach(slot);
             self.attach_front(slot);
+            cadapt_core::counters::count_cache_hit();
             return true;
         }
         if self.capacity == 0 {

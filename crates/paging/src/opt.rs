@@ -64,9 +64,11 @@ pub fn replay_opt(trace: &BlockTrace, cache_blocks: Blocks) -> OptReplay {
             by_next.remove(&(cur_next, block));
             resident.insert(block, next_use[i]);
             by_next.insert((next_use[i], block));
+            cadapt_core::counters::count_cache_hit();
             continue;
         }
         io += 1;
+        cadapt_core::counters::count_io(1);
         if resident.len() == capacity {
             let &(victim_next, victim) = by_next.iter().next_back().expect("cache is full");
             // Belady: evict the furthest-in-future block. If the incoming
@@ -78,6 +80,7 @@ pub fn replay_opt(trace: &BlockTrace, cache_blocks: Blocks) -> OptReplay {
             }
             by_next.remove(&(victim_next, victim));
             resident.remove(&victim);
+            cadapt_core::counters::count_cache_evictions(1);
         }
         resident.insert(block, next_use[i]);
         by_next.insert((next_use[i], block));

@@ -43,6 +43,7 @@ pub fn replay_fixed(trace: &BlockTrace, cache_blocks: Blocks) -> FixedReplay {
             accesses += 1;
             if !cache.access(*block) {
                 io += 1;
+                cadapt_core::counters::count_io(1);
             }
         }
     }
@@ -101,6 +102,8 @@ pub fn replay_square_profile<S: BoxSource>(
                 }
             }
         }
+        cadapt_core::counters::count_boxes(1);
+        cadapt_core::counters::count_io(used);
         ledger.record(BoxRecord {
             size,
             progress,
@@ -162,6 +165,7 @@ pub fn replay_memory_profile(trace: &BlockTrace, profile: &MemoryProfile) -> Pro
                     continue; // hit: free
                 }
                 t += 1; // miss: one I/O
+                cadapt_core::counters::count_io(1);
             }
         }
     }

@@ -1,0 +1,119 @@
+//! Property tests for the profile layer's conservation invariants.
+//!
+//! Every smoothing in §4 rearranges or rescales the adversary's boxes; none
+//! may create or destroy work behind the analysis' back. These properties
+//! pin that down for the three perturbation families:
+//!
+//! * permutation shuffle ([`PermutationSource`]) — a without-replacement
+//!   reshuffle must emit exactly the original multiset, every cycle;
+//! * cyclic start shift ([`random_cyclic_shift`]) — a rotation must
+//!   preserve the multiset, the total time, and the box order up to
+//!   rotation;
+//! * size perturbation ([`SizePerturbedSource`]) — a multiplier in [0, t]
+//!   must keep every box within [1, round(base · t)] and stay aligned
+//!   one-to-one with the inner source.
+
+use cadapt_core::{BoxSource, SquareProfile};
+use cadapt_profiles::dist::PermutationSource;
+use cadapt_profiles::perturb::{random_cyclic_shift, SizePerturbedSource, UniformMultiplier};
+use cadapt_profiles::WorstCase;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+fn take<S: BoxSource>(source: &mut S, count: usize) -> Vec<u64> {
+    (0..count).map(|_| source.next_box()).collect()
+}
+
+proptest! {
+    #[test]
+    fn permutation_shuffle_conserves_the_multiset(
+        boxes in proptest::collection::vec(1u64..512, 1..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = SquareProfile::new(boxes.clone()).unwrap();
+        let mut source = PermutationSource::new(&profile, ChaCha8Rng::seed_from_u64(seed));
+        // Two full cycles: the source reshuffles when exhausted, and each
+        // cycle must again be exactly the original multiset.
+        let first = take(&mut source, boxes.len());
+        let second = take(&mut source, boxes.len());
+        prop_assert_eq!(sorted(first), sorted(boxes.clone()));
+        prop_assert_eq!(sorted(second), sorted(boxes));
+    }
+
+    #[test]
+    fn cyclic_shift_is_a_rotation(
+        boxes in proptest::collection::vec(1u64..512, 1..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = SquareProfile::new(boxes.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let shifted = random_cyclic_shift(&profile, &mut rng);
+        prop_assert_eq!(shifted.total_time(), profile.total_time());
+        prop_assert_eq!(
+            sorted(shifted.boxes().to_vec()),
+            sorted(boxes.clone())
+        );
+        // Stronger than multiset equality: the result is literally some
+        // rotation of the original sequence.
+        let is_rotation = (0..boxes.len()).any(|k| {
+            boxes[k..]
+                .iter()
+                .chain(&boxes[..k])
+                .copied()
+                .eq(shifted.boxes().iter().copied())
+        });
+        prop_assert!(is_rotation, "shift produced a non-rotation: {:?}", shifted.boxes());
+    }
+
+    #[test]
+    fn size_perturbation_conserves_count_and_bounds(
+        boxes in proptest::collection::vec(1u64..512, 1..24),
+        t in 1.0f64..8.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = SquareProfile::new(boxes.clone()).unwrap();
+        let mut source = SizePerturbedSource::new(
+            profile.cycle(),
+            UniformMultiplier { t },
+            ChaCha8Rng::seed_from_u64(seed),
+        );
+        // One perturbed box per inner box, each clamped to ≥ 1 and bounded
+        // by its own base size times the multiplier's upper end.
+        for (i, &base) in boxes.iter().enumerate() {
+            let perturbed = source.next_box();
+            prop_assert!(perturbed >= 1, "box {i} collapsed to zero");
+            let hi = (base as f64 * t).round().max(1.0) as u64;
+            prop_assert!(
+                perturbed <= hi,
+                "box {i}: {perturbed} exceeds base {base} x t {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_multiset_matches_its_materialisation(
+        a in 2u64..5,
+        b in 2u64..4,
+        min_size in 1u64..4,
+        depth in 1u32..5,
+    ) {
+        let wc = WorstCase::new(a, b, min_size, depth).unwrap();
+        let materialised = wc.materialize();
+        prop_assert_eq!(wc.num_boxes() as usize, materialised.len());
+        // The closed-form multiset and the emitted profile agree box for
+        // box — the construction neither invents nor drops work.
+        let mut expanded: Vec<u64> = Vec::new();
+        for (size, count) in wc.box_multiset() {
+            for _ in 0..count {
+                expanded.push(size);
+            }
+        }
+        prop_assert_eq!(sorted(expanded), sorted(materialised.into_boxes()));
+    }
+}

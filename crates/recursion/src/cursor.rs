@@ -171,6 +171,7 @@ impl ExecCursor {
             }
             if f.slot < self.children_at(f.k) {
                 // Chunk `slot` finished; enter child `slot`.
+                cadapt_core::counters::count_cursor_steps(1);
                 self.stack.push(Frame::fresh(f.k - 1));
                 continue;
             }
@@ -181,6 +182,7 @@ impl ExecCursor {
 
     /// Pop the bottom frame and move its parent to the next slot.
     fn pop_and_advance_parent(&mut self) {
+        cadapt_core::counters::count_cursor_steps(1);
         self.stack.pop();
         if let Some(p) = self.stack.last_mut() {
             p.slot += 1;
@@ -297,7 +299,9 @@ impl ExecCursor {
                     let bottom = self.stack.last_mut().expect("nonempty");
                     bottom.slot += 1;
                     bottom.chunk_done = 0;
+                    cadapt_core::counters::count_cursor_steps(1);
                 } else {
+                    cadapt_core::counters::count_cursor_steps(1);
                     self.stack.push(Frame::fresh(f.k - 1));
                 }
                 continue;
@@ -341,6 +345,7 @@ impl ExecCursor {
             // I/O cost: the subtree's ≤ size(j) distinct blocks stream in
             // once and the rest is in-cache computation (free in the DAM).
             let used = Io::from(self.cf.size(j).min(s));
+            cadapt_core::counters::count_cursor_steps((self.stack.len() - idx) as u64);
             self.stack.truncate(idx);
             if !self.stack.is_empty() {
                 // The frame formerly at `idx` was the child `slot` of the
@@ -402,6 +407,7 @@ impl ExecCursor {
             if let Some((idx, charge)) = self.jump_completable(left, cost_factor) {
                 left -= charge;
                 progress += self.leaves_remaining_in_subtree(idx);
+                cadapt_core::counters::count_cursor_steps((self.stack.len() - idx) as u64);
                 self.stack.truncate(idx);
                 if let Some(p) = self.stack.last_mut() {
                     p.slot += 1;
@@ -427,6 +433,7 @@ impl ExecCursor {
             if f.slot < self.children_at(f.k) {
                 // The child was too large to complete whole: enter it and
                 // charge its pieces individually.
+                cadapt_core::counters::count_cursor_steps(1);
                 self.stack.push(Frame::fresh(f.k - 1));
                 continue;
             }

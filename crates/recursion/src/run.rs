@@ -117,6 +117,8 @@ pub fn run_with_ledger<S: BoxSource>(
         }
         let size = source.next_box();
         let out = config.model.advance(&mut cursor, size);
+        cadapt_core::counters::count_boxes(1);
+        cadapt_core::counters::count_io(out.used);
         ledger.record(BoxRecord {
             size,
             progress: out.progress,

@@ -1,0 +1,262 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and usable without
+//! crates.io access. Each benchmark closure is timed over a handful of
+//! iterations and the median per-iteration wall time is printed; there is
+//! no warm-up modelling, outlier analysis, or HTML report. Configuration
+//! methods (`sample_size`, `measurement_time`, …) are accepted and mostly
+//! advisory.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id naming only the parameter (`group/param`).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: u32,
+    /// Median per-iteration nanoseconds of the last `iter` call.
+    last_median_ns: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over several iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.last_median_ns = times[times.len() / 2];
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark iteration count (the shim uses it directly as
+    /// the number of timed iterations, capped at 20 to keep `cargo bench`
+    /// fast).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u32).clamp(1, 20);
+        self
+    }
+
+    /// Accepted for API parity; the shim has no measurement-time budget.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim has no warm-up phase.
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API parity (CLI args are ignored).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, None, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).clamp(1, 20);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a named benchmark in the group.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Run a parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: u32,
+    f: F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        last_median_ns: 0,
+    };
+    f(&mut bencher);
+    let ns = bencher.last_median_ns;
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0 => {
+            let rate = n as f64 / (ns as f64 / 1e9);
+            println!("bench {name:<50} {ns:>12} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0 => {
+            let rate = n as f64 / (ns as f64 / 1e9);
+            println!("bench {name:<50} {ns:>12} ns/iter ({rate:.0} B/s)");
+        }
+        _ => println!("bench {name:<50} {ns:>12} ns/iter"),
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_payload() {
+        let mut hits = 0u64;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("demo", |b| b.iter(|| hits += 1));
+        assert!(hits >= 3);
+    }
+
+    #[test]
+    fn groups_and_inputs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for `crossbeam` — just the scoped-thread API the
+//! workspace uses, implemented over [`std::thread::scope`] (stable since
+//! Rust 1.63, which post-dates the original crossbeam scoped API).
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread; `join` returns the closure's value or
+    /// the panic payload.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and collect its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope: all threads spawned inside are joined before this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature. This shim requires callers to join
+    /// their handles (every call site in this workspace does); a panic in
+    /// an *unjoined* thread propagates out of [`std::thread::scope`]
+    /// instead of being collected into the `Err` variant.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_see_borrows() {
+        let counter = AtomicU64::new(0);
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        counter.fetch_add(i, Ordering::Relaxed);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 60);
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let v: u64 = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21u64).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

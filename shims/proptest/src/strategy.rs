@@ -1,0 +1,253 @@
+//! Strategies: value generators composed functionally.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A generator of test values.
+///
+/// Unlike real proptest there is no shrinking; a strategy is just a
+/// deterministic function of the per-case RNG.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Always produces a clone of its payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy (the result of [`Strategy::boxed`] and the
+/// representation behind [`crate::prop_oneof!`]).
+pub struct BoxedStrategy<V> {
+    gen: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.gen)(rng)
+    }
+}
+
+/// Uniform choice between alternative strategies of a common value type.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Union<V> {
+    /// Build from pre-boxed arms (used by [`crate::prop_oneof!`]).
+    pub fn from_arms(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.usize_in(0, self.arms.len() - 1);
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Box one arm of a [`crate::prop_oneof!`] (helper for the macro; unifies
+/// heterogeneous arm types by value type).
+pub fn arm<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    s.boxed()
+}
+
+/// Uniform choice between strategy alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::from_arms(vec![
+            $( $crate::strategy::arm($arm) ),+
+        ])
+    };
+}
+
+// ------------------------------------------------------- range strategies
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u128() % (span as u128)) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let off = (rng.next_u128() % (span as u128)) as i128;
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+// ------------------------------------------------------- tuple strategies
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(1, 0);
+        for _ in 0..500 {
+            let x = (3u64..10).generate(&mut rng);
+            assert!((3..10).contains(&x));
+            let y = (1u64..=2).generate(&mut rng);
+            assert!((1..=2).contains(&y));
+            let z = (-4i8..=4).generate(&mut rng);
+            assert!((-4..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let s = prop_oneof![(1u64..100).prop_map(|x| x * 2), Just(7u64),];
+        let mut rng = TestRng::for_case(2, 0);
+        let mut seen_even = false;
+        let mut seen_seven = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            if v == 7 {
+                seen_seven = true;
+            } else {
+                assert_eq!(v % 2, 0);
+                seen_even = true;
+            }
+        }
+        assert!(seen_even && seen_seven);
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let s = crate::collection::vec(1u64..5, 2..6);
+        let mut rng = TestRng::for_case(3, 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| (1..5).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let s = (1u64..3, 10u64..12, Just("x"));
+        let mut rng = TestRng::for_case(4, 0);
+        let (a, b, c) = s.generate(&mut rng);
+        assert!((1..3).contains(&a));
+        assert!((10..12).contains(&b));
+        assert_eq!(c, "x");
+    }
+}

@@ -1,0 +1,78 @@
+//! The `rand::distributions` subset: [`Distribution`] and [`Uniform`].
+
+use crate::{RngCore, SampleUniform};
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw a sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a (half-open or inclusive) interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(rng, self.lo, self.hi, self.inclusive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    struct Sm(SplitMix64);
+    impl RngCore for Sm {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    #[test]
+    fn inclusive_hits_endpoints() {
+        let d = Uniform::new_inclusive(1u64, 3);
+        let mut rng = Sm(SplitMix64(1));
+        let draws: Vec<u64> = (0..300).map(|_| d.sample(&mut rng)).collect();
+        assert!(draws.contains(&1));
+        assert!(draws.contains(&3));
+        assert!(draws.iter().all(|&x| (1..=3).contains(&x)));
+    }
+
+    #[test]
+    fn point_interval() {
+        let d = Uniform::new_inclusive(5u64, 5);
+        let mut rng = Sm(SplitMix64(2));
+        assert_eq!(d.sample(&mut rng), 5);
+    }
+}

@@ -1,0 +1,72 @@
+//! The `rand::seq` subset: [`SliceRandom`].
+
+use crate::{Rng, RngCore};
+
+/// Slice helpers driven by an RNG.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element (`None` on an empty slice).
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    struct Sm(SplitMix64);
+    impl RngCore for Sm {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<u64> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut Sm(SplitMix64(9)));
+        assert_ne!(v, orig, "50 elements virtually never shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn choose_in_bounds() {
+        let v = [10u64, 20, 30];
+        let mut rng = Sm(SplitMix64(4));
+        for _ in 0..20 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [u64; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

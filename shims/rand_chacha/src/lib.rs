@@ -1,0 +1,166 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] is a real ChaCha stream cipher with 8 rounds, a 256-bit
+//! key (the seed), a 64-bit block counter, and a 64-bit stream id
+//! ([`ChaCha8Rng::set_stream`]) — the (seed, stream) determinism contract
+//! the workspace's Monte-Carlo layer relies on. The word stream is fixed
+//! by this implementation (little-endian words of successive blocks);
+//! bit-parity with crates.io `rand_chacha` is *not* promised, only
+//! self-consistency.
+
+pub use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; 16],
+    /// Next unserved index into `buf`; 16 = buffer exhausted.
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    /// Select the stream id (word 14–15 of the ChaCha state). Restarts
+    /// output at block 0 of the new stream.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.idx = 16;
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    #[inline]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..4 {
+            // Column round.
+            Self::quarter_round(&mut state, 0, 4, 8, 12);
+            Self::quarter_round(&mut state, 1, 5, 9, 13);
+            Self::quarter_round(&mut state, 2, 6, 10, 14);
+            Self::quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut state, 0, 5, 10, 15);
+            Self::quarter_round(&mut state, 1, 6, 11, 12);
+            Self::quarter_round(&mut state, 2, 7, 8, 13);
+            Self::quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = state;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        a.set_stream(1);
+        let first: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(2);
+        let second: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(first, second);
+        let mut c = ChaCha8Rng::seed_from_u64(7);
+        c.set_stream(1);
+        let again: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn set_stream_resets_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let _ = a.next_u64();
+        a.set_stream(5);
+        let x = a.next_u64();
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        b.set_stream(5);
+        assert_eq!(x, b.next_u64());
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let n = 10_000;
+        let ones: u32 = (0..n).map(|_| rng.next_u64().count_ones()).sum();
+        let mean_bits = f64::from(ones) / f64::from(n);
+        assert!((30.0..34.0).contains(&mean_bits), "mean bits {mean_bits}");
+    }
+}

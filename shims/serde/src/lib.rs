@@ -1,0 +1,302 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small subset of serde it actually uses: a JSON-shaped
+//! [`Value`] data model, [`Serialize`]/[`Deserialize`] traits that convert
+//! to and from it, and derive macros for named-field structs and
+//! fieldless/struct-variant enums. `serde_json` (also shimmed) renders and
+//! parses [`Value`] as real JSON text.
+//!
+//! The API is intentionally much smaller than real serde's — there is no
+//! `Serializer`/`Deserializer` abstraction, only the value tree — but the
+//! derive attribute surface (`#[derive(Serialize, Deserialize)]`) and the
+//! `serde_json::{to_string, to_string_pretty, from_str}` entry points match,
+//! so workspace code is written exactly as it would be against the real
+//! crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod parse;
+mod render;
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Error raised by deserialization (and by `serde_json::from_str`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A new error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the JSON data model.
+pub trait Serialize {
+    /// The JSON-shaped representation of `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruct a value from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of `v`, or explain why it doesn't fit.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- integers
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::U(u128::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| Error::new(concat!("integer out of range for ", stringify!($t)))),
+                    Value::Number(Number::I(i)) => u128::try_from(*i)
+                        .ok()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::new(concat!("integer out of range for ", stringify!($t)))),
+                    _ => Err(Error::new(concat!("expected unsigned integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::I(i128::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| Error::new(concat!("integer out of range for ", stringify!($t)))),
+                    Value::Number(Number::U(u)) => i128::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::new(concat!("integer out of range for ", stringify!($t)))),
+                    _ => Err(Error::new(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, u128);
+impl_signed!(i8, i16, i32, i64, i128);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::U(*self as u128))
+    }
+}
+impl Deserialize for usize {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        u64::deserialize(v).and_then(|u| {
+            usize::try_from(u).map_err(|_| Error::new("integer out of range for usize"))
+        })
+    }
+}
+
+// ------------------------------------------------------------------ floats
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F(*self))
+        } else if self.is_nan() {
+            Value::String("NaN".to_string())
+        } else if *self > 0.0 {
+            Value::String("Infinity".to_string())
+        } else {
+            Value::String("-Infinity".to_string())
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            Value::String(s) if s == "NaN" => Ok(f64::NAN),
+            Value::String(s) if s == "Infinity" => Ok(f64::INFINITY),
+            Value::String(s) if s == "-Infinity" => Ok(f64::NEG_INFINITY),
+            _ => Err(Error::new("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        f64::from(*self).serialize()
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+// ------------------------------------------------------------------ others
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(Error::new("tuple arity mismatch"));
+                        }
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::new("expected array for tuple")),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i8::deserialize(&(-3i8).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(f64::deserialize(&f64::NAN.serialize()).unwrap().is_nan());
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()).unwrap(), v);
+        let t = (7u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn u128_precision_is_exact() {
+        let big: u128 = (1u128 << 90) + 17;
+        assert_eq!(u128::deserialize(&big.serialize()).unwrap(), big);
+    }
+}

@@ -1,0 +1,289 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implemented directly against `proc_macro` (no `syn`/`quote` in this
+//! offline environment). Supports the shapes the workspace uses:
+//!
+//! * structs with named fields (including empty ones);
+//! * enums whose variants are fieldless or carry named fields.
+//!
+//! Generics, tuple structs, and tuple variants are rejected with a
+//! compile error rather than silently mis-serialised.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum of variants, each with a (possibly empty) named-field list.
+    /// `None` fields = fieldless variant.
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named-field bodies, returning field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err(format!(
+                "expected field name, got {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "expected ':' after field `{}`",
+                    fields.last().unwrap()
+                ))
+            }
+        }
+        // Consume the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth: i64 = 0;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the serde shim derive".to_string());
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Struct {
+                name,
+                fields: parse_named_fields(g)?,
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Struct {
+                name,
+                fields: Vec::new(),
+            }),
+            _ => Err("tuple structs are not supported by the serde shim derive".to_string()),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(body)) = tokens.get(i) else {
+                return Err("expected enum body".to_string());
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body_tokens.len() {
+                j = skip_attrs_and_vis(&body_tokens, j);
+                let Some(TokenTree::Ident(vname)) = body_tokens.get(j) else {
+                    if j >= body_tokens.len() {
+                        break;
+                    }
+                    return Err(format!(
+                        "expected variant name, got {:?}",
+                        body_tokens[j].to_string()
+                    ));
+                };
+                let vname = vname.to_string();
+                j += 1;
+                match body_tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        variants.push((vname, Some(parse_named_fields(g)?)));
+                        j += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Err(format!(
+                            "tuple variant `{vname}` is not supported by the serde shim derive"
+                        ));
+                    }
+                    _ => variants.push((vname, None)),
+                }
+                if let Some(TokenTree::Punct(p)) = body_tokens.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+            }
+            Ok(Shape::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut body = String::from("let mut obj = ::serde::Map::new();\n");
+            for f in &fields {
+                body.push_str(&format!(
+                    "obj.insert({f:?}, ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(obj)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"
+                    )),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fs {
+                            inner.push_str(&format!(
+                                "inner.insert({f:?}, ::serde::Serialize::serialize({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             let mut obj = ::serde::Map::new();\n\
+                             obj.insert({v:?}, ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(obj)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut body = format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::Error::new(concat!(\"expected object for \", {name:?})))?;\n"
+            );
+            body.push_str(&format!("Ok({name} {{\n"));
+            for f in &fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(obj.get({f:?}).ok_or_else(|| \
+                     ::serde::Error::new(concat!(\"missing field \", {f:?})))?)?,\n"
+                ));
+            }
+            body.push_str("})");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+                 {{\n{body}\n}}\n}}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    None => unit_arms.push_str(&format!("{v:?} => return Ok({name}::{v}),\n")),
+                    Some(fs) => {
+                        let mut inner = String::new();
+                        for f in fs {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize(inner.get({f:?})\
+                                 .ok_or_else(|| ::serde::Error::new(concat!(\"missing field \", \
+                                 {f:?})))?)?,\n"
+                            ));
+                        }
+                        struct_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                             let inner = val.as_object().ok_or_else(|| \
+                             ::serde::Error::new(\"expected object variant body\"))?;\n\
+                             return Ok({name}::{v} {{\n{inner}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+                 {{\n\
+                 if let ::serde::Value::String(s) = v {{\n\
+                 match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let Some(obj) = v.as_object() {{\n\
+                 if obj.len() == 1 {{\n\
+                 let (tag, val) = obj.iter().next().expect(\"len 1\");\n\
+                 match tag.as_str() {{\n{struct_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 Err(::serde::Error::new(concat!(\"no matching variant of \", {name:?})))\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

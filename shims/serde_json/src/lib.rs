@@ -1,0 +1,102 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses the `serde` shim's [`Value`] tree as JSON text. Only
+//! the entry points the workspace uses are provided.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Serialize to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the shim (kept fallible for API parity).
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize().render_compact())
+}
+
+/// Serialize to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails in the shim (kept fallible for API parity).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize().render_pretty())
+}
+
+/// Parse a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse_json(text)?;
+    T::deserialize(&value)
+}
+
+/// Serialize to the generic value tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Reconstruct a typed value from the generic tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on a shape mismatch.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        name: String,
+        xs: Vec<u64>,
+        ratio: f64,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Weighted { factor: f64 },
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let d = Demo {
+            name: "quick".into(),
+            xs: vec![1, 2, 3],
+            ratio: 1.5,
+        };
+        let s = to_string(&d).unwrap();
+        assert_eq!(s, r#"{"name":"quick","xs":[1,2,3],"ratio":1.5}"#);
+        assert_eq!(from_str::<Demo>(&s).unwrap(), d);
+    }
+
+    #[test]
+    fn enum_round_trip() {
+        let s = to_string(&Kind::Plain).unwrap();
+        assert_eq!(s, r#""Plain""#);
+        assert_eq!(from_str::<Kind>(&s).unwrap(), Kind::Plain);
+        let w = Kind::Weighted { factor: 2.0 };
+        let s = to_string(&w).unwrap();
+        assert_eq!(s, r#"{"Weighted":{"factor":2.0}}"#);
+        assert_eq!(from_str::<Kind>(&s).unwrap(), w);
+    }
+
+    #[test]
+    fn pretty_round_trip() {
+        let d = Demo {
+            name: "p".into(),
+            xs: vec![9],
+            ratio: 0.25,
+        };
+        let s = to_string_pretty(&d).unwrap();
+        assert!(s.contains("\n  \"name\""));
+        assert_eq!(from_str::<Demo>(&s).unwrap(), d);
+    }
+}
