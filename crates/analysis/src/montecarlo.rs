@@ -4,10 +4,13 @@
 //! Each trial draws an independent infinite profile (via a caller-supplied
 //! source factory), runs the execution to completion, and records the
 //! bounded-potential sum, box count, and adaptivity ratio. Trials fan out
-//! over `crossbeam::scope` threads; every trial's randomness comes from a
-//! `ChaCha8Rng` seeded by (experiment seed, trial index), so results are
-//! bit-identical regardless of thread count — the reproducibility rule the
-//! HPC guides insist on.
+//! over `crossbeam::scope` threads with work-stealing (each worker claims
+//! the next unclaimed trial index), so a straggler trial never idles the
+//! other cores. Every trial's randomness comes from a `ChaCha8Rng` seeded
+//! by (experiment seed, trial index), and the per-trial outcomes are
+//! reduced into the summary statistics *in trial order* on the main thread,
+//! so results are bit-identical regardless of thread count or scheduling —
+//! the reproducibility rule the HPC guides insist on.
 
 use crate::stats::Stats;
 use cadapt_core::counters::{CounterSnapshot, Recording, SharedCounters};
@@ -112,16 +115,19 @@ where
     let make_source = &make_source;
     let shared_counters = SharedCounters::new();
 
-    let results: Vec<Result<(Stats, Stats, Stats), RunError>> = crossbeam::thread::scope(|scope| {
+    // Workers return raw per-trial outcomes tagged with the trial index;
+    // the reduction below replays them in trial order, so the f64 Welford
+    // update sequence — and hence every summary bit — is independent of
+    // which worker ran which trial.
+    type TrialOutcome = (u64, f64, f64, f64);
+    let results: Vec<Result<Vec<TrialOutcome>, RunError>> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let next = &next_trial;
             let counters = &shared_counters;
             handles.push(scope.spawn(move |_| {
                 let recording = Recording::start();
-                let mut ratio = Stats::new();
-                let mut boxes = Stats::new();
-                let mut potential = Stats::new();
+                let mut outcomes = Vec::new();
                 let outcome = loop {
                     let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if trial >= config.trials {
@@ -130,15 +136,18 @@ where
                     let mut source = make_source(trial_rng(config.seed, trial));
                     match run_on_profile(params, n, &mut source, &config.run) {
                         Ok(report) => {
-                            ratio.push(report.ratio());
-                            boxes.push(report.boxes_used as f64);
-                            potential.push(report.bounded_potential_sum);
+                            outcomes.push((
+                                trial,
+                                report.ratio(),
+                                report.boxes_used as f64,
+                                report.bounded_potential_sum,
+                            ));
                         }
                         Err(e) => break Err(e),
                     }
                 };
                 counters.add(&recording.finish());
-                outcome.map(|()| (ratio, boxes, potential))
+                outcome.map(|()| outcomes)
             }));
         }
         handles
@@ -148,14 +157,18 @@ where
     })
     .expect("scope panicked");
 
+    let mut all: Vec<TrialOutcome> = Vec::with_capacity(config.trials as usize);
+    for r in results {
+        all.extend(r?);
+    }
+    all.sort_unstable_by_key(|&(trial, ..)| trial);
     let mut ratio = Stats::new();
     let mut boxes = Stats::new();
     let mut potential = Stats::new();
-    for r in results {
-        let (r0, b0, p0) = r?;
-        ratio.merge(&r0);
-        boxes.merge(&b0);
-        potential.merge(&p0);
+    for (_, r, b, p) in all {
+        ratio.push(r);
+        boxes.push(b);
+        potential.push(p);
     }
     // Make the workers' counts visible to the caller's own recording, so a
     // scope timing a whole experiment sees its Monte-Carlo work too.
@@ -212,8 +225,13 @@ mod tests {
         let single = run(1);
         let multi = run(4);
         assert_eq!(single.ratio.count, multi.ratio.count);
-        assert!((single.ratio.mean - multi.ratio.mean).abs() < 1e-12);
-        assert!((single.boxes.mean - multi.boxes.mean).abs() < 1e-12);
+        // Trial-ordered reduction: not just close — bit-identical.
+        assert_eq!(single.ratio.mean.to_bits(), multi.ratio.mean.to_bits());
+        assert_eq!(single.boxes.mean.to_bits(), multi.boxes.mean.to_bits());
+        assert_eq!(
+            single.bounded_potential.mean.to_bits(),
+            multi.bounded_potential.mean.to_bits()
+        );
         assert_eq!(single.ratio.min, multi.ratio.min);
         assert_eq!(single.ratio.max, multi.ratio.max);
         // The counter totals are per-trial sums, so they are exactly

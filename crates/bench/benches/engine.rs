@@ -78,6 +78,53 @@ fn bench_profile_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-box baseline vs the run-length fast path, on the two profile shapes
+/// the perf suite (`cadapt-bench perf`) reports: constant boxes and a wide
+/// worst-case adversary. Same executions, only `fast_path` differs.
+fn bench_batched_vs_per_box(c: &mut Criterion) {
+    let mm = AbcParams::mm_scan();
+    let constant_n = mm.canonical_size(7);
+    let mut group = c.benchmark_group("cursor/batched_vs_per_box");
+    for (label, fast_path) in [("per_box", false), ("batched", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("constant", label),
+            &fast_path,
+            |b, &fast_path| {
+                b.iter(|| {
+                    let mut source = ConstantSource::new(16);
+                    let config = RunConfig {
+                        fast_path,
+                        ..RunConfig::default()
+                    };
+                    run_on_profile(mm, constant_n, &mut source, &config).expect("run completes")
+                });
+            },
+        );
+    }
+    let wide = AbcParams::new(16, 4, 1.0, 1).expect("valid");
+    let depth = 4;
+    let wc = WorstCase::new(16, 4, 1, depth).expect("valid");
+    let wc_n = wide.canonical_size(depth);
+    for (label, fast_path) in [("per_box", false), ("batched", true)] {
+        group.throughput(Throughput::Elements(wc.num_boxes() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("worst_case_a16", label),
+            &fast_path,
+            |b, &fast_path| {
+                b.iter(|| {
+                    let mut source = wc.source();
+                    let config = RunConfig {
+                        fast_path,
+                        ..RunConfig::default()
+                    };
+                    run_on_profile(wide, wc_n, &mut source, &config).expect("run completes")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     use cadapt_sched::{EqualShares, JobSpec, Scheduler, SchedulerConfig};
     let specs = vec![JobSpec::new(AbcParams::mm_scan(), 4096); 4];
@@ -110,6 +157,7 @@ criterion_group! {
     targets = bench_cursor_worst_case,
     bench_cursor_models,
     bench_random_profiles,
+    bench_batched_vs_per_box,
     bench_profile_generation,
     analysis_benches::bench_recurrence,
     analysis_benches::bench_monte_carlo,

@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

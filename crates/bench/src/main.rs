@@ -4,6 +4,7 @@
 //! cadapt-bench list
 //! cadapt-bench run   [--exp e1,e2,…] [--size quick|full] [--out DIR]
 //! cadapt-bench check [--exp e1,e2,…] [--size quick|full] [--golden DIR]
+//! cadapt-bench perf  [--size quick|full] [--out FILE]
 //! ```
 //!
 //! `run` executes the selected experiments (all, by default) through the
@@ -15,6 +16,10 @@
 //! committed record in the golden directory (default `tests/golden`) under
 //! the tolerance bands of `cadapt_bench::harness::check`. Exit status 1 on
 //! any mismatch.
+//!
+//! `perf` times the per-box baseline against the run-length fast path and
+//! writes the suite record (default `BENCH_2.json`; `--out` overrides the
+//! file). `--quick` is shorthand for `--size quick` on every command.
 
 use cadapt_bench::harness::{self, CheckReport, RunRecord};
 use cadapt_bench::Scale;
@@ -28,11 +33,14 @@ commands:
   list                     print the experiment registry
   run                      run experiments and print their tables
   check                    re-run experiments and diff against goldens
+  perf                     time per-box baseline vs the run-length fast path
 
 options:
   --exp ID[,ID…]           experiments to touch (default: all)
-  --size quick|full        scale (default: full for run, quick for check)
-  --out DIR                run only: write one JSON run record per experiment
+  --size quick|full        scale (default: full for run/perf, quick for check)
+  --quick                  shorthand for --size quick
+  --out PATH               run: directory for per-experiment JSON records
+                           perf: output file (default BENCH_2.json)
   --golden DIR             check only: golden directory (default tests/golden)
 ";
 
@@ -64,6 +72,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.scale =
                     Some(Scale::parse(&name).ok_or_else(|| format!("unknown size {name:?}"))?);
             }
+            "--quick" => options.scale = Some(Scale::Quick),
             "--out" => options.out = Some(PathBuf::from(value("--out")?)),
             "--golden" => options.golden = PathBuf::from(value("--golden")?),
             other => return Err(format!("unknown option {other:?}")),
@@ -159,6 +168,24 @@ fn cmd_check(options: &Options) -> Result<bool, String> {
     Ok(all_passed)
 }
 
+fn cmd_perf(options: &Options) -> Result<(), String> {
+    let scale = options.scale.unwrap_or(Scale::Full);
+    eprintln!(
+        "[cadapt-bench] timing per-box vs batched ({})…",
+        scale.name()
+    );
+    let suite = cadapt_bench::perf::run(scale);
+    print!("{}", suite.table());
+    let path = options
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_2.json"));
+    std::fs::write(&path, suite.to_json())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("[cadapt-bench] wrote {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -180,6 +207,7 @@ fn main() -> ExitCode {
         }
         "run" => cmd_run(&options).map(|()| true),
         "check" => cmd_check(&options),
+        "perf" => cmd_perf(&options).map(|()| true),
         other => {
             eprintln!("cadapt-bench: unknown command {other:?}");
             eprint!("{USAGE}");

@@ -1,0 +1,206 @@
+//! Wall-clock comparison of the per-box baseline against the run-length
+//! fast path (`cadapt-bench perf`).
+//!
+//! Each entry runs the *same* execution twice — once with
+//! `RunConfig { fast_path: false }` (per-box advancement, the pre-fast-path
+//! behaviour) and once with the default batched draining — and reports the
+//! minimum-of-iterations wall time for each. The two runs are also checked
+//! to agree on every report aggregate, so a perf record doubles as an
+//! end-to-end equivalence assertion at benchmark sizes.
+
+use crate::Scale;
+use cadapt_core::profile::ConstantSource;
+use cadapt_core::BoxSource;
+use cadapt_profiles::WorstCase;
+use cadapt_recursion::{run_on_profile, AbcParams, ExecModel, RunConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Bump when the JSON layout changes shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Timing iterations per configuration; the minimum is reported (the
+/// standard noise-rejection choice for CPU-bound single-threaded work).
+const ITERS: u32 = 3;
+
+/// One benchmark case, timed both ways.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfEntry {
+    /// Case name (stable across runs; used by tooling).
+    pub name: String,
+    /// Boxes the execution consumed (identical in both modes).
+    pub boxes: u64,
+    /// Minimum wall time of the per-box baseline, in milliseconds.
+    pub per_box_ms: f64,
+    /// Minimum wall time of the batched fast path, in milliseconds.
+    pub batched_ms: f64,
+    /// `per_box_ms / batched_ms`.
+    pub speedup: f64,
+}
+
+/// The whole suite, as serialised to `BENCH_2.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfSuite {
+    /// JSON layout version.
+    pub schema_version: u32,
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// All timed cases.
+    pub entries: Vec<PerfEntry>,
+}
+
+impl PerfSuite {
+    /// Pretty JSON for the committed record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (plain data; it cannot).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("serializable");
+        text.push('\n');
+        text
+    }
+
+    /// Render the human table printed by the CLI.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>14} {:>14} {:>9}\n",
+            "case", "boxes", "per-box (ms)", "batched (ms)", "speedup"
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<20} {:>12} {:>14.2} {:>14.2} {:>8.1}x\n",
+                e.name, e.boxes, e.per_box_ms, e.batched_ms, e.speedup
+            ));
+        }
+        out
+    }
+}
+
+/// Time `make_source` + `run_on_profile` under `config`, returning
+/// (min wall ms, boxes used).
+fn time_case<S: BoxSource>(
+    params: AbcParams,
+    n: u64,
+    config: &RunConfig,
+    make_source: impl Fn() -> S,
+) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut boxes = 0;
+    for _ in 0..ITERS {
+        let mut source = make_source();
+        let start = Instant::now();
+        let report =
+            run_on_profile(params, n, &mut source, config).expect("perf case must complete");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(elapsed);
+        boxes = report.boxes_used;
+    }
+    (best, boxes)
+}
+
+fn entry<S: BoxSource>(
+    name: &str,
+    params: AbcParams,
+    n: u64,
+    model: ExecModel,
+    make_source: impl Fn() -> S,
+) -> PerfEntry {
+    let per_box_config = RunConfig {
+        model,
+        fast_path: false,
+        ..RunConfig::default()
+    };
+    let batched_config = RunConfig {
+        model,
+        ..RunConfig::default()
+    };
+    let (per_box_ms, slow_boxes) = time_case(params, n, &per_box_config, &make_source);
+    let (batched_ms, fast_boxes) = time_case(params, n, &batched_config, &make_source);
+    assert_eq!(
+        slow_boxes, fast_boxes,
+        "{name}: fast path diverged from the per-box baseline"
+    );
+    PerfEntry {
+        name: name.to_string(),
+        boxes: fast_boxes,
+        per_box_ms,
+        batched_ms,
+        speedup: per_box_ms / batched_ms,
+    }
+}
+
+/// Run the full suite at the given scale.
+///
+/// The two headline cases exercise the two segment kinds of the fast path:
+///
+/// * `constant` — MM-Scan fed constant boxes (one infinite run; the
+///   multi-sibling jump collapse and the scan division do all the work);
+/// * `worst_case` — a wide adversary (a = 16) whose profile is dominated
+///   by leaf bursts, the case the worst-case experiments spend their time
+///   in. Width matters: a bounds the per-box work a leaf burst replaces,
+///   so it bounds the attainable speedup.
+///
+/// `constant_capacity` times the capacity model's steady-cycle batching on
+/// the same constant feed.
+#[must_use]
+pub fn run(scale: Scale) -> PerfSuite {
+    let mm = AbcParams::mm_scan();
+    let constant_n: u64 = scale.pick(1 << 16, 1 << 18);
+    let wide = AbcParams::new(16, 4, 1.0, 1).expect("valid params");
+    let wc_depth = scale.pick(5, 6);
+    let wc = WorstCase::new(16, 4, 1, wc_depth).expect("valid worst case");
+    let wc_n = wide.canonical_size(wc_depth);
+    let entries = vec![
+        entry("constant", mm, constant_n, ExecModel::Simplified, || {
+            ConstantSource::new(16)
+        }),
+        entry("worst_case", wide, wc_n, ExecModel::Simplified, || {
+            wc.source()
+        }),
+        entry(
+            "constant_capacity",
+            mm,
+            constant_n,
+            ExecModel::capacity(),
+            || ConstantSource::new(16),
+        ),
+    ];
+    PerfSuite {
+        schema_version: SCHEMA_VERSION,
+        scale: scale.name().to_string(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_and_serialises_at_tiny_scale() {
+        // Exercise the machinery (not the timings) on a reduced case.
+        let e = entry(
+            "tiny",
+            AbcParams::mm_scan(),
+            256,
+            ExecModel::Simplified,
+            || ConstantSource::new(16),
+        );
+        assert!(e.boxes > 0);
+        assert!(e.per_box_ms >= 0.0 && e.batched_ms >= 0.0);
+        let suite = PerfSuite {
+            schema_version: SCHEMA_VERSION,
+            scale: "quick".to_string(),
+            entries: vec![e],
+        };
+        let json = suite.to_json();
+        let parsed: PerfSuite = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(parsed.entries[0].name, "tiny");
+        assert!(suite.table().contains("tiny"));
+    }
+}

@@ -41,7 +41,7 @@ pub use counters::CounterSnapshot;
 pub use error::CoreError;
 pub use memory_profile::MemoryProfile;
 pub use potential::Potential;
-pub use profile::{BoxSource, SquareProfile};
+pub use profile::{BoxRun, BoxSource, SquareProfile};
 pub use progress::{BoxRecord, ProgressLedger};
 pub use report::{AdaptivityReport, Verdict};
 

@@ -18,6 +18,20 @@ use crate::potential::Potential;
 use crate::{Blocks, CoreError, Io};
 use serde::{Deserialize, Serialize};
 
+/// A run of identical consecutive boxes in a profile.
+///
+/// The run-length fast path: instead of handing out one box at a time, a
+/// source may report that the next `repeat` boxes all have the same `size`,
+/// letting the execution drivers advance through the whole run in closed
+/// form. `repeat == u64::MAX` means "this size forever" (constant tails).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoxRun {
+    /// Size of every box in the run (≥ 1 block).
+    pub size: Blocks,
+    /// Number of identical boxes (≥ 1); `u64::MAX` for an infinite tail.
+    pub repeat: u64,
+}
+
 /// An infinite stream of boxes.
 ///
 /// The CA model runs an algorithm against an infinite square profile; the
@@ -26,6 +40,25 @@ use serde::{Deserialize, Serialize};
 pub trait BoxSource {
     /// Produce the next box in the profile. Must be ≥ 1 block.
     fn next_box(&mut self) -> Blocks;
+
+    /// Produce the next *run* of identical boxes (run-length fast path).
+    ///
+    /// The default implementation reports runs of length 1, so every source
+    /// stays correct; sources with structure (constant tails, worst-case
+    /// leaf bursts, repeated i.i.d. draws) override this to expose longer
+    /// runs.
+    ///
+    /// Contract: the concatenation of runs must equal the per-box stream.
+    /// A consumer that stops mid-run (the execution completed, or a box
+    /// budget intervened) *discards* the remainder of the run — the source
+    /// is never polled again afterwards, so it may advance its internal
+    /// state past the whole run when it returns it.
+    fn next_run(&mut self) -> BoxRun {
+        BoxRun {
+            size: self.next_box(),
+            repeat: 1,
+        }
+    }
 }
 
 /// Blanket impl so `&mut S` is itself a source (mirrors `Iterator`).
@@ -33,12 +66,20 @@ impl<S: BoxSource + ?Sized> BoxSource for &mut S {
     fn next_box(&mut self) -> Blocks {
         (**self).next_box()
     }
+
+    fn next_run(&mut self) -> BoxRun {
+        (**self).next_run()
+    }
 }
 
 /// Boxed sources are sources (enables heterogeneous `Box<dyn BoxSource>`).
 impl<S: BoxSource + ?Sized> BoxSource for Box<S> {
     fn next_box(&mut self) -> Blocks {
         (**self).next_box()
+    }
+
+    fn next_run(&mut self) -> BoxRun {
+        (**self).next_run()
     }
 }
 
@@ -276,6 +317,21 @@ impl BoxSource for CycleSource<'_> {
         self.pos = (self.pos + 1) % self.boxes.len();
         b
     }
+
+    fn next_run(&mut self) -> BoxRun {
+        // A maximal run of equal boxes from the current position, not
+        // crossing the cycle seam (the next call continues from there).
+        let b = self.boxes[self.pos];
+        let run = self.boxes[self.pos..]
+            .iter()
+            .take_while(|&&x| x == b)
+            .count();
+        self.pos = (self.pos + run) % self.boxes.len();
+        BoxRun {
+            size: b,
+            repeat: run as u64,
+        }
+    }
 }
 
 /// Infinite source that plays a finite profile then a constant filler.
@@ -295,6 +351,27 @@ impl BoxSource for ExtendedSource<'_> {
                 b
             }
             None => self.filler,
+        }
+    }
+
+    fn next_run(&mut self) -> BoxRun {
+        match self.boxes.get(self.pos) {
+            Some(&b) => {
+                let run = self.boxes[self.pos..]
+                    .iter()
+                    .take_while(|&&x| x == b)
+                    .count();
+                self.pos += run;
+                BoxRun {
+                    size: b,
+                    repeat: run as u64,
+                }
+            }
+            // Once in the filler tail, it's this size forever.
+            None => BoxRun {
+                size: self.filler,
+                repeat: u64::MAX,
+            },
         }
     }
 }
@@ -321,6 +398,13 @@ impl ConstantSource {
 impl BoxSource for ConstantSource {
     fn next_box(&mut self) -> Blocks {
         self.size
+    }
+
+    fn next_run(&mut self) -> BoxRun {
+        BoxRun {
+            size: self.size,
+            repeat: u64::MAX,
+        }
     }
 }
 
@@ -360,6 +444,9 @@ impl<S: BoxSource> BoxSource for RecordingSource<S> {
         self.record.push(b);
         b
     }
+    // `next_run` stays the default (runs of 1): the recorder must see every
+    // box individually, and a consumer may discard the tail of a run, which
+    // would desynchronise the recorded prefix from what was consumed.
 }
 
 #[cfg(test)]
@@ -491,6 +578,61 @@ mod tests {
         p.push(2);
         p.concat(&profile(&[3, 4]));
         assert_eq!(p.boxes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn constant_source_run_is_infinite() {
+        let mut c = ConstantSource::new(6);
+        let run = c.next_run();
+        assert_eq!(
+            run,
+            BoxRun {
+                size: 6,
+                repeat: u64::MAX
+            }
+        );
+        // Mixing per-box and run calls is fine.
+        assert_eq!(c.next_box(), 6);
+    }
+
+    #[test]
+    fn cycle_source_runs_match_boxes() {
+        let p = profile(&[2, 2, 2, 5, 1, 1]);
+        let mut by_run = p.cycle();
+        let mut by_box = p.cycle();
+        let mut expanded = Vec::new();
+        while expanded.len() < 12 {
+            let run = by_run.next_run();
+            assert!(run.repeat >= 1);
+            for _ in 0..run.repeat {
+                expanded.push(run.size);
+            }
+        }
+        let direct: Vec<_> = (0..expanded.len()).map(|_| by_box.next_box()).collect();
+        assert_eq!(expanded, direct);
+    }
+
+    #[test]
+    fn extended_source_runs_match_boxes_and_tail_is_infinite() {
+        let p = profile(&[3, 3, 4]);
+        let mut s = p.extended(9);
+        assert_eq!(s.next_run(), BoxRun { size: 3, repeat: 2 });
+        assert_eq!(s.next_run(), BoxRun { size: 4, repeat: 1 });
+        assert_eq!(
+            s.next_run(),
+            BoxRun {
+                size: 9,
+                repeat: u64::MAX
+            }
+        );
+    }
+
+    #[test]
+    fn default_next_run_is_single_box() {
+        let mut rec = RecordingSource::new(ConstantSource::new(7));
+        let run = rec.next_run();
+        assert_eq!(run, BoxRun { size: 7, repeat: 1 });
+        assert_eq!(rec.record(), &[7]);
     }
 
     #[test]

@@ -84,6 +84,49 @@ impl ProgressLedger {
         }
     }
 
+    /// Record a *run* of `count` boxes of identical `size`, with the given
+    /// progress and I/O totals across the whole run.
+    ///
+    /// Produces bit-identical aggregates to `count` calls of
+    /// [`ProgressLedger::record`] with the per-box records: the integer
+    /// totals are additive, and the two potential sums repeat the same
+    /// per-box `+= ρ` additions (evaluating ρ once, since the size is
+    /// constant) so the f64 rounding sequence is reproduced exactly. Once
+    /// both sums stop changing — the increment has fallen below the sums'
+    /// ulp — the remaining additions are provably no-ops and are skipped.
+    ///
+    /// Not supported on history-retaining ledgers (callers expand runs to
+    /// per-box records when history is requested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger retains history.
+    pub fn record_run(&mut self, size: Blocks, progress: Leaves, used: Io, count: u64) {
+        assert!(
+            self.history.is_none(),
+            "record_run on a history-retaining ledger; expand runs per box instead"
+        );
+        if count == 0 {
+            return;
+        }
+        self.boxes_used += count;
+        let bounded = self.rho.bounded(self.n, size);
+        let raw = self.rho.eval(size);
+        for _ in 0..count {
+            let next_bounded = self.bounded_potential_sum + bounded;
+            let next_raw = self.raw_potential_sum + raw;
+            if next_bounded == self.bounded_potential_sum && next_raw == self.raw_potential_sum {
+                break;
+            }
+            self.bounded_potential_sum = next_bounded;
+            self.raw_potential_sum = next_raw;
+        }
+        self.total_progress += progress;
+        self.total_io += used;
+        self.max_box = self.max_box.max(size);
+        self.min_box = self.min_box.min(size);
+    }
+
     /// Number of boxes recorded so far.
     #[must_use]
     pub fn boxes_used(&self) -> u64 {
@@ -205,6 +248,70 @@ mod tests {
         ledger.record(r1);
         ledger.record(r2);
         assert_eq!(ledger.history().unwrap(), &[r1, r2]);
+    }
+
+    #[test]
+    fn record_run_matches_per_box_records_bitwise() {
+        let rho = Potential::new(8, 4);
+        for count in [1u64, 2, 7, 1000] {
+            let mut per_box = ProgressLedger::new(rho, 256);
+            let mut batched = ProgressLedger::new(rho, 256);
+            // A prior box so the sums start from a non-trivial value.
+            let warm = BoxRecord {
+                size: 100,
+                progress: 3,
+                used: 90,
+            };
+            per_box.record(warm);
+            batched.record(warm);
+            let record = BoxRecord {
+                size: 17,
+                progress: 2,
+                used: 17,
+            };
+            for _ in 0..count {
+                per_box.record(record);
+            }
+            batched.record_run(
+                record.size,
+                record.progress * Leaves::from(count),
+                record.used * Io::from(count),
+                count,
+            );
+            assert_eq!(per_box.boxes_used(), batched.boxes_used());
+            assert_eq!(
+                per_box.bounded_potential_sum().to_bits(),
+                batched.bounded_potential_sum().to_bits(),
+                "count {count}"
+            );
+            assert_eq!(
+                per_box.raw_potential_sum().to_bits(),
+                batched.raw_potential_sum().to_bits()
+            );
+            assert_eq!(per_box.total_progress(), batched.total_progress());
+            let a = per_box.finish();
+            let b = batched.finish();
+            assert_eq!(a.total_io, b.total_io);
+            assert_eq!(a.max_box, b.max_box);
+            assert_eq!(a.min_box, b.min_box);
+        }
+    }
+
+    #[test]
+    fn record_run_zero_count_is_noop() {
+        let rho = Potential::new(8, 4);
+        let mut ledger = ProgressLedger::new(rho, 16);
+        ledger.record_run(4, 0, 0, 0);
+        assert_eq!(ledger.boxes_used(), 0);
+        assert_eq!(ledger.finish().min_box, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "history-retaining")]
+    fn record_run_rejects_history_ledger() {
+        let rho = Potential::new(8, 4);
+        let mut ledger = ProgressLedger::retaining(rho, 16);
+        ledger.record_run(4, 1, 4, 1);
     }
 
     #[test]

@@ -9,6 +9,11 @@ use std::collections::HashMap;
 
 const NIL: usize = usize::MAX;
 
+/// Upper bound on eagerly preallocated slots. Replay caches are resized to
+/// every box of a profile, and nominal capacities can be enormous while
+/// only a few blocks are ever touched — larger caches grow on demand.
+const PREALLOC_CAP: usize = 1 << 16;
+
 #[derive(Debug, Clone, Copy)]
 struct Node {
     block: u64,
@@ -34,10 +39,11 @@ impl LruCache {
     /// An empty cache with the given capacity (may be 0).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let prealloc = capacity.min(PREALLOC_CAP);
         LruCache {
             capacity,
-            index: HashMap::new(),
-            nodes: Vec::new(),
+            index: HashMap::with_capacity(prealloc),
+            nodes: Vec::with_capacity(prealloc),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
@@ -144,11 +150,19 @@ impl LruCache {
         false
     }
 
-    /// Change capacity; shrinking evicts cold blocks immediately.
+    /// Change capacity; shrinking evicts cold blocks immediately, growing
+    /// reserves slots up front so the fill that follows never reallocates
+    /// mid-replay.
     pub fn resize(&mut self, capacity: usize) {
         self.capacity = capacity;
         while self.index.len() > self.capacity {
             self.evict_lru();
+        }
+        let prealloc = capacity.min(PREALLOC_CAP);
+        self.index
+            .reserve(prealloc.saturating_sub(self.index.len()));
+        if self.nodes.capacity() < prealloc {
+            self.nodes.reserve(prealloc - self.nodes.len());
         }
     }
 
@@ -254,6 +268,18 @@ mod tests {
         }
         // Only ever 2 resident; the slab should not have grown to 100.
         assert!(c.nodes.len() <= 3, "slab grew to {}", c.nodes.len());
+    }
+
+    #[test]
+    fn construction_and_resize_preallocate() {
+        let c = LruCache::new(100);
+        assert!(c.nodes.capacity() >= 100);
+        let mut c = LruCache::new(1);
+        c.resize(200);
+        assert!(c.nodes.capacity() >= 200);
+        // Huge nominal capacities are capped, not allocated eagerly.
+        let c = LruCache::new(usize::MAX);
+        assert!(c.nodes.capacity() < (1 << 20));
     }
 
     #[test]

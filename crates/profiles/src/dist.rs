@@ -14,10 +14,39 @@
 //!   finite profile's boxes ("random reshuffle"); the ablation comparing
 //!   the two is described in DESIGN.md.
 
-use cadapt_core::{Blocks, BoxSource, SquareProfile};
+use cadapt_core::{Blocks, BoxRun, BoxSource, SquareProfile};
 use rand::distributions::{Distribution, Uniform};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
+
+/// Upper bound on how far ahead an i.i.d. source samples when detecting a
+/// run of equal boxes. Bounds the latency of one `next_run` call and keeps
+/// degenerate distributions (a point mass samples equal forever) from
+/// looping; the consumer just sees the run split into cap-sized pieces.
+const RUN_LOOKAHEAD_CAP: u64 = 65_536;
+
+/// Shared i.i.d. run detection: take the buffered draw (or make one), then
+/// keep sampling while the draws stay equal, buffering the first mismatch
+/// into `pending`. The RNG consumes draws in exactly the order per-box
+/// sampling would, so the concatenation of runs reproduces the per-box
+/// stream draw for draw.
+fn run_from_dist(
+    dist: &dyn BoxDist,
+    rng: &mut dyn RngCore,
+    pending: &mut Option<Blocks>,
+) -> BoxRun {
+    let size = pending.take().unwrap_or_else(|| dist.sample(rng));
+    let mut repeat = 1u64;
+    while repeat < RUN_LOOKAHEAD_CAP {
+        let next = dist.sample(rng);
+        if next != size {
+            *pending = Some(next);
+            break;
+        }
+        repeat += 1;
+    }
+    BoxRun { size, repeat }
+}
 
 /// A distribution over box sizes.
 ///
@@ -382,18 +411,30 @@ impl BoxDist for EmpiricalMultiset {
 pub struct DistSource<D, R> {
     dist: D,
     rng: R,
+    /// One-draw lookahead buffer for run detection (see [`run_from_dist`]).
+    pending: Option<Blocks>,
 }
 
 impl<D: BoxDist, R: RngCore> DistSource<D, R> {
     /// i.i.d. boxes from `dist` using `rng`.
     pub fn new(dist: D, rng: R) -> Self {
-        DistSource { dist, rng }
+        DistSource {
+            dist,
+            rng,
+            pending: None,
+        }
     }
 }
 
 impl<D: BoxDist, R: RngCore> BoxSource for DistSource<D, R> {
     fn next_box(&mut self) -> Blocks {
-        self.dist.sample(&mut self.rng)
+        self.pending
+            .take()
+            .unwrap_or_else(|| self.dist.sample(&mut self.rng))
+    }
+
+    fn next_run(&mut self) -> BoxRun {
+        run_from_dist(&self.dist, &mut self.rng, &mut self.pending)
     }
 }
 
@@ -402,18 +443,30 @@ impl<D: BoxDist, R: RngCore> BoxSource for DistSource<D, R> {
 pub struct DynDistSource<'a, R> {
     dist: &'a dyn BoxDist,
     rng: R,
+    /// One-draw lookahead buffer for run detection (see [`run_from_dist`]).
+    pending: Option<Blocks>,
 }
 
 impl<'a, R: RngCore> DynDistSource<'a, R> {
     /// i.i.d. boxes from `dist` using `rng`.
     pub fn new(dist: &'a dyn BoxDist, rng: R) -> Self {
-        DynDistSource { dist, rng }
+        DynDistSource {
+            dist,
+            rng,
+            pending: None,
+        }
     }
 }
 
 impl<R: RngCore> BoxSource for DynDistSource<'_, R> {
     fn next_box(&mut self) -> Blocks {
-        self.dist.sample(&mut self.rng)
+        self.pending
+            .take()
+            .unwrap_or_else(|| self.dist.sample(&mut self.rng))
+    }
+
+    fn next_run(&mut self) -> BoxRun {
+        run_from_dist(self.dist, &mut self.rng, &mut self.pending)
     }
 }
 
@@ -449,6 +502,25 @@ impl<R: Rng> BoxSource for PermutationSource<R> {
         let b = self.boxes[self.pos];
         self.pos += 1;
         b
+    }
+
+    fn next_run(&mut self) -> BoxRun {
+        // Equal boxes that land adjacent in the shuffle survive as a run
+        // (common when the profile is dominated by one size, e.g. the
+        // worst-case multiset, which is mostly min-size leaves). Never
+        // reads past the current permutation: the reshuffle happens lazily
+        // on the next call, exactly as in `next_box`.
+        if self.pos == self.boxes.len() {
+            self.boxes.shuffle(&mut self.rng);
+            self.pos = 0;
+        }
+        let size = self.boxes[self.pos];
+        let run = self.boxes[self.pos..]
+            .iter()
+            .take_while(|&&x| x == size)
+            .count() as u64;
+        self.pos += run as usize;
+        BoxRun { size, repeat: run }
     }
 }
 
@@ -622,6 +694,83 @@ mod tests {
         let dist: Box<dyn BoxDist> = Box::new(PointMass { size: 3 });
         let mut s = DynDistSource::new(dist.as_ref(), rng());
         assert_eq!(s.next_box(), 3);
+    }
+
+    #[test]
+    fn dist_source_runs_concatenate_to_boxes() {
+        // Small support so equal draws are frequent and runs form.
+        let dist = PowerOfB::new(2, 0, 1);
+        let mut per_box = DistSource::new(dist, rng());
+        let boxes: Vec<Blocks> = (0..4000).map(|_| per_box.next_box()).collect();
+        let mut by_run = DistSource::new(dist, rng());
+        let mut expanded = Vec::new();
+        let mut multi = 0;
+        while expanded.len() < boxes.len() {
+            let run = by_run.next_run();
+            assert!(run.repeat >= 1);
+            if run.repeat > 1 {
+                multi += 1;
+            }
+            for _ in 0..run.repeat.min((boxes.len() - expanded.len()) as u64) {
+                expanded.push(run.size);
+            }
+        }
+        assert_eq!(expanded, boxes);
+        assert!(multi > 0, "a two-point support must produce some runs");
+    }
+
+    #[test]
+    fn dist_source_mixed_run_and_box_calls_preserve_stream() {
+        let dist = PowerOfB::new(2, 0, 1);
+        let mut per_box = DistSource::new(dist, rng());
+        let boxes: Vec<Blocks> = (0..200).map(|_| per_box.next_box()).collect();
+        // Alternate next_run / next_box: the pending buffer must hand the
+        // lookahead draw to next_box.
+        let mut mixed = DistSource::new(dist, rng());
+        let mut expanded = Vec::new();
+        while expanded.len() < boxes.len() {
+            let run = mixed.next_run();
+            for _ in 0..run.repeat.min((boxes.len() - expanded.len()) as u64) {
+                expanded.push(run.size);
+            }
+            if expanded.len() < boxes.len() {
+                expanded.push(mixed.next_box());
+            }
+        }
+        assert_eq!(expanded, boxes);
+    }
+
+    #[test]
+    fn point_mass_runs_are_capped_not_infinite() {
+        let mut s = DistSource::new(PointMass { size: 7 }, rng());
+        let run = s.next_run();
+        assert_eq!(run.size, 7);
+        assert_eq!(run.repeat, super::RUN_LOOKAHEAD_CAP);
+    }
+
+    #[test]
+    fn permutation_source_runs_concatenate_to_boxes() {
+        // Mostly one size, so adjacent equal boxes survive the shuffle.
+        let mut raw = vec![1u64; 60];
+        raw.extend([8, 8, 64]);
+        let p = SquareProfile::new(raw).unwrap();
+        let mut per_box = PermutationSource::new(&p, rng());
+        let boxes: Vec<Blocks> = (0..2 * p.len()).map(|_| per_box.next_box()).collect();
+        let mut by_run = PermutationSource::new(&p, rng());
+        let mut expanded = Vec::new();
+        let mut multi = 0;
+        while expanded.len() < boxes.len() {
+            let run = by_run.next_run();
+            assert!(run.repeat >= 1);
+            if run.repeat > 1 {
+                multi += 1;
+            }
+            for _ in 0..run.repeat.min((boxes.len() - expanded.len()) as u64) {
+                expanded.push(run.size);
+            }
+        }
+        assert_eq!(expanded, boxes);
+        assert!(multi > 0, "a 60-of-63 majority size must yield runs");
     }
 
     #[test]

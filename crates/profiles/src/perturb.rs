@@ -18,7 +18,7 @@
 //! smoothing of [`dist`](crate::dist).
 
 use crate::worst_case::WorstCase;
-use cadapt_core::{Blocks, BoxSource, SquareProfile};
+use cadapt_core::{Blocks, BoxRun, BoxSource, SquareProfile};
 use rand::{Rng, RngCore};
 
 /// A distribution over multiplicative perturbation factors X ∈ [0, t].
@@ -109,6 +109,11 @@ impl<S: BoxSource, M: MultiplierDist, R: RngCore> BoxSource for SizePerturbedSou
             scaled as u64
         }
     }
+
+    // next_run: default single-box runs. Every box gets an independent
+    // multiplier draw, so consecutive perturbed boxes are almost never
+    // equal and batching the inner source would skip RNG draws the per-box
+    // stream makes.
 }
 
 /// Start-time perturbation: rotate a finite profile to a uniformly random
@@ -246,6 +251,48 @@ impl<C: PlacementChooser> BoxSource for BoxOrderPerturbedSource<C> {
             self.push_node(top.level - 1);
         }
     }
+
+    fn next_run(&mut self) -> BoxRun {
+        loop {
+            if self.stack.is_empty() {
+                let depth = self.wc.depth();
+                self.push_node(depth);
+            }
+            let top = *self.stack.last().expect("nonempty");
+            let children = self.children(top.level);
+            if !top.own_emitted && top.emitted >= top.place_after {
+                self.stack.last_mut().expect("nonempty").own_emitted = true;
+                let size = self.wc.box_at_level(top.level);
+                if top.emitted == children {
+                    self.pop_node();
+                }
+                return BoxRun { size, repeat: 1 };
+            }
+            if top.emitted == children {
+                self.pop_node();
+                continue;
+            }
+            if top.level == 1 {
+                // The next children are leaves, emitted back to back until
+                // either this node's own box interrupts (at place_after) or
+                // the children run out. Leaves draw nothing from the
+                // chooser, so jumping `emitted` forward reproduces the
+                // per-box stream exactly.
+                let until = if top.own_emitted {
+                    children
+                } else {
+                    top.place_after
+                };
+                let repeat = until - top.emitted;
+                self.stack.last_mut().expect("nonempty").emitted = until;
+                return BoxRun {
+                    size: self.wc.box_at_level(0),
+                    repeat,
+                };
+            }
+            self.push_node(top.level - 1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +418,45 @@ mod tests {
         let wc = WorstCase::new(2, 2, 1, 1).unwrap();
         let boxes = collect(BoxOrderPerturbedSource::new(wc, LastPlacement), 6);
         assert_eq!(&boxes[0..3], &boxes[3..6]);
+    }
+
+    #[test]
+    fn box_order_runs_concatenate_to_boxes() {
+        for depth in [0u32, 1, 3] {
+            let wc = WorstCase::new(3, 2, 1, depth).unwrap();
+            let count = (2 * wc.num_boxes()) as usize;
+            let boxes = collect(
+                BoxOrderPerturbedSource::new(wc, RandomPlacement(rng())),
+                count,
+            );
+            let mut by_run = BoxOrderPerturbedSource::new(wc, RandomPlacement(rng()));
+            let mut expanded = Vec::new();
+            while expanded.len() < boxes.len() {
+                let run = by_run.next_run();
+                assert!(run.repeat >= 1);
+                for _ in 0..run.repeat.min((boxes.len() - expanded.len()) as u64) {
+                    expanded.push(run.size);
+                }
+            }
+            assert_eq!(expanded, boxes, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn box_order_leaf_runs_split_at_placement() {
+        // a = 4, placement after child 2: leaves come as runs of 2 and 2
+        // around the node's own box.
+        struct SecondPlacement;
+        impl PlacementChooser for SecondPlacement {
+            fn choose(&mut self, _level: u32, _a: u64) -> u64 {
+                2
+            }
+        }
+        let wc = WorstCase::new(4, 2, 1, 1).unwrap();
+        let mut s = BoxOrderPerturbedSource::new(wc, SecondPlacement);
+        assert_eq!(s.next_run(), BoxRun { size: 1, repeat: 2 });
+        assert_eq!(s.next_run(), BoxRun { size: 2, repeat: 1 });
+        assert_eq!(s.next_run(), BoxRun { size: 1, repeat: 2 });
     }
 
     #[test]

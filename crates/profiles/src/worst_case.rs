@@ -18,7 +18,7 @@
 //! a streaming [`BoxSource`]; [`WorstCase::materialize`] exists for small
 //! instances and tests.
 
-use cadapt_core::{Blocks, BoxSource, CoreError, Io, Potential, SquareProfile};
+use cadapt_core::{Blocks, BoxRun, BoxSource, CoreError, Io, Potential, SquareProfile};
 use cadapt_recursion::AbcParams;
 
 /// Description of a worst-case profile M_{a,b} for problems of size
@@ -282,6 +282,12 @@ impl BoxSource for MatchedWorstCase {
             self.stack.push((level - 1, 0));
         }
     }
+
+    // next_run: default single-box runs. The matched adversary's equal
+    // boxes are rarely adjacent (chunk boxes shrink level by level and
+    // alternate with base cases under Split/Start layouts), so there is
+    // little to batch; the canonical [`WorstCaseSource`] covers the hot
+    // worst-case path.
 }
 
 /// Streaming post-order box generator for [`WorstCase`]; cycles when one
@@ -311,6 +317,52 @@ impl BoxSource for WorstCaseSource {
                     parent.emitted += 1;
                 }
                 return size;
+            }
+            self.stack.push(NodeState {
+                level: top.level - 1,
+                emitted: 0,
+            });
+        }
+    }
+
+    fn next_run(&mut self) -> BoxRun {
+        // A share of 1 − 1/a of the profile is leaf boxes, and they arrive
+        // in bursts of `a` (all children of a level-1 node). Emitting each
+        // burst as one run lets the consumer advance them in closed form.
+        if self.wc.depth == 0 {
+            // Degenerate profile: every box is the single min_size box.
+            return BoxRun {
+                size: self.wc.min_size,
+                repeat: u64::MAX,
+            };
+        }
+        loop {
+            if self.stack.is_empty() {
+                self.stack.push(NodeState {
+                    level: self.wc.depth,
+                    emitted: 0,
+                });
+            }
+            let top = *self.stack.last().expect("nonempty");
+            if top.level == 1 && top.emitted < self.wc.a {
+                // The next a − emitted boxes are this node's leaf children,
+                // all of size min_size. (If the consumer stops mid-run the
+                // remainder is discarded per the BoxRun contract, so jumping
+                // `emitted` straight to a is safe.)
+                let repeat = self.wc.a - top.emitted;
+                self.stack.last_mut().expect("nonempty").emitted = self.wc.a;
+                return BoxRun {
+                    size: self.wc.box_at_level(0),
+                    repeat,
+                };
+            }
+            if top.level == 0 || top.emitted == self.wc.a {
+                let size = self.wc.box_at_level(top.level);
+                self.stack.pop();
+                if let Some(parent) = self.stack.last_mut() {
+                    parent.emitted += 1;
+                }
+                return BoxRun { size, repeat: 1 };
             }
             self.stack.push(NodeState {
                 level: top.level - 1,
@@ -479,6 +531,42 @@ mod tests {
     #[test]
     fn matched_rejects_bad_size() {
         assert!(MatchedWorstCase::new(AbcParams::mm_scan(), 60).is_err());
+    }
+
+    #[test]
+    fn source_runs_concatenate_to_boxes() {
+        let wc = WorstCase::new(3, 2, 2, 3).unwrap();
+        let period = wc.num_boxes() as usize;
+        let mut per_box = wc.source();
+        let boxes: Vec<Blocks> = (0..2 * period).map(|_| per_box.next_box()).collect();
+        let mut by_run = wc.source();
+        let mut expanded = Vec::new();
+        while expanded.len() < boxes.len() {
+            let run = by_run.next_run();
+            assert!(run.repeat >= 1);
+            for _ in 0..run.repeat.min((boxes.len() - expanded.len()) as u64) {
+                expanded.push(run.size);
+            }
+        }
+        assert_eq!(expanded, boxes);
+    }
+
+    #[test]
+    fn leaf_bursts_have_full_length() {
+        let wc = WorstCase::new(8, 4, 1, 2).unwrap();
+        let mut s = wc.source();
+        let first = s.next_run();
+        assert_eq!(first, cadapt_core::BoxRun { size: 1, repeat: 8 });
+        // Next: the level-1 node's own box, alone.
+        assert_eq!(s.next_run(), cadapt_core::BoxRun { size: 4, repeat: 1 });
+    }
+
+    #[test]
+    fn depth_zero_run_is_infinite() {
+        let wc = WorstCase::new(8, 4, 5, 0).unwrap();
+        let run = wc.source().next_run();
+        assert_eq!(run.size, 5);
+        assert_eq!(run.repeat, u64::MAX);
     }
 
     #[test]

@@ -61,6 +61,21 @@ pub struct BoxOutcome {
     pub done: bool,
 }
 
+/// What a *run* of identical boxes achieved against the cursor
+/// ([`ExecCursor::advance_boxes_simplified`] and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Boxes actually consumed: the requested count, or fewer when the
+    /// root completed mid-run.
+    pub consumed: u64,
+    /// Total I/Os used across the consumed boxes.
+    pub used: Io,
+    /// Total base cases completed across the consumed boxes.
+    pub progress: Leaves,
+    /// Did the root complete during the run?
+    pub done: bool,
+}
+
 /// A lazy position inside an (a, b, c)-regular execution.
 #[derive(Debug, Clone)]
 pub struct ExecCursor {
@@ -71,6 +86,15 @@ pub struct ExecCursor {
     /// Suffix sums of chunk lengths per level: `chunk_suffix[k][s]` =
     /// Σ_{j ≥ s} chunk_len(k, j).
     chunk_suffix: Vec<Vec<u64>>,
+    /// `descent[k]` = frames [`Self::normalize`] pushes when it enters a
+    /// fresh level-k subtree (1 + the chain through empty leading chunks).
+    descent: Vec<u64>,
+    /// `mid_chunks_zero[k]` = the scan chunks *between* children (slots
+    /// 1..a−1) are all empty at level k, so completing one child descends
+    /// straight into the next — the condition for batching sibling
+    /// completions in closed form. Always true for the `End`/`Start`
+    /// layouts; false at `Split` levels with nonzero scans.
+    mid_chunks_zero: Vec<bool>,
 }
 
 impl ExecCursor {
@@ -88,11 +112,30 @@ impl ExecCursor {
             }
             chunk_suffix.push(suffix);
         }
+        let mut descent = vec![1u64];
+        for k in 1..=cf.depth() {
+            let through = if Self::chunk_len_static(&params, &cf, k, 0) == 0 {
+                descent[k as usize - 1]
+            } else {
+                0
+            };
+            descent.push(1 + through);
+        }
+        let mid_chunks_zero: Vec<bool> = (0..=cf.depth())
+            .map(|k| {
+                k >= 1 && {
+                    let suffix = &chunk_suffix[k as usize];
+                    suffix[1] == suffix[params.a() as usize]
+                }
+            })
+            .collect();
         let root = Frame::fresh(cf.depth());
         let mut cursor = ExecCursor {
             cf,
             stack: vec![root],
             chunk_suffix,
+            descent,
+            mid_chunks_zero,
         };
         cursor.normalize();
         cursor
@@ -109,6 +152,7 @@ impl ExecCursor {
     }
 
     /// Number of chunk slots at level k (a + 1 for internal, 1 for leaves).
+    #[inline]
     fn slots_at(params: &AbcParams, k: u32) -> u64 {
         if k == 0 {
             1
@@ -118,6 +162,7 @@ impl ExecCursor {
     }
 
     /// Number of children at level k (a for internal, 0 for leaves).
+    #[inline]
     fn children_at(&self, k: u32) -> u64 {
         if k == 0 {
             0
@@ -126,6 +171,7 @@ impl ExecCursor {
         }
     }
 
+    #[inline]
     fn chunk_len_static(params: &AbcParams, cf: &ClosedForms, k: u32, slot: u64) -> u64 {
         if k == 0 {
             // The base case is one run of `base` accesses.
@@ -135,6 +181,7 @@ impl ExecCursor {
         }
     }
 
+    #[inline]
     fn chunk_len(&self, k: u32, slot: u64) -> u64 {
         Self::chunk_len_static(self.params(), &self.cf, k, slot)
     }
@@ -160,6 +207,10 @@ impl ExecCursor {
 
     /// Descend / pop until the bottom frame points at a pending access
     /// (chunk_done < chunk_len), or the stack empties (done).
+    ///
+    /// Inlined for the common fast exit: an already-normalized cursor takes
+    /// the first-iteration `chunk_done < clen` return.
+    #[inline]
     fn normalize(&mut self) {
         loop {
             let Some(f) = self.stack.last().copied() else {
@@ -461,14 +512,234 @@ impl ExecCursor {
         None
     }
 
+    /// Consume a run of `count` identical boxes of size `s` under the
+    /// simplified model, in O(depth + levels-completed) per *segment* of
+    /// the run rather than per box.
+    ///
+    /// Semantically equivalent to `count` calls of
+    /// [`ExecCursor::advance_box_simplified`] (stopping early if the root
+    /// completes): the final cursor state, the `used`/`progress` totals,
+    /// and the cursor-step counter deltas are all bit-identical — the
+    /// batched segments charge, in closed form, exactly what the per-box
+    /// path would have charged step by step. The differential proptests in
+    /// `tests/batch_equivalence.rs` enforce this.
+    ///
+    /// The run splits into two kinds of segments:
+    ///
+    /// * **Jump segments** — the pending access sits in a subproblem of
+    ///   size ≤ s. Each box completes one subtree at the fitting level j;
+    ///   when the scan chunks between siblings are empty (`End`/`Start`
+    ///   layouts), up to `a − slot` sibling completions collapse into one
+    ///   closed-form state update.
+    /// * **Scan segments** — the pending access is scan work of a larger
+    ///   node: ⌈avail / s⌉ boxes drain the chunk, computed directly.
+    pub fn advance_boxes_simplified(&mut self, s: Blocks, count: u64) -> BatchOutcome {
+        debug_assert!(s >= 1, "boxes must be positive");
+        let mut out = BatchOutcome {
+            consumed: 0,
+            used: 0,
+            progress: 0,
+            done: self.is_done(),
+        };
+        while out.consumed < count {
+            let Some(f) = self.stack.last().copied() else {
+                break;
+            };
+            if self.cf.size(f.k) <= s {
+                // Jump segment: complete subtrees at the fitting level.
+                let j = self
+                    .cf
+                    .level_fitting(s)
+                    .expect("size(f.k) <= s implies a fitting level exists");
+                let idx = (self.cf.depth() - j) as usize;
+                if idx == 0 {
+                    // The whole problem fits in one box: same as per-box.
+                    out.progress += self.leaves_remaining_in_subtree(0);
+                    out.used += Io::from(self.cf.size(j).min(s));
+                    out.consumed += 1;
+                    cadapt_core::counters::count_cursor_steps(self.stack.len() as u64);
+                    self.stack.clear();
+                    break;
+                }
+                let d0 = self.stack.len() as u64;
+                let parent = self.stack[idx - 1];
+                let siblings_left = self.params().a() - parent.slot;
+                let m = if self.mid_chunks_zero[parent.k as usize] {
+                    siblings_left.min(count - out.consumed)
+                } else {
+                    1
+                };
+                // Box 1 completes the (possibly partial) current subtree;
+                // boxes 2..m each complete one fresh sibling of leaves(j)
+                // base cases. The cursor-step total telescopes: the first
+                // truncation pops d0 − idx frames, and every later box
+                // re-descends and re-pops the descent chain of level j.
+                out.progress +=
+                    self.leaves_remaining_in_subtree(idx) + Leaves::from(m - 1) * self.cf.leaves(j);
+                out.used += Io::from(m) * Io::from(self.cf.size(j).min(s));
+                out.consumed += m;
+                let d = self.descent[j as usize];
+                cadapt_core::counters::count_cursor_steps((d0 - idx as u64) + 2 * (m - 1) * d);
+                self.stack.truncate(idx);
+                let p = self.stack.last_mut().expect("idx >= 1");
+                p.slot += m;
+                p.chunk_done = 0;
+                self.normalize();
+            } else {
+                // Scan segment: boxes nibble s accesses each until the
+                // chunk drains or the run is exhausted.
+                let clen = self.chunk_len(f.k, f.slot);
+                let avail = clen - f.chunk_done;
+                let needed = avail.div_ceil(s);
+                let left = count - out.consumed;
+                if needed <= left {
+                    out.used += Io::from(avail);
+                    out.consumed += needed;
+                    let bottom = self.stack.last_mut().expect("nonempty");
+                    bottom.chunk_done = clen;
+                    if f.k == 0 {
+                        out.progress += 1;
+                    }
+                    self.normalize();
+                } else {
+                    // The run ends mid-chunk: every box takes exactly s
+                    // (left · s < avail, so no box hits the chunk end and
+                    // the per-box normalize calls were all no-ops).
+                    out.used += Io::from(left) * Io::from(s);
+                    out.consumed += left;
+                    let bottom = self.stack.last_mut().expect("nonempty");
+                    bottom.chunk_done += left * s;
+                }
+            }
+        }
+        out.done = self.is_done();
+        out
+    }
+
+    /// Consume a run of `count` identical boxes of size `x` under the
+    /// block-capacity charging model — the capacity sibling of
+    /// [`ExecCursor::advance_boxes_simplified`], with the same bit-exact
+    /// equivalence contract against `count` calls of
+    /// [`ExecCursor::advance_box_capacity`].
+    ///
+    /// The fast path fires when the per-box model is in its steady cycle:
+    /// the budget is an exact multiple q of the charge of a *fresh* subtree
+    /// at the completable level j*, each box completes q such siblings, and
+    /// every enclosing ancestor stays too expensive to complete throughout
+    /// ([`Self::capacity_batch_step`] checks all of this in O(depth²)).
+    /// Positions outside the cycle — partial scans, leftover budgets,
+    /// boundary crossings — fall back to the per-box method one box at a
+    /// time, which is trivially equivalent.
+    pub fn advance_boxes_capacity(
+        &mut self,
+        x: Blocks,
+        cost_factor: u64,
+        count: u64,
+    ) -> BatchOutcome {
+        assert!(cost_factor >= 1, "cost factor must be at least 1");
+        let budget = Io::from(x);
+        let mut out = BatchOutcome {
+            consumed: 0,
+            used: 0,
+            progress: 0,
+            done: self.is_done(),
+        };
+        while out.consumed < count && !self.stack.is_empty() {
+            if let Some((m, q, jstar)) =
+                self.capacity_batch_step(budget, cost_factor, count - out.consumed)
+            {
+                let istar = (self.cf.depth() - jstar) as usize;
+                let d = self.descent[jstar as usize];
+                out.progress += Leaves::from(m) * Leaves::from(q) * self.cf.leaves(jstar);
+                out.used += Io::from(m) * budget;
+                out.consumed += m;
+                // m·q jumps of d pops each, and d pushes for every inline
+                // re-descent except the last (reproduced by the real
+                // normalize below).
+                cadapt_core::counters::count_cursor_steps((2 * m * q - 1) * d);
+                self.stack.truncate(istar);
+                let p = self.stack.last_mut().expect("istar >= 1");
+                p.slot += m * q;
+                p.chunk_done = 0;
+                self.normalize();
+            } else {
+                let o = self.advance_box_capacity(x, cost_factor);
+                out.used += o.used;
+                out.progress += o.progress;
+                out.consumed += 1;
+                if o.done {
+                    break;
+                }
+            }
+        }
+        out.done = self.is_done();
+        out
+    }
+
+    /// Does the capacity-model steady cycle apply from the current
+    /// position? Returns (boxes to batch, subtree completions per box,
+    /// completed level); `None` sends the caller to the per-box fallback.
+    fn capacity_batch_step(
+        &self,
+        budget: Io,
+        cost_factor: u64,
+        max_boxes: u64,
+    ) -> Option<(u64, u64, u32)> {
+        if budget == 0 {
+            return None;
+        }
+        // The jump a per-box step would take with the full budget.
+        let (istar, charge) = self.jump_completable(budget, cost_factor)?;
+        if istar == 0 {
+            return None; // completes the root: per-box handles termination
+        }
+        // The suffix below the jump must be an untouched descent chain, so
+        // each completion is of a brand-new subtree with remainder T(j*)
+        // and the position re-enters the identical state afterwards.
+        if !self.stack[istar..]
+            .iter()
+            .all(|f| f.slot == 0 && f.chunk_done == 0)
+        {
+            return None;
+        }
+        let jstar = self.stack[istar].k;
+        if !budget.is_multiple_of(charge) {
+            return None; // leftover budget would start partial work
+        }
+        let q = u64::try_from(budget / charge).expect("q <= budget <= u64 box size");
+        let parent = self.stack[istar - 1];
+        if !self.mid_chunks_zero[parent.k as usize] {
+            return None; // sibling completions separated by scan chunks
+        }
+        let siblings_left = self.params().a() - parent.slot;
+        if q > siblings_left {
+            return None; // one box would cross the parent boundary
+        }
+        // Ancestor stability: at every jump decision the parent's
+        // completion charge min(γ·size, remaining) must stay above the
+        // remaining budget. γ·size(parent) > budget follows from
+        // jump_completable picking istar; the remaining-accesses side is
+        // tightest at the last completion of the last box:
+        //   rem − ((M−1)q + q−1)·T(j*) > budget − (q−1)·charge.
+        let time_j = self.cf.time(jstar);
+        let rem_parent = self.remaining_in_subtree(istar - 1);
+        let needed = budget + Io::from(q - 1) * (time_j - charge);
+        if rem_parent <= needed {
+            return None;
+        }
+        let slack = rem_parent - needed;
+        let per_box = Io::from(q) * time_j;
+        let m_bound = u64::try_from(1 + (slack - 1) / per_box).unwrap_or(u64::MAX);
+        Some(((siblings_left / q).min(max_boxes).min(m_bound), q, jstar))
+    }
+
     /// A compact fingerprint of the cursor position (for equality checks in
     /// tests): the (level, slot, chunk_done) triples of the stack.
     #[must_use]
     pub fn fingerprint(&self) -> Vec<(u32, u64, u64)> {
-        self.stack
-            .iter()
-            .map(|f| (f.k, f.slot, f.chunk_done))
-            .collect()
+        let mut out = Vec::with_capacity(self.stack.len());
+        out.extend(self.stack.iter().map(|f| (f.k, f.slot, f.chunk_done)));
+        out
     }
 }
 

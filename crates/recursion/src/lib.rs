@@ -12,8 +12,9 @@
 //! * [`ClosedForms`] — exact per-level leaf counts, scan lengths, and serial
 //!   times T(n) = a·T(n/b) + scan(n).
 //! * [`ExecCursor`] — a lazy cursor into the (enormous) execution: it
-//!   advances *per box* in O(a · depth) time using the closed forms, never
-//!   materialising the recursion tree.
+//!   advances *per box* in O(a · depth) time using the closed forms — or a
+//!   whole *run* of equal boxes in closed form (bit-identical totals) —
+//!   never materialising the recursion tree.
 //! * [`ExecModel`] — the two box-consumption semantics: the paper's §4
 //!   *simplified caching model* (used by the theory) and a *block-capacity*
 //!   charging model (the faithful constant-factor generalisation).
@@ -37,7 +38,7 @@ pub mod run;
 pub mod walk;
 
 pub use closed_form::ClosedForms;
-pub use cursor::{BoxOutcome, ExecCursor};
+pub use cursor::{BatchOutcome, BoxOutcome, ExecCursor};
 pub use model::ExecModel;
 pub use params::{AbcParams, ScanLayout};
 pub use run::{run_on_profile, run_with_ledger, RunConfig, RunError};

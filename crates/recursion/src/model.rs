@@ -1,6 +1,6 @@
 //! Selection of box-consumption semantics.
 
-use crate::cursor::{BoxOutcome, ExecCursor};
+use crate::cursor::{BatchOutcome, BoxOutcome, ExecCursor};
 use cadapt_core::Blocks;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +39,18 @@ impl ExecModel {
         match *self {
             ExecModel::Simplified => cursor.advance_box_simplified(s),
             ExecModel::Capacity { cost_factor } => cursor.advance_box_capacity(s, cost_factor),
+        }
+    }
+
+    /// Consume a run of `count` identical boxes of size `s` under this
+    /// model (the run-length fast path; bit-identical to `count` calls of
+    /// [`ExecModel::advance`]).
+    pub fn advance_run(&self, cursor: &mut ExecCursor, s: Blocks, count: u64) -> BatchOutcome {
+        match *self {
+            ExecModel::Simplified => cursor.advance_boxes_simplified(s, count),
+            ExecModel::Capacity { cost_factor } => {
+                cursor.advance_boxes_capacity(s, cost_factor, count)
+            }
         }
     }
 

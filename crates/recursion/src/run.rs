@@ -17,6 +17,12 @@ pub struct RunConfig {
     pub max_boxes: u64,
     /// Retain the per-box history in the report's ledger.
     pub retain_history: bool,
+    /// Drain the source by [`BoxRun`](cadapt_core::BoxRun)s, advancing each
+    /// run of identical boxes in closed form (bit-identical results; see
+    /// the differential tests). Disabled automatically when
+    /// `retain_history` needs per-box records, and settable to `false` to
+    /// measure the per-box baseline.
+    pub fast_path: bool,
 }
 
 impl Default for RunConfig {
@@ -25,6 +31,7 @@ impl Default for RunConfig {
             model: ExecModel::Simplified,
             max_boxes: 2_000_000_000,
             retain_history: false,
+            fast_path: true,
         }
     }
 }
@@ -109,21 +116,37 @@ pub fn run_with_ledger<S: BoxSource>(
     } else {
         ProgressLedger::new(rho, n)
     };
+    // History retention needs one BoxRecord per box, so runs are expanded
+    // back to per-box advancement there; otherwise whole runs of identical
+    // boxes advance in closed form with bit-identical totals and counters.
+    let drain_runs = config.fast_path && !config.retain_history;
     while !cursor.is_done() {
         if ledger.boxes_used() >= config.max_boxes {
             return Err(RunError::BoxBudgetExhausted {
                 max_boxes: config.max_boxes,
             });
         }
-        let size = source.next_box();
-        let out = config.model.advance(&mut cursor, size);
-        cadapt_core::counters::count_boxes(1);
-        cadapt_core::counters::count_io(out.used);
-        ledger.record(BoxRecord {
-            size,
-            progress: out.progress,
-            used: out.used,
-        });
+        if drain_runs {
+            let run = source.next_run();
+            debug_assert!(run.repeat >= 1, "runs must be non-empty");
+            let allowed = config.max_boxes - ledger.boxes_used();
+            let out = config
+                .model
+                .advance_run(&mut cursor, run.size, run.repeat.min(allowed));
+            cadapt_core::counters::count_boxes(out.consumed);
+            cadapt_core::counters::count_io(out.used);
+            ledger.record_run(run.size, out.progress, out.used, out.consumed);
+        } else {
+            let size = source.next_box();
+            let out = config.model.advance(&mut cursor, size);
+            cadapt_core::counters::count_boxes(1);
+            cadapt_core::counters::count_io(out.used);
+            ledger.record(BoxRecord {
+                size,
+                progress: out.progress,
+                used: out.used,
+            });
+        }
     }
     Ok(ledger)
 }
@@ -191,6 +214,71 @@ mod tests {
         assert_eq!(history.len(), 1);
         assert_eq!(history[0].size, 64);
         assert_eq!(history[0].progress, 512);
+    }
+
+    #[test]
+    fn fast_path_matches_per_box_bitwise() {
+        let profile =
+            SquareProfile::new(vec![1, 1, 1, 1, 16, 16, 2, 2, 2, 64, 4, 4, 4, 4]).unwrap();
+        for model in [ExecModel::Simplified, ExecModel::capacity()] {
+            let fast_config = RunConfig {
+                model,
+                ..RunConfig::default()
+            };
+            let slow_config = RunConfig {
+                model,
+                fast_path: false,
+                ..RunConfig::default()
+            };
+            let mut fast_source = profile.cycle();
+            let mut slow_source = profile.cycle();
+            let fast =
+                run_on_profile(AbcParams::mm_scan(), 256, &mut fast_source, &fast_config).unwrap();
+            let slow =
+                run_on_profile(AbcParams::mm_scan(), 256, &mut slow_source, &slow_config).unwrap();
+            assert_eq!(fast.boxes_used, slow.boxes_used, "{}", model.label());
+            assert_eq!(fast.total_progress, slow.total_progress);
+            assert_eq!(fast.total_io, slow.total_io);
+            assert_eq!(fast.max_box, slow.max_box);
+            assert_eq!(fast.min_box, slow.min_box);
+            assert_eq!(
+                fast.bounded_potential_sum.to_bits(),
+                slow.bounded_potential_sum.to_bits()
+            );
+            assert_eq!(
+                fast.raw_potential_sum.to_bits(),
+                slow.raw_potential_sum.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_counters_match_per_box() {
+        use cadapt_core::counters::Recording;
+        let mut fast_source = ConstantSource::new(16);
+        let mut slow_source = ConstantSource::new(16);
+        let rec = Recording::start();
+        let _ = run_on_profile(
+            AbcParams::mm_scan(),
+            1024,
+            &mut fast_source,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let fast = rec.finish();
+        let rec = Recording::start();
+        let _ = run_on_profile(
+            AbcParams::mm_scan(),
+            1024,
+            &mut slow_source,
+            &RunConfig {
+                fast_path: false,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        let slow = rec.finish();
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Differential proptests for the run-length fast path: advancing a run of
+//! `k` identical boxes in closed form must be indistinguishable from `k`
+//! per-box advancements — same cursor state (fingerprint), same outcome
+//! totals, and the exact same instrumentation counter deltas.
+
+use cadapt_core::counters::Recording;
+use cadapt_recursion::{AbcParams, ClosedForms, ExecCursor, ScanLayout};
+use proptest::prelude::*;
+
+fn any_params() -> impl Strategy<Value = AbcParams> {
+    (
+        prop_oneof![
+            Just((8u64, 4u64)),
+            Just((7, 4)),
+            Just((3, 2)),
+            Just((2, 4)),
+            Just((4, 4))
+        ],
+        prop_oneof![Just(0.0f64), Just(0.5), Just(1.0)],
+        prop_oneof![
+            Just(ScanLayout::End),
+            Just(ScanLayout::Start),
+            Just(ScanLayout::Split)
+        ],
+        1u64..=2,
+    )
+        .prop_map(|((a, b), c, layout, base)| {
+            AbcParams::new(a, b, c, base).unwrap().with_layout(layout)
+        })
+}
+
+/// Mirror pair of cursors over the same closed forms.
+fn mirror(params: AbcParams, depth: u32) -> (ExecCursor, ExecCursor) {
+    let n = params.canonical_size(depth);
+    let cf = ClosedForms::for_size(params, n).unwrap();
+    (ExecCursor::new(cf.clone()), ExecCursor::new(cf))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Simplified model: `advance_boxes_simplified(s, k)` ==
+    /// `k × advance_box_simplified(s)` in state, totals, and counters.
+    #[test]
+    fn simplified_batch_equals_per_box(
+        params in any_params(),
+        depth in 2u32..=3,
+        ops in proptest::collection::vec((1u64..=600, 1u64..=40), 1..12),
+    ) {
+        let (mut batch, mut reference) = mirror(params, depth);
+        for (s, k) in ops {
+            let rec = Recording::start();
+            let out = batch.advance_boxes_simplified(s, k);
+            let batch_counters = rec.finish();
+
+            let rec = Recording::start();
+            let (mut used, mut progress, mut consumed) = (0u128, 0u128, 0u64);
+            for _ in 0..k {
+                if reference.is_done() {
+                    break;
+                }
+                let o = reference.advance_box_simplified(s);
+                used += o.used;
+                progress += o.progress;
+                consumed += 1;
+            }
+            let ref_counters = rec.finish();
+
+            prop_assert_eq!(out.consumed, consumed, "s={} k={}", s, k);
+            prop_assert_eq!(out.used, used, "s={} k={}", s, k);
+            prop_assert_eq!(out.progress, progress, "s={} k={}", s, k);
+            prop_assert_eq!(out.done, reference.is_done());
+            prop_assert_eq!(batch.fingerprint(), reference.fingerprint(), "s={} k={}", s, k);
+            prop_assert_eq!(batch_counters, ref_counters, "s={} k={}", s, k);
+            if out.done {
+                break;
+            }
+        }
+    }
+
+    /// Capacity model: `advance_boxes_capacity(x, γ, k)` ==
+    /// `k × advance_box_capacity(x, γ)` in state, totals, and counters.
+    #[test]
+    fn capacity_batch_equals_per_box(
+        params in any_params(),
+        depth in 2u32..=3,
+        cost_factor in 1u64..=2,
+        ops in proptest::collection::vec((1u64..=600, 1u64..=40), 1..12),
+    ) {
+        let (mut batch, mut reference) = mirror(params, depth);
+        for (s, k) in ops {
+            let rec = Recording::start();
+            let out = batch.advance_boxes_capacity(s, cost_factor, k);
+            let batch_counters = rec.finish();
+
+            let rec = Recording::start();
+            let (mut used, mut progress, mut consumed) = (0u128, 0u128, 0u64);
+            for _ in 0..k {
+                if reference.is_done() {
+                    break;
+                }
+                let o = reference.advance_box_capacity(s, cost_factor);
+                used += o.used;
+                progress += o.progress;
+                consumed += 1;
+            }
+            let ref_counters = rec.finish();
+
+            prop_assert_eq!(out.consumed, consumed, "s={} k={} γ={}", s, k, cost_factor);
+            prop_assert_eq!(out.used, used, "s={} k={} γ={}", s, k, cost_factor);
+            prop_assert_eq!(out.progress, progress, "s={} k={} γ={}", s, k, cost_factor);
+            prop_assert_eq!(out.done, reference.is_done());
+            prop_assert_eq!(
+                batch.fingerprint(),
+                reference.fingerprint(),
+                "s={} k={} γ={}", s, k, cost_factor
+            );
+            prop_assert_eq!(batch_counters, ref_counters, "s={} k={} γ={}", s, k, cost_factor);
+            if out.done {
+                break;
+            }
+        }
+    }
+
+    /// Interleaving the two models' batch calls on one cursor also mirrors
+    /// the interleaved per-box calls (the cursor is model-agnostic state).
+    #[test]
+    fn mixed_model_batches_mirror_per_box(
+        params in any_params(),
+        ops in proptest::collection::vec(
+            (proptest::bool::ANY, 1u64..=300, 1u64..=20),
+            1..10,
+        ),
+    ) {
+        let (mut batch, mut reference) = mirror(params, 3);
+        for (capacity, s, k) in ops {
+            let out = if capacity {
+                batch.advance_boxes_capacity(s, 1, k)
+            } else {
+                batch.advance_boxes_simplified(s, k)
+            };
+            let mut consumed = 0u64;
+            for _ in 0..k {
+                if reference.is_done() {
+                    break;
+                }
+                if capacity {
+                    reference.advance_box_capacity(s, 1);
+                } else {
+                    reference.advance_box_simplified(s);
+                }
+                consumed += 1;
+            }
+            prop_assert_eq!(out.consumed, consumed);
+            prop_assert_eq!(batch.fingerprint(), reference.fingerprint());
+            if out.done {
+                break;
+            }
+        }
+    }
+}
+
+/// Pinned non-proptest regression: a deep tree with a size that triggers the
+/// multi-sibling collapse (End layout, empty mid chunks) on every level.
+#[test]
+fn deep_constant_run_collapses_and_matches() {
+    let params = AbcParams::mm_scan();
+    let n = params.canonical_size(6);
+    let cf = ClosedForms::for_size(params, n).unwrap();
+    let mut batch = ExecCursor::new(cf.clone());
+    let mut reference = ExecCursor::new(cf);
+    let rec = Recording::start();
+    let out = batch.advance_boxes_simplified(16, 1_000_000);
+    let batch_counters = rec.finish();
+    let rec = Recording::start();
+    let (mut used, mut progress, mut consumed) = (0u128, 0u128, 0u64);
+    while consumed < 1_000_000 && !reference.is_done() {
+        let o = reference.advance_box_simplified(16);
+        used += o.used;
+        progress += o.progress;
+        consumed += 1;
+    }
+    let ref_counters = rec.finish();
+    assert_eq!(out.consumed, consumed);
+    assert_eq!(out.used, used);
+    assert_eq!(out.progress, progress);
+    assert_eq!(batch.fingerprint(), reference.fingerprint());
+    assert_eq!(batch_counters, ref_counters);
+}
