@@ -110,7 +110,9 @@ where
     } else {
         config.threads
     };
-    let threads = threads.min(config.trials.max(1) as usize).max(1);
+    let threads = threads
+        .min(cadapt_core::cast::usize_from_u64(config.trials.max(1)))
+        .max(1);
     let next_trial = std::sync::atomic::AtomicU64::new(0);
     let make_source = &make_source;
     let shared_counters = SharedCounters::new();
@@ -152,12 +154,15 @@ where
         }
         handles
             .into_iter()
+            // cadapt-lint: allow(no-panic-lib) -- worker panics are programming errors; re-raising them is the error policy
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     })
+    // cadapt-lint: allow(no-panic-lib) -- worker panics are programming errors; re-raising them is the error policy
     .expect("scope panicked");
 
-    let mut all: Vec<TrialOutcome> = Vec::with_capacity(config.trials as usize);
+    let mut all: Vec<TrialOutcome> =
+        Vec::with_capacity(cadapt_core::cast::usize_from_u64(config.trials));
     for r in results {
         all.extend(r?);
     }
@@ -183,6 +188,9 @@ where
     })
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

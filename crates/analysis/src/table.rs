@@ -102,6 +102,7 @@ impl Table {
     /// Never in practice (the type is plain data).
     #[must_use]
     pub fn to_json(&self) -> String {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: plain-data struct, serialisation cannot fail (documented under # Panics)
         serde_json::to_string_pretty(self).expect("tables are serialisable")
     }
 
@@ -143,6 +144,7 @@ impl std::fmt::Display for Table {
 /// Format a float compactly for table cells.
 #[must_use]
 pub fn fnum(x: f64) -> String {
+    // cadapt-lint: allow(float-eq) -- sentinel: formatting special-case for exact zero; both branches render correctly
     if x == 0.0 {
         "0".to_string()
     } else if x.abs() >= 1000.0 || x.abs() < 0.01 {

@@ -1,6 +1,10 @@
 //! Criterion benches of the paging substrate: LRU throughput and trace
 //! replay under fixed caches, square profiles, and arbitrary profiles.
 
+// Bench targets: criterion's macros generate undocumented items, and Io
+// totals are narrowed for throughput reporting only.
+#![allow(missing_docs)]
+
 use cadapt_core::profile::ConstantSource;
 use cadapt_core::Potential;
 use cadapt_paging::{replay_fixed, replay_memory_profile, replay_square_profile, LruCache};

@@ -84,6 +84,7 @@ pub fn find(id: &str) -> Option<&'static dyn Experiment> {
 /// outcome as a [`RunRecord`].
 #[must_use]
 pub fn run_record(exp: &dyn Experiment, scale: Scale) -> RunRecord {
+    // cadapt-lint: allow(nondet-source) -- wall clock feeds only the wall_ms field, which golden comparison explicitly ignores (see check::wall_time_is_not_compared)
     let clock = Instant::now();
     let recording = Recording::start();
     let output = exp.run(scale);

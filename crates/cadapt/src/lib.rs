@@ -22,7 +22,7 @@
 //!   estimation, growth-law fitting, and experiment tables.
 //! * [`sched`] — a multi-programmed cache scheduler built on the cursor:
 //!   the system the paper's introduction motivates, as a simulator.
-//! * [`bench`] — the experiment modules and the registry-driven engine
+//! * [`mod@bench`] — the experiment modules and the registry-driven engine
 //!   behind the `cadapt-bench` CLI (instrumented runs, schema-versioned
 //!   run records, golden-record regression checks).
 //!
@@ -80,6 +80,9 @@ pub mod prelude {
     };
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::prelude::*;

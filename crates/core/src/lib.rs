@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cast;
 pub mod counters;
 pub mod error;
 pub mod memory_profile;

@@ -111,9 +111,9 @@ pub fn exact_log(base: u64, x: u64) -> Option<u32> {
 fn pow_u64_f64(base: u64, k: u32) -> f64 {
     let mut acc: u128 = 1;
     for _ in 0..k {
-        match acc.checked_mul(base as u128) {
+        match acc.checked_mul(u128::from(base)) {
             Some(v) => acc = v,
-            None => return (base as f64).powi(k as i32),
+            None => return (base as f64).powi(crate::cast::i32_from_u32(k)),
         }
     }
     acc as f64
@@ -140,11 +140,15 @@ pub fn ceil_power(base: u64, x: u64) -> u64 {
     assert!(x >= 1, "ceil_power of zero is undefined");
     let mut v = 1u64;
     while v < x {
+        // cadapt-lint: allow(no-panic-lib) -- deliberate loud overflow guard: a wrapped power would corrupt box geometry
         v = v.checked_mul(base).expect("ceil_power overflow");
     }
     v
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

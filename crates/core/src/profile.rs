@@ -252,6 +252,7 @@ impl SquareProfile {
             return self.clone();
         }
         let t = t % total;
+        // cadapt-lint: allow(no-panic-lib) -- invariant: t < total_time after the modulo, so a box always exists
         let idx = self.box_at_time(t).expect("t reduced modulo total time");
         self.rotated_by_boxes(idx)
     }
@@ -329,7 +330,7 @@ impl BoxSource for CycleSource<'_> {
         self.pos = (self.pos + run) % self.boxes.len();
         BoxRun {
             size: b,
-            repeat: run as u64,
+            repeat: crate::cast::u64_from_usize(run),
         }
     }
 }
@@ -364,7 +365,7 @@ impl BoxSource for ExtendedSource<'_> {
                 self.pos += run;
                 BoxRun {
                     size: b,
-                    repeat: run as u64,
+                    repeat: crate::cast::u64_from_usize(run),
                 }
             }
             // Once in the filler tail, it's this size forever.
@@ -449,6 +450,9 @@ impl<S: BoxSource> BoxSource for RecordingSource<S> {
     // would desynchronise the recorded prefix from what was consumed.
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

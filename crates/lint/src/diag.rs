@@ -1,0 +1,109 @@
+//! Diagnostics and their text/JSON rendering.
+//!
+//! JSON is emitted by hand (the analyzer is dependency-free on purpose:
+//! it must build before — and independently of — everything it checks,
+//! vendored shims included). The schema is stable and consumed by CI:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "diagnostics": [
+//!     { "rule": "float-eq", "path": "crates/core/src/report.rs",
+//!       "line": 54, "message": "…" }
+//!   ],
+//!   "count": 1
+//! }
+//! ```
+
+/// One finding: a rule violation (or a waiver problem) at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (e.g. `float-eq`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as a single `path:line: [rule] message` text line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Render the full JSON report for a diagnostic list.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("    {\"rule\": ");
+        json_string(&mut out, d.rule);
+        out.push_str(", \"path\": ");
+        json_string(&mut out, &d.path);
+        out.push_str(&format!(", \"line\": {}, \"message\": ", d.line));
+        json_string(&mut out, &d.message);
+        out.push('}');
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("  ],\n  \"count\": {}\n}}\n", diags.len()));
+    out
+}
+
+/// Append `s` as a JSON string literal (quotes and escapes included).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let diags = vec![Diagnostic {
+            rule: "float-eq",
+            path: "a/b.rs".into(),
+            line: 3,
+            message: "quote \" backslash \\ newline \n".into(),
+        }];
+        let json = render_json(&diags);
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn text_rendering_is_grep_friendly() {
+        let d = Diagnostic {
+            rule: "lossy-cast",
+            path: "crates/core/src/x.rs".into(),
+            line: 10,
+            message: "m".into(),
+        };
+        assert_eq!(d.render_text(), "crates/core/src/x.rs:10: [lossy-cast] m");
+    }
+}

@@ -1,0 +1,546 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! lint rules, with exact line numbers and full comment/string awareness.
+//!
+//! The lexer deliberately does **not** attempt full fidelity with rustc
+//! (no shebang handling, no `c"…"` C-strings, no float-suffix edge cases
+//! like `1.` before a method call — which rustc rejects anyway). What it
+//! guarantees is the property the rules depend on: nothing inside a
+//! comment, string, char literal, or raw string ever surfaces as a code
+//! token, and every token knows the 1-based line it starts on.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, stripped of `r#`).
+    Ident,
+    /// Integer literal (decimal, hex, octal, binary), suffix included.
+    Int,
+    /// Float literal (has a fractional part, exponent, or float suffix).
+    Float,
+    /// String, byte-string, raw-string, or char literal.
+    Literal,
+    /// Lifetime such as `'a` (also `'static`).
+    Lifetime,
+    /// Punctuation / operator, possibly multi-character (`==`, `::`, `->`).
+    Punct,
+}
+
+/// One token of Rust source.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text exactly as written (raw idents keep their `r#`).
+    pub text: String,
+    /// 1-based line number the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is punctuation with exactly this text.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A comment with its position, used for waiver parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the delimiters (`// …` or `/* … */`).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (line and block, doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Never fails: unrecognised bytes are skipped so that a
+/// half-written fixture still produces a useful stream.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_has_code: false,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_has_code = false;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.tokens.push(Token { kind, text, line });
+        self.line_has_code = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b' if self.maybe_raw_or_byte_literal() => {}
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+            line,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+            line,
+            own_line,
+        });
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw
+    /// identifiers `r#ident`. Returns true if it consumed anything.
+    fn maybe_raw_or_byte_literal(&mut self) -> bool {
+        let b0 = self.peek(0);
+        // b"…" / b'…'
+        if b0 == b'b' {
+            match self.peek(1) {
+                b'"' => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Literal, start, line);
+                    return true;
+                }
+                b'\'' => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.bump();
+                    self.bump(); // opening quote
+                    if self.peek(0) == b'\\' {
+                        self.bump();
+                    }
+                    self.bump(); // the byte
+                    if self.peek(0) == b'\'' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Literal, start, line);
+                    return true;
+                }
+                b'r' if matches!(self.peek(2), b'"' | b'#') => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    self.raw_string_body();
+                    self.push(TokenKind::Literal, start, line);
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        // r"…" / r#"…"# / r#ident
+        if b0 == b'r' {
+            match self.peek(1) {
+                b'"' => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.bump();
+                    self.raw_string_body();
+                    self.push(TokenKind::Literal, start, line);
+                    return true;
+                }
+                b'#' => {
+                    // Count hashes; a quote after them means raw string,
+                    // an identifier character means raw identifier.
+                    let mut ahead = 1;
+                    while self.peek(ahead) == b'#' {
+                        ahead += 1;
+                    }
+                    if self.peek(ahead) == b'"' {
+                        let start = self.pos;
+                        let line = self.line;
+                        self.bump();
+                        self.raw_string_body();
+                        self.push(TokenKind::Literal, start, line);
+                    } else {
+                        // raw identifier r#foo
+                        let start = self.pos;
+                        let line = self.line;
+                        self.bump(); // r
+                        self.bump(); // #
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.push(TokenKind::Ident, start, line);
+                    }
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Consume `#…#"…"#…#` with the cursor on the first `#` or the quote.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            return;
+        }
+        self.bump();
+        loop {
+            if self.pos >= self.bytes.len() {
+                return;
+            }
+            if self.bump() == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == b'#' {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.string_body();
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    /// Consume a `"…"` body with escapes; cursor on the opening quote.
+    fn string_body(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        // Lifetime: 'ident not closed by a quote. Char: anything else.
+        if is_ident_start(self.peek(1)) && self.peek(1) != b'\\' {
+            // Find the end of the identifier run.
+            let mut ahead = 2;
+            while is_ident_continue(self.peek(ahead)) {
+                ahead += 1;
+            }
+            if self.peek(ahead) != b'\'' {
+                // Lifetime.
+                self.bump(); // '
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, start, line);
+                return;
+            }
+        }
+        // Char literal.
+        self.bump(); // '
+        if self.peek(0) == b'\\' {
+            self.bump();
+            // Escapes like \u{1F600} contain braces; consume until quote.
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        } else {
+            self.bump();
+            // Multi-byte UTF-8 scalar: consume until the closing quote.
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_') {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                self.bump();
+            }
+            // Fractional part: a dot followed by a digit (so `0..n` and
+            // `x.method()` stay integers).
+            if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                float = true;
+                self.bump();
+                while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), b'e' | b'E')
+                && (self.peek(1).is_ascii_digit()
+                    || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+            {
+                float = true;
+                self.bump();
+                if matches!(self.peek(0), b'+' | b'-') {
+                    self.bump();
+                }
+                while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix: u64, f64, usize…  A float suffix forces Float.
+        if is_ident_start(self.peek(0)) {
+            let suffix_start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let suffix = &self.bytes[suffix_start..self.pos];
+            if suffix == b"f32" || suffix == b"f64" {
+                float = true;
+            }
+        }
+        self.push(
+            if float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            },
+            start,
+            line,
+        );
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let b0 = self.peek(0);
+        let b1 = self.peek(1);
+        let b2 = self.peek(2);
+        let len = match (b0, b1, b2) {
+            (b'.', b'.', b'=') | (b'<', b'<', b'=') | (b'>', b'>', b'=') | (b'.', b'.', b'.') => 3,
+            (b'=', b'=', _)
+            | (b'!', b'=', _)
+            | (b'<', b'=', _)
+            | (b'>', b'=', _)
+            | (b'&', b'&', _)
+            | (b'|', b'|', _)
+            | (b':', b':', _)
+            | (b'-', b'>', _)
+            | (b'=', b'>', _)
+            | (b'.', b'.', _)
+            | (b'<', b'<', _)
+            | (b'>', b'>', _)
+            | (b'+', b'=', _)
+            | (b'-', b'=', _)
+            | (b'*', b'=', _)
+            | (b'/', b'=', _)
+            | (b'%', b'=', _)
+            | (b'^', b'=', _)
+            | (b'&', b'=', _)
+            | (b'|', b'=', _) => 2,
+            _ => 1,
+        };
+        for _ in 0..len {
+            self.bump();
+        }
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let lexed = lex("let x = \"a == b\"; // y == 0.0\n/* z != 1.0 */ let y = 2;");
+        assert!(!lexed.tokens.iter().any(|t| t.is_punct("==")));
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokenKind::Float));
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex("let s = r#\"unwrap() == 0.0 \"# ; let t = 1;");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("a == 0.0; b == 1; 0..4u64; x.0; 1e3; 2.5f64; 3f64");
+        let floats: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(floats, ["0.0", "1e3", "2.5f64", "3f64"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multichar_punct_and_lines() {
+        let lexed = lex("a\n  == b\n!= c");
+        let eq = lexed.tokens.iter().find(|t| t.is_punct("==")).expect("==");
+        assert_eq!(eq.line, 2);
+        let ne = lexed.tokens.iter().find(|t| t.is_punct("!=")).expect("!=");
+        assert_eq!(ne.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("x")));
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn own_line_detection() {
+        let lexed = lex("let a = 1; // trailing\n// own line\nlet b = 2;");
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+}

@@ -1,0 +1,239 @@
+//! # cadapt-lint — determinism & accounting static analysis
+//!
+//! A dependency-free, workspace-local static analyzer. It tokenizes every
+//! first-party `.rs` file under `crates/` with a small hand-rolled lexer
+//! ([`lexer`]) and runs a registry of token-level rules ([`rules`]) whose
+//! single purpose is protecting the engine's headline guarantee: **runs
+//! are reproducible bit-for-bit from (params, seed)**, and the I/O
+//! accounting behind the paper's theorems is exact.
+//!
+//! | rule | invariant it protects |
+//! |------|----------------------|
+//! | `float-eq` | bit-identical batched vs per-box totals |
+//! | `no-panic-lib` | library code fails into error types, not aborts |
+//! | `lossy-cast` | exact (non-wrapping) I/O & progress accounting |
+//! | `nondet-source` | schedule/process-independent results |
+//! | `crate-header` | workspace-wide `unsafe`/docs contract |
+//!
+//! Violations that are intentional take an inline waiver ([`waiver`]):
+//!
+//! ```text
+//! // cadapt-lint: allow(nondet-source) -- index is point-probed, never iterated
+//! ```
+//!
+//! Waivers require a justification and are themselves linted: a waiver
+//! that suppresses nothing is a `stale-waiver` error, so the waiver set
+//! can only shrink as violations are fixed.
+//!
+//! The binary front-end (`cargo run -p cadapt-lint -- check`) is wired
+//! into the CI `lint` job; `tests/` holds a pass/fail fixture corpus per
+//! rule plus a self-lint test asserting the workspace is clean.
+//!
+//! The vendored shims under `shims/` are deliberately **not** scanned:
+//! they are stand-ins for third-party crates and follow upstream APIs,
+//! not our invariants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod waiver;
+
+pub use diag::{render_json, Diagnostic};
+pub use rules::{registry, Rule};
+
+use source::SourceFile;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint a single file's contents, waivers applied.
+///
+/// `rel_path` must be the workspace-relative path with `/` separators —
+/// rule scoping (accounting crates, test collateral, crate roots) keys
+/// off it.
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel_path, src);
+    let rules = registry();
+    let known: BTreeSet<&'static str> = rules.iter().map(|r| r.id()).collect();
+
+    let mut raw = Vec::new();
+    for rule in &rules {
+        if rule.applies(rel_path) {
+            rule.check(&file, &mut raw);
+        }
+    }
+
+    let waivers = waiver::collect(&file.lexed.comments, &file.lexed.tokens);
+    let mut suppressed = vec![0usize; waivers.len()];
+    let mut kept = Vec::new();
+    'diags: for d in raw {
+        for (wi, w) in waivers.iter().enumerate() {
+            if w.malformed.is_none()
+                && w.target_line == d.line
+                && w.rules.iter().any(|r| r == d.rule)
+            {
+                suppressed[wi] += 1;
+                continue 'diags;
+            }
+        }
+        kept.push(d);
+    }
+
+    for (w, &hits) in waivers.iter().zip(&suppressed) {
+        if let Some(problem) = &w.malformed {
+            kept.push(Diagnostic {
+                rule: "malformed-waiver",
+                path: rel_path.to_string(),
+                line: w.line,
+                message: problem.clone(),
+            });
+            continue;
+        }
+        if let Some(unknown) = w.rules.iter().find(|r| !known.contains(r.as_str())) {
+            kept.push(Diagnostic {
+                rule: "malformed-waiver",
+                path: rel_path.to_string(),
+                line: w.line,
+                message: format!("waiver names unknown rule `{unknown}` (see `cadapt-lint list`)"),
+            });
+            continue;
+        }
+        if hits == 0 {
+            kept.push(Diagnostic {
+                rule: "stale-waiver",
+                path: rel_path.to_string(),
+                line: w.line,
+                message: format!(
+                    "waiver for {} suppresses nothing — the violation it excused is \
+                     gone; delete the waiver",
+                    w.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    kept.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    kept
+}
+
+/// Recursively collect the first-party `.rs` files to lint: everything
+/// under `<root>/crates`, excluding build output and the lint fixture
+/// corpus (which contains violations on purpose).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no crates/ directory", root.display()),
+        ));
+    }
+    walk(&crates_dir, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`, returning diagnostics
+/// sorted by (path, line, rule).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = rel_path(root, &path);
+        let src = fs::read_to_string(&path)?;
+        diags.extend(lint_source(&rel, &src));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(diags)
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` containing
+/// both `Cargo.toml` and `crates/`.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waived_diagnostic_is_suppressed_and_waiver_is_fresh() {
+        let src = "fn f(x: f64) -> bool {\n    x == 0.0 // cadapt-lint: allow(float-eq) -- sentinel, never computed\n}\n";
+        let diags = lint_source("crates/x/src/m.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stale_waiver_is_reported() {
+        let src = "// cadapt-lint: allow(float-eq) -- nothing here anymore\nfn f() {}\n";
+        let diags = lint_source("crates/x/src/m.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "stale-waiver");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn unknown_rule_in_waiver_is_malformed() {
+        let src = "fn f(x: f64) -> bool {\n    x == 0.0 // cadapt-lint: allow(no-such-rule) -- whatever\n}\n";
+        let diags = lint_source("crates/x/src/m.rs", src);
+        assert!(diags.iter().any(|d| d.rule == "malformed-waiver"));
+        // The float-eq itself is NOT suppressed by an unknown-rule waiver.
+        assert!(diags.iter().any(|d| d.rule == "float-eq"));
+    }
+
+    #[test]
+    fn missing_justification_is_malformed_and_does_not_suppress() {
+        let src = "fn f(x: f64) -> bool {\n    x == 0.0 // cadapt-lint: allow(float-eq)\n}\n";
+        let diags = lint_source("crates/x/src/m.rs", src);
+        assert!(diags.iter().any(|d| d.rule == "malformed-waiver"));
+        assert!(diags.iter().any(|d| d.rule == "float-eq"));
+    }
+
+    #[test]
+    fn rules_do_not_fire_on_test_paths() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\nfn g() { None::<u32>.unwrap(); }\n";
+        assert!(lint_source("crates/x/tests/t.rs", src).is_empty());
+        assert!(lint_source("crates/x/benches/b.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! `cadapt-lint` CLI: `check`, `list`, `explain`.
+//!
+//! ```text
+//! cadapt-lint check [--root <dir>] [--format text|json] [--out <file>]
+//! cadapt-lint list
+//! cadapt-lint explain <rule>
+//! ```
+//!
+//! `check` exits 0 on a clean workspace and 1 when any diagnostic
+//! (including stale or malformed waivers) is present; 2 on usage errors.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("explain") => cmd_explain(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: cadapt-lint <check|list|explain> [options]\n\
+                 \n\
+                 check   [--root <dir>] [--format text|json] [--out <file>]\n\
+                 \x20        lint the workspace; exit 1 on any diagnostic\n\
+                 list    show all rules with one-line summaries\n\
+                 explain <rule>  print the rule's full rationale"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut out_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_err("--root needs a value"),
+            },
+            "--format" => match it.next() {
+                Some(v) if v == "text" || v == "json" => format = v.clone(),
+                _ => return usage_err("--format must be text or json"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_file = Some(PathBuf::from(v)),
+                None => return usage_err("--out needs a value"),
+            },
+            other => return usage_err(&format!("unknown option {other}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match cadapt_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => return usage_err("no workspace root found; pass --root"),
+            }
+        }
+    };
+
+    let diags = match cadapt_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cadapt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if format == "json" {
+        cadapt_lint::render_json(&diags)
+    } else {
+        let mut s = String::new();
+        for d in &diags {
+            s.push_str(&d.render_text());
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "{} diagnostic{}\n",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        ));
+        s
+    };
+    print!("{report}");
+    if let Some(path) = out_file {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("cadapt-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    for rule in cadapt_lint::registry() {
+        println!("{:<14} {}", rule.id(), rule.summary());
+    }
+    println!(
+        "{:<14} waiver suppresses nothing (meta-rule, cannot be waived)",
+        "stale-waiver"
+    );
+    println!(
+        "{:<14} waiver is unparsable or lacks a justification (meta-rule)",
+        "malformed-waiver"
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        return usage_err("explain needs a rule id (see `cadapt-lint list`)");
+    };
+    match id.as_str() {
+        "stale-waiver" => {
+            println!(
+                "A `// cadapt-lint: allow(...)` comment that no longer suppresses any \
+                 diagnostic. Waivers document *current* exceptions; once the violation \
+                 is fixed the waiver must be deleted, otherwise it would silently \
+                 excuse a future regression at the same site."
+            );
+            return ExitCode::SUCCESS;
+        }
+        "malformed-waiver" => {
+            println!(
+                "A waiver comment that does not parse as \
+                 `// cadapt-lint: allow(<rule>[, <rule>...]) -- <justification>`, names \
+                 an unknown rule, or omits the justification. The justification is \
+                 mandatory: a waiver is a reviewed claim about why the invariant holds \
+                 anyway, not an off switch."
+            );
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
+    for rule in cadapt_lint::registry() {
+        if rule.id() == id {
+            println!("{}: {}\n\n{}", rule.id(), rule.summary(), rule.explain());
+            return ExitCode::SUCCESS;
+        }
+    }
+    usage_err(&format!("unknown rule `{id}` (see `cadapt-lint list`)"))
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("cadapt-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,82 @@
+//! `crate-header`: every crate root carries the agreed lint header.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Checks that `crates/*/src/lib.rs` declares
+/// `#![forbid(unsafe_code)]` (or `deny`) and `#![warn(missing_docs)]`
+/// (or stricter).
+pub struct CrateHeader;
+
+impl Rule for CrateHeader {
+    fn id(&self) -> &'static str {
+        "crate-header"
+    }
+
+    fn summary(&self) -> &'static str {
+        "crate root must #![forbid(unsafe_code)] and #![warn(missing_docs)]"
+    }
+
+    fn explain(&self) -> &'static str {
+        "The workspace-wide guarantees (no unsafe, documented public API) \
+         are only workspace-wide if every crate root opts in — a new crate \
+         added without the header block silently weakens them. This rule \
+         requires every `crates/*/src/lib.rs` to contain both \
+         `#![forbid(unsafe_code)]` (deny also accepted) and \
+         `#![warn(missing_docs)]` (deny/forbid also accepted). The \
+         `[workspace.lints]` table enforces the same at compile time; the \
+         header keeps the contract visible in the file itself and guards \
+         against a crate omitting `[lints] workspace = true`. There is no \
+         sensible waiver: new crates take the header."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        // Exactly crates/<name>/src/lib.rs
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        matches!(parts.as_slice(), ["crates", _, "src", "lib.rs"])
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let mut has_unsafe_header = false;
+        let mut has_docs_header = false;
+        let toks = &file.lexed.tokens;
+        // Inner attribute shape: `#` `!` `[` level `(` lint `)` `]`
+        for w in toks.windows(7) {
+            if !(w[0].is_punct("#") && w[1].is_punct("!") && w[2].is_punct("[")) {
+                continue;
+            }
+            let level = &w[3];
+            let open = &w[4];
+            let lint = &w[5];
+            let close = &w[6];
+            if !(open.is_punct("(") && close.is_punct(")")) {
+                continue;
+            }
+            if lint.is_ident("unsafe_code") && (level.is_ident("forbid") || level.is_ident("deny"))
+            {
+                has_unsafe_header = true;
+            }
+            if lint.is_ident("missing_docs")
+                && (level.is_ident("warn") || level.is_ident("deny") || level.is_ident("forbid"))
+            {
+                has_docs_header = true;
+            }
+        }
+        let mut missing = Vec::new();
+        if !has_unsafe_header {
+            missing.push("#![forbid(unsafe_code)]");
+        }
+        if !has_docs_header {
+            missing.push("#![warn(missing_docs)]");
+        }
+        if !missing.is_empty() {
+            out.push(Diagnostic {
+                rule: self.id(),
+                path: file.rel_path.clone(),
+                line: 1,
+                message: format!("crate root is missing {}", missing.join(" and ")),
+            });
+        }
+    }
+}

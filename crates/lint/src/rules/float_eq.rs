@@ -1,0 +1,69 @@
+//! `float-eq`: no `==` / `!=` against float literals.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::{is_test_or_bin_path, Rule};
+use crate::source::SourceFile;
+
+/// Flags `==` / `!=` where either operand is a float literal.
+pub struct FloatEq;
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn summary(&self) -> &'static str {
+        "exact ==/!= against a float literal; compare to_bits() or restructure"
+    }
+
+    fn explain(&self) -> &'static str {
+        "PR 2's headline guarantee is that batched and per-box advancement \
+         produce bit-identical totals, and the golden records pin exact \
+         bytes. Exact float equality is the canonical way to silently lose \
+         that property: a comparison that holds on one code path can fail \
+         after an algebraically-equivalent reassociation on another. This \
+         rule flags `==`/`!=` where either side is a float literal (the \
+         lexer cannot do type inference, so float-typed variables compared \
+         to each other are out of scope — clippy::float_cmp covers those). \
+         Fix: compare `f.to_bits()` when you mean bit-identity, restructure \
+         the guard (e.g. match on a domain enum) when you mean a sentinel, \
+         or waive with a justification explaining why exact equality is \
+         well-defined at this site (e.g. the value is only ever assigned \
+         the literal 0.0 and never computed)."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        !is_test_or_bin_path(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if !(t.is_punct("==") || t.is_punct("!=")) {
+                continue;
+            }
+            if file.in_cfg_test(t.line) {
+                continue;
+            }
+            let prev_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+            let next_float = matches!(toks.get(i + 1), Some(n) if n.kind == TokenKind::Float);
+            // `x == -1.0`: a unary minus in front of the literal.
+            let neg_float = matches!(toks.get(i + 1), Some(n) if n.is_punct("-"))
+                && matches!(toks.get(i + 2), Some(n2) if n2.kind == TokenKind::Float);
+            if prev_float || next_float || neg_float {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "exact `{}` against a float literal; compare to_bits() for \
+                         bit-identity, restructure the sentinel, or waive with a \
+                         justification",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! `lossy-cast`: no `as` casts to integer types in the accounting crates.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::{in_accounting_crate, is_test_or_bin_path, Rule};
+use crate::source::SourceFile;
+
+/// Integer target types an `as` cast can silently truncate or re-sign to.
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Flags `expr as <int-type>` inside the accounting crates.
+pub struct LossyCast;
+
+impl Rule for LossyCast {
+    fn id(&self) -> &'static str {
+        "lossy-cast"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`as <int>` cast in accounting crates (core/recursion/paging)"
+    }
+
+    fn explain(&self) -> &'static str {
+        "I/O totals, progress counts, and box geometry live in u64/u128 \
+         (`Blocks`, `Io`, `Leaves`); an `as` cast silently wraps on \
+         overflow and silently truncates float→int, which corrupts the \
+         accounting the paper's theorems (and our golden records) depend \
+         on — analytical cache models live or die by exact counting. This \
+         rule flags every `as <integer-type>` in crates/core, \
+         crates/recursion, and crates/paging (test code exempt). The lexer \
+         cannot see the source type, so provably-lossless widenings are \
+         flagged too — write them as `T::from(x)` / `Io::from(x)`, which \
+         the compiler checks. For narrowing, use the checked helpers in \
+         `cadapt_core::cast` (`usize_from_u64`, `u64_from_usize`, \
+         `u32_from_usize`, `u64_from_f64`, …), which panic loudly on overflow \
+         instead of wrapping. Sites where wrapping is genuinely intended \
+         (none are known) would need a waiver with a justification."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        in_accounting_crate(rel_path) && !is_test_or_bin_path(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("as") {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1) else {
+                continue;
+            };
+            if target.kind != TokenKind::Ident || !INT_TYPES.contains(&target.text.as_str()) {
+                continue;
+            }
+            // `use foo as u32` cannot occur (keywords); `as` after `use`
+            // renames, but renaming *to* a primitive type name is not
+            // possible, so every hit here is a cast.
+            if file.in_cfg_test(t.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                path: file.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`as {}` in accounting code; use `{}::from` for lossless widening \
+                     or a `cadapt_core::cast` checked helper for narrowing",
+                    target.text, target.text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The rule registry.
+//!
+//! Each rule is a small token-stream pass with a stable id, a one-line
+//! summary (`cadapt-lint list`) and a long explanation tying it to the
+//! determinism / accounting invariant it protects (`cadapt-lint explain`).
+//! Rules are purely syntactic: they see tokens, not types, and each one
+//! documents the heuristic it uses and the waiver escape hatch.
+
+mod crate_header;
+mod float_eq;
+mod lossy_cast;
+mod no_panic_lib;
+mod nondet_source;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable kebab-case identifier, used in waivers and JSON output.
+    fn id(&self) -> &'static str;
+    /// One-line summary for `cadapt-lint list`.
+    fn summary(&self) -> &'static str;
+    /// Long-form explanation for `cadapt-lint explain <rule>`: what the
+    /// rule flags, which invariant it protects, and how to fix or waive.
+    fn explain(&self) -> &'static str;
+    /// Whether the rule runs on this workspace-relative path.
+    fn applies(&self, rel_path: &str) -> bool;
+    /// Scan one file, appending diagnostics.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered rules, in reporting order.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(float_eq::FloatEq),
+        Box::new(no_panic_lib::NoPanicLib),
+        Box::new(lossy_cast::LossyCast),
+        Box::new(nondet_source::NondetSource),
+        Box::new(crate_header::CrateHeader),
+    ]
+}
+
+/// Rule ids that the waiver machinery itself emits. They are valid in
+/// error listings but cannot be waived and cannot appear in `allow()`.
+pub const META_RULES: [&str; 2] = ["stale-waiver", "malformed-waiver"];
+
+/// True when `rel_path` lives under one of the accounting crates whose
+/// arithmetic feeds I/O totals and progress ledgers.
+#[must_use]
+pub fn in_accounting_crate(rel_path: &str) -> bool {
+    ["crates/core/", "crates/recursion/", "crates/paging/"]
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+}
+
+/// True for paths that are test or bench collateral rather than library
+/// code: `tests/`, `benches/`, `examples/` directories, binary roots.
+#[must_use]
+pub fn is_test_or_bin_path(rel_path: &str) -> bool {
+    rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.contains("/examples/")
+        || rel_path.contains("/src/bin/")
+        || rel_path.ends_with("/main.rs")
+        || rel_path.ends_with("/build.rs")
+}

@@ -1,0 +1,73 @@
+//! `no-panic-lib`: no `unwrap`/`expect`/`panic!`/`todo!` in library code.
+
+use crate::diag::Diagnostic;
+use crate::rules::{is_test_or_bin_path, Rule};
+use crate::source::SourceFile;
+
+/// Flags panicking calls in library code outside `#[cfg(test)]`.
+pub struct NoPanicLib;
+
+impl Rule for NoPanicLib {
+    fn id(&self) -> &'static str {
+        "no-panic-lib"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/todo! in library code outside tests"
+    }
+
+    fn explain(&self) -> &'static str {
+        "The engine is embedded in long-running drivers (the bench harness, \
+         the scheduler, downstream users of the `cadapt` facade). A panic \
+         in library code turns a recoverable modelling error into a process \
+         abort — and, worse, panics hide in paths the goldens never \
+         exercise. This rule flags `.unwrap()`, `.expect(…)`, `panic!(…)` \
+         and `todo!(…)` in library sources; `tests/`, `benches/`, \
+         `examples/`, binary roots, and `#[cfg(test)]` items are exempt. \
+         Fix: return the crate error type, use `unwrap_or`/`match`, or — \
+         for genuine internal invariants whose violation means the \
+         accounting is already wrong — keep the panic and waive it with a \
+         justification naming the invariant. `assert!`/`debug_assert!` are \
+         deliberately allowed: stated invariants are good. The experiment \
+         harness crate (`crates/bench`) is exempt wholesale: it exists to \
+         drive its own CLI, and aborting on setup failure is its documented \
+         error policy."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        !is_test_or_bin_path(rel_path) && !rel_path.starts_with("crates/bench/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            let flagged = match t.text.as_str() {
+                // method calls: `.unwrap()` / `.expect(`
+                "unwrap" | "expect" => {
+                    t.kind == crate::lexer::TokenKind::Ident
+                        && i > 0
+                        && toks[i - 1].is_punct(".")
+                        && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+                }
+                // macros: `panic!(` / `todo!(`
+                "panic" | "todo" => {
+                    t.kind == crate::lexer::TokenKind::Ident
+                        && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+                }
+                _ => false,
+            };
+            if flagged && !file.in_cfg_test(t.line) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` in library code; return the crate error type or waive \
+                         with the invariant that makes this unreachable",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}

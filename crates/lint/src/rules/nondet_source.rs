@@ -1,0 +1,77 @@
+//! `nondet-source`: no wall-clock, OS randomness, or hash-order
+//! collections in result-affecting code.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::{is_test_or_bin_path, Rule};
+use crate::source::SourceFile;
+
+/// Flags `Instant::now`, `SystemTime`, `thread_rng`, and
+/// `HashMap`/`HashSet` mentions in library code.
+pub struct NondetSource;
+
+impl Rule for NondetSource {
+    fn id(&self) -> &'static str {
+        "nondet-source"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Instant::now/SystemTime/thread_rng/HashMap/HashSet in result-affecting code"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Every run record must be reproducible bit-for-bit from (params, \
+         seed): that is the property the golden records pin and the \
+         smoothed-analysis experiments assume. Wall clocks \
+         (`Instant::now`, `SystemTime`) and OS entropy (`thread_rng`) \
+         break it outright; `HashMap`/`HashSet` break it lazily — their \
+         iteration order is randomised per process, so the first `for` \
+         loop over one (today or in a future refactor) makes results \
+         schedule-dependent, exactly the failure mode parallel \
+         cache-complexity analyses must exclude. This rule flags every \
+         mention in library code, including imports. Fix: `BTreeMap`/ \
+         `BTreeSet` (deterministic order), the seeded `rand_chacha` shim \
+         for randomness. Sites that provably never iterate (e.g. a \
+         point-probed LRU index) or that only feed wall-clock fields \
+         excluded from golden comparison keep the type and take a waiver \
+         saying exactly that."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        !is_test_or_bin_path(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.in_cfg_test(t.line) {
+                continue;
+            }
+            let what = match t.text.as_str() {
+                "HashMap" | "HashSet" => {
+                    format!("`{}` (iteration order is per-process random)", t.text)
+                }
+                "SystemTime" => "`SystemTime` (wall clock)".to_string(),
+                "thread_rng" => "`thread_rng` (OS entropy)".to_string(),
+                "Instant" => {
+                    let is_now = matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+                        && matches!(toks.get(i + 2), Some(n) if n.is_ident("now"));
+                    if !is_now {
+                        continue;
+                    }
+                    "`Instant::now` (wall clock)".to_string()
+                }
+                _ => continue,
+            };
+            out.push(Diagnostic {
+                rule: self.id(),
+                path: file.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "{what} in result-affecting code; use BTreeMap/BTreeSet or a \
+                     seeded RNG, or waive with why results cannot depend on it"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! A lexed source file plus the derived structure rules share:
+//! `#[cfg(test)]` line spans.
+
+use crate::lexer::{lex, Lexed, TokenKind};
+
+/// One workspace file, lexed and annotated.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Token and comment streams.
+    pub lexed: Lexed,
+    /// Inclusive line ranges covered by `#[cfg(test)]`-gated items.
+    cfg_test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lex `src` and precompute the `#[cfg(test)]` spans.
+    #[must_use]
+    pub fn parse(rel_path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let cfg_test_spans = cfg_test_spans(&lexed);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lexed,
+            cfg_test_spans,
+        }
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]`-gated item.
+    #[must_use]
+    pub fn in_cfg_test(&self, line: u32) -> bool {
+        self.cfg_test_spans
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// Find line spans of items gated behind `#[cfg(test)]` (or any `cfg`
+/// attribute that mentions `test`, e.g. `#[cfg(any(test, fuzzing))]`).
+///
+/// Heuristic: on seeing such an attribute, skip any further attributes,
+/// then swallow the next braced block (`mod`, `fn`, `impl`, …). Items
+/// without a braced body (e.g. a gated `use`) span their own lines only,
+/// which is what the attribute line range already covers.
+fn cfg_test_spans(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        // Scan the attribute contents up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut is_cfg_test = false;
+        let mut saw_cfg = false;
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+            } else if toks[j].kind == TokenKind::Ident {
+                if toks[j].text == "cfg" && j == i + 2 {
+                    saw_cfg = true;
+                } else if saw_cfg && toks[j].text == "test" {
+                    is_cfg_test = true;
+                }
+            }
+            j += 1;
+        }
+        if !is_cfg_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes between the cfg and the item.
+        while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+            let mut d = 0i32;
+            j += 1;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    d += 1;
+                } else if toks[j].is_punct("]") {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Swallow the item's braced body, if it has one before the next `;`.
+        let mut end_line = toks.get(j.saturating_sub(1)).map_or(attr_line, |t| t.line);
+        let mut k = j;
+        while k < toks.len() {
+            if toks[k].is_punct(";") {
+                end_line = toks[k].line;
+                break;
+            }
+            if toks[k].is_punct("{") {
+                let mut d = 1i32;
+                k += 1;
+                while k < toks.len() && d > 0 {
+                    if toks[k].is_punct("{") {
+                        d += 1;
+                    } else if toks[k].is_punct("}") {
+                        d -= 1;
+                    }
+                    k += 1;
+                }
+                end_line = toks.get(k.saturating_sub(1)).map_or(end_line, |t| t.line);
+                break;
+            }
+            k += 1;
+        }
+        spans.push((attr_line, end_line));
+        i = k.max(j);
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mod_span_is_detected() {
+        let src = "fn lib_code() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn more_lib() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.in_cfg_test(1));
+        assert!(f.in_cfg_test(3));
+        assert!(f.in_cfg_test(5));
+        assert!(f.in_cfg_test(6));
+        assert!(!f.in_cfg_test(7));
+    }
+
+    #[test]
+    fn cfg_any_test_counts() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn gated() { let _ = 1; }\nfn open() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.in_cfg_test(2));
+        assert!(!f.in_cfg_test(3));
+    }
+
+    #[test]
+    fn non_test_cfg_is_ignored() {
+        let src = "#[cfg(feature = \"extra\")]\nfn gated() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.in_cfg_test(2));
+    }
+
+    #[test]
+    fn attribute_then_derive_then_item() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct S {\n    x: u32,\n}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.in_cfg_test(4));
+    }
+
+    #[test]
+    fn semicolon_item_span() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn open() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.in_cfg_test(2));
+        assert!(!f.in_cfg_test(3));
+    }
+}

@@ -1,0 +1,151 @@
+//! Inline waiver syntax and staleness accounting.
+//!
+//! A waiver is a line comment of the form
+//!
+//! ```text
+//! // cadapt-lint: allow(rule-a, rule-b) -- why this site is exempt
+//! ```
+//!
+//! * A **trailing** waiver (code before it on the same line) suppresses
+//!   matching diagnostics on its own line.
+//! * An **own-line** waiver suppresses matching diagnostics on the next
+//!   line that carries a code token.
+//! * The justification after `--` is mandatory; a waiver without one is a
+//!   `malformed-waiver` diagnostic.
+//! * A waiver that suppresses nothing is a `stale-waiver` diagnostic, so
+//!   waivers cannot outlive the violation they excuse.
+//! * Naming a rule the registry does not know is `malformed-waiver`.
+//!
+//! Waivers must be line comments; the marker inside a block comment or a
+//! string literal is ignored (the lexer never surfaces those as comments
+//! of this shape or as code).
+
+use crate::lexer::{Comment, Token};
+
+/// Marker that introduces a waiver comment.
+pub const MARKER: &str = "cadapt-lint:";
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule ids listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// Line the waiver comment sits on.
+    pub line: u32,
+    /// Line whose diagnostics this waiver suppresses.
+    pub target_line: u32,
+    /// Justification text after `--` (empty when missing).
+    pub justification: String,
+    /// Parse problem, if any (reported as `malformed-waiver`).
+    pub malformed: Option<String>,
+}
+
+/// Extract waivers from a file's comments. `tokens` is used to resolve an
+/// own-line waiver to the next line that actually has code.
+#[must_use]
+pub fn collect(comments: &[Comment], tokens: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        if !c.text.starts_with("//") {
+            continue; // block comments cannot carry waivers
+        }
+        let body = c.text.trim_start_matches('/').trim_start();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        out.push(parse_one(rest.trim_start(), c, tokens));
+    }
+    out
+}
+
+fn parse_one(rest: &str, c: &Comment, tokens: &[Token]) -> Waiver {
+    let target_line = if c.own_line {
+        tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > c.line)
+            .unwrap_or(c.line + 1)
+    } else {
+        c.line
+    };
+    let mut w = Waiver {
+        rules: Vec::new(),
+        line: c.line,
+        target_line,
+        justification: String::new(),
+        malformed: None,
+    };
+    let Some(args) = rest.strip_prefix("allow(") else {
+        w.malformed = Some("expected `allow(<rule>[, <rule>…])` after the marker".into());
+        return w;
+    };
+    let Some(close) = args.find(')') else {
+        w.malformed = Some("unclosed `allow(` list".into());
+        return w;
+    };
+    w.rules = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if w.rules.is_empty() {
+        w.malformed = Some("empty `allow()` list".into());
+        return w;
+    }
+    let tail = args[close + 1..].trim_start();
+    match tail.strip_prefix("--") {
+        Some(j) if !j.trim().is_empty() => w.justification = j.trim().to_string(),
+        _ => {
+            w.malformed = Some(
+                "missing justification: write `-- <why this site is exempt>` after the rule list"
+                    .into(),
+            );
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn waivers(src: &str) -> Vec<Waiver> {
+        let lexed = lex(src);
+        collect(&lexed.comments, &lexed.tokens)
+    }
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let ws = waivers("let x = a as u64; // cadapt-lint: allow(lossy-cast) -- widening\n");
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].target_line, 1);
+        assert_eq!(ws[0].rules, ["lossy-cast"]);
+        assert!(ws[0].malformed.is_none());
+        assert_eq!(ws[0].justification, "widening");
+    }
+
+    #[test]
+    fn own_line_waiver_targets_next_code_line() {
+        let src = "// cadapt-lint: allow(float-eq) -- sentinel zero\n\n// another comment\nlet y = x == 0.0;\n";
+        let ws = waivers(src);
+        assert_eq!(ws[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        let ws = waivers("// cadapt-lint: allow(float-eq)\nlet y = 1;\n");
+        assert!(ws[0].malformed.is_some());
+    }
+
+    #[test]
+    fn multiple_rules_parse() {
+        let ws = waivers("// cadapt-lint: allow(float-eq, lossy-cast) -- both\nlet y = 1;\n");
+        assert_eq!(ws[0].rules, ["float-eq", "lossy-cast"]);
+    }
+
+    #[test]
+    fn non_waiver_comments_are_ignored() {
+        assert!(waivers("// plain comment\nlet x = 1;\n").is_empty());
+    }
+}

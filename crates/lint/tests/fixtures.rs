@@ -1,0 +1,182 @@
+//! Fixture-corpus tests: every rule has one fixture that must trip it at
+//! exact (rule, line) positions and one that must come back clean, plus a
+//! self-lint test asserting the workspace itself carries no diagnostics.
+
+use cadapt_lint::{lint_source, lint_workspace};
+use std::path::Path;
+
+/// Read a fixture from `tests/fixtures/` and lint it under `rel_path`
+/// (rule scoping keys off the path, so fixtures choose their own).
+fn lint_fixture(name: &str, rel_path: &str) -> Vec<(&'static str, u32)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(rel_path, &src)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+const LIB_PATH: &str = "crates/demo/src/module.rs";
+const ACCOUNTING_PATH: &str = "crates/core/src/module.rs";
+const ROOT_PATH: &str = "crates/demo/src/lib.rs";
+
+#[test]
+fn float_eq_fail() {
+    assert_eq!(
+        lint_fixture("fail/float_eq.rs", LIB_PATH),
+        [("float-eq", 4), ("float-eq", 8)]
+    );
+}
+
+#[test]
+fn float_eq_pass() {
+    assert_eq!(lint_fixture("pass/float_eq.rs", LIB_PATH), []);
+}
+
+#[test]
+fn no_panic_lib_fail() {
+    assert_eq!(
+        lint_fixture("fail/no_panic_lib.rs", LIB_PATH),
+        [
+            ("no-panic-lib", 4),
+            ("no-panic-lib", 8),
+            ("no-panic-lib", 14),
+            ("no-panic-lib", 19),
+        ]
+    );
+}
+
+#[test]
+fn no_panic_lib_pass() {
+    assert_eq!(lint_fixture("pass/no_panic_lib.rs", LIB_PATH), []);
+}
+
+#[test]
+fn no_panic_is_scoped_to_library_code() {
+    // The same panicking fixture is fine as a test, bench, bin, or inside
+    // the bench harness crate (whose error policy is abort-on-bad-setup).
+    for path in [
+        "crates/demo/tests/t.rs",
+        "crates/demo/benches/b.rs",
+        "crates/demo/src/bin/tool.rs",
+        "crates/bench/src/harness/check.rs",
+    ] {
+        assert_eq!(lint_fixture("fail/no_panic_lib.rs", path), [], "{path}");
+    }
+}
+
+#[test]
+fn lossy_cast_fail() {
+    assert_eq!(
+        lint_fixture("fail/lossy_cast.rs", ACCOUNTING_PATH),
+        [("lossy-cast", 5), ("lossy-cast", 9), ("lossy-cast", 13)]
+    );
+}
+
+#[test]
+fn lossy_cast_pass() {
+    assert_eq!(lint_fixture("pass/lossy_cast.rs", ACCOUNTING_PATH), []);
+}
+
+#[test]
+fn lossy_cast_is_scoped_to_accounting_crates() {
+    // Outside crates/{core,recursion,paging} the rule does not apply.
+    assert_eq!(lint_fixture("fail/lossy_cast.rs", LIB_PATH), []);
+    // Inside, all three accounting crates are covered.
+    for path in [
+        "crates/recursion/src/module.rs",
+        "crates/paging/src/module.rs",
+    ] {
+        assert_eq!(
+            lint_fixture("fail/lossy_cast.rs", path),
+            [("lossy-cast", 5), ("lossy-cast", 9), ("lossy-cast", 13)],
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn nondet_source_fail() {
+    assert_eq!(
+        lint_fixture("fail/nondet_source.rs", LIB_PATH),
+        [
+            ("nondet-source", 3),
+            ("nondet-source", 5),
+            ("nondet-source", 6),
+            ("nondet-source", 14),
+        ]
+    );
+}
+
+#[test]
+fn nondet_source_pass() {
+    assert_eq!(lint_fixture("pass/nondet_source.rs", LIB_PATH), []);
+}
+
+#[test]
+fn crate_header_fail() {
+    assert_eq!(
+        lint_fixture("fail/crate_header.rs", ROOT_PATH),
+        [("crate-header", 1)]
+    );
+}
+
+#[test]
+fn crate_header_pass() {
+    assert_eq!(lint_fixture("pass/crate_header.rs", ROOT_PATH), []);
+}
+
+#[test]
+fn crate_header_only_applies_to_crate_roots() {
+    assert_eq!(lint_fixture("fail/crate_header.rs", LIB_PATH), []);
+}
+
+#[test]
+fn stale_waiver_fail() {
+    assert_eq!(
+        lint_fixture("fail/stale_waiver.rs", LIB_PATH),
+        [("stale-waiver", 3)]
+    );
+}
+
+#[test]
+fn malformed_waiver_fail() {
+    // Each bad waiver is reported AND fails to suppress its violation.
+    assert_eq!(
+        lint_fixture("fail/malformed_waiver.rs", LIB_PATH),
+        [
+            ("malformed-waiver", 4),
+            ("float-eq", 5),
+            ("malformed-waiver", 9),
+            ("float-eq", 10),
+        ]
+    );
+}
+
+#[test]
+fn waiver_pass() {
+    // Both placements suppress their violation and neither is stale.
+    assert_eq!(lint_fixture("pass/waiver.rs", LIB_PATH), []);
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The repo itself must lint clean: every violation is either fixed or
+    // carries a justified waiver, and no waiver is stale.
+    let root = cadapt_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the lint crate");
+    let diags = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "workspace has {} diagnostics:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(cadapt_lint::Diagnostic::render_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root (linted as crates/<name>/src/lib.rs) missing the
+//! workspace lint header block.
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,9 @@
+//! Fixture: exact comparison against a float literal in library code.
+
+pub fn converged(residual: f64) -> bool {
+    residual == 0.0
+}
+
+pub fn not_started(progress: f64) -> bool {
+    progress != 1.0
+}

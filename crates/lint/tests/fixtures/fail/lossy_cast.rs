@@ -1,0 +1,14 @@
+//! Fixture: bare `as` integer casts in accounting code (linted under an
+//! accounting-crate path such as crates/core/src/...).
+
+pub fn narrow(x: u64) -> usize {
+    x as usize
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn truncate_float(x: f64) -> u64 {
+    x as u64
+}

@@ -1,0 +1,11 @@
+//! Fixture: waivers that do not follow the syntax contract.
+
+pub fn no_justification(x: f64) -> bool {
+    // cadapt-lint: allow(float-eq)
+    x == 0.0
+}
+
+pub fn unknown_rule(x: f64) -> bool {
+    // cadapt-lint: allow(flote-eq) -- typo in the rule name
+    x == 1.0
+}

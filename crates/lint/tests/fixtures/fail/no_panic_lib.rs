@@ -1,0 +1,20 @@
+//! Fixture: panicking constructs in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("not a number")
+}
+
+pub fn unreachable_branch(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => panic!("impossible"),
+    }
+}
+
+pub fn unfinished() {
+    todo!()
+}

@@ -1,0 +1,15 @@
+//! Fixture: nondeterminism sources in result-affecting code.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut out = HashMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,10 @@
+//! Fixture: a crate root (linted as crates/<name>/src/lib.rs) carrying the
+//! workspace lint header block.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The one item.
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,27 @@
+//! Fixture: the accepted ways to compare floats.
+
+/// Tolerance comparison: no exact literal equality.
+pub fn converged(residual: f64) -> bool {
+    residual.abs() < f64::EPSILON
+}
+
+/// Bit-identity via to_bits: exact, but not a float comparison.
+pub fn bit_identical(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// A deliberate sentinel carries a waiver with its justification.
+pub fn is_sentinel(x: f64) -> bool {
+    // cadapt-lint: allow(float-eq) -- sentinel: -1.0 is assigned verbatim, never computed
+    x == -1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_equality_is_fine_in_tests() {
+        assert!(super::converged(0.0));
+        let y = 2.0_f64;
+        assert!(y == 2.0);
+    }
+}

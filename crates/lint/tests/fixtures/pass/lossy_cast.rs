@@ -1,0 +1,24 @@
+//! Fixture: accounting-safe conversions (linted under an accounting-crate
+//! path such as crates/core/src/...).
+
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+pub fn narrow(x: u64) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}
+
+/// Casts to floats are not accounting casts (totals stay integral).
+pub fn ratio(num: u64, den: u64) -> f64 {
+    num as f64 / den as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn as_is_fine_in_tests() {
+        let n = 40_u64;
+        assert_eq!(n as usize, 40);
+    }
+}

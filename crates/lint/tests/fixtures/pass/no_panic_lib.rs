@@ -1,0 +1,23 @@
+//! Fixture: library code that fails into error values, not aborts.
+
+pub fn first(xs: &[u32]) -> Result<u32, &'static str> {
+    xs.first().copied().ok_or("empty slice")
+}
+
+pub fn parse(s: &str) -> Option<u32> {
+    s.parse().ok()
+}
+
+/// An invariant-backed panic carries a waiver naming the invariant.
+pub fn checked(xs: &[u32]) -> u32 {
+    // cadapt-lint: allow(no-panic-lib) -- invariant: callers guarantee xs is non-empty
+    *xs.first().expect("non-empty by contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: deterministic collections and seeded randomness.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Mentioning the `Instant` type without calling `now()` is fine — only
+/// reading the wall clock is nondeterministic.
+pub fn describe(t: std::time::Instant) -> String {
+    format!("{t:?}")
+}

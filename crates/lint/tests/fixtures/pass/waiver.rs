@@ -1,0 +1,12 @@
+//! Fixture: both waiver placements, each suppressing a live violation.
+
+/// Trailing waiver: suppresses its own line.
+pub fn trailing(x: f64) -> bool {
+    x == 0.5 // cadapt-lint: allow(float-eq) -- sentinel: 0.5 is assigned verbatim, never computed
+}
+
+/// Own-line waiver: suppresses the next code-bearing line.
+pub fn own_line(x: f64) -> bool {
+    // cadapt-lint: allow(float-eq) -- sentinel: 0.25 is assigned verbatim, never computed
+    x == 0.25
+}

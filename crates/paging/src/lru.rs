@@ -5,6 +5,7 @@
 //! changed on the fly (shrinking evicts from the cold end), which is what
 //! the cache-adaptive replay needs at every profile step.
 
+// cadapt-lint: allow(nondet-source) -- HashMap is point-probed only (get/insert/remove); iteration order is never observed, so results cannot depend on it
 use std::collections::HashMap;
 
 const NIL: usize = usize::MAX;
@@ -26,6 +27,7 @@ struct Node {
 #[derive(Debug)]
 pub struct LruCache {
     capacity: usize,
+    // cadapt-lint: allow(nondet-source) -- HashMap is point-probed only (get/insert/remove); iteration order is never observed, so results cannot depend on it
     index: HashMap<u64, usize>,
     nodes: Vec<Node>,
     free: Vec<usize>,
@@ -42,6 +44,7 @@ impl LruCache {
         let prealloc = capacity.min(PREALLOC_CAP);
         LruCache {
             capacity,
+            // cadapt-lint: allow(nondet-source) -- HashMap is point-probed only (get/insert/remove); iteration order is never observed, so results cannot depend on it
             index: HashMap::with_capacity(prealloc),
             nodes: Vec::with_capacity(prealloc),
             free: Vec::new(),

@@ -7,8 +7,9 @@
 //! trace under OPT so the tests can check that inequality holds on our real
 //! traces — grounding the paging substrate against the paging theory.
 
-use cadapt_core::{Blocks, Io};
+use cadapt_core::{cast, Blocks, Io};
 use cadapt_trace::{BlockTrace, TraceEvent};
+// cadapt-lint: allow(nondet-source) -- HashMap is point-probed only (get/insert/remove); iteration order is never observed, so results cannot depend on it
 use std::collections::{BTreeSet, HashMap};
 
 /// Outcome of an OPT replay.
@@ -38,6 +39,7 @@ pub fn replay_opt(trace: &BlockTrace, cache_blocks: Blocks) -> OptReplay {
         .collect();
     // next_use[i] = index of the next access to the same block, or usize::MAX.
     let mut next_use = vec![usize::MAX; accesses.len()];
+    // cadapt-lint: allow(nondet-source) -- HashMap is point-probed only (get/insert/remove); iteration order is never observed, so results cannot depend on it
     let mut last_seen: HashMap<u64, usize> = HashMap::new();
     for (i, &block) in accesses.iter().enumerate().rev() {
         if let Some(&j) = last_seen.get(&block) {
@@ -46,7 +48,7 @@ pub fn replay_opt(trace: &BlockTrace, cache_blocks: Blocks) -> OptReplay {
         last_seen.insert(block, i);
     }
 
-    let capacity = cache_blocks as usize;
+    let capacity = cast::usize_from_u64(cache_blocks);
     let mut io: Io = 0;
     if capacity == 0 {
         return OptReplay {
@@ -56,6 +58,7 @@ pub fn replay_opt(trace: &BlockTrace, cache_blocks: Blocks) -> OptReplay {
     }
     // Resident set keyed two ways: block → its next use, and an ordered set
     // of (next use, block) for O(log n) furthest-victim lookup.
+    // cadapt-lint: allow(nondet-source) -- HashMap is point-probed only (get/insert/remove); iteration order is never observed, eviction order comes from the ordered `by_next` set
     let mut resident: HashMap<u64, usize> = HashMap::with_capacity(capacity);
     let mut by_next: BTreeSet<(usize, u64)> = BTreeSet::new();
     for (i, &block) in accesses.iter().enumerate() {
@@ -70,6 +73,7 @@ pub fn replay_opt(trace: &BlockTrace, cache_blocks: Blocks) -> OptReplay {
         io += 1;
         cadapt_core::counters::count_io(1);
         if resident.len() == capacity {
+            // cadapt-lint: allow(no-panic-lib) -- invariant: resident.len() == capacity > 0, so by_next is non-empty
             let &(victim_next, victim) = by_next.iter().next_back().expect("cache is full");
             // Belady: evict the furthest-in-future block. If the incoming
             // block is itself used later than the victim, bypass (classic

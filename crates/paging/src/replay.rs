@@ -3,7 +3,7 @@
 
 use crate::lru::LruCache;
 use cadapt_core::{
-    AdaptivityReport, Blocks, BoxRecord, BoxSource, Io, Leaves, MemoryProfile, Potential,
+    cast, AdaptivityReport, Blocks, BoxRecord, BoxSource, Io, Leaves, MemoryProfile, Potential,
     ProgressLedger,
 };
 use cadapt_trace::{BlockTrace, TraceEvent};
@@ -35,7 +35,7 @@ pub struct FixedReplay {
 /// ```
 #[must_use]
 pub fn replay_fixed(trace: &BlockTrace, cache_blocks: Blocks) -> FixedReplay {
-    let mut cache = LruCache::new(cache_blocks as usize);
+    let mut cache = LruCache::new(cast::usize_from_u64(cache_blocks));
     let mut io: Io = 0;
     let mut accesses: u64 = 0;
     for event in trace.events() {
@@ -76,7 +76,7 @@ pub fn replay_square_profile<S: BoxSource>(
     // leaf marks as attached to the preceding access.
     while events.peek().is_some() {
         let size = source.next_box();
-        let mut cache = LruCache::new(size as usize);
+        let mut cache = LruCache::new(cast::usize_from_u64(size));
         let mut budget = Io::from(size);
         let mut progress: Leaves = 0;
         let mut used: Io = 0;
@@ -141,7 +141,7 @@ pub fn replay_memory_profile(trace: &BlockTrace, profile: &MemoryProfile) -> Pro
             leaves: 0,
         };
     };
-    let mut cache = LruCache::new(initial as usize);
+    let mut cache = LruCache::new(cast::usize_from_u64(initial));
     let mut leaves: Leaves = 0;
     for event in trace.events() {
         match event {
@@ -159,7 +159,7 @@ pub fn replay_memory_profile(trace: &BlockTrace, profile: &MemoryProfile) -> Pro
                             leaves,
                         };
                     }
-                    Some(m) => cache.resize(m as usize),
+                    Some(m) => cache.resize(cast::usize_from_u64(m)),
                 }
                 if cache.access(*block) {
                     continue; // hit: free

@@ -194,6 +194,8 @@ impl ParetoBoxes {
 }
 
 impl BoxDist for ParetoBoxes {
+    // The f64→u64 cast saturates by design; the clamp below is the contract.
+    #[allow(clippy::cast_possible_truncation)]
     fn sample(&self, rng: &mut dyn RngCore) -> Blocks {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let x = self.x_min as f64 / u.powf(1.0 / self.alpha);
@@ -232,6 +234,8 @@ impl LogUniform {
 }
 
 impl BoxDist for LogUniform {
+    // The f64→u64 cast saturates by design; the clamp below is the contract.
+    #[allow(clippy::cast_possible_truncation)]
     fn sample(&self, rng: &mut dyn RngCore) -> Blocks {
         let (llo, lhi) = ((self.lo as f64).ln(), (self.hi as f64).ln());
         let v = if llo < lhi {
@@ -297,7 +301,7 @@ impl BoxDist for PowerLawBoxes {
     fn sample(&self, rng: &mut dyn RngCore) -> Blocks {
         let u: f64 = rng.gen_range(0.0..1.0);
         let idx = self.cumulative.partition_point(|&c| c <= u);
-        let k = self.k_lo + idx.min(self.cumulative.len() - 1) as u32;
+        let k = self.k_lo + cadapt_core::cast::u32_from_usize(idx.min(self.cumulative.len() - 1));
         self.b.pow(k)
     }
 
@@ -447,6 +451,14 @@ pub struct DynDistSource<'a, R> {
     pending: Option<Blocks>,
 }
 
+impl<R> std::fmt::Debug for DynDistSource<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynDistSource")
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, R: RngCore> DynDistSource<'a, R> {
     /// i.i.d. boxes from `dist` using `rng`.
     pub fn new(dist: &'a dyn BoxDist, rng: R) -> Self {
@@ -519,7 +531,7 @@ impl<R: Rng> BoxSource for PermutationSource<R> {
             .iter()
             .take_while(|&&x| x == size)
             .count() as u64;
-        self.pos += run as usize;
+        self.pos += cadapt_core::cast::usize_from_u64(run);
         BoxRun { size, repeat: run }
     }
 }

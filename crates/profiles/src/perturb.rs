@@ -89,6 +89,13 @@ pub struct SizePerturbedSource<S, M, R> {
     rng: R,
 }
 
+impl<S, M, R> std::fmt::Debug for SizePerturbedSource<S, M, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SizePerturbedSource")
+            .finish_non_exhaustive()
+    }
+}
+
 impl<S: BoxSource, M: MultiplierDist, R: RngCore> SizePerturbedSource<S, M, R> {
     /// Perturb `inner`'s boxes with factors from `mult`.
     pub fn new(inner: S, mult: M, rng: R) -> Self {
@@ -97,6 +104,8 @@ impl<S: BoxSource, M: MultiplierDist, R: RngCore> SizePerturbedSource<S, M, R> {
 }
 
 impl<S: BoxSource, M: MultiplierDist, R: RngCore> BoxSource for SizePerturbedSource<S, M, R> {
+    // The f64→u64 cast is range-checked by the branch around it.
+    #[allow(clippy::cast_possible_truncation)]
     fn next_box(&mut self) -> Blocks {
         let base = self.inner.next_box();
         let factor = self.mult.sample(&mut self.rng);
@@ -138,6 +147,12 @@ pub trait PlacementChooser {
 /// Uniformly random placement per node (the §4 construction).
 pub struct RandomPlacement<R>(pub R);
 
+impl<R> std::fmt::Debug for RandomPlacement<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomPlacement").finish_non_exhaustive()
+    }
+}
+
 impl<R: Rng> PlacementChooser for RandomPlacement<R> {
     fn choose(&mut self, _level: u32, a: u64) -> u64 {
         self.0.gen_range(1..=a)
@@ -145,6 +160,7 @@ impl<R: Rng> PlacementChooser for RandomPlacement<R> {
 }
 
 /// Always after the last child — recovers the canonical M_{a,b}.
+#[derive(Debug, Clone, Copy)]
 pub struct LastPlacement;
 
 impl PlacementChooser for LastPlacement {
@@ -155,6 +171,7 @@ impl PlacementChooser for LastPlacement {
 
 /// Always after the first child — the most "misaligned" deterministic
 /// variant (an adversarial chooser; §4's result covers these too).
+#[derive(Debug, Clone, Copy)]
 pub struct FirstPlacement;
 
 impl PlacementChooser for FirstPlacement {
@@ -179,6 +196,15 @@ pub struct BoxOrderPerturbedSource<C> {
     wc: WorstCase,
     chooser: C,
     stack: Vec<OrderNode>,
+}
+
+impl<C> std::fmt::Debug for BoxOrderPerturbedSource<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoxOrderPerturbedSource")
+            .field("wc", &self.wc)
+            .field("stack", &self.stack)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<C: PlacementChooser> BoxOrderPerturbedSource<C> {
@@ -231,11 +257,13 @@ impl<C: PlacementChooser> BoxSource for BoxOrderPerturbedSource<C> {
                 let depth = self.wc.depth();
                 self.push_node(depth);
             }
+            // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
             let top = *self.stack.last().expect("nonempty");
             let children = self.children(top.level);
             // Emit the node's own box once `place_after` children are done
             // (immediately for leaves, whose place_after is 0).
             if !top.own_emitted && top.emitted >= top.place_after {
+                // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
                 self.stack.last_mut().expect("nonempty").own_emitted = true;
                 let size = self.wc.box_at_level(top.level);
                 if top.emitted == children {
@@ -258,9 +286,11 @@ impl<C: PlacementChooser> BoxSource for BoxOrderPerturbedSource<C> {
                 let depth = self.wc.depth();
                 self.push_node(depth);
             }
+            // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
             let top = *self.stack.last().expect("nonempty");
             let children = self.children(top.level);
             if !top.own_emitted && top.emitted >= top.place_after {
+                // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
                 self.stack.last_mut().expect("nonempty").own_emitted = true;
                 let size = self.wc.box_at_level(top.level);
                 if top.emitted == children {
@@ -284,6 +314,7 @@ impl<C: PlacementChooser> BoxSource for BoxOrderPerturbedSource<C> {
                     top.place_after
                 };
                 let repeat = until - top.emitted;
+                // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
                 self.stack.last_mut().expect("nonempty").emitted = until;
                 return BoxRun {
                     size: self.wc.box_at_level(0),
@@ -295,6 +326,9 @@ impl<C: PlacementChooser> BoxSource for BoxOrderPerturbedSource<C> {
     }
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

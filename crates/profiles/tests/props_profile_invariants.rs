@@ -13,6 +13,9 @@
 //!   must keep every box within [1, round(base · t)] and stay aligned
 //!   one-to-one with the inner source.
 
+// Test-only code: casts cover toy-sized inputs.
+#![allow(clippy::cast_possible_truncation)]
+
 use cadapt_core::{BoxSource, SquareProfile};
 use cadapt_profiles::dist::PermutationSource;
 use cadapt_profiles::perturb::{random_cyclic_shift, SizePerturbedSource, UniformMultiplier};

@@ -6,7 +6,7 @@
 //! T(k) = a · T(k−1) + scan(size(k)) with T(0) = base.
 
 use crate::params::AbcParams;
-use cadapt_core::{Blocks, CoreError, Io, Leaves};
+use cadapt_core::{cast, Blocks, CoreError, Io, Leaves};
 
 /// Per-level tables for a problem of canonical size n = base · b^K.
 ///
@@ -43,7 +43,7 @@ impl ClosedForms {
                     params.b()
                 ),
             })?;
-        let levels = depth as usize + 1;
+        let levels = cast::usize_from_u32(depth) + 1;
         let mut sizes: Vec<Blocks> = Vec::with_capacity(levels);
         let mut leaves: Vec<Leaves> = Vec::with_capacity(levels);
         let mut scans: Vec<u64> = Vec::with_capacity(levels);
@@ -53,7 +53,7 @@ impl ClosedForms {
             message: format!("{what} overflows at n = {n}"),
         };
         for k in 0..levels {
-            let size = params.canonical_size(k as u32);
+            let size = params.canonical_size(cast::u32_from_usize(k));
             sizes.push(size);
             let leaf: Leaves = if k == 0 {
                 1
@@ -94,48 +94,51 @@ impl ClosedForms {
     /// Root depth K (number of recursion levels below the root).
     #[must_use]
     pub fn depth(&self) -> u32 {
-        (self.sizes.len() - 1) as u32
+        cast::u32_from_usize(self.sizes.len() - 1)
     }
 
     /// Problem size at level k.
     #[must_use]
     pub fn size(&self, k: u32) -> Blocks {
-        self.sizes[k as usize]
+        self.sizes[cast::usize_from_u32(k)]
     }
 
     /// Root problem size n.
     #[must_use]
     pub fn root_size(&self) -> Blocks {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: for_size always builds at least one level
         *self.sizes.last().expect("tables are never empty")
     }
 
     /// Base cases in one level-k subtree: a^k.
     #[must_use]
     pub fn leaves(&self, k: u32) -> Leaves {
-        self.leaves[k as usize]
+        self.leaves[cast::usize_from_u32(k)]
     }
 
     /// Base cases in the whole problem: a^K.
     #[must_use]
     pub fn total_leaves(&self) -> Leaves {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: for_size always builds at least one level
         *self.leaves.last().expect("tables are never empty")
     }
 
     /// Total scan accesses of one level-k node (not counting descendants).
     #[must_use]
     pub fn scan(&self, k: u32) -> u64 {
-        self.scans[k as usize]
+        self.scans[cast::usize_from_u32(k)]
     }
 
     /// Serial accesses of a level-k subtree: T(k) = a·T(k−1) + scan(k).
     #[must_use]
     pub fn time(&self, k: u32) -> Io {
-        self.times[k as usize]
+        self.times[cast::usize_from_u32(k)]
     }
 
     /// Serial accesses of the whole problem.
     #[must_use]
     pub fn total_time(&self) -> Io {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: for_size always builds at least one level
         *self.times.last().expect("tables are never empty")
     }
 
@@ -151,7 +154,7 @@ impl ClosedForms {
         let mut level = 0u32;
         for (k, &size) in self.sizes.iter().enumerate().skip(1) {
             if size <= s {
-                level = k as u32;
+                level = cast::u32_from_usize(k);
             } else {
                 break;
             }

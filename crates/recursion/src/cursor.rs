@@ -26,7 +26,7 @@
 
 use crate::closed_form::ClosedForms;
 use crate::params::AbcParams;
-use cadapt_core::{Blocks, Io, Leaves};
+use cadapt_core::{cast, Blocks, Io, Leaves};
 
 /// One node on the path from the root to the pending access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,20 +102,20 @@ impl ExecCursor {
     #[must_use]
     pub fn new(cf: ClosedForms) -> Self {
         let params = *cf.params();
-        let mut chunk_suffix = Vec::with_capacity(cf.depth() as usize + 1);
+        let mut chunk_suffix = Vec::with_capacity(cast::usize_from_u32(cf.depth()) + 1);
         for k in 0..=cf.depth() {
             let slots = Self::slots_at(&params, k);
-            let mut suffix = vec![0u64; slots as usize + 1];
+            let mut suffix = vec![0u64; cast::usize_from_u64(slots) + 1];
             for s in (0..slots).rev() {
-                suffix[s as usize] =
-                    suffix[s as usize + 1] + Self::chunk_len_static(&params, &cf, k, s);
+                suffix[cast::usize_from_u64(s)] = suffix[cast::usize_from_u64(s) + 1]
+                    + Self::chunk_len_static(&params, &cf, k, s);
             }
             chunk_suffix.push(suffix);
         }
         let mut descent = vec![1u64];
         for k in 1..=cf.depth() {
             let through = if Self::chunk_len_static(&params, &cf, k, 0) == 0 {
-                descent[k as usize - 1]
+                descent[cast::usize_from_u32(k) - 1]
             } else {
                 0
             };
@@ -124,8 +124,8 @@ impl ExecCursor {
         let mid_chunks_zero: Vec<bool> = (0..=cf.depth())
             .map(|k| {
                 k >= 1 && {
-                    let suffix = &chunk_suffix[k as usize];
-                    suffix[1] == suffix[params.a() as usize]
+                    let suffix = &chunk_suffix[cast::usize_from_u32(k)];
+                    suffix[1] == suffix[cast::usize_from_u64(params.a())]
                 }
             })
             .collect();
@@ -251,15 +251,18 @@ impl ExecCursor {
             if i == bottom {
                 // Rest of the current chunk, all later chunks, and all
                 // children not yet entered (indices ≥ slot).
-                let chunks = Io::from(self.chunk_suffix[f.k as usize][f.slot as usize])
-                    - Io::from(f.chunk_done);
+                let chunks = Io::from(
+                    self.chunk_suffix[cast::usize_from_u32(f.k)][cast::usize_from_u64(f.slot)],
+                ) - Io::from(f.chunk_done);
                 let kids =
                     Io::from(children - f.slot) * if f.k > 0 { self.cf.time(f.k - 1) } else { 0 };
                 rem += chunks + kids;
             } else {
                 // An ancestor: child `slot` is in progress (accounted
                 // deeper); count chunks after slot and children after slot.
-                let chunks = Io::from(self.chunk_suffix[f.k as usize][f.slot as usize + 1]);
+                let chunks = Io::from(
+                    self.chunk_suffix[cast::usize_from_u32(f.k)][cast::usize_from_u64(f.slot) + 1],
+                );
                 let kids = Io::from(children - f.slot - 1) * self.cf.time(f.k - 1);
                 rem += chunks + kids;
             }
@@ -333,8 +336,9 @@ impl ExecCursor {
             if f.chunk_done < clen {
                 let avail = Io::from(clen - f.chunk_done);
                 let take = avail.min(left);
+                // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
                 let bottom = self.stack.last_mut().expect("nonempty");
-                bottom.chunk_done += take as u64;
+                bottom.chunk_done += cast::u64_from_u128(take);
                 left -= take;
                 if f.k == 0 && bottom.chunk_done == clen {
                     progress += 1;
@@ -347,6 +351,7 @@ impl ExecCursor {
                 if sub <= left {
                     left -= sub;
                     progress += self.cf.leaves(f.k - 1);
+                    // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
                     let bottom = self.stack.last_mut().expect("nonempty");
                     bottom.slot += 1;
                     bottom.chunk_done = 0;
@@ -390,17 +395,19 @@ impl ExecCursor {
             let j = self
                 .cf
                 .level_fitting(s)
+                // cadapt-lint: allow(no-panic-lib) -- invariant: size(f.k) <= s guarantees level_fitting succeeds
                 .expect("size(f.k) <= s implies a fitting level exists");
-            let idx = (self.cf.depth() - j) as usize;
+            let idx = cast::usize_from_u32(self.cf.depth() - j);
             let progress = self.leaves_remaining_in_subtree(idx);
             // I/O cost: the subtree's ≤ size(j) distinct blocks stream in
             // once and the rest is in-cache computation (free in the DAM).
             let used = Io::from(self.cf.size(j).min(s));
-            cadapt_core::counters::count_cursor_steps((self.stack.len() - idx) as u64);
+            cadapt_core::counters::count_cursor_steps(cast::u64_from_usize(self.stack.len() - idx));
             self.stack.truncate(idx);
             if !self.stack.is_empty() {
                 // The frame formerly at `idx` was the child `slot` of the
                 // frame now on top; move that parent past it.
+                // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
                 let p = self.stack.last_mut().expect("nonempty");
                 p.slot += 1;
                 p.chunk_done = 0;
@@ -416,8 +423,9 @@ impl ExecCursor {
             let clen = self.chunk_len(f.k, f.slot);
             let avail = Io::from(clen - f.chunk_done);
             let take = avail.min(Io::from(s));
+            // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
             let bottom = self.stack.last_mut().expect("nonempty");
-            bottom.chunk_done += take as u64;
+            bottom.chunk_done += cast::u64_from_u128(take);
             let progress = Leaves::from(f.k == 0 && bottom.chunk_done == clen);
             self.normalize();
             BoxOutcome {
@@ -458,7 +466,9 @@ impl ExecCursor {
             if let Some((idx, charge)) = self.jump_completable(left, cost_factor) {
                 left -= charge;
                 progress += self.leaves_remaining_in_subtree(idx);
-                cadapt_core::counters::count_cursor_steps((self.stack.len() - idx) as u64);
+                cadapt_core::counters::count_cursor_steps(cast::u64_from_usize(
+                    self.stack.len() - idx,
+                ));
                 self.stack.truncate(idx);
                 if let Some(p) = self.stack.last_mut() {
                     p.slot += 1;
@@ -467,14 +477,16 @@ impl ExecCursor {
                 self.normalize();
                 continue;
             }
+            // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
             let f = *self.stack.last().expect("nonempty");
             let clen = self.chunk_len(f.k, f.slot);
             if f.chunk_done < clen {
                 // Scan / base-case accesses stream at one budget each.
                 let avail = Io::from(clen - f.chunk_done);
                 let take = avail.min(left);
+                // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
                 let bottom = self.stack.last_mut().expect("nonempty");
-                bottom.chunk_done += take as u64;
+                bottom.chunk_done += cast::u64_from_u128(take);
                 left -= take;
                 if f.k == 0 && bottom.chunk_done == clen {
                     progress += 1;
@@ -550,21 +562,24 @@ impl ExecCursor {
                 let j = self
                     .cf
                     .level_fitting(s)
+                    // cadapt-lint: allow(no-panic-lib) -- invariant: size(f.k) <= s guarantees level_fitting succeeds
                     .expect("size(f.k) <= s implies a fitting level exists");
-                let idx = (self.cf.depth() - j) as usize;
+                let idx = cast::usize_from_u32(self.cf.depth() - j);
                 if idx == 0 {
                     // The whole problem fits in one box: same as per-box.
                     out.progress += self.leaves_remaining_in_subtree(0);
                     out.used += Io::from(self.cf.size(j).min(s));
                     out.consumed += 1;
-                    cadapt_core::counters::count_cursor_steps(self.stack.len() as u64);
+                    cadapt_core::counters::count_cursor_steps(cast::u64_from_usize(
+                        self.stack.len(),
+                    ));
                     self.stack.clear();
                     break;
                 }
-                let d0 = self.stack.len() as u64;
+                let d0 = cast::u64_from_usize(self.stack.len());
                 let parent = self.stack[idx - 1];
                 let siblings_left = self.params().a() - parent.slot;
-                let m = if self.mid_chunks_zero[parent.k as usize] {
+                let m = if self.mid_chunks_zero[cast::usize_from_u32(parent.k)] {
                     siblings_left.min(count - out.consumed)
                 } else {
                     1
@@ -578,9 +593,12 @@ impl ExecCursor {
                     self.leaves_remaining_in_subtree(idx) + Leaves::from(m - 1) * self.cf.leaves(j);
                 out.used += Io::from(m) * Io::from(self.cf.size(j).min(s));
                 out.consumed += m;
-                let d = self.descent[j as usize];
-                cadapt_core::counters::count_cursor_steps((d0 - idx as u64) + 2 * (m - 1) * d);
+                let d = self.descent[cast::usize_from_u32(j)];
+                cadapt_core::counters::count_cursor_steps(
+                    (d0 - cast::u64_from_usize(idx)) + 2 * (m - 1) * d,
+                );
                 self.stack.truncate(idx);
+                // cadapt-lint: allow(no-panic-lib) -- invariant: idx >= 1, so the stack still holds the parent frame
                 let p = self.stack.last_mut().expect("idx >= 1");
                 p.slot += m;
                 p.chunk_done = 0;
@@ -595,6 +613,7 @@ impl ExecCursor {
                 if needed <= left {
                     out.used += Io::from(avail);
                     out.consumed += needed;
+                    // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
                     let bottom = self.stack.last_mut().expect("nonempty");
                     bottom.chunk_done = clen;
                     if f.k == 0 {
@@ -607,6 +626,7 @@ impl ExecCursor {
                     // the per-box normalize calls were all no-ops).
                     out.used += Io::from(left) * Io::from(s);
                     out.consumed += left;
+                    // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
                     let bottom = self.stack.last_mut().expect("nonempty");
                     bottom.chunk_done += left * s;
                 }
@@ -626,7 +646,7 @@ impl ExecCursor {
     /// the budget is an exact multiple q of the charge of a *fresh* subtree
     /// at the completable level j*, each box completes q such siblings, and
     /// every enclosing ancestor stays too expensive to complete throughout
-    /// ([`Self::capacity_batch_step`] checks all of this in O(depth²)).
+    /// (`capacity_batch_step` checks all of this in O(depth²)).
     /// Positions outside the cycle — partial scans, leftover budgets,
     /// boundary crossings — fall back to the per-box method one box at a
     /// time, which is trivially equivalent.
@@ -648,8 +668,8 @@ impl ExecCursor {
             if let Some((m, q, jstar)) =
                 self.capacity_batch_step(budget, cost_factor, count - out.consumed)
             {
-                let istar = (self.cf.depth() - jstar) as usize;
-                let d = self.descent[jstar as usize];
+                let istar = cast::usize_from_u32(self.cf.depth() - jstar);
+                let d = self.descent[cast::usize_from_u32(jstar)];
                 out.progress += Leaves::from(m) * Leaves::from(q) * self.cf.leaves(jstar);
                 out.used += Io::from(m) * budget;
                 out.consumed += m;
@@ -658,6 +678,7 @@ impl ExecCursor {
                 // normalize below).
                 cadapt_core::counters::count_cursor_steps((2 * m * q - 1) * d);
                 self.stack.truncate(istar);
+                // cadapt-lint: allow(no-panic-lib) -- invariant: istar >= 1, so the stack still holds the parent frame
                 let p = self.stack.last_mut().expect("istar >= 1");
                 p.slot += m * q;
                 p.chunk_done = 0;
@@ -706,9 +727,9 @@ impl ExecCursor {
         if !budget.is_multiple_of(charge) {
             return None; // leftover budget would start partial work
         }
-        let q = u64::try_from(budget / charge).expect("q <= budget <= u64 box size");
+        let q = cast::u64_from_u128(budget / charge);
         let parent = self.stack[istar - 1];
-        if !self.mid_chunks_zero[parent.k as usize] {
+        if !self.mid_chunks_zero[cast::usize_from_u32(parent.k)] {
             return None; // sibling completions separated by scan chunks
         }
         let siblings_left = self.params().a() - parent.slot;

@@ -1,6 +1,6 @@
 //! (a, b, c) parameters, scan layout, and named algorithm presets.
 
-use cadapt_core::{Blocks, CoreError, Potential};
+use cadapt_core::{cast, Blocks, CoreError, Potential};
 use serde::{Deserialize, Serialize};
 
 /// Where the Θ(n^c) scan work of a node sits relative to its recursive calls.
@@ -176,6 +176,7 @@ impl AbcParams {
     pub fn canonical_size(&self, k: u32) -> Blocks {
         let mut n = self.base;
         for _ in 0..k {
+            // cadapt-lint: allow(no-panic-lib) -- deliberate loud overflow guard, documented in the # Panics section
             n = n.checked_mul(self.b).expect("canonical size overflows u64");
         }
         n
@@ -199,12 +200,13 @@ impl AbcParams {
     /// rounding is irrelevant at the Θ level.
     #[must_use]
     pub fn scan_len(&self, n: Blocks) -> u64 {
+        // cadapt-lint: allow(float-eq) -- sentinel: c = 0.0 is stored exactly and means a scan-free algorithm
         if self.c == 0.0 {
             1
         } else if (self.c - 1.0).abs() < f64::EPSILON {
             n
         } else {
-            ((n as f64).powf(self.c).ceil() as u64).max(1)
+            cast::u64_from_f64((n as f64).powf(self.c).ceil()).max(1)
         }
     }
 
@@ -249,6 +251,7 @@ impl AbcParams {
     /// algorithm (§3).
     #[must_use]
     pub fn mm_scan() -> Self {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(8, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -257,6 +260,7 @@ impl AbcParams {
     /// optimally cache-adaptive (footnote 5 of the paper).
     #[must_use]
     pub fn mm_inplace() -> Self {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(8, 4, 0.0, 1).expect("preset parameters are valid")
     }
 
@@ -266,6 +270,7 @@ impl AbcParams {
     /// known subcubic multiplications fall here.
     #[must_use]
     pub fn strassen() -> Self {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(7, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -275,6 +280,7 @@ impl AbcParams {
     /// by Lincoln et al. (SPAA '18). Gap regime.
     #[must_use]
     pub fn co_dp() -> Self {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(3, 2, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -283,6 +289,7 @@ impl AbcParams {
     /// T(N) = 8 T(N/4) + Θ(N/B). Gap regime.
     #[must_use]
     pub fn gep() -> Self {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(8, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -292,6 +299,7 @@ impl AbcParams {
     /// taxonomy experiment.
     #[must_use]
     pub fn a_equals_b() -> Self {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(4, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -299,6 +307,7 @@ impl AbcParams {
     /// (linear-time regardless of cache; footnote 2). For E9.
     #[must_use]
     pub fn a_below_b() -> Self {
+        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(2, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -346,6 +355,9 @@ impl std::fmt::Display for AbcParams {
     }
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

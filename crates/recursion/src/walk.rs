@@ -10,7 +10,7 @@
 //! divergence between the two implementations is a bug in one of them.
 
 use crate::closed_form::ClosedForms;
-use cadapt_core::{BoxRecord, BoxSource, Io, Leaves};
+use cadapt_core::{cast, BoxRecord, BoxSource, Io, Leaves};
 
 /// One maximal run of consecutive accesses in the execution: either a scan
 /// chunk of an internal node or a base case.
@@ -87,13 +87,17 @@ pub fn naive_simplified_run<S: BoxSource>(
     let mut pos = 0usize; // current segment
     let mut off = 0u64; // accesses done within it
     while pos < segs.len() {
-        assert!((records.len() as u64) < max_boxes, "box budget exhausted");
+        assert!(
+            cast::u64_from_usize(records.len()) < max_boxes,
+            "box budget exhausted"
+        );
         let s = source.next_box();
         let seg = &segs[pos];
         if cf.size(seg.level) <= s {
             // Complete the largest enclosing problem of size ≤ s.
+            // cadapt-lint: allow(no-panic-lib) -- invariant: cf.size(seg.level) <= s, so a fitting level exists
             let j = cf.level_fitting(s).expect("segment level fits");
-            let prefix = (depth - j) as usize;
+            let prefix = cast::usize_from_u32(depth - j);
             let anchor = segs[pos].path[..prefix].to_vec();
             let mut progress: Leaves = 0;
             while pos < segs.len()
@@ -153,7 +157,7 @@ pub fn naive_capacity_run<S: BoxSource>(
     max_boxes: u64,
 ) -> Vec<BoxRecord> {
     let segs = enumerate_segments(cf);
-    let depth = cf.depth() as usize;
+    let depth = cast::usize_from_u32(cf.depth());
     let mut records = Vec::new();
     let mut pos = 0usize;
     let mut off = 0u64;
@@ -171,7 +175,10 @@ pub fn naive_capacity_run<S: BoxSource>(
         total - Io::from(off)
     };
     while pos < segs.len() {
-        assert!((records.len() as u64) < max_boxes, "box budget exhausted");
+        assert!(
+            cast::u64_from_usize(records.len()) < max_boxes,
+            "box budget exhausted"
+        );
         let size = source.next_box();
         let mut left = Io::from(size);
         let mut progress: Leaves = 0;
@@ -182,7 +189,7 @@ pub fn naive_capacity_run<S: BoxSource>(
             // longer than the current segment's path do not denote
             // enclosing nodes.
             for prefix in 0..=segs[pos].path.len() {
-                let level = (depth - prefix) as u32;
+                let level = cast::u32_from_usize(depth - prefix);
                 let working_set = Io::from(cf.size(level)) * Io::from(cost_factor);
                 let remaining = remaining_in(pos, off, prefix);
                 let charge = working_set.min(remaining);
@@ -206,7 +213,7 @@ pub fn naive_capacity_run<S: BoxSource>(
             let avail = Io::from(segs[pos].len - off);
             let take = avail.min(left);
             left -= take;
-            off += take as u64;
+            off += cast::u64_from_u128(take);
             if off == segs[pos].len {
                 progress += Leaves::from(segs[pos].is_base);
                 pos += 1;

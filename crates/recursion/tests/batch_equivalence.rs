@@ -3,6 +3,9 @@
 //! per-box advancements — same cursor state (fingerprint), same outcome
 //! totals, and the exact same instrumentation counter deltas.
 
+// Test-only code: unwraps abort the test, which is the right failure mode.
+#![allow(clippy::unwrap_used)]
+
 use cadapt_core::counters::Recording;
 use cadapt_recursion::{AbcParams, ClosedForms, ExecCursor, ScanLayout};
 use proptest::prelude::*;

@@ -53,6 +53,8 @@ impl ChurnShares {
 }
 
 impl AllocationPolicy for ChurnShares {
+    // The f64→u64 floor cast saturates by design (shares never exceed `total`).
+    #[allow(clippy::cast_possible_truncation)]
     fn allocate(&mut self, live: usize, total: Blocks, _round: u64) -> Vec<Blocks> {
         if live == 0 {
             return Vec::new();
@@ -86,7 +88,7 @@ impl AllocationPolicy for WinnerTakeAll {
         if live == 0 {
             return Vec::new();
         }
-        let winner = ((round / self.reign.max(1)) % live as u64) as usize;
+        let winner = cadapt_core::cast::usize_from_u64((round / self.reign.max(1)) % live as u64);
         let loser_share = 1u64;
         let winner_share = total.saturating_sub(loser_share * (live as u64 - 1)).max(1);
         (0..live)

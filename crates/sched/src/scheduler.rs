@@ -34,6 +34,15 @@ pub struct Scheduler<P> {
     config: SchedulerConfig,
 }
 
+impl<P> std::fmt::Debug for Scheduler<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("jobs", &self.jobs)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Outcome of a completed schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleResult {
@@ -85,6 +94,7 @@ impl ScheduleResult {
             .collect();
         let sum: f64 = rates.iter().sum();
         let sum_sq: f64 = rates.iter().map(|r| r * r).sum();
+        // cadapt-lint: allow(float-eq) -- sentinel: sum_sq is exactly 0.0 only when every rate is zero; division guard for the fairness index
         if sum_sq == 0.0 {
             return 1.0;
         }

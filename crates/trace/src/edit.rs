@@ -69,6 +69,9 @@ impl EditCtx<'_> {
             let yc = self.y.read(j0, self.tracer);
             let t = top.read(0, self.tracer);
             let l = left.read(0, self.tracer);
+            // Exact inequality of the input cell values is the edit-distance
+            // substitution test itself, not an accounting comparison.
+            #[allow(clippy::float_cmp)]
             let sub = corner + f64::from(xc != yc);
             let d = sub.min(t + 1.0).min(l + 1.0);
             let mut bottom = self.space.alloc(1);
@@ -135,7 +138,7 @@ pub fn edit_distance(x: &[u8], y: &[u8], block_words: u64) -> (u64, BlockTrace) 
     };
     let (bottom, _right) = ctx.solve(0, 0, n, &top, &left, 0.0);
     let d = bottom.read(n - 1, &mut tracer);
-    (d as u64, tracer.into_trace())
+    (cadapt_core::cast::u64_from_f64(d), tracer.into_trace())
 }
 
 /// Textbook O(n²) Levenshtein distance (reference for verification).

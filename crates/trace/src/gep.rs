@@ -179,6 +179,9 @@ pub fn naive_floyd_warshall(side: usize, adj_row_major: &[f64]) -> Vec<f64> {
     d
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp, clippy::cast_possible_truncation)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,6 +121,7 @@ pub fn naive_multiply(side: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
     for i in 0..side {
         for k in 0..side {
             let aik = a[i * side + k];
+            // cadapt-lint: allow(float-eq) -- exact-zero skip is a pure optimisation: skipping a row whose contribution is exactly 0.0 is bit-identical either way
             if aik == 0.0 {
                 continue;
             }
@@ -132,6 +133,9 @@ pub fn naive_multiply(side: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
     c
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,9 @@ pub fn transpose(a: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
     )
 }
 
+// Exact float equality in tests is deliberate: outputs are required to be
+// bit-identical run to run (see the golden records).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
-//! Implements the subset the workspace uses: [`Strategy`] with
-//! `prop_map`, ranges and [`Just`] as strategies, tuple composition,
+//! Implements the subset the workspace uses: [`Strategy`](strategy::Strategy)
+//! with `prop_map`, ranges and [`Just`](strategy::Just) as strategies, tuple composition,
 //! [`prop_oneof!`], [`collection::vec`], [`bool::ANY`], and the
 //! [`proptest!`] test macro with `prop_assert*!` / `prop_assume!`.
 //!
@@ -22,7 +22,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: a range or an exact size.
+    /// Length specification for [`vec()`]: a range or an exact size.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

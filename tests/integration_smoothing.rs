@@ -2,6 +2,9 @@
 //! results, end-to-end through distributions → Monte Carlo → growth
 //! classification.
 
+// Exact float equality is deliberate: outputs must be bit-identical.
+#![allow(clippy::float_cmp)]
+
 use cadapt::analysis::montecarlo::trial_rng;
 use cadapt::prelude::*;
 use cadapt::profiles::dist::PermutationSource;

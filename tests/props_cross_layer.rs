@@ -1,6 +1,10 @@
 //! Property-based tests spanning crates: invariants that must hold for
 //! arbitrary inputs, not just the experiment configurations.
 
+// Test-only code: unwraps abort the test (the right failure mode) and casts
+// cover toy-sized inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use cadapt::core::memory_profile::Segment;
 use cadapt::prelude::*;
 use cadapt::sched::{EqualShares, JobSpec, Scheduler, SchedulerConfig, WinnerTakeAll};
