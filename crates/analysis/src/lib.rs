@@ -9,7 +9,10 @@
 //!   potential), p = Pr[|□| ≥ n] · f(n/b), and rigorous lower/upper bounds
 //!   on f(n), the expected number of boxes to complete a problem of size n.
 //!   Eq. 3 then predicts the expected adaptivity ratio as f(n) · m_n / n^e.
-//! * [`montecarlo`] — deterministic, crossbeam-parallel trial driver
+//! * [`parallel`] — the deterministic parallel execution engine: a
+//!   work-stealing trial/job fan-out whose trial-ordered reduction makes
+//!   every result bit-identical at any thread count.
+//! * [`montecarlo`] — deterministic trial driver (on top of [`parallel`])
 //!   estimating the same quantities empirically.
 //! * [`fit`] — growth-law classification for ratio-vs-log n sweeps: is the
 //!   adaptivity ratio Θ(1) (cache-adaptive) or Θ(log_b n) (the gap)?
@@ -21,12 +24,14 @@
 
 pub mod fit;
 pub mod montecarlo;
+pub mod parallel;
 pub mod recurrence;
 pub mod stats;
 pub mod table;
 
 pub use fit::{classify_growth, GrowthClass, LineFit};
 pub use montecarlo::{monte_carlo_ratio, McConfig, McSummary};
+pub use parallel::{resolve_threads, run_indexed, run_trials, try_run_trials};
 pub use recurrence::{
     equation6_checks, equation7_checks, equation8_products, DiscreteSigma, Equation6Check,
     RecurrenceBounds,

@@ -4,16 +4,18 @@
 //! Each trial draws an independent infinite profile (via a caller-supplied
 //! source factory), runs the execution to completion, and records the
 //! bounded-potential sum, box count, and adaptivity ratio. Trials fan out
-//! over `crossbeam::scope` threads with work-stealing (each worker claims
-//! the next unclaimed trial index), so a straggler trial never idles the
-//! other cores. Every trial's randomness comes from a `ChaCha8Rng` seeded
-//! by (experiment seed, trial index), and the per-trial outcomes are
-//! reduced into the summary statistics *in trial order* on the main thread,
-//! so results are bit-identical regardless of thread count or scheduling —
-//! the reproducibility rule the HPC guides insist on.
+//! over the [`parallel`](crate::parallel) engine's work-stealing workers
+//! (each worker claims the next unclaimed trial index), so a straggler
+//! trial never idles the other cores. Every trial's randomness comes from
+//! a `ChaCha8Rng` seeded by (experiment seed, trial index), and the
+//! per-trial outcomes are reduced into the summary statistics *in trial
+//! order* on the main thread, so results are bit-identical regardless of
+//! thread count or scheduling — the reproducibility rule the HPC guides
+//! insist on.
 
+use crate::parallel::try_run_trials;
 use crate::stats::Stats;
-use cadapt_core::counters::{CounterSnapshot, Recording, SharedCounters};
+use cadapt_core::counters::{CounterSnapshot, Recording};
 use cadapt_core::{Blocks, BoxSource};
 use cadapt_recursion::{run_on_profile, AbcParams, RunConfig, RunError};
 use rand::SeedableRng;
@@ -105,80 +107,33 @@ where
     S: BoxSource,
     F: Fn(ChaCha8Rng) -> S + Sync,
 {
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    } else {
-        config.threads
-    };
-    let threads = threads
-        .min(cadapt_core::cast::usize_from_u64(config.trials.max(1)))
-        .max(1);
-    let next_trial = std::sync::atomic::AtomicU64::new(0);
     let make_source = &make_source;
-    let shared_counters = SharedCounters::new();
-
-    // Workers return raw per-trial outcomes tagged with the trial index;
-    // the reduction below replays them in trial order, so the f64 Welford
-    // update sequence — and hence every summary bit — is independent of
-    // which worker ran which trial.
-    type TrialOutcome = (u64, f64, f64, f64);
-    let results: Vec<Result<Vec<TrialOutcome>, RunError>> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next_trial;
-            let counters = &shared_counters;
-            handles.push(scope.spawn(move |_| {
-                let recording = Recording::start();
-                let mut outcomes = Vec::new();
-                let outcome = loop {
-                    let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if trial >= config.trials {
-                        break Ok(());
-                    }
-                    let mut source = make_source(trial_rng(config.seed, trial));
-                    match run_on_profile(params, n, &mut source, &config.run) {
-                        Ok(report) => {
-                            outcomes.push((
-                                trial,
-                                report.ratio(),
-                                report.boxes_used as f64,
-                                report.bounded_potential_sum,
-                            ));
-                        }
-                        Err(e) => break Err(e),
-                    }
-                };
-                counters.add(&recording.finish());
-                outcome.map(|()| outcomes)
-            }));
-        }
-        handles
-            .into_iter()
-            // cadapt-lint: allow(no-panic-lib) -- worker panics are programming errors; re-raising them is the error policy
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    // cadapt-lint: allow(no-panic-lib) -- worker panics are programming errors; re-raising them is the error policy
-    .expect("scope panicked");
-
-    let mut all: Vec<TrialOutcome> =
-        Vec::with_capacity(cadapt_core::cast::usize_from_u64(config.trials));
-    for r in results {
-        all.extend(r?);
-    }
-    all.sort_unstable_by_key(|&(trial, ..)| trial);
+    // The engine hands outcomes back in trial order, so the f64 Welford
+    // update sequence below — and hence every summary bit — is independent
+    // of which worker ran which trial. The engine also folds the workers'
+    // counter totals into this thread's recording; the local Recording
+    // wrapper measures exactly that fold so the summary can report it
+    // (outer recordings keep counting through it).
+    let recording = Recording::start();
+    let outcomes = try_run_trials(config.trials, config.threads, |trial| {
+        let mut source = make_source(trial_rng(config.seed, trial));
+        run_on_profile(params, n, &mut source, &config.run).map(|report| {
+            (
+                report.ratio(),
+                report.boxes_used as f64,
+                report.bounded_potential_sum,
+            )
+        })
+    })?;
+    let counters = recording.finish();
     let mut ratio = Stats::new();
     let mut boxes = Stats::new();
     let mut potential = Stats::new();
-    for (_, r, b, p) in all {
+    for (r, b, p) in outcomes {
         ratio.push(r);
         boxes.push(b);
         potential.push(p);
     }
-    // Make the workers' counts visible to the caller's own recording, so a
-    // scope timing a whole experiment sees its Monte-Carlo work too.
-    let counters = shared_counters.snapshot();
-    cadapt_core::counters::count_snapshot(&counters);
     Ok(McSummary {
         n,
         ratio,

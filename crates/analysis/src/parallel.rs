@@ -1,0 +1,222 @@
+//! The deterministic parallel execution engine.
+//!
+//! Every multi-threaded code path in the workspace funnels through this
+//! module — the Monte-Carlo driver, the six converted trial-sweep
+//! experiments, and `cadapt-bench`'s experiment-level sharding. The
+//! determinism contract, stated once and enforced here:
+//!
+//! * **Work-stealing dispatch, trial-ordered reduction.** Workers claim
+//!   the next unclaimed index from a shared atomic counter (a straggler
+//!   never idles the other cores), tag every outcome with its index, and
+//!   the caller receives the outcomes sorted by index. Any reduction the
+//!   caller performs — in particular the order-sensitive f64 Welford
+//!   updates in [`Stats`](crate::Stats) — therefore replays the exact
+//!   serial sequence, so results are **bit-identical at any thread count**.
+//! * **Per-index randomness.** Callers draw randomness only from
+//!   [`trial_rng`](crate::montecarlo::trial_rng)`(seed, index)` inside the
+//!   job closure; no RNG state crosses trials, so the schedule cannot leak
+//!   into the sample path.
+//! * **Counter observability.** Each worker records the execution counters
+//!   thread-locally and the totals are folded into the calling thread's
+//!   open [`Recording`] when the sweep finishes. Counter totals are
+//!   per-trial sums, so they too are independent of the schedule.
+//!
+//! `cadapt-lint`'s `nondet-source` rule bans `thread::spawn` /
+//! `crossbeam` in every other library module, so new parallel code must
+//! either go through these entry points or extend the engine here.
+
+use cadapt_core::cast;
+use cadapt_core::counters::{Recording, SharedCounters};
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Resolve a requested worker count: `0` means "available parallelism"
+/// (falling back to 1 if the host will not say).
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    }
+}
+
+/// Run `trials` independent jobs over `threads` workers (0 = available
+/// parallelism) and return their results **in trial order**.
+///
+/// ```
+/// use cadapt_analysis::parallel::run_trials;
+///
+/// let squares = run_trials(8, 2, |trial| trial * trial);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_trials<T, F>(trials: u64, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    match try_run_trials(trials, threads, |trial| Ok::<T, Infallible>(run(trial))) {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
+/// [`run_trials`] over `usize` indices — the shape `cadapt-bench` uses to
+/// shard registry entries.
+pub fn run_indexed<T, F>(jobs: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_trials(cast::u64_from_usize(jobs), threads, |i| {
+        run(cast::usize_from_u64(i))
+    })
+}
+
+/// Fallible [`run_trials`]: the first job error — "first" meaning the
+/// **smallest trial index** among the failures, not whichever worker lost
+/// the race — aborts the sweep and is returned.
+///
+/// Worker counter totals are folded into the caller's open [`Recording`]
+/// even on the error path, so partial sweeps stay observable.
+///
+/// # Errors
+///
+/// Returns the failing job's error with the smallest trial index.
+pub fn try_run_trials<T, E, F>(trials: u64, threads: usize, run: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64) -> Result<T, E> + Sync,
+{
+    let threads = resolve_threads(threads)
+        .min(cast::usize_from_u64(trials.max(1)))
+        .max(1);
+    let next_trial = AtomicU64::new(0);
+    let shared_counters = SharedCounters::new();
+    let run = &run;
+    // A worker's haul: completed (trial, value) pairs, plus the failure
+    // that stopped it, if any.
+    type Haul<T, E> = (Vec<(u64, T)>, Option<(u64, E)>);
+    let hauls: Vec<Haul<T, E>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next_trial;
+            let counters = &shared_counters;
+            handles.push(scope.spawn(move |_| {
+                let recording = Recording::start();
+                let mut done: Vec<(u64, T)> = Vec::new();
+                let mut failed: Option<(u64, E)> = None;
+                loop {
+                    let trial = next.fetch_add(1, Ordering::Relaxed);
+                    if trial >= trials {
+                        break;
+                    }
+                    match run(trial) {
+                        Ok(value) => done.push((trial, value)),
+                        Err(e) => {
+                            failed = Some((trial, e));
+                            break;
+                        }
+                    }
+                }
+                counters.add(&recording.finish());
+                (done, failed)
+            }));
+        }
+        handles
+            .into_iter()
+            // cadapt-lint: allow(no-panic-lib) -- worker panics are programming errors; re-raising them is the error policy
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    // cadapt-lint: allow(no-panic-lib) -- worker panics are programming errors; re-raising them is the error policy
+    .expect("scope panicked");
+
+    // Make the workers' counts visible to the caller's own recording (a
+    // per-trial sum, hence schedule-independent) before any early return.
+    let totals = shared_counters.snapshot();
+    cadapt_core::counters::count_snapshot(&totals);
+
+    let mut results: Vec<(u64, T)> = Vec::with_capacity(cast::usize_from_u64(trials));
+    let mut first_failure: Option<(u64, E)> = None;
+    for (done, failed) in hauls {
+        results.extend(done);
+        if let Some((trial, e)) = failed {
+            let earlier = match &first_failure {
+                None => true,
+                Some((t, _)) => trial < *t,
+            };
+            if earlier {
+                first_failure = Some((trial, e));
+            }
+        }
+    }
+    if let Some((_, e)) = first_failure {
+        return Err(e);
+    }
+    results.sort_unstable_by_key(|&(trial, _)| trial);
+    Ok(results.into_iter().map(|(_, value)| value).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadapt_core::counters::{count_boxes, Recording};
+
+    #[test]
+    fn results_come_back_in_trial_order_at_any_thread_count() {
+        for threads in [1, 2, 4, 0] {
+            let got = run_trials(32, threads, |t| 1000 + t);
+            let want: Vec<u64> = (0..32).map(|t| 1000 + t).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        assert_eq!(run_trials(0, 4, |t| t), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn worker_counters_fold_into_the_caller_recording() {
+        let rec = Recording::start();
+        let _ = run_trials(10, 4, |_| count_boxes(3));
+        let delta = rec.finish();
+        assert_eq!(delta.boxes_advanced, 30);
+    }
+
+    #[test]
+    fn error_with_smallest_trial_index_wins() {
+        for threads in [1, 3, 8] {
+            let err = try_run_trials(64, threads, |t| if t % 10 == 7 { Err(t) } else { Ok(t) })
+                .unwrap_err();
+            assert_eq!(err, 7, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn counters_fold_even_when_a_trial_fails() {
+        let rec = Recording::start();
+        let _ = try_run_trials(8, 2, |t| {
+            count_boxes(1);
+            if t == 3 {
+                Err(())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(rec.finish().boxes_advanced >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_available() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn run_indexed_orders_like_run_trials() {
+        assert_eq!(run_indexed(5, 2, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -25,10 +25,11 @@
 use super::common::{log_b, size_sweep, RatioSeries};
 use crate::Scale;
 use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::parallel::run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{monte_carlo_ratio, McConfig, Stats, Table};
 use cadapt_profiles::dist::{DistSource, EmpiricalMultiset, PermutationSource, PowerOfB};
-use cadapt_profiles::{MatchedWorstCase, WorstCase};
+use cadapt_profiles::{worst_case_squares, MatchedWorstCase, WorstCase};
 use cadapt_recursion::{run_on_profile, AbcParams, ExecModel, RunConfig, ScanLayout};
 
 /// Result of the ablation suite.
@@ -65,13 +66,25 @@ impl<S: cadapt_core::BoxSource> cadapt_core::BoxSource for Augmented<S> {
     }
 }
 
-/// Run all ablations (MM-Scan throughout).
+/// Run all ablations (MM-Scan throughout) with the default thread budget
+/// (all cores).
 ///
 /// # Panics
 ///
 /// Panics if any run fails.
 #[must_use]
 pub fn run(scale: Scale) -> AblationResult {
+    run_threaded(scale, 0)
+}
+
+/// Run all ablations with an explicit worker budget for the trial
+/// fan-outs (0 = available parallelism).
+///
+/// # Panics
+///
+/// Panics if any run fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(24, 64);
     // k_hi = 6 gives the sweep five points (four increments) even at Quick
@@ -93,6 +106,7 @@ pub fn run(scale: Scale) -> AblationResult {
         let config = McConfig {
             trials,
             seed: 0xA1,
+            threads,
             ..McConfig::default()
         };
         let summary =
@@ -106,14 +120,17 @@ pub fn run(scale: Scale) -> AblationResult {
         ]);
         iid_points.push((log_b(&params, n), summary.ratio.mean));
 
-        let profile = wc.materialize();
-        let mut stats = Stats::new();
-        for trial in 0..trials {
+        let profile = worst_case_squares(&wc);
+        let ratios = run_trials(trials, threads, |trial| {
             let rng = trial_rng(0xA1A, trial);
             let mut source = PermutationSource::new(&profile, rng);
-            let report = run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes");
-            stats.push(report.ratio());
+            run_on_profile(params, n, &mut source, &RunConfig::default())
+                .expect("run completes")
+                .ratio()
+        });
+        let mut stats = Stats::new();
+        for ratio in ratios {
+            stats.push(ratio);
         }
         shuffle_table.push_row(vec![
             "permutation".to_string(),
@@ -184,11 +201,11 @@ pub fn run(scale: Scale) -> AblationResult {
             let config = McConfig {
                 trials,
                 seed: 0xA3,
+                threads,
                 run: RunConfig {
                     model,
                     ..RunConfig::default()
                 },
-                ..McConfig::default()
             };
             let summary = monte_carlo_ratio(params, n, &config, |rng| Augmented {
                 inner: DistSource::new(dist, rng),
@@ -333,10 +350,10 @@ impl crate::harness::Experiment for Exp {
         "Ablations A1-A4 (shuffle granularity, layout, model, min box)"
     }
     fn deterministic(&self) -> bool {
-        false // A1/A3 fan over monte_carlo_ratio worker threads
+        false // compared by CI overlap: goldens stay robust to trial-count retunings
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let mut metrics = Vec::new();
         for series in &result.shuffle_series {
             crate::harness::push_series(&mut metrics, "a1", series);

@@ -10,9 +10,11 @@
 use super::common::{log_b, size_sweep, RatioSeries};
 use crate::Scale;
 use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::parallel::run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
-use cadapt_profiles::contention::{multi_tenant, sawtooth};
+use cadapt_profiles::contention::multi_tenant;
+use cadapt_profiles::sawtooth_squares;
 use cadapt_recursion::{run_on_profile, AbcParams, RunConfig};
 
 /// Result of E10.
@@ -24,13 +26,25 @@ pub struct E10Result {
     pub series: Vec<RatioSeries>,
 }
 
-/// Run E10.
+/// Run E10 with the default thread budget (all cores).
 ///
 /// # Panics
 ///
 /// Panics if a run fails.
 #[must_use]
 pub fn run(scale: Scale) -> E10Result {
+    run_threaded(scale, 0)
+}
+
+/// Run E10 fanning trials over `threads` workers (0 = available
+/// parallelism). Bit-identical at any thread count: per-trial seeded RNG
+/// plus trial-ordered reduction.
+///
+/// # Panics
+///
+/// Panics if a run fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> E10Result {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(8, 32);
     let k_hi = scale.pick(5, 7);
@@ -42,17 +56,20 @@ pub fn run(scale: Scale) -> E10Result {
     let mut tenant_points = Vec::new();
     for n in size_sweep(&params, 2, k_hi, u64::MAX) {
         // Winner-take-all sawtooth spanning the algorithm's size range.
-        // The profile is deterministic; vary the phase by rotating.
-        let mut stats = Stats::new();
-        let profile = sawtooth(1, n, u128::from(n), 16 * u128::from(n));
-        let squares = profile.inner_squares();
-        for trial in 0..trials {
+        // The profile is deterministic (memoized process-wide); vary the
+        // phase by rotating.
+        let squares = sawtooth_squares(1, n, u128::from(n), 16 * u128::from(n));
+        let ratios = run_trials(trials, threads, |trial| {
             let mut rng = trial_rng(0xE10, trial);
             let shifted = cadapt_profiles::perturb::random_cyclic_shift(&squares, &mut rng);
             let mut source = shifted.cycle();
-            let report = run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes");
-            stats.push(report.ratio());
+            run_on_profile(params, n, &mut source, &RunConfig::default())
+                .expect("run completes")
+                .ratio()
+        });
+        let mut stats = Stats::new();
+        for ratio in ratios {
+            stats.push(ratio);
         }
         table.push_row(vec![
             "sawtooth".to_string(),
@@ -62,9 +79,9 @@ pub fn run(scale: Scale) -> E10Result {
         ]);
         sawtooth_points.push((log_b(&params, n), stats.mean));
 
-        // Multi-tenant fair sharing with churn.
-        let mut stats = Stats::new();
-        for trial in 0..trials {
+        // Multi-tenant fair sharing with churn (profile is per-trial
+        // random, so there is nothing to memoize).
+        let ratios = run_trials(trials, threads, |trial| {
             let mut rng = trial_rng(0x10E, trial);
             let profile = multi_tenant(
                 2 * n,
@@ -76,9 +93,13 @@ pub fn run(scale: Scale) -> E10Result {
             );
             let squares = profile.inner_squares();
             let mut source = squares.cycle();
-            let report = run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes");
-            stats.push(report.ratio());
+            run_on_profile(params, n, &mut source, &RunConfig::default())
+                .expect("run completes")
+                .ratio()
+        });
+        let mut stats = Stats::new();
+        for ratio in ratios {
+            stats.push(ratio);
         }
         table.push_row(vec![
             "multi-tenant".to_string(),
@@ -129,10 +150,10 @@ impl crate::harness::Experiment for Exp {
         "Realistic contention profiles (square-approximated)"
     }
     fn deterministic(&self) -> bool {
-        true // serial per-trial RNG, no worker threads
+        true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);

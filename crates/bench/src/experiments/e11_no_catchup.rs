@@ -8,7 +8,9 @@
 
 use crate::Scale;
 use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::parallel::run_trials;
 use cadapt_analysis::Table;
+use cadapt_core::cast;
 use cadapt_recursion::no_catchup::final_positions;
 use cadapt_recursion::{AbcParams, ExecModel};
 use rand::Rng;
@@ -24,13 +26,25 @@ pub struct E11Result {
     pub violations: u64,
 }
 
-/// Run E11.
+/// Run E11 with the default thread budget (all cores).
 ///
 /// # Panics
 ///
 /// Panics if an execution fails.
 #[must_use]
 pub fn run(scale: Scale) -> E11Result {
+    run_threaded(scale, 0)
+}
+
+/// Run E11 fanning instances over `threads` workers (0 = available
+/// parallelism). Bit-identical at any thread count: per-instance seeded
+/// RNG plus instance-ordered reduction.
+///
+/// # Panics
+///
+/// Panics if an execution fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> E11Result {
     let instances = scale.pick(200, 2000);
     let mut table = Table::new(
         "E11: No-Catch-up Lemma — randomized instances checked",
@@ -45,8 +59,7 @@ pub fn run(scale: Scale) -> E11Result {
     ] {
         let n = params.canonical_size(k);
         for model in [ExecModel::Simplified, ExecModel::capacity()] {
-            let mut local_violations = 0u64;
-            for i in 0..instances {
+            let violated = run_trials(instances, threads, |i| {
                 let mut rng = trial_rng(0xE11, i);
                 let len = rng.gen_range(1..60);
                 let boxes: Vec<u64> = (0..len).map(|_| rng.gen_range(1..=2 * n)).collect();
@@ -62,11 +75,10 @@ pub fn run(scale: Scale) -> E11Result {
                     model,
                 )
                 .expect("execution runs");
-                checked += 1;
-                if pe > pl {
-                    local_violations += 1;
-                }
-            }
+                pe > pl
+            });
+            checked += instances;
+            let local_violations = cast::u64_from_usize(violated.iter().filter(|&&v| v).count());
             violations += local_violations;
             table.push_row(vec![
                 label.to_string(),
@@ -107,10 +119,10 @@ impl crate::harness::Experiment for Exp {
         "No-Catch-up Lemma on randomized instances"
     }
     fn deterministic(&self) -> bool {
-        true // serial per-instance RNG, no worker threads
+        true // per-instance RNG + instance-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let metrics = vec![
             crate::harness::metric("instances_checked", result.checked as f64),
             crate::harness::metric("violations", result.violations as f64),

@@ -19,6 +19,7 @@
 
 use crate::Scale;
 use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::parallel::run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_recursion::AbcParams;
@@ -69,13 +70,25 @@ fn mixes(n: u64) -> Vec<(&'static str, Vec<JobSpec>)> {
     ]
 }
 
-/// Run E13.
+/// Run E13 with the default thread budget (all cores).
 ///
 /// # Panics
 ///
 /// Panics if a schedule fails.
 #[must_use]
 pub fn run(scale: Scale) -> E13Result {
+    run_threaded(scale, 0)
+}
+
+/// Run E13 fanning the churn trials over `threads` workers (0 = available
+/// parallelism). Bit-identical at any thread count: per-trial seeded RNG
+/// plus trial-ordered reduction.
+///
+/// # Panics
+///
+/// Panics if a schedule fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> E13Result {
     let n = scale.pick(1u64 << 10, 1 << 14);
     let total_cache = n / 2; // contended: half of one job's footprint
     let trials = scale.pick(4u64, 16);
@@ -119,15 +132,17 @@ pub fn run(scale: Scale) -> E13Result {
             .expect("completes");
         let (o, f, w) = run_policy(wta);
         rows.push(("winner-take-all(8)".into(), o, f, w));
-        let mut o_stats = Stats::new();
-        let mut f_stats = Stats::new();
-        let mut w_stats = Stats::new();
-        for trial in 0..trials {
+        let churn_outcomes = run_trials(trials, threads, |trial| {
             let churn = Scheduler::new(&specs, ChurnShares::new(trial_rng(0xE13, trial)), config)
                 .expect("admits")
                 .run()
                 .expect("completes");
-            let (o, f, w) = run_policy(churn);
+            run_policy(churn)
+        });
+        let mut o_stats = Stats::new();
+        let mut f_stats = Stats::new();
+        let mut w_stats = Stats::new();
+        for (o, f, w) in churn_outcomes {
             o_stats.push(o);
             f_stats.push(f);
             w_stats.push(w);
@@ -229,10 +244,10 @@ impl crate::harness::Experiment for Exp {
         "Multi-programmed cache scheduling policies"
     }
     fn deterministic(&self) -> bool {
-        true // serial per-trial RNG, no worker threads
+        true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let mut metrics = Vec::new();
         for cell in &result.cells {
             let base = format!("{}/{}", cell.mix, cell.policy);

@@ -176,8 +176,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run(ctx.scale);
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);

@@ -58,13 +58,24 @@ fn algorithms(scale: Scale) -> Vec<(&'static str, AbcParams)> {
     v
 }
 
-/// Run E2.
+/// Run E2 with the default thread budget (all cores).
 ///
 /// # Panics
 ///
 /// Panics if a Monte-Carlo run fails.
 #[must_use]
 pub fn run(scale: Scale) -> E2Result {
+    run_threaded(scale, 0)
+}
+
+/// Run E2 with an explicit worker budget for the Monte-Carlo trial
+/// fan-out (0 = available parallelism).
+///
+/// # Panics
+///
+/// Panics if a Monte-Carlo run fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> E2Result {
     let trials = scale.pick(24, 96);
     let mut table = Table::new(
         "E2: expected adaptivity ratio under i.i.d. box-size distributions",
@@ -118,6 +129,7 @@ pub fn run(scale: Scale) -> E2Result {
                 let config = McConfig {
                     trials,
                     seed: 0xE2,
+                    threads,
                     ..McConfig::default()
                 };
                 let summary = monte_carlo_ratio(params, n, &config, |rng| {
@@ -191,10 +203,10 @@ impl crate::harness::Experiment for Exp {
         "I.i.d. smoothing across distributions (Theorem 1)"
     }
     fn deterministic(&self) -> bool {
-        false // trials fan over monte_carlo_ratio worker threads
+        false // compared by CI overlap: goldens stay robust to trial-count retunings
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);

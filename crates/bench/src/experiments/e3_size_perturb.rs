@@ -20,6 +20,7 @@
 use super::common::{log_b, size_sweep, RatioSeries};
 use crate::Scale;
 use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::parallel::run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_profiles::perturb::{
@@ -45,13 +46,25 @@ fn multipliers() -> Vec<Box<dyn MultiplierDist>> {
     ]
 }
 
-/// Run E3.
+/// Run E3 with the default thread budget (all cores).
 ///
 /// # Panics
 ///
 /// Panics if a run fails.
 #[must_use]
 pub fn run(scale: Scale) -> E3Result {
+    run_threaded(scale, 0)
+}
+
+/// Run E3 fanning trials over `threads` workers (0 = available
+/// parallelism). Bit-identical at any thread count: per-trial seeded RNG
+/// plus trial-ordered reduction.
+///
+/// # Panics
+///
+/// Panics if a run fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> E3Result {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(12, 32);
     let k_hi = scale.pick(6, 8);
@@ -64,13 +77,16 @@ pub fn run(scale: Scale) -> E3Result {
         let mut points = Vec::new();
         for n in size_sweep(&params, 2, k_hi, u64::MAX) {
             let wc = WorstCase::for_problem(&params, n).expect("canonical");
-            let mut stats = Stats::new();
-            for trial in 0..trials {
+            let ratios = run_trials(trials, threads, |trial| {
                 let rng = trial_rng(0xE3, trial);
                 let mut source = SizePerturbedSource::new(wc.source(), mult.as_ref(), rng);
-                let report = run_on_profile(params, n, &mut source, &RunConfig::default())
-                    .expect("run completes");
-                stats.push(report.ratio());
+                run_on_profile(params, n, &mut source, &RunConfig::default())
+                    .expect("run completes")
+                    .ratio()
+            });
+            let mut stats = Stats::new();
+            for ratio in ratios {
+                stats.push(ratio);
             }
             table.push_row(vec![
                 mult.label(),
@@ -136,10 +152,10 @@ impl crate::harness::Experiment for Exp {
         "Size-perturbed worst-case profiles (Section 4)"
     }
     fn deterministic(&self) -> bool {
-        true // serial per-trial RNG, no worker threads
+        true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);

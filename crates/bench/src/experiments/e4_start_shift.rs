@@ -9,10 +9,11 @@
 use super::common::{log_b, size_sweep, RatioSeries};
 use crate::Scale;
 use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::parallel::run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_profiles::perturb::random_cyclic_shift;
-use cadapt_profiles::WorstCase;
+use cadapt_profiles::{worst_case_squares, WorstCase};
 use cadapt_recursion::{run_on_profile, AbcParams, RunConfig};
 
 /// Result of E4.
@@ -24,13 +25,25 @@ pub struct E4Result {
     pub series: RatioSeries,
 }
 
-/// Run E4.
+/// Run E4 with the default thread budget (all cores).
 ///
 /// # Panics
 ///
 /// Panics if a run fails.
 #[must_use]
 pub fn run(scale: Scale) -> E4Result {
+    run_threaded(scale, 0)
+}
+
+/// Run E4 fanning trials over `threads` workers (0 = available
+/// parallelism). Bit-identical at any thread count: per-trial seeded RNG
+/// plus trial-ordered reduction.
+///
+/// # Panics
+///
+/// Panics if a run fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> E4Result {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(16, 64);
     // Shifted profiles must be materialised; cap the depth so the box count
@@ -43,15 +56,20 @@ pub fn run(scale: Scale) -> E4Result {
     let mut points = Vec::new();
     for n in size_sweep(&params, 2, k_hi, u64::MAX) {
         let wc = WorstCase::for_problem(&params, n).expect("canonical");
-        let profile = wc.materialize();
-        let mut stats = Stats::new();
-        for trial in 0..trials {
+        // Memoized across sweep points and workers: every trial shifts the
+        // same materialised prefix.
+        let profile = worst_case_squares(&wc);
+        let ratios = run_trials(trials, threads, |trial| {
             let mut rng = trial_rng(0xE4, trial);
             let shifted = random_cyclic_shift(&profile, &mut rng);
             let mut source = shifted.cycle();
-            let report = run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes");
-            stats.push(report.ratio());
+            run_on_profile(params, n, &mut source, &RunConfig::default())
+                .expect("run completes")
+                .ratio()
+        });
+        let mut stats = Stats::new();
+        for ratio in ratios {
+            stats.push(ratio);
         }
         table.push_row(vec![
             n.to_string(),
@@ -95,10 +113,10 @@ impl crate::harness::Experiment for Exp {
         "Random cyclic start shifts (Section 4)"
     }
     fn deterministic(&self) -> bool {
-        true // serial per-trial RNG, no worker threads
+        true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let mut metrics = Vec::new();
         crate::harness::push_series(&mut metrics, "series", &result.series);
         crate::harness::ExperimentOutput {

@@ -22,6 +22,7 @@
 use super::common::{log_b, size_sweep, RatioSeries};
 use crate::Scale;
 use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_analysis::parallel::run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_profiles::perturb::{BoxOrderPerturbedSource, FirstPlacement, RandomPlacement};
@@ -38,13 +39,25 @@ pub struct E5Result {
     pub series: Vec<RatioSeries>,
 }
 
-/// Run E5.
+/// Run E5 with the default thread budget (all cores).
 ///
 /// # Panics
 ///
 /// Panics if a run fails.
 #[must_use]
 pub fn run(scale: Scale) -> E5Result {
+    run_threaded(scale, 0)
+}
+
+/// Run E5 fanning the random-placement trials over `threads` workers
+/// (0 = available parallelism). Bit-identical at any thread count:
+/// per-trial seeded RNG plus trial-ordered reduction.
+///
+/// # Panics
+///
+/// Panics if a run fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> E5Result {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(12, 32);
     let k_hi = scale.pick(6, 8);
@@ -59,13 +72,16 @@ pub fn run(scale: Scale) -> E5Result {
     for &n in &sizes {
         let wc = WorstCase::for_problem(&params, n).expect("canonical");
         // Random placement, many trials.
-        let mut stats = Stats::new();
-        for trial in 0..trials {
+        let ratios = run_trials(trials, threads, |trial| {
             let rng = trial_rng(0xE5, trial);
             let mut source = BoxOrderPerturbedSource::new(wc, RandomPlacement(rng));
-            let report = run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes");
-            stats.push(report.ratio());
+            run_on_profile(params, n, &mut source, &RunConfig::default())
+                .expect("run completes")
+                .ratio()
+        });
+        let mut stats = Stats::new();
+        for ratio in ratios {
+            stats.push(ratio);
         }
         table.push_row(vec![
             "random".to_string(),
@@ -181,10 +197,10 @@ impl crate::harness::Experiment for Exp {
         "Box-order (big-box placement) perturbation (Section 4)"
     }
     fn deterministic(&self) -> bool {
-        true // serial per-trial RNG, no worker threads
+        true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);

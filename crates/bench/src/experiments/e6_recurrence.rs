@@ -72,13 +72,25 @@ fn sigmas(n_max: u64) -> Vec<Box<dyn BoxDist>> {
     ]
 }
 
-/// Run E6 (MM-Scan parameters, §4 conventions: base 1, scans at end).
+/// Run E6 (MM-Scan parameters, §4 conventions: base 1, scans at end) with
+/// the default thread budget (all cores).
 ///
 /// # Panics
 ///
 /// Panics if a run fails.
 #[must_use]
 pub fn run(scale: Scale) -> E6Result {
+    run_threaded(scale, 0)
+}
+
+/// Run E6 with an explicit worker budget for the Monte-Carlo trial
+/// fan-out (0 = available parallelism).
+///
+/// # Panics
+///
+/// Panics if a run fails.
+#[must_use]
+pub fn run_threaded(scale: Scale, threads: usize) -> E6Result {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(96, 192);
     let k_hi = scale.pick(5, 7);
@@ -118,6 +130,7 @@ pub fn run(scale: Scale) -> E6Result {
             let config = McConfig {
                 trials,
                 seed: 0xE6B,
+                threads,
                 ..McConfig::default()
             };
             let summary = monte_carlo_ratio(params, n, &config, |rng| {
@@ -145,6 +158,7 @@ pub fn run(scale: Scale) -> E6Result {
             let config = McConfig {
                 trials,
                 seed: 0xE6,
+                threads,
                 ..McConfig::default()
             };
             let summary = monte_carlo_ratio(params, n, &config, |rng| {
@@ -270,10 +284,10 @@ impl crate::harness::Experiment for Exp {
         "Lemma 3 recurrence bounds and the Eq. 6-8 checks"
     }
     fn deterministic(&self) -> bool {
-        false // trials fan over monte_carlo_ratio worker threads
+        false // compared by CI overlap: goldens stay robust to trial-count retunings
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run_threaded(ctx.scale, ctx.threads);
         let mut metrics = Vec::new();
         for row in &result.rows {
             let base = format!("rows/{}/n{}", row.dist, row.n);

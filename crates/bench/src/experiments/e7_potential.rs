@@ -147,8 +147,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // serial probes with fixed seeds
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run(ctx.scale);
         let mut metrics = Vec::new();
         for row in &result.rows {
             let base = format!("{}/{}/x{}", row.algo, row.model, row.box_size);

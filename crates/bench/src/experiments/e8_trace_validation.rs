@@ -237,8 +237,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // pure trace replay
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run(ctx.scale);
         let mut metrics = Vec::new();
         for (label, speedup) in &result.speedups {
             metrics.push(crate::harness::metric(format!("speedup/{label}"), *speedup));

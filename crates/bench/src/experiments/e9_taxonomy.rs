@@ -147,8 +147,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // worst-case profiles, no randomness
     }
-    fn run(&self, scale: Scale) -> crate::harness::ExperimentOutput {
-        let result = run(scale);
+    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
+        let result = run(ctx.scale);
         let mut metrics = Vec::new();
         for entry in &result.entries {
             crate::harness::push_series(&mut metrics, "series", &entry.series);

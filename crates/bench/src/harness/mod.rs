@@ -8,12 +8,14 @@
 //! [`check::compare`] diffs a fresh record against a committed golden under
 //! explicit tolerance bands.
 //!
-//! Determinism contract: an experiment declares itself `deterministic` only
-//! if a re-run in any environment reproduces every metric bit-for-bit.
-//! Experiments that fan trials over `monte_carlo_ratio`'s worker threads
-//! are *statistically* reproducible (fixed per-trial seeds) but merge their
-//! running moments in a thread-dependent order, so they declare
-//! `deterministic = false` and are compared by CI overlap instead.
+//! Determinism contract: every experiment routes its trial fan-out through
+//! `cadapt_analysis::parallel`, whose trial-ordered reduction makes results
+//! bit-identical at any thread count (the [`ExpCtx`] thread budget only
+//! moves wall time). An experiment declares itself `deterministic` only if
+//! a re-run in any environment reproduces every metric bit-for-bit; the
+//! Monte-Carlo experiments (e2, e6, ablations) keep `deterministic =
+//! false` and are compared by CI overlap instead, so their committed
+//! goldens stay robust to retunings of trial counts and sweeps.
 
 pub mod check;
 pub mod record;
@@ -26,7 +28,7 @@ use crate::experiments::{
     e2_iid_smoothing, e3_size_perturb, e4_start_shift, e5_box_order, e6_recurrence, e7_potential,
     e8_trace_validation, e9_taxonomy,
 };
-use crate::Scale;
+use crate::{ExpCtx, Scale};
 use cadapt_core::counters::Recording;
 use std::time::Instant;
 
@@ -48,8 +50,8 @@ pub trait Experiment: Sync {
     fn title(&self) -> &'static str;
     /// Is a re-run bit-identical? (See the module docs for the contract.)
     fn deterministic(&self) -> bool;
-    /// Execute at the given scale.
-    fn run(&self, scale: Scale) -> ExperimentOutput;
+    /// Execute under the given context (scale + trial-worker budget).
+    fn run(&self, ctx: ExpCtx) -> ExperimentOutput;
 }
 
 /// Every experiment, in presentation order.
@@ -81,19 +83,28 @@ pub fn find(id: &str) -> Option<&'static dyn Experiment> {
 }
 
 /// Run one experiment under the observability layer and package the
-/// outcome as a [`RunRecord`].
+/// outcome as a [`RunRecord`], with the default thread budget.
 #[must_use]
 pub fn run_record(exp: &dyn Experiment, scale: Scale) -> RunRecord {
+    run_record_ctx(exp, ExpCtx::new(scale))
+}
+
+/// As [`run_record`], with an explicit execution context. The worker
+/// counters of the experiment's trial fan-out fold into this recording
+/// (per-trial sums), so the record's counters are thread-count
+/// independent.
+#[must_use]
+pub fn run_record_ctx(exp: &dyn Experiment, ctx: ExpCtx) -> RunRecord {
     // cadapt-lint: allow(nondet-source) -- wall clock feeds only the wall_ms field, which golden comparison explicitly ignores (see check::wall_time_is_not_compared)
     let clock = Instant::now();
     let recording = Recording::start();
-    let output = exp.run(scale);
+    let output = exp.run(ctx);
     let counters = recording.finish();
     RunRecord {
         schema_version: SCHEMA_VERSION,
         experiment: exp.id().to_string(),
         title: exp.title().to_string(),
-        scale: scale.name().to_string(),
+        scale: ctx.scale.name().to_string(),
         deterministic: exp.deterministic(),
         wall_ms: clock.elapsed().as_secs_f64() * 1e3,
         counters,

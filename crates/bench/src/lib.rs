@@ -18,6 +18,33 @@ pub mod experiments;
 pub mod harness;
 pub mod perf;
 
+/// Execution context handed to every registered experiment: the scale plus
+/// the worker-thread budget for the experiment's internal trial fan-out
+/// (0 = available parallelism). Results are bit-identical at any thread
+/// count — see the determinism contract in `cadapt_analysis::parallel` —
+/// so the budget only moves wall time.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpCtx {
+    /// How big to run.
+    pub scale: Scale,
+    /// Worker threads for trial fan-out (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl ExpCtx {
+    /// Context at `scale` with the default thread budget (all cores).
+    #[must_use]
+    pub fn new(scale: Scale) -> ExpCtx {
+        ExpCtx { scale, threads: 0 }
+    }
+
+    /// Context with an explicit worker budget.
+    #[must_use]
+    pub fn with_threads(scale: Scale, threads: usize) -> ExpCtx {
+        ExpCtx { scale, threads }
+    }
+}
+
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

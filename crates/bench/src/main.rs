@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! cadapt-bench list
-//! cadapt-bench run   [--exp e1,e2,…] [--size quick|full] [--out DIR]
-//! cadapt-bench check [--exp e1,e2,…] [--size quick|full] [--golden DIR]
+//! cadapt-bench run   [--exp e1,e2,…] [--size quick|full] [--threads N] [--out DIR]
+//! cadapt-bench check [--exp e1,e2,…] [--size quick|full] [--threads N] [--golden DIR]
 //! cadapt-bench perf  [--size quick|full] [--out FILE]
 //! ```
 //!
@@ -17,12 +17,21 @@
 //! the tolerance bands of `cadapt_bench::harness::check`. Exit status 1 on
 //! any mismatch.
 //!
-//! `perf` times the per-box baseline against the run-length fast path and
-//! writes the suite record (default `BENCH_2.json`; `--out` overrides the
-//! file). `--quick` is shorthand for `--size quick` on every command.
+//! `run` and `check` shard the selected experiments over a work-stealing
+//! pool and split the `--threads` budget between experiment shards and
+//! each experiment's internal trial fan-out. Stdout is buffered and
+//! printed in registry order, and every record is bit-identical at any
+//! thread count (the engine's determinism contract), so `--threads` only
+//! moves wall time.
+//!
+//! `perf` times the per-box baseline against the run-length fast path plus
+//! the experiment engine's thread-scaling ladder and writes the suite
+//! record (default `BENCH_4.json`; `--out` overrides the file). `--quick`
+//! is shorthand for `--size quick` on every command.
 
+use cadapt_analysis::parallel::{resolve_threads, run_indexed};
 use cadapt_bench::harness::{self, CheckReport, RunRecord};
-use cadapt_bench::Scale;
+use cadapt_bench::{ExpCtx, Scale};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -39,14 +48,18 @@ options:
   --exp ID[,ID…]           experiments to touch (default: all)
   --size quick|full        scale (default: full for run/perf, quick for check)
   --quick                  shorthand for --size quick
+  --threads N              worker-thread budget for run/check sharding and
+                           trial fan-out (0 = available parallelism; results
+                           are bit-identical at any N)
   --out PATH               run: directory for per-experiment JSON records
-                           perf: output file (default BENCH_2.json)
+                           perf: output file (default BENCH_4.json)
   --golden DIR             check only: golden directory (default tests/golden)
 ";
 
 struct Options {
     ids: Vec<String>,
     scale: Option<Scale>,
+    threads: usize,
     out: Option<PathBuf>,
     golden: PathBuf,
 }
@@ -55,6 +68,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         ids: Vec::new(),
         scale: None,
+        threads: 0,
         out: None,
         golden: PathBuf::from("tests/golden"),
     };
@@ -73,6 +87,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     Some(Scale::parse(&name).ok_or_else(|| format!("unknown size {name:?}"))?);
             }
             "--quick" => options.scale = Some(Scale::Quick),
+            "--threads" => {
+                let text = value("--threads")?;
+                options.threads = text
+                    .parse()
+                    .map_err(|_| format!("--threads needs a number, got {text:?}"))?;
+            }
             "--out" => options.out = Some(PathBuf::from(value("--out")?)),
             "--golden" => options.golden = PathBuf::from(value("--golden")?),
             other => return Err(format!("unknown option {other:?}")),
@@ -106,19 +126,28 @@ fn cmd_list() {
     }
 }
 
-fn cmd_run(options: &Options) -> Result<(), String> {
-    let scale = options.scale.unwrap_or(Scale::Full);
-    let experiments = select(&options.ids)?;
-    if let Some(dir) = &options.out {
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-    }
-    for exp in experiments {
+/// Split the thread budget between experiment shards and each shard's
+/// internal trial fan-out. The plan only moves wall time: every record is
+/// bit-identical regardless of how the budget is split.
+fn shard_plan(requested: usize, jobs: usize) -> (usize, usize) {
+    let total = resolve_threads(requested);
+    let shards = total.min(jobs).max(1);
+    let inner = (total / shards).max(1);
+    (shards, inner)
+}
+
+/// Run every selected experiment on the sharding pool, returning records
+/// in registry (input) order.
+fn run_sharded(
+    experiments: &[&'static dyn harness::Experiment],
+    scale: Scale,
+    requested_threads: usize,
+) -> Vec<RunRecord> {
+    let (shards, inner) = shard_plan(requested_threads, experiments.len());
+    run_indexed(experiments.len(), shards, |i| {
+        let exp = experiments[i];
         eprintln!("[cadapt-bench] running {} ({})…", exp.id(), scale.name());
-        let record = harness::run_record(exp, scale);
-        for table in &record.tables {
-            print!("{table}");
-            println!();
-        }
+        let record = harness::run_record_ctx(exp, ExpCtx::with_threads(scale, inner));
         eprintln!(
             "[cadapt-bench] {} finished in {:.0} ms ({} metrics, {} boxes advanced)",
             record.experiment,
@@ -126,6 +155,23 @@ fn cmd_run(options: &Options) -> Result<(), String> {
             record.metrics.len(),
             record.counters.boxes_advanced
         );
+        record
+    })
+}
+
+fn cmd_run(options: &Options) -> Result<(), String> {
+    let scale = options.scale.unwrap_or(Scale::Full);
+    let experiments = select(&options.ids)?;
+    if let Some(dir) = &options.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    // Tables are buffered in the records and printed in registry order
+    // after the fan-out, so sharding never interleaves stdout.
+    for record in run_sharded(&experiments, scale, options.threads) {
+        for table in &record.tables {
+            print!("{table}");
+            println!();
+        }
         if let Some(dir) = &options.out {
             let path = dir.join(format!("{}.json", record.experiment));
             std::fs::write(&path, record.to_json())
@@ -146,13 +192,18 @@ fn load_golden(dir: &Path, id: &str) -> Result<RunRecord, String> {
 fn cmd_check(options: &Options) -> Result<bool, String> {
     let scale = options.scale.unwrap_or(Scale::Quick);
     let experiments = select(&options.ids)?;
-    let mut reports: Vec<CheckReport> = Vec::new();
-    for exp in experiments {
-        let golden = load_golden(&options.golden, exp.id())?;
+    // Load every golden up front so a missing file fails before any work.
+    let goldens = experiments
+        .iter()
+        .map(|exp| load_golden(&options.golden, exp.id()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let (shards, inner) = shard_plan(options.threads, experiments.len());
+    let reports: Vec<CheckReport> = run_indexed(experiments.len(), shards, |i| {
+        let exp = experiments[i];
         eprintln!("[cadapt-bench] checking {} ({})…", exp.id(), scale.name());
-        let fresh = harness::run_record(exp, scale);
-        reports.push(harness::compare(&golden, &fresh));
-    }
+        let fresh = harness::run_record_ctx(exp, ExpCtx::with_threads(scale, inner));
+        harness::compare(&goldens[i], &fresh)
+    });
     let mut all_passed = true;
     for report in &reports {
         if report.passed() {
@@ -179,7 +230,7 @@ fn cmd_perf(options: &Options) -> Result<(), String> {
     let path = options
         .out
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_2.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_4.json"));
     std::fs::write(&path, suite.to_json())
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("[cadapt-bench] wrote {}", path.display());

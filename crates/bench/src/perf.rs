@@ -1,14 +1,25 @@
 //! Wall-clock comparison of the per-box baseline against the run-length
-//! fast path (`cadapt-bench perf`).
+//! fast path, plus the experiment engine's thread-scaling ladder
+//! (`cadapt-bench perf`).
 //!
-//! Each entry runs the *same* execution twice — once with
+//! Each fast-path entry runs the *same* execution twice — once with
 //! `RunConfig { fast_path: false }` (per-box advancement, the pre-fast-path
 //! behaviour) and once with the default batched draining — and reports the
 //! minimum-of-iterations wall time for each. The two runs are also checked
 //! to agree on every report aggregate, so a perf record doubles as an
 //! end-to-end equivalence assertion at benchmark sizes.
+//!
+//! The thread-scaling section times the trial-parallel experiments at
+//! worker counts 1, 2, 4, and the host's available parallelism, and
+//! asserts **in process** that every parallel record reproduces the
+//! serial one bit-for-bit (metric bits, counters, tables) — the engine's
+//! determinism contract, measured and enforced in the same pass. Speedups
+//! are honest wall-clock ratios for the recording host: on a single-core
+//! machine they hover near (or slightly below) 1.0.
 
-use crate::Scale;
+use crate::harness::{self, RunRecord};
+use crate::{ExpCtx, Scale};
+use cadapt_analysis::parallel::resolve_threads;
 use cadapt_core::profile::ConstantSource;
 use cadapt_core::BoxSource;
 use cadapt_profiles::WorstCase;
@@ -16,8 +27,12 @@ use cadapt_recursion::{run_on_profile, AbcParams, ExecModel, RunConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Bump when the JSON layout changes shape.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Bump when the JSON layout changes shape. 2 added `host_parallelism`
+/// and the `thread_scaling` section.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The trial-parallel experiments timed by the thread-scaling ladder.
+const SCALING_EXPERIMENTS: [&str; 6] = ["e3", "e4", "e5", "e10", "e11", "e13"];
 
 /// Timing iterations per configuration; the minimum is reported (the
 /// standard noise-rejection choice for CPU-bound single-threaded work).
@@ -38,15 +53,36 @@ pub struct PerfEntry {
     pub speedup: f64,
 }
 
-/// The whole suite, as serialised to `BENCH_2.json`.
+/// One experiment at one worker count on the thread-scaling ladder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingEntry {
+    /// Registry id of the experiment.
+    pub experiment: String,
+    /// Worker threads used for the trial fan-out.
+    pub threads: usize,
+    /// Wall time of the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Serial wall time divided by this run's wall time.
+    pub speedup: f64,
+    /// Did the record reproduce the serial record bit-for-bit? (Also
+    /// asserted in process: a `false` can never reach the JSON.)
+    pub matches_serial: bool,
+}
+
+/// The whole suite, as serialised to `BENCH_4.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfSuite {
     /// JSON layout version.
     pub schema_version: u32,
     /// `"quick"` or `"full"`.
     pub scale: String,
-    /// All timed cases.
+    /// `std::thread::available_parallelism` on the recording host —
+    /// context for reading the speedup column.
+    pub host_parallelism: usize,
+    /// All timed fast-path cases.
     pub entries: Vec<PerfEntry>,
+    /// The thread-scaling ladder (serial baseline first per experiment).
+    pub thread_scaling: Vec<ScalingEntry>,
 }
 
 impl PerfSuite {
@@ -75,6 +111,23 @@ impl PerfSuite {
                 "{:<20} {:>12} {:>14.2} {:>14.2} {:>8.1}x\n",
                 e.name, e.boxes, e.per_box_ms, e.batched_ms, e.speedup
             ));
+        }
+        if !self.thread_scaling.is_empty() {
+            out.push_str(&format!(
+                "\nthread scaling (host parallelism {}):\n{:<12} {:>8} {:>12} {:>9} {:>15}\n",
+                self.host_parallelism,
+                "experiment",
+                "threads",
+                "wall (ms)",
+                "speedup",
+                "matches serial"
+            ));
+            for e in &self.thread_scaling {
+                out.push_str(&format!(
+                    "{:<12} {:>8} {:>12.1} {:>8.2}x {:>15}\n",
+                    e.experiment, e.threads, e.wall_ms, e.speedup, e.matches_serial
+                ));
+            }
         }
         out
     }
@@ -145,6 +198,70 @@ fn entry<S: BoxSource>(
 ///   in. Width matters: a bounds the per-box work a leaf burst replaces,
 ///   so it bounds the attainable speedup.
 ///
+/// Are two run records bit-identical in everything golden comparison
+/// reads? Wall time is excluded by definition; metric values compare by
+/// bit pattern, not tolerance.
+fn records_identical(a: &RunRecord, b: &RunRecord) -> bool {
+    a.counters == b.counters
+        && a.tables == b.tables
+        && a.metrics.len() == b.metrics.len()
+        && a.metrics.iter().zip(&b.metrics).all(|(x, y)| {
+            x.name == y.name
+                && x.value.to_bits() == y.value.to_bits()
+                && x.ci95.to_bits() == y.ci95.to_bits()
+        })
+}
+
+/// The worker-count ladder: 1, 2, 4, and the host parallelism, deduped
+/// and sorted.
+fn ladder(host: usize) -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Time the trial-parallel experiments across the worker ladder,
+/// asserting each parallel record reproduces the serial one exactly.
+///
+/// # Panics
+///
+/// Panics if any parallel run diverges from the serial record — that is a
+/// determinism bug in the engine, not a tolerable measurement artifact.
+fn thread_scaling(scale: Scale, host: usize) -> Vec<ScalingEntry> {
+    let mut out = Vec::new();
+    for id in SCALING_EXPERIMENTS {
+        let exp = harness::find(id).expect("scaling experiment is registered");
+        let mut serial: Option<RunRecord> = None;
+        for &threads in &ladder(host) {
+            eprintln!("[cadapt-bench] scaling {id} with {threads} thread(s)…");
+            let record = harness::run_record_ctx(exp, ExpCtx::with_threads(scale, threads));
+            let (speedup, matches_serial) = match &serial {
+                None => (1.0, true),
+                Some(base) => {
+                    let matches = records_identical(base, &record);
+                    assert!(
+                        matches,
+                        "{id}: record at {threads} threads diverged from the serial record"
+                    );
+                    (base.wall_ms / record.wall_ms, matches)
+                }
+            };
+            out.push(ScalingEntry {
+                experiment: id.to_string(),
+                threads,
+                wall_ms: record.wall_ms,
+                speedup,
+                matches_serial,
+            });
+            if serial.is_none() {
+                serial = Some(record);
+            }
+        }
+    }
+    out
+}
+
 /// `constant_capacity` times the capacity model's steady-cycle batching on
 /// the same constant feed.
 #[must_use]
@@ -170,10 +287,13 @@ pub fn run(scale: Scale) -> PerfSuite {
             || ConstantSource::new(16),
         ),
     ];
+    let host = resolve_threads(0);
     PerfSuite {
         schema_version: SCHEMA_VERSION,
         scale: scale.name().to_string(),
+        host_parallelism: host,
         entries,
+        thread_scaling: thread_scaling(scale, host),
     }
 }
 
@@ -196,12 +316,31 @@ mod tests {
         let suite = PerfSuite {
             schema_version: SCHEMA_VERSION,
             scale: "quick".to_string(),
+            host_parallelism: 1,
             entries: vec![e],
+            thread_scaling: vec![ScalingEntry {
+                experiment: "e3".to_string(),
+                threads: 2,
+                wall_ms: 1.0,
+                speedup: 1.0,
+                matches_serial: true,
+            }],
         };
         let json = suite.to_json();
         let parsed: PerfSuite = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.entries.len(), 1);
         assert_eq!(parsed.entries[0].name, "tiny");
-        assert!(suite.table().contains("tiny"));
+        assert_eq!(parsed.thread_scaling.len(), 1);
+        let rendered = suite.table();
+        assert!(rendered.contains("tiny"));
+        assert!(rendered.contains("thread scaling"));
+    }
+
+    #[test]
+    fn ladder_is_deduped_and_starts_serial() {
+        assert_eq!(ladder(1), vec![1, 2, 4]);
+        assert_eq!(ladder(4), vec![1, 2, 4]);
+        assert_eq!(ladder(8), vec![1, 2, 4, 8]);
+        assert_eq!(ladder(3), vec![1, 2, 3, 4]);
     }
 }

@@ -107,6 +107,24 @@ fn nondet_source_fail() {
             ("nondet-source", 5),
             ("nondet-source", 6),
             ("nondet-source", 14),
+            ("nondet-source", 18),
+            ("nondet-source", 22),
+            ("nondet-source", 23),
+        ]
+    );
+}
+
+#[test]
+fn nondet_source_threading_is_allowed_only_in_the_engine() {
+    // Linted as the approved fan-out engine, the same fixture keeps its
+    // HashMap/Instant diagnostics but loses the threading ones.
+    assert_eq!(
+        lint_fixture("fail/nondet_source.rs", "crates/analysis/src/parallel.rs"),
+        [
+            ("nondet-source", 3),
+            ("nondet-source", 5),
+            ("nondet-source", 6),
+            ("nondet-source", 14),
         ]
     );
 }

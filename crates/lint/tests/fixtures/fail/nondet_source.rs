@@ -13,3 +13,12 @@ pub fn histogram(xs: &[u64]) -> HashMap<u64, u64> {
 pub fn stamp() -> std::time::Instant {
     std::time::Instant::now()
 }
+
+pub fn fan_out() -> u64 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    handle.join().unwrap_or(0)
+}
+
+pub fn scoped(scope: &crossbeam::thread::Scope<'_>) {
+    let _ = scope.spawn(|_| 2);
+}

@@ -1,0 +1,103 @@
+//! Process-wide memoized profile store.
+//!
+//! Materialised profile prefixes are pure functions of their family
+//! parameters, yet the experiments used to rebuild them per sweep point —
+//! and, after the trial fan-out, would have rebuilt them per *worker*.
+//! This store computes each profile **once per process** and hands out
+//! [`Arc`] handles keyed by `(family, params, size)`:
+//!
+//! * [`worst_case_squares`] — the materialised worst-case profile
+//!   M_{a,b}(n) (E4 cyclic-shifts one per trial);
+//! * [`sawtooth_squares`] — the winner-take-all sawtooth's greedy inner
+//!   square approximation (E10 likewise).
+//!
+//! Determinism: a cache hit returns a handle to a profile bit-identical
+//! to fresh construction (see the proptests in
+//! `tests/props_profile_invariants.rs`), construction records no
+//! execution counters, and the [`BTreeMap`] keying is total — so the
+//! store can never change a golden record, only the wall clock. The map
+//! is never evicted: a process touches a handful of sweep sizes, and the
+//! largest quick-tier profile is a few MiB.
+
+use crate::contention::sawtooth;
+use crate::worst_case::WorstCase;
+use cadapt_core::{Blocks, Io, SquareProfile};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Cache key: the profile family plus every parameter its generator reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Key {
+    /// M_{a,b}(n): (a, b, min_size, depth).
+    WorstCase(u64, u64, Blocks, u32),
+    /// Winner-take-all sawtooth: (m_min, m_max, plateau, duration).
+    Sawtooth(Blocks, Blocks, Io, Io),
+}
+
+static PROFILES: OnceLock<Mutex<BTreeMap<Key, Arc<SquareProfile>>>> = OnceLock::new();
+
+fn get_or_build(key: Key, build: impl FnOnce() -> SquareProfile) -> Arc<SquareProfile> {
+    let cache = PROFILES.get_or_init(|| Mutex::new(BTreeMap::new()));
+    {
+        let map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(profile) = map.get(&key) {
+            return Arc::clone(profile);
+        }
+    }
+    // Build outside the lock: materialisation is the expensive part and
+    // must not serialize unrelated workers behind a miss.
+    let profile = Arc::new(build());
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(map.entry(key).or_insert(profile))
+}
+
+/// The materialised worst-case profile `wc.materialize()`, memoized.
+#[must_use]
+pub fn worst_case_squares(wc: &WorstCase) -> Arc<SquareProfile> {
+    let key = Key::WorstCase(wc.a(), wc.b(), wc.min_size(), wc.depth());
+    get_or_build(key, || wc.materialize())
+}
+
+/// The sawtooth contention profile's inner squares, memoized.
+#[must_use]
+pub fn sawtooth_squares(
+    m_min: Blocks,
+    m_max: Blocks,
+    plateau: Io,
+    duration: Io,
+) -> Arc<SquareProfile> {
+    let key = Key::Sawtooth(m_min, m_max, plateau, duration);
+    get_or_build(key, || {
+        sawtooth(m_min, m_max, plateau, duration).inner_squares()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_hits_share_and_match_fresh() {
+        let wc = WorstCase::new(8, 4, 1, 3).unwrap();
+        let first = worst_case_squares(&wc);
+        let second = worst_case_squares(&wc);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.boxes(), wc.materialize().boxes());
+    }
+
+    #[test]
+    fn sawtooth_hits_share_and_match_fresh() {
+        let first = sawtooth_squares(1, 64, 64, 1024);
+        let second = sawtooth_squares(1, 64, 64, 1024);
+        assert!(Arc::ptr_eq(&first, &second));
+        let fresh = sawtooth(1, 64, 64, 1024).inner_squares();
+        assert_eq!(first.boxes(), fresh.boxes());
+    }
+
+    #[test]
+    fn distinct_parameters_get_distinct_profiles() {
+        let a = sawtooth_squares(1, 64, 64, 1024);
+        let b = sawtooth_squares(1, 128, 128, 2048);
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+}

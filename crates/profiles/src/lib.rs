@@ -13,6 +13,9 @@
 //! * [`perturb`] — the three weak smoothings of §4 that provably do *not*
 //!   close the gap: multiplicative box-size noise, random cyclic start
 //!   shifts, and box-order (big-box placement) perturbations.
+//! * [`cache`] — the process-wide memoized profile store: materialised
+//!   worst-case/sawtooth prefixes computed once per process, shared across
+//!   trials and worker threads.
 //! * [`contention`] — realistic fluctuating-cache generators from the
 //!   paper's introduction: the winner-take-all sawtooth and a multi-tenant
 //!   fair-share model. These produce arbitrary profiles m(t); compose with
@@ -22,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod contention;
 pub mod dist;
 pub mod perturb;
 pub mod worst_case;
 
+pub use cache::{sawtooth_squares, worst_case_squares};
 pub use dist::{BoxDist, DistSource};
 pub use worst_case::{MatchedWorstCase, WorstCase};

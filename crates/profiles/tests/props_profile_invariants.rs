@@ -12,14 +12,18 @@
 //! * size perturbation ([`SizePerturbedSource`]) — a multiplier in [0, t]
 //!   must keep every box within [1, round(base · t)] and stay aligned
 //!   one-to-one with the inner source.
+//!
+//! Plus the memoized profile store's contract: a cached handle is
+//! bit-identical to fresh construction for every key it can hold.
 
 // Test-only code: casts cover toy-sized inputs.
 #![allow(clippy::cast_possible_truncation)]
 
-use cadapt_core::{BoxSource, SquareProfile};
+use cadapt_core::{BoxSource, Io, SquareProfile};
+use cadapt_profiles::contention::sawtooth;
 use cadapt_profiles::dist::PermutationSource;
 use cadapt_profiles::perturb::{random_cyclic_shift, SizePerturbedSource, UniformMultiplier};
-use cadapt_profiles::WorstCase;
+use cadapt_profiles::{sawtooth_squares, worst_case_squares, WorstCase};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -118,5 +122,40 @@ proptest! {
             }
         }
         prop_assert_eq!(sorted(expanded), sorted(materialised.into_boxes()));
+    }
+
+    #[test]
+    fn cached_worst_case_matches_fresh_construction(
+        a in 2u64..5,
+        b in 2u64..4,
+        min_size in 1u64..4,
+        depth in 1u32..5,
+    ) {
+        let wc = WorstCase::new(a, b, min_size, depth).unwrap();
+        let cached = worst_case_squares(&wc);
+        let fresh = wc.materialize();
+        // A cache hit must be indistinguishable from building the profile
+        // here and now — the store may only save wall time, never change
+        // a box.
+        prop_assert_eq!(cached.boxes(), fresh.boxes());
+        prop_assert_eq!(cached.total_time(), fresh.total_time());
+    }
+
+    #[test]
+    fn cached_sawtooth_matches_fresh_construction(
+        m_min in 1u64..4,
+        m_max_mult in 2u64..6,
+        plateau in 1u64..64,
+        duration_mult in 2u64..8,
+    ) {
+        // Derive well-formed parameters: m_max > m_min, duration spans
+        // several plateaus.
+        let m_max = m_min * m_max_mult * 8;
+        let plateau = Io::from(plateau);
+        let duration = plateau * Io::from(duration_mult * 16);
+        let cached = sawtooth_squares(m_min, m_max, plateau, duration);
+        let fresh = sawtooth(m_min, m_max, plateau, duration).inner_squares();
+        prop_assert_eq!(cached.boxes(), fresh.boxes());
+        prop_assert_eq!(cached.total_time(), fresh.total_time());
     }
 }

@@ -27,6 +27,7 @@
 use crate::closed_form::ClosedForms;
 use crate::params::AbcParams;
 use cadapt_core::{cast, Blocks, Io, Leaves};
+use std::sync::Arc;
 
 /// One node on the path from the root to the pending access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,18 +77,19 @@ pub struct BatchOutcome {
     pub done: bool,
 }
 
-/// A lazy position inside an (a, b, c)-regular execution.
-#[derive(Debug, Clone)]
-pub struct ExecCursor {
-    cf: ClosedForms,
-    /// Path from root (index 0) to the innermost started node. Empty stack
-    /// means the execution has completed.
-    stack: Vec<Frame>,
+/// Tables derived from the [`ClosedForms`] at cursor construction — pure
+/// functions of (params, n), shared between every cursor over the same
+/// problem (the process-wide cache in [`crate::cache`] hands them out
+/// behind an [`Arc`] so per-trial cursor construction is two refcount
+/// bumps plus the initial descent, not a table rebuild).
+#[derive(Debug)]
+struct DerivedTables {
     /// Suffix sums of chunk lengths per level: `chunk_suffix[k][s]` =
     /// Σ_{j ≥ s} chunk_len(k, j).
     chunk_suffix: Vec<Vec<u64>>,
-    /// `descent[k]` = frames [`Self::normalize`] pushes when it enters a
-    /// fresh level-k subtree (1 + the chain through empty leading chunks).
+    /// `descent[k]` = frames [`ExecCursor::normalize`] pushes when it
+    /// enters a fresh level-k subtree (1 + the chain through empty leading
+    /// chunks).
     descent: Vec<u64>,
     /// `mid_chunks_zero[k]` = the scan chunks *between* children (slots
     /// 1..a−1) are all empty at level k, so completing one child descends
@@ -97,10 +99,29 @@ pub struct ExecCursor {
     mid_chunks_zero: Vec<bool>,
 }
 
+/// A lazy position inside an (a, b, c)-regular execution.
+#[derive(Debug, Clone)]
+pub struct ExecCursor {
+    cf: Arc<ClosedForms>,
+    /// Path from root (index 0) to the innermost started node. Empty stack
+    /// means the execution has completed.
+    stack: Vec<Frame>,
+    /// Derived per-level tables, shared across cursors of one problem.
+    tables: Arc<DerivedTables>,
+}
+
 impl ExecCursor {
     /// A cursor at the very start of a problem of size `cf.root_size()`.
     #[must_use]
     pub fn new(cf: ClosedForms) -> Self {
+        Self::from_arc(Arc::new(cf))
+    }
+
+    /// As [`ExecCursor::new`], but sharing an already-built table set —
+    /// the entry point the process-wide [`crate::cache`] uses so repeated
+    /// trials over the same (params, n) skip the table construction.
+    #[must_use]
+    pub fn from_arc(cf: Arc<ClosedForms>) -> Self {
         let params = *cf.params();
         let mut chunk_suffix = Vec::with_capacity(cast::usize_from_u32(cf.depth()) + 1);
         for k in 0..=cf.depth() {
@@ -133,12 +154,20 @@ impl ExecCursor {
         let mut cursor = ExecCursor {
             cf,
             stack: vec![root],
-            chunk_suffix,
-            descent,
-            mid_chunks_zero,
+            tables: Arc::new(DerivedTables {
+                chunk_suffix,
+                descent,
+                mid_chunks_zero,
+            }),
         };
         cursor.normalize();
         cursor
+    }
+
+    /// The shared closed-form tables, for cache storage.
+    #[must_use]
+    pub fn shared_forms(&self) -> Arc<ClosedForms> {
+        Arc::clone(&self.cf)
     }
 
     fn params(&self) -> &AbcParams {
@@ -252,7 +281,8 @@ impl ExecCursor {
                 // Rest of the current chunk, all later chunks, and all
                 // children not yet entered (indices ≥ slot).
                 let chunks = Io::from(
-                    self.chunk_suffix[cast::usize_from_u32(f.k)][cast::usize_from_u64(f.slot)],
+                    self.tables.chunk_suffix[cast::usize_from_u32(f.k)]
+                        [cast::usize_from_u64(f.slot)],
                 ) - Io::from(f.chunk_done);
                 let kids =
                     Io::from(children - f.slot) * if f.k > 0 { self.cf.time(f.k - 1) } else { 0 };
@@ -261,7 +291,8 @@ impl ExecCursor {
                 // An ancestor: child `slot` is in progress (accounted
                 // deeper); count chunks after slot and children after slot.
                 let chunks = Io::from(
-                    self.chunk_suffix[cast::usize_from_u32(f.k)][cast::usize_from_u64(f.slot) + 1],
+                    self.tables.chunk_suffix[cast::usize_from_u32(f.k)]
+                        [cast::usize_from_u64(f.slot) + 1],
                 );
                 let kids = Io::from(children - f.slot - 1) * self.cf.time(f.k - 1);
                 rem += chunks + kids;
@@ -579,7 +610,7 @@ impl ExecCursor {
                 let d0 = cast::u64_from_usize(self.stack.len());
                 let parent = self.stack[idx - 1];
                 let siblings_left = self.params().a() - parent.slot;
-                let m = if self.mid_chunks_zero[cast::usize_from_u32(parent.k)] {
+                let m = if self.tables.mid_chunks_zero[cast::usize_from_u32(parent.k)] {
                     siblings_left.min(count - out.consumed)
                 } else {
                     1
@@ -593,7 +624,7 @@ impl ExecCursor {
                     self.leaves_remaining_in_subtree(idx) + Leaves::from(m - 1) * self.cf.leaves(j);
                 out.used += Io::from(m) * Io::from(self.cf.size(j).min(s));
                 out.consumed += m;
-                let d = self.descent[cast::usize_from_u32(j)];
+                let d = self.tables.descent[cast::usize_from_u32(j)];
                 cadapt_core::counters::count_cursor_steps(
                     (d0 - cast::u64_from_usize(idx)) + 2 * (m - 1) * d,
                 );
@@ -669,7 +700,7 @@ impl ExecCursor {
                 self.capacity_batch_step(budget, cost_factor, count - out.consumed)
             {
                 let istar = cast::usize_from_u32(self.cf.depth() - jstar);
-                let d = self.descent[cast::usize_from_u32(jstar)];
+                let d = self.tables.descent[cast::usize_from_u32(jstar)];
                 out.progress += Leaves::from(m) * Leaves::from(q) * self.cf.leaves(jstar);
                 out.used += Io::from(m) * budget;
                 out.consumed += m;
@@ -729,7 +760,7 @@ impl ExecCursor {
         }
         let q = cast::u64_from_u128(budget / charge);
         let parent = self.stack[istar - 1];
-        if !self.mid_chunks_zero[cast::usize_from_u32(parent.k)] {
+        if !self.tables.mid_chunks_zero[cast::usize_from_u32(parent.k)] {
             return None; // sibling completions separated by scan chunks
         }
         let siblings_left = self.params().a() - parent.slot;

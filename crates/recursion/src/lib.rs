@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod closed_form;
 pub mod cursor;
 pub mod model;
@@ -37,6 +38,7 @@ pub mod probe;
 pub mod run;
 pub mod walk;
 
+pub use cache::{closed_forms_for, cursor_for};
 pub use closed_form::ClosedForms;
 pub use cursor::{BatchOutcome, BoxOutcome, ExecCursor};
 pub use model::ExecModel;

@@ -12,8 +12,6 @@
 //! start offsets and returns the two final serial positions;
 //! [`no_catchup_holds`] checks the earlier start does not finish later.
 
-use crate::closed_form::ClosedForms;
-use crate::cursor::ExecCursor;
 use crate::model::ExecModel;
 use crate::params::AbcParams;
 use cadapt_core::{Blocks, CoreError, Io};
@@ -37,9 +35,10 @@ pub fn final_positions(
     model: ExecModel,
 ) -> Result<(Io, Io), CoreError> {
     assert!(start_early <= start_late, "offsets must be ordered");
-    let cf = ClosedForms::for_size(params, n)?;
-    let run = |start: Io| {
-        let mut cursor = ExecCursor::new(cf.clone());
+    // One cache probe per run: each lookup replays the construction
+    // counters, so totals match per-run fresh construction exactly.
+    let run = |start: Io| -> Result<Io, CoreError> {
+        let mut cursor = crate::cache::cursor_for(params, n)?;
         let _ = cursor.advance_accesses(start);
         for &b in boxes {
             if cursor.is_done() {
@@ -47,9 +46,9 @@ pub fn final_positions(
             }
             let _ = model.advance(&mut cursor, b);
         }
-        cursor.serial_position()
+        Ok(cursor.serial_position())
     };
-    Ok((run(start_early), run(start_late)))
+    Ok((run(start_early)?, run(start_late)?))
 }
 
 /// Does the No-Catch-up Lemma hold for this instance? (It always should;

@@ -7,8 +7,6 @@
 //! the best progress observed. The analysis crate compares the measured
 //! curve against x^{log_b a}.
 
-use crate::closed_form::ClosedForms;
-use crate::cursor::ExecCursor;
 use crate::model::ExecModel;
 use crate::params::AbcParams;
 use cadapt_core::{Blocks, CoreError, Io, Leaves};
@@ -39,10 +37,11 @@ pub fn empirical_potential(
     model: ExecModel,
     offsets: &[Io],
 ) -> Result<PotentialSample, CoreError> {
-    let cf = ClosedForms::for_size(params, n)?;
+    // Probe the cache per offset: each lookup replays the construction
+    // counters, so totals match per-offset fresh construction exactly.
     let mut max_progress: Leaves = 0;
     for &offset in offsets {
-        let mut cursor = ExecCursor::new(cf.clone());
+        let mut cursor = crate::cache::cursor_for(params, n)?;
         let _ = cursor.advance_accesses(offset);
         if cursor.is_done() {
             continue;
@@ -78,6 +77,7 @@ pub fn probe_offsets<R: Rng>(total: Io, grid: usize, random: usize, rng: &mut R)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::closed_form::ClosedForms;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -1,7 +1,5 @@
 //! Drivers: run an (a, b, c)-regular execution against a box source.
 
-use crate::closed_form::ClosedForms;
-use crate::cursor::ExecCursor;
 use crate::model::ExecModel;
 use crate::params::AbcParams;
 use cadapt_core::{AdaptivityReport, Blocks, BoxRecord, BoxSource, CoreError, ProgressLedger};
@@ -108,8 +106,10 @@ pub fn run_with_ledger<S: BoxSource>(
     source: &mut S,
     config: &RunConfig,
 ) -> Result<ProgressLedger, RunError> {
-    let cf = ClosedForms::for_size(params, n).map_err(RunError::BadSize)?;
-    let mut cursor = ExecCursor::new(cf);
+    // The closed-form and descent tables come from the process-wide cache:
+    // repeated trials over the same (params, n) clone a shared start-state
+    // cursor instead of rebuilding the tables (bit-identical either way).
+    let mut cursor = crate::cache::cursor_for(params, n).map_err(RunError::BadSize)?;
     let rho = params.potential();
     let mut ledger = if config.retain_history {
         ProgressLedger::retaining(rho, n)

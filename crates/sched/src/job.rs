@@ -1,7 +1,7 @@
 //! A job: one (a, b, c)-regular execution in flight.
 
 use cadapt_core::{Blocks, CoreError, Io, Leaves, Potential};
-use cadapt_recursion::{AbcParams, ClosedForms, ExecCursor, ExecModel};
+use cadapt_recursion::{cursor_for, AbcParams, ExecCursor, ExecModel};
 use serde::{Deserialize, Serialize};
 
 /// What to run: algorithm parameters and problem size.
@@ -44,10 +44,11 @@ impl Job {
     ///
     /// [`CoreError::InvalidParameter`] if `spec.n` is not canonical.
     pub fn start(spec: JobSpec, model: ExecModel) -> Result<Self, CoreError> {
-        let cf = ClosedForms::for_size(spec.params, spec.n)?;
         Ok(Job {
             spec,
-            cursor: ExecCursor::new(cf),
+            // Shared closed-form tables from the process-wide cache — k
+            // co-scheduled jobs of one mix build them once, not k times.
+            cursor: cursor_for(spec.params, spec.n)?,
             model,
             boxes_received: 0,
             bounded_potential: 0.0,
