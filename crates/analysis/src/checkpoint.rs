@@ -1,0 +1,388 @@
+//! Completed-trial bookkeeping for crash-safe resume.
+//!
+//! A Monte-Carlo run is a pure function of `(seed, trial)` — per-trial
+//! ChaCha8 streams mean trial 17 produces the same sample whether it runs
+//! first, last, or in a second process three reboots later. That makes
+//! resume *semantically* trivial: remember which trials finished, run the
+//! rest, merge in trial order. This module supplies the two pieces:
+//!
+//! * [`TrialSpans`] — a sorted, disjoint set of half-open `[start, end)`
+//!   index spans, the compact on-disk shape for "which trials are done"
+//!   (a checkpoint after a clean prefix is one span, not N entries).
+//! * [`run_missing_trials`] — a sweep over exactly the trials **not** in
+//!   a span set, fail-fast and panic-isolated like
+//!   [`try_run_trials`](crate::parallel::try_run_trials), returning
+//!   `(trial, value)` pairs so the caller can merge them with reloaded
+//!   results and fold in **trial order** — bit-identical to the
+//!   uninterrupted run (asserted in this module's tests against the
+//!   order-sensitive Welford reduction).
+//!
+//! Persistence (where the spans live on disk, checksums, atomic rename)
+//! belongs to the bench harness; this module is pure bookkeeping so the
+//! fault-injection harness can exercise it without touching a filesystem.
+
+use crate::parallel::{try_run_trials, SweepError};
+
+/// A sorted, disjoint set of half-open `[start, end)` trial-index spans.
+///
+/// Inserting individual indices coalesces adjacent spans, so a checkpoint
+/// of a clean prefix stays one `(0, k)` pair however it was accumulated.
+///
+/// ```
+/// use cadapt_analysis::checkpoint::TrialSpans;
+///
+/// let mut done = TrialSpans::new();
+/// done.insert(0);
+/// done.insert(1);
+/// done.insert(5);
+/// assert_eq!(done.to_pairs(), vec![(0, 2), (5, 6)]);
+/// assert_eq!(done.missing(7), vec![2, 3, 4, 6]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrialSpans {
+    /// Sorted, disjoint, non-adjacent `(start, end)` half-open spans.
+    spans: Vec<(u64, u64)>,
+}
+
+impl TrialSpans {
+    /// The empty span set.
+    #[must_use]
+    pub fn new() -> TrialSpans {
+        TrialSpans::default()
+    }
+
+    /// Rebuild a span set from serialized `(start, end)` pairs.
+    ///
+    /// Validates the invariants a hostile or corrupted checkpoint could
+    /// break: every span non-empty (`start < end`), pairs sorted and
+    /// non-overlapping/non-adjacent (adjacent pairs would be two spellings
+    /// of the same set, breaking byte-stable re-serialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn from_pairs(pairs: &[(u64, u64)]) -> Result<TrialSpans, String> {
+        let mut prev_end: Option<u64> = None;
+        for &(start, end) in pairs {
+            if start >= end {
+                return Err(format!("empty or inverted span ({start}, {end})"));
+            }
+            if let Some(prev) = prev_end {
+                if start <= prev {
+                    return Err(format!(
+                        "span ({start}, {end}) overlaps or touches the previous span ending at {prev}"
+                    ));
+                }
+            }
+            prev_end = Some(end);
+        }
+        Ok(TrialSpans {
+            spans: pairs.to_vec(),
+        })
+    }
+
+    /// The canonical serialized shape: sorted, disjoint `(start, end)`
+    /// pairs. `from_pairs(to_pairs())` is the identity.
+    #[must_use]
+    pub fn to_pairs(&self) -> Vec<(u64, u64)> {
+        self.spans.clone()
+    }
+
+    /// Is `trial` in the set?
+    #[must_use]
+    pub fn contains(&self, trial: u64) -> bool {
+        self.spans
+            .binary_search_by(|&(start, end)| {
+                if trial < start {
+                    std::cmp::Ordering::Greater
+                } else if trial >= end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Number of trials in the set.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.spans.iter().map(|&(start, end)| end - start).sum()
+    }
+
+    /// Is the set empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Does the set cover every trial in `[0, trials)`?
+    #[must_use]
+    pub fn is_complete(&self, trials: u64) -> bool {
+        trials == 0 || self.spans == [(0, trials)]
+    }
+
+    /// The trials in `[0, trials)` **not** in the set, ascending.
+    #[must_use]
+    pub fn missing(&self, trials: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = 0u64;
+        for &(start, end) in &self.spans {
+            if cursor >= trials {
+                break;
+            }
+            out.extend(cursor..start.min(trials));
+            cursor = cursor.max(end);
+        }
+        out.extend(cursor..trials);
+        out
+    }
+
+    /// Insert one trial index, coalescing with adjacent spans.
+    pub fn insert(&mut self, trial: u64) {
+        // Find the first span starting after `trial`.
+        let idx = self.spans.partition_point(|&(start, _)| start <= trial);
+        // Already covered by the span before the insertion point?
+        if idx > 0 && trial < self.spans[idx - 1].1 {
+            return;
+        }
+        let glues_left = idx > 0 && self.spans[idx - 1].1 == trial;
+        let glues_right = idx < self.spans.len() && self.spans[idx].0 == trial + 1;
+        match (glues_left, glues_right) {
+            (true, true) => {
+                self.spans[idx - 1].1 = self.spans[idx].1;
+                self.spans.remove(idx);
+            }
+            (true, false) => self.spans[idx - 1].1 = trial + 1,
+            (false, true) => self.spans[idx].0 = trial,
+            (false, false) => self.spans.insert(idx, (trial, trial + 1)),
+        }
+    }
+
+    /// Fold another span set into this one.
+    pub fn merge(&mut self, other: &TrialSpans) {
+        for &(start, end) in &other.spans {
+            for trial in start..end {
+                self.insert(trial);
+            }
+        }
+    }
+}
+
+/// Run exactly the trials of `[0, trials)` **not** already in `done`,
+/// fail-fast and panic-isolated like
+/// [`try_run_trials`](crate::parallel::try_run_trials), returning the new
+/// `(trial, value)` pairs in trial order.
+///
+/// The caller merges these with its reloaded results and reduces in trial
+/// order; because jobs are pure functions of the trial index, the merged
+/// sequence is identical to the uninterrupted run's.
+///
+/// # Errors
+///
+/// Returns the failing job's [`SweepError`] with the smallest trial
+/// index among the *attempted* (missing) trials.
+pub fn run_missing_trials<T, E, F>(
+    trials: u64,
+    threads: usize,
+    done: &TrialSpans,
+    run: F,
+) -> Result<Vec<(u64, T)>, SweepError<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64) -> Result<T, E> + Sync,
+{
+    let missing = done.missing(trials);
+    let values = try_run_trials(
+        cadapt_core::cast::u64_from_usize(missing.len()),
+        threads,
+        |i| {
+            let trial = missing[cadapt_core::cast::usize_from_u64(i)];
+            run(trial).map_err(|error| (trial, error))
+        },
+    )
+    .map_err(|e| match e {
+        // Re-key the engine's dense index onto the real trial index.
+        SweepError::Job {
+            error: (trial, error),
+            ..
+        } => SweepError::Job { trial, error },
+        SweepError::Panic(mut p) => {
+            p.trial = missing[cadapt_core::cast::usize_from_u64(p.trial)];
+            SweepError::Panic(p)
+        }
+    })?;
+    Ok(missing.into_iter().zip(values).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::trial_rng;
+    use crate::stats::Stats;
+    use rand::Rng;
+    use std::convert::Infallible;
+
+    #[test]
+    fn insert_coalesces_spans() {
+        let mut s = TrialSpans::new();
+        for t in [3, 1, 0, 2] {
+            s.insert(t);
+        }
+        assert_eq!(s.to_pairs(), vec![(0, 4)]);
+        s.insert(6);
+        assert_eq!(s.to_pairs(), vec![(0, 4), (6, 7)]);
+        s.insert(5);
+        s.insert(4);
+        assert_eq!(s.to_pairs(), vec![(0, 7)]);
+        // Re-inserting is a no-op.
+        s.insert(2);
+        assert_eq!(s.to_pairs(), vec![(0, 7)]);
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn contains_and_missing_agree() {
+        let mut s = TrialSpans::new();
+        for t in [0, 1, 4, 5, 9] {
+            s.insert(t);
+        }
+        let missing = s.missing(11);
+        assert_eq!(missing, vec![2, 3, 6, 7, 8, 10]);
+        for t in 0..11 {
+            assert_eq!(s.contains(t), !missing.contains(&t), "trial {t}");
+        }
+        assert!(!s.contains(11));
+    }
+
+    #[test]
+    fn completeness() {
+        let mut s = TrialSpans::new();
+        assert!(s.is_complete(0));
+        assert!(!s.is_complete(3));
+        for t in 0..3 {
+            s.insert(t);
+        }
+        assert!(s.is_complete(3));
+        assert!(!s.is_complete(4));
+        assert!(s.missing(3).is_empty());
+    }
+
+    #[test]
+    fn pairs_round_trip_and_reject_corruption() {
+        let mut s = TrialSpans::new();
+        for t in [0, 1, 5, 7, 8] {
+            s.insert(t);
+        }
+        let pairs = s.to_pairs();
+        assert_eq!(TrialSpans::from_pairs(&pairs).unwrap(), s);
+        assert!(TrialSpans::from_pairs(&[(3, 3)]).is_err(), "empty span");
+        assert!(TrialSpans::from_pairs(&[(5, 2)]).is_err(), "inverted span");
+        assert!(
+            TrialSpans::from_pairs(&[(0, 4), (2, 6)]).is_err(),
+            "overlap"
+        );
+        assert!(
+            TrialSpans::from_pairs(&[(0, 4), (4, 6)]).is_err(),
+            "adjacent spans must be coalesced"
+        );
+        assert!(
+            TrialSpans::from_pairs(&[(4, 6), (0, 2)]).is_err(),
+            "unsorted"
+        );
+    }
+
+    #[test]
+    fn merge_unions() {
+        let a = TrialSpans::from_pairs(&[(0, 3), (8, 10)]).unwrap();
+        let mut b = TrialSpans::from_pairs(&[(2, 5), (10, 12)]).unwrap();
+        b.merge(&a);
+        assert_eq!(b.to_pairs(), vec![(0, 5), (8, 12)]);
+    }
+
+    #[test]
+    fn run_missing_runs_exactly_the_gaps() {
+        let done = TrialSpans::from_pairs(&[(0, 2), (5, 8)]).unwrap();
+        let fresh = run_missing_trials(10, 2, &done, |t| Ok::<u64, Infallible>(t * t)).unwrap();
+        assert_eq!(fresh, vec![(2, 4), (3, 9), (4, 16), (8, 64), (9, 81)]);
+    }
+
+    #[test]
+    fn run_missing_reports_the_real_trial_index() {
+        let done = TrialSpans::from_pairs(&[(0, 4)]).unwrap();
+        let err = run_missing_trials(8, 1, &done, |t| if t == 6 { Err("boom") } else { Ok(t) })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::Job {
+                trial: 6,
+                error: "boom"
+            }
+        );
+
+        let err = run_missing_trials(8, 1, &done, |t| {
+            if t == 5 {
+                panic!("injected");
+            }
+            Ok::<u64, Infallible>(t)
+        })
+        .unwrap_err();
+        match err {
+            SweepError::Panic(p) => assert_eq!(p.trial, 5),
+            other => panic!("expected panic, got {other:?}"),
+        }
+    }
+
+    /// The theorem behind `--resume`: an interrupted-and-resumed Welford
+    /// reduction is **bit-identical** to the uninterrupted one, because
+    /// trials are pure functions of their index and the merge replays
+    /// trial order exactly.
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted() {
+        const TRIALS: u64 = 64;
+        const SEED: u64 = 0x00C0_FFEE;
+        let sample = |trial: u64| -> f64 {
+            let mut rng = trial_rng(SEED, trial);
+            rng.gen_range(0.0_f64..10.0)
+        };
+
+        // Uninterrupted reference at one thread count...
+        let reference: Vec<f64> = (0..TRIALS).map(sample).collect();
+        let mut ref_stats = Stats::new();
+        for &x in &reference {
+            ref_stats.push(x);
+        }
+
+        for threads in [1, 2, 4] {
+            // ...versus a run killed after an arbitrary ragged prefix.
+            let mut done = TrialSpans::new();
+            let mut salvaged: Vec<(u64, f64)> = Vec::new();
+            for t in [0, 1, 2, 3, 10, 11, 40] {
+                done.insert(t);
+                salvaged.push((t, sample(t)));
+            }
+            let fresh =
+                run_missing_trials(TRIALS, threads, &done, |t| Ok::<f64, Infallible>(sample(t)))
+                    .unwrap();
+            let mut merged = salvaged.clone();
+            merged.extend(fresh);
+            merged.sort_unstable_by_key(|&(t, _)| t);
+
+            let values: Vec<f64> = merged.iter().map(|&(_, x)| x).collect();
+            // Bit-level equality, not approximate: to_bits comparison.
+            let as_bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(as_bits(&values), as_bits(&reference), "threads = {threads}");
+
+            let mut stats = Stats::new();
+            for &x in &values {
+                stats.push(x);
+            }
+            assert_eq!(
+                stats.mean.to_bits(),
+                ref_stats.mean.to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+}

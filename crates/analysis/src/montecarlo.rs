@@ -13,7 +13,7 @@
 //! thread count or scheduling — the reproducibility rule the HPC guides
 //! insist on.
 
-use crate::parallel::try_run_trials;
+use crate::parallel::{try_run_trials, SweepError, TrialPanic};
 use crate::stats::Stats;
 use cadapt_core::counters::{CounterSnapshot, Recording};
 use cadapt_core::{Blocks, BoxSource};
@@ -21,6 +21,49 @@ use cadapt_recursion::{run_on_profile, AbcParams, RunConfig, RunError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a Monte-Carlo estimate failed, keyed by the offending trial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McError {
+    /// A trial's execution returned a [`RunError`] (bad problem size, box
+    /// budget exhausted, …).
+    Run {
+        /// Index of the failing trial (smallest among the failures).
+        trial: u64,
+        /// The execution error.
+        error: RunError,
+    },
+    /// A trial panicked; the engine caught it at the trial boundary.
+    Panic(TrialPanic),
+}
+
+impl From<SweepError<RunError>> for McError {
+    fn from(e: SweepError<RunError>) -> McError {
+        match e {
+            SweepError::Job { trial, error } => McError::Run { trial, error },
+            SweepError::Panic(p) => McError::Panic(p),
+        }
+    }
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::Run { trial, error } => write!(f, "trial {trial} failed: {error}"),
+            McError::Panic(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl std::error::Error for McError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McError::Run { error, .. } => Some(error),
+            McError::Panic(p) => Some(p),
+        }
+    }
+}
 
 /// Monte-Carlo configuration.
 #[derive(Debug, Clone, Copy)]
@@ -90,19 +133,20 @@ pub fn trial_rng(seed: u64, trial: u64) -> ChaCha8Rng {
 ///     |rng| DistSource::new(PowerOfB::new(4, 0, 5), rng),
 /// )?;
 /// assert!(summary.ratio.mean < 3.0); // adaptive in expectation
-/// # Ok::<(), cadapt_recursion::RunError>(())
+/// # Ok::<(), cadapt_analysis::McError>(())
 /// ```
 ///
 /// # Errors
 ///
-/// Propagates the first [`RunError`] hit by any trial (bad problem size, or
-/// a trial exceeding the box budget).
+/// Returns the failure with the smallest trial index: a [`RunError`] from
+/// a trial's execution (bad problem size, box budget exhausted), or a
+/// caught trial panic — the pool survives either way.
 pub fn monte_carlo_ratio<S, F>(
     params: AbcParams,
     n: Blocks,
     config: &McConfig,
     make_source: F,
-) -> Result<McSummary, RunError>
+) -> Result<McSummary, McError>
 where
     S: BoxSource,
     F: Fn(ChaCha8Rng) -> S + Sync,
@@ -124,7 +168,8 @@ where
                 report.bounded_potential_sum,
             )
         })
-    })?;
+    })
+    .map_err(McError::from)?;
     let counters = recording.finish();
     let mut ratio = Stats::new();
     let mut boxes = Stats::new();
@@ -262,6 +307,14 @@ mod tests {
             DistSource::new(PointMass { size: 1 }, rng)
         })
         .unwrap_err();
-        assert!(matches!(err, RunError::BoxBudgetExhausted { .. }));
+        // Fail-fast with the smallest trial index: trial 0 loses first.
+        assert!(matches!(
+            err,
+            McError::Run {
+                trial: 0,
+                error: RunError::BoxBudgetExhausted { .. }
+            }
+        ));
+        assert!(err.to_string().contains("trial 0"));
     }
 }

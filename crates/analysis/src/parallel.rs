@@ -20,6 +20,16 @@
 //!   thread-locally and the totals are folded into the calling thread's
 //!   open [`Recording`] when the sweep finishes. Counter totals are
 //!   per-trial sums, so they too are independent of the schedule.
+//! * **Panic isolation.** Every trial body runs under
+//!   [`std::panic::catch_unwind`]: a panicking trial is reported as a
+//!   typed [`TrialPanic`] carrying its trial index, the worker keeps its
+//!   pool slot, and the other trials are unaffected. [`try_run_trials`]
+//!   surfaces the panic as [`SweepError::Panic`]; [`run_trials_isolated`]
+//!   returns a per-trial `Result` so callers (the fault-injection
+//!   harness, the engine's degrade-gracefully paths) can keep every
+//!   healthy trial. [`run_trials`] re-raises the panic on the calling
+//!   thread — its contract is infallible jobs, so a panic there is a
+//!   programming error that must stay loud.
 //!
 //! `cadapt-lint`'s `nondet-source` rule bans `thread::spawn` /
 //! `crossbeam` in every other library module, so new parallel code must
@@ -28,7 +38,9 @@
 use cadapt_core::cast;
 use cadapt_core::counters::{Recording, SharedCounters};
 use std::convert::Infallible;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Resolve a requested worker count: `0` means "available parallelism"
 /// (falling back to 1 if the host will not say).
@@ -41,6 +53,167 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// A trial that panicked, caught at the engine boundary: the trial index
+/// plus the rendered panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialPanic {
+    /// Index of the trial whose body panicked.
+    pub trial: u64,
+    /// The panic payload as text (`&str` / `String` payloads verbatim;
+    /// anything else is summarised).
+    pub message: String,
+}
+
+impl fmt::Display for TrialPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trial {} panicked: {}", self.trial, self.message)
+    }
+}
+
+impl std::error::Error for TrialPanic {}
+
+/// Why a fallible sweep stopped: a job's own error, or a caught panic.
+/// Either way the failing trial index is the **smallest** among the
+/// failures, not whichever worker lost the race.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError<E> {
+    /// A job returned its error type.
+    Job {
+        /// Index of the failing trial.
+        trial: u64,
+        /// The job's error.
+        error: E,
+    },
+    /// A job panicked; the panic was caught and the pool survived.
+    Panic(TrialPanic),
+}
+
+impl<E: fmt::Display> fmt::Display for SweepError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Job { trial, error } => write!(f, "trial {trial} failed: {error}"),
+            SweepError::Panic(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for SweepError<E> {}
+
+/// Render a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How one trial ended inside the engine.
+enum Outcome<E> {
+    Error(E),
+    Panicked(String),
+}
+
+/// One worker's haul: completed `(trial, value)` pairs plus the failures
+/// it observed (a panicking trial does not stop a non-fail-fast worker).
+type Haul<T, E> = (Vec<(u64, T)>, Vec<(u64, Outcome<E>)>);
+
+/// The shared work-stealing loop behind every public entry point.
+///
+/// Returns completed `(trial, value)` pairs and failures `(trial,
+/// outcome)` — both sorted by trial index. With `fail_fast`, workers stop
+/// claiming new trials once any failure is observed (the already-claimed
+/// trials still finish), so an early error does not burn the whole sweep.
+fn run_engine<T, E, F>(trials: u64, threads: usize, fail_fast: bool, run: &F) -> Haul<T, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64) -> Result<T, E> + Sync,
+{
+    let threads = resolve_threads(threads)
+        .min(cast::usize_from_u64(trials.max(1)))
+        .max(1);
+    let next_trial = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let shared_counters = SharedCounters::new();
+    let hauls: Vec<Haul<T, E>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next_trial;
+            let stop = &stop;
+            let counters = &shared_counters;
+            handles.push(scope.spawn(move |_| {
+                let recording = Recording::start();
+                let mut done: Vec<(u64, T)> = Vec::new();
+                let mut failed: Vec<(u64, Outcome<E>)> = Vec::new();
+                loop {
+                    if fail_fast && stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let trial = next.fetch_add(1, Ordering::Relaxed);
+                    if trial >= trials {
+                        break;
+                    }
+                    // AssertUnwindSafe: the closure only reads `Sync` state
+                    // and the counters are atomics — a panicking trial
+                    // cannot leave either torn, and its own partial work is
+                    // discarded with the unwound stack.
+                    match catch_unwind(AssertUnwindSafe(|| run(trial))) {
+                        Ok(Ok(value)) => done.push((trial, value)),
+                        Ok(Err(e)) => {
+                            failed.push((trial, Outcome::Error(e)));
+                            if fail_fast {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        Err(payload) => {
+                            failed
+                                .push((trial, Outcome::Panicked(panic_message(payload.as_ref()))));
+                            if fail_fast {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                counters.add(&recording.finish());
+                (done, failed)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(haul) => haul,
+                // Workers catch trial panics themselves; a panic escaping a
+                // worker means the engine's own bookkeeping is broken.
+                // cadapt-lint: allow(no-panic-lib) -- engine-internal invariant: worker bodies cannot unwind past catch_unwind
+                Err(payload) => panic!(
+                    "engine worker panicked: {}",
+                    panic_message(payload.as_ref())
+                ),
+            })
+            .collect()
+    })
+    // cadapt-lint: allow(no-panic-lib) -- engine-internal invariant: the scope closure above does not panic
+    .expect("scope panicked");
+
+    // Make the workers' counts visible to the caller's own recording (a
+    // per-trial sum, hence schedule-independent) before any early return.
+    let totals = shared_counters.snapshot();
+    cadapt_core::counters::count_snapshot(&totals);
+
+    let mut done: Vec<(u64, T)> = Vec::new();
+    let mut failed: Vec<(u64, Outcome<E>)> = Vec::new();
+    for (d, f) in hauls {
+        done.extend(d);
+        failed.extend(f);
+    }
+    done.sort_unstable_by_key(|&(trial, _)| trial);
+    failed.sort_unstable_by_key(|&(trial, _)| trial);
+    (done, failed)
+}
+
 /// Run `trials` independent jobs over `threads` workers (0 = available
 /// parallelism) and return their results **in trial order**.
 ///
@@ -50,6 +223,13 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// let squares = run_trials(8, 2, |trial| trial * trial);
 /// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 /// ```
+///
+/// # Panics
+///
+/// A panicking job is caught at the engine boundary (the pool survives)
+/// and re-raised here with its trial index — infallible jobs that panic
+/// are programming errors. Use [`run_trials_isolated`] to keep the
+/// healthy trials instead.
 pub fn run_trials<T, F>(trials: u64, threads: usize, run: F) -> Vec<T>
 where
     T: Send,
@@ -57,12 +237,18 @@ where
 {
     match try_run_trials(trials, threads, |trial| Ok::<T, Infallible>(run(trial))) {
         Ok(results) => results,
-        Err(never) => match never {},
+        Err(SweepError::Job { error, .. }) => match error {},
+        // cadapt-lint: allow(no-panic-lib) -- re-raising an isolated panic with its trial index is this entry point's documented contract
+        Err(SweepError::Panic(p)) => panic!("{p}"),
     }
 }
 
 /// [`run_trials`] over `usize` indices — the shape `cadapt-bench` uses to
 /// shard registry entries.
+///
+/// # Panics
+///
+/// As [`run_trials`]: re-raises a job panic with its index.
 pub fn run_indexed<T, F>(jobs: usize, threads: usize, run: F) -> Vec<T>
 where
     T: Send,
@@ -73,90 +259,74 @@ where
     })
 }
 
-/// Fallible [`run_trials`]: the first job error — "first" meaning the
+/// Fallible [`run_trials`]: the first failure — "first" meaning the
 /// **smallest trial index** among the failures, not whichever worker lost
-/// the race — aborts the sweep and is returned.
+/// the race — aborts the sweep and is returned. A caught panic is a
+/// failure like any other, surfaced as [`SweepError::Panic`] instead of
+/// poisoning the pool.
 ///
 /// Worker counter totals are folded into the caller's open [`Recording`]
 /// even on the error path, so partial sweeps stay observable.
 ///
 /// # Errors
 ///
-/// Returns the failing job's error with the smallest trial index.
-pub fn try_run_trials<T, E, F>(trials: u64, threads: usize, run: F) -> Result<Vec<T>, E>
+/// Returns the failing job's [`SweepError`] with the smallest trial index.
+pub fn try_run_trials<T, E, F>(trials: u64, threads: usize, run: F) -> Result<Vec<T>, SweepError<E>>
 where
     T: Send,
     E: Send,
     F: Fn(u64) -> Result<T, E> + Sync,
 {
-    let threads = resolve_threads(threads)
-        .min(cast::usize_from_u64(trials.max(1)))
-        .max(1);
-    let next_trial = AtomicU64::new(0);
-    let shared_counters = SharedCounters::new();
-    let run = &run;
-    // A worker's haul: completed (trial, value) pairs, plus the failure
-    // that stopped it, if any.
-    type Haul<T, E> = (Vec<(u64, T)>, Option<(u64, E)>);
-    let hauls: Vec<Haul<T, E>> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next_trial;
-            let counters = &shared_counters;
-            handles.push(scope.spawn(move |_| {
-                let recording = Recording::start();
-                let mut done: Vec<(u64, T)> = Vec::new();
-                let mut failed: Option<(u64, E)> = None;
-                loop {
-                    let trial = next.fetch_add(1, Ordering::Relaxed);
-                    if trial >= trials {
-                        break;
-                    }
-                    match run(trial) {
-                        Ok(value) => done.push((trial, value)),
-                        Err(e) => {
-                            failed = Some((trial, e));
-                            break;
-                        }
-                    }
-                }
-                counters.add(&recording.finish());
-                (done, failed)
+    let (done, mut failed) = run_engine(trials, threads, true, &run);
+    if let Some((trial, outcome)) = failed.drain(..).next() {
+        return Err(match outcome {
+            Outcome::Error(error) => SweepError::Job { trial, error },
+            Outcome::Panicked(message) => SweepError::Panic(TrialPanic { trial, message }),
+        });
+    }
+    Ok(done.into_iter().map(|(_, value)| value).collect())
+}
+
+/// Run **all** `trials` jobs, isolating panics per trial: the result is
+/// one `Result` per trial, in trial order, where a panicked trial carries
+/// its [`TrialPanic`] and every other trial's value survives. This is the
+/// degrade-gracefully entry point: one poisoned trial costs one slot in
+/// the output, never the sweep.
+pub fn run_trials_isolated<T, F>(trials: u64, threads: usize, run: F) -> Vec<Result<T, TrialPanic>>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let (done, failed) = run_engine(trials, threads, false, &|trial| {
+        Ok::<T, Infallible>(run(trial))
+    });
+    let mut out: Vec<Result<T, TrialPanic>> = Vec::with_capacity(cast::usize_from_u64(trials));
+    let mut done = done.into_iter().peekable();
+    let mut failed = failed.into_iter().peekable();
+    for trial in 0..trials {
+        if done.peek().is_some_and(|&(t, _)| t == trial) {
+            // cadapt-lint: allow(no-panic-lib) -- peek above guarantees the entry exists
+            let (_, value) = done.next().expect("peeked");
+            out.push(Ok(value));
+        } else if failed.peek().is_some_and(|&(t, _)| t == trial) {
+            // cadapt-lint: allow(no-panic-lib) -- peek above guarantees the entry exists
+            let (_, outcome) = failed.next().expect("peeked");
+            let message = match outcome {
+                Outcome::Panicked(message) => message,
+                // Infallible jobs cannot produce Outcome::Error.
+                Outcome::Error(never) => match never {},
+            };
+            out.push(Err(TrialPanic { trial, message }));
+        } else {
+            // Non-fail-fast engines claim every index; a gap is an engine
+            // bug, reported as a synthetic panic rather than an abort.
+            out.push(Err(TrialPanic {
+                trial,
+                message: "trial missing from engine output".to_string(),
             }));
         }
-        handles
-            .into_iter()
-            // cadapt-lint: allow(no-panic-lib) -- worker panics are programming errors; re-raising them is the error policy
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    // cadapt-lint: allow(no-panic-lib) -- worker panics are programming errors; re-raising them is the error policy
-    .expect("scope panicked");
-
-    // Make the workers' counts visible to the caller's own recording (a
-    // per-trial sum, hence schedule-independent) before any early return.
-    let totals = shared_counters.snapshot();
-    cadapt_core::counters::count_snapshot(&totals);
-
-    let mut results: Vec<(u64, T)> = Vec::with_capacity(cast::usize_from_u64(trials));
-    let mut first_failure: Option<(u64, E)> = None;
-    for (done, failed) in hauls {
-        results.extend(done);
-        if let Some((trial, e)) = failed {
-            let earlier = match &first_failure {
-                None => true,
-                Some((t, _)) => trial < *t,
-            };
-            if earlier {
-                first_failure = Some((trial, e));
-            }
-        }
     }
-    if let Some((_, e)) = first_failure {
-        return Err(e);
-    }
-    results.sort_unstable_by_key(|&(trial, _)| trial);
-    Ok(results.into_iter().map(|(_, value)| value).collect())
+    out
 }
 
 #[cfg(test)]
@@ -191,7 +361,11 @@ mod tests {
         for threads in [1, 3, 8] {
             let err = try_run_trials(64, threads, |t| if t % 10 == 7 { Err(t) } else { Ok(t) })
                 .unwrap_err();
-            assert_eq!(err, 7, "threads = {threads}");
+            assert_eq!(
+                err,
+                SweepError::Job { trial: 7, error: 7 },
+                "threads = {threads}"
+            );
         }
     }
 
@@ -218,5 +392,77 @@ mod tests {
     #[test]
     fn run_indexed_orders_like_run_trials() {
         assert_eq!(run_indexed(5, 2, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn a_panicking_trial_surfaces_as_a_typed_sweep_error() {
+        for threads in [1, 2, 4] {
+            let err = try_run_trials(16, threads, |t| {
+                if t == 5 {
+                    panic!("injected: trial five is cursed");
+                }
+                Ok::<u64, ()>(t)
+            })
+            .unwrap_err();
+            match err {
+                SweepError::Panic(p) => {
+                    assert_eq!(p.trial, 5, "threads = {threads}");
+                    assert!(p.message.contains("cursed"), "message: {}", p.message);
+                }
+                other => panic!("expected a panic error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_sweep_keeps_every_healthy_trial() {
+        for threads in [1, 2, 4] {
+            let results = run_trials_isolated(12, threads, |t| {
+                assert!(t % 5 != 3, "injected: trial {t}");
+                t * 10
+            });
+            assert_eq!(results.len(), 12);
+            for (t, r) in results.iter().enumerate() {
+                let t = t as u64;
+                if t % 5 == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.trial, t);
+                    assert!(p.message.contains("injected"), "message: {}", p.message);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), t * 10, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_fold_even_when_a_trial_panics() {
+        let rec = Recording::start();
+        let results = run_trials_isolated(8, 2, |t| {
+            count_boxes(2);
+            assert!(t != 4, "injected");
+            t
+        });
+        // Every trial counted before its panic point; totals stay exact.
+        assert_eq!(rec.finish().boxes_advanced, 16);
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn sweep_error_and_trial_panic_render() {
+        let p = TrialPanic {
+            trial: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(p.to_string(), "trial 3 panicked: boom");
+        let e: SweepError<&str> = SweepError::Job {
+            trial: 1,
+            error: "bad",
+        };
+        assert_eq!(e.to_string(), "trial 1 failed: bad");
+        assert_eq!(
+            SweepError::<&str>::Panic(p).to_string(),
+            "trial 3 panicked: boom"
+        );
     }
 }

@@ -23,9 +23,9 @@
 //!   box size.
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::montecarlo::trial_rng;
-use cadapt_analysis::parallel::run_trials;
+use cadapt_analysis::parallel::try_run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{monte_carlo_ratio, McConfig, Stats, Table};
 use cadapt_profiles::dist::{DistSource, EmpiricalMultiset, PermutationSource, PowerOfB};
@@ -69,22 +69,22 @@ impl<S: cadapt_core::BoxSource> cadapt_core::BoxSource for Augmented<S> {
 /// Run all ablations (MM-Scan throughout) with the default thread budget
 /// (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any run fails.
-#[must_use]
-pub fn run(scale: Scale) -> AblationResult {
+/// Propagates construction, execution, or Monte-Carlo failures as typed
+/// errors.
+pub fn run(scale: Scale) -> Result<AblationResult, BenchError> {
     run_threaded(scale, 0)
 }
 
 /// Run all ablations with an explicit worker budget for the trial
 /// fan-outs (0 = available parallelism).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any run fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
+/// Propagates construction, execution, or Monte-Carlo failures as typed
+/// errors.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<AblationResult, BenchError> {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(24, 64);
     // k_hi = 6 gives the sweep five points (four increments) even at Quick
@@ -101,7 +101,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
     let mut iid_points = Vec::new();
     let mut perm_points = Vec::new();
     for &n in &sizes {
-        let wc = WorstCase::for_problem(&params, n).expect("canonical");
+        let wc = WorstCase::for_problem(&params, n)?;
         let dist = EmpiricalMultiset::from_counts(&wc.box_multiset(), "iid");
         let config = McConfig {
             trials,
@@ -110,8 +110,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
             ..McConfig::default()
         };
         let summary =
-            monte_carlo_ratio(params, n, &config, |rng| DistSource::new(dist.clone(), rng))
-                .expect("mc run");
+            monte_carlo_ratio(params, n, &config, |rng| DistSource::new(dist.clone(), rng))?;
         shuffle_table.push_row(vec![
             "iid multiset".to_string(),
             n.to_string(),
@@ -121,13 +120,12 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
         iid_points.push((log_b(&params, n), summary.ratio.mean));
 
         let profile = worst_case_squares(&wc);
-        let ratios = run_trials(trials, threads, |trial| {
+        let ratios = try_run_trials(trials, threads, |trial| {
             let rng = trial_rng(0xA1A, trial);
             let mut source = PermutationSource::new(&profile, rng);
-            run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes")
-                .ratio()
-        });
+            run_on_profile(params, n, &mut source, &RunConfig::default()).map(|r| r.ratio())
+        })
+        .map_err(|e| BenchError::from_sweep(&format!("A1 permutation n={n}"), e))?;
         let mut stats = Stats::new();
         for ratio in ratios {
             stats.push(ratio);
@@ -159,14 +157,12 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
         let p = params.with_layout(layout);
         let mut points = Vec::new();
         for &n in &sizes {
-            let mut matched = MatchedWorstCase::new(p, n).expect("canonical");
-            let report =
-                run_on_profile(p, n, &mut matched, &RunConfig::default()).expect("run completes");
+            let mut matched = MatchedWorstCase::new(p, n)?;
+            let report = run_on_profile(p, n, &mut matched, &RunConfig::default())?;
             // Contrast: the canonical end-scan profile against this layout.
-            let wc = WorstCase::for_problem(&params, n).expect("canonical");
+            let wc = WorstCase::for_problem(&params, n)?;
             let mut end_source = wc.source();
-            let end_report = run_on_profile(p, n, &mut end_source, &RunConfig::default())
-                .expect("run completes");
+            let end_report = run_on_profile(p, n, &mut end_source, &RunConfig::default())?;
             layout_table.push_row(vec![
                 label.to_string(),
                 n.to_string(),
@@ -196,7 +192,9 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
     for (model, augment, aug_label) in configs {
         let mut points = Vec::new();
         for &n in &sizes {
-            let k_max = params.depth_of(n).expect("canonical");
+            let k_max = params
+                .depth_of(n)
+                .ok_or_else(|| BenchError::invariant(format!("A3: {n} is not a canonical size")))?;
             let dist = PowerOfB::new(4, 0, k_max);
             let config = McConfig {
                 trials,
@@ -210,8 +208,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
             let summary = monte_carlo_ratio(params, n, &config, |rng| Augmented {
                 inner: DistSource::new(dist, rng),
                 factor: augment,
-            })
-            .expect("mc run");
+            })?;
             model_table.push_row(vec![
                 model.label(),
                 aug_label.to_string(),
@@ -239,12 +236,15 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
             if n <= s_min * 16 {
                 continue;
             }
-            let depth = params.depth_of(n).expect("canonical")
-                - params.depth_of(s_min).expect("power of four");
-            let wc = WorstCase::new(8, 4, s_min, depth).expect("valid");
+            let depth_n = params
+                .depth_of(n)
+                .ok_or_else(|| BenchError::invariant(format!("A4: {n} is not a canonical size")))?;
+            let depth_min = params.depth_of(s_min).ok_or_else(|| {
+                BenchError::invariant(format!("A4: min box {s_min} is not a power of four"))
+            })?;
+            let wc = WorstCase::new(8, 4, s_min, depth_n - depth_min)?;
             let mut source = wc.source();
-            let report = run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes");
+            let report = run_on_profile(params, n, &mut source, &RunConfig::default())?;
             min_box_table.push_row(vec![s_min.to_string(), n.to_string(), fnum(report.ratio())]);
             points.push((log_b(&params, n), report.ratio()));
         }
@@ -253,7 +253,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
         }
     }
 
-    AblationResult {
+    Ok(AblationResult {
         shuffle_table,
         shuffle_series,
         layout_table,
@@ -262,7 +262,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> AblationResult {
         model_series,
         min_box_table,
         min_box_series,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -272,7 +272,7 @@ mod tests {
 
     #[test]
     fn both_shuffle_granularities_flatten() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("ablations run");
         for s in &result.shuffle_series {
             assert_ne!(s.class, GrowthClass::Logarithmic, "{}", s.label);
         }
@@ -280,7 +280,7 @@ mod tests {
 
     #[test]
     fn posterior_scan_layouts_keep_the_gap() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("ablations run");
         for s in &result.layout_series {
             let expected = if s.label == "start" {
                 // Upfront scans defeat the adversary (see module docs).
@@ -294,7 +294,7 @@ mod tests {
 
     #[test]
     fn models_agree_on_smoothed_profiles_up_to_augmentation() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("ablations run");
         let by_label = |needle: &str| {
             result
                 .model_series
@@ -331,7 +331,7 @@ mod tests {
 
     #[test]
     fn min_box_size_does_not_matter() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("ablations run");
         for s in &result.min_box_series {
             assert_eq!(s.class, GrowthClass::Logarithmic, "{}", s.label);
         }
@@ -352,8 +352,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         false // compared by CI overlap: goldens stay robust to trial-count retunings
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let mut metrics = Vec::new();
         for series in &result.shuffle_series {
             crate::harness::push_series(&mut metrics, "a1", series);
@@ -367,7 +367,7 @@ impl crate::harness::Experiment for Exp {
         for series in &result.min_box_series {
             crate::harness::push_series(&mut metrics, "a4", series);
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![
                 result.shuffle_table.render(),
@@ -375,6 +375,6 @@ impl crate::harness::Experiment for Exp {
                 result.model_table.render(),
                 result.min_box_table.render(),
             ],
-        }
+        })
     }
 }

@@ -8,9 +8,9 @@
 //! profile built from exactly the same range of box sizes.
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::montecarlo::trial_rng;
-use cadapt_analysis::parallel::run_trials;
+use cadapt_analysis::parallel::try_run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_profiles::contention::multi_tenant;
@@ -28,11 +28,10 @@ pub struct E10Result {
 
 /// Run E10 with the default thread budget (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run(scale: Scale) -> E10Result {
+/// Propagates a failed trial, keyed by its trial index.
+pub fn run(scale: Scale) -> Result<E10Result, BenchError> {
     run_threaded(scale, 0)
 }
 
@@ -40,11 +39,10 @@ pub fn run(scale: Scale) -> E10Result {
 /// parallelism). Bit-identical at any thread count: per-trial seeded RNG
 /// plus trial-ordered reduction.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> E10Result {
+/// Propagates a failed trial, keyed by its trial index.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<E10Result, BenchError> {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(8, 32);
     let k_hi = scale.pick(5, 7);
@@ -59,14 +57,13 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E10Result {
         // The profile is deterministic (memoized process-wide); vary the
         // phase by rotating.
         let squares = sawtooth_squares(1, n, u128::from(n), 16 * u128::from(n));
-        let ratios = run_trials(trials, threads, |trial| {
+        let ratios = try_run_trials(trials, threads, |trial| {
             let mut rng = trial_rng(0xE10, trial);
             let shifted = cadapt_profiles::perturb::random_cyclic_shift(&squares, &mut rng);
             let mut source = shifted.cycle();
-            run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes")
-                .ratio()
-        });
+            run_on_profile(params, n, &mut source, &RunConfig::default()).map(|r| r.ratio())
+        })
+        .map_err(|e| BenchError::from_sweep(&format!("E10 sawtooth n={n}"), e))?;
         let mut stats = Stats::new();
         for ratio in ratios {
             stats.push(ratio);
@@ -81,7 +78,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E10Result {
 
         // Multi-tenant fair sharing with churn (profile is per-trial
         // random, so there is nothing to memoize).
-        let ratios = run_trials(trials, threads, |trial| {
+        let ratios = try_run_trials(trials, threads, |trial| {
             let mut rng = trial_rng(0x10E, trial);
             let profile = multi_tenant(
                 2 * n,
@@ -93,10 +90,9 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E10Result {
             );
             let squares = profile.inner_squares();
             let mut source = squares.cycle();
-            run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes")
-                .ratio()
-        });
+            run_on_profile(params, n, &mut source, &RunConfig::default()).map(|r| r.ratio())
+        })
+        .map_err(|e| BenchError::from_sweep(&format!("E10 multi-tenant n={n}"), e))?;
         let mut stats = Stats::new();
         for ratio in ratios {
             stats.push(ratio);
@@ -113,7 +109,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E10Result {
         RatioSeries::classify("sawtooth", sawtooth_points),
         RatioSeries::classify("multi-tenant", tenant_points),
     ];
-    E10Result { table, series }
+    Ok(E10Result { table, series })
 }
 
 #[cfg(test)]
@@ -123,7 +119,7 @@ mod tests {
 
     #[test]
     fn contention_profiles_are_not_adversarial() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e10 runs");
         for s in &result.series {
             assert_ne!(
                 s.class,
@@ -152,15 +148,15 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

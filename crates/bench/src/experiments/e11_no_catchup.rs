@@ -6,9 +6,9 @@
 //! count of checked instances (all of which must hold — a violation is a
 //! simulator bug, not a finding about the paper).
 
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::montecarlo::trial_rng;
-use cadapt_analysis::parallel::run_trials;
+use cadapt_analysis::parallel::{try_run_trials, SweepError};
 use cadapt_analysis::Table;
 use cadapt_core::cast;
 use cadapt_recursion::no_catchup::final_positions;
@@ -28,11 +28,10 @@ pub struct E11Result {
 
 /// Run E11 with the default thread budget (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an execution fails.
-#[must_use]
-pub fn run(scale: Scale) -> E11Result {
+/// Propagates a failed instance, keyed by its trial index.
+pub fn run(scale: Scale) -> Result<E11Result, BenchError> {
     run_threaded(scale, 0)
 }
 
@@ -40,11 +39,10 @@ pub fn run(scale: Scale) -> E11Result {
 /// parallelism). Bit-identical at any thread count: per-instance seeded
 /// RNG plus instance-ordered reduction.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an execution fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> E11Result {
+/// Propagates a failed instance, keyed by its trial index.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<E11Result, BenchError> {
     let instances = scale.pick(200, 2000);
     let mut table = Table::new(
         "E11: No-Catch-up Lemma — randomized instances checked",
@@ -59,14 +57,14 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E11Result {
     ] {
         let n = params.canonical_size(k);
         for model in [ExecModel::Simplified, ExecModel::capacity()] {
-            let violated = run_trials(instances, threads, |i| {
+            let violated = try_run_trials(instances, threads, |i| {
                 let mut rng = trial_rng(0xE11, i);
                 let len = rng.gen_range(1..60);
                 let boxes: Vec<u64> = (0..len).map(|_| rng.gen_range(1..=2 * n)).collect();
                 let s1 = rng.gen_range(0..4 * n);
                 let s2 = rng.gen_range(0..4 * n);
                 let (early, late) = (s1.min(s2), s1.max(s2));
-                let (pe, pl) = final_positions(
+                final_positions(
                     params,
                     n,
                     &boxes,
@@ -74,9 +72,14 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E11Result {
                     u128::from(late),
                     model,
                 )
-                .expect("execution runs");
-                pe > pl
-            });
+                .map(|(pe, pl)| pe > pl)
+            })
+            .map_err(|e| match e {
+                SweepError::Job { error, .. } => BenchError::Core(error),
+                SweepError::Panic(p) => {
+                    BenchError::from_trial_panic(&format!("E11 {label} instances"), p)
+                }
+            })?;
             checked += instances;
             let local_violations = cast::u64_from_usize(violated.iter().filter(|&&v| v).count());
             violations += local_violations;
@@ -88,11 +91,11 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E11Result {
             ]);
         }
     }
-    E11Result {
+    Ok(E11Result {
         table,
         checked,
         violations,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -101,7 +104,7 @@ mod tests {
 
     #[test]
     fn no_violations_ever() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e11 runs");
         assert!(result.checked >= 1000);
         assert_eq!(result.violations, 0, "No-Catch-up Lemma violated!");
     }
@@ -121,15 +124,15 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // per-instance RNG + instance-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let metrics = vec![
             crate::harness::metric("instances_checked", result.checked as f64),
             crate::harness::metric("violations", result.violations as f64),
         ];
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

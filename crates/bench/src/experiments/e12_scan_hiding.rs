@@ -14,7 +14,7 @@
 //! introduces overhead").
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::Table;
 use cadapt_profiles::{MatchedWorstCase, WorstCase};
@@ -34,11 +34,10 @@ pub struct E12Result {
 
 /// Run E12.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run(scale: Scale) -> E12Result {
+/// Propagates construction or execution failures as typed errors.
+pub fn run(scale: Scale) -> Result<E12Result, BenchError> {
     let mut table = Table::new(
         "E12: scan-hiding — worst-case ratio before and after the transformation",
         &["algorithm", "n", "original", "scan-hidden", "work overhead"],
@@ -50,7 +49,7 @@ pub fn run(scale: Scale) -> E12Result {
         ("Strassen (7,4,1)", AbcParams::strassen()),
         ("CO-DP (3,2,1)", AbcParams::co_dp()),
     ] {
-        let hidden = params.scan_hidden().expect("gap regime");
+        let hidden = params.scan_hidden()?;
         let k_hi = if params.b() == 2 {
             scale.pick(11, 13)
         } else {
@@ -63,26 +62,22 @@ pub fn run(scale: Scale) -> E12Result {
         let mut orig_points = Vec::new();
         let mut hidden_points = Vec::new();
         let mut overhead = 0.0;
-        for k in size_sweep(&params, 2, k_hi, u64::MAX)
-            .iter()
-            .map(|&n| params.depth_of(n).expect("canonical"))
-        {
+        for sweep_n in size_sweep(&params, 2, k_hi, u64::MAX) {
+            let k = params.depth_of(sweep_n).ok_or_else(|| {
+                BenchError::invariant(format!("E12 {label}: {sweep_n} is not a canonical size"))
+            })?;
             let n = params.canonical_size(k);
             // Original on its own adversary.
-            let wc = WorstCase::for_problem(&params, n).expect("canonical");
+            let wc = WorstCase::for_problem(&params, n)?;
             let mut source = wc.source();
-            let orig = run_on_profile(params, n, &mut source, &config).expect("run completes");
+            let orig = run_on_profile(params, n, &mut source, &config)?;
             // Transformed algorithm on the adversary matched to *it*
             // (same recursion depth; base cases grown by the hidden work).
             let hn = hidden.canonical_size(k);
-            let mut matched = MatchedWorstCase::new(hidden, hn).expect("canonical");
-            let hid = run_on_profile(hidden, hn, &mut matched, &config).expect("run completes");
-            overhead = ClosedForms::for_size(hidden, hn)
-                .expect("canonical")
-                .total_time() as f64
-                / ClosedForms::for_size(params, n)
-                    .expect("canonical")
-                    .total_time() as f64;
+            let mut matched = MatchedWorstCase::new(hidden, hn)?;
+            let hid = run_on_profile(hidden, hn, &mut matched, &config)?;
+            overhead = ClosedForms::for_size(hidden, hn)?.total_time() as f64
+                / ClosedForms::for_size(params, n)?.total_time() as f64;
             table.push_row(vec![
                 label.to_string(),
                 n.to_string(),
@@ -99,11 +94,11 @@ pub fn run(scale: Scale) -> E12Result {
         ));
         overheads.push((label.to_string(), overhead));
     }
-    E12Result {
+    Ok(E12Result {
         table,
         series,
         overheads,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -113,7 +108,7 @@ mod tests {
 
     #[test]
     fn scan_hiding_closes_the_worst_case_gap() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e12 runs");
         for (orig, hidden) in &result.series {
             assert_eq!(
                 orig.class,
@@ -138,7 +133,7 @@ mod tests {
 
     #[test]
     fn overhead_is_a_small_constant() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e12 runs");
         for (label, overhead) in &result.overheads {
             assert!(
                 (1.0..2.5).contains(overhead),
@@ -162,8 +157,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // worst-case profiles, no randomness
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run(ctx.scale);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run(ctx.scale)?;
         let mut metrics = Vec::new();
         for (original, hidden) in &result.series {
             crate::harness::push_series(&mut metrics, "original", original);
@@ -175,9 +170,9 @@ impl crate::harness::Experiment for Exp {
                 *overhead,
             ));
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

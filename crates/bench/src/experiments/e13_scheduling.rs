@@ -17,9 +17,9 @@
 //! * equal shares are near-perfectly fair; winner-take-all is not —
 //!   quantifying the Dice et al. pathology the intro cites.
 
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::montecarlo::trial_rng;
-use cadapt_analysis::parallel::run_trials;
+use cadapt_analysis::parallel::{try_run_trials, SweepError};
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_recursion::AbcParams;
@@ -72,11 +72,10 @@ fn mixes(n: u64) -> Vec<(&'static str, Vec<JobSpec>)> {
 
 /// Run E13 with the default thread budget (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a schedule fails.
-#[must_use]
-pub fn run(scale: Scale) -> E13Result {
+/// Propagates a failed schedule as a typed error.
+pub fn run(scale: Scale) -> Result<E13Result, BenchError> {
     run_threaded(scale, 0)
 }
 
@@ -84,11 +83,10 @@ pub fn run(scale: Scale) -> E13Result {
 /// parallelism). Bit-identical at any thread count: per-trial seeded RNG
 /// plus trial-ordered reduction.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a schedule fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> E13Result {
+/// Propagates a failed schedule as a typed error.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<E13Result, BenchError> {
     let n = scale.pick(1u64 << 10, 1 << 14);
     let total_cache = n / 2; // contended: half of one job's footprint
     let trials = scale.pick(4u64, 16);
@@ -107,10 +105,10 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E13Result {
             total_cache: (total_cache / specs.len() as u64).max(1),
             ..config
         };
-        let baseline: u128 = specs
-            .iter()
-            .map(|&s| run_alone(s, share_config).expect("baseline runs").bus_io)
-            .sum();
+        let mut baseline: u128 = 0;
+        for &s in &specs {
+            baseline += run_alone(s, share_config)?.bus_io;
+        }
         let run_policy = |result: cadapt_sched::ScheduleResult| -> (f64, f64, f64) {
             (
                 result.bus_io as f64 / baseline as f64,
@@ -120,25 +118,23 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E13Result {
         };
         // Deterministic policies once; churn averaged over trials.
         let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
-        let equal = Scheduler::new(&specs, EqualShares, config)
-            .expect("admits")
-            .run()
-            .expect("completes");
+        let equal = Scheduler::new(&specs, EqualShares, config)?.run()?;
         let (o, f, w) = run_policy(equal);
         rows.push(("equal-shares".into(), o, f, w));
-        let wta = Scheduler::new(&specs, WinnerTakeAll { reign: 8 }, config)
-            .expect("admits")
-            .run()
-            .expect("completes");
+        let wta = Scheduler::new(&specs, WinnerTakeAll { reign: 8 }, config)?.run()?;
         let (o, f, w) = run_policy(wta);
         rows.push(("winner-take-all(8)".into(), o, f, w));
-        let churn_outcomes = run_trials(trials, threads, |trial| {
-            let churn = Scheduler::new(&specs, ChurnShares::new(trial_rng(0xE13, trial)), config)
-                .expect("admits")
+        let churn_outcomes = try_run_trials(trials, threads, |trial| {
+            Scheduler::new(&specs, ChurnShares::new(trial_rng(0xE13, trial)), config)?
                 .run()
-                .expect("completes");
-            run_policy(churn)
-        });
+                .map(&run_policy)
+        })
+        .map_err(|e| match e {
+            SweepError::Job { error, .. } => BenchError::Core(error),
+            SweepError::Panic(p) => {
+                BenchError::from_trial_panic(&format!("E13 {mix_label} churn"), p)
+            }
+        })?;
         let mut o_stats = Stats::new();
         let mut f_stats = Stats::new();
         let mut w_stats = Stats::new();
@@ -165,7 +161,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E13Result {
             });
         }
     }
-    E13Result { table, cells }
+    Ok(E13Result { table, cells })
 }
 
 #[cfg(test)]
@@ -186,7 +182,7 @@ mod tests {
         // freely. Overhead vs the static fair-share baseline stays near 1
         // for every mix × policy (the √k sharing cost is already in the
         // baseline; what's measured here is purely the cost of dynamics).
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e13 runs");
         for c in &result.cells {
             assert!(
                 (0.4..2.0).contains(&c.overhead),
@@ -202,7 +198,7 @@ mod tests {
     fn emergent_profiles_are_never_adversarial() {
         // log_4(n)+1 would be the adversarial ratio; emergent allocation
         // patterns stay far below it for every job in every schedule.
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e13 runs");
         let adversarial = 6.0; // log_4(1024) + 1 at quick scale
         for c in &result.cells {
             assert!(
@@ -217,7 +213,7 @@ mod tests {
 
     #[test]
     fn equal_shares_are_fair_and_winner_take_all_is_not() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e13 runs");
         for mix in ["4x MM-Inplace", "4x MM-Scan"] {
             let equal = cell(&result, mix, "equal-shares");
             assert!(equal.fairness > 0.95, "{mix}: fairness {}", equal.fairness);
@@ -246,8 +242,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let mut metrics = Vec::new();
         for cell in &result.cells {
             let base = format!("{}/{}", cell.mix, cell.policy);
@@ -264,9 +260,9 @@ impl crate::harness::Experiment for Exp {
                 cell.worst_ratio,
             ));
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

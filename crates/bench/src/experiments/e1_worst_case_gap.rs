@@ -9,7 +9,7 @@
 //! * (8, 4, 0) MM-Inplace on the *same* profile: ratio stays Θ(1).
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::Table;
 use cadapt_profiles::WorstCase;
@@ -52,11 +52,11 @@ fn algorithms() -> Vec<(&'static str, AbcParams, AbcParams)> {
 
 /// Run E1.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails (cannot happen for the canonical configurations).
-#[must_use]
-pub fn run(scale: Scale) -> E1Result {
+/// Propagates construction or execution failures as typed errors (cannot
+/// happen for the canonical configurations).
+pub fn run(scale: Scale) -> Result<E1Result, BenchError> {
     let n_cap = scale.pick(1 << 16, 1 << 18);
     let mut table = Table::new(
         "E1: adaptivity ratio on the recursive worst-case profile",
@@ -67,7 +67,7 @@ pub fn run(scale: Scale) -> E1Result {
         let k_hi = scale.pick(8, 9);
         let mut points = Vec::new();
         for n in size_sweep(&donor, 2, k_hi, n_cap) {
-            let wc = WorstCase::for_problem(&donor, n).expect("canonical size");
+            let wc = WorstCase::for_problem(&donor, n)?;
             let mut source = wc.source();
             // The block-capacity model: tight for the c = 1 profiles (each
             // box lands exactly on its matching scan) and fair to
@@ -77,7 +77,7 @@ pub fn run(scale: Scale) -> E1Result {
                 model: ExecModel::capacity(),
                 ..RunConfig::default()
             };
-            let report = run_on_profile(params, n, &mut source, &config).expect("run completes");
+            let report = run_on_profile(params, n, &mut source, &config)?;
             let predicted = if params.in_gap_regime() {
                 format!("{} (log_b n + 1)", fnum(log_b(&params, n) + 1.0))
             } else {
@@ -95,7 +95,7 @@ pub fn run(scale: Scale) -> E1Result {
         }
         series.push(RatioSeries::classify(label, points));
     }
-    E1Result { table, series }
+    Ok(E1Result { table, series })
 }
 
 #[cfg(test)]
@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn gap_algorithms_grow_logarithmically() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e1 runs");
         for s in &result.series {
             if s.label.starts_with("MM-Scan")
                 || s.label.starts_with("Strassen")
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn mm_inplace_stays_constant() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e1 runs");
         let inplace = result
             .series
             .iter()
@@ -150,7 +150,7 @@ mod tests {
 
     #[test]
     fn mm_scan_ratio_is_exactly_log_plus_one() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e1 runs");
         let scan = result
             .series
             .iter()
@@ -176,15 +176,15 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run(ctx.scale);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run(ctx.scale)?;
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

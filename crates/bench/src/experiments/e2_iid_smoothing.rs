@@ -9,7 +9,7 @@
 //! multiset.
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{monte_carlo_ratio, McConfig, Table};
 use cadapt_profiles::dist::{
@@ -46,36 +46,34 @@ fn family(b: u64, n_max: u64) -> Vec<Box<dyn BoxDist>> {
 }
 
 /// Algorithms measured by E2.
-fn algorithms(scale: Scale) -> Vec<(&'static str, AbcParams)> {
+fn algorithms(scale: Scale) -> Result<Vec<(&'static str, AbcParams)>, BenchError> {
     let mut v = vec![
         ("MM-Scan (8,4,1)", AbcParams::mm_scan()),
         ("CO-DP (3,2,1)", AbcParams::co_dp()),
     ];
     if matches!(scale, Scale::Full) {
         v.push(("Strassen (7,4,1)", AbcParams::strassen()));
-        v.push(("(16,4,1)", AbcParams::new(16, 4, 1.0, 1).expect("valid")));
+        v.push(("(16,4,1)", AbcParams::new(16, 4, 1.0, 1)?));
     }
-    v
+    Ok(v)
 }
 
 /// Run E2 with the default thread budget (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a Monte-Carlo run fails.
-#[must_use]
-pub fn run(scale: Scale) -> E2Result {
+/// Propagates a Monte-Carlo failure, keyed by the offending trial.
+pub fn run(scale: Scale) -> Result<E2Result, BenchError> {
     run_threaded(scale, 0)
 }
 
 /// Run E2 with an explicit worker budget for the Monte-Carlo trial
 /// fan-out (0 = available parallelism).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a Monte-Carlo run fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> E2Result {
+/// Propagates a Monte-Carlo failure, keyed by the offending trial.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<E2Result, BenchError> {
     let trials = scale.pick(24, 96);
     let mut table = Table::new(
         "E2: expected adaptivity ratio under i.i.d. box-size distributions",
@@ -89,7 +87,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E2Result {
         ],
     );
     let mut series = Vec::new();
-    for (label, params) in algorithms(scale) {
+    for (label, params) in algorithms(scale)? {
         // Deep sweeps are what separate transient growth from a real gap;
         // small b needs more levels to cover the same size range, while
         // high exponents (total work n^{log_b a}) cap how deep is feasible.
@@ -101,10 +99,12 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E2Result {
             scale.pick(6, 7)
         };
         let sizes = size_sweep(&params, 2, k_hi, u64::MAX);
-        let n_max = *sizes.last().expect("non-empty sweep");
+        let n_max = *sizes
+            .last()
+            .ok_or_else(|| BenchError::invariant(format!("E2 {label}: empty size sweep")))?;
         let mut dists = family(params.b(), n_max);
         // The headline distribution: the adversary's own box multiset.
-        let wc = WorstCase::for_problem(&params, n_max).expect("canonical");
+        let wc = WorstCase::for_problem(&params, n_max)?;
         dists.push(Box::new(EmpiricalMultiset::from_counts(
             &wc.box_multiset(),
             format!("shuffled M_{{{},{}}}", params.a(), params.b()),
@@ -134,8 +134,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E2Result {
                 };
                 let summary = monte_carlo_ratio(params, n, &config, |rng| {
                     DynDistSource::new(dist.as_ref(), rng)
-                })
-                .expect("mc run completes");
+                })?;
                 table.push_row(vec![
                     label.to_string(),
                     dist.label(),
@@ -152,7 +151,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E2Result {
             ));
         }
     }
-    E2Result { table, series }
+    Ok(E2Result { table, series })
 }
 
 #[cfg(test)]
@@ -162,7 +161,7 @@ mod tests {
 
     #[test]
     fn every_distribution_is_constant() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e2 runs");
         assert!(!result.series.is_empty());
         for s in &result.series {
             assert_ne!(
@@ -180,7 +179,7 @@ mod tests {
 
     #[test]
     fn shuffled_worst_case_is_among_the_series() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e2 runs");
         assert!(
             result
                 .series
@@ -205,15 +204,15 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         false // compared by CI overlap: goldens stay robust to trial-count retunings
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

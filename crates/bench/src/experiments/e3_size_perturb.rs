@@ -18,9 +18,9 @@
 //!   it — see EXPERIMENTS.md).
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::montecarlo::trial_rng;
-use cadapt_analysis::parallel::run_trials;
+use cadapt_analysis::parallel::try_run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_profiles::perturb::{
@@ -48,11 +48,10 @@ fn multipliers() -> Vec<Box<dyn MultiplierDist>> {
 
 /// Run E3 with the default thread budget (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run(scale: Scale) -> E3Result {
+/// Propagates a failed trial, keyed by its trial index.
+pub fn run(scale: Scale) -> Result<E3Result, BenchError> {
     run_threaded(scale, 0)
 }
 
@@ -60,11 +59,10 @@ pub fn run(scale: Scale) -> E3Result {
 /// parallelism). Bit-identical at any thread count: per-trial seeded RNG
 /// plus trial-ordered reduction.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> E3Result {
+/// Propagates a failed trial, keyed by its trial index.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<E3Result, BenchError> {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(12, 32);
     let k_hi = scale.pick(6, 8);
@@ -76,14 +74,13 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E3Result {
     for mult in multipliers() {
         let mut points = Vec::new();
         for n in size_sweep(&params, 2, k_hi, u64::MAX) {
-            let wc = WorstCase::for_problem(&params, n).expect("canonical");
-            let ratios = run_trials(trials, threads, |trial| {
+            let wc = WorstCase::for_problem(&params, n)?;
+            let ratios = try_run_trials(trials, threads, |trial| {
                 let rng = trial_rng(0xE3, trial);
                 let mut source = SizePerturbedSource::new(wc.source(), mult.as_ref(), rng);
-                run_on_profile(params, n, &mut source, &RunConfig::default())
-                    .expect("run completes")
-                    .ratio()
-            });
+                run_on_profile(params, n, &mut source, &RunConfig::default()).map(|r| r.ratio())
+            })
+            .map_err(|e| BenchError::from_sweep(&format!("E3 {} n={n}", mult.label()), e))?;
             let mut stats = Stats::new();
             for ratio in ratios {
                 stats.push(ratio);
@@ -98,7 +95,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E3Result {
         }
         series.push(RatioSeries::classify(mult.label(), points));
     }
-    E3Result { table, series }
+    Ok(E3Result { table, series })
 }
 
 #[cfg(test)]
@@ -108,7 +105,7 @@ mod tests {
 
     #[test]
     fn uniform_perturbations_remain_worst_case() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e3 runs");
         for s in result.series.iter().filter(|s| s.label.starts_with("U[")) {
             assert_eq!(
                 s.class,
@@ -125,7 +122,7 @@ mod tests {
     fn level_jump_jiggle_flattens() {
         // The documented boundary case: multiplying by exactly b hops a
         // recursion level and acts like smoothing.
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e3 runs");
         let jiggle = result
             .series
             .iter()
@@ -154,15 +151,15 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

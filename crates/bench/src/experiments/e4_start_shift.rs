@@ -7,9 +7,9 @@
 //! worst-case potential, so the expected ratio stays Θ(log_b n).
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::montecarlo::trial_rng;
-use cadapt_analysis::parallel::run_trials;
+use cadapt_analysis::parallel::try_run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_profiles::perturb::random_cyclic_shift;
@@ -27,11 +27,10 @@ pub struct E4Result {
 
 /// Run E4 with the default thread budget (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run(scale: Scale) -> E4Result {
+/// Propagates a failed trial, keyed by its trial index.
+pub fn run(scale: Scale) -> Result<E4Result, BenchError> {
     run_threaded(scale, 0)
 }
 
@@ -39,11 +38,10 @@ pub fn run(scale: Scale) -> E4Result {
 /// parallelism). Bit-identical at any thread count: per-trial seeded RNG
 /// plus trial-ordered reduction.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> E4Result {
+/// Propagates a failed trial, keyed by its trial index.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<E4Result, BenchError> {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(16, 64);
     // Shifted profiles must be materialised; cap the depth so the box count
@@ -55,18 +53,17 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E4Result {
     );
     let mut points = Vec::new();
     for n in size_sweep(&params, 2, k_hi, u64::MAX) {
-        let wc = WorstCase::for_problem(&params, n).expect("canonical");
+        let wc = WorstCase::for_problem(&params, n)?;
         // Memoized across sweep points and workers: every trial shifts the
         // same materialised prefix.
         let profile = worst_case_squares(&wc);
-        let ratios = run_trials(trials, threads, |trial| {
+        let ratios = try_run_trials(trials, threads, |trial| {
             let mut rng = trial_rng(0xE4, trial);
             let shifted = random_cyclic_shift(&profile, &mut rng);
             let mut source = shifted.cycle();
-            run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes")
-                .ratio()
-        });
+            run_on_profile(params, n, &mut source, &RunConfig::default()).map(|r| r.ratio())
+        })
+        .map_err(|e| BenchError::from_sweep(&format!("E4 cyclic shift n={n}"), e))?;
         let mut stats = Stats::new();
         for ratio in ratios {
             stats.push(ratio);
@@ -81,7 +78,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E4Result {
         points.push((log_b(&params, n), stats.mean));
     }
     let series = RatioSeries::classify("random cyclic shift", points);
-    E4Result { table, series }
+    Ok(E4Result { table, series })
 }
 
 #[cfg(test)]
@@ -91,7 +88,7 @@ mod tests {
 
     #[test]
     fn shifted_profiles_remain_worst_case() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e4 runs");
         assert_eq!(
             result.series.class,
             GrowthClass::Logarithmic,
@@ -115,13 +112,13 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let mut metrics = Vec::new();
         crate::harness::push_series(&mut metrics, "series", &result.series);
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

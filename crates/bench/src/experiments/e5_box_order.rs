@@ -20,9 +20,9 @@
 //!   its constant made visible.
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::montecarlo::trial_rng;
-use cadapt_analysis::parallel::run_trials;
+use cadapt_analysis::parallel::try_run_trials;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{Stats, Table};
 use cadapt_profiles::perturb::{BoxOrderPerturbedSource, FirstPlacement, RandomPlacement};
@@ -41,11 +41,10 @@ pub struct E5Result {
 
 /// Run E5 with the default thread budget (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run(scale: Scale) -> E5Result {
+/// Propagates a failed trial, keyed by its trial index.
+pub fn run(scale: Scale) -> Result<E5Result, BenchError> {
     run_threaded(scale, 0)
 }
 
@@ -53,11 +52,10 @@ pub fn run(scale: Scale) -> E5Result {
 /// (0 = available parallelism). Bit-identical at any thread count:
 /// per-trial seeded RNG plus trial-ordered reduction.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> E5Result {
+/// Propagates a failed trial, keyed by its trial index.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<E5Result, BenchError> {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(12, 32);
     let k_hi = scale.pick(6, 8);
@@ -70,15 +68,14 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E5Result {
     let mut first_points = Vec::new();
     let sizes = size_sweep(&params, 2, k_hi, u64::MAX);
     for &n in &sizes {
-        let wc = WorstCase::for_problem(&params, n).expect("canonical");
+        let wc = WorstCase::for_problem(&params, n)?;
         // Random placement, many trials.
-        let ratios = run_trials(trials, threads, |trial| {
+        let ratios = try_run_trials(trials, threads, |trial| {
             let rng = trial_rng(0xE5, trial);
             let mut source = BoxOrderPerturbedSource::new(wc, RandomPlacement(rng));
-            run_on_profile(params, n, &mut source, &RunConfig::default())
-                .expect("run completes")
-                .ratio()
-        });
+            run_on_profile(params, n, &mut source, &RunConfig::default()).map(|r| r.ratio())
+        })
+        .map_err(|e| BenchError::from_sweep(&format!("E5 random placement n={n}"), e))?;
         let mut stats = Stats::new();
         for ratio in ratios {
             stats.push(ratio);
@@ -94,8 +91,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E5Result {
         min_points.push((log_b(&params, n), stats.min));
         // Deterministic adversarial placement: big box right after child 1.
         let mut source = BoxOrderPerturbedSource::new(wc, FirstPlacement);
-        let report =
-            run_on_profile(params, n, &mut source, &RunConfig::default()).expect("run completes");
+        let report = run_on_profile(params, n, &mut source, &RunConfig::default())?;
         table.push_row(vec![
             "first-child".to_string(),
             n.to_string(),
@@ -110,7 +106,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E5Result {
         RatioSeries::classify("random placement (min)", min_points),
         RatioSeries::classify("first-child placement", first_points),
     ];
-    E5Result { table, series }
+    Ok(E5Result { table, series })
 }
 
 #[cfg(test)]
@@ -128,7 +124,7 @@ mod tests {
 
     #[test]
     fn first_child_placement_is_exactly_one_plus_k_over_a() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e5 runs");
         let first = series(&result, "first-child");
         for &(k, ratio) in &first.points {
             assert!(
@@ -148,7 +144,7 @@ mod tests {
     fn logarithmic_floor_holds_with_probability_one() {
         // Every sampled placement stays at or above the first-child floor:
         // the per-trial minimum itself grows logarithmically.
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e5 runs");
         let min = series(&result, "random placement (min)");
         let first = series(&result, "first-child");
         assert_eq!(
@@ -169,7 +165,7 @@ mod tests {
 
     #[test]
     fn random_mean_sits_between_floor_and_canonical() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e5 runs");
         let mean = series(&result, "random placement (mean)");
         let first = series(&result, "first-child");
         for (m, f) in mean.points.iter().zip(&first.points) {
@@ -199,15 +195,15 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // per-trial RNG + trial-ordered reduction: bit-identical at any thread count
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let mut metrics = Vec::new();
         for series in &result.series {
             crate::harness::push_series(&mut metrics, "series", series);
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

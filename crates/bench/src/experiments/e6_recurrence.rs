@@ -6,7 +6,7 @@
 //! and checks containment — the theory and the simulator validating each
 //! other.
 
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::recurrence::{
     equation6_checks, equation7_checks, equation8_products, recurrence_bounds, DiscreteSigma,
     Equation6Check,
@@ -75,22 +75,20 @@ fn sigmas(n_max: u64) -> Vec<Box<dyn BoxDist>> {
 /// Run E6 (MM-Scan parameters, §4 conventions: base 1, scans at end) with
 /// the default thread budget (all cores).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run(scale: Scale) -> E6Result {
+/// Propagates a Monte-Carlo failure, keyed by the offending trial.
+pub fn run(scale: Scale) -> Result<E6Result, BenchError> {
     run_threaded(scale, 0)
 }
 
 /// Run E6 with an explicit worker budget for the Monte-Carlo trial
 /// fan-out (0 = available parallelism).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run_threaded(scale: Scale, threads: usize) -> E6Result {
+/// Propagates a Monte-Carlo failure, keyed by the offending trial.
+pub fn run_threaded(scale: Scale, threads: usize) -> Result<E6Result, BenchError> {
     let params = AbcParams::mm_scan();
     let trials = scale.pick(96, 192);
     let k_hi = scale.pick(5, 7);
@@ -115,7 +113,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E6Result {
     let mut eq6 = Vec::new();
     let mut eq7_eq8 = Vec::new();
     for dist in sigmas(n_max) {
-        let sigma = DiscreteSigma::from_dist(dist.as_ref()).expect("discrete support");
+        let sigma = DiscreteSigma::from_dist(dist.as_ref())?;
         let bounds = recurrence_bounds(params.a(), params.b(), &sigma, k_hi);
         let eq7 = equation7_checks(params.a(), params.b(), &bounds);
         let eq7_with_gate: Vec<(Equation6Check, f64)> = eq7
@@ -135,8 +133,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E6Result {
             };
             let summary = monte_carlo_ratio(params, n, &config, |rng| {
                 DynDistSource::new(dist.as_ref(), rng)
-            })
-            .expect("mc run completes");
+            })?;
             f_by_level.push(summary.boxes.mean);
         }
         let checks = equation6_checks(params.a(), params.b(), &sigma, &f_by_level);
@@ -163,8 +160,7 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E6Result {
             };
             let summary = monte_carlo_ratio(params, n, &config, |rng| {
                 DynDistSource::new(dist.as_ref(), rng)
-            })
-            .expect("mc run completes");
+            })?;
             let row = E6Row {
                 dist: dist.label(),
                 n,
@@ -185,13 +181,13 @@ pub fn run_threaded(scale: Scale, threads: usize) -> E6Result {
             rows.push(row);
         }
     }
-    E6Result {
+    Ok(E6Result {
         table,
         rows,
         eq6_table,
         eq6,
         eq7_eq8,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -200,7 +196,7 @@ mod tests {
 
     #[test]
     fn measurements_fall_in_predicted_intervals() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e6 runs");
         assert!(!result.rows.is_empty());
         let violations: Vec<_> = result.rows.iter().filter(|r| !r.contained()).collect();
         assert!(
@@ -213,7 +209,7 @@ mod tests {
     fn equation8_product_is_bounded_even_when_equation6_fails() {
         // The paper: individual Eq. 6 steps may exceed 1, but the
         // aggregate effect of scans over all levels is a constant (Eq. 8).
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e6 runs");
         let mut saw_violation = false;
         for (label, checks, product) in &result.eq6 {
             saw_violation |= checks.iter().any(|c| !c.holds());
@@ -234,7 +230,7 @@ mod tests {
         // claimed where Eq. 9 holds (the predicted ratio is on the cusp of
         // violating adaptivity, here gated at ≥ 2); Eq. 8's scan-inflation
         // product must be O(1) unconditionally.
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e6 runs");
         let mut gated_checks = 0;
         for (label, eq7, (lo, hi)) in &result.eq7_eq8 {
             for (check, ratio_hi) in eq7 {
@@ -258,7 +254,7 @@ mod tests {
 
     #[test]
     fn point_mass_n_needs_one_box() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e6 runs");
         // For Σ = point(n_max) at n = n_max the prediction and measurement
         // are both exactly 1.
         let row = result
@@ -286,8 +282,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         false // compared by CI overlap: goldens stay robust to trial-count retunings
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run_threaded(ctx.scale, ctx.threads);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run_threaded(ctx.scale, ctx.threads)?;
         let mut metrics = Vec::new();
         for row in &result.rows {
             let base = format!("rows/{}/n{}", row.dist, row.n);
@@ -309,9 +305,9 @@ impl crate::harness::Experiment for Exp {
             metrics.push(crate::harness::metric(format!("eq8/{label}/lo"), *lo));
             metrics.push(crate::harness::metric(format!("eq8/{label}/hi"), *hi));
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render(), result.eq6_table.render()],
-        }
+        })
     }
 }

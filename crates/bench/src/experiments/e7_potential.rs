@@ -6,7 +6,7 @@
 //! is *exactly* a^{log_b x} = x^{log_b a} (the box completes one size-x
 //! subtree at best).
 
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::montecarlo::trial_rng;
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::Table;
@@ -39,11 +39,10 @@ pub struct E7Result {
 
 /// Run E7.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a probe fails.
-#[must_use]
-pub fn run(scale: Scale) -> E7Result {
+/// Propagates a failed probe as a typed error.
+pub fn run(scale: Scale) -> Result<E7Result, BenchError> {
     let k_hi = scale.pick(4, 6);
     let random_probes = scale.pick(64, 512);
     let mut table = Table::new(
@@ -64,14 +63,13 @@ pub fn run(scale: Scale) -> E7Result {
         ("CO-DP (3,2,1)", AbcParams::co_dp()),
     ] {
         let n = params.canonical_size(k_hi + 2);
-        let cf = ClosedForms::for_size(params, n).expect("canonical");
+        let cf = ClosedForms::for_size(params, n)?;
         let mut rng = trial_rng(0xE7, 0);
         let offsets = probe_offsets(cf.total_time(), 128, random_probes, &mut rng);
         for model in [ExecModel::Simplified, ExecModel::capacity()] {
             for k in 0..=k_hi {
                 let x = params.canonical_size(k);
-                let sample =
-                    empirical_potential(params, n, x, model, &offsets).expect("probe runs");
+                let sample = empirical_potential(params, n, x, model, &offsets)?;
                 let rho = params.potential().eval(x);
                 let row = E7Row {
                     algo: algo.to_string(),
@@ -92,7 +90,7 @@ pub fn run(scale: Scale) -> E7Result {
             }
         }
     }
-    E7Result { table, rows }
+    Ok(E7Result { table, rows })
 }
 
 #[cfg(test)]
@@ -101,7 +99,7 @@ mod tests {
 
     #[test]
     fn simplified_model_matches_rho_exactly() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e7 runs");
         for row in result.rows.iter().filter(|r| r.model == "simplified") {
             assert!(
                 (row.measured as f64 - row.rho).abs() < 1e-9,
@@ -116,7 +114,7 @@ mod tests {
 
     #[test]
     fn capacity_model_within_constant_factor() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e7 runs");
         for row in result
             .rows
             .iter()
@@ -147,8 +145,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // serial probes with fixed seeds
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run(ctx.scale);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run(ctx.scale)?;
         let mut metrics = Vec::new();
         for row in &result.rows {
             let base = format!("{}/{}/x{}", row.algo, row.model, row.box_size);
@@ -158,9 +156,9 @@ impl crate::harness::Experiment for Exp {
             ));
             metrics.push(crate::harness::metric(format!("{base}/rho"), row.rho));
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

@@ -17,7 +17,7 @@
 //!    m(t) costs within a constant factor of replaying it under the
 //!    inner-square decomposition of the same profile (the §2 w.l.o.g.).
 
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::Table;
 use cadapt_core::{Potential, SquareProfile};
@@ -57,11 +57,10 @@ fn test_matrices(side: usize) -> (ZMatrix, ZMatrix) {
 
 /// Run E8.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any replay fails to complete.
-#[must_use]
-pub fn run(scale: Scale) -> E8Result {
+/// Reports a replay that fails to complete as a typed invariant failure.
+pub fn run(scale: Scale) -> Result<E8Result, BenchError> {
     let side = scale.pick(16, 32);
     let block_words = 4;
     let (a, b) = test_matrices(side);
@@ -145,7 +144,11 @@ pub fn run(scale: Scale) -> E8Result {
         let ws = trace.distinct_blocks();
         let profile = sawtooth(ws / 8 + 1, ws, u128::from(ws), u128::from(ws) * 1000);
         let arbitrary = replay_memory_profile(trace, &profile);
-        assert!(arbitrary.completed, "{label}: sawtooth profile too short");
+        if !arbitrary.completed {
+            return Err(BenchError::invariant(format!(
+                "E8: {label}: sawtooth profile too short"
+            )));
+        }
         let squares = profile.inner_squares();
         let mut source = squares.cycle();
         let square_report = replay_square_profile(trace, &mut source, *rho);
@@ -158,13 +161,13 @@ pub fn run(scale: Scale) -> E8Result {
         square_pairs.push((arbitrary.io, square_report.total_io));
     }
 
-    E8Result {
+    Ok(E8Result {
         dam_table,
         adaptivity_table,
         square_table,
         speedups,
         square_pairs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +176,7 @@ mod tests {
 
     #[test]
     fn dam_io_is_monotone_in_cache_size() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e8 runs");
         let io = result.dam_table.numeric_column("I/O");
         // Per algorithm the six cache sizes appear in increasing order;
         // I/O must be non-increasing within each group of six.
@@ -186,7 +189,7 @@ mod tests {
 
     #[test]
     fn inplace_converts_cache_to_io_savings_scan_cannot() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e8 runs");
         let get = |name: &str| {
             result
                 .speedups
@@ -212,7 +215,7 @@ mod tests {
 
     #[test]
     fn square_approximation_within_constant_factor() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e8 runs");
         for &(arbitrary, squares) in &result.square_pairs {
             let ratio = squares as f64 / arbitrary as f64;
             assert!(
@@ -237,8 +240,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // pure trace replay
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run(ctx.scale);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run(ctx.scale)?;
         let mut metrics = Vec::new();
         for (label, speedup) in &result.speedups {
             metrics.push(crate::harness::metric(format!("speedup/{label}"), *speedup));
@@ -253,13 +256,13 @@ impl crate::harness::Experiment for Exp {
                 *square_io as f64,
             ));
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![
                 result.dam_table.render(),
                 result.adaptivity_table.render(),
                 result.square_table.render(),
             ],
-        }
+        })
     }
 }

@@ -10,7 +10,7 @@
 //!   on the worst-case profile the ratio grows like log as well.
 
 use super::common::{log_b, size_sweep, RatioSeries};
-use crate::Scale;
+use crate::{BenchError, Scale};
 use cadapt_analysis::table::fnum;
 use cadapt_analysis::{GrowthClass, Table};
 use cadapt_profiles::WorstCase;
@@ -36,54 +36,51 @@ pub struct E9Result {
     pub entries: Vec<E9Entry>,
 }
 
-fn grid() -> Vec<(&'static str, AbcParams, GrowthClass)> {
-    let p = |a, b, c| AbcParams::new(a, b, c, 1).expect("valid parameters");
-    vec![
-        ("(8,4,1)  a>b, c=1", p(8, 4, 1.0), GrowthClass::Logarithmic),
-        ("(7,4,1)  a>b, c=1", p(7, 4, 1.0), GrowthClass::Logarithmic),
-        ("(3,2,1)  a>b, c=1", p(3, 2, 1.0), GrowthClass::Logarithmic),
-        ("(8,4,0)  c=0", p(8, 4, 0.0), GrowthClass::Constant),
-        ("(8,4,½)  c=½", p(8, 4, 0.5), GrowthClass::Constant),
-        ("(2,4,1)  a<b", p(2, 4, 1.0), GrowthClass::Constant),
-        ("(4,4,1)  a=b", p(4, 4, 1.0), GrowthClass::Logarithmic),
-    ]
+fn grid() -> Result<Vec<(&'static str, AbcParams, GrowthClass)>, BenchError> {
+    let p = |a, b, c| AbcParams::new(a, b, c, 1);
+    Ok(vec![
+        ("(8,4,1)  a>b, c=1", p(8, 4, 1.0)?, GrowthClass::Logarithmic),
+        ("(7,4,1)  a>b, c=1", p(7, 4, 1.0)?, GrowthClass::Logarithmic),
+        ("(3,2,1)  a>b, c=1", p(3, 2, 1.0)?, GrowthClass::Logarithmic),
+        ("(8,4,0)  c=0", p(8, 4, 0.0)?, GrowthClass::Constant),
+        ("(8,4,½)  c=½", p(8, 4, 0.5)?, GrowthClass::Constant),
+        ("(2,4,1)  a<b", p(2, 4, 1.0)?, GrowthClass::Constant),
+        ("(4,4,1)  a=b", p(4, 4, 1.0)?, GrowthClass::Logarithmic),
+    ])
 }
 
 /// Run E9. Every configuration runs on the worst-case profile built from
 /// its own (a, b) (the construction that is adversarial when c = 1).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a run fails.
-#[must_use]
-pub fn run(scale: Scale) -> E9Result {
+/// Propagates construction or execution failures as typed errors.
+pub fn run(scale: Scale) -> Result<E9Result, BenchError> {
     let mut table = Table::new(
         "E9: adaptivity by (a, b, c) class on worst-case profiles",
         &["class", "n", "ratio", "expected"],
     );
     let mut entries = Vec::new();
-    for (label, params, expected) in grid() {
+    for (label, params, expected) in grid()? {
         let k_hi = scale.pick(
             if params.b() == 2 { 12 } else { 8 },
             if params.b() == 2 { 15 } else { 9 },
         );
         let mut points = Vec::new();
         for n in size_sweep(&params, 2, k_hi, u64::MAX) {
-            let wc = WorstCase::for_problem(&params, n).expect("canonical");
+            let wc = WorstCase::for_problem(&params, n)?;
             let mut source = wc.source();
             let config = RunConfig {
                 model: ExecModel::capacity(),
                 ..RunConfig::default()
             };
-            let report = run_on_profile(params, n, &mut source, &config).expect("run completes");
+            let report = run_on_profile(params, n, &mut source, &config)?;
             // For a < b the leaf-count potential is the wrong yardstick:
             // the algorithm is scan-dominated and footnote 2 calls it
             // trivially adaptive because it finishes in O(T(n)) I/Os on any
             // profile. Measure exactly that: I/Os consumed over serial time.
             let ratio = if params.a() < params.b() {
-                let total = ClosedForms::for_size(params, n)
-                    .expect("canonical")
-                    .total_time();
+                let total = ClosedForms::for_size(params, n)?.total_time();
                 report.total_io as f64 / total as f64
             } else {
                 report.ratio()
@@ -102,7 +99,7 @@ pub fn run(scale: Scale) -> E9Result {
             series: RatioSeries::classify(label, points),
         });
     }
-    E9Result { table, entries }
+    Ok(E9Result { table, entries })
 }
 
 #[cfg(test)]
@@ -111,7 +108,7 @@ mod tests {
 
     #[test]
     fn measured_classes_match_theory() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e9 runs");
         for e in &result.entries {
             assert_eq!(
                 e.series.class, e.expected,
@@ -123,7 +120,7 @@ mod tests {
 
     #[test]
     fn gap_only_when_a_exceeds_b_and_c_is_one() {
-        let result = run(Scale::Quick);
+        let result = run(Scale::Quick).expect("e9 runs");
         for e in &result.entries {
             let gap_regime = e.label.contains("a>b, c=1");
             if gap_regime {
@@ -147,8 +144,8 @@ impl crate::harness::Experiment for Exp {
     fn deterministic(&self) -> bool {
         true // worst-case profiles, no randomness
     }
-    fn run(&self, ctx: crate::ExpCtx) -> crate::harness::ExperimentOutput {
-        let result = run(ctx.scale);
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run(ctx.scale)?;
         let mut metrics = Vec::new();
         for entry in &result.entries {
             crate::harness::push_series(&mut metrics, "series", &entry.series);
@@ -157,9 +154,9 @@ impl crate::harness::Experiment for Exp {
                 crate::harness::class_code(entry.expected),
             ));
         }
-        crate::harness::ExperimentOutput {
+        Ok(crate::harness::ExperimentOutput {
             metrics,
             tables: vec![result.table.render()],
-        }
+        })
     }
 }

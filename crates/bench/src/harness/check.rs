@@ -49,6 +49,14 @@ fn values_match(golden: f64, fresh: f64, tol: f64) -> bool {
 #[must_use]
 pub fn compare(golden: &RunRecord, fresh: &RunRecord) -> CheckReport {
     let mut failures = Vec::new();
+    // A partial record (a run that failed and degraded gracefully) can
+    // never vouch for, or be vouched for by, anything.
+    if !golden.complete {
+        failures.push("golden record is marked incomplete (regenerate it)".to_string());
+    }
+    if !fresh.complete {
+        failures.push("fresh run did not complete (see its tables for the failure)".to_string());
+    }
     if golden.schema_version != fresh.schema_version {
         failures.push(format!(
             "schema version: golden {} vs fresh {} (regenerate the goldens)",
@@ -140,6 +148,7 @@ mod tests {
             counters: CounterSnapshot::ZERO,
             metrics,
             tables: Vec::new(),
+            complete: true,
         }
     }
 
@@ -205,5 +214,19 @@ mod tests {
     fn nan_matches_nan() {
         let golden = record(true, vec![metric("a", f64::NAN)]);
         assert!(compare(&golden, &golden.clone()).passed());
+    }
+
+    #[test]
+    fn incomplete_records_always_fail() {
+        let golden = record(true, vec![metric("a", 1.0)]);
+        let mut fresh = golden.clone();
+        fresh.complete = false;
+        let report = compare(&golden, &fresh);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("did not complete"));
+
+        let mut stale_golden = golden.clone();
+        stale_golden.complete = false;
+        assert!(!compare(&stale_golden, &golden).passed());
     }
 }

@@ -2,11 +2,11 @@
 //!
 //! One registry, one runner, one on-disk format — the machinery behind the
 //! `cadapt-bench` binary. Every experiment module implements [`Experiment`]
-//! (id, title, determinism, and a `run` producing metrics + rendered
-//! tables); [`run_record`] executes one under a counter [`Recording`] and a
-//! wall clock and packages the outcome as a schema-versioned [`RunRecord`];
-//! [`check::compare`] diffs a fresh record against a committed golden under
-//! explicit tolerance bands.
+//! (id, title, determinism, and a fallible `run` producing metrics +
+//! rendered tables); [`run_record`] executes one under a counter
+//! [`Recording`] and a wall clock and packages the outcome as a
+//! schema-versioned [`RunRecord`]; [`check::compare`] diffs a fresh record
+//! against a committed golden under explicit tolerance bands.
 //!
 //! Determinism contract: every experiment routes its trial fan-out through
 //! `cadapt_analysis::parallel`, whose trial-ordered reduction makes results
@@ -16,13 +16,25 @@
 //! Monte-Carlo experiments (e2, e6, ablations) keep `deterministic =
 //! false` and are compared by CI overlap instead, so their committed
 //! goldens stay robust to retunings of trial counts and sweeps.
+//!
+//! Failure contract: experiments return typed [`BenchError`]s instead of
+//! panicking, and [`run_record_resilient`] additionally contains anything
+//! that *does* panic — a failing experiment degrades to a partial record
+//! marked `complete: false` (which `check` rejects and `--resume`
+//! re-runs) instead of taking down the suite.
 
 pub mod check;
+pub mod checkpoint;
 pub mod record;
+pub mod store;
 
 pub use check::{compare, CheckReport};
-pub use record::{class_code, metric, metric_ci, push_series, Metric, RunRecord, SCHEMA_VERSION};
+pub use record::{
+    class_code, metric, metric_ci, push_series, Metric, RecordError, RunRecord, SCHEMA_VERSION,
+};
+pub use store::{ArtifactWriter, FsWriter, StoreError};
 
+use crate::error::BenchError;
 use crate::experiments::{
     ablations, e10_contention, e11_no_catchup, e12_scan_hiding, e13_scheduling, e1_worst_case_gap,
     e2_iid_smoothing, e3_size_perturb, e4_start_shift, e5_box_order, e6_recurrence, e7_potential,
@@ -30,6 +42,7 @@ use crate::experiments::{
 };
 use crate::{ExpCtx, Scale};
 use cadapt_core::counters::Recording;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// What an experiment hands back to the engine: extracted scalars plus the
@@ -51,7 +64,12 @@ pub trait Experiment: Sync {
     /// Is a re-run bit-identical? (See the module docs for the contract.)
     fn deterministic(&self) -> bool;
     /// Execute under the given context (scale + trial-worker budget).
-    fn run(&self, ctx: ExpCtx) -> ExperimentOutput;
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`BenchError`] instead of panicking; the engine
+    /// turns it into a partial record or a process exit code.
+    fn run(&self, ctx: ExpCtx) -> Result<ExperimentOutput, BenchError>;
 }
 
 /// Every experiment, in presentation order.
@@ -84,8 +102,11 @@ pub fn find(id: &str) -> Option<&'static dyn Experiment> {
 
 /// Run one experiment under the observability layer and package the
 /// outcome as a [`RunRecord`], with the default thread budget.
-#[must_use]
-pub fn run_record(exp: &dyn Experiment, scale: Scale) -> RunRecord {
+///
+/// # Errors
+///
+/// Propagates the experiment's [`BenchError`].
+pub fn run_record(exp: &dyn Experiment, scale: Scale) -> Result<RunRecord, BenchError> {
     run_record_ctx(exp, ExpCtx::new(scale))
 }
 
@@ -93,14 +114,18 @@ pub fn run_record(exp: &dyn Experiment, scale: Scale) -> RunRecord {
 /// counters of the experiment's trial fan-out fold into this recording
 /// (per-trial sums), so the record's counters are thread-count
 /// independent.
-#[must_use]
-pub fn run_record_ctx(exp: &dyn Experiment, ctx: ExpCtx) -> RunRecord {
+///
+/// # Errors
+///
+/// Propagates the experiment's [`BenchError`].
+pub fn run_record_ctx(exp: &dyn Experiment, ctx: ExpCtx) -> Result<RunRecord, BenchError> {
     // cadapt-lint: allow(nondet-source) -- wall clock feeds only the wall_ms field, which golden comparison explicitly ignores (see check::wall_time_is_not_compared)
     let clock = Instant::now();
     let recording = Recording::start();
-    let output = exp.run(ctx);
+    let outcome = exp.run(ctx);
     let counters = recording.finish();
-    RunRecord {
+    let output = outcome?;
+    Ok(RunRecord {
         schema_version: SCHEMA_VERSION,
         experiment: exp.id().to_string(),
         title: exp.title().to_string(),
@@ -110,6 +135,75 @@ pub fn run_record_ctx(exp: &dyn Experiment, ctx: ExpCtx) -> RunRecord {
         counters,
         metrics: output.metrics,
         tables: output.tables,
+        complete: true,
+    })
+}
+
+/// Run one experiment, containing **any** failure — a typed error or an
+/// outright panic — as a partial record instead of letting it escape.
+///
+/// On failure the returned record is marked `complete: false`, carries no
+/// metrics, and stores the failure text as its only table; the error
+/// itself rides alongside so the caller can report it and choose an exit
+/// code. `check` rejects incomplete records and `--resume` re-runs them,
+/// so a degraded record can never silently stand in for a healthy one.
+#[must_use]
+pub fn run_record_resilient(exp: &dyn Experiment, ctx: ExpCtx) -> (RunRecord, Option<BenchError>) {
+    // cadapt-lint: allow(nondet-source) -- wall clock feeds only the wall_ms field, which golden comparison explicitly ignores
+    let clock = Instant::now();
+    let recording = Recording::start();
+    // AssertUnwindSafe: the experiment only borrows Sync registry state;
+    // a panicking run's partial work is dropped with its stack, and the
+    // counter cells stay internally consistent (plain thread-local adds).
+    let outcome = catch_unwind(AssertUnwindSafe(|| exp.run(ctx)));
+    let counters = recording.finish();
+    let failure = match outcome {
+        Ok(Ok(output)) => {
+            return (
+                RunRecord {
+                    schema_version: SCHEMA_VERSION,
+                    experiment: exp.id().to_string(),
+                    title: exp.title().to_string(),
+                    scale: ctx.scale.name().to_string(),
+                    deterministic: exp.deterministic(),
+                    wall_ms: clock.elapsed().as_secs_f64() * 1e3,
+                    counters,
+                    metrics: output.metrics,
+                    tables: output.tables,
+                    complete: true,
+                },
+                None,
+            )
+        }
+        Ok(Err(error)) => error,
+        Err(payload) => BenchError::Panicked {
+            context: format!("experiment {}", exp.id()),
+            trial: None,
+            message: panic_text(payload.as_ref()),
+        },
+    };
+    let record = RunRecord {
+        schema_version: SCHEMA_VERSION,
+        experiment: exp.id().to_string(),
+        title: exp.title().to_string(),
+        scale: ctx.scale.name().to_string(),
+        deterministic: exp.deterministic(),
+        wall_ms: clock.elapsed().as_secs_f64() * 1e3,
+        counters,
+        metrics: Vec::new(),
+        tables: vec![format!("experiment {} FAILED: {failure}\n", exp.id())],
+        complete: false,
+    };
+    (record, Some(failure))
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -139,10 +233,11 @@ mod tests {
     fn deterministic_run_records_reproduce_and_count() {
         let exp = find("e1").unwrap();
         assert!(exp.deterministic());
-        let first = run_record(exp, Scale::Quick);
-        let second = run_record(exp, Scale::Quick);
+        let first = run_record(exp, Scale::Quick).unwrap();
+        let second = run_record(exp, Scale::Quick).unwrap();
         assert!(!first.metrics.is_empty());
         assert!(!first.tables.is_empty());
+        assert!(first.complete);
         assert!(
             first.counters.boxes_advanced > 0,
             "the recording must see the execution: {:?}",
@@ -159,7 +254,7 @@ mod tests {
     #[test]
     fn run_record_round_trips_through_json() {
         let exp = find("e11").unwrap();
-        let record = run_record(exp, Scale::Quick);
+        let record = run_record(exp, Scale::Quick).unwrap();
         let back = RunRecord::from_json(&record.to_json()).unwrap();
         assert!(compare(&record, &back).passed());
         assert_eq!(record.counters, back.counters);
@@ -168,9 +263,71 @@ mod tests {
     #[test]
     fn tampered_golden_fails_the_check() {
         let exp = find("e11").unwrap();
-        let golden = run_record(exp, Scale::Quick);
+        let golden = run_record(exp, Scale::Quick).unwrap();
         let mut fresh = golden.clone();
         fresh.metrics[0].value += 1.0;
         assert!(!compare(&golden, &fresh).passed());
+    }
+
+    struct Explosive {
+        kind: &'static str,
+    }
+
+    impl Experiment for Explosive {
+        fn id(&self) -> &'static str {
+            "explosive"
+        }
+        fn title(&self) -> &'static str {
+            "always fails"
+        }
+        fn deterministic(&self) -> bool {
+            true
+        }
+        fn run(&self, _ctx: ExpCtx) -> Result<ExperimentOutput, BenchError> {
+            match self.kind {
+                "panic" => panic!("injected experiment panic"),
+                _ => Err(BenchError::invariant("injected typed failure")),
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_runner_contains_panics_as_partial_records() {
+        let (record, failure) =
+            run_record_resilient(&Explosive { kind: "panic" }, ExpCtx::new(Scale::Quick));
+        assert!(!record.complete);
+        assert!(record.metrics.is_empty());
+        assert!(record.tables[0].contains("injected experiment panic"));
+        match failure {
+            Some(BenchError::Panicked {
+                context, message, ..
+            }) => {
+                assert_eq!(context, "experiment explosive");
+                assert!(message.contains("injected"));
+            }
+            other => panic!("expected a contained panic, got {other:?}"),
+        }
+        // The partial record must round-trip and must NOT pass a check
+        // against a healthy golden.
+        let back = RunRecord::from_json(&record.to_json()).unwrap();
+        assert!(!back.complete);
+    }
+
+    #[test]
+    fn resilient_runner_passes_through_typed_errors() {
+        let (record, failure) =
+            run_record_resilient(&Explosive { kind: "typed" }, ExpCtx::new(Scale::Quick));
+        assert!(!record.complete);
+        assert!(matches!(failure, Some(BenchError::Invariant { .. })));
+    }
+
+    #[test]
+    fn resilient_runner_is_transparent_for_healthy_experiments() {
+        let exp = find("e11").unwrap();
+        let (resilient, failure) = run_record_resilient(exp, ExpCtx::new(Scale::Quick));
+        assert!(failure.is_none());
+        assert!(resilient.complete);
+        let direct = run_record(exp, Scale::Quick).unwrap();
+        assert!(compare(&direct, &resilient).passed());
     }
 }

@@ -1,17 +1,69 @@
 //! Schema-versioned run records: what one experiment run writes to disk.
+//!
+//! Records are parsed from **untrusted** bytes — a crashed run, a hostile
+//! edit, a bad disk — so the reader here is hand-rolled over the JSON
+//! value tree with a typed [`RecordError`] for every way a file can fail
+//! to be a record: no `unwrap`, no unchecked `u64 → usize`, no indexing
+//! assumptions (`cadapt_core::cast::checked_*` everywhere a width
+//! changes). The writer is hand-rolled too, so the field order — and
+//! therefore every committed golden byte — is fixed by this file, not by
+//! a derive: the `complete` flag is serialized **only when false**,
+//! keeping healthy records (and all existing goldens) byte-identical to
+//! the pre-fault-tolerance format.
 
 use crate::experiments::common::RatioSeries;
 use cadapt_analysis::GrowthClass;
+use cadapt_core::cast;
 use cadapt_core::CounterSnapshot;
-use serde::{Deserialize, Serialize};
+use serde_json::{Map, Number, Value};
+use std::fmt;
 
 /// Version of the on-disk record layout. Bump when a field changes meaning
 /// or shape; `check` refuses to compare records across versions.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Why a byte stream is not a [`RunRecord`]. Parsing never panics: a
+/// hostile file produces one of these, with the offending field named.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The text is not well-formed JSON at all (truncation lands here).
+    Syntax {
+        /// The parser's message.
+        message: String,
+    },
+    /// The JSON is well-formed but a field is missing, has the wrong
+    /// type, or holds an out-of-range value.
+    Shape {
+        /// Dotted path of the offending field (`"metrics[3].value"`).
+        field: String,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Syntax { message } => write!(f, "invalid JSON: {message}"),
+            RecordError::Shape { field, message } => {
+                write!(f, "field `{field}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+fn shape(field: impl Into<String>, message: impl Into<String>) -> RecordError {
+    RecordError::Shape {
+        field: field.into(),
+        message: message.into(),
+    }
+}
+
 /// One named scalar extracted from an experiment, with the half-width of
 /// its 95% confidence interval (0 for exact quantities).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metric {
     /// Stable, slash-separated name (`"series/MM-Scan (8,4,1)/slope"`).
     pub name: String,
@@ -65,7 +117,7 @@ pub fn push_series(metrics: &mut Vec<Metric>, prefix: &str, series: &RatioSeries
 }
 
 /// The complete, serialisable outcome of running one experiment once.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// [`SCHEMA_VERSION`] at write time.
     pub schema_version: u32,
@@ -79,7 +131,8 @@ pub struct RunRecord {
     /// Monte-Carlo (CI-overlap comparison).
     pub deterministic: bool,
     /// Wall-clock time of the run in milliseconds. Informational only;
-    /// never compared against goldens.
+    /// never compared against goldens. Canonicalized to 0 in
+    /// checkpointed runs so resumed records stay byte-identical.
     pub wall_ms: f64,
     /// Execution counters recorded across the whole run (exact per-trial
     /// sums — thread-count independent, compared exactly).
@@ -89,27 +142,238 @@ pub struct RunRecord {
     pub metrics: Vec<Metric>,
     /// Rendered tables (informational only; never compared).
     pub tables: Vec<String>,
+    /// Did the experiment run to completion? A record written after an
+    /// isolated failure is marked `false` (and fails `check`); the field
+    /// is **omitted** from JSON when `true` so healthy records keep the
+    /// original byte format.
+    pub complete: bool,
+}
+
+fn f64_value(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Number(Number::F(x))
+    } else if x.is_nan() {
+        Value::String("NaN".to_string())
+    } else if x > 0.0 {
+        Value::String("Infinity".to_string())
+    } else {
+        Value::String("-Infinity".to_string())
+    }
+}
+
+fn u64_value(x: u64) -> Value {
+    Value::Number(Number::U(u128::from(x)))
 }
 
 impl RunRecord {
-    /// Serialise to pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialisation fails (it cannot for this type).
+    /// The JSON value tree of this record, in the canonical field order.
     #[must_use]
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("RunRecord serialises")
+    pub fn to_value(&self) -> Value {
+        let mut root = Map::new();
+        root.insert("schema_version", u64_value(u64::from(self.schema_version)));
+        root.insert("experiment", Value::String(self.experiment.clone()));
+        root.insert("title", Value::String(self.title.clone()));
+        root.insert("scale", Value::String(self.scale.clone()));
+        root.insert("deterministic", Value::Bool(self.deterministic));
+        root.insert("wall_ms", f64_value(self.wall_ms));
+        let mut counters = Map::new();
+        counters.insert("boxes_advanced", u64_value(self.counters.boxes_advanced));
+        counters.insert("cursor_steps", u64_value(self.counters.cursor_steps));
+        counters.insert("ios_charged", u64_value(self.counters.ios_charged));
+        counters.insert("cache_hits", u64_value(self.counters.cache_hits));
+        counters.insert("cache_evictions", u64_value(self.counters.cache_evictions));
+        root.insert("counters", Value::Object(counters));
+        let metrics: Vec<Value> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let mut metric = Map::new();
+                metric.insert("name", Value::String(m.name.clone()));
+                metric.insert("value", f64_value(m.value));
+                metric.insert("ci95", f64_value(m.ci95));
+                Value::Object(metric)
+            })
+            .collect();
+        root.insert("metrics", Value::Array(metrics));
+        root.insert(
+            "tables",
+            Value::Array(self.tables.iter().cloned().map(Value::String).collect()),
+        );
+        // Omitted when true: healthy records keep the pre-fault-tolerance
+        // byte format, so committed goldens never change.
+        if !self.complete {
+            root.insert("complete", Value::Bool(false));
+        }
+        Value::Object(root)
     }
 
-    /// Parse a record from JSON.
+    /// Serialise to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().render_pretty()
+    }
+
+    /// Parse a record from JSON, rejecting — never panicking on —
+    /// malformed, truncated, or out-of-range input.
     ///
     /// # Errors
     ///
-    /// Returns the underlying parse error message.
-    pub fn from_json(text: &str) -> Result<RunRecord, String> {
-        serde_json::from_str(text).map_err(|e| format!("{e:?}"))
+    /// [`RecordError::Syntax`] when the text is not JSON;
+    /// [`RecordError::Shape`] naming the first unusable field.
+    pub fn from_json(text: &str) -> Result<RunRecord, RecordError> {
+        let value = Value::parse_json(text).map_err(|e| RecordError::Syntax {
+            message: e.to_string(),
+        })?;
+        RunRecord::from_value(&value)
     }
+
+    /// Parse a record out of an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`RecordError::Shape`] naming the first unusable field.
+    pub fn from_value(value: &Value) -> Result<RunRecord, RecordError> {
+        let root = value
+            .as_object()
+            .ok_or_else(|| shape("<root>", "expected a JSON object"))?;
+        let schema_version = field_u32(root, "schema_version")?;
+        let record = RunRecord {
+            schema_version,
+            experiment: field_string(root, "experiment")?,
+            title: field_string(root, "title")?,
+            scale: field_string(root, "scale")?,
+            deterministic: field_bool(root, "deterministic")?,
+            wall_ms: field_f64(root, "wall_ms")?,
+            counters: parse_counters(root)?,
+            metrics: parse_metrics(root)?,
+            tables: parse_tables(root)?,
+            // Absent means complete: the original format had no flag.
+            complete: match root.get("complete") {
+                None => true,
+                Some(Value::Bool(b)) => *b,
+                Some(_) => return Err(shape("complete", "expected a boolean")),
+            },
+        };
+        Ok(record)
+    }
+}
+
+fn get<'v>(root: &'v Map, field: &str) -> Result<&'v Value, RecordError> {
+    root.get(field).ok_or_else(|| shape(field, "missing"))
+}
+
+fn field_string(root: &Map, field: &str) -> Result<String, RecordError> {
+    get(root, field)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| shape(field, "expected a string"))
+}
+
+fn field_bool(root: &Map, field: &str) -> Result<bool, RecordError> {
+    match get(root, field)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(shape(field, "expected a boolean")),
+    }
+}
+
+/// Inverse of [`f64_value`]: accepts the sentinel strings the writer
+/// uses for non-finite values, so every record we can write we can also
+/// read back.
+fn field_f64(root: &Map, field: &str) -> Result<f64, RecordError> {
+    match get(root, field)? {
+        Value::String(s) if s == "NaN" => Ok(f64::NAN),
+        Value::String(s) if s == "Infinity" => Ok(f64::INFINITY),
+        Value::String(s) if s == "-Infinity" => Ok(f64::NEG_INFINITY),
+        v => v.as_f64().ok_or_else(|| shape(field, "expected a number")),
+    }
+}
+
+/// A non-negative integer field, range-checked into `u64` via the
+/// fallible casts (a hostile `1e300` or `2^100` is a typed rejection, not
+/// a panic or a wrap).
+fn field_u64(root: &Map, field: &str) -> Result<u64, RecordError> {
+    match get(root, field)? {
+        Value::Number(Number::U(u)) => cast::checked_u64_from_u128(*u)
+            .ok_or_else(|| shape(field, "integer out of range for u64")),
+        _ => Err(shape(field, "expected a non-negative integer")),
+    }
+}
+
+fn field_u32(root: &Map, field: &str) -> Result<u32, RecordError> {
+    match get(root, field)? {
+        Value::Number(Number::U(u)) => cast::checked_u32_from_u128(*u)
+            .ok_or_else(|| shape(field, "integer out of range for u32")),
+        _ => Err(shape(field, "expected a non-negative integer")),
+    }
+}
+
+fn parse_counters(root: &Map) -> Result<CounterSnapshot, RecordError> {
+    let counters = get(root, "counters")?
+        .as_object()
+        .ok_or_else(|| shape("counters", "expected an object"))?;
+    Ok(CounterSnapshot {
+        boxes_advanced: field_u64(counters, "boxes_advanced")
+            .map_err(|e| prefix_field("counters", e))?,
+        cursor_steps: field_u64(counters, "cursor_steps")
+            .map_err(|e| prefix_field("counters", e))?,
+        ios_charged: field_u64(counters, "ios_charged").map_err(|e| prefix_field("counters", e))?,
+        cache_hits: field_u64(counters, "cache_hits").map_err(|e| prefix_field("counters", e))?,
+        cache_evictions: field_u64(counters, "cache_evictions")
+            .map_err(|e| prefix_field("counters", e))?,
+    })
+}
+
+fn prefix_field(prefix: &str, e: RecordError) -> RecordError {
+    match e {
+        RecordError::Shape { field, message } => RecordError::Shape {
+            field: format!("{prefix}.{field}"),
+            message,
+        },
+        other => other,
+    }
+}
+
+fn parse_metrics(root: &Map) -> Result<Vec<Metric>, RecordError> {
+    let items = get(root, "metrics")?
+        .as_array()
+        .ok_or_else(|| shape("metrics", "expected an array"))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let at = |inner: &str| format!("metrics[{i}].{inner}");
+            let object = item
+                .as_object()
+                .ok_or_else(|| shape(format!("metrics[{i}]"), "expected an object"))?;
+            Ok(Metric {
+                name: field_string(object, "name").map_err(|e| reword(at("name"), e))?,
+                value: field_f64(object, "value").map_err(|e| reword(at("value"), e))?,
+                ci95: field_f64(object, "ci95").map_err(|e| reword(at("ci95"), e))?,
+            })
+        })
+        .collect()
+}
+
+fn reword(field: String, e: RecordError) -> RecordError {
+    match e {
+        RecordError::Shape { message, .. } => RecordError::Shape { field, message },
+        other => other,
+    }
+}
+
+fn parse_tables(root: &Map) -> Result<Vec<String>, RecordError> {
+    let items = get(root, "tables")?
+        .as_array()
+        .ok_or_else(|| shape("tables", "expected an array"))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| shape(format!("tables[{i}]"), "expected a string"))
+        })
+        .collect()
 }
 
 // Exact float equality in tests is deliberate: outputs are required to be
@@ -119,9 +383,8 @@ impl RunRecord {
 mod tests {
     use super::*;
 
-    #[test]
-    fn record_round_trips_through_json() {
-        let record = RunRecord {
+    fn demo_record() -> RunRecord {
+        RunRecord {
             schema_version: SCHEMA_VERSION,
             experiment: "e1".into(),
             title: "demo".into(),
@@ -134,9 +397,118 @@ mod tests {
             },
             metrics: vec![metric("a/slope", 1.25), metric_ci("b/mean", 2.0, 0.125)],
             tables: vec!["T\nrow".into()],
-        };
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = demo_record();
         let back = RunRecord::from_json(&record.to_json()).unwrap();
         assert_eq!(record, back);
+    }
+
+    #[test]
+    fn complete_flag_round_trips_and_stays_out_of_healthy_records() {
+        let healthy = demo_record();
+        assert!(
+            !healthy.to_json().contains("complete"),
+            "healthy records must keep the original byte format"
+        );
+        let mut partial = demo_record();
+        partial.complete = false;
+        let json = partial.to_json();
+        assert!(json.contains("\"complete\": false"), "{json}");
+        let back = RunRecord::from_json(&json).unwrap();
+        assert!(!back.complete);
+    }
+
+    #[test]
+    fn serialization_matches_the_derived_legacy_format() {
+        // The manual writer must reproduce what the derive produced for
+        // the committed goldens: same field order, same float rendering.
+        let json = demo_record().to_json();
+        let expected_prefix = "{\n  \"schema_version\": 1,\n  \"experiment\": \"e1\",\n  \"title\": \"demo\",\n  \"scale\": \"quick\",\n  \"deterministic\": true,\n  \"wall_ms\": 12.5,";
+        assert!(
+            json.starts_with(expected_prefix),
+            "unexpected layout:\n{json}"
+        );
+        assert!(json.contains("\"boxes_advanced\": 7"));
+        assert!(json.ends_with('}'), "no trailing newline inside to_json");
+    }
+
+    #[test]
+    fn truncation_is_a_typed_syntax_error() {
+        let json = demo_record().to_json();
+        for cut in 0..json.len() {
+            match RunRecord::from_json(&json[..cut]) {
+                Err(_) => {}
+                Ok(_) => assert_eq!(cut, 0, "prefix of length {cut} parsed as a record"),
+            }
+        }
+        assert!(matches!(
+            RunRecord::from_json("{\"schema_ver"),
+            Err(RecordError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_integers_are_rejected_not_panicked_on() {
+        // u128-scale counters must not wrap or abort a 64-bit parse.
+        let json = demo_record().to_json().replace(
+            "\"boxes_advanced\": 7",
+            "\"boxes_advanced\": 340282366920938463463374607431768211455",
+        );
+        let err = RunRecord::from_json(&json).unwrap_err();
+        match err {
+            RecordError::Shape { field, message } => {
+                assert_eq!(field, "counters.boxes_advanced");
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("expected shape error, got {other:?}"),
+        }
+
+        let json = demo_record().to_json().replace(
+            "\"schema_version\": 1",
+            "\"schema_version\": 99999999999999",
+        );
+        assert!(matches!(
+            RunRecord::from_json(&json),
+            Err(RecordError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_shapes_name_the_field() {
+        let cases = [
+            ("\"experiment\": \"e1\"", "\"experiment\": 3", "experiment"),
+            (
+                "\"deterministic\": true",
+                "\"deterministic\": \"yes\"",
+                "deterministic",
+            ),
+            ("\"wall_ms\": 12.5", "\"wall_ms\": []", "wall_ms"),
+            ("\"ci95\": 0.125", "\"ci95\": null", "metrics[1].ci95"),
+            ("\"T\\nrow\"", "17", "tables[0]"),
+        ];
+        for (from, to, want_field) in cases {
+            let json = demo_record().to_json().replacen(from, to, 1);
+            let err = RunRecord::from_json(&json).unwrap_err();
+            match err {
+                RecordError::Shape { field, .. } => {
+                    assert_eq!(field, want_field, "after replacing {from}")
+                }
+                other => panic!("expected shape error after replacing {from}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        let json = "{\n  \"schema_version\": 1\n}";
+        let err = RunRecord::from_json(json).unwrap_err();
+        assert!(matches!(err, RecordError::Shape { ref field, .. } if field == "experiment"));
+        assert!(err.to_string().contains("experiment"));
     }
 
     #[test]

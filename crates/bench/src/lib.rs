@@ -14,9 +14,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiments;
+pub mod faults;
 pub mod harness;
 pub mod perf;
+
+pub use error::BenchError;
 
 /// Execution context handed to every registered experiment: the scale plus
 /// the worker-thread budget for the experiment's internal trial fan-out

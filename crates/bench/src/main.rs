@@ -2,20 +2,35 @@
 //!
 //! ```text
 //! cadapt-bench list
-//! cadapt-bench run   [--exp e1,e2,…] [--size quick|full] [--threads N] [--out DIR]
-//! cadapt-bench check [--exp e1,e2,…] [--size quick|full] [--threads N] [--golden DIR]
-//! cadapt-bench perf  [--size quick|full] [--out FILE]
+//! cadapt-bench run    [--exp e1,e2,…] [--size quick|full] [--threads N] [--out DIR]
+//!                     [--checkpoint-every N] [--resume]
+//! cadapt-bench check  [--exp e1,e2,…] [--size quick|full] [--threads N] [--golden DIR]
+//! cadapt-bench perf   [--size quick|full] [--out FILE]
+//! cadapt-bench faults [--seed N] [--cases N] [--out FILE]
 //! ```
 //!
 //! `run` executes the selected experiments (all, by default) through the
 //! registry, prints their tables, and — with `--out` — writes one
-//! schema-versioned JSON run record per experiment. Regenerate the goldens
-//! with `cadapt-bench run --size quick --out tests/golden`.
+//! schema-versioned JSON run record per experiment, atomically (tmp +
+//! rename). A failing experiment no longer takes the suite down: its
+//! record is written with `"complete": false` and the failure text as its
+//! only table, the remaining experiments still run, and the process exit
+//! code reports the first failure. Regenerate the goldens with
+//! `cadapt-bench run --size quick --out tests/golden`.
+//!
+//! `--checkpoint-every N` keeps a checksummed `MANIFEST.json` next to the
+//! records, flushed after every N completed experiments; `--resume`
+//! (which implies checkpointing) verifies the manifest and every record
+//! it vouches for, reuses the verified ones byte-for-byte, and re-runs
+//! the rest. Checkpointed records canonicalize `wall_ms` to 0 so a killed
+//! and resumed run's final records are **byte-identical** to an
+//! uninterrupted checkpointed run's. Both flags require `--out`.
 //!
 //! `check` re-runs the selected experiments and compares each against the
 //! committed record in the golden directory (default `tests/golden`) under
-//! the tolerance bands of `cadapt_bench::harness::check`. Exit status 1 on
-//! any mismatch.
+//! the tolerance bands of `cadapt_bench::harness::check`. A missing or
+//! malformed golden is a typed error naming the file and the exact
+//! command that regenerates it (exit 4); a mismatch exits 1.
 //!
 //! `run` and `check` shard the selected experiments over a work-stealing
 //! pool and split the `--threads` budget between experiment shards and
@@ -26,12 +41,29 @@
 //!
 //! `perf` times the per-box baseline against the run-length fast path plus
 //! the experiment engine's thread-scaling ladder and writes the suite
-//! record (default `BENCH_4.json`; `--out` overrides the file). `--quick`
-//! is shorthand for `--size quick` on every command.
+//! record (default `BENCH_4.json`; `--out` overrides the file).
+//!
+//! `faults` runs the deterministic fault-injection harness: `--cases`
+//! fault plans expanded from `--seed`, each attacking the engine's
+//! isolation, atomicity, and checksum guarantees. The report (default
+//! `FAULTS.json`, a checksummed envelope) is a pure function of the seed.
+//! Silent corruption — a verifying artifact with wrong contents — aborts
+//! the suite with a typed error.
+//!
+//! `--quick` is shorthand for `--size quick` on every command.
+//!
+//! Exit codes (see DESIGN.md's failure model): 0 success, 1 semantic
+//! failure (experiment error, check mismatch), 2 usage, 3 filesystem,
+//! 4 untrusted data (corrupt artifact, bad golden, unusable checkpoint),
+//! 5 isolated panic.
 
 use cadapt_analysis::parallel::{resolve_threads, run_indexed};
+use cadapt_bench::faults;
+use cadapt_bench::harness::checkpoint::{self, Checkpointer, Recovered};
+use cadapt_bench::harness::store::{self, ArtifactWriter, FsWriter};
 use cadapt_bench::harness::{self, CheckReport, RunRecord};
-use cadapt_bench::{ExpCtx, Scale};
+use cadapt_bench::{BenchError, ExpCtx, Scale};
+use cadapt_core::cast;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -43,6 +75,7 @@ commands:
   run                      run experiments and print their tables
   check                    re-run experiments and diff against goldens
   perf                     time per-box baseline vs the run-length fast path
+  faults                   attack the engine with deterministic fault injection
 
 options:
   --exp ID[,ID…]           experiments to touch (default: all)
@@ -53,7 +86,14 @@ options:
                            are bit-identical at any N)
   --out PATH               run: directory for per-experiment JSON records
                            perf: output file (default BENCH_4.json)
+                           faults: report file (default FAULTS.json)
   --golden DIR             check only: golden directory (default tests/golden)
+  --checkpoint-every N     run only: flush a crash-safe MANIFEST.json every N
+                           completed experiments (requires --out)
+  --resume                 run only: reuse verified records from a previous
+                           checkpointed run in --out; implies checkpointing
+  --seed N                 faults only: suite seed (default 7)
+  --cases N                faults only: fault plans to run (default 16)
 ";
 
 struct Options {
@@ -62,52 +102,86 @@ struct Options {
     threads: usize,
     out: Option<PathBuf>,
     golden: PathBuf,
+    checkpoint_every: Option<u64>,
+    resume: bool,
+    seed: u64,
+    cases: u64,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+fn usage_err(message: impl Into<String>) -> BenchError {
+    BenchError::Usage(message.into())
+}
+
+fn parse_options(args: &[String]) -> Result<Options, BenchError> {
     let mut options = Options {
         ids: Vec::new(),
         scale: None,
         threads: 0,
         out: None,
         golden: PathBuf::from("tests/golden"),
+        checkpoint_every: None,
+        resume: false,
+        seed: 7,
+        cases: 16,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
                 .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
+                .ok_or_else(|| usage_err(format!("{name} needs a value")))
+        };
+        let number = |name: &str, text: &str| {
+            text.parse::<u64>()
+                .map_err(|_| usage_err(format!("{name} needs a number, got {text:?}")))
         };
         match flag.as_str() {
             "--exp" => options.ids = value("--exp")?.split(',').map(str::to_string).collect(),
             "--size" => {
                 let name = value("--size")?;
-                options.scale =
-                    Some(Scale::parse(&name).ok_or_else(|| format!("unknown size {name:?}"))?);
+                options.scale = Some(
+                    Scale::parse(&name)
+                        .ok_or_else(|| usage_err(format!("unknown size {name:?}")))?,
+                );
             }
             "--quick" => options.scale = Some(Scale::Quick),
             "--threads" => {
                 let text = value("--threads")?;
-                options.threads = text
-                    .parse()
-                    .map_err(|_| format!("--threads needs a number, got {text:?}"))?;
+                options.threads = cast::checked_usize_from_u64(number("--threads", &text)?)
+                    .ok_or_else(|| usage_err(format!("--threads {text} does not fit this host")))?;
             }
             "--out" => options.out = Some(PathBuf::from(value("--out")?)),
             "--golden" => options.golden = PathBuf::from(value("--golden")?),
-            other => return Err(format!("unknown option {other:?}")),
+            "--checkpoint-every" => {
+                let text = value("--checkpoint-every")?;
+                let every = number("--checkpoint-every", &text)?;
+                if every == 0 {
+                    return Err(usage_err("--checkpoint-every must be at least 1"));
+                }
+                options.checkpoint_every = Some(every);
+            }
+            "--resume" => options.resume = true,
+            "--seed" => {
+                let text = value("--seed")?;
+                options.seed = number("--seed", &text)?;
+            }
+            "--cases" => {
+                let text = value("--cases")?;
+                options.cases = number("--cases", &text)?;
+            }
+            other => return Err(usage_err(format!("unknown option {other:?}"))),
         }
     }
     Ok(options)
 }
 
 /// Resolve the requested ids against the registry, defaulting to all.
-fn select(ids: &[String]) -> Result<Vec<&'static dyn harness::Experiment>, String> {
+fn select(ids: &[String]) -> Result<Vec<&'static dyn harness::Experiment>, BenchError> {
     if ids.is_empty() {
         return Ok(harness::registry().to_vec());
     }
     ids.iter()
-        .map(|id| harness::find(id).ok_or_else(|| format!("unknown experiment {id:?}")))
+        .map(|id| harness::find(id).ok_or_else(|| usage_err(format!("unknown experiment {id:?}"))))
         .collect()
 }
 
@@ -136,60 +210,171 @@ fn shard_plan(requested: usize, jobs: usize) -> (usize, usize) {
     (shards, inner)
 }
 
-/// Run every selected experiment on the sharding pool, returning records
-/// in registry (input) order.
-fn run_sharded(
-    experiments: &[&'static dyn harness::Experiment],
+/// One job's outcome on the run fan-out: the record (possibly partial)
+/// and the first error it hit — from the experiment itself or from
+/// persisting its artifacts.
+struct JobOutcome {
+    record: RunRecord,
+    error: Option<BenchError>,
+}
+
+/// Execute (or reuse) one run job, persisting its record and checkpoint
+/// entry. Never panics out of the shard pool: every failure lands in the
+/// returned [`JobOutcome`].
+fn run_job(
+    job: usize,
+    exp: &dyn harness::Experiment,
     scale: Scale,
-    requested_threads: usize,
-) -> Vec<RunRecord> {
-    let (shards, inner) = shard_plan(requested_threads, experiments.len());
-    run_indexed(experiments.len(), shards, |i| {
-        let exp = experiments[i];
-        eprintln!("[cadapt-bench] running {} ({})…", exp.id(), scale.name());
-        let record = harness::run_record_ctx(exp, ExpCtx::with_threads(scale, inner));
+    inner_threads: usize,
+    out: Option<&Path>,
+    ckpt: Option<&Checkpointer>,
+    recovered: &Recovered,
+) -> JobOutcome {
+    let job_index = cast::u64_from_usize(job);
+    if let Some((record, _text)) = recovered.get(&job_index) {
         eprintln!(
+            "[cadapt-bench] {} reused from checkpoint (verified)",
+            exp.id()
+        );
+        return JobOutcome {
+            record: record.clone(),
+            error: None,
+        };
+    }
+    eprintln!("[cadapt-bench] running {} ({})…", exp.id(), scale.name());
+    let (mut record, mut error) =
+        harness::run_record_resilient(exp, ExpCtx::with_threads(scale, inner_threads));
+    if ckpt.is_some() {
+        // Checkpointed runs canonicalize the one wall-clock-smeared field
+        // so a killed-and-resumed run is byte-identical to an
+        // uninterrupted one.
+        record.wall_ms = 0.0;
+    }
+    match &error {
+        None => eprintln!(
             "[cadapt-bench] {} finished in {:.0} ms ({} metrics, {} boxes advanced)",
             record.experiment,
             record.wall_ms,
             record.metrics.len(),
             record.counters.boxes_advanced
-        );
-        record
-    })
+        ),
+        Some(e) => eprintln!("[cadapt-bench] {} FAILED: {e}", record.experiment),
+    }
+    if let Some(dir) = out {
+        let path = dir.join(format!("{}.json", record.experiment));
+        let text = record.to_json();
+        let persisted = FsWriter
+            .persist(&path, &text)
+            .map_err(BenchError::from)
+            .and_then(|()| {
+                eprintln!("[cadapt-bench] wrote {}", path.display());
+                if let (Some(ckpt), true) = (ckpt, record.complete) {
+                    ckpt.mark_done(&FsWriter, job_index, &record.experiment, &text)?;
+                }
+                Ok(())
+            });
+        if let Err(e) = persisted {
+            error.get_or_insert(e);
+        }
+    }
+    JobOutcome { record, error }
 }
 
-fn cmd_run(options: &Options) -> Result<(), String> {
+fn cmd_run(options: &Options) -> Result<(), BenchError> {
     let scale = options.scale.unwrap_or(Scale::Full);
     let experiments = select(&options.ids)?;
-    if let Some(dir) = &options.out {
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let checkpointing = options.checkpoint_every.is_some() || options.resume;
+    let out = options.out.as_deref();
+    if checkpointing && out.is_none() {
+        return Err(usage_err(
+            "--checkpoint-every/--resume need --out DIR to persist into",
+        ));
     }
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).map_err(|e| BenchError::io("create", dir, &e))?;
+    }
+    let ids: Vec<String> = experiments.iter().map(|e| e.id().to_string()).collect();
+    let recovered = match (options.resume, out) {
+        (true, Some(dir)) => checkpoint::resume(dir, scale.name(), &ids)?,
+        _ => Recovered::new(),
+    };
+    if options.resume {
+        eprintln!(
+            "[cadapt-bench] resume: {} of {} experiments verified and reused",
+            recovered.len(),
+            ids.len()
+        );
+    }
+    let ckpt = match (checkpointing, out) {
+        (true, Some(dir)) => {
+            let ckpt = Checkpointer::new(
+                dir,
+                scale.name(),
+                ids.clone(),
+                options.checkpoint_every.unwrap_or(1),
+            );
+            ckpt.preload(&recovered);
+            Some(ckpt)
+        }
+        _ => None,
+    };
+    let (shards, inner) = shard_plan(options.threads, experiments.len());
     // Tables are buffered in the records and printed in registry order
-    // after the fan-out, so sharding never interleaves stdout.
-    for record in run_sharded(&experiments, scale, options.threads) {
-        for table in &record.tables {
+    // after the fan-out, so sharding never interleaves stdout. Each job
+    // persists its own record the moment it completes — a kill mid-suite
+    // loses at most the in-flight experiments.
+    let outcomes: Vec<JobOutcome> = run_indexed(experiments.len(), shards, |i| {
+        run_job(
+            i,
+            experiments[i],
+            scale,
+            inner,
+            out,
+            ckpt.as_ref(),
+            &recovered,
+        )
+    });
+    if let Some(ckpt) = &ckpt {
+        ckpt.flush(&FsWriter)?;
+    }
+    let mut first_error = None;
+    for outcome in outcomes {
+        for table in &outcome.record.tables {
             print!("{table}");
             println!();
         }
-        if let Some(dir) = &options.out {
-            let path = dir.join(format!("{}.json", record.experiment));
-            std::fs::write(&path, record.to_json())
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
-            eprintln!("[cadapt-bench] wrote {}", path.display());
+        if let Some(e) = outcome.error {
+            first_error.get_or_insert(e);
         }
     }
-    Ok(())
+    match first_error {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
 }
 
-fn load_golden(dir: &Path, id: &str) -> Result<RunRecord, String> {
+/// Load one golden record, mapping every failure to a [`BenchError::Golden`]
+/// that names the file and the command that regenerates it.
+fn load_golden(dir: &Path, id: &str) -> Result<RunRecord, BenchError> {
     let path = dir.join(format!("{id}.json"));
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| format!("reading golden {}: {e}", path.display()))?;
-    RunRecord::from_json(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+    let golden = |detail: String| BenchError::Golden {
+        id: id.to_string(),
+        path: path.clone(),
+        detail,
+    };
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| golden(format!("cannot read it: {e}")))?;
+    let record = RunRecord::from_json(&text).map_err(|e| golden(e.to_string()))?;
+    if record.experiment != id {
+        return Err(golden(format!(
+            "file claims to be a record for {:?}",
+            record.experiment
+        )));
+    }
+    Ok(record)
 }
 
-fn cmd_check(options: &Options) -> Result<bool, String> {
+fn cmd_check(options: &Options) -> Result<bool, BenchError> {
     let scale = options.scale.unwrap_or(Scale::Quick);
     let experiments = select(&options.ids)?;
     // Load every golden up front so a missing file fails before any work.
@@ -201,7 +386,11 @@ fn cmd_check(options: &Options) -> Result<bool, String> {
     let reports: Vec<CheckReport> = run_indexed(experiments.len(), shards, |i| {
         let exp = experiments[i];
         eprintln!("[cadapt-bench] checking {} ({})…", exp.id(), scale.name());
-        let fresh = harness::run_record_ctx(exp, ExpCtx::with_threads(scale, inner));
+        // Resilient: a crashing experiment yields an incomplete record,
+        // which compare() reports as a failure for that experiment while
+        // the other checks still run.
+        let (fresh, _error) =
+            harness::run_record_resilient(exp, ExpCtx::with_threads(scale, inner));
         harness::compare(&goldens[i], &fresh)
     });
     let mut all_passed = true;
@@ -219,22 +408,62 @@ fn cmd_check(options: &Options) -> Result<bool, String> {
     Ok(all_passed)
 }
 
-fn cmd_perf(options: &Options) -> Result<(), String> {
+fn cmd_perf(options: &Options) -> Result<(), BenchError> {
     let scale = options.scale.unwrap_or(Scale::Full);
     eprintln!(
         "[cadapt-bench] timing per-box vs batched ({})…",
         scale.name()
     );
-    let suite = cadapt_bench::perf::run(scale);
+    let suite = cadapt_bench::perf::run(scale)?;
     print!("{}", suite.table());
     let path = options
         .out
         .clone()
         .unwrap_or_else(|| PathBuf::from("BENCH_4.json"));
-    std::fs::write(&path, suite.to_json())
-        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    FsWriter.persist(&path, &suite.to_json())?;
     eprintln!("[cadapt-bench] wrote {}", path.display());
     Ok(())
+}
+
+fn cmd_faults(options: &Options) -> Result<(), BenchError> {
+    let seed = options.seed;
+    let scratch = faults::scratch_dir(seed);
+    eprintln!(
+        "[cadapt-bench] injecting faults: seed {seed}, {} cases (scratch {})…",
+        options.cases,
+        scratch.display()
+    );
+    let report = faults::run_suite(seed, options.cases, &scratch)?;
+    println!(
+        "fault suite: seed {seed}, {} cases, {} recovered, {} clean failures, 0 silent corruptions",
+        report.cases.len(),
+        report.recovered(),
+        report.cases.len() - report.recovered()
+    );
+    let path = options
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("FAULTS.json"));
+    store::write_envelope(&FsWriter, &path, &report.to_payload())?;
+    eprintln!("[cadapt-bench] wrote {}", path.display());
+    let _ = std::fs::remove_dir_all(&scratch);
+    Ok(())
+}
+
+/// Dispatch; `Ok(false)` is a check mismatch (exit 1 without an error
+/// message — the report already went to stdout).
+fn dispatch(command: &str, options: &Options) -> Result<bool, BenchError> {
+    match command {
+        "list" => {
+            cmd_list();
+            Ok(true)
+        }
+        "run" => cmd_run(options).map(|()| true),
+        "check" => cmd_check(options),
+        "perf" => cmd_perf(options).map(|()| true),
+        "faults" => cmd_faults(options).map(|()| true),
+        other => Err(usage_err(format!("unknown command {other:?}"))),
+    }
 }
 
 fn main() -> ExitCode {
@@ -243,34 +472,17 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     };
-    let options = match parse_options(rest) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("cadapt-bench: {e}");
-            eprint!("{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
-    let outcome = match command.as_str() {
-        "list" => {
-            cmd_list();
-            Ok(true)
-        }
-        "run" => cmd_run(&options).map(|()| true),
-        "check" => cmd_check(&options),
-        "perf" => cmd_perf(&options).map(|()| true),
-        other => {
-            eprintln!("cadapt-bench: unknown command {other:?}");
-            eprint!("{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
+    let outcome = parse_options(rest).and_then(|options| dispatch(command, &options));
+    // The one place a BenchError becomes a process exit code.
     match outcome {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("cadapt-bench: {e}");
-            ExitCode::FAILURE
+            if matches!(e, BenchError::Usage(_)) {
+                eprint!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

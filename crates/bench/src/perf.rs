@@ -18,7 +18,7 @@
 //! machine they hover near (or slightly below) 1.0.
 
 use crate::harness::{self, RunRecord};
-use crate::{ExpCtx, Scale};
+use crate::{BenchError, ExpCtx, Scale};
 use cadapt_analysis::parallel::resolve_threads;
 use cadapt_core::profile::ConstantSource;
 use cadapt_core::BoxSource;
@@ -87,13 +87,9 @@ pub struct PerfSuite {
 
 impl PerfSuite {
     /// Pretty JSON for the committed record.
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialisation fails (plain data; it cannot).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut text = serde_json::to_string_pretty(self).expect("serializable");
+        let mut text = serde_json::to_value(self).render_pretty();
         text.push('\n');
         text
     }
@@ -140,20 +136,19 @@ fn time_case<S: BoxSource>(
     n: u64,
     config: &RunConfig,
     make_source: impl Fn() -> S,
-) -> (f64, u64) {
+) -> Result<(f64, u64), BenchError> {
     let mut best = f64::INFINITY;
     let mut boxes = 0;
     for _ in 0..ITERS {
         let mut source = make_source();
         // cadapt-lint: allow(nondet-source) -- the perf smoke measures wall time by design; timings feed the perf report, never the golden records
         let start = Instant::now();
-        let report =
-            run_on_profile(params, n, &mut source, config).expect("perf case must complete");
+        let report = run_on_profile(params, n, &mut source, config)?;
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         best = best.min(elapsed);
         boxes = report.boxes_used;
     }
-    (best, boxes)
+    Ok((best, boxes))
 }
 
 fn entry<S: BoxSource>(
@@ -162,7 +157,7 @@ fn entry<S: BoxSource>(
     n: u64,
     model: ExecModel,
     make_source: impl Fn() -> S,
-) -> PerfEntry {
+) -> Result<PerfEntry, BenchError> {
     let per_box_config = RunConfig {
         model,
         fast_path: false,
@@ -172,19 +167,20 @@ fn entry<S: BoxSource>(
         model,
         ..RunConfig::default()
     };
-    let (per_box_ms, slow_boxes) = time_case(params, n, &per_box_config, &make_source);
-    let (batched_ms, fast_boxes) = time_case(params, n, &batched_config, &make_source);
-    assert_eq!(
-        slow_boxes, fast_boxes,
-        "{name}: fast path diverged from the per-box baseline"
-    );
-    PerfEntry {
+    let (per_box_ms, slow_boxes) = time_case(params, n, &per_box_config, &make_source)?;
+    let (batched_ms, fast_boxes) = time_case(params, n, &batched_config, &make_source)?;
+    if slow_boxes != fast_boxes {
+        return Err(BenchError::invariant(format!(
+            "{name}: fast path diverged from the per-box baseline ({fast_boxes} vs {slow_boxes} boxes)"
+        )));
+    }
+    Ok(PerfEntry {
         name: name.to_string(),
         boxes: fast_boxes,
         per_box_ms,
         batched_ms,
         speedup: per_box_ms / batched_ms,
-    }
+    })
 }
 
 /// Run the full suite at the given scale.
@@ -222,28 +218,32 @@ fn ladder(host: usize) -> Vec<usize> {
 }
 
 /// Time the trial-parallel experiments across the worker ladder,
-/// asserting each parallel record reproduces the serial one exactly.
+/// checking each parallel record reproduces the serial one exactly.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any parallel run diverges from the serial record — that is a
-/// determinism bug in the engine, not a tolerable measurement artifact.
-fn thread_scaling(scale: Scale, host: usize) -> Vec<ScalingEntry> {
+/// Returns a typed error if any parallel run diverges from the serial
+/// record — that is a determinism bug in the engine, not a tolerable
+/// measurement artifact — or if any run fails outright.
+fn thread_scaling(scale: Scale, host: usize) -> Result<Vec<ScalingEntry>, BenchError> {
     let mut out = Vec::new();
     for id in SCALING_EXPERIMENTS {
-        let exp = harness::find(id).expect("scaling experiment is registered");
+        let exp = harness::find(id).ok_or_else(|| {
+            BenchError::invariant(format!("scaling experiment {id} is not registered"))
+        })?;
         let mut serial: Option<RunRecord> = None;
         for &threads in &ladder(host) {
             eprintln!("[cadapt-bench] scaling {id} with {threads} thread(s)…");
-            let record = harness::run_record_ctx(exp, ExpCtx::with_threads(scale, threads));
+            let record = harness::run_record_ctx(exp, ExpCtx::with_threads(scale, threads))?;
             let (speedup, matches_serial) = match &serial {
                 None => (1.0, true),
                 Some(base) => {
                     let matches = records_identical(base, &record);
-                    assert!(
-                        matches,
-                        "{id}: record at {threads} threads diverged from the serial record"
-                    );
+                    if !matches {
+                        return Err(BenchError::invariant(format!(
+                            "{id}: record at {threads} threads diverged from the serial record"
+                        )));
+                    }
                     (base.wall_ms / record.wall_ms, matches)
                 }
             };
@@ -259,42 +259,46 @@ fn thread_scaling(scale: Scale, host: usize) -> Vec<ScalingEntry> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// `constant_capacity` times the capacity model's steady-cycle batching on
 /// the same constant feed.
-#[must_use]
-pub fn run(scale: Scale) -> PerfSuite {
+///
+/// # Errors
+///
+/// Propagates run failures and engine determinism violations as typed
+/// errors.
+pub fn run(scale: Scale) -> Result<PerfSuite, BenchError> {
     let mm = AbcParams::mm_scan();
     let constant_n: u64 = scale.pick(1 << 16, 1 << 18);
-    let wide = AbcParams::new(16, 4, 1.0, 1).expect("valid params");
+    let wide = AbcParams::new(16, 4, 1.0, 1)?;
     let wc_depth = scale.pick(5, 6);
-    let wc = WorstCase::new(16, 4, 1, wc_depth).expect("valid worst case");
+    let wc = WorstCase::new(16, 4, 1, wc_depth)?;
     let wc_n = wide.canonical_size(wc_depth);
     let entries = vec![
         entry("constant", mm, constant_n, ExecModel::Simplified, || {
             ConstantSource::new(16)
-        }),
+        })?,
         entry("worst_case", wide, wc_n, ExecModel::Simplified, || {
             wc.source()
-        }),
+        })?,
         entry(
             "constant_capacity",
             mm,
             constant_n,
             ExecModel::capacity(),
             || ConstantSource::new(16),
-        ),
+        )?,
     ];
     let host = resolve_threads(0);
-    PerfSuite {
+    Ok(PerfSuite {
         schema_version: SCHEMA_VERSION,
         scale: scale.name().to_string(),
         host_parallelism: host,
         entries,
-        thread_scaling: thread_scaling(scale, host),
-    }
+        thread_scaling: thread_scaling(scale, host)?,
+    })
 }
 
 #[cfg(test)]
@@ -310,7 +314,8 @@ mod tests {
             256,
             ExecModel::Simplified,
             || ConstantSource::new(16),
-        );
+        )
+        .expect("tiny perf entry runs");
         assert!(e.boxes > 0);
         assert!(e.per_box_ms >= 0.0 && e.batched_ms >= 0.0);
         let suite = PerfSuite {

@@ -12,7 +12,7 @@ fn record(id: &str, threads: usize) -> RunRecord {
         exp.deterministic(),
         "{id} must declare the determinism contract it is tested against"
     );
-    run_record_ctx(exp, ExpCtx::with_threads(Scale::Quick, threads))
+    run_record_ctx(exp, ExpCtx::with_threads(Scale::Quick, threads)).expect("experiment runs")
 }
 
 fn assert_bit_identical(id: &str) {

@@ -100,6 +100,39 @@ pub fn u64_from_f64(x: f64) -> u64 {
     x as u64
 }
 
+/// Checked `u128 → u64` for **untrusted** input (hostile record files,
+/// corrupted checkpoints). Unlike the panicking helpers above — which
+/// guard *internal* accounting where an overflow means the totals are
+/// already wrong — these return `None` so parsers can reject bad data
+/// with a typed error instead of aborting the process.
+#[inline]
+#[must_use]
+pub fn checked_u64_from_u128(x: u128) -> Option<u64> {
+    u64::try_from(x).ok()
+}
+
+/// Checked `u128 → u32` for untrusted input (schema versions, counts).
+#[inline]
+#[must_use]
+pub fn checked_u32_from_u128(x: u128) -> Option<u32> {
+    u32::try_from(x).ok()
+}
+
+/// Checked `u128 → usize` for untrusted input (lengths, indices read
+/// from disk before they are used to size or index anything).
+#[inline]
+#[must_use]
+pub fn checked_usize_from_u128(x: u128) -> Option<usize> {
+    usize::try_from(x).ok()
+}
+
+/// Checked `u64 → usize` for untrusted input.
+#[inline]
+#[must_use]
+pub fn checked_usize_from_u64(x: u64) -> Option<usize> {
+    usize::try_from(x).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +170,15 @@ mod tests {
     #[should_panic(expected = "exceeds u64")]
     fn u128_overflow_panics() {
         let _ = u64_from_u128(u128::from(u64::MAX) + 1);
+    }
+
+    #[test]
+    fn checked_variants_reject_instead_of_panicking() {
+        assert_eq!(checked_u64_from_u128(42), Some(42));
+        assert_eq!(checked_u64_from_u128(u128::from(u64::MAX) + 1), None);
+        assert_eq!(checked_u32_from_u128(7), Some(7));
+        assert_eq!(checked_u32_from_u128(u128::from(u32::MAX) + 1), None);
+        assert_eq!(checked_usize_from_u128(9), Some(9));
+        assert_eq!(checked_usize_from_u64(11), Some(11));
     }
 }

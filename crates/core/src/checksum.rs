@@ -1,0 +1,97 @@
+//! Content checksums for on-disk artifacts.
+//!
+//! The experiment engine persists run records, checkpoint manifests, and
+//! fault-injection reports via tmp-file + rename. Rename gives atomicity
+//! against crashes, but not against bit rot or hostile edits — so every
+//! checksummed artifact embeds a CRC-32 of its canonical payload bytes,
+//! and readers recompute it before trusting the contents (see
+//! `cadapt_bench::harness::store`).
+//!
+//! CRC-32 (the IEEE 802.3 polynomial, as used by gzip/zip/PNG) is enough
+//! here: the threat model is truncation and accidental corruption, not an
+//! adversary forging collisions. The implementation is dependency-free —
+//! a 256-entry table built at first use.
+
+use std::sync::OnceLock;
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            #[allow(clippy::cast_possible_truncation)]
+            // cadapt-lint: allow(lossy-cast) -- i < 256 by the loop bound; the cast is exact
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            t[i] = crc;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        let idx = crate::cast::usize_from_u32((crc ^ u32::from(b)) & 0xFF);
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+/// CRC-32 of `bytes`, rendered as the fixed-width lowercase hex string
+/// embedded in checksummed artifacts (`"crc32:xxxxxxxx"`).
+#[must_use]
+pub fn crc32_tag(bytes: &[u8]) -> String {
+    format!("crc32:{:08x}", crc32(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn tag_is_stable_and_prefixed() {
+        assert_eq!(crc32_tag(b"123456789"), "crc32:cbf43926");
+        assert_eq!(crc32_tag(b""), "crc32:00000000");
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let base = b"schema_version: 1, metrics: [1.5, 2.5]".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

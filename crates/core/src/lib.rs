@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod cast;
+pub mod checksum;
 pub mod counters;
 pub mod error;
 pub mod memory_profile;

@@ -56,15 +56,38 @@ fn no_panic_lib_pass() {
 
 #[test]
 fn no_panic_is_scoped_to_library_code() {
-    // The same panicking fixture is fine as a test, bench, bin, or inside
-    // the bench harness crate (whose error policy is abort-on-bad-setup).
+    // The same panicking fixture is fine as a test, bench, or binary root
+    // (cadapt-bench's main.rs is exempt that way: it is the one place
+    // errors become exit codes).
     for path in [
         "crates/demo/tests/t.rs",
         "crates/demo/benches/b.rs",
         "crates/demo/src/bin/tool.rs",
-        "crates/bench/src/harness/check.rs",
+        "crates/bench/src/main.rs",
     ] {
         assert_eq!(lint_fixture("fail/no_panic_lib.rs", path), [], "{path}");
+    }
+}
+
+#[test]
+fn no_panic_covers_the_bench_harness_library() {
+    // Since the fault-tolerance rework the bench crate's library half is
+    // held to the same standard as every other crate.
+    for path in [
+        "crates/bench/src/harness/check.rs",
+        "crates/bench/src/experiments/e1_worst_case_gap.rs",
+        "crates/bench/src/faults.rs",
+    ] {
+        assert_eq!(
+            lint_fixture("fail/no_panic_lib.rs", path),
+            [
+                ("no-panic-lib", 4),
+                ("no-panic-lib", 8),
+                ("no-panic-lib", 14),
+                ("no-panic-lib", 19),
+            ],
+            "{path}"
+        );
     }
 }
 

@@ -40,7 +40,7 @@ fn every_experiment_has_a_well_formed_golden() {
 fn e1_rerun_matches_its_committed_golden() {
     let exp = harness::find("e1").expect("e1 registered");
     let golden = load_golden("e1");
-    let fresh = harness::run_record(exp, Scale::Quick);
+    let fresh = harness::run_record(exp, Scale::Quick).expect("experiment runs");
     let report = harness::compare(&golden, &fresh);
     assert!(
         report.passed(),
@@ -53,7 +53,7 @@ fn e1_rerun_matches_its_committed_golden() {
 fn e11_rerun_matches_its_committed_golden() {
     let exp = harness::find("e11").expect("e11 registered");
     let golden = load_golden("e11");
-    let fresh = harness::run_record(exp, Scale::Quick);
+    let fresh = harness::run_record(exp, Scale::Quick).expect("experiment runs");
     let report = harness::compare(&golden, &fresh);
     assert!(
         report.passed(),
@@ -66,7 +66,7 @@ fn e11_rerun_matches_its_committed_golden() {
 fn tampering_with_a_golden_is_detected() {
     let exp = harness::find("e11").expect("e11 registered");
     let mut golden = load_golden("e11");
-    let fresh = harness::run_record(exp, Scale::Quick);
+    let fresh = harness::run_record(exp, Scale::Quick).expect("experiment runs");
     golden.metrics[0].value += 0.5;
     assert!(!harness::compare(&golden, &fresh).passed());
 }
