@@ -1,0 +1,64 @@
+//! `float-ord`: no `partial_cmp` in library code; order floats with
+//! `total_cmp`.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::{is_test_or_bin_path, Rule};
+use crate::source::SourceFile;
+
+/// Flags `.partial_cmp(` / `partial_cmp` comparator references in library
+/// code outside `#[cfg(test)]`.
+pub struct FloatOrd;
+
+impl Rule for FloatOrd {
+    fn id(&self) -> &'static str {
+        "float-ord"
+    }
+
+    fn summary(&self) -> &'static str {
+        "partial_cmp in library code; use f64::total_cmp (total, NaN-safe)"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Sorting or maximising by `partial_cmp` forces a decision at every \
+         NaN: `.unwrap()` panics, `unwrap_or(Equal)` silently produces an \
+         order that depends on the input permutation — and either way the \
+         result is not a total order, so two runs that visit candidates in \
+         different orders can disagree on the winner. That breaks the \
+         bit-identical determinism the golden records and the analytic \
+         cache model's equivalence proofs rely on (the analytic module \
+         compares potentials and speedup ratios; a permutation-dependent \
+         sort there would un-pin the goldens). This rule flags the \
+         `partial_cmp` identifier — method calls and comparator references \
+         alike — in library sources; tests, benches, examples, and binary \
+         roots are exempt. Fix: `f64::total_cmp` (total over all floats, \
+         IEEE 754 totalOrder, no Option); for non-float `PartialOrd` types \
+         prefer `Ord::cmp`, or waive with a justification for why the \
+         domain excludes incomparable values."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        !is_test_or_bin_path(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.lexed.tokens;
+        for t in toks {
+            if t.kind != TokenKind::Ident || t.text != "partial_cmp" {
+                continue;
+            }
+            if file.in_cfg_test(t.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                path: file.rel_path.clone(),
+                line: t.line,
+                message: "`partial_cmp` in library code; use `f64::total_cmp` (or `Ord::cmp`) \
+                          for a total, NaN-safe order, or waive with the domain argument that \
+                          excludes incomparable values"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 mod crate_header;
 mod float_eq;
+mod float_ord;
 mod lossy_cast;
 mod no_panic_lib;
 mod nondet_source;
@@ -35,6 +36,7 @@ pub trait Rule {
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(float_eq::FloatEq),
+        Box::new(float_ord::FloatOrd),
         Box::new(no_panic_lib::NoPanicLib),
         Box::new(lossy_cast::LossyCast),
         Box::new(nondet_source::NondetSource),

@@ -37,6 +37,48 @@ fn float_eq_pass() {
 }
 
 #[test]
+fn float_ord_fail() {
+    assert_eq!(
+        lint_fixture("fail/float_ord.rs", LIB_PATH),
+        [("float-ord", 6), ("float-ord", 10), ("float-ord", 14)]
+    );
+}
+
+#[test]
+fn float_ord_pass() {
+    assert_eq!(lint_fixture("pass/float_ord.rs", LIB_PATH), []);
+}
+
+#[test]
+fn float_ord_is_scoped_to_library_code() {
+    for path in [
+        "crates/demo/tests/t.rs",
+        "crates/demo/benches/b.rs",
+        "crates/bench/src/main.rs",
+    ] {
+        assert_eq!(lint_fixture("fail/float_ord.rs", path), [], "{path}");
+    }
+}
+
+#[test]
+fn analytic_module_is_covered_by_float_ord_and_lossy_cast() {
+    // The analytic cache model's contract depends on both rules: its
+    // fault arithmetic must use the checked cast helpers (it lives in an
+    // accounting crate) and any float ordering must be total. Pin the
+    // exact path so a future move out of crates/paging cannot silently
+    // drop either obligation.
+    const ANALYTIC_PATH: &str = "crates/paging/src/analytic.rs";
+    assert_eq!(
+        lint_fixture("fail/float_ord.rs", ANALYTIC_PATH),
+        [("float-ord", 6), ("float-ord", 10), ("float-ord", 14)]
+    );
+    assert_eq!(
+        lint_fixture("fail/lossy_cast.rs", ANALYTIC_PATH),
+        [("lossy-cast", 5), ("lossy-cast", 9), ("lossy-cast", 13)]
+    );
+}
+
+#[test]
 fn no_panic_lib_fail() {
     assert_eq!(
         lint_fixture("fail/no_panic_lib.rs", LIB_PATH),

@@ -1,0 +1,15 @@
+//! Fixture: partial_cmp-based float ordering in library code.
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+}
+
+pub fn comparator_reference(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| f64::partial_cmp(&a.1, &b.1).map_or(std::cmp::Ordering::Equal, |o| o));
+}

@@ -1,0 +1,30 @@
+//! Fixture: the accepted ways to order floats.
+
+/// Total order over all f64 values — no Option, no NaN decision.
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+/// Deterministic sort by the IEEE 754 total order.
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+/// Integer keys use Ord directly.
+pub fn sort_by_key(xs: &mut [(u32, f64)]) {
+    xs.sort_by_key(|&(k, _)| k);
+}
+
+/// A waived use carries the domain argument.
+pub fn ranked(xs: &mut [f64]) {
+    // cadapt-lint: allow(float-ord) -- domain: inputs are box sizes cast from u64, NaN cannot occur
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn partial_cmp_is_fine_in_tests() {
+        assert_eq!(1.0_f64.partial_cmp(&2.0), Some(std::cmp::Ordering::Less));
+    }
+}

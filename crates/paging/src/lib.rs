@@ -20,14 +20,29 @@
 //! offline-optimal replacement as the baseline the ideal-cache model
 //! assumes, with the Sleator–Tarjan LRU-vs-OPT inequality checked in its
 //! tests.
+//!
+//! Each simulated replay mode has an analytic twin in [`analytic`] that
+//! computes the identical numbers in closed form from a
+//! [`TraceSummary`](cadapt_trace::TraceSummary) — no cache state, no
+//! per-reference replay — selectable per experiment through
+//! [`analytic::CacheBackend`]. The equivalence is exact and enforced by
+//! proptest (`tests/props_analytic_equivalence.rs`) and the corpus
+//! integration suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod lru;
 pub mod opt;
 pub mod replay;
 
+pub use analytic::{
+    analytic_fixed, analytic_memory_profile, analytic_square_profile,
+    analytic_square_profile_history, CacheBackend,
+};
 pub use lru::LruCache;
 pub use opt::replay_opt;
-pub use replay::{replay_fixed, replay_memory_profile, replay_square_profile};
+pub use replay::{
+    replay_fixed, replay_memory_profile, replay_square_profile, replay_square_profile_history,
+};

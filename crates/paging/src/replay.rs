@@ -69,8 +69,30 @@ pub fn replay_square_profile<S: BoxSource>(
     source: &mut S,
     rho: Potential,
 ) -> AdaptivityReport {
-    let n = trace.distinct_blocks();
-    let mut ledger = ProgressLedger::new(rho, n);
+    let ledger = ProgressLedger::new(rho, trace.distinct_blocks());
+    replay_square_into(trace, source, ledger).finish()
+}
+
+/// As [`replay_square_profile`], additionally returning the per-box
+/// history — the lock-step ground truth the analytic backend is
+/// cross-validated against (`cadapt_paging::analytic`).
+#[must_use]
+pub fn replay_square_profile_history<S: BoxSource>(
+    trace: &BlockTrace,
+    source: &mut S,
+    rho: Potential,
+) -> (AdaptivityReport, Vec<BoxRecord>) {
+    let ledger = ProgressLedger::retaining(rho, trace.distinct_blocks());
+    let ledger = replay_square_into(trace, source, ledger);
+    let history = ledger.history().unwrap_or_default().to_vec();
+    (ledger.finish(), history)
+}
+
+fn replay_square_into<S: BoxSource>(
+    trace: &BlockTrace,
+    source: &mut S,
+    mut ledger: ProgressLedger,
+) -> ProgressLedger {
     let mut events = trace.events().iter().peekable();
     // Consume trailing leaf marks of the final box correctly by treating
     // leaf marks as attached to the preceding access.
@@ -110,7 +132,7 @@ pub fn replay_square_profile<S: BoxSource>(
             used,
         });
     }
-    ledger.finish()
+    ledger
 }
 
 /// Outcome of an arbitrary-profile replay.

@@ -1,0 +1,120 @@
+//! Property-based cross-validation of the analytic cache model against the
+//! exact LRU simulator, on arbitrary generated traces.
+//!
+//! The analytic model's contract is *exact equality* — not approximation —
+//! with the simulator on every trace, every capacity, every box menu, and
+//! every memory profile (see `cadapt_paging::analytic` for the three
+//! theorems that make this possible). These properties enforce the
+//! contract on adversarial inputs the corpus algorithms would never
+//! produce: tight re-access loops, leaf bursts between accesses, blocks
+//! that never repeat, menus mixing size-1 and oversized boxes.
+//!
+//! There is **no deliberate divergence regime** in the replayed
+//! quantities. The only documented difference is diagnostic: the
+//! simulator ticks the cache-hit/eviction counters and the analytic model
+//! does not, which the unit tests in `cadapt_paging::analytic` pin down.
+
+// Test-only code: unwraps abort the test (the right failure mode).
+#![allow(clippy::unwrap_used)]
+
+use cadapt_core::{MemoryProfile, Potential, SquareProfile};
+use cadapt_paging::{
+    analytic_fixed, analytic_memory_profile, analytic_square_profile_history, replay_fixed,
+    replay_memory_profile, replay_square_profile_history,
+};
+use cadapt_trace::{SummarizedTrace, Tracer};
+use proptest::prelude::*;
+
+/// Build a summarised trace from generated `(block, leaf_after)` pairs.
+/// Blocks are drawn from a small universe so re-accesses are common.
+fn assemble(ops: &[(u64, bool)]) -> SummarizedTrace {
+    let mut tracer = Tracer::new(1);
+    for &(block, leaf_after) in ops {
+        tracer.touch(block);
+        if leaf_after {
+            tracer.leaf();
+        }
+    }
+    SummarizedTrace::new(tracer.into_trace())
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..12, proptest::bool::ANY), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fixed caches: the stack-distance query equals the LRU replay at
+    /// every capacity from degenerate (0) through oversized.
+    #[test]
+    fn fixed_capacity_sweep_is_exact(ops in ops_strategy()) {
+        let st = assemble(&ops);
+        for capacity in (0u64..=16).chain([64, 1 << 30]) {
+            prop_assert_eq!(
+                analytic_fixed(st.summary(), capacity),
+                replay_fixed(st.trace(), capacity),
+                "capacity {}", capacity
+            );
+        }
+    }
+
+    /// Square profiles: the full report and the per-box history are equal
+    /// box for box, for arbitrary cycled menus.
+    #[test]
+    fn square_profiles_are_lock_step(
+        ops in ops_strategy(),
+        menu in proptest::collection::vec(1u64..20, 1..8),
+    ) {
+        let st = assemble(&ops);
+        let rho = Potential::new(8, 4);
+        let profile = SquareProfile::new(menu).unwrap();
+        let (sim_report, sim_boxes) =
+            replay_square_profile_history(st.trace(), &mut profile.cycle(), rho);
+        let (ana_report, ana_boxes) =
+            analytic_square_profile_history(st.summary(), &mut profile.cycle(), rho);
+        prop_assert_eq!(sim_boxes, ana_boxes);
+        prop_assert_eq!(sim_report, ana_report);
+    }
+
+    /// Arbitrary m(t) profiles: equal I/O, completion flag, and leaf
+    /// count — including truncated replays where the profile runs out.
+    #[test]
+    fn memory_profiles_are_exact(
+        ops in ops_strategy(),
+        steps in proptest::collection::vec(1u64..10, 1..80),
+    ) {
+        let st = assemble(&ops);
+        let profile = MemoryProfile::from_steps(&steps).unwrap();
+        prop_assert_eq!(
+            analytic_memory_profile(st.summary(), &profile),
+            replay_memory_profile(st.trace(), &profile)
+        );
+    }
+
+    /// Dominance: a box-local hit implies a fixed-LRU hit at the same
+    /// capacity (distinct blocks inside the box bound the global stack
+    /// distance), so the square replay's total I/O is at least the fixed
+    /// replay's, which is at least the working-set size; and fixed faults
+    /// are monotone non-increasing in capacity.
+    #[test]
+    fn dominance_chain_holds(
+        ops in ops_strategy(),
+        x in 1u64..24,
+    ) {
+        let st = assemble(&ops);
+        let rho = Potential::new(8, 4);
+        let profile = SquareProfile::new(vec![x]).unwrap();
+        let (square, _) =
+            analytic_square_profile_history(st.summary(), &mut profile.cycle(), rho);
+        let fixed = analytic_fixed(st.summary(), x);
+        prop_assert!(square.total_io >= fixed.io);
+        prop_assert!(fixed.io >= u128::from(st.summary().distinct_blocks()));
+        let mut previous = analytic_fixed(st.summary(), 0).io;
+        for capacity in 1u64..=24 {
+            let now = analytic_fixed(st.summary(), capacity).io;
+            prop_assert!(now <= previous, "faults rose at capacity {}", capacity);
+            previous = now;
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Deterministic trace corpus with process-wide memoized summaries.
+//!
+//! Tracing a real algorithm and summarising its reuse structure are pure
+//! functions of `(algorithm, side, block_words)`, yet the capacity-model
+//! experiments used to re-trace per sweep point — and, after the trial
+//! fan-out of the experiment engine, would have re-traced per *worker*.
+//! This store mirrors `cadapt_profiles::cache`: each
+//! [`SummarizedTrace`] (the [`BlockTrace`] plus its
+//! [`TraceSummary`]) is built **once per process** and handed out as an
+//! [`Arc`] keyed by its parameters.
+//!
+//! Determinism: inputs are fixed arithmetic patterns (the same ones
+//! experiment E8 has always used), construction records no execution
+//! counters, and the [`BTreeMap`] keying is total — a cache hit returns a
+//! value bit-identical to fresh construction (asserted in the tests), so
+//! the store can never change a golden record, only the wall clock.
+
+use crate::summary::TraceSummary;
+use crate::tracer::BlockTrace;
+use crate::ZMatrix;
+use cadapt_core::Potential;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// The traced algorithms of the corpus, keyed for memoization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceAlgo {
+    /// Divide-and-conquer matrix multiplication with scan merges —
+    /// (8, 4, 1)-regular, the paper's canonical non-adaptive algorithm.
+    MmScan,
+    /// In-place accumulating matrix multiplication — (8, 4, 0) and
+    /// optimally cache-adaptive.
+    MmInplace,
+    /// Strassen's seven-multiplication scheme — (7, 4, 1)-regular.
+    Strassen,
+    /// Cache-oblivious edit distance via the boundary method —
+    /// (4, 2, 1)-regular. `side` is the string length.
+    EditDistance,
+}
+
+impl TraceAlgo {
+    /// Every corpus algorithm, in presentation order.
+    pub const ALL: [TraceAlgo; 4] = [
+        TraceAlgo::MmScan,
+        TraceAlgo::MmInplace,
+        TraceAlgo::Strassen,
+        TraceAlgo::EditDistance,
+    ];
+
+    /// Human label (matches the E8 table labels).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceAlgo::MmScan => "MM-Scan",
+            TraceAlgo::MmInplace => "MM-Inplace",
+            TraceAlgo::Strassen => "Strassen",
+            TraceAlgo::EditDistance => "EditDistance",
+        }
+    }
+
+    /// The algorithm's progress potential ρ(x) = x^{log_b a}.
+    #[must_use]
+    pub fn potential(self) -> Potential {
+        match self {
+            TraceAlgo::MmScan | TraceAlgo::MmInplace => Potential::new(8, 4),
+            TraceAlgo::Strassen => Potential::new(7, 4),
+            TraceAlgo::EditDistance => Potential::new(4, 2),
+        }
+    }
+
+    /// Trace the algorithm on its deterministic input of the given size.
+    /// For the matrix algorithms `side` is the (power-of-two) matrix side;
+    /// for edit distance it is the string length.
+    #[must_use]
+    pub fn trace(self, side: usize, block_words: u64) -> BlockTrace {
+        match self {
+            TraceAlgo::MmScan => {
+                let (a, b) = test_matrices(side);
+                crate::mm::mm_scan(&a, &b, block_words).1
+            }
+            TraceAlgo::MmInplace => {
+                let (a, b) = test_matrices(side);
+                crate::mm::mm_inplace(&a, &b, block_words).1
+            }
+            TraceAlgo::Strassen => {
+                let (a, b) = test_matrices(side);
+                crate::strassen::strassen(&a, &b, block_words).1
+            }
+            TraceAlgo::EditDistance => {
+                let (x, y) = test_strings(side);
+                crate::edit::edit_distance(&x, &y, block_words).1
+            }
+        }
+    }
+}
+
+/// The deterministic matrix pair the trace experiments run on (the same
+/// small-prime residue pattern E8 uses).
+#[must_use]
+pub fn test_matrices(side: usize) -> (ZMatrix, ZMatrix) {
+    let a: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+        .collect();
+    let b: Vec<f64> = (0..side * side)
+        .map(|i| ((i * 5 + 1) % 13) as f64 - 6.0)
+        .collect();
+    (
+        ZMatrix::from_row_major(side, &a),
+        ZMatrix::from_row_major(side, &b),
+    )
+}
+
+/// The deterministic string pair for the edit-distance trace.
+#[must_use]
+pub fn test_strings(len: usize) -> (Vec<u8>, Vec<u8>) {
+    let alphabet = b"acgt";
+    let x: Vec<u8> = (0..len).map(|i| alphabet[(i * 7 + 3) % 4]).collect();
+    let y: Vec<u8> = (0..len).map(|i| alphabet[(i * 5 + 1) % 4]).collect();
+    (x, y)
+}
+
+/// A trace bundled with its reuse-distance summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummarizedTrace {
+    trace: BlockTrace,
+    summary: TraceSummary,
+}
+
+impl SummarizedTrace {
+    /// Trace `trace` and summarise it in one step.
+    #[must_use]
+    pub fn new(trace: BlockTrace) -> Self {
+        let summary = TraceSummary::new(&trace);
+        SummarizedTrace { trace, summary }
+    }
+
+    /// The raw block trace (what the LRU simulator replays).
+    #[must_use]
+    pub fn trace(&self) -> &BlockTrace {
+        &self.trace
+    }
+
+    /// The reuse-distance summary (what the analytic model queries).
+    #[must_use]
+    pub fn summary(&self) -> &TraceSummary {
+        &self.summary
+    }
+}
+
+/// Memoization key: `(algo, side, block_words)` pins one corpus trace.
+type TraceKey = (TraceAlgo, usize, u64);
+type TraceStore = Mutex<BTreeMap<TraceKey, Arc<SummarizedTrace>>>;
+
+static TRACES: OnceLock<TraceStore> = OnceLock::new();
+
+/// The summarised trace of `algo` at `(side, block_words)`, memoized
+/// process-wide. Repeated callers (sweep points, trial workers, the
+/// in-process cross-validation passes) share one [`Arc`].
+#[must_use]
+pub fn summarized(algo: TraceAlgo, side: usize, block_words: u64) -> Arc<SummarizedTrace> {
+    let cache = TRACES.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let key = (algo, side, block_words);
+    {
+        let map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(st) = map.get(&key) {
+            return Arc::clone(st);
+        }
+    }
+    // Build outside the lock: tracing + summarising is the expensive part
+    // and must not serialize unrelated workers behind a miss.
+    let built = Arc::new(SummarizedTrace::new(algo.trace(side, block_words)));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(map.entry(key).or_insert(built))
+}
+
+// Exact float equality in tests is deliberate: the corpus inputs are
+// fixed integer-valued patterns.
+#[allow(clippy::float_cmp)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_share_and_match_fresh_construction() {
+        let first = summarized(TraceAlgo::MmInplace, 8, 4);
+        let second = summarized(TraceAlgo::MmInplace, 8, 4);
+        assert!(Arc::ptr_eq(&first, &second));
+        let fresh = SummarizedTrace::new(TraceAlgo::MmInplace.trace(8, 4));
+        assert_eq!(*first, fresh);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_traces() {
+        let a = summarized(TraceAlgo::MmScan, 8, 4);
+        let b = summarized(TraceAlgo::MmScan, 8, 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn every_corpus_algorithm_traces_and_summarises() {
+        for algo in TraceAlgo::ALL {
+            let st = summarized(algo, 8, 4);
+            assert!(st.trace().accesses() > 0, "{}", algo.label());
+            assert_eq!(st.summary().accesses(), st.trace().accesses());
+            assert_eq!(st.summary().distinct_blocks(), st.trace().distinct_blocks());
+            assert_eq!(st.summary().leaves(), st.trace().leaves());
+        }
+    }
+
+    #[test]
+    fn matrices_match_the_e8_pattern() {
+        let (a, b) = test_matrices(4);
+        assert_eq!(a.get(0, 0), -2.0); // ((0·7+3) % 11) − 5
+        assert_eq!(b.get(0, 0), -5.0); // ((0·5+1) % 13) − 6
+        let (x, y) = test_strings(6);
+        assert_eq!(x.len(), 6);
+        assert!(x.iter().chain(&y).all(|c| b"acgt".contains(c)));
+    }
+}

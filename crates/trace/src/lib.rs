@@ -27,17 +27,28 @@
 //!
 //! Matrices use the Z-Morton (bit-interleaved) layout so that quadrants are
 //! contiguous — the layout that makes these algorithms cache-oblivious.
+//!
+//! Beyond the algorithms themselves, [`summary`] condenses a trace into
+//! its reuse-distance structure once (stack-distance histogram, warm/cold
+//! positions, leaf prefix sums) so `cadapt-paging`'s analytic cache model
+//! can answer capacity and box queries in closed form instead of replaying
+//! references, and [`corpus`] memoizes the summarised traces process-wide
+//! (the same pattern as `cadapt_profiles::cache`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod edit;
 pub mod gep;
 pub mod matrix;
 pub mod mm;
 pub mod strassen;
+pub mod summary;
 pub mod tracer;
 pub mod transpose;
 
+pub use corpus::{summarized, SummarizedTrace, TraceAlgo};
 pub use matrix::ZMatrix;
+pub use summary::TraceSummary;
 pub use tracer::{AddressSpace, BlockTrace, TraceEvent, TracedBuf, Tracer};

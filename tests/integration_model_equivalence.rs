@@ -27,8 +27,21 @@
 //! (`cadapt_bench::experiments::ablations`) sits between the two: the
 //! models agree exactly on aligned traffic and within constants on
 //! everything else.
+//!
+//! **Third backend.** Since the analytic cache model landed there are
+//! three ways to cost an execution: the simplified cursor model, the
+//! capacity model driven by the LRU *simulator*, and the capacity model
+//! answered *analytically* from a trace summary. The first two relate by
+//! the identity/dominance statements above; the last two are **exactly
+//! equal** — same per-box history, same report — which the three-way
+//! tests at the bottom pin on real corpus traces, closing the triangle:
+//! whatever A3 establishes about simplified-vs-capacity transfers to the
+//! analytic backend verbatim.
 
+use cadapt::core::SquareProfile;
+use cadapt::paging::CacheBackend;
 use cadapt::recursion::{AbcParams, ClosedForms, ExecCursor, ExecModel, ScanLayout};
+use cadapt::trace::{summarized, TraceAlgo};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -184,4 +197,58 @@ fn augmented_capacity_is_not_lock_step() {
         diverged,
         "cost factor 2 should break the lock-step identity"
     );
+}
+
+/// The steady-box menus the identity tests above use, replayed at the
+/// trace level: capacity-simulated and capacity-analytic must be in
+/// strict lock-step — per-box history included — on every corpus
+/// algorithm, completing the three-way equivalence chain.
+#[test]
+fn capacity_simulated_and_capacity_analytic_are_lock_step() {
+    for algo in TraceAlgo::ALL {
+        let st = summarized(algo, 16, 4);
+        let rho = algo.potential();
+        for x in [1u64, 4, 16, 64, 256] {
+            let profile = SquareProfile::new(vec![x]).expect("positive box");
+            let (sim_report, sim_boxes) =
+                CacheBackend::Simulated.square_profile_history(&st, &mut profile.cycle(), rho);
+            let (ana_report, ana_boxes) =
+                CacheBackend::Analytic.square_profile_history(&st, &mut profile.cycle(), rho);
+            assert_eq!(
+                sim_boxes,
+                ana_boxes,
+                "{} steady x={x}: backends diverged per box",
+                algo.label()
+            );
+            assert_eq!(sim_report, ana_report);
+        }
+    }
+}
+
+/// Dominance transfers to the analytic backend: on mixed menus the
+/// capacity-analytic replay tracks the simulator exactly (not merely
+/// pointwise-at-least, as simplified-vs-capacity does), so the weaker
+/// No-Catch-up bound holds of it trivially. Randomized menus mirror the
+/// arbitrary-mix test above.
+#[test]
+fn analytic_backend_obeys_the_three_way_ordering_on_random_menus() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA3_3BAC);
+    for _ in 0..20 {
+        let algo = TraceAlgo::ALL[rng.gen_range(0..TraceAlgo::ALL.len())];
+        let st = summarized(algo, 16, 4);
+        let rho = algo.potential();
+        let len = rng.gen_range(1..=5);
+        let menu: Vec<u64> = (0..len).map(|_| rng.gen_range(1..=64)).collect();
+        let profile = SquareProfile::new(menu.clone()).expect("positive boxes");
+        let (sim, sim_boxes) =
+            CacheBackend::Simulated.square_profile_history(&st, &mut profile.cycle(), rho);
+        let (ana, ana_boxes) =
+            CacheBackend::Analytic.square_profile_history(&st, &mut profile.cycle(), rho);
+        assert_eq!(sim_boxes, ana_boxes, "{} menu {menu:?}", algo.label());
+        assert_eq!(sim, ana);
+        // And the DAM lower bound: a box-cleared capacity replay can
+        // never beat a fixed cache as large as its largest box.
+        let fixed = CacheBackend::Analytic.fixed(&st, sim.max_box);
+        assert!(sim.total_io >= fixed.io, "{} menu {menu:?}", algo.label());
+    }
 }
