@@ -11,7 +11,7 @@
 //!   (a checkpoint after a clean prefix is one span, not N entries).
 //! * [`run_missing_trials`] — a sweep over exactly the trials **not** in
 //!   a span set, fail-fast and panic-isolated like
-//!   [`try_run_trials`](crate::parallel::try_run_trials), returning
+//!   [`try_run_trials`](crate::parallel::try_run_trials()), returning
 //!   `(trial, value)` pairs so the caller can merge them with reloaded
 //!   results and fold in **trial order** — bit-identical to the
 //!   uninterrupted run (asserted in this module's tests against the
@@ -171,7 +171,7 @@ impl TrialSpans {
 
 /// Run exactly the trials of `[0, trials)` **not** already in `done`,
 /// fail-fast and panic-isolated like
-/// [`try_run_trials`](crate::parallel::try_run_trials), returning the new
+/// [`try_run_trials`](crate::parallel::try_run_trials()), returning the new
 /// `(trial, value)` pairs in trial order.
 ///
 /// The caller merges these with its reloaded results and reduces in trial

@@ -1,0 +1,304 @@
+//! **E15 — compiled trace replay at scales the event vector cannot hold.**
+//!
+//! The bytecode pipeline (`cadapt_trace::bytecode`) stores a trace as a
+//! compact program — delta-encoded accesses, run-length scans, counted
+//! loops — and both replay backends stream events straight out of it.
+//! This experiment validates the pipeline end to end and then exercises
+//! it at scale:
+//!
+//! 1. **Validation** — at a common small size, for every corpus algorithm
+//!    (the vEB search workload included): structural emission must equal
+//!    recompilation of the recorded trace byte for byte, the decoded
+//!    stream must equal the recorded event vector event for event, and
+//!    the simulator must return identical results fed from either
+//!    representation across fixed caches, square-box menus (per-box
+//!    history included), and a sawtooth m(t) profile. Any inequality is a
+//!    typed invariant failure, not a wrong table.
+//! 2. **Scale** — every corpus algorithm is compiled by structural
+//!    emission (no `Vec<TraceEvent>` is ever materialised) at inputs ≥ 8×
+//!    the accesses of E14's simulated-replay stage, then replayed through
+//!    the *simulator* by streaming decode: fixed-cache and constant-box
+//!    square replays whose event vectors would occupy hundreds of
+//!    megabytes run out of a few hundred kilobytes of bytecode. The table
+//!    records the bytes-per-event and compression ratios that make this
+//!    possible.
+//!
+//! Programs come from the memoized corpus store (`cadapt_trace::corpus`),
+//! so trial workers and repeated stages share one compile.
+
+use crate::{BenchError, Scale};
+use cadapt_analysis::table::fnum;
+use cadapt_analysis::Table;
+use cadapt_core::profile::ConstantSource;
+use cadapt_core::{cast, MemoryProfile, SquareProfile};
+use cadapt_paging::{replay_fixed, replay_memory_profile, replay_square_profile_history};
+use cadapt_trace::{compile, compiled, TraceAlgo};
+
+/// Side used for the representation-equivalence validation stage.
+const VALIDATE_SIDE: usize = 16;
+const BLOCK_WORDS: u64 = 4;
+/// Bytes one event occupies in the `Vec<TraceEvent>` representation.
+const VEC_BYTES_PER_EVENT: u64 = 16;
+
+/// Result of E15.
+#[derive(Debug)]
+pub struct E15Result {
+    /// Per-algorithm validation outcomes at the common size.
+    pub validation_table: Table,
+    /// Compression and streamed-replay numbers at scale.
+    pub scale_table: Table,
+    /// Equalities checked during validation.
+    pub checks: u64,
+    /// Per algorithm at scale: (label, accesses, bytecode bytes).
+    pub sizes: Vec<(String, u64, u64)>,
+    /// Per algorithm at scale: (label, vec bytes / bytecode bytes).
+    pub compressions: Vec<(String, f64)>,
+    /// Smallest accesses ratio (at-scale / validation size) over the
+    /// corpus — the "beyond E14's simulated regime" margin.
+    pub min_growth: f64,
+}
+
+/// Run E15.
+///
+/// # Errors
+///
+/// Any representation disagreement during validation is reported as a
+/// typed invariant failure.
+#[allow(clippy::too_many_lines)]
+pub fn run(scale: Scale) -> Result<E15Result, BenchError> {
+    let side = scale.pick(64, 128);
+
+    // 1. Validate: bytecode is a lossless representation and the replay
+    //    backends are representation-blind.
+    let mut validation_table = Table::new(
+        "E15a: bytecode representation validation (side 16)",
+        &["algorithm", "mode", "checks", "verdict"],
+    );
+    let mut checks = 0u64;
+    for algo in TraceAlgo::EXTENDED {
+        let trace = algo.trace(VALIDATE_SIDE, BLOCK_WORDS);
+        let program = compiled(algo, VALIDATE_SIDE, BLOCK_WORDS);
+        let rho = algo.potential();
+
+        // Structural emission == recompilation of the recorded trace.
+        if compile(&trace) != *program {
+            return Err(BenchError::invariant(format!(
+                "E15: {} structural emission diverged from recompilation",
+                algo.label()
+            )));
+        }
+        // Decoded stream == recorded event vector.
+        if !program.events().eq(trace.events().iter().copied()) {
+            return Err(BenchError::invariant(format!(
+                "E15: {} decoded stream diverged from recorded events",
+                algo.label()
+            )));
+        }
+        let bytecode_checks = 2u64;
+
+        let mut fixed_checks = 0u64;
+        for m in [0u64, 1, 16, 256, 1 << 20] {
+            let from_vec = replay_fixed(&trace, m);
+            let from_stream = replay_fixed(&*program, m);
+            if from_vec != from_stream {
+                return Err(BenchError::invariant(format!(
+                    "E15: {} fixed M={m}: vec {} vs stream {}",
+                    algo.label(),
+                    from_vec.io,
+                    from_stream.io
+                )));
+            }
+            fixed_checks += 1;
+        }
+
+        let mut square_checks = 0u64;
+        for menu in [vec![16u64], vec![4, 1, 64]] {
+            let profile = SquareProfile::new(menu.clone())
+                .map_err(|e| BenchError::invariant(format!("E15 menu {menu:?}: {e}")))?;
+            let (vec_report, vec_boxes) =
+                replay_square_profile_history(&trace, &mut profile.cycle(), rho);
+            let (stream_report, stream_boxes) =
+                replay_square_profile_history(&*program, &mut profile.cycle(), rho);
+            if vec_report != stream_report || vec_boxes != stream_boxes {
+                return Err(BenchError::invariant(format!(
+                    "E15: {} menu {menu:?}: representations diverged",
+                    algo.label()
+                )));
+            }
+            square_checks += 1;
+        }
+
+        let tooth: Vec<u64> = (1..=32).chain((1..=32).rev()).collect();
+        let steps: Vec<u64> = tooth
+            .iter()
+            .cycle()
+            .take(tooth.len() * 64)
+            .copied()
+            .collect();
+        let profile = MemoryProfile::from_steps(&steps)
+            .map_err(|e| BenchError::invariant(format!("E15 sawtooth: {e}")))?;
+        if replay_memory_profile(&trace, &profile) != replay_memory_profile(&*program, &profile) {
+            return Err(BenchError::invariant(format!(
+                "E15: {} sawtooth m(t): representations diverged",
+                algo.label()
+            )));
+        }
+        let profile_checks = 1u64;
+
+        for (mode, n) in [
+            ("bytecode", bytecode_checks),
+            ("fixed", fixed_checks),
+            ("square", square_checks),
+            ("profile", profile_checks),
+        ] {
+            validation_table.push_row(vec![
+                algo.label().to_string(),
+                mode.to_string(),
+                n.to_string(),
+                "equal".to_string(),
+            ]);
+            checks += n;
+        }
+    }
+
+    // 2. Scale: structural compilation + streamed simulated replay at
+    //    sizes whose event vectors would dwarf the bytecode.
+    let mut scale_table = Table::new(
+        "E15b: compiled traces and streamed simulated replay at scale",
+        &[
+            "algorithm",
+            "accesses",
+            "events",
+            "bytecode B",
+            "vec B",
+            "compression",
+            "I/O @ M=4096",
+            "I/O @ box 4096",
+        ],
+    );
+    let mut sizes = Vec::new();
+    let mut compressions = Vec::new();
+    let mut min_growth = f64::INFINITY;
+    for algo in TraceAlgo::EXTENDED {
+        let program = compiled(algo, side, BLOCK_WORDS);
+        let small = compiled(algo, VALIDATE_SIDE, BLOCK_WORDS);
+        let accesses = program.accesses();
+        let events = program.event_count();
+        let bytecode_bytes = cast::u64_from_usize(program.byte_len());
+        let vec_bytes = events * u128::from(VEC_BYTES_PER_EVENT);
+        let compression = vec_bytes as f64 / bytecode_bytes as f64;
+        let growth = accesses as f64 / small.accesses() as f64;
+        min_growth = min_growth.min(growth);
+
+        let fixed = replay_fixed(&*program, 1 << 12);
+        let (square, _) = replay_square_profile_history(
+            &*program,
+            &mut ConstantSource::new(1 << 12),
+            algo.potential(),
+        );
+
+        scale_table.push_row(vec![
+            algo.label().to_string(),
+            accesses.to_string(),
+            events.to_string(),
+            bytecode_bytes.to_string(),
+            vec_bytes.to_string(),
+            fnum(compression),
+            fixed.io.to_string(),
+            square.total_io.to_string(),
+        ]);
+        sizes.push((algo.label().to_string(), accesses, bytecode_bytes));
+        compressions.push((algo.label().to_string(), compression));
+    }
+
+    Ok(E15Result {
+        validation_table,
+        scale_table,
+        checks,
+        sizes,
+        compressions,
+        min_growth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_passes_and_counts() {
+        let result = run(Scale::Quick).expect("e15 runs");
+        // 2 bytecode + 5 fixed + 2 square + 1 profile per corpus algorithm.
+        assert_eq!(result.checks, 10 * TraceAlgo::EXTENDED.len() as u64);
+    }
+
+    #[test]
+    fn quick_scale_exceeds_e14_simulated_sizes_by_8x() {
+        // E14 runs its simulated replays at side 16; E15's quick scale
+        // (side 64) must replay at least 8× those access counts — the
+        // sizes the streaming representation exists for.
+        let result = run(Scale::Quick).expect("e15 runs");
+        assert!(
+            result.min_growth >= 8.0,
+            "smallest at-scale growth {} < 8x",
+            result.min_growth
+        );
+    }
+
+    #[test]
+    fn every_corpus_program_beats_the_vector_representation() {
+        let result = run(Scale::Quick).expect("e15 runs");
+        for (label, compression) in &result.compressions {
+            assert!(
+                *compression >= 2.0,
+                "{label}: compression {compression} < 2x"
+            );
+        }
+    }
+}
+
+/// Registry adapter: E15 through the experiment engine.
+#[derive(Debug)]
+pub struct Exp;
+
+impl crate::harness::Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "e15"
+    }
+    fn title(&self) -> &'static str {
+        "Compiled trace replay: bytecode validation and streamed replay at scale"
+    }
+    fn deterministic(&self) -> bool {
+        true // pure functions of deterministic traces
+    }
+    fn run(&self, ctx: crate::ExpCtx) -> Result<crate::harness::ExperimentOutput, BenchError> {
+        let result = run(ctx.scale)?;
+        let mut metrics = vec![
+            crate::harness::metric("validation/checks", result.checks as f64),
+            crate::harness::metric("scale/min_growth", result.min_growth),
+        ];
+        for (label, accesses, bytes) in &result.sizes {
+            metrics.push(crate::harness::metric(
+                format!("accesses/{label}"),
+                *accesses as f64,
+            ));
+            metrics.push(crate::harness::metric(
+                format!("bytecode_bytes/{label}"),
+                *bytes as f64,
+            ));
+        }
+        for (label, compression) in &result.compressions {
+            metrics.push(crate::harness::metric(
+                format!("compression/{label}"),
+                *compression,
+            ));
+        }
+        Ok(crate::harness::ExperimentOutput {
+            metrics,
+            tables: vec![
+                result.validation_table.render(),
+                result.scale_table.render(),
+            ],
+        })
+    }
+}

@@ -2,10 +2,10 @@
 //!
 //! A checkpointed run (`--checkpoint-every N` / `--resume`) keeps a
 //! `MANIFEST.json` next to its record files. The manifest is a
-//! checksummed envelope (see [`store`](super::store)) whose payload
+//! checksummed envelope (see [`store`]) whose payload
 //! records the run's fingerprint (scale + selected experiment ids, in job
 //! order), the completed job-index spans
-//! ([`TrialSpans`](cadapt_analysis::TrialSpans) pairs), and — because run
+//! ([`TrialSpans`] pairs), and — because run
 //! records themselves stay in the un-enveloped golden byte format — a
 //! CRC-32 tag vouching for each completed record file's exact bytes.
 //!

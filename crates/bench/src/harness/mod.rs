@@ -37,8 +37,8 @@ pub use store::{ArtifactWriter, FsWriter, StoreError};
 use crate::error::BenchError;
 use crate::experiments::{
     ablations, e10_contention, e11_no_catchup, e12_scan_hiding, e13_scheduling, e14_analytic_scale,
-    e1_worst_case_gap, e2_iid_smoothing, e3_size_perturb, e4_start_shift, e5_box_order,
-    e6_recurrence, e7_potential, e8_trace_validation, e9_taxonomy,
+    e15_bytecode_scale, e1_worst_case_gap, e2_iid_smoothing, e3_size_perturb, e4_start_shift,
+    e5_box_order, e6_recurrence, e7_potential, e8_trace_validation, e9_taxonomy,
 };
 use crate::{ExpCtx, Scale};
 use cadapt_core::counters::Recording;
@@ -57,7 +57,7 @@ pub struct ExperimentOutput {
 
 /// A registered experiment.
 pub trait Experiment: Sync {
-    /// Stable registry id (`"e1"` … `"e14"`, `"ablations"`).
+    /// Stable registry id (`"e1"` … `"e15"`, `"ablations"`).
     fn id(&self) -> &'static str;
     /// One-line human title.
     fn title(&self) -> &'static str;
@@ -75,7 +75,7 @@ pub trait Experiment: Sync {
 /// Every experiment, in presentation order.
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 15] = [
+    static REGISTRY: [&dyn Experiment; 16] = [
         &e1_worst_case_gap::Exp,
         &e2_iid_smoothing::Exp,
         &e3_size_perturb::Exp,
@@ -90,6 +90,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &e12_scan_hiding::Exp,
         &e13_scheduling::Exp,
         &e14_analytic_scale::Exp,
+        &e15_bytecode_scale::Exp,
         &ablations::Exp,
     ];
     &REGISTRY
@@ -218,7 +219,7 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         let distinct: BTreeSet<&str> = ids.iter().copied().collect();
         assert_eq!(ids.len(), distinct.len(), "duplicate registry id");
-        for k in 1..=14 {
+        for k in 1..=15 {
             assert!(distinct.contains(format!("e{k}").as_str()), "missing e{k}");
         }
         assert!(distinct.contains("ablations"));

@@ -41,7 +41,7 @@
 //!
 //! `perf` times the per-box baseline against the run-length fast path plus
 //! the experiment engine's thread-scaling ladder and writes the suite
-//! record (default `BENCH_6.json`; `--out` overrides the file).
+//! record (default `BENCH_7.json`; `--out` overrides the file).
 //!
 //! `faults` runs the deterministic fault-injection harness: `--cases`
 //! fault plans expanded from `--seed`, each attacking the engine's
@@ -85,7 +85,7 @@ options:
                            trial fan-out (0 = available parallelism; results
                            are bit-identical at any N)
   --out PATH               run: directory for per-experiment JSON records
-                           perf: output file (default BENCH_6.json)
+                           perf: output file (default BENCH_7.json)
                            faults: report file (default FAULTS.json)
   --golden DIR             check only: golden directory (default tests/golden)
   --checkpoint-every N     run only: flush a crash-safe MANIFEST.json every N
@@ -419,7 +419,7 @@ fn cmd_perf(options: &Options) -> Result<(), BenchError> {
     let path = options
         .out
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_6.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_7.json"));
     FsWriter.persist(&path, &suite.to_json())?;
     eprintln!("[cadapt-bench] wrote {}", path.display());
     Ok(())

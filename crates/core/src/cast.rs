@@ -71,6 +71,16 @@ pub fn u32_from_usize(x: usize) -> u32 {
     u32::try_from(x).expect("usize value exceeds u32")
 }
 
+/// `u64 → u8`, panicking above `u8::MAX`. Used for byte emission in the
+/// trace bytecode encoder, whose callers mask to 7 bits first — the
+/// check compiles to a trivially-predictable compare.
+#[inline]
+#[must_use]
+pub fn u8_from_u64(x: u64) -> u8 {
+    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    u8::try_from(x).expect("u64 value exceeds u8")
+}
+
 /// `u32 → i32`, panicking above `i32::MAX`. Used for exact small-exponent
 /// `powi` calls.
 #[inline]
@@ -144,6 +154,7 @@ mod tests {
         assert_eq!(usize_from_u32(7), 7);
         assert_eq!(u64_from_usize(9), 9);
         assert_eq!(u64_from_u128(1 << 60), 1 << 60);
+        assert_eq!(u8_from_u64(255), 255);
         assert_eq!(i32_from_u32(31), 31);
     }
 

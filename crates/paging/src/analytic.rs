@@ -60,7 +60,7 @@ use cadapt_trace::{SummarizedTrace, TraceSummary};
 ///
 /// let st = summarized(TraceAlgo::MmInplace, 8, 4);
 /// for m in [0, 4, 64, 1 << 20] {
-///     assert_eq!(analytic_fixed(st.summary(), m), replay_fixed(st.trace(), m));
+///     assert_eq!(analytic_fixed(st.summary(), m), replay_fixed(st.program(), m));
 /// }
 /// ```
 #[must_use]
@@ -207,7 +207,9 @@ pub fn analytic_memory_profile(summary: &TraceSummary, profile: &MemoryProfile) 
 /// after cross-validating both backends at a common size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheBackend {
-    /// Replay every reference through the [`LruCache`](crate::LruCache).
+    /// Replay every reference through the [`LruCache`](crate::LruCache),
+    /// streaming events straight out of the trace's compiled bytecode
+    /// program (no event vector is materialised).
     Simulated,
     /// Query the memoized [`TraceSummary`] in closed form.
     Analytic,
@@ -230,7 +232,7 @@ impl CacheBackend {
     #[must_use]
     pub fn fixed(self, st: &SummarizedTrace, cache_blocks: Blocks) -> FixedReplay {
         match self {
-            CacheBackend::Simulated => replay_fixed(st.trace(), cache_blocks),
+            CacheBackend::Simulated => replay_fixed(st.program(), cache_blocks),
             CacheBackend::Analytic => analytic_fixed(st.summary(), cache_blocks),
         }
     }
@@ -244,7 +246,7 @@ impl CacheBackend {
         rho: Potential,
     ) -> AdaptivityReport {
         match self {
-            CacheBackend::Simulated => replay_square_profile(st.trace(), source, rho),
+            CacheBackend::Simulated => replay_square_profile(st.program(), source, rho),
             CacheBackend::Analytic => analytic_square_profile(st.summary(), source, rho),
         }
     }
@@ -258,7 +260,7 @@ impl CacheBackend {
         rho: Potential,
     ) -> (AdaptivityReport, Vec<BoxRecord>) {
         match self {
-            CacheBackend::Simulated => replay_square_profile_history(st.trace(), source, rho),
+            CacheBackend::Simulated => replay_square_profile_history(st.program(), source, rho),
             CacheBackend::Analytic => analytic_square_profile_history(st.summary(), source, rho),
         }
     }
@@ -267,7 +269,7 @@ impl CacheBackend {
     #[must_use]
     pub fn memory_profile(self, st: &SummarizedTrace, profile: &MemoryProfile) -> ProfileReplay {
         match self {
-            CacheBackend::Simulated => replay_memory_profile(st.trace(), profile),
+            CacheBackend::Simulated => replay_memory_profile(st.program(), profile),
             CacheBackend::Analytic => analytic_memory_profile(st.summary(), profile),
         }
     }
@@ -297,7 +299,7 @@ mod tests {
             for m in [0u64, 1, 2, 4, 7, 16, 64, 256, 1 << 20] {
                 assert_eq!(
                     analytic_fixed(st.summary(), m),
-                    replay_fixed(st.trace(), m),
+                    replay_fixed(st.program(), m),
                     "{} at capacity {m}",
                     algo.label()
                 );
@@ -312,7 +314,7 @@ mod tests {
         for menu in [vec![16u64], vec![1, 3, 9], vec![2, 64, 2, 5]] {
             let profile = SquareProfile::new(menu).unwrap();
             let (sim_report, sim_history) =
-                replay_square_profile_history(st.trace(), &mut profile.cycle(), rho);
+                replay_square_profile_history(st.program(), &mut profile.cycle(), rho);
             let (ana_report, ana_history) =
                 analytic_square_profile_history(st.summary(), &mut profile.cycle(), rho);
             assert_eq!(sim_history, ana_history);
@@ -346,7 +348,7 @@ mod tests {
             let profile = MemoryProfile::from_segments(segments).unwrap();
             assert_eq!(
                 analytic_memory_profile(st.summary(), &profile),
-                replay_memory_profile(st.trace(), &profile)
+                replay_memory_profile(st.program(), &profile)
             );
         }
     }
@@ -358,7 +360,7 @@ mod tests {
         t.leaf();
         let st = SummarizedTrace::new(t.into_trace());
         let rho = Potential::new(2, 2);
-        let sim = replay_square_profile(st.trace(), &mut ConstantSource::new(4), rho);
+        let sim = replay_square_profile(st.program(), &mut ConstantSource::new(4), rho);
         let ana = analytic_square_profile(st.summary(), &mut ConstantSource::new(4), rho);
         assert_eq!(sim.boxes_used, 1);
         assert_eq!(ana.boxes_used, 1);
@@ -366,7 +368,7 @@ mod tests {
         assert_eq!(ana.total_progress, 2);
 
         let empty = summarise(&[]);
-        let sim = replay_square_profile(empty.trace(), &mut ConstantSource::new(4), rho);
+        let sim = replay_square_profile(empty.program(), &mut ConstantSource::new(4), rho);
         let ana = analytic_square_profile(empty.summary(), &mut ConstantSource::new(4), rho);
         assert_eq!(sim.boxes_used, 0);
         assert_eq!(ana.boxes_used, 0);
@@ -378,7 +380,7 @@ mod tests {
         let profile = MemoryProfile::from_segments(Vec::new()).unwrap();
         assert_eq!(
             analytic_memory_profile(st.summary(), &profile),
-            replay_memory_profile(st.trace(), &profile)
+            replay_memory_profile(st.program(), &profile)
         );
     }
 
@@ -389,7 +391,7 @@ mod tests {
         let st = summarise(&[7, 7, 7, 8]);
         let rho = Potential::new(2, 2);
         let (sim, sim_h) =
-            replay_square_profile_history(st.trace(), &mut ConstantSource::new(1), rho);
+            replay_square_profile_history(st.program(), &mut ConstantSource::new(1), rho);
         let (ana, ana_h) =
             analytic_square_profile_history(st.summary(), &mut ConstantSource::new(1), rho);
         assert_eq!(sim_h, ana_h);
@@ -402,8 +404,8 @@ mod tests {
         let st = summarized(TraceAlgo::Strassen, 8, 4);
         let rho = TraceAlgo::Strassen.potential();
         let rec = Recording::start();
-        let _ = replay_square_profile(st.trace(), &mut ConstantSource::new(8), rho);
-        let _ = replay_fixed(st.trace(), 32);
+        let _ = replay_square_profile(st.program(), &mut ConstantSource::new(8), rho);
+        let _ = replay_fixed(st.program(), 32);
         let sim = rec.finish();
         let rec = Recording::start();
         let _ = analytic_square_profile(st.summary(), &mut ConstantSource::new(8), rho);

@@ -6,7 +6,7 @@ use cadapt_core::{
     cast, AdaptivityReport, Blocks, BoxRecord, BoxSource, Io, Leaves, MemoryProfile, Potential,
     ProgressLedger,
 };
-use cadapt_trace::{BlockTrace, TraceEvent};
+use cadapt_trace::{TraceEvent, TraceStream};
 
 /// Outcome of a fixed-cache (classical DAM) replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +22,11 @@ pub struct FixedReplay {
 /// Replay a trace through a constant LRU cache of `cache_blocks` blocks —
 /// the ideal-cache/DAM baseline. Time is the number of misses.
 ///
+/// Generic over [`TraceStream`]: pass a recorded
+/// [`cadapt_trace::BlockTrace`] or a compiled
+/// [`cadapt_trace::TraceProgram`] — the simulator streams events either
+/// way, never materialising a vector.
+///
 /// ```
 /// use cadapt_paging::replay_fixed;
 /// use cadapt_trace::mm::mm_inplace;
@@ -34,14 +39,14 @@ pub struct FixedReplay {
 /// assert_eq!(replay.io, u128::from(trace.distinct_blocks()));
 /// ```
 #[must_use]
-pub fn replay_fixed(trace: &BlockTrace, cache_blocks: Blocks) -> FixedReplay {
+pub fn replay_fixed<T: TraceStream + ?Sized>(trace: &T, cache_blocks: Blocks) -> FixedReplay {
     let mut cache = LruCache::new(cast::usize_from_u64(cache_blocks));
     let mut io: Io = 0;
     let mut accesses: u64 = 0;
     for event in trace.events() {
         if let TraceEvent::Access(block) = event {
             accesses += 1;
-            if !cache.access(*block) {
+            if !cache.access(block) {
                 io += 1;
                 cadapt_core::counters::count_io(1);
             }
@@ -64,8 +69,8 @@ pub fn replay_fixed(trace: &BlockTrace, cache_blocks: Blocks) -> FixedReplay {
 /// [`AdaptivityReport`] as the abstract execution drivers, with the trace's
 /// working-set size as the problem size n.
 #[must_use]
-pub fn replay_square_profile<S: BoxSource>(
-    trace: &BlockTrace,
+pub fn replay_square_profile<T: TraceStream + ?Sized, S: BoxSource>(
+    trace: &T,
     source: &mut S,
     rho: Potential,
 ) -> AdaptivityReport {
@@ -77,8 +82,8 @@ pub fn replay_square_profile<S: BoxSource>(
 /// history — the lock-step ground truth the analytic backend is
 /// cross-validated against (`cadapt_paging::analytic`).
 #[must_use]
-pub fn replay_square_profile_history<S: BoxSource>(
-    trace: &BlockTrace,
+pub fn replay_square_profile_history<T: TraceStream + ?Sized, S: BoxSource>(
+    trace: &T,
     source: &mut S,
     rho: Potential,
 ) -> (AdaptivityReport, Vec<BoxRecord>) {
@@ -88,12 +93,12 @@ pub fn replay_square_profile_history<S: BoxSource>(
     (ledger.finish(), history)
 }
 
-fn replay_square_into<S: BoxSource>(
-    trace: &BlockTrace,
+fn replay_square_into<T: TraceStream + ?Sized, S: BoxSource>(
+    trace: &T,
     source: &mut S,
     mut ledger: ProgressLedger,
 ) -> ProgressLedger {
-    let mut events = trace.events().iter().peekable();
+    let mut events = trace.events().peekable();
     // Consume trailing leaf marks of the final box correctly by treating
     // leaf marks as attached to the preceding access.
     while events.peek().is_some() {
@@ -151,15 +156,15 @@ pub struct ProfileReplay {
 /// shrink). Hits are free; each miss advances t. Returns how far the
 /// profile got; `completed` is false if the profile ended first.
 #[must_use]
-pub fn replay_memory_profile(trace: &BlockTrace, profile: &MemoryProfile) -> ProfileReplay {
+pub fn replay_memory_profile<T: TraceStream + ?Sized>(
+    trace: &T,
+    profile: &MemoryProfile,
+) -> ProfileReplay {
     let mut t: Io = 0;
     let Some(initial) = profile.value_at(0) else {
         return ProfileReplay {
             io: 0,
-            completed: !trace
-                .events()
-                .iter()
-                .any(|e| matches!(e, TraceEvent::Access(_))),
+            completed: trace.accesses() == 0,
             leaves: 0,
         };
     };
@@ -183,7 +188,7 @@ pub fn replay_memory_profile(trace: &BlockTrace, profile: &MemoryProfile) -> Pro
                     }
                     Some(m) => cache.resize(cast::usize_from_u64(m)),
                 }
-                if cache.access(*block) {
+                if cache.access(block) {
                     continue; // hit: free
                 }
                 t += 1; // miss: one I/O

@@ -53,7 +53,7 @@ proptest! {
         for capacity in (0u64..=16).chain([64, 1 << 30]) {
             prop_assert_eq!(
                 analytic_fixed(st.summary(), capacity),
-                replay_fixed(st.trace(), capacity),
+                replay_fixed(st.program(), capacity),
                 "capacity {}", capacity
             );
         }
@@ -70,7 +70,7 @@ proptest! {
         let rho = Potential::new(8, 4);
         let profile = SquareProfile::new(menu).unwrap();
         let (sim_report, sim_boxes) =
-            replay_square_profile_history(st.trace(), &mut profile.cycle(), rho);
+            replay_square_profile_history(st.program(), &mut profile.cycle(), rho);
         let (ana_report, ana_boxes) =
             analytic_square_profile_history(st.summary(), &mut profile.cycle(), rho);
         prop_assert_eq!(sim_boxes, ana_boxes);
@@ -88,7 +88,7 @@ proptest! {
         let profile = MemoryProfile::from_steps(&steps).unwrap();
         prop_assert_eq!(
             analytic_memory_profile(st.summary(), &profile),
-            replay_memory_profile(st.trace(), &profile)
+            replay_memory_profile(st.program(), &profile)
         );
     }
 

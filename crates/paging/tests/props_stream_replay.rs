@@ -1,0 +1,89 @@
+//! Property-based proof that both replay backends are representation-
+//! blind: replaying a compiled bytecode program is equal — fault for
+//! fault, box for box — to replaying the recorded event vector it was
+//! compiled from, across fixed caches, square-profile menus, and
+//! arbitrary m(t) profiles.
+//!
+//! Together with the bytecode round-trip properties in `cadapt-trace`
+//! (`tests/props_bytecode.rs`), this closes the equivalence argument for
+//! the compiled-replay pipeline: decode(compile(trace)) == trace, and the
+//! simulator is a function of the event stream alone.
+
+// Test-only code: unwraps abort the test (the right failure mode).
+#![allow(clippy::unwrap_used)]
+
+use cadapt_core::{MemoryProfile, Potential, SquareProfile};
+use cadapt_paging::{replay_fixed, replay_memory_profile, replay_square_profile_history};
+use cadapt_trace::{compile, BlockTrace, TraceProgram, Tracer};
+use proptest::prelude::*;
+
+/// Build the recorded trace and its compiled program from generated
+/// `(block, leaf_after)` pairs. Blocks are drawn from a small universe so
+/// re-accesses (and therefore cache hits) are common.
+fn assemble(ops: &[(u64, bool)]) -> (BlockTrace, TraceProgram) {
+    let mut tracer = Tracer::new(1);
+    for &(block, leaf_after) in ops {
+        tracer.touch(block);
+        if leaf_after {
+            tracer.leaf();
+        }
+    }
+    let trace = tracer.into_trace();
+    let program = compile(&trace);
+    (trace, program)
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..12, proptest::bool::ANY), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fixed caches: identical I/O at every capacity from degenerate (0)
+    /// through oversized.
+    #[test]
+    fn fixed_replay_is_representation_blind(ops in ops_strategy()) {
+        let (trace, program) = assemble(&ops);
+        for capacity in (0u64..=16).chain([64, 1 << 30]) {
+            prop_assert_eq!(
+                replay_fixed(&trace, capacity),
+                replay_fixed(&program, capacity),
+                "capacity {}", capacity
+            );
+        }
+    }
+
+    /// Square profiles: the full report and the per-box history are equal
+    /// box for box, for arbitrary cycled menus.
+    #[test]
+    fn square_replay_is_representation_blind(
+        ops in ops_strategy(),
+        menu in proptest::collection::vec(1u64..20, 1..8),
+    ) {
+        let (trace, program) = assemble(&ops);
+        let rho = Potential::new(8, 4);
+        let profile = SquareProfile::new(menu).unwrap();
+        let (vec_report, vec_boxes) =
+            replay_square_profile_history(&trace, &mut profile.cycle(), rho);
+        let (stream_report, stream_boxes) =
+            replay_square_profile_history(&program, &mut profile.cycle(), rho);
+        prop_assert_eq!(vec_boxes, stream_boxes);
+        prop_assert_eq!(vec_report, stream_report);
+    }
+
+    /// Arbitrary m(t) profiles: equal I/O, completion flag, and leaf
+    /// count — including truncated replays where the profile runs out.
+    #[test]
+    fn memory_profile_replay_is_representation_blind(
+        ops in ops_strategy(),
+        steps in proptest::collection::vec(1u64..10, 1..80),
+    ) {
+        let (trace, program) = assemble(&ops);
+        let profile = MemoryProfile::from_steps(&steps).unwrap();
+        prop_assert_eq!(
+            replay_memory_profile(&trace, &profile),
+            replay_memory_profile(&program, &profile)
+        );
+    }
+}

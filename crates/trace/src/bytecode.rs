@@ -1,0 +1,862 @@
+//! Compiled trace replay: compact bytecode programs for block traces.
+//!
+//! A recorded [`BlockTrace`] spends 16 bytes per [`TraceEvent`] and must be
+//! materialised in full before anything can replay it. This module lowers
+//! the same event stream into a compact bytecode — delta-encoded block
+//! addresses, run-length ops for scans, counted-loop ops for the repeating
+//! access patterns recursive kernels produce, and explicit leaf marks —
+//! plus a small decoder VM that streams the events back out.
+//!
+//! # Opcodes
+//!
+//! | op       | byte | operands                               | meaning |
+//! |----------|------|----------------------------------------|---------|
+//! | `LEAF`   | 0x00 | —                                      | a base case completed here |
+//! | `ACCESS` | 0x01 | svarint Δ                              | access block `prev + Δ` |
+//! | `RUN`    | 0x02 | varint n, svarint Δ                    | n accesses, each advancing by Δ |
+//! | `LOOP`   | 0x03 | varint reps, varint len, `len` body bytes | replay the body `reps` times |
+//!
+//! Varints are LEB128; svarints additionally zigzag-map the wrapping
+//! 64-bit delta so small negative strides stay short. Loop bodies are
+//! flat (no nested `LOOP`), which keeps the decoder to one resident loop
+//! register and the hot path branch-light.
+//!
+//! # Equivalence
+//!
+//! Deltas are *wrapping* differences of consecutive block numbers, so a
+//! decoded stream reproduces the recorded one exactly: every `ACCESS`/`RUN`
+//! adds the same delta sequence the encoder subtracted, starting from the
+//! same implicit block 0, and `LOOP` bodies only ever fold runs of atoms
+//! that compared equal delta-for-delta. The compiler is a pure fold over
+//! the event stream (no time, no randomness, no iteration over hash
+//! state), so structural emission from an instrumented kernel and
+//! recompilation of its recorded trace produce byte-identical programs —
+//! the property the corpus CRC pins rely on.
+//!
+//! The compiler implements [`TraceSink`], so every instrumented kernel can
+//! emit bytecode *directly*, without materialising the event vector; see
+//! the `*_compiled` entry points in the kernel modules.
+
+use crate::tracer::{BlockTrace, TraceEvent, TraceSink};
+use cadapt_core::{cast, checksum, Blocks, Leaves};
+// cadapt-lint: allow(nondet-source) -- HashSet is membership-probed only (insert/contains) to count distinct blocks; iteration order is never observed
+use std::collections::HashSet;
+
+const OP_LEAF: u8 = 0x00;
+const OP_ACCESS: u8 = 0x01;
+const OP_RUN: u8 = 0x02;
+const OP_LOOP: u8 = 0x03;
+
+/// Longest atom period the encoder will fold into a `LOOP`.
+const MAX_PERIOD: usize = 16;
+/// Atoms retained in the sliding detection window after a spill.
+const RETAIN: usize = 3 * MAX_PERIOD;
+/// Window size that triggers a spill of settled atoms to bytes. Keeping
+/// this above `RETAIN` amortises the drain.
+const COMMIT_AT: usize = 2 * RETAIN;
+
+/// Zigzag-map a wrapping delta so small magnitudes of either sign encode
+/// short. Interpreting `d` as two's-complement: `0, -1, 1, -2, …` map to
+/// `0, 1, 2, 3, …`.
+fn zigzag(d: u64) -> u64 {
+    (d << 1) ^ 0u64.wrapping_sub(d >> 63)
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(z: u64) -> u64 {
+    (z >> 1) ^ 0u64.wrapping_sub(z & 1)
+}
+
+/// Append `x` as an LEB128 varint (7 value bits per byte, high bit =
+/// continuation).
+fn push_varint(bytes: &mut Vec<u8>, mut x: u64) {
+    while x >= 0x80 {
+        bytes.push(cast::u8_from_u64((x & 0x7F) | 0x80));
+        x >>= 7;
+    }
+    bytes.push(cast::u8_from_u64(x));
+}
+
+/// Read one LEB128 varint at `*pos`, advancing it.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        x |= u64::from(b & 0x7F) << shift;
+        if b < 0x80 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// One encoder atom: an event (or folded group) that loop detection
+/// treats as a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Atom {
+    Leaf,
+    Access(u64),
+    Run { n: u64, d: u64 },
+    Loop { reps: u64, body: Vec<Atom> },
+}
+
+fn serialize_atom(bytes: &mut Vec<u8>, atom: &Atom) {
+    match atom {
+        Atom::Leaf => bytes.push(OP_LEAF),
+        Atom::Access(d) => {
+            bytes.push(OP_ACCESS);
+            push_varint(bytes, zigzag(*d));
+        }
+        Atom::Run { n, d } => {
+            bytes.push(OP_RUN);
+            push_varint(bytes, *n);
+            push_varint(bytes, zigzag(*d));
+        }
+        Atom::Loop { reps, body } => {
+            let mut tmp = Vec::new();
+            for a in body {
+                serialize_atom(&mut tmp, a);
+            }
+            bytes.push(OP_LOOP);
+            push_varint(bytes, *reps);
+            push_varint(bytes, cast::u64_from_usize(tmp.len()));
+            bytes.extend_from_slice(&tmp);
+        }
+    }
+}
+
+/// Online, bounded-memory bytecode encoder: run-length folds consecutive
+/// equal deltas, then detects repeated atom patterns (period ≤
+/// [`MAX_PERIOD`]) inside a sliding window of at most [`COMMIT_AT`] atoms.
+/// Atoms that leave the window are serialized and can no longer fold —
+/// the spill points depend only on the event stream, so encoding stays a
+/// pure function of the input.
+#[derive(Debug, Default)]
+struct Encoder {
+    bytes: Vec<u8>,
+    atoms: Vec<Atom>,
+    /// Index into `atoms` of the most recent `Loop`, the only merge
+    /// target for an arriving repetition of its body.
+    last_loop: Option<usize>,
+    run_d: u64,
+    run_n: u64,
+}
+
+impl Encoder {
+    fn delta(&mut self, d: u64) {
+        if self.run_n > 0 && d == self.run_d {
+            self.run_n += 1;
+            return;
+        }
+        self.flush_run();
+        self.run_d = d;
+        self.run_n = 1;
+    }
+
+    fn leaf(&mut self) {
+        self.flush_run();
+        self.push_atom(Atom::Leaf);
+    }
+
+    fn flush_run(&mut self) {
+        let (n, d) = (self.run_n, self.run_d);
+        self.run_n = 0;
+        match n {
+            0 => {}
+            1 => self.push_atom(Atom::Access(d)),
+            _ => self.push_atom(Atom::Run { n, d }),
+        }
+    }
+
+    fn push_atom(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+        loop {
+            if self.try_extend_loop() || self.try_form_loop() {
+                continue;
+            }
+            break;
+        }
+        if self.atoms.len() > COMMIT_AT {
+            let spill = self.atoms.len() - RETAIN;
+            for atom in self.atoms.drain(..spill) {
+                serialize_atom(&mut self.bytes, &atom);
+            }
+            self.last_loop = self.last_loop.and_then(|i| i.checked_sub(spill));
+        }
+    }
+
+    /// If everything after the most recent `Loop` is exactly one more copy
+    /// of its body, fold it in as one extra repetition.
+    fn try_extend_loop(&mut self) -> bool {
+        let Some(li) = self.last_loop else {
+            return false;
+        };
+        let (head, tail) = self.atoms.split_at(li + 1);
+        let Some(Atom::Loop { body, .. }) = head.last() else {
+            return false;
+        };
+        if tail.len() != body.len() || tail != &body[..] {
+            return false;
+        }
+        self.atoms.truncate(li + 1);
+        if let Some(Atom::Loop { reps, .. }) = self.atoms.last_mut() {
+            *reps += 1;
+        }
+        true
+    }
+
+    /// If the newest atoms form two back-to-back copies of a loop-free
+    /// pattern, fold them into a fresh two-repetition `Loop`. Smallest
+    /// period wins, keeping the encoding canonical.
+    fn try_form_loop(&mut self) -> bool {
+        let n = self.atoms.len();
+        if matches!(self.atoms.last(), None | Some(Atom::Loop { .. })) {
+            return false;
+        }
+        for p in 1..=MAX_PERIOD.min(n / 2) {
+            // Cheap gate before the full window compare: the halves can
+            // only match if the newest atom equals its image one period
+            // back.
+            if self.atoms[n - 1] != self.atoms[n - 1 - p] {
+                continue;
+            }
+            let first = &self.atoms[n - 2 * p..n - p];
+            if first != &self.atoms[n - p..] {
+                continue;
+            }
+            if first.iter().any(|a| matches!(a, Atom::Loop { .. })) {
+                continue; // bodies stay flat
+            }
+            let body: Vec<Atom> = self.atoms[n - p..].to_vec();
+            self.atoms.truncate(n - 2 * p);
+            self.atoms.push(Atom::Loop { reps: 2, body });
+            self.last_loop = Some(self.atoms.len() - 1);
+            return true;
+        }
+        false
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        self.flush_run();
+        let atoms = std::mem::take(&mut self.atoms);
+        for atom in &atoms {
+            serialize_atom(&mut self.bytes, atom);
+        }
+        self.bytes
+    }
+}
+
+/// Streaming bytecode compiler for block traces.
+///
+/// Feed it events — either through the [`TraceSink`] interface from an
+/// instrumented kernel (word addresses, mapped to blocks exactly like
+/// [`crate::Tracer`] maps them) or through [`TraceCompiler::push_event`]
+/// from an already-recorded trace — and [`TraceCompiler::finish`] yields
+/// the compiled [`TraceProgram`]. Both routes produce byte-identical
+/// programs for the same event stream.
+#[derive(Debug)]
+pub struct TraceCompiler {
+    block_words: u64,
+    prev_block: u64,
+    // cadapt-lint: allow(nondet-source) -- HashSet is membership-probed only (insert/contains) to count distinct blocks; iteration order is never observed
+    seen: HashSet<u64>,
+    accesses: u64,
+    leaves: Leaves,
+    enc: Encoder,
+}
+
+impl TraceCompiler {
+    /// A compiler mapping `block_words` consecutive words to one block
+    /// (only relevant for the [`TraceSink`] route; [`Self::push_event`]
+    /// streams block numbers as-is).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_words == 0`.
+    #[must_use]
+    pub fn new(block_words: u64) -> Self {
+        assert!(block_words >= 1, "blocks must hold at least one word");
+        TraceCompiler {
+            block_words,
+            prev_block: 0,
+            // cadapt-lint: allow(nondet-source) -- HashSet is membership-probed only (insert/contains) to count distinct blocks; iteration order is never observed
+            seen: HashSet::new(),
+            accesses: 0,
+            leaves: 0,
+            enc: Encoder::default(),
+        }
+    }
+
+    /// Compile an access to block number `block`.
+    pub fn push_block(&mut self, block: u64) {
+        self.seen.insert(block);
+        self.accesses += 1;
+        self.enc.delta(block.wrapping_sub(self.prev_block));
+        self.prev_block = block;
+    }
+
+    /// Compile a leaf mark.
+    pub fn push_leaf(&mut self) {
+        self.leaves += 1;
+        self.enc.leaf();
+    }
+
+    /// Compile one recorded event.
+    pub fn push_event(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Access(block) => self.push_block(block),
+            TraceEvent::Leaf => self.push_leaf(),
+        }
+    }
+
+    /// Finish compilation.
+    #[must_use]
+    pub fn finish(self) -> TraceProgram {
+        TraceProgram {
+            bytes: self.enc.finish(),
+            accesses: self.accesses,
+            distinct_blocks: self.seen.len() as Blocks,
+            leaves: self.leaves,
+        }
+    }
+}
+
+impl TraceSink for TraceCompiler {
+    fn touch(&mut self, addr: u64) {
+        self.push_block(addr / self.block_words);
+    }
+
+    fn leaf(&mut self) {
+        self.push_leaf();
+    }
+}
+
+/// A compiled trace: the bytecode plus the aggregate counts a replayer
+/// needs up front (so none of them require decoding the stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceProgram {
+    bytes: Vec<u8>,
+    accesses: u64,
+    distinct_blocks: Blocks,
+    leaves: Leaves,
+}
+
+impl TraceProgram {
+    /// The raw bytecode.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Bytecode size in bytes (compare against 16 bytes per event of the
+    /// materialised `Vec<TraceEvent>`).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Total accesses (excluding leaf marks), O(1).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of distinct blocks touched.
+    #[must_use]
+    pub fn distinct_blocks(&self) -> Blocks {
+        self.distinct_blocks
+    }
+
+    /// Total base-case marks.
+    #[must_use]
+    pub fn leaves(&self) -> Leaves {
+        self.leaves
+    }
+
+    /// Total events the program decodes to (accesses + leaves).
+    #[must_use]
+    pub fn event_count(&self) -> u128 {
+        u128::from(self.accesses) + self.leaves
+    }
+
+    /// IEEE CRC-32 of the bytecode — the checksum the corpus goldens pin.
+    #[must_use]
+    pub fn crc32(&self) -> u32 {
+        checksum::crc32(&self.bytes)
+    }
+
+    /// A streaming decoder over the program's events; yields exactly the
+    /// recorded event sequence with an exact `size_hint`.
+    #[must_use]
+    pub fn events(&self) -> ProgramEvents<'_> {
+        ProgramEvents {
+            bytes: &self.bytes,
+            pos: 0,
+            prev_block: 0,
+            run_left: 0,
+            run_d: 0,
+            loop_start: 0,
+            loop_end: usize::MAX,
+            reps_left: 0,
+            remaining: self.event_count(),
+        }
+    }
+}
+
+/// The decoder VM: a streaming iterator of [`TraceEvent`]s over a
+/// [`TraceProgram`]. State is four registers (position, previous block,
+/// one pending run, one active loop) — decoding allocates nothing.
+#[derive(Debug, Clone)]
+pub struct ProgramEvents<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    prev_block: u64,
+    run_left: u64,
+    run_d: u64,
+    loop_start: usize,
+    /// `usize::MAX` when no loop is active (a position the cursor can
+    /// never reach, so the hot path is a single compare).
+    loop_end: usize,
+    reps_left: u64,
+    remaining: u128,
+}
+
+impl ProgramEvents<'_> {
+    /// Decode the flat atom sequence in `bytes[pos..end]` (loop bodies and
+    /// the tails of partially-consumed loops — never a nested `OP_LOOP`,
+    /// which the encoder cannot emit) through `f`, returning the updated
+    /// previous-block register and accumulator plus whether the slice
+    /// decoded cleanly. The inner run loop is the hot path of internal
+    /// iteration: no per-event opcode dispatch, no iterator state
+    /// spilling.
+    #[inline]
+    fn fold_atoms<B, F: FnMut(B, TraceEvent) -> B>(
+        bytes: &[u8],
+        mut pos: usize,
+        end: usize,
+        mut prev: u64,
+        mut acc: B,
+        f: &mut F,
+    ) -> (u64, B, bool) {
+        while pos < end {
+            let Some(&op) = bytes.get(pos) else {
+                return (prev, acc, false);
+            };
+            pos += 1;
+            match op {
+                OP_ACCESS => {
+                    let d = unzigzag(read_varint(bytes, &mut pos));
+                    prev = prev.wrapping_add(d);
+                    acc = f(acc, TraceEvent::Access(prev));
+                }
+                OP_RUN => {
+                    let n = read_varint(bytes, &mut pos);
+                    let d = unzigzag(read_varint(bytes, &mut pos));
+                    for _ in 0..n {
+                        prev = prev.wrapping_add(d);
+                        acc = f(acc, TraceEvent::Access(prev));
+                    }
+                }
+                OP_LEAF => {
+                    acc = f(acc, TraceEvent::Leaf);
+                }
+                _ => return (prev, acc, false),
+            }
+        }
+        (prev, acc, true)
+    }
+}
+
+impl Iterator for ProgramEvents<'_> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        if self.run_left > 0 {
+            self.run_left -= 1;
+            self.prev_block = self.prev_block.wrapping_add(self.run_d);
+            self.remaining = self.remaining.saturating_sub(1);
+            return Some(TraceEvent::Access(self.prev_block));
+        }
+        loop {
+            if self.pos == self.loop_end {
+                if self.reps_left > 0 {
+                    self.reps_left -= 1;
+                    self.pos = self.loop_start;
+                } else {
+                    self.loop_end = usize::MAX;
+                }
+                continue;
+            }
+            let &op = self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match op {
+                OP_ACCESS => {
+                    let d = unzigzag(read_varint(self.bytes, &mut self.pos));
+                    self.prev_block = self.prev_block.wrapping_add(d);
+                    self.remaining = self.remaining.saturating_sub(1);
+                    return Some(TraceEvent::Access(self.prev_block));
+                }
+                OP_RUN => {
+                    let n = read_varint(self.bytes, &mut self.pos);
+                    self.run_d = unzigzag(read_varint(self.bytes, &mut self.pos));
+                    self.run_left = n.saturating_sub(1);
+                    self.prev_block = self.prev_block.wrapping_add(self.run_d);
+                    self.remaining = self.remaining.saturating_sub(1);
+                    return Some(TraceEvent::Access(self.prev_block));
+                }
+                OP_LEAF => {
+                    self.remaining = self.remaining.saturating_sub(1);
+                    return Some(TraceEvent::Leaf);
+                }
+                OP_LOOP => {
+                    let reps = read_varint(self.bytes, &mut self.pos);
+                    let len = cast::usize_from_u64(read_varint(self.bytes, &mut self.pos));
+                    if reps == 0 {
+                        self.pos += len;
+                    } else if len > 0 {
+                        self.loop_start = self.pos;
+                        self.loop_end = self.pos + len;
+                        self.reps_left = reps - 1;
+                    }
+                }
+                // The encoder emits no other opcode; treat anything else
+                // as end-of-program rather than guessing.
+                _ => return None,
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match usize::try_from(self.remaining) {
+            Ok(n) => (n, Some(n)),
+            Err(_) => (usize::MAX, None),
+        }
+    }
+
+    /// Internal iteration: decode the rest of the program through `f`
+    /// with tight per-opcode loops instead of per-event `next()` dispatch.
+    /// This is the replay-many fast path (`for_each` routes through it);
+    /// it yields exactly the events `next()` would have yielded from the
+    /// current state — pending run and partially-replayed loop included —
+    /// which the round-trip tests pin at every split point.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, TraceEvent) -> B,
+    {
+        let mut acc = init;
+        while self.run_left > 0 {
+            self.run_left -= 1;
+            self.prev_block = self.prev_block.wrapping_add(self.run_d);
+            acc = f(acc, TraceEvent::Access(self.prev_block));
+        }
+        let bytes = self.bytes;
+        let mut prev = self.prev_block;
+        let mut pos = self.pos;
+        if self.loop_end != usize::MAX {
+            // Finish the rep the cursor is inside, then the queued reps.
+            let end = self.loop_end;
+            let (p, a, clean) = Self::fold_atoms(bytes, pos, end, prev, acc, &mut f);
+            prev = p;
+            acc = a;
+            if !clean {
+                return acc;
+            }
+            for _ in 0..self.reps_left {
+                let (p, a, clean) =
+                    Self::fold_atoms(bytes, self.loop_start, end, prev, acc, &mut f);
+                prev = p;
+                acc = a;
+                if !clean {
+                    return acc;
+                }
+            }
+            pos = end;
+        }
+        while let Some(&op) = bytes.get(pos) {
+            pos += 1;
+            match op {
+                OP_ACCESS => {
+                    let d = unzigzag(read_varint(bytes, &mut pos));
+                    prev = prev.wrapping_add(d);
+                    acc = f(acc, TraceEvent::Access(prev));
+                }
+                OP_RUN => {
+                    let n = read_varint(bytes, &mut pos);
+                    let d = unzigzag(read_varint(bytes, &mut pos));
+                    for _ in 0..n {
+                        prev = prev.wrapping_add(d);
+                        acc = f(acc, TraceEvent::Access(prev));
+                    }
+                }
+                OP_LEAF => {
+                    acc = f(acc, TraceEvent::Leaf);
+                }
+                OP_LOOP => {
+                    let reps = read_varint(bytes, &mut pos);
+                    let len = cast::usize_from_u64(read_varint(bytes, &mut pos));
+                    let end = pos.saturating_add(len).min(bytes.len());
+                    for _ in 0..reps {
+                        let (p, a, clean) = Self::fold_atoms(bytes, pos, end, prev, acc, &mut f);
+                        prev = p;
+                        acc = a;
+                        if !clean {
+                            return acc;
+                        }
+                    }
+                    pos = end;
+                }
+                _ => return acc,
+            }
+        }
+        acc
+    }
+}
+
+impl std::iter::FusedIterator for ProgramEvents<'_> {}
+
+/// Compile an already-recorded trace. The result is byte-identical to
+/// what structural emission through a [`TraceCompiler`] sink produces for
+/// the same kernel (asserted across the corpus in the golden tests).
+#[must_use]
+pub fn compile(trace: &BlockTrace) -> TraceProgram {
+    let mut compiler = TraceCompiler::new(1);
+    for &event in trace.events() {
+        compiler.push_event(event);
+    }
+    compiler.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    fn decode(p: &TraceProgram) -> Vec<TraceEvent> {
+        p.events().collect()
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for d in [0u64, 1, 2, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+            assert_eq!(unzigzag(zigzag(d)), d, "delta {d:#x}");
+        }
+        // Small magnitudes of either sign encode small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(u64::MAX), 1); // two's-complement −1
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut bytes = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX];
+        for &v in &values {
+            push_varint(&mut bytes, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&bytes, &mut pos), v);
+        }
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn empty_program_yields_nothing() {
+        let program = TraceCompiler::new(1).finish();
+        assert_eq!(decode(&program), Vec::new());
+        assert_eq!(program.event_count(), 0);
+        assert_eq!(program.byte_len(), 0);
+    }
+
+    #[test]
+    fn hand_stream_round_trips_with_extreme_blocks() {
+        let events = vec![
+            TraceEvent::Access(5),
+            TraceEvent::Access(u64::MAX),
+            TraceEvent::Leaf,
+            TraceEvent::Access(0),
+            TraceEvent::Access(0),
+            TraceEvent::Access(3),
+            TraceEvent::Leaf,
+            TraceEvent::Leaf,
+        ];
+        let mut c = TraceCompiler::new(1);
+        for &e in &events {
+            c.push_event(e);
+        }
+        let program = c.finish();
+        assert_eq!(decode(&program), events);
+        assert_eq!(program.accesses(), 5);
+        assert_eq!(program.leaves(), 3);
+        assert_eq!(program.distinct_blocks(), 4);
+    }
+
+    #[test]
+    fn strided_scan_compresses_to_a_run() {
+        let mut c = TraceCompiler::new(1);
+        for i in 0..10_000u64 {
+            c.push_block(i * 3);
+        }
+        let program = c.finish();
+        // First access is delta 0, the rest fold into one RUN op.
+        assert!(
+            program.byte_len() <= 16,
+            "scan should be a handful of bytes, got {}",
+            program.byte_len()
+        );
+        let decoded = decode(&program);
+        assert_eq!(decoded.len(), 10_000);
+        assert_eq!(decoded[0], TraceEvent::Access(0));
+        assert_eq!(decoded[9_999], TraceEvent::Access(9_999 * 3));
+    }
+
+    #[test]
+    fn repeated_pattern_folds_into_a_loop() {
+        let pattern = [7u64, 900, 7, 13, 13, 42];
+        let mut events = Vec::new();
+        for _ in 0..500 {
+            for &b in &pattern {
+                events.push(TraceEvent::Access(b));
+            }
+            events.push(TraceEvent::Leaf);
+        }
+        let mut c = TraceCompiler::new(1);
+        for &e in &events {
+            c.push_event(e);
+        }
+        let program = c.finish();
+        assert_eq!(decode(&program), events);
+        assert!(
+            program.byte_len() < 100,
+            "periodic stream must fold into a LOOP, got {} bytes",
+            program.byte_len()
+        );
+    }
+
+    #[test]
+    fn internal_fold_matches_external_iteration_at_every_split() {
+        // A stream whose program exercises every opcode: runs (strided
+        // scan), a loop (periodic block), lone accesses, and leaves.
+        let mut events = Vec::new();
+        for i in 0..40u64 {
+            events.push(TraceEvent::Access(i * 8));
+        }
+        for _ in 0..30 {
+            for b in [3u64, 999, 3, 17] {
+                events.push(TraceEvent::Access(b));
+            }
+            events.push(TraceEvent::Leaf);
+        }
+        events.push(TraceEvent::Access(u64::MAX));
+        events.push(TraceEvent::Leaf);
+        let mut c = TraceCompiler::new(1);
+        for &e in &events {
+            c.push_event(e);
+        }
+        let program = c.finish();
+        assert_eq!(decode(&program), events);
+        // fold() must resume correctly from any iterator state next() can
+        // leave behind: mid-run, mid-loop-body, between loop reps, done.
+        for split in 0..=events.len() {
+            let mut iter = program.events();
+            for _ in 0..split {
+                iter.next();
+            }
+            let folded = iter.fold(Vec::new(), |mut v, e| {
+                v.push(e);
+                v
+            });
+            assert_eq!(folded, events[split..], "split at {split}");
+        }
+    }
+
+    #[test]
+    fn aperiodic_stream_still_round_trips() {
+        // Weyl-style sequence: no short period, exercises spill paths.
+        let mut events = Vec::new();
+        let mut x = 0u64;
+        for i in 0..5_000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+            events.push(TraceEvent::Access(x >> 32));
+            if i % 37 == 0 {
+                events.push(TraceEvent::Leaf);
+            }
+        }
+        let mut c = TraceCompiler::new(1);
+        for &e in &events {
+            c.push_event(e);
+        }
+        let program = c.finish();
+        assert_eq!(decode(&program), events);
+    }
+
+    #[test]
+    fn sink_route_matches_recompilation_of_recorded_trace() {
+        // Drive a Tracer and a TraceCompiler with the same accesses; the
+        // compiled-from-trace program must equal the structurally-emitted
+        // one byte for byte.
+        let addrs = [0u64, 5, 9, 13, 5, 0, 64, 65, 66, 67, 68, 69, 70, 71];
+        let mut tracer = Tracer::new(4);
+        let mut compiler = TraceCompiler::new(4);
+        for rep in 0..30 {
+            for &a in &addrs {
+                TraceSink::touch(&mut tracer, a + rep);
+                TraceSink::touch(&mut compiler, a + rep);
+            }
+            TraceSink::leaf(&mut tracer);
+            TraceSink::leaf(&mut compiler);
+        }
+        let trace = tracer.into_trace();
+        let direct = compiler.finish();
+        let recompiled = compile(&trace);
+        assert_eq!(direct, recompiled);
+        assert_eq!(decode(&direct), trace.events());
+        assert_eq!(direct.accesses(), trace.accesses());
+        assert_eq!(direct.distinct_blocks(), trace.distinct_blocks());
+        assert_eq!(direct.leaves(), trace.leaves());
+    }
+
+    #[test]
+    fn size_hint_is_exact_throughout() {
+        let mut c = TraceCompiler::new(1);
+        for i in 0..100u64 {
+            c.push_block(i % 7);
+            if i % 10 == 0 {
+                c.push_leaf();
+            }
+        }
+        let program = c.finish();
+        let mut iter = program.events();
+        let mut left = usize::try_from(program.event_count()).unwrap();
+        loop {
+            assert_eq!(iter.size_hint(), (left, Some(left)));
+            if iter.next().is_none() {
+                break;
+            }
+            left -= 1;
+        }
+        assert_eq!(left, 0);
+        assert_eq!(iter.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let mut events = Vec::new();
+        for i in 0..2_000u64 {
+            events.push(TraceEvent::Access((i * i) % 257));
+            if i % 5 == 0 {
+                events.push(TraceEvent::Leaf);
+            }
+        }
+        let build = || {
+            let mut c = TraceCompiler::new(1);
+            for &e in &events {
+                c.push_event(e);
+            }
+            c.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

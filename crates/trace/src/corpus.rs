@@ -1,20 +1,33 @@
-//! Deterministic trace corpus with process-wide memoized summaries.
+//! Deterministic trace corpus with process-wide memoized programs and
+//! summaries.
 //!
 //! Tracing a real algorithm and summarising its reuse structure are pure
 //! functions of `(algorithm, side, block_words)`, yet the capacity-model
 //! experiments used to re-trace per sweep point — and, after the trial
 //! fan-out of the experiment engine, would have re-traced per *worker*.
-//! This store mirrors `cadapt_profiles::cache`: each
-//! [`SummarizedTrace`] (the [`BlockTrace`] plus its
+//! This store mirrors `cadapt_profiles::cache`: each compiled
+//! [`TraceProgram`] and each [`SummarizedTrace`] (the program plus its
 //! [`TraceSummary`]) is built **once per process** and handed out as an
 //! [`Arc`] keyed by its parameters.
+//!
+//! Since the bytecode compiler landed, the corpus stores traces as
+//! **programs**, not event vectors: the regular kernels emit bytecode
+//! structurally (no `Vec<TraceEvent>` is ever materialised) and every
+//! consumer — the LRU simulator, the analytic model's summary build —
+//! streams events straight out of the program. A compiled corpus trace is
+//! typically orders of magnitude smaller than its event vector, which is
+//! what lets experiment E15 replay traces past the sizes the vector
+//! representation could hold.
 //!
 //! Determinism: inputs are fixed arithmetic patterns (the same ones
 //! experiment E8 has always used), construction records no execution
 //! counters, and the [`BTreeMap`] keying is total — a cache hit returns a
 //! value bit-identical to fresh construction (asserted in the tests), so
-//! the store can never change a golden record, only the wall clock.
+//! the store can never change a golden record, only the wall clock. The
+//! program bytes themselves are CRC-pinned by the bytecode integration
+//! goldens.
 
+use crate::bytecode::TraceProgram;
 use crate::summary::TraceSummary;
 use crate::tracer::BlockTrace;
 use crate::ZMatrix;
@@ -36,15 +49,32 @@ pub enum TraceAlgo {
     /// Cache-oblivious edit distance via the boundary method —
     /// (4, 2, 1)-regular. `side` is the string length.
     EditDistance,
+    /// Static binary search over a van Emde Boas layout (Barratt & Zhang)
+    /// — a linear-ρ search-tree control outside the strict (a, b, c)
+    /// regime; see `crate::veb`. `side` scales the workload: `side² − 1`
+    /// keys, `side²` queries.
+    VebSearch,
 }
 
 impl TraceAlgo {
-    /// Every corpus algorithm, in presentation order.
+    /// The original four corpus algorithms, in presentation order. The
+    /// historical experiment goldens (E8–E14) sweep exactly this set, so
+    /// it must not grow; new workloads join [`Self::EXTENDED`].
     pub const ALL: [TraceAlgo; 4] = [
         TraceAlgo::MmScan,
         TraceAlgo::MmInplace,
         TraceAlgo::Strassen,
         TraceAlgo::EditDistance,
+    ];
+
+    /// Every corpus algorithm including post-golden additions — what the
+    /// bytecode goldens and experiment E15's validation stage sweep.
+    pub const EXTENDED: [TraceAlgo; 5] = [
+        TraceAlgo::MmScan,
+        TraceAlgo::MmInplace,
+        TraceAlgo::Strassen,
+        TraceAlgo::EditDistance,
+        TraceAlgo::VebSearch,
     ];
 
     /// Human label (matches the E8 table labels).
@@ -55,6 +85,7 @@ impl TraceAlgo {
             TraceAlgo::MmInplace => "MM-Inplace",
             TraceAlgo::Strassen => "Strassen",
             TraceAlgo::EditDistance => "EditDistance",
+            TraceAlgo::VebSearch => "VebSearch",
         }
     }
 
@@ -65,12 +96,15 @@ impl TraceAlgo {
             TraceAlgo::MmScan | TraceAlgo::MmInplace => Potential::new(8, 4),
             TraceAlgo::Strassen => Potential::new(7, 4),
             TraceAlgo::EditDistance => Potential::new(4, 2),
+            // Linear ρ(x) = x: the a = b boundary, like transpose.
+            TraceAlgo::VebSearch => Potential::new(2, 2),
         }
     }
 
-    /// Trace the algorithm on its deterministic input of the given size.
-    /// For the matrix algorithms `side` is the (power-of-two) matrix side;
-    /// for edit distance it is the string length.
+    /// Trace the algorithm on its deterministic input of the given size,
+    /// recording the full event vector. For the matrix algorithms `side`
+    /// is the (power-of-two) matrix side; for edit distance it is the
+    /// string length; for vEB search it scales the key/query counts.
     #[must_use]
     pub fn trace(self, side: usize, block_words: u64) -> BlockTrace {
         match self {
@@ -90,6 +124,35 @@ impl TraceAlgo {
                 let (x, y) = test_strings(side);
                 crate::edit::edit_distance(&x, &y, block_words).1
             }
+            TraceAlgo::VebSearch => crate::veb::veb_search(side, block_words).1,
+        }
+    }
+
+    /// Compile the algorithm's trace directly to bytecode via structural
+    /// emission — **no event vector is materialised**. Byte-identical to
+    /// `crate::bytecode::compile(&self.trace(side, block_words))` because
+    /// the encoder is a pure function of the event stream (asserted per
+    /// kernel and pinned by the bytecode goldens).
+    #[must_use]
+    pub fn compile(self, side: usize, block_words: u64) -> TraceProgram {
+        match self {
+            TraceAlgo::MmScan => {
+                let (a, b) = test_matrices(side);
+                crate::mm::mm_scan_compiled(&a, &b, block_words).1
+            }
+            TraceAlgo::MmInplace => {
+                let (a, b) = test_matrices(side);
+                crate::mm::mm_inplace_compiled(&a, &b, block_words).1
+            }
+            TraceAlgo::Strassen => {
+                let (a, b) = test_matrices(side);
+                crate::strassen::strassen_compiled(&a, &b, block_words).1
+            }
+            TraceAlgo::EditDistance => {
+                let (x, y) = test_strings(side);
+                crate::edit::edit_distance_compiled(&x, &y, block_words).1
+            }
+            TraceAlgo::VebSearch => crate::veb::veb_search_compiled(side, block_words).1,
         }
     }
 }
@@ -119,25 +182,39 @@ pub fn test_strings(len: usize) -> (Vec<u8>, Vec<u8>) {
     (x, y)
 }
 
-/// A trace bundled with its reuse-distance summary.
+/// A compiled trace program bundled with its reuse-distance summary.
+///
+/// The program is the trace's only stored representation — both replay
+/// backends stream events out of it, so the `Vec<TraceEvent>` form never
+/// outlives construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SummarizedTrace {
-    trace: BlockTrace,
+    program: Arc<TraceProgram>,
     summary: TraceSummary,
 }
 
 impl SummarizedTrace {
-    /// Trace `trace` and summarise it in one step.
+    /// Compile `trace` to bytecode and summarise it in one step. The
+    /// recorded event vector is dropped on return.
     #[must_use]
     pub fn new(trace: BlockTrace) -> Self {
         let summary = TraceSummary::new(&trace);
-        SummarizedTrace { trace, summary }
+        let program = Arc::new(crate::bytecode::compile(&trace));
+        SummarizedTrace { program, summary }
     }
 
-    /// The raw block trace (what the LRU simulator replays).
+    /// Summarise an already-compiled program by streaming its events —
+    /// no event vector is materialised.
     #[must_use]
-    pub fn trace(&self) -> &BlockTrace {
-        &self.trace
+    pub fn from_program(program: Arc<TraceProgram>) -> Self {
+        let summary = TraceSummary::new(&*program);
+        SummarizedTrace { program, summary }
+    }
+
+    /// The compiled trace program (what both replay backends stream).
+    #[must_use]
+    pub fn program(&self) -> &TraceProgram {
+        &self.program
     }
 
     /// The reuse-distance summary (what the analytic model queries).
@@ -150,12 +227,36 @@ impl SummarizedTrace {
 /// Memoization key: `(algo, side, block_words)` pins one corpus trace.
 type TraceKey = (TraceAlgo, usize, u64);
 type TraceStore = Mutex<BTreeMap<TraceKey, Arc<SummarizedTrace>>>;
+type ProgramStore = Mutex<BTreeMap<TraceKey, Arc<TraceProgram>>>;
 
 static TRACES: OnceLock<TraceStore> = OnceLock::new();
+static PROGRAMS: OnceLock<ProgramStore> = OnceLock::new();
+
+/// The compiled program of `algo` at `(side, block_words)`, memoized
+/// process-wide. Built by structural emission (never through an event
+/// vector), so this is the entry point for trace sizes beyond what
+/// `Vec<TraceEvent>` materialisation could hold.
+#[must_use]
+pub fn compiled(algo: TraceAlgo, side: usize, block_words: u64) -> Arc<TraceProgram> {
+    let cache = PROGRAMS.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let key = (algo, side, block_words);
+    {
+        let map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(p) = map.get(&key) {
+            return Arc::clone(p);
+        }
+    }
+    // Build outside the lock: compiling is the expensive part and must not
+    // serialize unrelated workers behind a miss.
+    let built = Arc::new(algo.compile(side, block_words));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(map.entry(key).or_insert(built))
+}
 
 /// The summarised trace of `algo` at `(side, block_words)`, memoized
 /// process-wide. Repeated callers (sweep points, trial workers, the
-/// in-process cross-validation passes) share one [`Arc`].
+/// in-process cross-validation passes) share one [`Arc`]; the underlying
+/// program is shared with [`compiled`].
 #[must_use]
 pub fn summarized(algo: TraceAlgo, side: usize, block_words: u64) -> Arc<SummarizedTrace> {
     let cache = TRACES.get_or_init(|| Mutex::new(BTreeMap::new()));
@@ -166,9 +267,13 @@ pub fn summarized(algo: TraceAlgo, side: usize, block_words: u64) -> Arc<Summari
             return Arc::clone(st);
         }
     }
-    // Build outside the lock: tracing + summarising is the expensive part
-    // and must not serialize unrelated workers behind a miss.
-    let built = Arc::new(SummarizedTrace::new(algo.trace(side, block_words)));
+    // Build outside the lock; the program itself comes from (and lands in)
+    // the shared program store.
+    let built = Arc::new(SummarizedTrace::from_program(compiled(
+        algo,
+        side,
+        block_words,
+    )));
     let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
     Arc::clone(map.entry(key).or_insert(built))
 }
@@ -194,17 +299,36 @@ mod tests {
         let a = summarized(TraceAlgo::MmScan, 8, 4);
         let b = summarized(TraceAlgo::MmScan, 8, 2);
         assert!(!Arc::ptr_eq(&a, &b));
-        assert_ne!(a.trace(), b.trace());
+        assert_ne!(a.program(), b.program());
+    }
+
+    #[test]
+    fn summarized_shares_the_program_with_compiled() {
+        let p = compiled(TraceAlgo::Strassen, 8, 4);
+        let st = summarized(TraceAlgo::Strassen, 8, 4);
+        assert_eq!(*st.program(), *p);
     }
 
     #[test]
     fn every_corpus_algorithm_traces_and_summarises() {
-        for algo in TraceAlgo::ALL {
+        for algo in TraceAlgo::EXTENDED {
             let st = summarized(algo, 8, 4);
-            assert!(st.trace().accesses() > 0, "{}", algo.label());
-            assert_eq!(st.summary().accesses(), st.trace().accesses());
-            assert_eq!(st.summary().distinct_blocks(), st.trace().distinct_blocks());
-            assert_eq!(st.summary().leaves(), st.trace().leaves());
+            assert!(st.program().accesses() > 0, "{}", algo.label());
+            assert_eq!(st.summary().accesses(), st.program().accesses());
+            assert_eq!(
+                st.summary().distinct_blocks(),
+                st.program().distinct_blocks()
+            );
+            assert_eq!(st.summary().leaves(), st.program().leaves());
+        }
+    }
+
+    #[test]
+    fn structural_compilation_matches_recorded_compilation() {
+        for algo in TraceAlgo::EXTENDED {
+            let structural = algo.compile(8, 4);
+            let recorded = crate::bytecode::compile(&algo.trace(8, 4));
+            assert_eq!(structural, recorded, "{}", algo.label());
         }
     }
 

@@ -14,16 +14,17 @@
 //! against the textbook O(n²) DP) while tracing every access to the
 //! strings and boundary buffers.
 
-use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+use crate::bytecode::{TraceCompiler, TraceProgram};
+use crate::tracer::{AddressSpace, BlockTrace, TraceSink, TracedBuf, Tracer};
 
-struct EditCtx<'a> {
+struct EditCtx<'a, S> {
     space: &'a mut AddressSpace,
-    tracer: &'a mut Tracer,
+    tracer: &'a mut S,
     x: TracedBuf,
     y: TracedBuf,
 }
 
-impl EditCtx<'_> {
+impl<S: TraceSink> EditCtx<'_, S> {
     /// Traced copy of `src[off .. off + len]` into a fresh buffer (a scan).
     fn copy_scan(&mut self, src: &TracedBuf, off: usize, len: usize) -> TracedBuf {
         let mut out = self.space.alloc(len);
@@ -105,14 +106,13 @@ impl EditCtx<'_> {
 }
 
 /// Compute the Levenshtein distance between two equal-length strings whose
-/// length is a power of two, tracing at block size `block_words`.
+/// length is a power of two, reporting every access to `sink`.
 ///
 /// # Panics
 ///
 /// Panics unless `x.len() == y.len()` and the length is a positive power of
 /// two.
-#[must_use]
-pub fn edit_distance(x: &[u8], y: &[u8], block_words: u64) -> (u64, BlockTrace) {
+pub fn edit_distance_with<S: TraceSink>(x: &[u8], y: &[u8], block_words: u64, sink: &mut S) -> u64 {
     assert_eq!(x.len(), y.len(), "strings must have equal length");
     let n = x.len();
     assert!(
@@ -120,7 +120,6 @@ pub fn edit_distance(x: &[u8], y: &[u8], block_words: u64) -> (u64, BlockTrace) 
         "length must be a positive power of two"
     );
     let mut space = AddressSpace::new(block_words);
-    let mut tracer = Tracer::new(block_words);
     let xs: Vec<f64> = x.iter().map(|&c| f64::from(c)).collect();
     let ys: Vec<f64> = y.iter().map(|&c| f64::from(c)).collect();
     let tx = space.alloc_from(&xs);
@@ -132,13 +131,36 @@ pub fn edit_distance(x: &[u8], y: &[u8], block_words: u64) -> (u64, BlockTrace) 
     let left = space.alloc_from(&left_init);
     let mut ctx = EditCtx {
         space: &mut space,
-        tracer: &mut tracer,
+        tracer: &mut *sink,
         x: tx,
         y: ty,
     };
     let (bottom, _right) = ctx.solve(0, 0, n, &top, &left, 0.0);
-    let d = bottom.read(n - 1, &mut tracer);
-    (cadapt_core::cast::u64_from_f64(d), tracer.into_trace())
+    let d = bottom.read(n - 1, sink);
+    cadapt_core::cast::u64_from_f64(d)
+}
+
+/// Compute the Levenshtein distance between two equal-length strings whose
+/// length is a power of two, tracing at block size `block_words`.
+///
+/// # Panics
+///
+/// Panics unless `x.len() == y.len()` and the length is a positive power of
+/// two.
+#[must_use]
+pub fn edit_distance(x: &[u8], y: &[u8], block_words: u64) -> (u64, BlockTrace) {
+    let mut tracer = Tracer::new(block_words);
+    let d = edit_distance_with(x, y, block_words, &mut tracer);
+    (d, tracer.into_trace())
+}
+
+/// As [`edit_distance`], emitting the trace directly as bytecode — no
+/// event vector is ever materialised.
+#[must_use]
+pub fn edit_distance_compiled(x: &[u8], y: &[u8], block_words: u64) -> (u64, TraceProgram) {
+    let mut compiler = TraceCompiler::new(block_words);
+    let d = edit_distance_with(x, y, block_words, &mut compiler);
+    (d, compiler.finish())
 }
 
 /// Textbook O(n²) Levenshtein distance (reference for verification).
@@ -209,6 +231,18 @@ mod tests {
         assert_eq!(naive_edit_distance(b"kitten", b"sitting"), 3);
         assert_eq!(naive_edit_distance(b"", b"abc"), 3);
         assert_eq!(naive_edit_distance(b"abc", b""), 3);
+    }
+
+    #[test]
+    fn compiled_emission_matches_recorded_trace() {
+        let x = b"acgtacgt";
+        let y = b"aagtccgt";
+        let (d1, trace) = edit_distance(x, y, 4);
+        let (d2, program) = edit_distance_compiled(x, y, 4);
+        assert_eq!(d1, d2);
+        assert_eq!(crate::bytecode::compile(&trace), program);
+        let decoded: Vec<_> = program.events().collect();
+        assert_eq!(decoded, trace.events());
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! multiply — the MM-Inplace structure over the tropical semiring) and ⊕
 //! element-wise min. Verified against the textbook cubic Floyd–Warshall.
 
+use crate::bytecode::{TraceCompiler, TraceProgram};
 use crate::matrix::ZMatrix;
-use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+use crate::tracer::{AddressSpace, BlockTrace, TraceSink, TracedBuf, Tracer};
 
 /// Edge-weight infinity for the (min, +) semiring; large enough that two
 /// additions never overflow f64 precision, small enough to round-trip.
@@ -33,8 +34,8 @@ pub const INF: f64 = 1e15;
 /// Tropical (min, +) in-place product: C[i][j] ← min(C[i][j], A ⊗ B) over
 /// the Z-layout windows, recursively (the MM-Inplace structure).
 #[allow(clippy::too_many_arguments)]
-fn minplus_rec(
-    tracer: &mut Tracer,
+fn minplus_rec<S: TraceSink>(
+    tracer: &mut S,
     a: &TracedBuf,
     a_off: usize,
     b: &TracedBuf,
@@ -69,9 +70,9 @@ fn minplus_rec(
 
 /// Tropical product into self-aliased windows needs a snapshot of the
 /// operand: traced copy scan.
-fn copy_window(
+fn copy_window<S: TraceSink>(
     space: &mut AddressSpace,
-    tracer: &mut Tracer,
+    tracer: &mut S,
     src: &TracedBuf,
     off: usize,
     len: usize,
@@ -84,9 +85,9 @@ fn copy_window(
     out
 }
 
-fn fw_rec(
+fn fw_rec<S: TraceSink>(
     space: &mut AddressSpace,
-    tracer: &mut Tracer,
+    tracer: &mut S,
     a: &mut TracedBuf,
     off: usize,
     side: usize,
@@ -138,9 +139,19 @@ fn fw_rec(
 /// Panics unless the matrix side is a power of two.
 #[must_use]
 pub fn floyd_warshall(adj: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
+    let mut tracer = Tracer::new(block_words);
+    let result = floyd_warshall_with(adj, block_words, &mut tracer);
+    (result, tracer.into_trace())
+}
+
+/// As [`floyd_warshall`], reporting every access to `sink`.
+///
+/// # Panics
+///
+/// Panics unless the matrix side is a power of two.
+pub fn floyd_warshall_with<S: TraceSink>(adj: &ZMatrix, block_words: u64, sink: &mut S) -> ZMatrix {
     let side = adj.side();
     let mut space = AddressSpace::new(block_words);
-    let mut tracer = Tracer::new(block_words);
     let mut init = adj.clone();
     for i in 0..side {
         if init.get(i, i) > 0.0 {
@@ -148,11 +159,17 @@ pub fn floyd_warshall(adj: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) 
         }
     }
     let mut buf = space.alloc_from(init.z_data());
-    fw_rec(&mut space, &mut tracer, &mut buf, 0, side);
-    (
-        ZMatrix::from_z_data(side, buf.untraced()),
-        tracer.into_trace(),
-    )
+    fw_rec(&mut space, sink, &mut buf, 0, side);
+    ZMatrix::from_z_data(side, buf.untraced())
+}
+
+/// As [`floyd_warshall`], emitting the trace directly as bytecode — no
+/// event vector is ever materialised.
+#[must_use]
+pub fn floyd_warshall_compiled(adj: &ZMatrix, block_words: u64) -> (ZMatrix, TraceProgram) {
+    let mut compiler = TraceCompiler::new(block_words);
+    let result = floyd_warshall_with(adj, block_words, &mut compiler);
+    (result, compiler.finish())
 }
 
 /// Textbook O(V³) Floyd–Warshall (reference for verification).
@@ -267,6 +284,18 @@ mod tests {
         assert!(trace.accesses() > trace.leaves() as u64);
         // Snapshot scans allocate temporaries: more blocks than the matrix.
         assert!(trace.distinct_blocks() > (side * side) as u64);
+    }
+
+    #[test]
+    fn compiled_emission_matches_recorded_trace() {
+        let adj = random_graph(8, 13);
+        let m = ZMatrix::from_row_major(8, &adj);
+        let (d1, trace) = floyd_warshall(&m, 4);
+        let (d2, program) = floyd_warshall_compiled(&m, 4);
+        assert_eq!(d1, d2);
+        assert_eq!(crate::bytecode::compile(&trace), program);
+        let decoded: Vec<_> = program.events().collect();
+        assert_eq!(decoded, trace.events());
     }
 
     #[test]

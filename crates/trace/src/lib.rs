@@ -24,6 +24,9 @@
 //!   (8, 4, 1)-regular GEP kernel the paper cites.
 //! * [`transpose::transpose`] — the classic FLPR quadrant transpose, an
 //!   a = b linear-work control case outside the gap regime.
+//! * [`veb::veb_search`] — static binary search over a van Emde Boas tree
+//!   layout (Barratt & Zhang's cache-friendly search trees), the corpus's
+//!   search-tree workload; born compiled rather than materialised.
 //!
 //! Matrices use the Z-Morton (bit-interleaved) layout so that quadrants are
 //! contiguous — the layout that makes these algorithms cache-oblivious.
@@ -34,21 +37,34 @@
 //! can answer capacity and box queries in closed form instead of replaying
 //! references, and [`corpus`] memoizes the summarised traces process-wide
 //! (the same pattern as `cadapt_profiles::cache`).
+//!
+//! Traces come in two interchangeable representations behind the
+//! [`stream::TraceStream`] trait: the recorded [`BlockTrace`] event
+//! vector, and the compiled [`bytecode::TraceProgram`] — a compact
+//! delta/run/loop bytecode that a small decoder VM streams back out.
+//! Every instrumented kernel is generic over [`tracer::TraceSink`], so it
+//! can record events or emit bytecode directly (the `*_compiled` entry
+//! points) without ever materialising the vector.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod corpus;
 pub mod edit;
 pub mod gep;
 pub mod matrix;
 pub mod mm;
 pub mod strassen;
+pub mod stream;
 pub mod summary;
 pub mod tracer;
 pub mod transpose;
+pub mod veb;
 
-pub use corpus::{summarized, SummarizedTrace, TraceAlgo};
+pub use bytecode::{compile, TraceCompiler, TraceProgram};
+pub use corpus::{compiled, summarized, SummarizedTrace, TraceAlgo};
 pub use matrix::ZMatrix;
+pub use stream::TraceStream;
 pub use summary::TraceSummary;
-pub use tracer::{AddressSpace, BlockTrace, TraceEvent, TracedBuf, Tracer};
+pub use tracer::{AddressSpace, BlockTrace, TraceEvent, TraceSink, TracedBuf, Tracer};

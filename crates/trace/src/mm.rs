@@ -13,8 +13,9 @@
 //! Both run on Z-Morton matrices so each quadrant is a contiguous
 //! (offset, side) window of the buffer.
 
+use crate::bytecode::{TraceCompiler, TraceProgram};
 use crate::matrix::ZMatrix;
-use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+use crate::tracer::{AddressSpace, BlockTrace, TraceSink, TracedBuf, Tracer};
 
 /// Quadrant word offsets within a Z-ordered matrix window of side `side`:
 /// (TL, TR, BL, BR), each a contiguous run of (side/2)² words.
@@ -24,9 +25,9 @@ fn quadrants(offset: usize, side: usize) -> [usize; 4] {
 }
 
 /// Element-wise addition scan: out[i] = x[x_off + i] + y[y_off + i].
-fn add_scan(
+fn add_scan<S: TraceSink>(
     space: &mut AddressSpace,
-    tracer: &mut Tracer,
+    tracer: &mut S,
     x: &TracedBuf,
     x_off: usize,
     y: &TracedBuf,
@@ -41,9 +42,9 @@ fn add_scan(
     out
 }
 
-fn mm_scan_rec(
+fn mm_scan_rec<S: TraceSink>(
     space: &mut AddressSpace,
-    tracer: &mut Tracer,
+    tracer: &mut S,
     a: &TracedBuf,
     a_off: usize,
     b: &TracedBuf,
@@ -87,8 +88,8 @@ fn mm_scan_rec(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn mm_inplace_rec(
-    tracer: &mut Tracer,
+fn mm_inplace_rec<S: TraceSink>(
+    tracer: &mut S,
     a: &TracedBuf,
     a_off: usize,
     b: &TracedBuf,
@@ -117,6 +118,25 @@ fn mm_inplace_rec(
     mm_inplace_rec(tracer, a, a22, b, b22, c, c22, half);
 }
 
+/// Multiply `a · b` with MM-Scan, reporting every access to `sink`.
+///
+/// # Panics
+///
+/// Panics if the matrices differ in side.
+pub fn mm_scan_with<S: TraceSink>(
+    a: &ZMatrix,
+    b: &ZMatrix,
+    block_words: u64,
+    sink: &mut S,
+) -> ZMatrix {
+    assert_eq!(a.side(), b.side(), "sides must match");
+    let mut space = AddressSpace::new(block_words);
+    let ta = space.alloc_from(a.z_data());
+    let tb = space.alloc_from(b.z_data());
+    let out = mm_scan_rec(&mut space, sink, &ta, 0, &tb, 0, a.side());
+    ZMatrix::from_z_data(a.side(), out.untraced())
+}
+
 /// Multiply `a · b` with MM-Scan, returning the product and the block trace
 /// at block size `block_words`.
 ///
@@ -125,14 +145,38 @@ fn mm_inplace_rec(
 /// Panics if the matrices differ in side.
 #[must_use]
 pub fn mm_scan(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
+    let mut tracer = Tracer::new(block_words);
+    let result = mm_scan_with(a, b, block_words, &mut tracer);
+    (result, tracer.into_trace())
+}
+
+/// Multiply `a · b` with MM-Scan, emitting the trace directly as bytecode
+/// — no event vector is ever materialised.
+#[must_use]
+pub fn mm_scan_compiled(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, TraceProgram) {
+    let mut compiler = TraceCompiler::new(block_words);
+    let result = mm_scan_with(a, b, block_words, &mut compiler);
+    (result, compiler.finish())
+}
+
+/// Multiply `a · b` with MM-Inplace, reporting every access to `sink`.
+///
+/// # Panics
+///
+/// Panics if the matrices differ in side.
+pub fn mm_inplace_with<S: TraceSink>(
+    a: &ZMatrix,
+    b: &ZMatrix,
+    block_words: u64,
+    sink: &mut S,
+) -> ZMatrix {
     assert_eq!(a.side(), b.side(), "sides must match");
     let mut space = AddressSpace::new(block_words);
-    let mut tracer = Tracer::new(block_words);
     let ta = space.alloc_from(a.z_data());
     let tb = space.alloc_from(b.z_data());
-    let out = mm_scan_rec(&mut space, &mut tracer, &ta, 0, &tb, 0, a.side());
-    let result = ZMatrix::from_z_data(a.side(), out.untraced());
-    (result, tracer.into_trace())
+    let mut out = space.alloc(a.side() * a.side());
+    mm_inplace_rec(sink, &ta, 0, &tb, 0, &mut out, 0, a.side());
+    ZMatrix::from_z_data(a.side(), out.untraced())
 }
 
 /// Multiply `a · b` with MM-Inplace, returning the product and the block
@@ -143,15 +187,18 @@ pub fn mm_scan(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTra
 /// Panics if the matrices differ in side.
 #[must_use]
 pub fn mm_inplace(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
-    assert_eq!(a.side(), b.side(), "sides must match");
-    let mut space = AddressSpace::new(block_words);
     let mut tracer = Tracer::new(block_words);
-    let ta = space.alloc_from(a.z_data());
-    let tb = space.alloc_from(b.z_data());
-    let mut out = space.alloc(a.side() * a.side());
-    mm_inplace_rec(&mut tracer, &ta, 0, &tb, 0, &mut out, 0, a.side());
-    let result = ZMatrix::from_z_data(a.side(), out.untraced());
+    let result = mm_inplace_with(a, b, block_words, &mut tracer);
     (result, tracer.into_trace())
+}
+
+/// Multiply `a · b` with MM-Inplace, emitting the trace directly as
+/// bytecode — no event vector is ever materialised.
+#[must_use]
+pub fn mm_inplace_compiled(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, TraceProgram) {
+    let mut compiler = TraceCompiler::new(block_words);
+    let result = mm_inplace_with(a, b, block_words, &mut compiler);
+    (result, compiler.finish())
 }
 
 #[cfg(test)]
@@ -232,6 +279,30 @@ mod tests {
         let (_, t) = mm_inplace(&a, &b, block_words);
         let expected_blocks = 3 * (side * side) as u64 / block_words;
         assert_eq!(t.distinct_blocks(), expected_blocks);
+    }
+
+    #[test]
+    fn compiled_emission_matches_recorded_trace() {
+        let a = random_matrix(8, 15);
+        let b = random_matrix(8, 16);
+        for (recorded, compiled) in [
+            {
+                let (c1, t) = mm_scan(&a, &b, 4);
+                let (c2, p) = mm_scan_compiled(&a, &b, 4);
+                assert_eq!(c1, c2);
+                (t, p)
+            },
+            {
+                let (c1, t) = mm_inplace(&a, &b, 4);
+                let (c2, p) = mm_inplace_compiled(&a, &b, 4);
+                assert_eq!(c1, c2);
+                (t, p)
+            },
+        ] {
+            assert_eq!(crate::bytecode::compile(&recorded), compiled);
+            let decoded: Vec<_> = compiled.events().collect();
+            assert_eq!(decoded, recorded.events());
+        }
     }
 
     #[test]

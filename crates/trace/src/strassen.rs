@@ -6,15 +6,16 @@
 //! regime (a = 7 > b = 4, c = 1) — logarithmically non-adaptive in the
 //! worst case, adaptive in expectation under smoothing.
 
+use crate::bytecode::{TraceCompiler, TraceProgram};
 use crate::matrix::ZMatrix;
-use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+use crate::tracer::{AddressSpace, BlockTrace, TraceSink, TracedBuf, Tracer};
 
 /// A window into a traced buffer: (offset, length implied by context).
 type Win<'a> = (&'a TracedBuf, usize);
 
-fn scan_binop(
+fn scan_binop<S: TraceSink>(
     space: &mut AddressSpace,
-    tracer: &mut Tracer,
+    tracer: &mut S,
     x: Win<'_>,
     y: Win<'_>,
     len: usize,
@@ -30,9 +31,9 @@ fn scan_binop(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn strassen_rec(
+fn strassen_rec<S: TraceSink>(
     space: &mut AddressSpace,
-    tracer: &mut Tracer,
+    tracer: &mut S,
     a: &TracedBuf,
     a_off: usize,
     b: &TracedBuf,
@@ -94,6 +95,26 @@ fn strassen_rec(
     out
 }
 
+/// Multiply `a · b` with Strassen's algorithm, reporting every access to
+/// `sink`.
+///
+/// # Panics
+///
+/// Panics if the matrices differ in side.
+pub fn strassen_with<S: TraceSink>(
+    a: &ZMatrix,
+    b: &ZMatrix,
+    block_words: u64,
+    sink: &mut S,
+) -> ZMatrix {
+    assert_eq!(a.side(), b.side(), "sides must match");
+    let mut space = AddressSpace::new(block_words);
+    let ta = space.alloc_from(a.z_data());
+    let tb = space.alloc_from(b.z_data());
+    let out = strassen_rec(&mut space, sink, &ta, 0, &tb, 0, a.side());
+    ZMatrix::from_z_data(a.side(), out.untraced())
+}
+
 /// Multiply `a · b` with Strassen's algorithm, returning the product and
 /// the block trace at block size `block_words`.
 ///
@@ -102,14 +123,18 @@ fn strassen_rec(
 /// Panics if the matrices differ in side.
 #[must_use]
 pub fn strassen(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
-    assert_eq!(a.side(), b.side(), "sides must match");
-    let mut space = AddressSpace::new(block_words);
     let mut tracer = Tracer::new(block_words);
-    let ta = space.alloc_from(a.z_data());
-    let tb = space.alloc_from(b.z_data());
-    let out = strassen_rec(&mut space, &mut tracer, &ta, 0, &tb, 0, a.side());
-    let result = ZMatrix::from_z_data(a.side(), out.untraced());
+    let result = strassen_with(a, b, block_words, &mut tracer);
     (result, tracer.into_trace())
+}
+
+/// Multiply `a · b` with Strassen's algorithm, emitting the trace directly
+/// as bytecode — no event vector is ever materialised.
+#[must_use]
+pub fn strassen_compiled(a: &ZMatrix, b: &ZMatrix, block_words: u64) -> (ZMatrix, TraceProgram) {
+    let mut compiler = TraceCompiler::new(block_words);
+    let result = strassen_with(a, b, block_words, &mut compiler);
+    (result, compiler.finish())
 }
 
 #[cfg(test)]
@@ -165,5 +190,17 @@ mod tests {
         let (c1, _) = strassen(&a, &b, 2);
         let (c2, _) = crate::mm::mm_scan(&a, &b, 2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn compiled_emission_matches_recorded_trace() {
+        let a = random_matrix(8, 29);
+        let b = random_matrix(8, 30);
+        let (c1, trace) = strassen(&a, &b, 4);
+        let (c2, program) = strassen_compiled(&a, &b, 4);
+        assert_eq!(c1, c2);
+        assert_eq!(crate::bytecode::compile(&trace), program);
+        let decoded: Vec<_> = program.events().collect();
+        assert_eq!(decoded, trace.events());
     }
 }

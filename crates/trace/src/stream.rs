@@ -1,0 +1,144 @@
+//! The [`TraceStream`] abstraction: anything that can stream a block
+//! trace's events in program order.
+//!
+//! Both trace representations implement it — the recorded
+//! [`BlockTrace`] (a materialised `Vec<TraceEvent>`) and the compiled
+//! [`TraceProgram`] (bytecode decoded on the fly) — so the LRU replayers
+//! in `cadapt-paging` and the reuse-distance summary builder are written
+//! once, generically, and consume either without an intermediate vector.
+//! Replaying a program must equal replaying the trace it was compiled
+//! from event-for-event; the equivalence tests pin exactly that.
+
+use crate::bytecode::{ProgramEvents, TraceProgram};
+use crate::tracer::{BlockTrace, TraceEvent};
+use cadapt_core::{Blocks, Leaves};
+
+/// A source of trace events plus the O(1) aggregate counts replayers and
+/// summaries need without a decoding pass.
+pub trait TraceStream {
+    /// The streaming iterator type (exact `size_hint` where possible).
+    type Events<'a>: Iterator<Item = TraceEvent>
+    where
+        Self: 'a;
+
+    /// Stream the events in program order.
+    fn events(&self) -> Self::Events<'_>;
+
+    /// Total accesses (excluding leaf marks).
+    fn accesses(&self) -> u64;
+
+    /// Number of distinct blocks touched.
+    fn distinct_blocks(&self) -> Blocks;
+
+    /// Total base-case marks.
+    fn leaves(&self) -> Leaves;
+}
+
+impl TraceStream for BlockTrace {
+    type Events<'a> = std::iter::Copied<std::slice::Iter<'a, TraceEvent>>;
+
+    fn events(&self) -> Self::Events<'_> {
+        BlockTrace::events(self).iter().copied()
+    }
+
+    fn accesses(&self) -> u64 {
+        BlockTrace::accesses(self)
+    }
+
+    fn distinct_blocks(&self) -> Blocks {
+        BlockTrace::distinct_blocks(self)
+    }
+
+    fn leaves(&self) -> Leaves {
+        BlockTrace::leaves(self)
+    }
+}
+
+impl TraceStream for TraceProgram {
+    type Events<'a> = ProgramEvents<'a>;
+
+    fn events(&self) -> Self::Events<'_> {
+        TraceProgram::events(self)
+    }
+
+    fn accesses(&self) -> u64 {
+        TraceProgram::accesses(self)
+    }
+
+    fn distinct_blocks(&self) -> Blocks {
+        TraceProgram::distinct_blocks(self)
+    }
+
+    fn leaves(&self) -> Leaves {
+        TraceProgram::leaves(self)
+    }
+}
+
+impl<T: TraceStream + ?Sized> TraceStream for &T {
+    type Events<'a>
+        = T::Events<'a>
+    where
+        Self: 'a;
+
+    fn events(&self) -> Self::Events<'_> {
+        (**self).events()
+    }
+
+    fn accesses(&self) -> u64 {
+        (**self).accesses()
+    }
+
+    fn distinct_blocks(&self) -> Blocks {
+        (**self).distinct_blocks()
+    }
+
+    fn leaves(&self) -> Leaves {
+        (**self).leaves()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::tracer::Tracer;
+
+    fn sample() -> BlockTrace {
+        let mut t = Tracer::new(2);
+        for addr in [0u64, 1, 2, 9, 4, 4, 9] {
+            t.touch(addr);
+        }
+        t.leaf();
+        t.touch(30);
+        t.leaf();
+        t.into_trace()
+    }
+
+    fn collect<T: TraceStream>(stream: &T) -> Vec<TraceEvent> {
+        stream.events().collect()
+    }
+
+    #[test]
+    fn both_implementations_stream_the_same_events() {
+        let trace = sample();
+        let program = compile(&trace);
+        assert_eq!(collect(&trace), collect(&program));
+        assert_eq!(collect(&trace), BlockTrace::events(&trace));
+        assert_eq!(
+            TraceStream::accesses(&trace),
+            TraceStream::accesses(&program)
+        );
+        assert_eq!(
+            TraceStream::distinct_blocks(&trace),
+            TraceStream::distinct_blocks(&program)
+        );
+        assert_eq!(TraceStream::leaves(&trace), TraceStream::leaves(&program));
+    }
+
+    #[test]
+    fn reference_forwarding_works() {
+        let trace = sample();
+        let by_ref: &BlockTrace = &trace;
+        assert_eq!(collect(&by_ref), collect(&trace));
+    }
+}

@@ -34,7 +34,8 @@
 //! [`leaves_before`](TraceSummary::leaves_before) turns per-box progress
 //! counting into two prefix-sum lookups.
 
-use crate::tracer::{BlockTrace, TraceEvent};
+use crate::stream::TraceStream;
+use crate::tracer::TraceEvent;
 use cadapt_core::{cast, Blocks, Io, Leaves};
 // cadapt-lint: allow(nondet-source) -- HashMap is point-probed only (get/insert) to map blocks to their latest access position; iteration order is never observed
 use std::collections::HashMap;
@@ -78,7 +79,7 @@ impl Fenwick {
     }
 }
 
-/// Positional and reuse-distance structure of one [`BlockTrace`],
+/// Positional and reuse-distance structure of one trace stream,
 /// computed once and queried per capacity / per box.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSummary {
@@ -103,9 +104,13 @@ pub struct TraceSummary {
 }
 
 impl TraceSummary {
-    /// Build the summary in O(A log A) time and O(A) space.
+    /// Build the summary in O(A log A) time and O(A) space from any
+    /// [`TraceStream`] — a recorded [`crate::tracer::BlockTrace`] or a
+    /// compiled [`crate::bytecode::TraceProgram`] decoded on the fly; the
+    /// result is identical either way because the stream contract fixes
+    /// the event sequence.
     #[must_use]
-    pub fn new(trace: &BlockTrace) -> Self {
+    pub fn new<T: TraceStream + ?Sized>(trace: &T) -> Self {
         let events = trace.events();
         let access_count = trace.accesses();
         let a = cast::usize_from_u64(access_count);
@@ -124,7 +129,7 @@ impl TraceSummary {
                 TraceEvent::Access(block) => {
                     leaf_before.push(leaves);
                     let ju = cast::usize_from_u64(j);
-                    match last_pos.insert(*block, j) {
+                    match last_pos.insert(block, j) {
                         None => {
                             prev1.push(0);
                             depth.push(0);
@@ -218,7 +223,7 @@ impl TraceSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tracer::Tracer;
+    use crate::tracer::{BlockTrace, Tracer};
 
     fn trace_of(blocks: &[u64]) -> BlockTrace {
         let mut t = Tracer::new(1);

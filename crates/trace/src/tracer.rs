@@ -11,6 +11,20 @@ use cadapt_core::{Blocks, Leaves};
 // cadapt-lint: allow(nondet-source) -- HashSet is membership-probed only (insert/contains) to count distinct blocks; iteration order is never observed
 use std::collections::HashSet;
 
+/// A consumer of instrumented memory accesses and leaf marks.
+///
+/// The traced kernels are generic over this trait, so one instrumented
+/// recursion can either *record* (a [`Tracer`] materialising a
+/// [`BlockTrace`]) or *compile* (a `bytecode::TraceCompiler` emitting the
+/// compact program directly) — the event stream seen by a sink is
+/// identical either way.
+pub trait TraceSink {
+    /// Report an access (read or write) to word address `addr`.
+    fn touch(&mut self, addr: u64);
+    /// Report a completed base-case subproblem.
+    fn leaf(&mut self);
+}
+
 /// One event of a block trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -25,6 +39,7 @@ pub enum TraceEvent {
 pub struct BlockTrace {
     events: Vec<TraceEvent>,
     distinct_blocks: Blocks,
+    accesses: u64,
     leaves: Leaves,
 }
 
@@ -48,13 +63,11 @@ impl BlockTrace {
         self.leaves
     }
 
-    /// Total accesses (excluding leaf marks).
+    /// Total accesses (excluding leaf marks). Counted at record time, so
+    /// this is O(1) — no per-call scan of the event vector.
     #[must_use]
     pub fn accesses(&self) -> u64 {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Access(_)))
-            .count() as u64
+        self.accesses
     }
 }
 
@@ -65,6 +78,7 @@ pub struct Tracer {
     events: Vec<TraceEvent>,
     // cadapt-lint: allow(nondet-source) -- HashSet is membership-probed only (insert/contains) to count distinct blocks; iteration order is never observed
     seen: HashSet<u64>,
+    accesses: u64,
     leaves: Leaves,
 }
 
@@ -82,6 +96,35 @@ impl Tracer {
             events: Vec::new(),
             // cadapt-lint: allow(nondet-source) -- HashSet is membership-probed only (insert/contains) to count distinct blocks; iteration order is never observed
             seen: HashSet::new(),
+            accesses: 0,
+            leaves: 0,
+        }
+    }
+
+    /// A tracer with its event buffer and distinct-block set preallocated
+    /// from known counts — e.g. the running counts a compiled
+    /// [`crate::bytecode::TraceProgram`] carries for the same workload.
+    /// Recording then never reallocates mid-trace. Capacities are hints:
+    /// the recorded trace is bit-identical to one from [`Tracer::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_words == 0`.
+    #[must_use]
+    pub fn with_capacity(
+        block_words: u64,
+        accesses: u64,
+        leaves: Leaves,
+        distinct_blocks: Blocks,
+    ) -> Self {
+        assert!(block_words >= 1, "blocks must hold at least one word");
+        let events = u128::from(accesses) + leaves;
+        Tracer {
+            block_words,
+            events: Vec::with_capacity(usize::try_from(events).unwrap_or(0)),
+            // cadapt-lint: allow(nondet-source) -- HashSet is membership-probed only (insert/contains) to count distinct blocks; iteration order is never observed
+            seen: HashSet::with_capacity(usize::try_from(distinct_blocks).unwrap_or(0)),
+            accesses: 0,
             leaves: 0,
         }
     }
@@ -96,6 +139,7 @@ impl Tracer {
     pub fn touch(&mut self, addr: u64) {
         let block = addr / self.block_words;
         self.seen.insert(block);
+        self.accesses += 1;
         self.events.push(TraceEvent::Access(block));
     }
 
@@ -111,8 +155,19 @@ impl Tracer {
         BlockTrace {
             events: self.events,
             distinct_blocks: self.seen.len() as Blocks,
+            accesses: self.accesses,
             leaves: self.leaves,
         }
+    }
+}
+
+impl TraceSink for Tracer {
+    fn touch(&mut self, addr: u64) {
+        Tracer::touch(self, addr);
+    }
+
+    fn leaf(&mut self) {
+        Tracer::leaf(self);
     }
 }
 
@@ -196,13 +251,13 @@ impl TracedBuf {
 
     /// Traced read of word `i`.
     #[must_use]
-    pub fn read(&self, i: usize, t: &mut Tracer) -> f64 {
+    pub fn read<S: TraceSink>(&self, i: usize, t: &mut S) -> f64 {
         t.touch(self.base + i as u64);
         self.data[i]
     }
 
     /// Traced write of word `i`.
-    pub fn write(&mut self, i: usize, value: f64, t: &mut Tracer) {
+    pub fn write<S: TraceSink>(&mut self, i: usize, value: f64, t: &mut S) {
         t.touch(self.base + i as u64);
         self.data[i] = value;
     }
@@ -287,6 +342,22 @@ mod tests {
         assert_eq!(buf.read(1, &mut tracer), 2.5);
         assert_eq!(buf.untraced()[1], 2.5);
         assert_eq!(tracer.into_trace().accesses(), 2);
+    }
+
+    #[test]
+    fn preallocated_tracer_records_identically() {
+        let record = |mut t: Tracer| {
+            for addr in [0u64, 7, 3, 3, 19] {
+                t.touch(addr);
+            }
+            t.leaf();
+            t.touch(2);
+            t.into_trace()
+        };
+        let plain = record(Tracer::new(4));
+        let sized = record(Tracer::with_capacity(4, 6, 1, 3));
+        assert_eq!(plain, sized);
+        assert_eq!(plain.accesses(), 6);
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! algorithm, useful as a trace-level control next to the gap-regime
 //! multiplications.
 
+use crate::bytecode::{TraceCompiler, TraceProgram};
 use crate::matrix::ZMatrix;
-use crate::tracer::{AddressSpace, BlockTrace, TracedBuf, Tracer};
+use crate::tracer::{AddressSpace, BlockTrace, TraceSink, TracedBuf, Tracer};
 
-fn transpose_rec(
-    tracer: &mut Tracer,
+fn transpose_rec<S: TraceSink>(
+    tracer: &mut S,
     src: &TracedBuf,
     src_off: usize,
     dst: &mut TracedBuf,
@@ -37,19 +38,32 @@ fn transpose_rec(
     transpose_rec(tracer, src, s22, dst, d22, half);
 }
 
+/// Transpose `a` out-of-place with the quadrant recursion, reporting
+/// every access to `sink`.
+pub fn transpose_with<S: TraceSink>(a: &ZMatrix, block_words: u64, sink: &mut S) -> ZMatrix {
+    let mut space = AddressSpace::new(block_words);
+    let src = space.alloc_from(a.z_data());
+    let mut dst = space.alloc(a.side() * a.side());
+    transpose_rec(sink, &src, 0, &mut dst, 0, a.side());
+    ZMatrix::from_z_data(a.side(), dst.untraced())
+}
+
 /// Transpose `a` out-of-place with the quadrant recursion, tracing at
 /// block size `block_words`.
 #[must_use]
 pub fn transpose(a: &ZMatrix, block_words: u64) -> (ZMatrix, BlockTrace) {
-    let mut space = AddressSpace::new(block_words);
     let mut tracer = Tracer::new(block_words);
-    let src = space.alloc_from(a.z_data());
-    let mut dst = space.alloc(a.side() * a.side());
-    transpose_rec(&mut tracer, &src, 0, &mut dst, 0, a.side());
-    (
-        ZMatrix::from_z_data(a.side(), dst.untraced()),
-        tracer.into_trace(),
-    )
+    let result = transpose_with(a, block_words, &mut tracer);
+    (result, tracer.into_trace())
+}
+
+/// Transpose `a`, emitting the trace directly as bytecode — no event
+/// vector is ever materialised.
+#[must_use]
+pub fn transpose_compiled(a: &ZMatrix, block_words: u64) -> (ZMatrix, TraceProgram) {
+    let mut compiler = TraceCompiler::new(block_words);
+    let result = transpose_with(a, block_words, &mut compiler);
+    (result, compiler.finish())
 }
 
 // Exact float equality in tests is deliberate: outputs are required to be
@@ -135,6 +149,17 @@ mod tests {
             }
             io
         }
+    }
+
+    #[test]
+    fn compiled_emission_matches_recorded_trace() {
+        let a = matrix(16);
+        let (t1, trace) = transpose(&a, 4);
+        let (t2, program) = transpose_compiled(&a, 4);
+        assert_eq!(t1, t2);
+        assert_eq!(crate::bytecode::compile(&trace), program);
+        let decoded: Vec<_> = program.events().collect();
+        assert_eq!(decoded, trace.events());
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Traced static binary search over a van Emde Boas tree layout — the
+//! corpus's cache-friendly search-tree workload (after Barratt & Zhang,
+//! *Cache-Friendly Search Trees*).
+//!
+//! A complete binary search tree of height `h` over `2^h − 1` sorted keys
+//! is stored in the recursive vEB order: split the height in half, lay out
+//! the top subtree (height ⌊h/2⌋), then each of its `2^{⌊h/2⌋}` bottom
+//! subtrees (height ⌈h/2⌉) contiguously. Any root-to-leaf path then
+//! crosses only O(log_B n) blocks without knowing B — the classic
+//! cache-oblivious layout the paper's search-tree discussion builds on.
+//!
+//! **Classification.** One query is T(h) = 2·T(h/2) + O(1): two
+//! *height*-halving subproblems, i.e. two √n-*size* subproblems — not the
+//! size-N/b division of the (a, b, c)-regular form, so the workload sits
+//! outside the strict gap regime. Its progress potential is linear
+//! (ρ(x) = x, the a = b = 2 boundary), making it a search-tree control
+//! case next to the gap-regime multiplications — like the transpose
+//! kernel, but with a pointer-chasing access pattern instead of scans.
+//!
+//! The workload runs `side²` deterministic queries over `side² − 1` keys
+//! (height `2·log2 side`), reads each query from a traced input buffer,
+//! marks a leaf per completed query, and returns a rank checksum verified
+//! against a naive binary search.
+
+use crate::bytecode::{TraceCompiler, TraceProgram};
+use crate::tracer::{AddressSpace, BlockTrace, TraceSink, Tracer};
+use cadapt_core::cast;
+
+/// The sorted key set: the odd integers `1, 3, …, 2n − 1`, so that even
+/// queries miss between keys and odd queries hit.
+fn keys(n: usize) -> Vec<u64> {
+    (0..n).map(|i| 2 * cast::u64_from_usize(i) + 1).collect()
+}
+
+/// The deterministic query sequence (same small-prime residue style as
+/// the corpus matrix patterns): `side²` values covering hits and misses.
+fn queries(n: usize, count: usize) -> Vec<u64> {
+    let span = 2 * cast::u64_from_usize(n) + 1;
+    (0..count)
+        .map(|j| (cast::u64_from_usize(j) * 7 + 3) % span)
+        .collect()
+}
+
+/// Recursively append `sorted` (length `2^h − 1`) to `out` in vEB order.
+fn layout_rec(sorted: &[u64], h: u32, out: &mut Vec<u64>) {
+    debug_assert_eq!(sorted.len(), (1usize << h) - 1);
+    if h == 1 {
+        out.push(sorted[0]);
+        return;
+    }
+    let ht = h / 2;
+    let hb = h - ht;
+    let top_size = (1usize << ht) - 1;
+    let bot_stride = 1usize << hb; // bottom size + its separator key
+    let top_keys: Vec<u64> = (0..top_size)
+        .map(|j| sorted[(j + 1) * bot_stride - 1])
+        .collect();
+    layout_rec(&top_keys, ht, out);
+    for j in 0..=top_size {
+        let lo = j * bot_stride;
+        layout_rec(&sorted[lo..lo + bot_stride - 1], hb, out);
+    }
+}
+
+/// Traced search of `q` in the vEB-laid-out window at `off` of height `h`.
+/// Returns `(found, rank)` where `rank` is the number of keys `< q` in the
+/// subtree.
+fn search_rec<S: TraceSink>(
+    buf: &crate::tracer::TracedBuf,
+    off: usize,
+    h: u32,
+    q: u64,
+    sink: &mut S,
+) -> (bool, u64) {
+    if h == 1 {
+        let k = cast::u64_from_f64(buf.read(off, sink));
+        return if q == k {
+            (true, 0)
+        } else if q < k {
+            (false, 0)
+        } else {
+            (false, 1)
+        };
+    }
+    let ht = h / 2;
+    let hb = h - ht;
+    let top_size = (1usize << ht) - 1;
+    let bot_size = (1usize << hb) - 1;
+    let bot_full = 1u64 << hb;
+    let (found, r_top) = search_rec(buf, off, ht, q, sink);
+    if found {
+        // q is the top key with r_top smaller top keys: every bottom up to
+        // and including index r_top lies below it.
+        return (true, (r_top + 1) * bot_full - 1);
+    }
+    let j = cast::usize_from_u64(r_top); // bottom index ∈ [0, 2^ht − 1]
+    let bot_off = off + top_size + j * bot_size;
+    let (found_b, r_bot) = search_rec(buf, bot_off, hb, q, sink);
+    (found_b, r_top * bot_full + r_bot)
+}
+
+fn checksum(found: bool, rank: u64) -> u64 {
+    2 * rank + u64::from(found)
+}
+
+/// Run the vEB search workload at `side` (a power of two ≥ 2): `side²`
+/// queries over `side² − 1` keys, every access reported to `sink`.
+/// Returns the query checksum (Σ 2·rank + found), verified against
+/// [`naive_rank_checksum`] in the tests.
+///
+/// # Panics
+///
+/// Panics unless `side` is a power of two ≥ 2.
+pub fn veb_search_with<S: TraceSink>(side: usize, block_words: u64, sink: &mut S) -> u64 {
+    assert!(
+        side.is_power_of_two() && side >= 2,
+        "side must be a power of two ≥ 2"
+    );
+    let h = 2 * side.trailing_zeros();
+    let n = (1usize << h) - 1;
+    let sorted = keys(n);
+    let mut laid_out = Vec::with_capacity(n);
+    layout_rec(&sorted, h, &mut laid_out);
+    let tree_f64: Vec<f64> = laid_out.iter().map(|&k| k as f64).collect();
+    let qs = queries(n, side * side);
+    let qs_f64: Vec<f64> = qs.iter().map(|&q| q as f64).collect();
+
+    let mut space = AddressSpace::new(block_words);
+    let tree = space.alloc_from(&tree_f64);
+    let queries_buf = space.alloc_from(&qs_f64);
+
+    let mut sum = 0u64;
+    for qi in 0..qs_f64.len() {
+        let q = cast::u64_from_f64(queries_buf.read(qi, sink));
+        let (found, rank) = search_rec(&tree, 0, h, q, sink);
+        sum += checksum(found, rank);
+        sink.leaf();
+    }
+    sum
+}
+
+/// Run the vEB search workload, returning the checksum and the recorded
+/// block trace.
+///
+/// # Panics
+///
+/// Panics unless `side` is a power of two ≥ 2.
+#[must_use]
+pub fn veb_search(side: usize, block_words: u64) -> (u64, BlockTrace) {
+    let mut tracer = Tracer::new(block_words);
+    let sum = veb_search_with(side, block_words, &mut tracer);
+    (sum, tracer.into_trace())
+}
+
+/// Run the vEB search workload, emitting the trace directly as bytecode —
+/// the workload is *born compiled*; no event vector is ever materialised.
+///
+/// # Panics
+///
+/// Panics unless `side` is a power of two ≥ 2.
+#[must_use]
+pub fn veb_search_compiled(side: usize, block_words: u64) -> (u64, TraceProgram) {
+    let mut compiler = TraceCompiler::new(block_words);
+    let sum = veb_search_with(side, block_words, &mut compiler);
+    (sum, compiler.finish())
+}
+
+/// Reference checksum from a naive binary search over the sorted keys
+/// (no vEB layout, no tracing).
+///
+/// # Panics
+///
+/// Panics unless `side` is a power of two ≥ 2.
+#[must_use]
+pub fn naive_rank_checksum(side: usize) -> u64 {
+    assert!(
+        side.is_power_of_two() && side >= 2,
+        "side must be a power of two ≥ 2"
+    );
+    let n = side * side - 1;
+    let sorted = keys(n);
+    queries(n, side * side)
+        .into_iter()
+        .map(|q| {
+            let rank = sorted.partition_point(|&k| k < q);
+            let found = sorted.get(rank) == Some(&q);
+            checksum(found, cast::u64_from_usize(rank))
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_a_permutation_of_the_keys() {
+        for h in [1u32, 2, 3, 4, 5, 6] {
+            let n = (1usize << h) - 1;
+            let sorted = keys(n);
+            let mut out = Vec::new();
+            layout_rec(&sorted, h, &mut out);
+            let mut back = out.clone();
+            back.sort_unstable();
+            assert_eq!(back, sorted, "height {h}");
+        }
+    }
+
+    #[test]
+    fn veb_order_of_height_four_matches_hand_layout() {
+        // h = 4: top of height 2 (keys at in-order ranks 4, 8, 12 → values
+        // 2·r−1), then four bottoms of height 2 over the remaining keys.
+        let sorted = keys(15);
+        let mut out = Vec::new();
+        layout_rec(&sorted, 4, &mut out);
+        assert_eq!(
+            out,
+            vec![15, 7, 23, 3, 1, 5, 11, 9, 13, 19, 17, 21, 27, 25, 29]
+        );
+    }
+
+    #[test]
+    fn search_matches_naive_reference() {
+        for side in [2usize, 4, 8, 16] {
+            let (sum, _) = veb_search(side, 4);
+            assert_eq!(sum, naive_rank_checksum(side), "side {side}");
+        }
+    }
+
+    #[test]
+    fn every_key_is_found_and_every_even_misses() {
+        let side = 4usize;
+        let h = 2 * side.trailing_zeros();
+        let n = (1usize << h) - 1;
+        let sorted = keys(n);
+        let mut laid_out = Vec::new();
+        layout_rec(&sorted, h, &mut laid_out);
+        let tree_f64: Vec<f64> = laid_out.iter().map(|&k| k as f64).collect();
+        let mut space = AddressSpace::new(4);
+        let tree = space.alloc_from(&tree_f64);
+        let mut sink = Tracer::new(4);
+        for (rank, &k) in sorted.iter().enumerate() {
+            assert_eq!(
+                search_rec(&tree, 0, h, k, &mut sink),
+                (true, cast::u64_from_usize(rank))
+            );
+            assert_eq!(
+                search_rec(&tree, 0, h, k - 1, &mut sink),
+                (false, cast::u64_from_usize(rank))
+            );
+        }
+        assert_eq!(
+            search_rec(&tree, 0, h, 2 * cast::u64_from_usize(n), &mut sink),
+            (false, cast::u64_from_usize(n))
+        );
+    }
+
+    #[test]
+    fn trace_shape_matches_bst_path_lengths() {
+        // The vEB search reads exactly the keys on the root-to-node path of
+        // the equivalent complete BST: h compares for a miss, and
+        // h − tz(r + 1) compares for a hit at in-order rank r (the node's
+        // height above the leaves is the number of trailing zeros of r + 1).
+        let side = 8usize;
+        let (_, trace) = veb_search(side, 1);
+        let h = u64::from(2 * side.trailing_zeros());
+        let n = side * side - 1;
+        let qn = cast::u64_from_usize(side * side);
+        let compares: u64 = queries(n, side * side)
+            .into_iter()
+            .map(|q| {
+                if q % 2 == 1 {
+                    let rank = (q - 1) / 2; // odd keys 2r+1
+                    h - u64::from((rank + 1).trailing_zeros())
+                } else {
+                    h
+                }
+            })
+            .sum();
+        assert_eq!(trace.leaves(), u128::from(qn));
+        assert_eq!(trace.accesses(), qn + compares);
+    }
+
+    #[test]
+    fn compiled_emission_matches_recorded_trace() {
+        let (s1, trace) = veb_search(8, 4);
+        let (s2, program) = veb_search_compiled(8, 4);
+        assert_eq!(s1, s2);
+        assert_eq!(crate::bytecode::compile(&trace), program);
+        let decoded: Vec<_> = program.events().collect();
+        assert_eq!(decoded, trace.events());
+    }
+}

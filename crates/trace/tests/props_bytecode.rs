@@ -1,0 +1,142 @@
+//! Property-based validation of the trace bytecode: compilation round-trips
+//! every event stream exactly, the streaming-sink route matches
+//! recompilation of the recorded trace byte for byte, and the decoder's
+//! size hints are exact.
+//!
+//! The generators deliberately mix the shapes the encoder optimises for
+//! (strided scans → `RUN`, short cycles → `LOOP`) with adversarial noise
+//! (random touches, leaf bursts, near-`u64::MAX` addresses exercising the
+//! wrapping delta arithmetic) so both the fast paths and the spill paths
+//! of the windowed loop detector are hit.
+
+// Test-only code: unwraps abort the test (the right failure mode).
+#![allow(clippy::unwrap_used)]
+
+use cadapt_trace::{compile, TraceCompiler, TraceSink, Tracer};
+use proptest::prelude::*;
+
+/// One step of a generated workload, replayed identically into any sink.
+#[derive(Debug, Clone)]
+enum Op {
+    /// A single touch of a small-universe block (re-accesses are common).
+    Touch(u64),
+    /// A touch near the top of the address space (wrapping deltas).
+    TouchHigh(u64),
+    /// A leaf mark.
+    Leaf,
+    /// A strided scan — what the encoder folds into `RUN` tokens.
+    Strided { start: u64, stride: u64, len: usize },
+    /// A repeated short cycle — what the loop detector folds into `LOOP`.
+    Cycle { blocks: Vec<u64>, reps: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..40).prop_map(Op::Touch),
+        (0u64..50).prop_map(|x| Op::TouchHigh(u64::MAX - x)),
+        Just(Op::Leaf),
+        ((0u64..1000), (0u64..9), (1usize..40)).prop_map(|(start, stride, len)| Op::Strided {
+            start,
+            stride,
+            len
+        }),
+        (proptest::collection::vec(0u64..20, 1..6), (1usize..12))
+            .prop_map(|(blocks, reps)| Op::Cycle { blocks, reps }),
+    ]
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(op_strategy(), 0..60)
+}
+
+/// Replay the generated ops into any sink (block_words = 1, so touches are
+/// block ids directly).
+fn run_ops<S: TraceSink>(ops: &[Op], sink: &mut S) {
+    for op in ops {
+        match op {
+            Op::Touch(b) | Op::TouchHigh(b) => sink.touch(*b),
+            Op::Leaf => sink.leaf(),
+            Op::Strided { start, stride, len } => {
+                for i in 0..*len {
+                    sink.touch(start.wrapping_add(stride.wrapping_mul(i as u64)));
+                }
+            }
+            Op::Cycle { blocks, reps } => {
+                for _ in 0..*reps {
+                    for &b in blocks {
+                        sink.touch(b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Decoding the compiled program reproduces the recorded event vector
+    /// exactly, and the program's stored counts equal the trace's.
+    #[test]
+    fn compilation_round_trips(ops in ops_strategy()) {
+        let mut tracer = Tracer::new(1);
+        run_ops(&ops, &mut tracer);
+        let trace = tracer.into_trace();
+        let program = compile(&trace);
+        let decoded: Vec<_> = program.events().collect();
+        prop_assert_eq!(decoded.as_slice(), trace.events());
+        prop_assert_eq!(program.accesses(), trace.accesses());
+        prop_assert_eq!(program.leaves(), trace.leaves());
+        prop_assert_eq!(program.distinct_blocks(), trace.distinct_blocks());
+    }
+
+    /// Streaming events straight into a `TraceCompiler` (the structural
+    /// emission route the kernels use) produces a program byte-identical
+    /// to compiling the recorded trace after the fact.
+    #[test]
+    fn sink_route_equals_recompilation(ops in ops_strategy()) {
+        let mut tracer = Tracer::new(1);
+        run_ops(&ops, &mut tracer);
+        let trace = tracer.into_trace();
+
+        let mut compiler = TraceCompiler::new(1);
+        run_ops(&ops, &mut compiler);
+        let direct = compiler.finish();
+
+        prop_assert_eq!(compile(&trace), direct);
+    }
+
+    /// Internal iteration (`fold`, the replay fast path) yields exactly
+    /// the events external iteration (`next`) yields, from any split
+    /// point — including states mid-run and mid-loop.
+    #[test]
+    fn internal_fold_equals_external_iteration(ops in ops_strategy(), split in 0usize..64) {
+        let mut compiler = TraceCompiler::new(1);
+        run_ops(&ops, &mut compiler);
+        let program = compiler.finish();
+        let via_next: Vec<_> = program.events().collect();
+        let split = split.min(via_next.len());
+        let mut iter = program.events();
+        for _ in 0..split {
+            iter.next();
+        }
+        let via_fold = iter.fold(Vec::new(), |mut v, e| { v.push(e); v });
+        prop_assert_eq!(via_fold.as_slice(), &via_next[split..]);
+    }
+
+    /// The decoder's `size_hint` is exact at every step of iteration.
+    #[test]
+    fn size_hints_are_exact(ops in ops_strategy()) {
+        let mut compiler = TraceCompiler::new(1);
+        run_ops(&ops, &mut compiler);
+        let program = compiler.finish();
+        let total = usize::try_from(program.event_count()).unwrap();
+        let mut events = program.events();
+        for remaining in (1..=total).rev() {
+            prop_assert_eq!(events.size_hint(), (remaining, Some(remaining)));
+            prop_assert!(events.next().is_some());
+        }
+        prop_assert_eq!(events.size_hint(), (0, Some(0)));
+        prop_assert!(events.next().is_none());
+    }
+}

@@ -36,7 +36,7 @@ fn assert_lock_step(algo: TraceAlgo, menu: Vec<u64>) {
     let rho = algo.potential();
     let profile = SquareProfile::new(menu.clone()).expect("positive boxes");
     let (sim_report, sim_boxes) =
-        replay_square_profile_history(st.trace(), &mut profile.cycle(), rho);
+        replay_square_profile_history(st.program(), &mut profile.cycle(), rho);
     let (ana_report, ana_boxes) =
         analytic_square_profile_history(st.summary(), &mut profile.cycle(), rho);
     assert_eq!(
@@ -84,7 +84,7 @@ fn fixed_capacities_match_and_obey_the_dominance_chain() {
         let mut previous: Option<u128> = None;
         for capacity in (0u64..=32).chain([128, 1024, 1 << 30]) {
             let ana = analytic_fixed(st.summary(), capacity);
-            let sim = replay_fixed(st.trace(), capacity);
+            let sim = replay_fixed(st.program(), capacity);
             assert_eq!(ana, sim, "{} at capacity {capacity}", algo.label());
             // Fixed faults are monotone non-increasing in capacity
             // (LRU's inclusion property), and never drop below the
@@ -125,7 +125,7 @@ fn sawtooth_memory_profiles_match_including_truncation() {
         // Truncated: one tooth only — the profile runs out mid-trace.
         let short = MemoryProfile::from_steps(&tooth).expect("positive steps");
         let ana = analytic_memory_profile(st.summary(), &short);
-        let sim = replay_memory_profile(st.trace(), &short);
+        let sim = replay_memory_profile(st.program(), &short);
         assert_eq!(ana, sim, "{} truncated sawtooth", algo.label());
         assert!(
             !ana.completed,
@@ -140,7 +140,7 @@ fn sawtooth_memory_profiles_match_including_truncation() {
         }
         let long = MemoryProfile::from_steps(&long).expect("positive steps");
         let ana = analytic_memory_profile(st.summary(), &long);
-        let sim = replay_memory_profile(st.trace(), &long);
+        let sim = replay_memory_profile(st.program(), &long);
         assert_eq!(ana, sim, "{} repeated sawtooth", algo.label());
         assert!(
             ana.completed,
@@ -161,7 +161,7 @@ fn potential_accounting_matches_on_steady_boxes() {
     let rho = TraceAlgo::MmScan.potential();
     for x in [2u64, 8, 32, 128] {
         let profile = SquareProfile::new(vec![x]).expect("positive box");
-        let (sim, _) = replay_square_profile_history(st.trace(), &mut profile.cycle(), rho);
+        let (sim, _) = replay_square_profile_history(st.program(), &mut profile.cycle(), rho);
         let (ana, _) = analytic_square_profile_history(st.summary(), &mut profile.cycle(), rho);
         assert_eq!(
             sim.bounded_potential_sum.to_bits(),
