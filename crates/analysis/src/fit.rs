@@ -126,7 +126,7 @@ fn increment_trend(increments: &[f64]) -> (f64, f64) {
     }
     let third = (increments.len() / 3).max(1);
     let first: f64 = increments[..third].iter().sum::<f64>() / third as f64;
-    let tail: f64 = increments[increments.len() - third..].iter().sum::<f64>() / third as f64;
+    let tail: f64 = increments[increments.len() - third..].iter().sum::<f64>() / third as f64; // cadapt-lint: allow(panic-reach) -- third <= len/3 by construction, so len - third >= 0
     if first <= 1e-9 {
         return (1.0, last);
     }

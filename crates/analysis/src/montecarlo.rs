@@ -18,7 +18,6 @@ use crate::stats::Stats;
 use cadapt_core::counters::{CounterSnapshot, Recording};
 use cadapt_core::{Blocks, BoxSource};
 use cadapt_recursion::{run_on_profile, AbcParams, RunConfig, RunError};
-use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -108,13 +107,10 @@ pub struct McSummary {
     pub counters: CounterSnapshot,
 }
 
-/// The deterministic per-trial RNG: stream `trial` of `seed`.
-#[must_use]
-pub fn trial_rng(seed: u64, trial: u64) -> ChaCha8Rng {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    rng.set_stream(trial);
-    rng
-}
+// The deterministic per-trial RNG constructor lives in the engine module
+// (`rng-discipline` confines RNG stream minting there); re-exported here
+// because every experiment driver historically imports it from this path.
+pub use crate::parallel::trial_rng;
 
 /// Estimate cache-adaptivity in expectation: run `config.trials`
 /// independent executions of `params` on problems of size `n`, drawing each

@@ -213,7 +213,7 @@ pub fn recurrence_bounds(
     });
     let mut n: Blocks = 1;
     for _ in 1..=max_level {
-        // cadapt-lint: allow(no-panic-lib) -- deliberate loud overflow guard: a wrapped size would corrupt the bound tables
+        // cadapt-lint: allow(panic-reach) -- deliberate loud overflow guard: a wrapped size would corrupt the bound tables
         n = n.checked_mul(b).expect("problem size overflows u64");
         let p_ge = sigma.prob_at_least(n);
         // p = Pr[|□| ≥ n] · f(n/b), clamped into [0, 1] (it is a genuine
@@ -300,13 +300,13 @@ pub fn equation6_checks(
     let mut out = Vec::with_capacity(f_by_level.len() - 1);
     let mut n: Blocks = 1;
     for k in 1..f_by_level.len() {
-        // cadapt-lint: allow(no-panic-lib) -- deliberate loud overflow guard: a wrapped size would corrupt the bound tables
+        // cadapt-lint: allow(panic-reach) -- deliberate loud overflow guard: a wrapped size would corrupt the bound tables
         n = n.checked_mul(b).expect("size overflow");
         let m_n = sigma.average_bounded_potential(&rho, n);
         let m_prev = sigma.average_bounded_potential(&rho, n / b);
         out.push(Equation6Check {
             n,
-            growth: f_by_level[k] / f_by_level[k - 1],
+            growth: f_by_level[k] / f_by_level[k - 1], // cadapt-lint: allow(panic-reach) -- k ranges over 1..len, so k and k-1 both index f_by_level
             bound: growth_factor * m_prev / m_n,
         });
     }

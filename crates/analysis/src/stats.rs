@@ -172,7 +172,7 @@ impl Quantiles {
         }
         self.ensure_sorted();
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
-        Some(self.samples[rank - 1])
+        Some(self.samples[rank - 1]) // cadapt-lint: allow(panic-reach) -- rank is clamped into [1, len] on the previous line
     }
 
     /// Median (0.5-quantile).

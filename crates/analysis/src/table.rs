@@ -102,7 +102,7 @@ impl Table {
     /// Never in practice (the type is plain data).
     #[must_use]
     pub fn to_json(&self) -> String {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: plain-data struct, serialisation cannot fail (documented under # Panics)
+        // cadapt-lint: allow(panic-reach) -- invariant: plain-data struct, serialisation cannot fail (documented under # Panics)
         serde_json::to_string_pretty(self).expect("tables are serialisable")
     }
 

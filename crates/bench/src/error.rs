@@ -10,7 +10,7 @@
 //! `Corrupt`, `Checkpoint`), and isolated trial panics (`Panicked`).
 //!
 //! The library half of the crate never panics on these paths (enforced by
-//! `cadapt-lint`'s `no-panic-lib` rule, which covers `crates/bench` since
+//! `cadapt-lint`'s `panic-reach` rule, which covers `crates/bench` since
 //! the fault-tolerance rework); anything that used to `unwrap` now
 //! `?`-propagates here.
 

@@ -293,7 +293,7 @@ fn run_case(seed: u64, case: u64, dir: &Path) -> Result<CaseReport, BenchError> 
     // value survives.
     let first_pass = run_trials_isolated(TRIALS_PER_CASE, 2, |t| {
         if plan.panic_trial == Some(t) {
-            // cadapt-lint: allow(no-panic-lib) -- deliberate injected fault: this panic exists to be caught by the engine under test
+            // cadapt-lint: allow(panic-reach) -- deliberate injected fault: this panic exists to be caught by the engine under test
             panic!("injected fault: case {case} trial {t}");
         }
         sample(seed, case, t)

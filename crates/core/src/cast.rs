@@ -23,7 +23,7 @@
 #[inline]
 #[must_use]
 pub fn usize_from_u64(x: u64) -> usize {
-    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    // cadapt-lint: allow(panic-reach) -- cast helpers centralise the deliberate overflow panics
     usize::try_from(x).expect("u64 value exceeds usize on this platform")
 }
 
@@ -31,7 +31,7 @@ pub fn usize_from_u64(x: u64) -> usize {
 #[inline]
 #[must_use]
 pub fn usize_from_u128(x: u128) -> usize {
-    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    // cadapt-lint: allow(panic-reach) -- cast helpers centralise the deliberate overflow panics
     usize::try_from(x).expect("u128 value exceeds usize on this platform")
 }
 
@@ -40,7 +40,7 @@ pub fn usize_from_u128(x: u128) -> usize {
 #[inline]
 #[must_use]
 pub fn usize_from_u32(x: u32) -> usize {
-    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    // cadapt-lint: allow(panic-reach) -- cast helpers centralise the deliberate overflow panics
     usize::try_from(x).expect("u32 value exceeds usize on this platform")
 }
 
@@ -49,7 +49,7 @@ pub fn usize_from_u32(x: u32) -> usize {
 #[inline]
 #[must_use]
 pub fn u64_from_usize(x: usize) -> u64 {
-    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    // cadapt-lint: allow(panic-reach) -- cast helpers centralise the deliberate overflow panics
     u64::try_from(x).expect("usize value exceeds u64 on this platform")
 }
 
@@ -58,7 +58,7 @@ pub fn u64_from_usize(x: usize) -> u64 {
 #[inline]
 #[must_use]
 pub fn u64_from_u128(x: u128) -> u64 {
-    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    // cadapt-lint: allow(panic-reach) -- cast helpers centralise the deliberate overflow panics
     u64::try_from(x).expect("u128 value exceeds u64")
 }
 
@@ -67,7 +67,7 @@ pub fn u64_from_u128(x: u128) -> u64 {
 #[inline]
 #[must_use]
 pub fn u32_from_usize(x: usize) -> u32 {
-    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    // cadapt-lint: allow(panic-reach) -- cast helpers centralise the deliberate overflow panics
     u32::try_from(x).expect("usize value exceeds u32")
 }
 
@@ -77,7 +77,7 @@ pub fn u32_from_usize(x: usize) -> u32 {
 #[inline]
 #[must_use]
 pub fn u8_from_u64(x: u64) -> u8 {
-    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    // cadapt-lint: allow(panic-reach) -- cast helpers centralise the deliberate overflow panics
     u8::try_from(x).expect("u64 value exceeds u8")
 }
 
@@ -86,7 +86,7 @@ pub fn u8_from_u64(x: u64) -> u8 {
 #[inline]
 #[must_use]
 pub fn i32_from_u32(x: u32) -> i32 {
-    // cadapt-lint: allow(no-panic-lib) -- cast helpers centralise the deliberate overflow panics
+    // cadapt-lint: allow(panic-reach) -- cast helpers centralise the deliberate overflow panics
     i32::try_from(x).expect("u32 exponent exceeds i32::MAX")
 }
 

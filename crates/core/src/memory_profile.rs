@@ -98,7 +98,7 @@ impl MemoryProfile {
                 len: Io::from(b),
             })
             .collect::<Vec<_>>();
-        // cadapt-lint: allow(no-panic-lib) -- invariant: SquareProfile construction already rejected zero-size boxes
+        // cadapt-lint: allow(panic-reach) -- invariant: SquareProfile construction already rejected zero-size boxes
         MemoryProfile::from_segments(segments).expect("square profiles have positive boxes")
     }
 

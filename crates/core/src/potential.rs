@@ -140,7 +140,7 @@ pub fn ceil_power(base: u64, x: u64) -> u64 {
     assert!(x >= 1, "ceil_power of zero is undefined");
     let mut v = 1u64;
     while v < x {
-        // cadapt-lint: allow(no-panic-lib) -- deliberate loud overflow guard: a wrapped power would corrupt box geometry
+        // cadapt-lint: allow(panic-reach) -- deliberate loud overflow guard: a wrapped power would corrupt box geometry
         v = v.checked_mul(base).expect("ceil_power overflow");
     }
     v

@@ -252,7 +252,7 @@ impl SquareProfile {
             return self.clone();
         }
         let t = t % total;
-        // cadapt-lint: allow(no-panic-lib) -- invariant: t < total_time after the modulo, so a box always exists
+        // cadapt-lint: allow(panic-reach) -- invariant: t < total_time after the modulo, so a box always exists
         let idx = self.box_at_time(t).expect("t reduced modulo total time");
         self.rotated_by_boxes(idx)
     }

@@ -61,7 +61,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
 }
 
 /// Append `s` as a JSON string literal (quotes and escapes included).
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -1,0 +1,772 @@
+//! Workspace call graph over the parsed item trees.
+//!
+//! Nodes are functions from **library** files (test/bench/example/binary
+//! collateral and `#[cfg(test)]` items are excluded); edges are resolved
+//! call sites. Resolution is name-based — there is no type inference —
+//! and deliberately errs toward **more** edges:
+//!
+//! * **Bare calls** (`helper(…)`) resolve to same-module functions first,
+//!   then through the file's `use` imports (glob imports fan out to the
+//!   whole imported crate).
+//! * **Qualified calls** (`a::b::f(…)`) resolve to functions whose
+//!   containing type, module, or crate matches a path segment; when no
+//!   segment matches but the path mentions any first-party crate, module,
+//!   or type name (a re-export, say), the call fans out to *every*
+//!   first-party function with that name.
+//! * **Method calls** (`x.f(…)`) edge to **all** first-party methods
+//!   named `f`; a `self.f(…)` call narrows to the receiver's own impl
+//!   type when that type has such a method. Calls that resolve to a
+//!   trait-declaration method additionally fan out to every
+//!   implementation of it (dynamic dispatch).
+//! * Calls that resolve to nothing first-party (std, shims, vendored
+//!   crates) produce no edges.
+//!
+//! Soundness argument for the reachability rules: an edge we invent that
+//! the program never takes can only *add* reachable panic sites (false
+//! positives, waivable); the only way to *miss* one is a call into
+//! first-party code that resolves to nothing, which requires the callee
+//! name to appear nowhere in the workspace — impossible for first-party
+//! targets, since the index covers every parsed function. The remaining
+//! holes are documented: function pointers/closures passed as values,
+//! macro-generated calls, and `include!`-style tricks, none of which the
+//! codebase uses on lib paths.
+
+use crate::parse::FnItem;
+use crate::rules::is_test_or_bin_path;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The whole parsed workspace: every source file plus the call graph
+/// built over them. Workspace rules receive this.
+#[derive(Debug)]
+pub struct WorkspaceModel {
+    /// All files handed to the linter (library and test collateral both —
+    /// the graph itself only draws nodes from library files).
+    pub files: Vec<SourceFile>,
+    /// The resolved call graph.
+    pub graph: CallGraph,
+}
+
+impl WorkspaceModel {
+    /// Parse nothing further — `files` are already parsed — and build the
+    /// call graph over them.
+    #[must_use]
+    pub fn build(files: Vec<SourceFile>) -> Self {
+        let graph = CallGraph::build(&files);
+        WorkspaceModel { files, graph }
+    }
+}
+
+/// One function node in the workspace call graph.
+#[derive(Debug)]
+pub struct Node {
+    /// Index into the workspace's file list.
+    pub file: usize,
+    /// Index into that file's `ItemTree::fns`.
+    pub fn_idx: usize,
+    /// Crate identifier (`cadapt_paging`, …).
+    pub crate_ident: String,
+    /// Full module path: file-derived segments plus inline modules.
+    pub module: Vec<String>,
+    /// Human-readable qualified name for diagnostics
+    /// (`cadapt_paging::lru::Lru::replay`).
+    pub qualname: String,
+    /// True when this function is a public entry point: an unrestricted
+    /// `pub fn`, a trait-impl method (callable through the trait), or a
+    /// defaulted trait-declaration method.
+    pub is_entry: bool,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Function nodes; indices are stable identifiers.
+    pub nodes: Vec<Node>,
+    /// Adjacency: `edges[n]` lists callee node indices (sorted, deduped).
+    pub edges: Vec<Vec<usize>>,
+    node_of: BTreeMap<(usize, usize), usize>,
+}
+
+/// Breadth-first reachability from all public entry points at once.
+#[derive(Debug)]
+pub struct Reachability {
+    /// `dist[n]` is the hop count from the nearest entry (`u32::MAX` when
+    /// unreachable).
+    pub dist: Vec<u32>,
+    /// BFS parent pointers toward the nearest entry.
+    pub parent: Vec<Option<usize>>,
+}
+
+impl Reachability {
+    /// True when node `n` is reachable from some public entry point.
+    #[must_use]
+    pub fn reachable(&self, n: usize) -> bool {
+        self.dist.get(n).is_some_and(|&d| d != u32::MAX)
+    }
+}
+
+/// Derive the crate identifier from a workspace-relative path:
+/// `crates/paging/src/lru.rs` → `cadapt_paging` (the facade crate dir
+/// `cadapt` maps to plain `cadapt`).
+#[must_use]
+pub fn crate_ident(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    let (first, dir) = (parts.next(), parts.next());
+    match (first, dir) {
+        (Some("crates"), Some(d)) => {
+            let d = d.replace('-', "_");
+            if d == "cadapt" {
+                d
+            } else {
+                format!("cadapt_{d}")
+            }
+        }
+        _ => String::new(),
+    }
+}
+
+/// Derive the file-level module path: `crates/x/src/a/b.rs` → `[a, b]`,
+/// `lib.rs`/`main.rs` → `[]`, `a/mod.rs` → `[a]`.
+#[must_use]
+pub fn file_modules(rel_path: &str) -> Vec<String> {
+    let Some(src_idx) = rel_path.find("/src/") else {
+        return Vec::new();
+    };
+    let tail = rel_path.get(src_idx + 5..).unwrap_or("");
+    let mut mods: Vec<String> = tail.split('/').map(str::to_string).collect();
+    let Some(last) = mods.pop() else {
+        return Vec::new();
+    };
+    match last.as_str() {
+        "lib.rs" | "main.rs" | "mod.rs" => {}
+        other => {
+            if let Some(stem) = other.strip_suffix(".rs") {
+                mods.push(stem.to_string());
+            }
+        }
+    }
+    mods
+}
+
+impl CallGraph {
+    /// Build the graph over `files` (the full workspace model; non-library
+    /// files contribute no nodes).
+    #[must_use]
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut node_of = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            if is_test_or_bin_path(&file.rel_path) {
+                continue;
+            }
+            let krate = crate_ident(&file.rel_path);
+            if krate.is_empty() {
+                continue;
+            }
+            let fmods = file_modules(&file.rel_path);
+            for (gi, f) in file.items.fns.iter().enumerate() {
+                if file.in_cfg_test(f.line) {
+                    continue;
+                }
+                let mut module = fmods.clone();
+                module.extend(f.module.iter().cloned());
+                let mut qual = vec![krate.clone()];
+                qual.extend(module.iter().cloned());
+                if let Some(c) = &f.container {
+                    if !c.type_name.is_empty() {
+                        qual.push(c.type_name.clone());
+                    }
+                }
+                qual.push(f.name.clone());
+                let is_entry = match &f.container {
+                    Some(c) if c.is_trait_decl => f.body.is_some(),
+                    Some(c) => c.trait_name.is_some() || f.is_pub,
+                    None => f.is_pub,
+                };
+                let idx = nodes.len();
+                nodes.push(Node {
+                    file: fi,
+                    fn_idx: gi,
+                    crate_ident: krate.clone(),
+                    module,
+                    qualname: qual.join("::"),
+                    is_entry,
+                });
+                node_of.insert((fi, gi), idx);
+            }
+        }
+
+        let mut g = CallGraph {
+            edges: vec![Vec::new(); nodes.len()],
+            nodes,
+            node_of,
+        };
+        let r = Resolver::new(&g.nodes, files);
+        for n in 0..g.nodes.len() {
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            let node = &g.nodes[n];
+            let Some(f) = fn_of(files, node) else {
+                continue;
+            };
+            for call in &f.events.calls {
+                r.resolve_call(node, &call.segments, &mut out);
+            }
+            for m in &f.events.methods {
+                r.resolve_method(node, &m.name, m.recv.as_deref(), &mut out);
+            }
+            // Dynamic dispatch: a trait-declaration method fans out to
+            // every implementation of it.
+            if let Some(c) = &f.container {
+                if c.is_trait_decl {
+                    // nothing extra: decl nodes gain impl edges below
+                }
+            }
+            out.remove(&n);
+            g.edges[n] = out.into_iter().collect();
+        }
+
+        // Trait-decl → impl edges (dynamic dispatch approximation).
+        let mut extra: Vec<(usize, usize)> = Vec::new();
+        for (di, decl) in g.nodes.iter().enumerate() {
+            let Some(df) = fn_of(files, decl) else {
+                continue;
+            };
+            let Some(dc) = &df.container else { continue };
+            if !dc.is_trait_decl {
+                continue;
+            }
+            for (ii, imp) in g.nodes.iter().enumerate() {
+                let Some(if_) = fn_of(files, imp) else {
+                    continue;
+                };
+                let Some(ic) = &if_.container else { continue };
+                if !ic.is_trait_decl
+                    && ic.trait_name.as_deref() == Some(dc.type_name.as_str())
+                    && if_.name == df.name
+                {
+                    extra.push((di, ii));
+                }
+            }
+        }
+        for (from, to) in extra {
+            if let Some(e) = g.edges.get_mut(from) {
+                if !e.contains(&to) {
+                    e.push(to);
+                    e.sort_unstable();
+                }
+            }
+        }
+        g
+    }
+
+    /// Node index for `(file, fn_idx)`, when that function is in the graph.
+    #[must_use]
+    pub fn node_index(&self, file: usize, fn_idx: usize) -> Option<usize> {
+        self.node_of.get(&(file, fn_idx)).copied()
+    }
+
+    /// BFS from every public entry point simultaneously; the parent
+    /// pointers yield a shortest call path from the *nearest* entry.
+    #[must_use]
+    pub fn reach_from_entries(&self) -> Reachability {
+        let n = self.nodes.len();
+        let mut dist = vec![u32::MAX; n];
+        let mut parent = vec![None; n];
+        let mut q = VecDeque::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.is_entry {
+                dist[i] = 0;
+                q.push_back(i);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            let du = dist[u];
+            for &v in self.edges.get(u).map_or(&[][..], Vec::as_slice) {
+                if dist.get(v).copied() == Some(u32::MAX) {
+                    dist[v] = du.saturating_add(1);
+                    parent[v] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        Reachability { dist, parent }
+    }
+
+    /// The qualified-name call path from the nearest public entry down to
+    /// node `n` (inclusive), for diagnostics.
+    #[must_use]
+    pub fn entry_path(&self, r: &Reachability, n: usize) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = Some(n);
+        let mut hops = 0usize;
+        while let Some(c) = cur {
+            let Some(node) = self.nodes.get(c) else { break };
+            path.push(node.qualname.clone());
+            cur = r.parent.get(c).copied().flatten();
+            hops += 1;
+            if hops > self.nodes.len() {
+                break; // defensive: parent pointers can't cycle, but never hang
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// The `FnItem` behind a node.
+#[must_use]
+pub fn fn_of<'a>(files: &'a [SourceFile], node: &Node) -> Option<&'a FnItem> {
+    files.get(node.file)?.items.fns.get(node.fn_idx)
+}
+
+/// Name-resolution indexes shared by all call sites.
+struct Resolver<'a> {
+    nodes: &'a [Node],
+    files: &'a [SourceFile],
+    /// fn name → node indices.
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+    /// All first-party crate idents.
+    crates: BTreeSet<&'a str>,
+    /// All first-party type names (impl self-types, structs, enums) and
+    /// module segments — used to decide whether an unmatched path points
+    /// into first-party space.
+    first_party_names: BTreeSet<&'a str>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(nodes: &'a [Node], files: &'a [SourceFile]) -> Self {
+        let mut by_name: BTreeMap<&'a str, Vec<usize>> = BTreeMap::new();
+        let mut crates = BTreeSet::new();
+        let mut first_party_names = BTreeSet::new();
+        for (i, node) in nodes.iter().enumerate() {
+            crates.insert(node.crate_ident.as_str());
+            for m in &node.module {
+                first_party_names.insert(m.as_str());
+            }
+            let Some(f) = fn_of(files, node) else {
+                continue;
+            };
+            by_name.entry(f.name.as_str()).or_default().push(i);
+            if let Some(c) = &f.container {
+                if !c.type_name.is_empty() {
+                    first_party_names.insert(c.type_name.as_str());
+                }
+            }
+        }
+        for file in files {
+            for s in &file.items.structs {
+                first_party_names.insert(s.name.as_str());
+            }
+            for e in &file.items.enums {
+                first_party_names.insert(e.name.as_str());
+            }
+        }
+        Resolver {
+            nodes,
+            files,
+            by_name,
+            crates,
+            first_party_names,
+        }
+    }
+
+    /// Resolve a path call from `caller`, adding callee nodes to `out`.
+    fn resolve_call(&self, caller: &Node, segments: &[String], out: &mut BTreeSet<usize>) {
+        // Normalize leading `crate`/`self`/`super` to caller-relative
+        // context; bail on std-family paths.
+        let mut segs: Vec<&str> = Vec::new();
+        for (i, s) in segments.iter().enumerate() {
+            match s.as_str() {
+                "crate" if i == 0 => segs.push(caller.crate_ident.as_str()),
+                "self" | "super" if i == 0 => {}
+                "std" | "core" | "alloc" if i == 0 => return,
+                other => segs.push(other),
+            }
+        }
+        let Some(&name) = segs.last() else { return };
+        let Some(cands) = self.by_name.get(name) else {
+            return;
+        };
+
+        if segs.len() == 1 {
+            // Bare call: same module first.
+            let local: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let cn = &self.nodes[c];
+                    cn.crate_ident == caller.crate_ident && cn.module == caller.module
+                })
+                .collect();
+            if !local.is_empty() {
+                self.add_with_dispatch(&local, out);
+                return;
+            }
+            // Then the file's use-imports.
+            let Some(file) = self.files.get(caller.file) else {
+                return;
+            };
+            let mut matched = false;
+            for u in &file.items.uses {
+                if u.alias == name {
+                    matched |= self.resolve_import_path(&u.path, name, caller, out);
+                } else if u.path.last().map(String::as_str) == Some("*") {
+                    // Glob import: candidates from any first-party crate
+                    // the glob path names.
+                    for seg in &u.path {
+                        if self.crates.contains(seg.as_str()) {
+                            let from_crate: Vec<usize> = cands
+                                .iter()
+                                .copied()
+                                .filter(|&c| self.nodes[c].crate_ident == seg.as_str())
+                                .collect();
+                            if !from_crate.is_empty() {
+                                self.add_with_dispatch(&from_crate, out);
+                                matched = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !matched {
+                // Same-crate fallback: a bare call can reach a sibling
+                // module item re-exported at the crate root.
+                let same_crate: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.nodes[c].crate_ident == caller.crate_ident)
+                    .collect();
+                self.add_with_dispatch(&same_crate, out);
+            }
+            return;
+        }
+
+        // Qualified call: match the qualifier segments against candidate
+        // container types, modules, and crates.
+        let quals = segs.split_last().map(|(_, init)| init).unwrap_or_default();
+        let strong: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| self.qualifier_matches(quals, c))
+            .collect();
+        if !strong.is_empty() {
+            self.add_with_dispatch(&strong, out);
+            return;
+        }
+        // Re-export / alias fallback: conservative fan-out when the path
+        // mentions anything first-party at all.
+        let mentions_first_party = quals.iter().any(|q| {
+            self.crates.contains(q)
+                || self.first_party_names.contains(q)
+                || self.resolve_alias_mentions_first_party(caller, q)
+        });
+        if mentions_first_party {
+            self.add_with_dispatch(cands, out);
+        }
+    }
+
+    /// Does a qualifier list match candidate node `c`?
+    fn qualifier_matches(&self, quals: &[&str], c: usize) -> bool {
+        let node = &self.nodes[c];
+        let container_ty = fn_of(self.files, node)
+            .and_then(|f| f.container.as_ref())
+            .map(|ct| ct.type_name.as_str());
+        quals.iter().any(|&q| {
+            q == node.crate_ident || node.module.iter().any(|m| m == q) || container_ty == Some(q)
+        })
+    }
+
+    /// When a bare qualifier is itself a `use` alias in the caller's file
+    /// (e.g. `use cadapt_core::counters as acc; acc::count_io(…)`), does
+    /// the aliased path mention first-party space?
+    fn resolve_alias_mentions_first_party(&self, caller: &Node, q: &str) -> bool {
+        self.files.get(caller.file).is_some_and(|file| {
+            file.items
+                .uses
+                .iter()
+                .any(|u| u.alias == q && u.path.iter().any(|s| self.crates.contains(s.as_str())))
+        })
+    }
+
+    /// Resolve a bare call through one matching `use` path. Returns true
+    /// when the import pointed into first-party space (even if no node
+    /// matched — the target may be a type or macro, and std fallback
+    /// must not kick in).
+    fn resolve_import_path(
+        &self,
+        path: &[String],
+        name: &str,
+        _caller: &Node,
+        out: &mut BTreeSet<usize>,
+    ) -> bool {
+        let in_first_party = path.iter().any(|s| self.crates.contains(s.as_str()));
+        if !in_first_party {
+            return false;
+        }
+        let Some(cands) = self.by_name.get(name) else {
+            return true;
+        };
+        // Filter by the crate the import names; refine by module when the
+        // path's second-to-last segment matches (re-exports won't — keep
+        // the crate-level set then).
+        let crate_match: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| path.iter().any(|s| s == &self.nodes[c].crate_ident))
+            .collect();
+        if crate_match.is_empty() {
+            self.add_with_dispatch(cands, out);
+            return true;
+        }
+        let modname = path.len().checked_sub(2).and_then(|i| path.get(i));
+        let refined: Vec<usize> = match modname {
+            Some(m) => crate_match
+                .iter()
+                .copied()
+                .filter(|&c| self.nodes[c].module.iter().any(|s| s == m))
+                .collect(),
+            None => Vec::new(),
+        };
+        if refined.is_empty() {
+            self.add_with_dispatch(&crate_match, out);
+        } else {
+            self.add_with_dispatch(&refined, out);
+        }
+        true
+    }
+
+    /// Resolve a method call from `caller`.
+    fn resolve_method(
+        &self,
+        caller: &Node,
+        name: &str,
+        recv: Option<&str>,
+        out: &mut BTreeSet<usize>,
+    ) {
+        let Some(cands) = self.by_name.get(name) else {
+            return;
+        };
+        let methods: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| fn_of(self.files, &self.nodes[c]).is_some_and(|f| f.container.is_some()))
+            .collect();
+        if methods.is_empty() {
+            return;
+        }
+        // `self.f(…)` narrows to the receiver's own impl type when it has
+        // such a method.
+        if recv == Some("self") {
+            if let Some(ct) = fn_of(self.files, caller)
+                .and_then(|f| f.container.as_ref())
+                .map(|c| c.type_name.clone())
+            {
+                let own: Vec<usize> = methods
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        fn_of(self.files, &self.nodes[c])
+                            .and_then(|f| f.container.as_ref())
+                            .is_some_and(|cc| cc.type_name == ct)
+                    })
+                    .collect();
+                if !own.is_empty() {
+                    self.add_with_dispatch(&own, out);
+                    return;
+                }
+            }
+        }
+        self.add_with_dispatch(&methods, out);
+    }
+
+    /// Add candidate nodes to `out`; targets that are trait declarations
+    /// keep their decl→impl fan-out edges, so adding the decl suffices.
+    fn add_with_dispatch(&self, cands: &[usize], out: &mut BTreeSet<usize>) {
+        out.extend(cands.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(files: &[(&str, &str)]) -> Vec<SourceFile> {
+        files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect()
+    }
+
+    fn find(g: &CallGraph, qual: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.qualname == qual)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no node {qual}; have {:?}",
+                    g.nodes.iter().map(|n| &n.qualname).collect::<Vec<_>>()
+                )
+            })
+    }
+
+    fn has_edge(g: &CallGraph, from: &str, to: &str) -> bool {
+        let (f, t) = (find(g, from), find(g, to));
+        g.edges[f].contains(&t)
+    }
+
+    #[test]
+    fn crate_ident_mapping() {
+        assert_eq!(crate_ident("crates/paging/src/lru.rs"), "cadapt_paging");
+        assert_eq!(crate_ident("crates/cadapt/src/lib.rs"), "cadapt");
+        assert_eq!(crate_ident("shims/rand/src/lib.rs"), "");
+    }
+
+    #[test]
+    fn file_modules_mapping() {
+        assert_eq!(file_modules("crates/x/src/lib.rs"), Vec::<String>::new());
+        assert_eq!(file_modules("crates/x/src/a.rs"), ["a"]);
+        assert_eq!(file_modules("crates/x/src/a/b.rs"), ["a", "b"]);
+        assert_eq!(file_modules("crates/x/src/a/mod.rs"), ["a"]);
+        assert_eq!(file_modules("crates/x/tests/t.rs"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn same_module_bare_call_resolves() {
+        let files = model(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry() { helper(); }\nfn helper() {}\n",
+        )]);
+        let g = CallGraph::build(&files);
+        assert!(has_edge(&g, "cadapt_a::entry", "cadapt_a::helper"));
+    }
+
+    #[test]
+    fn cross_crate_call_resolves_through_use_import() {
+        let files = model(&[
+            (
+                "crates/a/src/lib.rs",
+                "use cadapt_b::engine::spin;\npub fn entry() { spin(); }\n",
+            ),
+            ("crates/b/src/engine.rs", "pub fn spin() {}\n"),
+            ("crates/c/src/lib.rs", "pub fn spin() {}\n"),
+        ]);
+        let g = CallGraph::build(&files);
+        assert!(has_edge(&g, "cadapt_a::entry", "cadapt_b::engine::spin"));
+        // The import names crate b, so the same-name fn in crate c is NOT
+        // an edge target.
+        assert!(!has_edge(&g, "cadapt_a::entry", "cadapt_c::spin"));
+    }
+
+    #[test]
+    fn qualified_call_filters_by_module_segment() {
+        let files = model(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() { cadapt_b::engine::spin(); }\n",
+            ),
+            ("crates/b/src/engine.rs", "pub fn spin() {}\n"),
+            ("crates/c/src/other.rs", "pub fn spin() {}\n"),
+        ]);
+        let g = CallGraph::build(&files);
+        assert!(has_edge(&g, "cadapt_a::entry", "cadapt_b::engine::spin"));
+        assert!(!has_edge(&g, "cadapt_a::entry", "cadapt_c::other::spin"));
+    }
+
+    #[test]
+    fn reexported_fn_falls_back_to_name_fanout() {
+        // `montecarlo::trial_rng` is a re-export of `parallel::trial_rng`;
+        // module-segment matching fails but the path mentions a
+        // first-party crate, so resolution fans out by name.
+        let files = model(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() { cadapt_b::facade::spin(); }\n",
+            ),
+            ("crates/b/src/engine.rs", "pub fn spin() {}\n"),
+        ]);
+        let g = CallGraph::build(&files);
+        assert!(has_edge(&g, "cadapt_a::entry", "cadapt_b::engine::spin"));
+    }
+
+    #[test]
+    fn unresolved_std_call_is_conservatively_ignored() {
+        let files = model(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry() { std::mem::drop(1); String::from(\"x\"); }\nfn along() {}\n",
+        )]);
+        let g = CallGraph::build(&files);
+        let e = find(&g, "cadapt_a::entry");
+        assert!(g.edges[e].is_empty());
+    }
+
+    #[test]
+    fn method_call_fans_out_to_all_same_name_methods() {
+        let files = model(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct A;\nimpl A {\n    pub fn go(&self) {}\n}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct B;\nimpl B {\n    pub fn go(&self) {}\n}\npub fn entry(b: &B) { b.go(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        // No type inference: both `go` methods become edge targets.
+        assert!(has_edge(&g, "cadapt_b::entry", "cadapt_b::B::go"));
+        assert!(has_edge(&g, "cadapt_b::entry", "cadapt_a::A::go"));
+    }
+
+    #[test]
+    fn self_method_call_narrows_to_own_impl() {
+        let files = model(&[(
+            "crates/a/src/lib.rs",
+            "pub struct A;\nimpl A {\n    pub fn outer(&self) { self.inner(); }\n    fn inner(&self) {}\n}\npub struct Z;\nimpl Z {\n    fn inner(&self) {}\n}\n",
+        )]);
+        let g = CallGraph::build(&files);
+        assert!(has_edge(&g, "cadapt_a::A::outer", "cadapt_a::A::inner"));
+        assert!(!has_edge(&g, "cadapt_a::A::outer", "cadapt_a::Z::inner"));
+    }
+
+    #[test]
+    fn trait_decl_method_fans_to_impls() {
+        let files = model(&[(
+            "crates/a/src/lib.rs",
+            "pub trait Src {\n    fn pull(&self) -> u64;\n    fn twice(&self) -> u64 { self.pull() * 2 }\n}\npub struct S;\nimpl Src for S {\n    fn pull(&self) -> u64 { 7 }\n}\n",
+        )]);
+        let g = CallGraph::build(&files);
+        // `twice` (defaulted) calls `pull` (decl); dispatch reaches the
+        // impl on S.
+        assert!(has_edge(&g, "cadapt_a::Src::twice", "cadapt_a::Src::pull"));
+        assert!(has_edge(&g, "cadapt_a::Src::pull", "cadapt_a::S::pull"));
+    }
+
+    #[test]
+    fn entries_and_reachability_with_path() {
+        let files = model(&[(
+            "crates/a/src/lib.rs",
+            "pub fn api() { step(); }\nfn step() { deep(); }\nfn deep() {}\nfn orphan() {}\n",
+        )]);
+        let g = CallGraph::build(&files);
+        let r = g.reach_from_entries();
+        let deep = find(&g, "cadapt_a::deep");
+        assert!(r.reachable(deep));
+        assert_eq!(
+            g.entry_path(&r, deep),
+            ["cadapt_a::api", "cadapt_a::step", "cadapt_a::deep"]
+        );
+        let orphan = find(&g, "cadapt_a::orphan");
+        assert!(!r.reachable(orphan));
+    }
+
+    #[test]
+    fn cfg_test_fns_and_test_paths_are_not_nodes() {
+        let files = model(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn api() {}\n#[cfg(test)]\nmod tests {\n    fn t() { super::api(); }\n}\n",
+            ),
+            ("crates/a/tests/t.rs", "fn t2() {}\n"),
+        ]);
+        let g = CallGraph::build(&files);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].qualname, "cadapt_a::api");
+    }
+}

@@ -100,8 +100,14 @@ impl<'a> Lexer<'a> {
         *self.bytes.get(self.pos + ahead).unwrap_or(&0)
     }
 
+    /// Consume and return the byte at the cursor. At end of input this is
+    /// a no-op returning 0: callers that blindly consume an escape or a
+    /// literal's content byte (`string_body`, `char_body`) must not push
+    /// the cursor past the buffer, or token slices would overrun.
     fn bump(&mut self) -> u8 {
-        let b = self.peek(0);
+        let Some(&b) = self.bytes.get(self.pos) else {
+            return 0;
+        };
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
@@ -195,15 +201,8 @@ impl<'a> Lexer<'a> {
                 b'\'' => {
                     let start = self.pos;
                     let line = self.line;
-                    self.bump();
-                    self.bump(); // opening quote
-                    if self.peek(0) == b'\\' {
-                        self.bump();
-                    }
-                    self.bump(); // the byte
-                    if self.peek(0) == b'\'' {
-                        self.bump();
-                    }
+                    self.bump(); // b
+                    self.char_body();
                     self.push(TokenKind::Literal, start, line);
                     return true;
                 }
@@ -332,24 +331,30 @@ impl<'a> Lexer<'a> {
             }
         }
         // Char literal.
-        self.bump(); // '
+        self.char_body();
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    /// Consume a char-literal body with the cursor on the opening quote:
+    /// escapes (`'\''`, `'\\'`, `'\x41'`, `'\u{1F600}'`) and multi-byte
+    /// UTF-8 scalars. The scan never crosses a newline, so an unpaired
+    /// quote damages at most the rest of its own line.
+    fn char_body(&mut self) {
+        self.bump(); // opening quote
         if self.peek(0) == b'\\' {
             self.bump();
-            // Escapes like \u{1F600} contain braces; consume until quote.
-            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
-                self.bump();
-            }
-        } else {
+            // The escaped character itself ('\'' and '\\' end right after
+            // it); longer escapes (\x41, \u{…}) run until the quote.
             self.bump();
-            // Multi-byte UTF-8 scalar: consume until the closing quote.
-            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
-                self.bump();
-            }
+        } else if self.peek(0) != b'\'' {
+            self.bump(); // first content byte (may start a UTF-8 scalar)
+        }
+        while self.pos < self.bytes.len() && self.peek(0) != b'\'' && self.peek(0) != b'\n' {
+            self.bump();
         }
         if self.peek(0) == b'\'' {
             self.bump();
         }
-        self.push(TokenKind::Literal, start, line);
     }
 
     fn number(&mut self) {
@@ -528,6 +533,67 @@ mod tests {
         assert_eq!(eq.line, 2);
         let ne = lexed.tokens.iter().find(|t| t.is_punct("!=")).expect("!=");
         assert_eq!(ne.line, 3);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail() {
+        // '\'' ends at its real closing quote; the code after it lexes.
+        let toks = kinds("let c = '\\''; let after = 1;");
+        assert!(toks.iter().any(|(_, s)| s == "after"), "{toks:?}");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_byte_char_literal() {
+        // b'\x41' is one literal; the trailing code still surfaces.
+        let toks = kinds("let b = b'\\x41'; let tail = 2;");
+        assert!(toks.iter().any(|(_, s)| s == "tail"), "{toks:?}");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Literal && s == "b'\\x41'"));
+    }
+
+    #[test]
+    fn unterminated_char_stops_at_newline() {
+        // A stray quote damages at most its own line.
+        let toks = kinds("let bad = '(;\nlet good = 3;");
+        assert!(toks.iter().any(|(_, s)| s == "good"), "{toks:?}");
+    }
+
+    #[test]
+    fn unicode_char_literal_and_escape_u() {
+        let toks = kinds("let e = '\u{e9}'; let u = '\\u{1F600}'; let z = 4;");
+        assert!(toks.iter().any(|(_, s)| s == "z"), "{toks:?}");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn truncated_escape_at_eof_does_not_overrun() {
+        // A string or char literal whose escape is cut off by EOF must
+        // not push the cursor past the buffer (the token slice would
+        // then overrun). Found by the proptest fuzz suite.
+        for src in ["\"unterminated \\", "'\\", "b'\\", "let x = \"a\\"] {
+            let lexed = lex(src);
+            for t in &lexed.tokens {
+                assert!(!t.text.is_empty(), "{src:?} -> {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lone_quote_at_eof_does_not_overrun() {
+        let lexed = lex("let q = '");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("q")));
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! # cadapt-lint — determinism & accounting static analysis
 //!
-//! A dependency-free, workspace-local static analyzer. It tokenizes every
-//! first-party `.rs` file under `crates/` with a small hand-rolled lexer
-//! ([`lexer`]) and runs a registry of token-level rules ([`rules`]) whose
-//! single purpose is protecting the engine's headline guarantee: **runs
-//! are reproducible bit-for-bit from (params, seed)**, and the I/O
-//! accounting behind the paper's theorems is exact.
+//! A dependency-free, workspace-local static analyzer with a three-layer
+//! pipeline: a small hand-rolled lexer ([`lexer`]) tokenizes every
+//! first-party `.rs` file under `crates/`; an item-tree parser
+//! ([`parse`]) recovers functions, impls, `use` imports and per-body
+//! facts; and a workspace call graph ([`graph`]) resolves calls across
+//! crates. A registry of rules ([`rules`]) — token-level file rules plus
+//! graph-level workspace rules — protects the engine's headline
+//! guarantee: **runs are reproducible bit-for-bit from (params, seed)**,
+//! and the I/O accounting behind the paper's theorems is exact.
 //!
 //! | rule | invariant it protects |
 //! |------|----------------------|
 //! | `float-eq` | bit-identical batched vs per-box totals |
-//! | `no-panic-lib` | library code fails into error types, not aborts |
+//! | `panic-reach` | no panic site reachable from public API (call path printed) |
 //! | `lossy-cast` | exact (non-wrapping) I/O & progress accounting |
 //! | `nondet-source` | schedule/process-independent results |
 //! | `crate-header` | workspace-wide `unsafe`/docs contract |
+//! | `rng-discipline` | per-trial ChaCha8 streams never minted or leaked outside the engine |
+//! | `counter-balance` | counters move only through the accounting ledger |
+//! | `vm-dispatch` | bytecode opcode dispatch is wildcard-free and exhaustive |
 //!
 //! Violations that are intentional take an inline waiver ([`waiver`]):
 //!
@@ -37,13 +43,18 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 pub mod waiver;
 
 pub use diag::{render_json, Diagnostic};
+pub use graph::WorkspaceModel;
 pub use rules::{registry, Rule};
+pub use sarif::render_sarif;
 
 use source::SourceFile;
 use std::collections::BTreeSet;
@@ -51,28 +62,71 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lint a single file's contents, waivers applied.
+/// Lint a set of in-memory files as one workspace: parse everything,
+/// build the call graph, run file rules and workspace rules, then apply
+/// waivers per file. Diagnostics come back sorted by (path, line, rule).
 ///
-/// `rel_path` must be the workspace-relative path with `/` separators —
-/// rule scoping (accounting crates, test collateral, crate roots) keys
-/// off it.
+/// Each `rel_path` must be workspace-relative with `/` separators — rule
+/// scoping (accounting crates, test collateral, crate roots, the engine
+/// module) keys off it.
 #[must_use]
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
-    let file = SourceFile::parse(rel_path, src);
+pub fn lint_files(inputs: &[(String, String)]) -> Vec<Diagnostic> {
+    let files: Vec<SourceFile> = inputs
+        .iter()
+        .map(|(rel, src)| SourceFile::parse(rel, src))
+        .collect();
+    let ws = WorkspaceModel::build(files);
     let rules = registry();
     let known: BTreeSet<&'static str> = rules.iter().map(|r| r.id()).collect();
 
     let mut raw = Vec::new();
     for rule in &rules {
-        if rule.applies(rel_path) {
-            rule.check(&file, &mut raw);
+        for file in &ws.files {
+            if rule.applies(&file.rel_path) {
+                rule.check(file, &mut raw);
+            }
         }
+        rule.check_workspace(&ws, &mut raw);
     }
 
+    let mut kept = Vec::new();
+    for file in &ws.files {
+        apply_waivers(file, &mut raw, &known, &mut kept);
+    }
+    // Diagnostics for paths outside the input set cannot exist, but keep
+    // any stragglers rather than silently dropping them.
+    kept.append(&mut raw);
+    kept.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    kept
+}
+
+/// Lint a single file's contents, waivers applied.
+///
+/// The file is treated as a one-file workspace: workspace rules (e.g.
+/// `panic-reach`) see only its own call graph.
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    lint_files(&[(rel_path.to_string(), src.to_string())])
+}
+
+/// Move `raw` diagnostics belonging to `file` into `kept`, suppressing
+/// waived ones and appending waiver-hygiene diagnostics (`stale-waiver`,
+/// `malformed-waiver`).
+fn apply_waivers(
+    file: &SourceFile,
+    raw: &mut Vec<Diagnostic>,
+    known: &BTreeSet<&'static str>,
+    kept: &mut Vec<Diagnostic>,
+) {
+    let rel_path = file.rel_path.as_str();
     let waivers = waiver::collect(&file.lexed.comments, &file.lexed.tokens);
     let mut suppressed = vec![0usize; waivers.len()];
-    let mut kept = Vec::new();
-    'diags: for d in raw {
+    let mut rest = Vec::new();
+    'diags: for d in raw.drain(..) {
+        if d.path != rel_path {
+            rest.push(d);
+            continue;
+        }
         for (wi, w) in waivers.iter().enumerate() {
             if w.malformed.is_none()
                 && w.target_line == d.line
@@ -84,6 +138,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
         }
         kept.push(d);
     }
+    *raw = rest;
 
     for (w, &hits) in waivers.iter().zip(&suppressed) {
         if let Some(problem) = &w.malformed {
@@ -117,9 +172,6 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
             });
         }
     }
-
-    kept.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    kept
 }
 
 /// Recursively collect the first-party `.rs` files to lint: everything
@@ -158,16 +210,16 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Lint the whole workspace rooted at `root`, returning diagnostics
-/// sorted by (path, line, rule).
+/// sorted by (path, line, rule). All files are analyzed as one unit so
+/// the call graph sees every cross-crate edge.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+    let mut inputs = Vec::new();
     for path in workspace_files(root)? {
         let rel = rel_path(root, &path);
         let src = fs::read_to_string(&path)?;
-        diags.extend(lint_source(&rel, &src));
+        inputs.push((rel, src));
     }
-    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(diags)
+    Ok(lint_files(&inputs))
 }
 
 /// Workspace-relative path with `/` separators.

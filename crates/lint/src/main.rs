@@ -1,10 +1,15 @@
 //! `cadapt-lint` CLI: `check`, `list`, `explain`.
 //!
 //! ```text
-//! cadapt-lint check [--root <dir>] [--format text|json] [--out <file>]
+//! cadapt-lint check [--root <dir>] [--format text|json|sarif] [--out <file>]
+//!                   [--emit <json|sarif>=<file>]...
 //! cadapt-lint list
 //! cadapt-lint explain <rule>
 //! ```
+//!
+//! `--format` picks what goes to stdout (and `--out`); `--emit` writes
+//! additional reports in other formats in the same run, so CI gets the
+//! JSON report and the SARIF artifact from a single workspace analysis.
 //!
 //! `check` exits 0 on a clean workspace and 1 when any diagnostic
 //! (including stale or malformed waivers) is present; 2 on usage errors.
@@ -23,7 +28,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cadapt-lint <check|list|explain> [options]\n\
                  \n\
-                 check   [--root <dir>] [--format text|json] [--out <file>]\n\
+                 check   [--root <dir>] [--format text|json|sarif] [--out <file>]\n\
+                 \x20        [--emit <json|sarif>=<file>]...\n\
                  \x20        lint the workspace; exit 1 on any diagnostic\n\
                  list    show all rules with one-line summaries\n\
                  explain <rule>  print the rule's full rationale"
@@ -37,6 +43,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = "text".to_string();
     let mut out_file: Option<PathBuf> = None;
+    let mut emits: Vec<(String, PathBuf)> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -45,12 +52,18 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 None => return usage_err("--root needs a value"),
             },
             "--format" => match it.next() {
-                Some(v) if v == "text" || v == "json" => format = v.clone(),
-                _ => return usage_err("--format must be text or json"),
+                Some(v) if v == "text" || v == "json" || v == "sarif" => format = v.clone(),
+                _ => return usage_err("--format must be text, json, or sarif"),
             },
             "--out" => match it.next() {
                 Some(v) => out_file = Some(PathBuf::from(v)),
                 None => return usage_err("--out needs a value"),
+            },
+            "--emit" => match it.next().and_then(|v| v.split_once('=')) {
+                Some((fmt, path)) if fmt == "json" || fmt == "sarif" => {
+                    emits.push((fmt.to_string(), PathBuf::from(path)));
+                }
+                _ => return usage_err("--emit needs <json|sarif>=<file>"),
             },
             other => return usage_err(&format!("unknown option {other}")),
         }
@@ -75,24 +88,37 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     };
 
-    let report = if format == "json" {
-        cadapt_lint::render_json(&diags)
-    } else {
-        let mut s = String::new();
-        for d in &diags {
-            s.push_str(&d.render_text());
-            s.push('\n');
+    let report = match format.as_str() {
+        "json" => cadapt_lint::render_json(&diags),
+        "sarif" => cadapt_lint::render_sarif(&diags),
+        _ => {
+            let mut s = String::new();
+            for d in &diags {
+                s.push_str(&d.render_text());
+                s.push('\n');
+            }
+            s.push_str(&format!(
+                "{} diagnostic{}\n",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            ));
+            s
         }
-        s.push_str(&format!(
-            "{} diagnostic{}\n",
-            diags.len(),
-            if diags.len() == 1 { "" } else { "s" }
-        ));
-        s
     };
     print!("{report}");
     if let Some(path) = out_file {
         if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("cadapt-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    for (fmt, path) in &emits {
+        let extra = if fmt == "sarif" {
+            cadapt_lint::render_sarif(&diags)
+        } else {
+            cadapt_lint::render_json(&diags)
+        };
+        if let Err(e) = std::fs::write(path, &extra) {
             eprintln!("cadapt-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

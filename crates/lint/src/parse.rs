@@ -1,0 +1,1450 @@
+//! A dependency-free item-tree parser on top of the lexer.
+//!
+//! The parser recovers just enough structure for the dataflow rules — it
+//! is **not** a full expression grammar. Per file it produces:
+//!
+//! * the item tree: modules (inline), functions (free, inherent-impl,
+//!   trait-impl and trait-declaration methods) with visibility, parameter
+//!   and return-type tokens, `use` declarations (groups expanded), struct
+//!   fields and enum variants;
+//! * per-function **body facts** gathered in one linear token scan: path
+//!   calls, method calls, macro invocations, field assignments, struct
+//!   literals, index expressions (with a computed-index flag), `let`
+//!   bindings with a classified initializer, and `match` expressions with
+//!   their arm patterns.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Never panic, never run away.** Every token access is bounds
+//!    checked and every loop advances the cursor; the proptest fuzz suite
+//!    (`tests/props_parser.rs`) holds the parser to this on arbitrary
+//!    byte soup.
+//! 2. **Spans are real.** Every recorded fact carries the 1-based line of
+//!    the token it came from, because diagnostics and waivers key off
+//!    lines.
+//! 3. **Approximations are conservative for reachability.** Where the
+//!    token stream is ambiguous (patterns that look like calls, struct
+//!    literals vs. blocks) the parser over-records: a fact that does not
+//!    correspond to a real call resolves to nothing or to extra graph
+//!    edges, which can only widen reachability, never hide a panic site.
+//!
+//! Known non-goals, documented so nobody relies on them: closure return
+//! values are not modelled (a closure body's facts belong to the
+//! enclosing function), nested `fn` items inside bodies are folded into
+//! the enclosing function the same way, and type information is purely
+//! token-textual.
+
+use crate::lexer::{Token, TokenKind};
+
+/// The parsed structure of one file.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// Every function in the file, flattened (free fns, methods, trait
+    /// declarations), in source order.
+    pub fns: Vec<FnItem>,
+    /// Struct declarations with their named fields.
+    pub structs: Vec<StructItem>,
+    /// Enum declarations with their variants.
+    pub enums: Vec<EnumItem>,
+    /// `use` declarations, groups expanded to one entry per leaf.
+    pub uses: Vec<UseDecl>,
+}
+
+/// The impl/trait context a method lives in.
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Self-type name (`Lru` for `impl Lru`, `ProgramEvents` for
+    /// `impl Iterator for ProgramEvents<'_>`); for a trait declaration,
+    /// the trait's own name.
+    pub type_name: String,
+    /// Trait name when this is a trait impl or a trait declaration.
+    pub trait_name: Option<String>,
+    /// True inside `trait T { … }` itself (methods there may lack bodies).
+    pub is_trait_decl: bool,
+}
+
+/// One function (or method) and the facts extracted from its body.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Inline-module path within the file (empty at file scope).
+    pub module: Vec<String>,
+    /// Enclosing impl/trait context, if any.
+    pub container: Option<Container>,
+    /// True for unrestricted `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter names (when the pattern is a simple binding) and types.
+    pub params: Vec<Param>,
+    /// Return-type tokens after `->` (empty when omitted).
+    pub ret: Vec<String>,
+    /// Token index range of the body, braces excluded (`None` for
+    /// bodyless trait-method declarations).
+    pub body: Option<(usize, usize)>,
+    /// Facts collected from the body.
+    pub events: Events,
+}
+
+/// One function parameter.
+#[derive(Debug)]
+pub struct Param {
+    /// Binding name for simple `ident: Ty` / `mut ident: Ty` / `self`
+    /// patterns; `None` for destructuring patterns.
+    pub name: Option<String>,
+    /// Type token texts (empty for bare `self` receivers).
+    pub ty: Vec<String>,
+}
+
+/// A struct declaration.
+#[derive(Debug)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// Named fields (tuple structs record positional fields as `0`, `1`…).
+    pub fields: Vec<FieldDecl>,
+}
+
+/// One struct field declaration.
+#[derive(Debug)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Type token texts.
+    pub ty: Vec<String>,
+    /// 1-based line of the field.
+    pub line: u32,
+}
+
+/// An enum declaration.
+#[derive(Debug)]
+pub struct EnumItem {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// Variant names with their lines.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// One expanded `use` leaf: `use a::{b, c as d};` yields two entries.
+#[derive(Debug)]
+pub struct UseDecl {
+    /// Full path segments (`["cadapt_analysis", "montecarlo", "trial_rng"]`);
+    /// a glob import ends with `*`.
+    pub path: Vec<String>,
+    /// Name the import binds in this file (`as` alias or last segment).
+    pub alias: String,
+}
+
+/// Facts extracted from one function body in a single linear scan.
+#[derive(Debug, Default)]
+pub struct Events {
+    /// Path calls (`foo(…)`, `a::b::foo(…)`, `Type::method(…)`).
+    pub calls: Vec<Call>,
+    /// Method calls (`recv.name(…)`).
+    pub methods: Vec<MethodCall>,
+    /// Macro invocations (`name!…`), arguments scanned as normal tokens.
+    pub macros: Vec<MacroUse>,
+    /// Field assignments (`expr.field = …`, `expr.field += …`).
+    pub field_sets: Vec<FieldSet>,
+    /// Struct literals (`TypeName { … }`; includes struct patterns — see
+    /// the module docs on conservative over-recording).
+    pub struct_lits: Vec<StructLit>,
+    /// Index expressions (`expr[…]`).
+    pub indexes: Vec<IndexSite>,
+    /// `let` bindings with a classified initializer.
+    pub lets: Vec<LetBind>,
+    /// `match` expressions with arm patterns.
+    pub matches: Vec<MatchExpr>,
+}
+
+/// A path call site.
+#[derive(Debug)]
+pub struct Call {
+    /// Path segments, unqualified calls have one segment.
+    pub segments: Vec<String>,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// A method call site.
+#[derive(Debug)]
+pub struct MethodCall {
+    /// Method name.
+    pub name: String,
+    /// Receiver identifier when the receiver is a plain `ident.` or
+    /// `self.` chain head; `None` for compound receivers.
+    pub recv: Option<String>,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// A macro invocation site.
+#[derive(Debug)]
+pub struct MacroUse {
+    /// Macro name (without `!`).
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// A field assignment site.
+#[derive(Debug)]
+pub struct FieldSet {
+    /// Field name on the left-hand side.
+    pub field: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// A struct-literal (or struct-pattern) site.
+#[derive(Debug)]
+pub struct StructLit {
+    /// Type name before the brace.
+    pub type_name: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// An index expression site.
+#[derive(Debug)]
+pub struct IndexSite {
+    /// 1-based line of the `[`.
+    pub line: u32,
+    /// True when the index expression contains arithmetic (`+ - * / %`)
+    /// or a nested call — the off-by-one-prone class `panic-reach` flags.
+    pub computed: bool,
+}
+
+/// A `let` binding with a classified initializer.
+#[derive(Debug)]
+pub struct LetBind {
+    /// Bound name (simple patterns only).
+    pub name: String,
+    /// What the initializer looks like.
+    pub init: Init,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Classification of a `let` initializer, as far as one token peek goes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Init {
+    /// A path call: `let x = a::b::f(…)`.
+    CallPath(Vec<String>),
+    /// A clone of another local: `let x = y.clone()`.
+    CloneOf(String),
+    /// Anything else.
+    Other,
+}
+
+/// A `match` expression with its arm patterns.
+#[derive(Debug)]
+pub struct MatchExpr {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// Arms in source order.
+    pub arms: Vec<Arm>,
+}
+
+/// One match arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// 1-based line of the first pattern token.
+    pub line: u32,
+    /// Pattern token texts (guard included, `=>` excluded).
+    pub pat: Vec<String>,
+}
+
+impl Arm {
+    /// True when the arm is a catch-all: a top-level `_` pattern or a
+    /// bare lowercase binding, with or without a guard.
+    #[must_use]
+    pub fn is_catch_all(&self) -> bool {
+        match self.pat.first().map(String::as_str) {
+            Some("_") => self.pat.len() == 1 || self.pat.get(1).map(String::as_str) == Some("if"),
+            Some(first) => {
+                let is_binding = first
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_lowercase() || c == '_');
+                is_binding
+                    && first != "true"
+                    && first != "false"
+                    && (self.pat.len() == 1 || self.pat.get(1).map(String::as_str) == Some("if"))
+            }
+            None => false,
+        }
+    }
+}
+
+/// Parse a token stream into an [`ItemTree`].
+#[must_use]
+pub fn parse(tokens: &[Token]) -> ItemTree {
+    let mut p = Parser {
+        toks: tokens,
+        out: ItemTree::default(),
+        module: Vec::new(),
+    };
+    p.items(0, tokens.len(), None);
+    p.out
+}
+
+/// Keywords that can never head a call expression.
+const NON_CALL_HEADS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "else", "in", "as", "let", "move", "break",
+    "continue", "where", "unsafe", "ref", "mut", "dyn", "impl", "fn", "use", "mod", "struct",
+    "enum", "trait", "const", "static", "type", "pub", "await",
+];
+
+/// Assignment operators that make `.field <op>` a field mutation.
+const ASSIGN_OPS: &[&str] = &[
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    out: ItemTree,
+    module: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, i: usize) -> Option<&'a Token> {
+        self.toks.get(i)
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.tok(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_punct(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(s))
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.tok(i).is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.tok(i).map_or(0, |t| t.line)
+    }
+
+    /// Index just past the bracket group opening at `i` (which must hold
+    /// one of `(`/`[`/`{`). Returns `end` when unbalanced.
+    fn skip_group(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Index just past a generics group `<…>` opening at `i`; `i` itself
+    /// when there is none.
+    fn skip_generics(&self, i: usize, end: usize) -> usize {
+        if !self.is_punct(i, "<") {
+            return i;
+        }
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                // `->` inside `Fn(…) -> T` bounds does not affect depth.
+                "(" | "[" => {
+                    j = self.skip_group(j, end);
+                    continue;
+                }
+                ";" | "{" => return j, // runaway: bail at a statement edge
+                _ => {}
+            }
+            j += 1;
+            if depth <= 0 {
+                return j;
+            }
+        }
+        end
+    }
+
+    /// Skip attributes (`#[…]`, `#![…]`) starting at `i`.
+    fn skip_attrs(&self, mut i: usize, end: usize) -> usize {
+        while self.is_punct(i, "#") {
+            let mut j = i + 1;
+            if self.is_punct(j, "!") {
+                j += 1;
+            }
+            if !self.is_punct(j, "[") {
+                return i;
+            }
+            i = self.skip_group(j, end);
+        }
+        i
+    }
+
+    /// Parse items in `[i, end)` under `container`.
+    fn items(&mut self, mut i: usize, end: usize, container: Option<&Container>) {
+        while i < end {
+            let next = self.item(i, end, container);
+            // Defensive: every path through `item` advances, but a parser
+            // that can hang on adversarial input is worse than one that
+            // skips a token.
+            i = next.max(i + 1);
+        }
+    }
+
+    /// Parse one item starting at `i`; returns the index after it.
+    fn item(&mut self, i: usize, end: usize, container: Option<&Container>) -> usize {
+        let mut j = self.skip_attrs(i, end);
+        let mut is_pub = false;
+        if self.is_ident(j) && self.text(j) == "pub" {
+            j += 1;
+            if self.is_punct(j, "(") {
+                is_pub = false; // pub(crate)/pub(super): restricted
+                j = self.skip_group(j, end);
+            } else {
+                is_pub = true;
+            }
+        }
+        // Leading modifiers before `fn`.
+        while self.is_ident(j)
+            && matches!(self.text(j), "async" | "unsafe" | "default")
+            && self.text(j + 1) != "{"
+        {
+            j += 1;
+        }
+        if self.is_ident(j) && self.text(j) == "extern" {
+            // `extern "C" fn`, `extern crate x;`, `extern { … }`.
+            j += 1;
+            if self.tok(j).is_some_and(|t| t.kind == TokenKind::Literal) {
+                j += 1;
+            }
+            if self.is_punct(j, "{") {
+                return self.skip_group(j, end);
+            }
+            if self.text(j) == "crate" {
+                return self.skip_to_semi(j, end);
+            }
+        }
+        if !self.is_ident(j) {
+            return j + 1;
+        }
+        match self.text(j) {
+            "fn" => self.fn_item(j, end, is_pub, container),
+            "const" if self.text(j + 1) == "fn" => self.fn_item(j + 1, end, is_pub, container),
+            "mod" => {
+                let name = if self.is_ident(j + 1) {
+                    self.text(j + 1).to_string()
+                } else {
+                    return j + 1;
+                };
+                if self.is_punct(j + 2, "{") {
+                    let body_end = self.skip_group(j + 2, end);
+                    self.module.push(name);
+                    self.items(j + 3, body_end.saturating_sub(1), container);
+                    self.module.pop();
+                    body_end
+                } else {
+                    self.skip_to_semi(j, end)
+                }
+            }
+            "struct" | "union" => self.struct_item(j, end),
+            "enum" => self.enum_item(j, end),
+            "impl" => self.impl_item(j, end),
+            "trait" => self.trait_item(j, end),
+            "use" => self.use_item(j, end),
+            "macro_rules" => {
+                // `macro_rules! name { … }`
+                let mut k = j + 1;
+                while k < end && !self.is_punct(k, "{") && !self.is_punct(k, "(") {
+                    k += 1;
+                }
+                self.skip_group(k, end)
+            }
+            "const" | "static" | "type" => self.skip_to_semi(j, end),
+            _ => j + 1,
+        }
+    }
+
+    /// Skip to just past the next `;` at bracket depth 0.
+    fn skip_to_semi(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            match self.text(i) {
+                "(" | "[" | "{" => {
+                    i = self.skip_group(i, end);
+                }
+                ";" => return i + 1,
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// Parse `fn` at `i` (pointing at the `fn` keyword).
+    fn fn_item(
+        &mut self,
+        i: usize,
+        end: usize,
+        is_pub: bool,
+        container: Option<&Container>,
+    ) -> usize {
+        let line = self.line(i);
+        let mut j = i + 1;
+        if !self.is_ident(j) {
+            return j;
+        }
+        let name = self.text(j).to_string();
+        j += 1;
+        j = self.skip_generics(j, end);
+        if !self.is_punct(j, "(") {
+            return j;
+        }
+        let params_end = self.skip_group(j, end);
+        let params = self.params(j + 1, params_end.saturating_sub(1));
+        j = params_end;
+        let mut ret = Vec::new();
+        if self.is_punct(j, "->") {
+            j += 1;
+            while j < end {
+                match self.text(j) {
+                    "{" | ";" | "where" => break,
+                    "(" | "[" => {
+                        let close = self.skip_group(j, end);
+                        for k in j..close {
+                            ret.push(self.text(k).to_string());
+                        }
+                        j = close;
+                        continue;
+                    }
+                    t => ret.push(t.to_string()),
+                }
+                j += 1;
+            }
+        }
+        if self.text(j) == "where" {
+            while j < end && !self.is_punct(j, "{") && !self.is_punct(j, ";") {
+                if matches!(self.text(j), "(" | "[") {
+                    j = self.skip_group(j, end);
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        let (body, events, next) = if self.is_punct(j, "{") {
+            let body_end = self.skip_group(j, end);
+            let span = (j + 1, body_end.saturating_sub(1));
+            (Some(span), self.scan_events(span.0, span.1), body_end)
+        } else {
+            // A `;` (trait decl / extern) or anything unexpected: no body.
+            (None, Events::default(), j + 1)
+        };
+        self.out.fns.push(FnItem {
+            name,
+            module: self.module.clone(),
+            container: container.cloned(),
+            is_pub,
+            line,
+            params,
+            ret,
+            body,
+            events,
+        });
+        next
+    }
+
+    /// Parse a parameter list in `[i, end)`.
+    fn params(&self, i: usize, end: usize) -> Vec<Param> {
+        let mut out = Vec::new();
+        let mut start = i;
+        let mut j = i;
+        let mut flush = |lo: usize, hi: usize, p: &Parser<'a>| {
+            if lo >= hi {
+                return;
+            }
+            // Find the top-level `:` separating pattern from type.
+            let mut colon = None;
+            let mut k = lo;
+            while k < hi {
+                match p.text(k) {
+                    "(" | "[" | "{" => {
+                        k = p.skip_group(k, hi);
+                        continue;
+                    }
+                    "<" => {
+                        k = p.skip_generics(k, hi);
+                        continue;
+                    }
+                    ":" => {
+                        colon = Some(k);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let (name, ty) = match colon {
+                Some(c) => {
+                    // Simple binding: `[mut] ident :`
+                    let mut lo2 = lo;
+                    if p.text(lo2) == "mut" {
+                        lo2 += 1;
+                    }
+                    let name = if lo2 + 1 == c && p.is_ident(lo2) {
+                        Some(p.text(lo2).to_string())
+                    } else {
+                        None
+                    };
+                    let ty = (c + 1..hi).map(|k| p.text(k).to_string()).collect();
+                    (name, ty)
+                }
+                None => {
+                    // Receiver forms: `self`, `&self`, `&mut self`, `&'a self`.
+                    let is_self = (lo..hi).any(|k| p.text(k) == "self");
+                    (is_self.then(|| "self".to_string()), Vec::new())
+                }
+            };
+            out.push(Param { name, ty });
+        };
+        while j < end {
+            match self.text(j) {
+                "(" | "[" | "{" => {
+                    j = self.skip_group(j, end);
+                    continue;
+                }
+                "<" => {
+                    j = self.skip_generics(j, end);
+                    continue;
+                }
+                "," => {
+                    flush(start, j, self);
+                    start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        flush(start, end, self);
+        out
+    }
+
+    /// Parse `struct`/`union` at `i`.
+    fn struct_item(&mut self, i: usize, end: usize) -> usize {
+        let line = self.line(i);
+        let mut j = i + 1;
+        if !self.is_ident(j) {
+            return j;
+        }
+        let name = self.text(j).to_string();
+        j += 1;
+        j = self.skip_generics(j, end);
+        while self.text(j) == "where"
+            || (!self.is_punct(j, "{")
+                && !self.is_punct(j, "(")
+                && !self.is_punct(j, ";")
+                && j < end)
+        {
+            if matches!(self.text(j), "(" | "[") {
+                j = self.skip_group(j, end);
+            } else {
+                j += 1;
+            }
+            if j >= end {
+                return end;
+            }
+        }
+        let mut fields = Vec::new();
+        let next = if self.is_punct(j, "{") {
+            let body_end = self.skip_group(j, end);
+            let mut k = j + 1;
+            let hi = body_end.saturating_sub(1);
+            while k < hi {
+                k = self.skip_attrs(k, hi);
+                if self.text(k) == "pub" {
+                    k += 1;
+                    if self.is_punct(k, "(") {
+                        k = self.skip_group(k, hi);
+                    }
+                }
+                if self.is_ident(k) && self.is_punct(k + 1, ":") {
+                    let fline = self.line(k);
+                    let fname = self.text(k).to_string();
+                    let mut t = k + 2;
+                    let mut ty = Vec::new();
+                    while t < hi {
+                        match self.text(t) {
+                            "," => break,
+                            "(" | "[" | "{" => {
+                                let close = self.skip_group(t, hi);
+                                for x in t..close {
+                                    ty.push(self.text(x).to_string());
+                                }
+                                t = close;
+                                continue;
+                            }
+                            "<" => {
+                                let close = self.skip_generics(t, hi);
+                                for x in t..close {
+                                    ty.push(self.text(x).to_string());
+                                }
+                                t = close;
+                                continue;
+                            }
+                            s => ty.push(s.to_string()),
+                        }
+                        t += 1;
+                    }
+                    fields.push(FieldDecl {
+                        name: fname,
+                        ty,
+                        line: fline,
+                    });
+                    k = t + 1;
+                } else {
+                    k += 1;
+                }
+            }
+            body_end
+        } else if self.is_punct(j, "(") {
+            // Tuple struct: record positional fields.
+            let body_end = self.skip_group(j, end);
+            self.skip_to_semi(body_end, end)
+        } else {
+            j + 1
+        };
+        self.out.structs.push(StructItem { name, line, fields });
+        next
+    }
+
+    /// Parse `enum` at `i`.
+    fn enum_item(&mut self, i: usize, end: usize) -> usize {
+        let line = self.line(i);
+        let mut j = i + 1;
+        if !self.is_ident(j) {
+            return j;
+        }
+        let name = self.text(j).to_string();
+        j += 1;
+        j = self.skip_generics(j, end);
+        while j < end && !self.is_punct(j, "{") && !self.is_punct(j, ";") {
+            j += 1;
+        }
+        let mut variants = Vec::new();
+        let next = if self.is_punct(j, "{") {
+            let body_end = self.skip_group(j, end);
+            let hi = body_end.saturating_sub(1);
+            let mut k = j + 1;
+            let mut expect_variant = true;
+            while k < hi {
+                k = self.skip_attrs(k, hi);
+                if k >= hi {
+                    break;
+                }
+                if expect_variant && self.is_ident(k) {
+                    variants.push((self.text(k).to_string(), self.line(k)));
+                    expect_variant = false;
+                    k += 1;
+                } else if matches!(self.text(k), "(" | "{" | "[") {
+                    k = self.skip_group(k, hi);
+                } else {
+                    if self.is_punct(k, ",") {
+                        expect_variant = true;
+                    }
+                    k += 1;
+                }
+            }
+            body_end
+        } else {
+            j + 1
+        };
+        self.out.enums.push(EnumItem {
+            name,
+            line,
+            variants,
+        });
+        next
+    }
+
+    /// Parse `impl` at `i`.
+    fn impl_item(&mut self, i: usize, end: usize) -> usize {
+        let mut j = self.skip_generics(i + 1, end);
+        // Collect path idents at angle depth 0 until `{` / `where`,
+        // splitting on `for`.
+        let mut before_for: Vec<String> = Vec::new();
+        let mut after_for: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        while j < end {
+            match self.text(j) {
+                "{" | "where" => break,
+                "for" => {
+                    saw_for = true;
+                    j += 1;
+                }
+                "<" => {
+                    j = self.skip_generics(j, end);
+                }
+                "(" | "[" => {
+                    j = self.skip_group(j, end);
+                }
+                _ => {
+                    if self.is_ident(j) {
+                        let t = self.text(j).to_string();
+                        if saw_for {
+                            after_for.push(t);
+                        } else {
+                            before_for.push(t);
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+        while j < end && !self.is_punct(j, "{") {
+            if matches!(self.text(j), "(" | "[") {
+                j = self.skip_group(j, end);
+            } else {
+                j += 1;
+            }
+        }
+        if !self.is_punct(j, "{") {
+            return j + 1;
+        }
+        let body_end = self.skip_group(j, end);
+        let (type_path, trait_path) = if saw_for {
+            (after_for, Some(before_for))
+        } else {
+            (before_for, None)
+        };
+        let container = Container {
+            type_name: type_path.last().cloned().unwrap_or_default(),
+            trait_name: trait_path.and_then(|p| p.last().cloned()),
+            is_trait_decl: false,
+        };
+        self.items(j + 1, body_end.saturating_sub(1), Some(&container));
+        body_end
+    }
+
+    /// Parse `trait` at `i`.
+    fn trait_item(&mut self, i: usize, end: usize) -> usize {
+        let mut j = i + 1;
+        if !self.is_ident(j) {
+            return j;
+        }
+        let name = self.text(j).to_string();
+        j += 1;
+        while j < end && !self.is_punct(j, "{") && !self.is_punct(j, ";") {
+            if matches!(self.text(j), "(" | "[") {
+                j = self.skip_group(j, end);
+            } else {
+                j += 1;
+            }
+        }
+        if !self.is_punct(j, "{") {
+            return j + 1;
+        }
+        let body_end = self.skip_group(j, end);
+        let container = Container {
+            type_name: name.clone(),
+            trait_name: Some(name),
+            is_trait_decl: true,
+        };
+        self.items(j + 1, body_end.saturating_sub(1), Some(&container));
+        body_end
+    }
+
+    /// Parse `use` at `i`, expanding `{…}` groups.
+    fn use_item(&mut self, i: usize, end: usize) -> usize {
+        let semi = self.skip_to_semi(i, end);
+        let hi = semi.saturating_sub(1); // exclude the `;`
+        self.use_tree(i + 1, hi, &[]);
+        semi
+    }
+
+    /// Recursively expand one use-tree in `[i, end)` under `prefix`.
+    fn use_tree(&mut self, i: usize, end: usize, prefix: &[String]) {
+        let mut path: Vec<String> = prefix.to_vec();
+        let mut j = i;
+        let mut alias: Option<String> = None;
+        while j < end {
+            match self.text(j) {
+                "::" => j += 1,
+                "{" => {
+                    // Group: split top-level commas, recurse per element.
+                    let close = self.skip_group(j, end).saturating_sub(1);
+                    let mut lo = j + 1;
+                    let mut k = j + 1;
+                    while k < close {
+                        match self.text(k) {
+                            "(" | "[" | "{" => {
+                                k = self.skip_group(k, close);
+                                continue;
+                            }
+                            "," => {
+                                self.use_tree(lo, k, &path);
+                                lo = k + 1;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if lo < close {
+                        self.use_tree(lo, close, &path);
+                    }
+                    return;
+                }
+                "as" => {
+                    if self.is_ident(j + 1) {
+                        alias = Some(self.text(j + 1).to_string());
+                    }
+                    j += 2;
+                }
+                "*" => {
+                    path.push("*".to_string());
+                    j += 1;
+                }
+                _ => {
+                    if self.is_ident(j) {
+                        path.push(self.text(j).to_string());
+                    }
+                    j += 1;
+                }
+            }
+        }
+        if path.len() > prefix.len() || alias.is_some() {
+            let leaf = alias.unwrap_or_else(|| path.last().cloned().unwrap_or_default());
+            self.out.uses.push(UseDecl { path, alias: leaf });
+        }
+    }
+
+    /// One linear scan over a body span collecting [`Events`].
+    fn scan_events(&self, lo: usize, hi: usize) -> Events {
+        let mut ev = Events::default();
+        let mut i = lo;
+        while i < hi {
+            let Some(t) = self.tok(i) else { break };
+            // Statement-level attributes inside bodies.
+            if t.is_punct("#") {
+                let next = self.skip_attrs(i, hi);
+                if next > i {
+                    i = next;
+                    continue;
+                }
+            }
+            match t.kind {
+                TokenKind::Ident => {
+                    let prev = i.checked_sub(1).map(|p| self.text(p)).unwrap_or("");
+                    // Macro invocation.
+                    if self.is_punct(i + 1, "!") && prev != "macro_rules" {
+                        ev.macros.push(MacroUse {
+                            name: t.text.clone(),
+                            line: t.line,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                    if t.text == "let" {
+                        self.scan_let(i, hi, &mut ev);
+                        i += 1;
+                        continue;
+                    }
+                    if t.text == "match" {
+                        if let Some(m) = self.scan_match(i, hi) {
+                            ev.matches.push(m);
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    // Path call or struct literal — not after `.` (method
+                    // and field accesses are handled at the `.` token) and
+                    // not a declaration head.
+                    if prev != "." && prev != "fn" && !NON_CALL_HEADS.contains(&t.text.as_str()) {
+                        let (segments, after) = self.scan_path(i, hi);
+                        if self.is_punct(after, "(") {
+                            ev.calls.push(Call {
+                                segments,
+                                line: t.line,
+                            });
+                        } else if self.is_punct(after, "{")
+                            && segments
+                                .last()
+                                .and_then(|s| s.chars().next())
+                                .is_some_and(char::is_uppercase)
+                            && !matches!(prev, "match" | "if" | "while" | "for" | "in")
+                        {
+                            if let Some(name) = segments.last() {
+                                ev.struct_lits.push(StructLit {
+                                    type_name: name.clone(),
+                                    line: t.line,
+                                });
+                            }
+                        }
+                        if after > i + 1 {
+                            // Re-scan nothing inside the path itself.
+                            i = after;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                TokenKind::Punct if t.text == "." => {
+                    if self.is_ident(i + 1) {
+                        let name = self.text(i + 1).to_string();
+                        let line = self.line(i + 1);
+                        if self.is_punct(i + 2, "(") {
+                            let recv = i.checked_sub(1).and_then(|p| {
+                                let pt = self.tok(p)?;
+                                (pt.kind == TokenKind::Ident).then(|| pt.text.clone())
+                            });
+                            ev.methods.push(MethodCall { name, recv, line });
+                            i += 2; // leave `(` to flow on
+                            continue;
+                        }
+                        if self
+                            .tok(i + 2)
+                            .is_some_and(|n| ASSIGN_OPS.contains(&n.text.as_str()))
+                        {
+                            ev.field_sets.push(FieldSet { field: name, line });
+                            i += 3;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                TokenKind::Punct if t.text == "[" => {
+                    let indexable_recv = i.checked_sub(1).is_some_and(|p| {
+                        self.tok(p).is_some_and(|pt| {
+                            (pt.kind == TokenKind::Ident
+                                && !NON_CALL_HEADS.contains(&pt.text.as_str()))
+                                || pt.is_punct(")")
+                                || pt.is_punct("]")
+                        })
+                    });
+                    if indexable_recv {
+                        let close = self.skip_group(i, hi);
+                        let computed = (i + 1..close.saturating_sub(1)).any(|k| {
+                            self.tok(k).is_some_and(|x| {
+                                x.kind == TokenKind::Punct
+                                    && matches!(x.text.as_str(), "+" | "-" | "*" | "/" | "%" | "(")
+                            })
+                        });
+                        ev.indexes.push(IndexSite {
+                            line: t.line,
+                            computed,
+                        });
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        ev
+    }
+
+    /// Scan a `::`-separated path starting at ident `i`; returns the
+    /// segments and the index just past the path (turbofish skipped).
+    fn scan_path(&self, i: usize, hi: usize) -> (Vec<String>, usize) {
+        let mut segments = vec![self.text(i).to_string()];
+        let mut j = i + 1;
+        while j + 1 < hi && self.is_punct(j, "::") {
+            if self.is_ident(j + 1) {
+                segments.push(self.text(j + 1).to_string());
+                j += 2;
+            } else if self.is_punct(j + 1, "<") {
+                // Turbofish: `::<…>` — skip, then stop.
+                j = self.skip_generics(j + 1, hi);
+                break;
+            } else {
+                break;
+            }
+        }
+        (segments, j)
+    }
+
+    /// Record a `let` binding starting at the `let` keyword.
+    fn scan_let(&self, i: usize, hi: usize, ev: &mut Events) {
+        let mut j = i + 1;
+        if self.text(j) == "mut" {
+            j += 1;
+        }
+        if !self.is_ident(j) {
+            return; // destructuring pattern: not tracked
+        }
+        let name = self.text(j).to_string();
+        let line = self.line(j);
+        let mut k = j + 1;
+        // Optional `: Type`.
+        if self.is_punct(k, ":") {
+            k += 1;
+            while k < hi && !self.is_punct(k, "=") && !self.is_punct(k, ";") {
+                match self.text(k) {
+                    "(" | "[" | "{" => k = self.skip_group(k, hi),
+                    "<" => k = self.skip_generics(k, hi),
+                    _ => k += 1,
+                }
+            }
+        }
+        if !self.is_punct(k, "=") {
+            return;
+        }
+        k += 1;
+        let init = if self.is_ident(k) {
+            let (segments, after) = self.scan_path(k, hi);
+            if self.is_punct(after, "(") {
+                Init::CallPath(segments)
+            } else if segments.len() == 1
+                && self.is_punct(after, ".")
+                && self.text(after + 1) == "clone"
+                && self.is_punct(after + 2, "(")
+            {
+                Init::CloneOf(self.text(k).to_string())
+            } else {
+                Init::Other
+            }
+        } else {
+            Init::Other
+        };
+        ev.lets.push(LetBind { name, init, line });
+    }
+
+    /// Extract the structure of a `match` at token `i` (lookahead only;
+    /// the caller keeps scanning the same tokens for events).
+    fn scan_match(&self, i: usize, hi: usize) -> Option<MatchExpr> {
+        let line = self.line(i);
+        // Scrutinee: scan to `{` at depth 0.
+        let mut j = i + 1;
+        let mut depth = 0i64;
+        while j < hi {
+            match self.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth += 1;
+                }
+                "}" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !self.is_punct(j, "{") {
+            return None;
+        }
+        let body_end = self.skip_group(j, hi).saturating_sub(1);
+        let mut arms = Vec::new();
+        let mut k = j + 1;
+        while k < body_end {
+            k = self.skip_attrs(k, body_end);
+            // Pattern: tokens until `=>` at depth 0.
+            let pat_start = k;
+            let mut d = 0i64;
+            while k < body_end {
+                match self.text(k) {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "=>" if d == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if k >= body_end {
+                break;
+            }
+            let pat: Vec<String> = (pat_start..k).map(|x| self.text(x).to_string()).collect();
+            if !pat.is_empty() {
+                arms.push(Arm {
+                    line: self.line(pat_start),
+                    pat,
+                });
+            }
+            k += 1; // past `=>`
+                    // Arm body: a block, or an expression up to `,` at depth 0.
+            if self.is_punct(k, "{") {
+                k = self.skip_group(k, body_end);
+                if self.is_punct(k, ",") {
+                    k += 1;
+                }
+            } else {
+                let mut d = 0i64;
+                while k < body_end {
+                    match self.text(k) {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        "," if d == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        Some(MatchExpr { line, arms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ItemTree {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_fn_with_visibility_params_and_return() {
+        let t = tree("pub fn add(a: u64, mut b: u64) -> u64 { a + b }\nfn private() {}\n");
+        assert_eq!(t.fns.len(), 2);
+        let f = &t.fns[0];
+        assert_eq!(f.name, "add");
+        assert!(f.is_pub);
+        assert_eq!(f.line, 1);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name.as_deref(), Some("a"));
+        assert_eq!(f.params[1].name.as_deref(), Some("b"));
+        assert_eq!(f.ret, ["u64"]);
+        assert!(!t.fns[1].is_pub);
+    }
+
+    #[test]
+    fn pub_crate_is_not_public() {
+        let t = tree("pub(crate) fn f() {}\n");
+        assert!(!t.fns[0].is_pub);
+    }
+
+    #[test]
+    fn impl_methods_carry_container() {
+        let t = tree(
+            "struct Lru;\nimpl Lru {\n    pub fn touch(&mut self) {}\n}\nimpl Iterator for Lru {\n    type Item = u64;\n    fn next(&mut self) -> Option<u64> { None }\n}\n",
+        );
+        let touch = t.fns.iter().find(|f| f.name == "touch").expect("touch");
+        let c = touch.container.as_ref().expect("container");
+        assert_eq!(c.type_name, "Lru");
+        assert!(c.trait_name.is_none());
+        let next = t.fns.iter().find(|f| f.name == "next").expect("next");
+        let c = next.container.as_ref().expect("container");
+        assert_eq!(c.type_name, "Lru");
+        assert_eq!(c.trait_name.as_deref(), Some("Iterator"));
+        assert_eq!(next.ret, ["Option", "<", "u64", ">"]);
+    }
+
+    #[test]
+    fn trait_decl_methods_flagged() {
+        let t = tree("pub trait Source {\n    fn pull(&mut self) -> u64;\n    fn hint(&self) -> u64 { 0 }\n}\n");
+        let pull = t.fns.iter().find(|f| f.name == "pull").expect("pull");
+        assert!(pull.container.as_ref().is_some_and(|c| c.is_trait_decl));
+        assert!(pull.body.is_none());
+        let hint = t.fns.iter().find(|f| f.name == "hint").expect("hint");
+        assert!(hint.body.is_some());
+    }
+
+    #[test]
+    fn inline_modules_nest() {
+        let t =
+            tree("mod outer {\n    mod inner {\n        fn deep() {}\n    }\n    fn mid() {}\n}\n");
+        let deep = t.fns.iter().find(|f| f.name == "deep").expect("deep");
+        assert_eq!(deep.module, ["outer", "inner"]);
+        let mid = t.fns.iter().find(|f| f.name == "mid").expect("mid");
+        assert_eq!(mid.module, ["outer"]);
+    }
+
+    #[test]
+    fn use_groups_expand() {
+        let t = tree(
+            "use cadapt_core::{cast, counters::{count_io, Recording as Rec}};\nuse a::b::*;\n",
+        );
+        let paths: Vec<(Vec<String>, String)> = t
+            .uses
+            .iter()
+            .map(|u| (u.path.clone(), u.alias.clone()))
+            .collect();
+        assert!(paths.contains(&(vec!["cadapt_core".into(), "cast".into()], "cast".into())));
+        assert!(paths.contains(&(
+            vec!["cadapt_core".into(), "counters".into(), "count_io".into()],
+            "count_io".into()
+        )));
+        assert!(paths.contains(&(
+            vec!["cadapt_core".into(), "counters".into(), "Recording".into()],
+            "Rec".into()
+        )));
+        assert!(paths.contains(&(vec!["a".into(), "b".into(), "*".into()], "*".into())));
+    }
+
+    #[test]
+    fn body_calls_methods_macros() {
+        let t = tree(
+            "fn f() {\n    helper(1);\n    cadapt_core::cast::u64_from(2);\n    x.unwrap();\n    panic!(\"boom\");\n    y.set_stream(3);\n}\n",
+        );
+        let ev = &t.fns[0].events;
+        let call_names: Vec<&str> = ev
+            .calls
+            .iter()
+            .filter_map(|c| c.segments.last().map(String::as_str))
+            .collect();
+        assert!(call_names.contains(&"helper"));
+        assert!(call_names.contains(&"u64_from"));
+        let methods: Vec<&str> = ev.methods.iter().map(|m| m.name.as_str()).collect();
+        assert!(methods.contains(&"unwrap"));
+        assert!(methods.contains(&"set_stream"));
+        assert!(ev.macros.iter().any(|m| m.name == "panic"));
+        assert_eq!(
+            ev.macros.iter().find(|m| m.name == "panic").map(|m| m.line),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn field_assignments_detected() {
+        let t = tree("fn f(s: &mut S) {\n    s.ios_charged += 1;\n    s.hits = 2;\n    let ok = s.x == 3;\n}\n");
+        let ev = &t.fns[0].events;
+        let sets: Vec<(&str, u32)> = ev
+            .field_sets
+            .iter()
+            .map(|f| (f.field.as_str(), f.line))
+            .collect();
+        assert_eq!(sets, [("ios_charged", 2), ("hits", 3)]);
+    }
+
+    #[test]
+    fn index_sites_and_computed_flag() {
+        let t = tree("fn f(xs: &[u64], i: usize) -> u64 {\n    let a = xs[i];\n    let b = xs[i + 1];\n    let c = xs[f(i)];\n    a + b + c\n}\n");
+        let ev = &t.fns[0].events;
+        assert_eq!(ev.indexes.len(), 3);
+        assert!(!ev.indexes[0].computed);
+        assert!(ev.indexes[1].computed);
+        assert!(ev.indexes[2].computed);
+    }
+
+    #[test]
+    fn array_types_and_literals_are_not_index_sites() {
+        let t = tree("fn f() {\n    let a: [u8; 4] = [1, 2, 3, 4];\n    let v = vec![1];\n    drop((a, v));\n}\n");
+        assert!(t.fns[0].events.indexes.is_empty());
+    }
+
+    #[test]
+    fn let_init_classification() {
+        let t = tree(
+            "fn f() {\n    let a = trial_rng(1, 2);\n    let b = a.clone();\n    let c = 7;\n}\n",
+        );
+        let ev = &t.fns[0].events;
+        assert_eq!(ev.lets.len(), 3);
+        assert_eq!(ev.lets[0].init, Init::CallPath(vec!["trial_rng".into()]));
+        assert_eq!(ev.lets[1].init, Init::CloneOf("a".into()));
+        assert_eq!(ev.lets[2].init, Init::Other);
+    }
+
+    #[test]
+    fn match_arms_and_catch_all() {
+        let t = tree(
+            "fn f(op: Opcode) -> u32 {\n    match op {\n        Opcode::Leaf => 0,\n        Opcode::Access | Opcode::Run => { 1 }\n        other => 2,\n    }\n}\n",
+        );
+        let ev = &t.fns[0].events;
+        assert_eq!(ev.matches.len(), 1);
+        let m = &ev.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert!(!m.arms[0].is_catch_all());
+        assert!(!m.arms[1].is_catch_all());
+        assert!(m.arms[2].is_catch_all());
+        assert_eq!(m.arms[0].pat, ["Opcode", "::", "Leaf"]);
+    }
+
+    #[test]
+    fn wildcard_with_guard_is_catch_all() {
+        let t = tree("fn f(x: u8) -> u8 {\n    match x {\n        0 => 1,\n        _ if x > 3 => 2,\n        _ => 3,\n    }\n}\n");
+        let m = &t.fns[0].events.matches[0];
+        assert!(m.arms[1].is_catch_all());
+        assert!(m.arms[2].is_catch_all());
+    }
+
+    #[test]
+    fn struct_fields_recorded() {
+        let t = tree("pub struct CounterSnapshot {\n    pub boxes_advanced: u64,\n    pub rng: ChaCha8Rng,\n}\n");
+        let s = &t.structs[0];
+        assert_eq!(s.name, "CounterSnapshot");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "boxes_advanced");
+        assert_eq!(s.fields[1].ty, ["ChaCha8Rng"]);
+        assert_eq!(s.fields[1].line, 3);
+    }
+
+    #[test]
+    fn enum_variants_recorded() {
+        let t = tree(
+            "enum Opcode {\n    Leaf = 0,\n    Access(u64),\n    Run { n: u64 },\n    Loop,\n}\n",
+        );
+        let e = &t.enums[0];
+        assert_eq!(e.name, "Opcode");
+        let names: Vec<&str> = e.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Leaf", "Access", "Run", "Loop"]);
+    }
+
+    #[test]
+    fn struct_literal_detected_but_not_match_scrutinee() {
+        let t = tree("fn f() -> S {\n    match x { _ => {} }\n    S { a: 1 }\n}\n");
+        let lits: Vec<&str> = t.fns[0]
+            .events
+            .struct_lits
+            .iter()
+            .map(|l| l.type_name.as_str())
+            .collect();
+        assert_eq!(lits, ["S"]);
+    }
+
+    #[test]
+    fn nested_fn_events_fold_into_enclosing() {
+        let t = tree("fn outer() {\n    fn inner(x: Option<u32>) -> u32 { x.unwrap() }\n    inner(None);\n}\n");
+        // `inner`'s unwrap is attributed to `outer` (documented folding);
+        // the nested declaration itself is not misread as a call.
+        let ev = &t.fns[0].events;
+        assert!(ev.methods.iter().any(|m| m.name == "unwrap"));
+        assert!(ev.calls.iter().any(|c| c.segments == ["inner"]));
+    }
+
+    #[test]
+    fn turbofish_calls_are_recorded() {
+        let t = tree("fn f() {\n    let v = collect::<Vec<u64>>();\n    parse::<u64>(s);\n}\n");
+        let ev = &t.fns[0].events;
+        assert!(ev.calls.iter().any(|c| c.segments == ["collect"]));
+        assert!(ev.calls.iter().any(|c| c.segments == ["parse"]));
+    }
+
+    #[test]
+    fn parser_survives_garbage() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "match",
+            "use ;",
+            "struct {",
+            "enum E { , }",
+            "pub pub pub",
+            "fn f( -> {",
+            "trait {",
+            "mod m { fn g(",
+            "#[",
+            "let x = ",
+        ] {
+            let _ = tree(src); // must not panic or hang
+        }
+    }
+}

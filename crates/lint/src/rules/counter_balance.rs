@@ -1,0 +1,112 @@
+//! `counter-balance`: execution counters move only through the ledger.
+
+use crate::diag::Diagnostic;
+use crate::graph::WorkspaceModel;
+use crate::rules::{is_test_or_bin_path, Rule};
+use std::collections::BTreeSet;
+
+/// The one module allowed to mutate counter fields directly: the
+/// accounting ledger itself.
+pub const APPROVED_LEDGER: &str = "crates/core/src/counters.rs";
+
+/// Crates whose code feeds the I/O / progress ledgers and is therefore
+/// in scope for direct-mutation checks.
+const SCOPED: &[&str] = &[
+    "crates/core/",
+    "crates/recursion/",
+    "crates/paging/",
+    "crates/trace/",
+];
+
+/// Fallback counter-field names, used when the workspace under analysis
+/// does not contain the `CounterSnapshot` declaration (single-file runs,
+/// fixtures). Kept in sync with `crates/core/src/counters.rs` by the
+/// self-lint test.
+const FALLBACK_FIELDS: &[&str] = &[
+    "boxes_advanced",
+    "cursor_steps",
+    "ios_charged",
+    "cache_hits",
+    "cache_evictions",
+];
+
+/// Flags direct writes to execution-counter fields outside the approved
+/// accounting helpers.
+pub struct CounterBalance;
+
+impl Rule for CounterBalance {
+    fn id(&self) -> &'static str {
+        "counter-balance"
+    }
+
+    fn summary(&self) -> &'static str {
+        "execution-counter fields mutated outside the accounting helpers"
+    }
+
+    fn explain(&self) -> &'static str {
+        "The paper's theorems are claims about exact counts — boxes \
+         advanced, cursor steps, I/Os charged, cache hits and evictions — \
+         and the golden records pin those counts byte-for-byte. Every \
+         counter therefore moves through the accounting helpers in \
+         `cadapt_core::counters` (`count_io`, `count_boxes`, \
+         `count_cursor_steps`, `count_cache_hit`, …), which keep the \
+         thread-local ledger and the snapshot struct in step. A stray \
+         `snap.ios_charged += 1` in a kernel bypasses the ledger: totals \
+         drift from the analytical model, and the divergence only shows up \
+         as a golden mismatch long after the commit that caused it. This \
+         rule reads the `CounterSnapshot` field names from the workspace \
+         itself and flags any assignment to one of them (`=`, `+=`, …) in \
+         library code under `crates/{core,recursion,paging,trace}`, \
+         except inside the ledger module (`crates/core/src/counters.rs`). \
+         `#[cfg(test)]` items and test collateral are exempt. Fix: call \
+         the matching `count_*` helper; if a genuinely new accounting \
+         channel is needed, add a helper to the ledger first, or waive \
+         with a justification naming why the ledger must be bypassed."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        !is_test_or_bin_path(rel_path)
+            && rel_path != APPROVED_LEDGER
+            && SCOPED.iter().any(|p| rel_path.starts_with(p))
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        // Counter-field names come from the workspace's own
+        // `CounterSnapshot` declaration when present.
+        let mut fields: BTreeSet<String> = BTreeSet::new();
+        for file in &ws.files {
+            for s in &file.items.structs {
+                if s.name == "CounterSnapshot" {
+                    fields.extend(s.fields.iter().map(|f| f.name.clone()));
+                }
+            }
+        }
+        if fields.is_empty() {
+            fields.extend(FALLBACK_FIELDS.iter().map(|s| (*s).to_string()));
+        }
+
+        for file in &ws.files {
+            if !self.applies(&file.rel_path) {
+                continue;
+            }
+            for f in &file.items.fns {
+                for set in &f.events.field_sets {
+                    if fields.contains(&set.field) && !file.in_cfg_test(set.line) {
+                        out.push(Diagnostic {
+                            rule: self.id(),
+                            path: file.rel_path.clone(),
+                            line: set.line,
+                            message: format!(
+                                "counter field `{}` mutated directly (in `{}`); \
+                                 route it through the accounting helpers in \
+                                 cadapt_core::counters so the ledger and the \
+                                 snapshot stay in step",
+                                set.field, f.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -46,7 +46,10 @@ impl Rule for FloatEq {
             if file.in_cfg_test(t.line) {
                 continue;
             }
-            let prev_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+            let prev_float = i
+                .checked_sub(1)
+                .and_then(|p| toks.get(p))
+                .is_some_and(|n| n.kind == TokenKind::Float);
             let next_float = matches!(toks.get(i + 1), Some(n) if n.kind == TokenKind::Float);
             // `x == -1.0`: a unary minus in front of the literal.
             let neg_float = matches!(toks.get(i + 1), Some(n) if n.is_punct("-"))

@@ -1,19 +1,27 @@
 //! The rule registry.
 //!
-//! Each rule is a small token-stream pass with a stable id, a one-line
-//! summary (`cadapt-lint list`) and a long explanation tying it to the
-//! determinism / accounting invariant it protects (`cadapt-lint explain`).
-//! Rules are purely syntactic: they see tokens, not types, and each one
-//! documents the heuristic it uses and the waiver escape hatch.
+//! Each rule has a stable id, a one-line summary (`cadapt-lint list`) and
+//! a long explanation tying it to the determinism / accounting invariant
+//! it protects (`cadapt-lint explain`). Rules come in two shapes:
+//! **file rules** scan one token stream / item tree at a time
+//! ([`Rule::check`]), and **workspace rules** run once over the whole
+//! parsed workspace and its call graph ([`Rule::check_workspace`]) —
+//! that's where path-sensitive analyses like `panic-reach` live. Rules
+//! see tokens and the item tree, never types; each one documents the
+//! heuristic it uses and the waiver escape hatch.
 
+mod counter_balance;
 mod crate_header;
 mod float_eq;
 mod float_ord;
 mod lossy_cast;
-mod no_panic_lib;
 mod nondet_source;
+mod panic_reach;
+mod rng_discipline;
+mod vm_dispatch;
 
 use crate::diag::Diagnostic;
+use crate::graph::WorkspaceModel;
 use crate::source::SourceFile;
 
 /// A single lint rule.
@@ -25,10 +33,20 @@ pub trait Rule {
     /// Long-form explanation for `cadapt-lint explain <rule>`: what the
     /// rule flags, which invariant it protects, and how to fix or waive.
     fn explain(&self) -> &'static str;
-    /// Whether the rule runs on this workspace-relative path.
+    /// Whether the rule flags sites in this workspace-relative path.
     fn applies(&self, rel_path: &str) -> bool;
-    /// Scan one file, appending diagnostics.
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+    /// Scan one file, appending diagnostics. File rules implement this;
+    /// the default does nothing.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let _ = (file, out);
+    }
+    /// Run once over the whole workspace model (all parsed files plus the
+    /// call graph). Workspace rules implement this; the default does
+    /// nothing. Implementations must gate flagged sites on
+    /// [`Rule::applies`] and `in_cfg_test` themselves.
+    fn check_workspace(&self, ws: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        let _ = (ws, out);
+    }
 }
 
 /// All registered rules, in reporting order.
@@ -37,10 +55,13 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(float_eq::FloatEq),
         Box::new(float_ord::FloatOrd),
-        Box::new(no_panic_lib::NoPanicLib),
+        Box::new(panic_reach::PanicReach),
         Box::new(lossy_cast::LossyCast),
         Box::new(nondet_source::NondetSource),
         Box::new(crate_header::CrateHeader),
+        Box::new(rng_discipline::RngDiscipline),
+        Box::new(counter_balance::CounterBalance),
+        Box::new(vm_dispatch::VmDispatch),
     ]
 }
 

@@ -1,0 +1,187 @@
+//! `rng-discipline`: RNG streams stay inside the approved engine module.
+
+use crate::diag::Diagnostic;
+use crate::rules::{is_test_or_bin_path, Rule};
+use crate::source::SourceFile;
+
+/// The one module allowed to construct, clone, or re-aim RNG streams:
+/// the deterministic parallel engine.
+pub const APPROVED_ENGINE: &str = "crates/analysis/src/parallel.rs";
+
+/// Concrete RNG type names the rule tracks. Generic `R: Rng` parameters
+/// are deliberately out of scope — the profile sources thread caller-
+/// provided RNGs by design; what must not leak is the *construction* of
+/// streams and concrete stream values themselves.
+const RNG_TYPES: &[&str] = &[
+    "ChaCha8Rng",
+    "ChaCha12Rng",
+    "ChaCha20Rng",
+    "StdRng",
+    "SmallRng",
+    "ThreadRng",
+];
+
+/// Constructor / seeding associated functions on those types.
+const CONSTRUCTORS: &[&str] = &[
+    "new",
+    "seed_from_u64",
+    "from_seed",
+    "from_entropy",
+    "from_rng",
+];
+
+/// Methods that re-aim an existing stream.
+const REAIMERS: &[&str] = &["set_stream", "set_word_pos", "reseed"];
+
+/// Flags RNG stream construction/cloning/re-seeding outside
+/// `cadapt_analysis::parallel`, and trial-RNG escapes via return types or
+/// struct field stores anywhere in library code.
+pub struct RngDiscipline;
+
+fn is_rng_type(tok: &str) -> bool {
+    RNG_TYPES.contains(&tok)
+}
+
+impl Rule for RngDiscipline {
+    fn id(&self) -> &'static str {
+        "rng-discipline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "RNG streams constructed/cloned/re-aimed outside the parallel engine, or escaping it"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Bit-identical records from (params, seed) at any `--threads N` \
+         depend on exactly one thing: every trial draws from its own \
+         ChaCha8 stream, derived as `seed_from_u64(seed)` + \
+         `set_stream(trial)`, and nothing else in the workspace mints or \
+         re-aims streams. The moment a second module constructs an RNG — \
+         or a trial's RNG value escapes the engine via a return value or a \
+         struct field and gets reused across trials — results silently \
+         depend on scheduling order and the parallel determinism proof \
+         (PR 4) is void. This rule flags, in library code outside \
+         `crates/analysis/src/parallel.rs`: (a) associated-function calls \
+         that construct or seed a concrete RNG type (`ChaCha8Rng::\
+         seed_from_u64(…)`, `StdRng::from_entropy()`, …); (b) stream \
+         re-aiming method calls (`set_stream`, `set_word_pos`, `reseed`); \
+         (c) `.clone()` where the receiver identifier names an RNG \
+         (`rng.clone()`, `trial_rng.clone()`). Everywhere — engine \
+         included — it flags (d) functions whose return type mentions a \
+         concrete RNG type and (e) struct fields of a concrete RNG type: \
+         both are escape hatches a stream can leak through. The engine's \
+         own `trial_rng` constructor is the one intended escape and \
+         carries a waiver naming the invariant that keeps it sound \
+         (fresh stream per call, never stored). Generic `R: Rng` \
+         parameters are out of scope by design: threading a caller's RNG \
+         through is fine, minting one is not. Fix: take the RNG as a \
+         parameter, or move the construction into the engine and waive \
+         there."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        !is_test_or_bin_path(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let in_engine = file.rel_path == APPROVED_ENGINE;
+        let mut flag = |line: u32, message: String| {
+            if file.in_cfg_test(line) {
+                return;
+            }
+            out.push(Diagnostic {
+                rule: "rng-discipline",
+                path: file.rel_path.clone(),
+                line,
+                message,
+            });
+        };
+
+        for f in &file.items.fns {
+            // (d) escape via return type — checked everywhere.
+            if let Some(ty) = f.ret.iter().find(|t| is_rng_type(t)) {
+                flag(
+                    f.line,
+                    format!(
+                        "fn `{}` returns a concrete RNG (`{ty}`): a stream value \
+                         escapes the construction site; take the RNG as a parameter \
+                         or keep this inside the engine under a waiver",
+                        f.name
+                    ),
+                );
+            }
+            if in_engine {
+                continue;
+            }
+            // (a) construction / seeding outside the engine.
+            for c in &f.events.calls {
+                let constructs = c.segments.iter().any(|s| is_rng_type(s))
+                    && c.segments
+                        .last()
+                        .is_some_and(|l| CONSTRUCTORS.contains(&l.as_str()));
+                if constructs {
+                    flag(
+                        c.line,
+                        format!(
+                            "`{}` constructs an RNG stream outside the parallel \
+                             engine ({APPROVED_ENGINE}); derive trial streams only \
+                             via the engine's `trial_rng`",
+                            c.segments.join("::")
+                        ),
+                    );
+                }
+            }
+            for m in &f.events.methods {
+                // (b) stream re-aiming outside the engine.
+                if REAIMERS.contains(&m.name.as_str()) {
+                    flag(
+                        m.line,
+                        format!(
+                            "`.{}(…)` re-aims an RNG stream outside the parallel \
+                             engine; per-trial streams are assigned once, in \
+                             `trial_rng`",
+                            m.name
+                        ),
+                    );
+                }
+                // (c) cloning a stream outside the engine.
+                if m.name == "clone"
+                    && m.recv
+                        .as_deref()
+                        .is_some_and(|r| r.to_ascii_lowercase().contains("rng"))
+                {
+                    flag(
+                        m.line,
+                        format!(
+                            "`{}.clone()` duplicates an RNG stream outside the \
+                             parallel engine: two cursors over one stream make \
+                             draw order schedule-dependent",
+                            m.recv.as_deref().unwrap_or("rng")
+                        ),
+                    );
+                }
+            }
+        }
+
+        // (e) escape via field store — checked everywhere.
+        for s in &file.items.structs {
+            for fld in &s.fields {
+                if let Some(ty) = fld.ty.iter().find(|t| is_rng_type(t)) {
+                    if file.in_cfg_test(fld.line) {
+                        continue;
+                    }
+                    flag(
+                        fld.line,
+                        format!(
+                            "field `{}.{}` stores a concrete RNG (`{ty}`): a \
+                             stream outlives its trial and can be re-drawn across \
+                             trials; store the seed and re-derive, or waive with \
+                             the invariant that pins its draw order",
+                            s.name, fld.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! `vm-dispatch`: the bytecode VM's opcode dispatch stays total.
+
+use crate::diag::Diagnostic;
+use crate::parse::FnItem;
+use crate::rules::{is_test_or_bin_path, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Flags wildcard or non-exhaustive opcode dispatch in the bytecode VM.
+pub struct VmDispatch;
+
+/// True when this function is the designated raw-byte funnel:
+/// `Opcode::decode`.
+fn is_decode(f: &FnItem) -> bool {
+    f.name == "decode"
+        && f.container
+            .as_ref()
+            .is_some_and(|c| c.type_name == "Opcode")
+}
+
+impl Rule for VmDispatch {
+    fn id(&self) -> &'static str {
+        "vm-dispatch"
+    }
+
+    fn summary(&self) -> &'static str {
+        "opcode matches must be wildcard-free and exhaustive over the Opcode enum"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Compiled traces are replayed by the bytecode VM \
+         (`cadapt_trace::bytecode`), and the corpus CRC pins guarantee a \
+         program byte-stream decodes to exactly the access sequence the \
+         kernel produced. A `_ => …` arm in an opcode match breaks that \
+         guarantee silently: add a fifth opcode, forget one dispatch site, \
+         and the wildcard swallows it — the VM decodes the new opcode as a \
+         no-op or an early stop, and the first symptom is a wrong replay \
+         far from the cause. This rule requires, in the VM module \
+         (`bytecode.rs`): (1) an `Opcode` enum as the single opcode \
+         vocabulary; (2) every `match` whose arms mention `Opcode::…` to \
+         be wildcard-free (no `_` or binding catch-all arm) and exhaustive \
+         (every declared variant appears in some arm), so the compiler and \
+         this lint both force new opcodes through every dispatch site; \
+         (3) raw opcode-byte patterns (`OP_*` constants or byte literals) \
+         confined to the one funnel `Opcode::decode`, which must itself \
+         mention every variant — unknown bytes surface there as a hard \
+         decode error, not as silence. Fix: extend the enum, add the arm \
+         at every flagged site, and keep byte-level knowledge inside \
+         `decode`/`encode`. Waivers are possible but suspect: a waived \
+         dispatch hole is exactly the bug class this rule exists for."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.ends_with("/bytecode.rs") && !is_test_or_bin_path(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let mut flag = |line: u32, message: String| {
+            if file.in_cfg_test(line) {
+                return;
+            }
+            out.push(Diagnostic {
+                rule: "vm-dispatch",
+                path: file.rel_path.clone(),
+                line,
+                message,
+            });
+        };
+
+        // (1) The opcode vocabulary must be an enum in this file.
+        let Some(op_enum) = file.items.enums.iter().find(|e| e.name == "Opcode") else {
+            flag(
+                1,
+                "bytecode VM has no `Opcode` enum: opcode dispatch cannot be \
+                 checked for exhaustiveness; define the vocabulary as \
+                 `enum Opcode` and match on it"
+                    .to_string(),
+            );
+            return;
+        };
+        let variants: Vec<&str> = op_enum.variants.iter().map(|(n, _)| n.as_str()).collect();
+
+        for f in &file.items.fns {
+            let decode = is_decode(f);
+            // (3) `decode` must mention every variant in its body.
+            if decode {
+                if let Some((lo, hi)) = f.body {
+                    let body: BTreeSet<&str> = file
+                        .lexed
+                        .tokens
+                        .get(lo..hi)
+                        .unwrap_or_default()
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect();
+                    let missing: Vec<&str> = variants
+                        .iter()
+                        .copied()
+                        .filter(|v| !body.contains(v))
+                        .collect();
+                    if !missing.is_empty() {
+                        flag(
+                            f.line,
+                            format!(
+                                "`Opcode::decode` never produces variant(s) {}: \
+                                 unknown or unhandled bytes must fail loudly, and \
+                                 every opcode must be decodable",
+                                missing.join(", ")
+                            ),
+                        );
+                    }
+                }
+            }
+            for m in &f.events.matches {
+                let mentions_opcode = m.arms.iter().any(|a| a.pat.iter().any(|t| t == "Opcode"));
+                let mentions_raw = m
+                    .arms
+                    .iter()
+                    .any(|a| a.pat.iter().any(|t| t.starts_with("OP_") || t == "opcode"));
+                // (3) raw byte dispatch outside the funnel.
+                if mentions_raw && !mentions_opcode && !decode {
+                    flag(
+                        m.line,
+                        format!(
+                            "raw opcode-byte dispatch in `{}`; byte-level knowledge \
+                             belongs in `Opcode::decode` — match on `Opcode` here \
+                             so new opcodes cannot silently fall through",
+                            f.name
+                        ),
+                    );
+                }
+                if !mentions_opcode || decode {
+                    // Inside `decode` the trailing catch-all is the one
+                    // place unknown bytes are allowed to funnel to.
+                    continue;
+                }
+                // (2a) wildcard-free.
+                for a in &m.arms {
+                    if a.is_catch_all() {
+                        flag(
+                            a.line,
+                            format!(
+                                "catch-all arm in opcode dispatch (in `{}`); a new \
+                                 opcode would silently take this arm — enumerate \
+                                 every `Opcode::…` variant instead",
+                                f.name
+                            ),
+                        );
+                    }
+                }
+                // (2b) exhaustive over the declared variants.
+                let seen: BTreeSet<&str> = m
+                    .arms
+                    .iter()
+                    .flat_map(|a| a.pat.iter().map(String::as_str))
+                    .collect();
+                let missing: Vec<&str> = variants
+                    .iter()
+                    .copied()
+                    .filter(|v| !seen.contains(v))
+                    .collect();
+                if !missing.is_empty() {
+                    flag(
+                        m.line,
+                        format!(
+                            "opcode dispatch in `{}` does not mention variant(s) \
+                             {}; every dispatch site must handle every opcode",
+                            f.name,
+                            missing.join(", ")
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! A lexed source file plus the derived structure rules share:
-//! `#[cfg(test)]` line spans.
+//! `#[cfg(test)]` line spans and the [`ItemTree`].
 
 use crate::lexer::{lex, Lexed, TokenKind};
+use crate::parse::{self, ItemTree};
 
 /// One workspace file, lexed and annotated.
 #[derive(Debug)]
@@ -10,19 +11,23 @@ pub struct SourceFile {
     pub rel_path: String,
     /// Token and comment streams.
     pub lexed: Lexed,
+    /// Parsed item tree (functions, structs, enums, uses, body facts).
+    pub items: ItemTree,
     /// Inclusive line ranges covered by `#[cfg(test)]`-gated items.
     cfg_test_spans: Vec<(u32, u32)>,
 }
 
 impl SourceFile {
-    /// Lex `src` and precompute the `#[cfg(test)]` spans.
+    /// Lex `src`, parse the item tree, and precompute `#[cfg(test)]` spans.
     #[must_use]
     pub fn parse(rel_path: &str, src: &str) -> Self {
         let lexed = lex(src);
+        let items = parse::parse(&lexed.tokens);
         let cfg_test_spans = cfg_test_spans(&lexed);
         SourceFile {
             rel_path: rel_path.to_string(),
             lexed,
+            items,
             cfg_test_spans,
         }
     }
@@ -48,7 +53,7 @@ fn cfg_test_spans(lexed: &Lexed) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
-        if !(toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[")) {
+        if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
             i += 1;
             continue;
         }
@@ -77,7 +82,9 @@ fn cfg_test_spans(lexed: &Lexed) -> Vec<(u32, u32)> {
             continue;
         }
         // Skip any further attributes between the cfg and the item.
-        while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+        while toks.get(j).is_some_and(|t| t.is_punct("#"))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct("["))
+        {
             let mut d = 0i32;
             j += 1;
             while j < toks.len() {

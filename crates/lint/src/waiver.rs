@@ -92,7 +92,7 @@ fn parse_one(rest: &str, c: &Comment, tokens: &[Token]) -> Waiver {
         w.malformed = Some("empty `allow()` list".into());
         return w;
     }
-    let tail = args[close + 1..].trim_start();
+    let tail = args.get(close + 1..).unwrap_or("").trim_start();
     match tail.strip_prefix("--") {
         Some(j) if !j.trim().is_empty() => w.justification = j.trim().to_string(),
         _ => {

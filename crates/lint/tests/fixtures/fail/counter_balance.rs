@@ -1,0 +1,6 @@
+//! Direct counter mutation bypassing the accounting ledger.
+
+pub fn tamper(snap: &mut CounterSnapshot) {
+    snap.boxes_advanced += 1;
+    snap.ios_charged = 99;
+}

@@ -1,0 +1,17 @@
+//! A public entry reaches a private helper chain that panics.
+
+pub fn entry(xs: &[u64], k: usize) -> u64 {
+    helper(xs, k).unwrap()
+}
+
+fn helper(xs: &[u64], k: usize) -> Option<u64> {
+    let v = xs[k + 1];
+    Some(v + scale(k))
+}
+
+fn scale(k: usize) -> u64 {
+    if k > 64 {
+        panic!("scale out of range");
+    }
+    1
+}

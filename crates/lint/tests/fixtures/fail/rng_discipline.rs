@@ -1,0 +1,17 @@
+//! RNG minting, re-aiming, cloning, and escapes outside the engine.
+
+pub struct TrialState {
+    rng: ChaCha8Rng,
+}
+
+pub fn mint(seed: u64) -> u64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.set_stream(7);
+    let fork = rng.clone();
+    drop(fork);
+    0
+}
+
+pub fn escape(seed: u64) -> ChaCha8Rng {
+    make(seed)
+}

@@ -1,0 +1,34 @@
+//! Dispatch holes the vm-dispatch rule must catch.
+
+pub enum Opcode {
+    Leaf,
+    Access,
+    Run,
+}
+
+impl Opcode {
+    pub fn decode(b: u8) -> Option<Opcode> {
+        match b {
+            0x00 => Some(Opcode::Leaf),
+            0x01 => Some(Opcode::Access),
+            _ => None,
+        }
+    }
+}
+
+pub fn wildcard(op: Opcode) -> u32 {
+    match op {
+        Opcode::Leaf => 0,
+        Opcode::Access => 1,
+        _ => 2,
+    }
+}
+
+const OP_RUN: u8 = 0x02;
+
+pub fn raw(b: u8) -> bool {
+    match b {
+        OP_RUN => true,
+        _ => false,
+    }
+}

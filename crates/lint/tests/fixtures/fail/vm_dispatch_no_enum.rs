@@ -1,0 +1,5 @@
+//! A VM module with no opcode vocabulary at all.
+
+pub fn step(b: u8) -> u32 {
+    u32::from(b)
+}

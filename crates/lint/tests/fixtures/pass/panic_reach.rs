@@ -1,0 +1,10 @@
+//! Panic sites only where no public entry can reach them.
+
+pub fn entry(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+fn dead(xs: &[u64]) -> u64 {
+    let v = xs[0];
+    v.checked_mul(2).unwrap()
+}

@@ -1,0 +1,9 @@
+//! Caller-provided randomness threads through generically — allowed.
+
+pub fn sample<R: Rng>(rng: &mut R) -> u64 {
+    rng.gen_range(0..10)
+}
+
+pub fn mix(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,23 @@
+//! Total, funneled dispatch: the shape the VM must keep.
+
+pub enum Opcode {
+    Leaf,
+    Access,
+}
+
+impl Opcode {
+    pub fn decode(b: u8) -> Option<Opcode> {
+        match b {
+            0x00 => Some(Opcode::Leaf),
+            0x01 => Some(Opcode::Access),
+            _ => None,
+        }
+    }
+}
+
+pub fn step(op: Opcode) -> u32 {
+    match op {
+        Opcode::Leaf => 0,
+        Opcode::Access => 1,
+    }
+}

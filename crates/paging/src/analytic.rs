@@ -127,6 +127,7 @@ fn analytic_square_into<S: BoxSource>(
             if j == accesses {
                 break accesses;
             }
+            // cadapt-lint: allow(panic-reach) -- j < accesses == prev1.len() here (the j == accesses arm broke out above)
             if prev1[cast::usize_from_u64(j)] <= start {
                 if used == size {
                     break j;
@@ -137,7 +138,7 @@ fn analytic_square_into<S: BoxSource>(
         };
         // Leaf marks attach to the preceding access: everything up to the
         // blocking access (or the end of the trace) lands in this box.
-        let consumed = leaf_before[cast::usize_from_u64(end)];
+        let consumed = leaf_before[cast::usize_from_u64(end)]; // cadapt-lint: allow(panic-reach) -- end <= accesses and leaf_before has accesses+1 entries
         let progress = consumed - leaves_done;
         leaves_done = consumed;
         start = end;

@@ -73,7 +73,7 @@ pub fn replay_opt(trace: &BlockTrace, cache_blocks: Blocks) -> OptReplay {
         io += 1;
         cadapt_core::counters::count_io(1);
         if resident.len() == capacity {
-            // cadapt-lint: allow(no-panic-lib) -- invariant: resident.len() == capacity > 0, so by_next is non-empty
+            // cadapt-lint: allow(panic-reach) -- invariant: resident.len() == capacity > 0, so by_next is non-empty
             let &(victim_next, victim) = by_next.iter().next_back().expect("cache is full");
             // Belady: evict the furthest-in-future block. If the incoming
             // block is itself used later than the victim, bypass (classic

@@ -50,7 +50,7 @@ pub fn sawtooth(m_min: Blocks, m_max: Blocks, plateau: Io, duration: Io) -> Memo
         }
         // The crash is instantaneous (shrinking is unrestricted).
     }
-    // cadapt-lint: allow(no-panic-lib) -- invariant: the generator emits only positive sizes
+    // cadapt-lint: allow(panic-reach) -- invariant: the generator emits only positive sizes
     MemoryProfile::from_segments(segments).expect("sawtooth sizes are positive")
 }
 
@@ -97,7 +97,7 @@ pub fn multi_tenant<R: Rng>(
             }
         }
     }
-    // cadapt-lint: allow(no-panic-lib) -- invariant: the generator emits only positive sizes
+    // cadapt-lint: allow(panic-reach) -- invariant: the generator emits only positive sizes
     MemoryProfile::from_segments(segments).expect("shares are positive")
 }
 
@@ -152,7 +152,7 @@ pub fn random_walk<R: Rng>(
     if run > 0 {
         segments.push(Segment { size, len: run });
     }
-    // cadapt-lint: allow(no-panic-lib) -- invariant: the generator emits only positive sizes
+    // cadapt-lint: allow(panic-reach) -- invariant: the generator emits only positive sizes
     MemoryProfile::from_segments(segments).expect("sizes are positive")
 }
 

@@ -257,13 +257,13 @@ impl<C: PlacementChooser> BoxSource for BoxOrderPerturbedSource<C> {
                 let depth = self.wc.depth();
                 self.push_node(depth);
             }
-            // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+            // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
             let top = *self.stack.last().expect("nonempty");
             let children = self.children(top.level);
             // Emit the node's own box once `place_after` children are done
             // (immediately for leaves, whose place_after is 0).
             if !top.own_emitted && top.emitted >= top.place_after {
-                // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+                // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
                 self.stack.last_mut().expect("nonempty").own_emitted = true;
                 let size = self.wc.box_at_level(top.level);
                 if top.emitted == children {
@@ -286,11 +286,11 @@ impl<C: PlacementChooser> BoxSource for BoxOrderPerturbedSource<C> {
                 let depth = self.wc.depth();
                 self.push_node(depth);
             }
-            // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+            // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
             let top = *self.stack.last().expect("nonempty");
             let children = self.children(top.level);
             if !top.own_emitted && top.emitted >= top.place_after {
-                // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+                // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
                 self.stack.last_mut().expect("nonempty").own_emitted = true;
                 let size = self.wc.box_at_level(top.level);
                 if top.emitted == children {
@@ -314,7 +314,7 @@ impl<C: PlacementChooser> BoxSource for BoxOrderPerturbedSource<C> {
                     top.place_after
                 };
                 let repeat = until - top.emitted;
-                // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+                // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
                 self.stack.last_mut().expect("nonempty").emitted = until;
                 return BoxRun {
                     size: self.wc.box_at_level(0),

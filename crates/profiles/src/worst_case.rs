@@ -114,7 +114,7 @@ impl WorstCase {
     pub fn box_at_level(&self, k: u32) -> Blocks {
         let mut v = self.min_size;
         for _ in 0..k {
-            // cadapt-lint: allow(no-panic-lib) -- deliberate loud overflow guard: a wrapped box size would corrupt the profile geometry
+            // cadapt-lint: allow(panic-reach) -- deliberate loud overflow guard: a wrapped box size would corrupt the profile geometry
             v = v.checked_mul(self.b).expect("box size overflows u64");
         }
         v
@@ -273,7 +273,7 @@ impl BoxSource for MatchedWorstCase {
                 // Chunk slot phase: emit a box matching the chunk, if any.
                 let slot = phase / 2;
                 let len = self.params.scan_chunk(self.node_size(level), slot);
-                // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+                // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
                 self.stack.last_mut().expect("nonempty").1 += 1;
                 if len > 0 {
                     return len;
@@ -310,7 +310,7 @@ impl BoxSource for WorstCaseSource {
                     emitted: 0,
                 });
             }
-            // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+            // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
             let top = *self.stack.last().expect("nonempty");
             if top.level == 0 || top.emitted == self.wc.a {
                 // Leaf, or all children emitted: emit this node's box.
@@ -346,7 +346,7 @@ impl BoxSource for WorstCaseSource {
                     emitted: 0,
                 });
             }
-            // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+            // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
             let top = *self.stack.last().expect("nonempty");
             if top.level == 1 && top.emitted < self.wc.a {
                 // The next a − emitted boxes are this node's leaf children,
@@ -354,7 +354,7 @@ impl BoxSource for WorstCaseSource {
                 // remainder is discarded per the BoxRun contract, so jumping
                 // `emitted` straight to a is safe.)
                 let repeat = self.wc.a - top.emitted;
-                // cadapt-lint: allow(no-panic-lib) -- invariant: the stack was just refilled if empty, so a top frame exists
+                // cadapt-lint: allow(panic-reach) -- invariant: the stack was just refilled if empty, so a top frame exists
                 self.stack.last_mut().expect("nonempty").emitted = self.wc.a;
                 return BoxRun {
                     size: self.wc.box_at_level(0),

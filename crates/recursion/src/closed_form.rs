@@ -58,7 +58,7 @@ impl ClosedForms {
             let leaf: Leaves = if k == 0 {
                 1
             } else {
-                leaves[k - 1]
+                leaves[k - 1] // cadapt-lint: allow(panic-reach) -- k > 0 in this arm and level k-1 was pushed on the previous iteration
                     .checked_mul(Leaves::from(params.a()))
                     .ok_or_else(|| overflow("leaf count"))?
             };
@@ -69,7 +69,7 @@ impl ClosedForms {
                 // A base case of `base` blocks performs `base` accesses.
                 Io::from(params.base())
             } else {
-                times[k - 1]
+                times[k - 1] // cadapt-lint: allow(panic-reach) -- k > 0 in this arm and level k-1 was pushed on the previous iteration
                     .checked_mul(Io::from(params.a()))
                     .and_then(|t| t.checked_add(Io::from(scan)))
                     .ok_or_else(|| overflow("serial time"))?
@@ -100,45 +100,45 @@ impl ClosedForms {
     /// Problem size at level k.
     #[must_use]
     pub fn size(&self, k: u32) -> Blocks {
-        self.sizes[cast::usize_from_u32(k)]
+        self.sizes[cast::usize_from_u32(k)] // cadapt-lint: allow(panic-reach) -- deliberate loud contract: k <= depth(), a caller passing a deeper level is a logic bug
     }
 
     /// Root problem size n.
     #[must_use]
     pub fn root_size(&self) -> Blocks {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: for_size always builds at least one level
+        // cadapt-lint: allow(panic-reach) -- invariant: for_size always builds at least one level
         *self.sizes.last().expect("tables are never empty")
     }
 
     /// Base cases in one level-k subtree: a^k.
     #[must_use]
     pub fn leaves(&self, k: u32) -> Leaves {
-        self.leaves[cast::usize_from_u32(k)]
+        self.leaves[cast::usize_from_u32(k)] // cadapt-lint: allow(panic-reach) -- deliberate loud contract: k <= depth(), a caller passing a deeper level is a logic bug
     }
 
     /// Base cases in the whole problem: a^K.
     #[must_use]
     pub fn total_leaves(&self) -> Leaves {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: for_size always builds at least one level
+        // cadapt-lint: allow(panic-reach) -- invariant: for_size always builds at least one level
         *self.leaves.last().expect("tables are never empty")
     }
 
     /// Total scan accesses of one level-k node (not counting descendants).
     #[must_use]
     pub fn scan(&self, k: u32) -> u64 {
-        self.scans[cast::usize_from_u32(k)]
+        self.scans[cast::usize_from_u32(k)] // cadapt-lint: allow(panic-reach) -- deliberate loud contract: k <= depth(), a caller passing a deeper level is a logic bug
     }
 
     /// Serial accesses of a level-k subtree: T(k) = a·T(k−1) + scan(k).
     #[must_use]
     pub fn time(&self, k: u32) -> Io {
-        self.times[cast::usize_from_u32(k)]
+        self.times[cast::usize_from_u32(k)] // cadapt-lint: allow(panic-reach) -- deliberate loud contract: k <= depth(), a caller passing a deeper level is a logic bug
     }
 
     /// Serial accesses of the whole problem.
     #[must_use]
     pub fn total_time(&self) -> Io {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: for_size always builds at least one level
+        // cadapt-lint: allow(panic-reach) -- invariant: for_size always builds at least one level
         *self.times.last().expect("tables are never empty")
     }
 

@@ -128,6 +128,7 @@ impl ExecCursor {
             let slots = Self::slots_at(&params, k);
             let mut suffix = vec![0u64; cast::usize_from_u64(slots) + 1];
             for s in (0..slots).rev() {
+                // cadapt-lint: allow(panic-reach) -- suffix has slots+1 entries, so s and s+1 are both in-bounds for s < slots
                 suffix[cast::usize_from_u64(s)] = suffix[cast::usize_from_u64(s) + 1]
                     + Self::chunk_len_static(&params, &cf, k, s);
             }
@@ -136,7 +137,7 @@ impl ExecCursor {
         let mut descent = vec![1u64];
         for k in 1..=cf.depth() {
             let through = if Self::chunk_len_static(&params, &cf, k, 0) == 0 {
-                descent[cast::usize_from_u32(k) - 1]
+                descent[cast::usize_from_u32(k) - 1] // cadapt-lint: allow(panic-reach) -- k >= 1 here and descent holds one entry per level below k
             } else {
                 0
             };
@@ -145,8 +146,8 @@ impl ExecCursor {
         let mid_chunks_zero: Vec<bool> = (0..=cf.depth())
             .map(|k| {
                 k >= 1 && {
-                    let suffix = &chunk_suffix[cast::usize_from_u32(k)];
-                    suffix[1] == suffix[cast::usize_from_u64(params.a())]
+                    let suffix = &chunk_suffix[cast::usize_from_u32(k)]; // cadapt-lint: allow(panic-reach) -- chunk_suffix was filled for every k in 0..=depth above
+                    suffix[1] == suffix[cast::usize_from_u64(params.a())] // cadapt-lint: allow(panic-reach) -- for k >= 1 there are a >= 2 slots, so indices 1 and a are in-bounds
                 }
             })
             .collect();
@@ -281,8 +282,8 @@ impl ExecCursor {
                 // Rest of the current chunk, all later chunks, and all
                 // children not yet entered (indices ≥ slot).
                 let chunks = Io::from(
-                    self.tables.chunk_suffix[cast::usize_from_u32(f.k)]
-                        [cast::usize_from_u64(f.slot)],
+                    self.tables.chunk_suffix[cast::usize_from_u32(f.k)] // cadapt-lint: allow(panic-reach) -- stack frames keep k <= depth, the table's index range
+                        [cast::usize_from_u64(f.slot)], // cadapt-lint: allow(panic-reach) -- frames keep slot <= slots_at(k) and the suffix row has slots+1 entries
                 ) - Io::from(f.chunk_done);
                 let kids =
                     Io::from(children - f.slot) * if f.k > 0 { self.cf.time(f.k - 1) } else { 0 };
@@ -291,8 +292,8 @@ impl ExecCursor {
                 // An ancestor: child `slot` is in progress (accounted
                 // deeper); count chunks after slot and children after slot.
                 let chunks = Io::from(
-                    self.tables.chunk_suffix[cast::usize_from_u32(f.k)]
-                        [cast::usize_from_u64(f.slot) + 1],
+                    self.tables.chunk_suffix[cast::usize_from_u32(f.k)] // cadapt-lint: allow(panic-reach) -- stack frames keep k <= depth, the table's index range
+                        [cast::usize_from_u64(f.slot) + 1], // cadapt-lint: allow(panic-reach) -- an ancestor frame has slot < slots_at(k), so slot+1 is within the slots+1-entry row
                 );
                 let kids = Io::from(children - f.slot - 1) * self.cf.time(f.k - 1);
                 rem += chunks + kids;
@@ -367,7 +368,7 @@ impl ExecCursor {
             if f.chunk_done < clen {
                 let avail = Io::from(clen - f.chunk_done);
                 let take = avail.min(left);
-                // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
+                // cadapt-lint: allow(panic-reach) -- invariant: the cursor stack is non-empty until the run completes
                 let bottom = self.stack.last_mut().expect("nonempty");
                 bottom.chunk_done += cast::u64_from_u128(take);
                 left -= take;
@@ -382,7 +383,7 @@ impl ExecCursor {
                 if sub <= left {
                     left -= sub;
                     progress += self.cf.leaves(f.k - 1);
-                    // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
+                    // cadapt-lint: allow(panic-reach) -- invariant: the cursor stack is non-empty until the run completes
                     let bottom = self.stack.last_mut().expect("nonempty");
                     bottom.slot += 1;
                     bottom.chunk_done = 0;
@@ -426,7 +427,7 @@ impl ExecCursor {
             let j = self
                 .cf
                 .level_fitting(s)
-                // cadapt-lint: allow(no-panic-lib) -- invariant: size(f.k) <= s guarantees level_fitting succeeds
+                // cadapt-lint: allow(panic-reach) -- invariant: size(f.k) <= s guarantees level_fitting succeeds
                 .expect("size(f.k) <= s implies a fitting level exists");
             let idx = cast::usize_from_u32(self.cf.depth() - j);
             let progress = self.leaves_remaining_in_subtree(idx);
@@ -438,7 +439,7 @@ impl ExecCursor {
             if !self.stack.is_empty() {
                 // The frame formerly at `idx` was the child `slot` of the
                 // frame now on top; move that parent past it.
-                // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
+                // cadapt-lint: allow(panic-reach) -- invariant: the cursor stack is non-empty until the run completes
                 let p = self.stack.last_mut().expect("nonempty");
                 p.slot += 1;
                 p.chunk_done = 0;
@@ -454,7 +455,7 @@ impl ExecCursor {
             let clen = self.chunk_len(f.k, f.slot);
             let avail = Io::from(clen - f.chunk_done);
             let take = avail.min(Io::from(s));
-            // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
+            // cadapt-lint: allow(panic-reach) -- invariant: the cursor stack is non-empty until the run completes
             let bottom = self.stack.last_mut().expect("nonempty");
             bottom.chunk_done += cast::u64_from_u128(take);
             let progress = Leaves::from(f.k == 0 && bottom.chunk_done == clen);
@@ -508,14 +509,14 @@ impl ExecCursor {
                 self.normalize();
                 continue;
             }
-            // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
+            // cadapt-lint: allow(panic-reach) -- invariant: the cursor stack is non-empty until the run completes
             let f = *self.stack.last().expect("nonempty");
             let clen = self.chunk_len(f.k, f.slot);
             if f.chunk_done < clen {
                 // Scan / base-case accesses stream at one budget each.
                 let avail = Io::from(clen - f.chunk_done);
                 let take = avail.min(left);
-                // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
+                // cadapt-lint: allow(panic-reach) -- invariant: the cursor stack is non-empty until the run completes
                 let bottom = self.stack.last_mut().expect("nonempty");
                 bottom.chunk_done += cast::u64_from_u128(take);
                 left -= take;
@@ -593,7 +594,7 @@ impl ExecCursor {
                 let j = self
                     .cf
                     .level_fitting(s)
-                    // cadapt-lint: allow(no-panic-lib) -- invariant: size(f.k) <= s guarantees level_fitting succeeds
+                    // cadapt-lint: allow(panic-reach) -- invariant: size(f.k) <= s guarantees level_fitting succeeds
                     .expect("size(f.k) <= s implies a fitting level exists");
                 let idx = cast::usize_from_u32(self.cf.depth() - j);
                 if idx == 0 {
@@ -608,8 +609,9 @@ impl ExecCursor {
                     break;
                 }
                 let d0 = cast::u64_from_usize(self.stack.len());
-                let parent = self.stack[idx - 1];
+                let parent = self.stack[idx - 1]; // cadapt-lint: allow(panic-reach) -- idx >= 1 on this path (idx == 0 completed the root and broke above)
                 let siblings_left = self.params().a() - parent.slot;
+                // cadapt-lint: allow(panic-reach) -- frame levels stay <= depth, the table's index range
                 let m = if self.tables.mid_chunks_zero[cast::usize_from_u32(parent.k)] {
                     siblings_left.min(count - out.consumed)
                 } else {
@@ -624,12 +626,12 @@ impl ExecCursor {
                     self.leaves_remaining_in_subtree(idx) + Leaves::from(m - 1) * self.cf.leaves(j);
                 out.used += Io::from(m) * Io::from(self.cf.size(j).min(s));
                 out.consumed += m;
-                let d = self.tables.descent[cast::usize_from_u32(j)];
+                let d = self.tables.descent[cast::usize_from_u32(j)]; // cadapt-lint: allow(panic-reach) -- j is a frame level <= depth and descent has depth+1 entries
                 cadapt_core::counters::count_cursor_steps(
                     (d0 - cast::u64_from_usize(idx)) + 2 * (m - 1) * d,
                 );
                 self.stack.truncate(idx);
-                // cadapt-lint: allow(no-panic-lib) -- invariant: idx >= 1, so the stack still holds the parent frame
+                // cadapt-lint: allow(panic-reach) -- invariant: idx >= 1, so the stack still holds the parent frame
                 let p = self.stack.last_mut().expect("idx >= 1");
                 p.slot += m;
                 p.chunk_done = 0;
@@ -644,7 +646,7 @@ impl ExecCursor {
                 if needed <= left {
                     out.used += Io::from(avail);
                     out.consumed += needed;
-                    // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
+                    // cadapt-lint: allow(panic-reach) -- invariant: the cursor stack is non-empty until the run completes
                     let bottom = self.stack.last_mut().expect("nonempty");
                     bottom.chunk_done = clen;
                     if f.k == 0 {
@@ -657,7 +659,7 @@ impl ExecCursor {
                     // the per-box normalize calls were all no-ops).
                     out.used += Io::from(left) * Io::from(s);
                     out.consumed += left;
-                    // cadapt-lint: allow(no-panic-lib) -- invariant: the cursor stack is non-empty until the run completes
+                    // cadapt-lint: allow(panic-reach) -- invariant: the cursor stack is non-empty until the run completes
                     let bottom = self.stack.last_mut().expect("nonempty");
                     bottom.chunk_done += left * s;
                 }
@@ -700,7 +702,7 @@ impl ExecCursor {
                 self.capacity_batch_step(budget, cost_factor, count - out.consumed)
             {
                 let istar = cast::usize_from_u32(self.cf.depth() - jstar);
-                let d = self.tables.descent[cast::usize_from_u32(jstar)];
+                let d = self.tables.descent[cast::usize_from_u32(jstar)]; // cadapt-lint: allow(panic-reach) -- jstar is a frame level <= depth and descent has depth+1 entries
                 out.progress += Leaves::from(m) * Leaves::from(q) * self.cf.leaves(jstar);
                 out.used += Io::from(m) * budget;
                 out.consumed += m;
@@ -709,7 +711,7 @@ impl ExecCursor {
                 // normalize below).
                 cadapt_core::counters::count_cursor_steps((2 * m * q - 1) * d);
                 self.stack.truncate(istar);
-                // cadapt-lint: allow(no-panic-lib) -- invariant: istar >= 1, so the stack still holds the parent frame
+                // cadapt-lint: allow(panic-reach) -- invariant: istar >= 1, so the stack still holds the parent frame
                 let p = self.stack.last_mut().expect("istar >= 1");
                 p.slot += m * q;
                 p.chunk_done = 0;
@@ -759,7 +761,8 @@ impl ExecCursor {
             return None; // leftover budget would start partial work
         }
         let q = cast::u64_from_u128(budget / charge);
-        let parent = self.stack[istar - 1];
+        let parent = self.stack[istar - 1]; // cadapt-lint: allow(panic-reach) -- istar >= 1 (the istar == 0 case returned None above) and istar < stack.len()
+                                            // cadapt-lint: allow(panic-reach) -- frame levels stay <= depth, the table's index range
         if !self.tables.mid_chunks_zero[cast::usize_from_u32(parent.k)] {
             return None; // sibling completions separated by scan chunks
         }

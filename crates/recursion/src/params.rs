@@ -176,7 +176,7 @@ impl AbcParams {
     pub fn canonical_size(&self, k: u32) -> Blocks {
         let mut n = self.base;
         for _ in 0..k {
-            // cadapt-lint: allow(no-panic-lib) -- deliberate loud overflow guard, documented in the # Panics section
+            // cadapt-lint: allow(panic-reach) -- deliberate loud overflow guard, documented in the # Panics section
             n = n.checked_mul(self.b).expect("canonical size overflows u64");
         }
         n
@@ -251,7 +251,7 @@ impl AbcParams {
     /// algorithm (§3).
     #[must_use]
     pub fn mm_scan() -> Self {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
+        // cadapt-lint: allow(panic-reach) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(8, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -260,7 +260,7 @@ impl AbcParams {
     /// optimally cache-adaptive (footnote 5 of the paper).
     #[must_use]
     pub fn mm_inplace() -> Self {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
+        // cadapt-lint: allow(panic-reach) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(8, 4, 0.0, 1).expect("preset parameters are valid")
     }
 
@@ -270,7 +270,7 @@ impl AbcParams {
     /// known subcubic multiplications fall here.
     #[must_use]
     pub fn strassen() -> Self {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
+        // cadapt-lint: allow(panic-reach) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(7, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -280,7 +280,7 @@ impl AbcParams {
     /// by Lincoln et al. (SPAA '18). Gap regime.
     #[must_use]
     pub fn co_dp() -> Self {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
+        // cadapt-lint: allow(panic-reach) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(3, 2, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -289,7 +289,7 @@ impl AbcParams {
     /// T(N) = 8 T(N/4) + Θ(N/B). Gap regime.
     #[must_use]
     pub fn gep() -> Self {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
+        // cadapt-lint: allow(panic-reach) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(8, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -299,7 +299,7 @@ impl AbcParams {
     /// taxonomy experiment.
     #[must_use]
     pub fn a_equals_b() -> Self {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
+        // cadapt-lint: allow(panic-reach) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(4, 4, 1.0, 1).expect("preset parameters are valid")
     }
 
@@ -307,7 +307,7 @@ impl AbcParams {
     /// (linear-time regardless of cache; footnote 2). For E9.
     #[must_use]
     pub fn a_below_b() -> Self {
-        // cadapt-lint: allow(no-panic-lib) -- invariant: preset constants satisfy AbcParams::new's checks by construction
+        // cadapt-lint: allow(panic-reach) -- invariant: preset constants satisfy AbcParams::new's checks by construction
         AbcParams::new(2, 4, 1.0, 1).expect("preset parameters are valid")
     }
 

@@ -95,7 +95,7 @@ pub fn naive_simplified_run<S: BoxSource>(
         let seg = &segs[pos];
         if cf.size(seg.level) <= s {
             // Complete the largest enclosing problem of size ≤ s.
-            // cadapt-lint: allow(no-panic-lib) -- invariant: cf.size(seg.level) <= s, so a fitting level exists
+            // cadapt-lint: allow(panic-reach) -- invariant: cf.size(seg.level) <= s, so a fitting level exists
             let j = cf.level_fitting(s).expect("segment level fits");
             let prefix = cast::usize_from_u32(depth - j);
             let anchor = segs[pos].path[..prefix].to_vec();
@@ -164,7 +164,7 @@ pub fn naive_capacity_run<S: BoxSource>(
     // Remaining accesses in the subtree rooted at the ancestor with path
     // prefix of length `prefix` over the current position.
     let remaining_in = |pos: usize, off: u64, prefix: usize| -> Io {
-        let anchor = &segs[pos].path[..prefix.min(segs[pos].path.len())];
+        let anchor = &segs[pos].path[..prefix.min(segs[pos].path.len())]; // cadapt-lint: allow(panic-reach) -- pos < segs.len() for every call (the walk stops at the last segment) and the range is clamped to the path length
         let mut total: Io = 0;
         for seg in &segs[pos..] {
             if seg.path.len() < prefix || seg.path[..prefix] != *anchor {

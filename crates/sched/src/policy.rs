@@ -41,7 +41,7 @@ impl AllocationPolicy for EqualShares {
 /// weights). Models bursty co-tenants grabbing and releasing cache.
 #[derive(Debug)]
 pub struct ChurnShares {
-    rng: ChaCha8Rng,
+    rng: ChaCha8Rng, // cadapt-lint: allow(rng-discipline) -- adversary-model randomness, not trial randomness: the policy's draw order is pinned by the round sequence of a single deterministic scheduler run, and the caller seeds it per run
 }
 
 impl ChurnShares {

@@ -42,10 +42,47 @@ use cadapt_core::{cast, checksum, Blocks, Leaves};
 // cadapt-lint: allow(nondet-source) -- HashSet is membership-probed only (insert/contains) to count distinct blocks; iteration order is never observed
 use std::collections::HashSet;
 
-const OP_LEAF: u8 = 0x00;
-const OP_ACCESS: u8 = 0x01;
-const OP_RUN: u8 = 0x02;
-const OP_LOOP: u8 = 0x03;
+/// The opcode vocabulary. Discriminants are the encoded bytes, so the
+/// enum is the single source of truth for the wire format; every
+/// dispatch site matches on `Opcode` (wildcard-free and exhaustive —
+/// enforced by `cadapt-lint`'s `vm-dispatch` rule), so adding an opcode
+/// forces every site to handle it explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// A base case completed here.
+    Leaf = 0x00,
+    /// Access block `prev + Δ` (svarint Δ follows).
+    Access = 0x01,
+    /// `n` accesses, each advancing by Δ (varint n, svarint Δ follow).
+    Run = 0x02,
+    /// Replay the `len`-byte body `reps` times (varint reps, varint len,
+    /// body bytes follow).
+    Loop = 0x03,
+}
+
+impl Opcode {
+    /// The encoded byte.
+    #[must_use]
+    pub fn byte(self) -> u8 {
+        self as u8
+    }
+
+    /// The one byte→opcode funnel. Unknown bytes decode to `None` and
+    /// every caller must handle that loudly (end-of-program, never a
+    /// silent skip); byte-level knowledge lives only here and in
+    /// [`Opcode::byte`].
+    #[must_use]
+    pub fn decode(b: u8) -> Option<Opcode> {
+        match b {
+            0x00 => Some(Opcode::Leaf),
+            0x01 => Some(Opcode::Access),
+            0x02 => Some(Opcode::Run),
+            0x03 => Some(Opcode::Loop),
+            _ => None,
+        }
+    }
+}
 
 /// Longest atom period the encoder will fold into a `LOOP`.
 const MAX_PERIOD: usize = 16;
@@ -77,19 +114,23 @@ fn push_varint(bytes: &mut Vec<u8>, mut x: u64) {
     bytes.push(cast::u8_from_u64(x));
 }
 
-/// Read one LEB128 varint at `*pos`, advancing it.
+/// Read one LEB128 varint at `*pos`, advancing it. Truncated or
+/// over-long input — malformed, the encoder never emits it — yields the
+/// bits read so far without advancing past the end; the opcode dispatch
+/// below then stops at the stream end instead of panicking.
 fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
     let mut x = 0u64;
     let mut shift = 0u32;
-    loop {
-        let b = bytes[*pos];
+    while shift < 64 {
+        let Some(&b) = bytes.get(*pos) else { break };
         *pos += 1;
         x |= u64::from(b & 0x7F) << shift;
         if b < 0x80 {
-            return x;
+            break;
         }
         shift += 7;
     }
+    x
 }
 
 /// One encoder atom: an event (or folded group) that loop detection
@@ -104,13 +145,13 @@ enum Atom {
 
 fn serialize_atom(bytes: &mut Vec<u8>, atom: &Atom) {
     match atom {
-        Atom::Leaf => bytes.push(OP_LEAF),
+        Atom::Leaf => bytes.push(Opcode::Leaf.byte()),
         Atom::Access(d) => {
-            bytes.push(OP_ACCESS);
+            bytes.push(Opcode::Access.byte());
             push_varint(bytes, zigzag(*d));
         }
         Atom::Run { n, d } => {
-            bytes.push(OP_RUN);
+            bytes.push(Opcode::Run.byte());
             push_varint(bytes, *n);
             push_varint(bytes, zigzag(*d));
         }
@@ -119,7 +160,7 @@ fn serialize_atom(bytes: &mut Vec<u8>, atom: &Atom) {
             for a in body {
                 serialize_atom(&mut tmp, a);
             }
-            bytes.push(OP_LOOP);
+            bytes.push(Opcode::Loop.byte());
             push_varint(bytes, *reps);
             push_varint(bytes, cast::u64_from_usize(tmp.len()));
             bytes.extend_from_slice(&tmp);
@@ -219,17 +260,19 @@ impl Encoder {
             // Cheap gate before the full window compare: the halves can
             // only match if the newest atom equals its image one period
             // back.
+            // cadapt-lint: allow(panic-reach) -- p <= n/2 by the loop bound, so n-1-p is in-bounds
             if self.atoms[n - 1] != self.atoms[n - 1 - p] {
                 continue;
             }
-            let first = &self.atoms[n - 2 * p..n - p];
+            let first = &self.atoms[n - 2 * p..n - p]; // cadapt-lint: allow(panic-reach) -- p <= n/2 by the loop bound, so n-2p >= 0
+                                                       // cadapt-lint: allow(panic-reach) -- p <= n/2 by the loop bound
             if first != &self.atoms[n - p..] {
                 continue;
             }
             if first.iter().any(|a| matches!(a, Atom::Loop { .. })) {
                 continue; // bodies stay flat
             }
-            let body: Vec<Atom> = self.atoms[n - p..].to_vec();
+            let body: Vec<Atom> = self.atoms[n - p..].to_vec(); // cadapt-lint: allow(panic-reach) -- p <= n/2 by the loop bound
             self.atoms.truncate(n - 2 * p);
             self.atoms.push(Atom::Loop { reps: 2, body });
             self.last_loop = Some(self.atoms.len() - 1);
@@ -445,13 +488,13 @@ impl ProgramEvents<'_> {
                 return (prev, acc, false);
             };
             pos += 1;
-            match op {
-                OP_ACCESS => {
+            match Opcode::decode(op) {
+                Some(Opcode::Access) => {
                     let d = unzigzag(read_varint(bytes, &mut pos));
                     prev = prev.wrapping_add(d);
                     acc = f(acc, TraceEvent::Access(prev));
                 }
-                OP_RUN => {
+                Some(Opcode::Run) => {
                     let n = read_varint(bytes, &mut pos);
                     let d = unzigzag(read_varint(bytes, &mut pos));
                     for _ in 0..n {
@@ -459,10 +502,13 @@ impl ProgramEvents<'_> {
                         acc = f(acc, TraceEvent::Access(prev));
                     }
                 }
-                OP_LEAF => {
+                Some(Opcode::Leaf) => {
                     acc = f(acc, TraceEvent::Leaf);
                 }
-                _ => return (prev, acc, false),
+                // Loop bodies are flat (the encoder cannot emit a nested
+                // loop), so a `Loop` here is as malformed as an unknown
+                // byte: report the slice as not cleanly decoded.
+                Some(Opcode::Loop) | None => return (prev, acc, false),
             }
         }
         (prev, acc, true)
@@ -491,14 +537,14 @@ impl Iterator for ProgramEvents<'_> {
             }
             let &op = self.bytes.get(self.pos)?;
             self.pos += 1;
-            match op {
-                OP_ACCESS => {
+            match Opcode::decode(op) {
+                Some(Opcode::Access) => {
                     let d = unzigzag(read_varint(self.bytes, &mut self.pos));
                     self.prev_block = self.prev_block.wrapping_add(d);
                     self.remaining = self.remaining.saturating_sub(1);
                     return Some(TraceEvent::Access(self.prev_block));
                 }
-                OP_RUN => {
+                Some(Opcode::Run) => {
                     let n = read_varint(self.bytes, &mut self.pos);
                     self.run_d = unzigzag(read_varint(self.bytes, &mut self.pos));
                     self.run_left = n.saturating_sub(1);
@@ -506,11 +552,11 @@ impl Iterator for ProgramEvents<'_> {
                     self.remaining = self.remaining.saturating_sub(1);
                     return Some(TraceEvent::Access(self.prev_block));
                 }
-                OP_LEAF => {
+                Some(Opcode::Leaf) => {
                     self.remaining = self.remaining.saturating_sub(1);
                     return Some(TraceEvent::Leaf);
                 }
-                OP_LOOP => {
+                Some(Opcode::Loop) => {
                     let reps = read_varint(self.bytes, &mut self.pos);
                     let len = cast::usize_from_u64(read_varint(self.bytes, &mut self.pos));
                     if reps == 0 {
@@ -521,9 +567,9 @@ impl Iterator for ProgramEvents<'_> {
                         self.reps_left = reps - 1;
                     }
                 }
-                // The encoder emits no other opcode; treat anything else
-                // as end-of-program rather than guessing.
-                _ => return None,
+                // The encoder emits no other opcode; treat an unknown
+                // byte as end-of-program rather than guessing.
+                None => return None,
             }
         }
     }
@@ -576,13 +622,13 @@ impl Iterator for ProgramEvents<'_> {
         }
         while let Some(&op) = bytes.get(pos) {
             pos += 1;
-            match op {
-                OP_ACCESS => {
+            match Opcode::decode(op) {
+                Some(Opcode::Access) => {
                     let d = unzigzag(read_varint(bytes, &mut pos));
                     prev = prev.wrapping_add(d);
                     acc = f(acc, TraceEvent::Access(prev));
                 }
-                OP_RUN => {
+                Some(Opcode::Run) => {
                     let n = read_varint(bytes, &mut pos);
                     let d = unzigzag(read_varint(bytes, &mut pos));
                     for _ in 0..n {
@@ -590,10 +636,10 @@ impl Iterator for ProgramEvents<'_> {
                         acc = f(acc, TraceEvent::Access(prev));
                     }
                 }
-                OP_LEAF => {
+                Some(Opcode::Leaf) => {
                     acc = f(acc, TraceEvent::Leaf);
                 }
-                OP_LOOP => {
+                Some(Opcode::Loop) => {
                     let reps = read_varint(bytes, &mut pos);
                     let len = cast::usize_from_u64(read_varint(bytes, &mut pos));
                     let end = pos.saturating_add(len).min(bytes.len());
@@ -607,7 +653,8 @@ impl Iterator for ProgramEvents<'_> {
                     }
                     pos = end;
                 }
-                _ => return acc,
+                // Unknown byte: end-of-program, same as `next()`.
+                None => return acc,
             }
         }
         acc

@@ -55,7 +55,7 @@ impl ZMatrix {
         let mut m = ZMatrix::zero(side);
         for r in 0..side {
             for c in 0..side {
-                m.data[morton_index(r, c)] = rows[r * side + c];
+                m.data[morton_index(r, c)] = rows[r * side + c]; // cadapt-lint: allow(panic-reach) -- r, c < side; the row-major offset is < side² (asserted above) and the Morton index of (r, c) stays < side² for power-of-two sides
             }
         }
         m
@@ -76,12 +76,12 @@ impl ZMatrix {
     /// Element at (row, col).
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        self.data[morton_index(row, col)]
+        self.data[morton_index(row, col)] // cadapt-lint: allow(panic-reach) -- deliberate loud contract: (row, col) must be inside the matrix, exactly like slice indexing
     }
 
     /// Set element at (row, col).
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        self.data[morton_index(row, col)] = value;
+        self.data[morton_index(row, col)] = value; // cadapt-lint: allow(panic-reach) -- deliberate loud contract: (row, col) must be inside the matrix, exactly like slice indexing
     }
 
     /// Convert back to row-major.
@@ -90,7 +90,7 @@ impl ZMatrix {
         let mut out = vec![0.0; self.side * self.side];
         for r in 0..self.side {
             for c in 0..self.side {
-                out[r * self.side + c] = self.get(r, c);
+                out[r * self.side + c] = self.get(r, c); // cadapt-lint: allow(panic-reach) -- r, c < side, so the row-major offset is < side², the buffer length
             }
         }
         out
@@ -120,13 +120,13 @@ pub fn naive_multiply(side: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
     let mut c = vec![0.0; side * side];
     for i in 0..side {
         for k in 0..side {
-            let aik = a[i * side + k];
-            // cadapt-lint: allow(float-eq) -- exact-zero skip is a pure optimisation: skipping a row whose contribution is exactly 0.0 is bit-identical either way
+            let aik = a[i * side + k]; // cadapt-lint: allow(panic-reach) -- i, k < side, so the row-major offset is < side², the asserted input length
+                                       // cadapt-lint: allow(float-eq) -- exact-zero skip is a pure optimisation: skipping a row whose contribution is exactly 0.0 is bit-identical either way
             if aik == 0.0 {
                 continue;
             }
             for j in 0..side {
-                c[i * side + j] += aik * b[k * side + j];
+                c[i * side + j] += aik * b[k * side + j]; // cadapt-lint: allow(panic-reach) -- i, j, k < side, so every row-major offset is < side², the asserted lengths
             }
         }
     }

@@ -53,12 +53,12 @@ fn layout_rec(sorted: &[u64], h: u32, out: &mut Vec<u64>) {
     let top_size = (1usize << ht) - 1;
     let bot_stride = 1usize << hb; // bottom size + its separator key
     let top_keys: Vec<u64> = (0..top_size)
-        .map(|j| sorted[(j + 1) * bot_stride - 1])
+        .map(|j| sorted[(j + 1) * bot_stride - 1]) // cadapt-lint: allow(panic-reach) -- (top_size)·bot_stride - 1 = 2^h - 2^hb - 1 < 2^h - 1, the debug-asserted slice length
         .collect();
     layout_rec(&top_keys, ht, out);
     for j in 0..=top_size {
         let lo = j * bot_stride;
-        layout_rec(&sorted[lo..lo + bot_stride - 1], hb, out);
+        layout_rec(&sorted[lo..lo + bot_stride - 1], hb, out); // cadapt-lint: allow(panic-reach) -- the last bottom block ends at (top_size+1)·bot_stride - 1 = 2^h - 1, the debug-asserted slice length
     }
 }
 
