@@ -36,7 +36,9 @@ pub mod table;
 
 pub use checkpoint::{run_missing_trials, TrialSpans};
 pub use fit::{classify_growth, GrowthClass, LineFit};
-pub use montecarlo::{monte_carlo_ratio, McConfig, McError, McSummary};
+pub use montecarlo::{
+    monte_carlo_ratio, monte_carlo_ratio_cancellable, McConfig, McError, McSummary,
+};
 pub use parallel::{
     resolve_threads, run_indexed, run_trials, run_trials_isolated, try_run_trials, SweepError,
     TrialPanic,

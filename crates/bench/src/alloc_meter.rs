@@ -1,0 +1,172 @@
+//! Peak-heap metering for the constant-memory claims of the streaming
+//! cursor pipelines (feature `count-alloc`).
+//!
+//! With the feature enabled, the `cadapt-bench` binary installs
+//! [`CountingAlloc`] as the global allocator: a thin shim over the system
+//! allocator that tracks live bytes and their high-water mark in two
+//! relaxed atomics. The perf suite's `streaming` section resets the mark,
+//! drives a pipeline, and reads [`peak_bytes`] — turning "O(1) resident
+//! state" from a code-review argument into a measured, CI-asserted number.
+//!
+//! Without the feature (the default), every probe returns `None`, nothing
+//! is installed, and the crate contains no `unsafe` at all. Metering adds
+//! two relaxed atomic RMWs per allocation, so the default build keeps the
+//! untouched system allocator for honest throughput timings.
+//!
+//! Accounting is process-wide and approximate in exactly one direction:
+//! `realloc` is counted as free-then-allocate of the requested sizes, and
+//! allocator bookkeeping overhead is invisible, so the reported peak is a
+//! **lower bound** on true RSS growth. That is the right direction for a
+//! ceiling assertion: a flat lower bound can still fail loudly when a
+//! pipeline materialises a profile.
+
+/// Live/peak counters and the allocator shim. Only this module may use
+/// `unsafe`, and only to forward to the system allocator.
+#[cfg(feature = "count-alloc")]
+#[allow(unsafe_code)]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+
+    /// A [`System`] wrapper that tracks live bytes and their high-water
+    /// mark. Relaxed ordering throughout: the counters carry no data
+    /// dependencies, and the meter's readers synchronise via the joins
+    /// that end the region they measure.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct CountingAlloc;
+
+    fn on_alloc(bytes: usize) {
+        let live = LIVE.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(bytes: usize) {
+        LIVE.fetch_sub(bytes as u64, Ordering::Relaxed);
+    }
+
+    // SAFETY: every method forwards verbatim to `System`, which upholds
+    // the `GlobalAlloc` contract; the counter updates touch no allocator
+    // state and never unwind.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            on_dealloc(layout.size());
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                on_dealloc(layout.size());
+                on_alloc(new_size);
+            }
+            p
+        }
+    }
+
+    /// Bytes currently live.
+    pub fn live_bytes() -> u64 {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last [`reset_peak`].
+    pub fn peak_bytes() -> u64 {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Restart the high-water mark from the current live total.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+pub use counting::CountingAlloc;
+
+/// Bytes currently allocated, or `None` when metering is compiled out.
+#[must_use]
+pub fn live_bytes() -> Option<u64> {
+    #[cfg(feature = "count-alloc")]
+    {
+        Some(counting::live_bytes())
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        None
+    }
+}
+
+/// Peak bytes since the last [`reset_peak`], or `None` when metering is
+/// compiled out.
+#[must_use]
+pub fn peak_bytes() -> Option<u64> {
+    #[cfg(feature = "count-alloc")]
+    {
+        Some(counting::peak_bytes())
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        None
+    }
+}
+
+/// Restart the peak high-water mark from the current live total. A no-op
+/// when metering is compiled out.
+pub fn reset_peak() {
+    #[cfg(feature = "count-alloc")]
+    counting::reset_peak();
+}
+
+/// Measure the peak heap growth of `f` relative to the bytes live at
+/// entry: resets the mark, runs `f`, and returns `(result, growth)` where
+/// growth is `None` when metering is compiled out.
+pub fn measure_peak_growth<T>(f: impl FnOnce() -> T) -> (T, Option<u64>) {
+    let base = live_bytes();
+    reset_peak();
+    let result = f();
+    let growth = match (peak_bytes(), base) {
+        (Some(peak), Some(base)) => Some(peak.saturating_sub(base)),
+        _ => None,
+    };
+    (result, growth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_agree_with_the_feature_gate() {
+        let metered = cfg!(feature = "count-alloc");
+        assert_eq!(live_bytes().is_some(), metered);
+        assert_eq!(peak_bytes().is_some(), metered);
+        let ((), growth) = measure_peak_growth(|| ());
+        assert_eq!(growth.is_some(), metered);
+    }
+
+    #[cfg(feature = "count-alloc")]
+    #[test]
+    fn peak_growth_sees_a_large_allocation() {
+        // The meter only observes allocations when installed as the
+        // global allocator (the binary does that); as a plain unit test we
+        // can still check reset/read plumbing is monotone and consistent.
+        let ((), growth) = measure_peak_growth(|| {
+            let v = vec![0u8; 1 << 20];
+            std::hint::black_box(&v);
+        });
+        let growth = growth.expect("feature is on");
+        // Not installed globally here, so growth may legitimately be 0 —
+        // but it must never underflow into nonsense.
+        assert!(growth < (1 << 30), "implausible growth {growth}");
+    }
+}

@@ -32,6 +32,13 @@ pub enum BenchError {
     Core(CoreError),
     /// An execution failed (bad problem size, box budget exhausted).
     Run(RunError),
+    /// A [`CancelToken`](cadapt_core::CancelToken) fired and the pipeline
+    /// stopped cooperatively at a run boundary. Not a bug: the separate
+    /// exit code lets wrappers distinguish "asked to stop" from "failed".
+    Cancelled {
+        /// Boxes fully consumed before cancellation was observed.
+        after_boxes: u64,
+    },
     /// A Monte-Carlo estimate failed, keyed by the offending trial.
     Mc(McError),
     /// An isolated trial panic, caught at the engine boundary.
@@ -101,6 +108,8 @@ impl BenchError {
     /// * `4` — untrusted data: corrupt artifacts, unparseable records,
     ///   missing or stale goldens, unusable checkpoints;
     /// * `5` — an isolated panic (a bug, but one that was contained);
+    /// * `6` — cooperative cancellation (a fired
+    ///   [`CancelToken`](cadapt_core::CancelToken), not a failure);
     /// * `1` — everything else (semantic failures reported cleanly).
     #[must_use]
     pub fn exit_code(&self) -> u8 {
@@ -112,6 +121,7 @@ impl BenchError {
             | BenchError::Golden { .. }
             | BenchError::Checkpoint { .. } => 4,
             BenchError::Panicked { .. } => 5,
+            BenchError::Cancelled { .. } => 6,
             BenchError::Core(_)
             | BenchError::Run(_)
             | BenchError::Mc(_)
@@ -163,6 +173,9 @@ impl fmt::Display for BenchError {
             BenchError::Usage(msg) => write!(f, "usage error: {msg}"),
             BenchError::Core(e) => write!(f, "model error: {e}"),
             BenchError::Run(e) => write!(f, "execution error: {e}"),
+            BenchError::Cancelled { after_boxes } => {
+                write!(f, "cancelled after {after_boxes} boxes")
+            }
             BenchError::Mc(e) => write!(f, "monte-carlo error: {e}"),
             BenchError::Panicked {
                 context,
@@ -218,13 +231,25 @@ impl From<CoreError> for BenchError {
 
 impl From<RunError> for BenchError {
     fn from(e: RunError) -> BenchError {
-        BenchError::Run(e)
+        match e {
+            // Cooperative cancellation is a control-flow outcome, not an
+            // execution failure; normalise it so every entry point maps a
+            // fired token to the same typed error and exit code.
+            RunError::Cancelled { after_boxes } => BenchError::Cancelled { after_boxes },
+            other => BenchError::Run(other),
+        }
     }
 }
 
 impl From<McError> for BenchError {
     fn from(e: McError) -> BenchError {
-        BenchError::Mc(e)
+        match e {
+            McError::Run {
+                error: RunError::Cancelled { after_boxes },
+                ..
+            } => BenchError::Cancelled { after_boxes },
+            other => BenchError::Mc(other),
+        }
     }
 }
 
@@ -297,6 +322,25 @@ mod tests {
             1
         );
         assert_eq!(BenchError::invariant("x").exit_code(), 1);
+        assert_eq!(BenchError::Cancelled { after_boxes: 9 }.exit_code(), 6);
+    }
+
+    #[test]
+    fn cancellation_normalises_from_every_entry_point() {
+        // A fired token reaches main as the same typed error whether it
+        // surfaced from a direct run or from inside a Monte-Carlo trial.
+        let direct: BenchError = RunError::Cancelled { after_boxes: 17 }.into();
+        let via_mc: BenchError = McError::Run {
+            trial: 3,
+            error: RunError::Cancelled { after_boxes: 17 },
+        }
+        .into();
+        assert_eq!(direct, BenchError::Cancelled { after_boxes: 17 });
+        assert_eq!(via_mc, direct);
+        assert!(direct.to_string().contains("cancelled after 17 boxes"));
+        // Non-cancellation errors still take their original variants.
+        let plain: BenchError = RunError::BoxBudgetExhausted { max_boxes: 2 }.into();
+        assert!(matches!(plain, BenchError::Run(_)));
     }
 
     #[test]

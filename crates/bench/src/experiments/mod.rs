@@ -8,6 +8,7 @@ pub mod e12_scan_hiding;
 pub mod e13_scheduling;
 pub mod e14_analytic_scale;
 pub mod e15_bytecode_scale;
+pub mod e16_streaming_contention;
 pub mod e1_worst_case_gap;
 pub mod e2_iid_smoothing;
 pub mod e3_size_perturb;

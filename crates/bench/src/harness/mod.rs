@@ -37,8 +37,9 @@ pub use store::{ArtifactWriter, FsWriter, StoreError};
 use crate::error::BenchError;
 use crate::experiments::{
     ablations, e10_contention, e11_no_catchup, e12_scan_hiding, e13_scheduling, e14_analytic_scale,
-    e15_bytecode_scale, e1_worst_case_gap, e2_iid_smoothing, e3_size_perturb, e4_start_shift,
-    e5_box_order, e6_recurrence, e7_potential, e8_trace_validation, e9_taxonomy,
+    e15_bytecode_scale, e16_streaming_contention, e1_worst_case_gap, e2_iid_smoothing,
+    e3_size_perturb, e4_start_shift, e5_box_order, e6_recurrence, e7_potential,
+    e8_trace_validation, e9_taxonomy,
 };
 use crate::{ExpCtx, Scale};
 use cadapt_core::counters::Recording;
@@ -57,7 +58,7 @@ pub struct ExperimentOutput {
 
 /// A registered experiment.
 pub trait Experiment: Sync {
-    /// Stable registry id (`"e1"` … `"e15"`, `"ablations"`).
+    /// Stable registry id (`"e1"` … `"e16"`, `"ablations"`).
     fn id(&self) -> &'static str;
     /// One-line human title.
     fn title(&self) -> &'static str;
@@ -75,7 +76,7 @@ pub trait Experiment: Sync {
 /// Every experiment, in presentation order.
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 16] = [
+    static REGISTRY: [&dyn Experiment; 17] = [
         &e1_worst_case_gap::Exp,
         &e2_iid_smoothing::Exp,
         &e3_size_perturb::Exp,
@@ -91,6 +92,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &e13_scheduling::Exp,
         &e14_analytic_scale::Exp,
         &e15_bytecode_scale::Exp,
+        &e16_streaming_contention::Exp,
         &ablations::Exp,
     ];
     &REGISTRY
@@ -123,6 +125,7 @@ pub fn run_record(exp: &dyn Experiment, scale: Scale) -> Result<RunRecord, Bench
 pub fn run_record_ctx(exp: &dyn Experiment, ctx: ExpCtx) -> Result<RunRecord, BenchError> {
     // cadapt-lint: allow(nondet-source) -- wall clock feeds only the wall_ms field, which golden comparison explicitly ignores (see check::wall_time_is_not_compared)
     let clock = Instant::now();
+    let scale = ctx.scale;
     let recording = Recording::start();
     let outcome = exp.run(ctx);
     let counters = recording.finish();
@@ -131,7 +134,7 @@ pub fn run_record_ctx(exp: &dyn Experiment, ctx: ExpCtx) -> Result<RunRecord, Be
         schema_version: SCHEMA_VERSION,
         experiment: exp.id().to_string(),
         title: exp.title().to_string(),
-        scale: ctx.scale.name().to_string(),
+        scale: scale.name().to_string(),
         deterministic: exp.deterministic(),
         wall_ms: clock.elapsed().as_secs_f64() * 1e3,
         counters,
@@ -153,6 +156,7 @@ pub fn run_record_ctx(exp: &dyn Experiment, ctx: ExpCtx) -> Result<RunRecord, Be
 pub fn run_record_resilient(exp: &dyn Experiment, ctx: ExpCtx) -> (RunRecord, Option<BenchError>) {
     // cadapt-lint: allow(nondet-source) -- wall clock feeds only the wall_ms field, which golden comparison explicitly ignores
     let clock = Instant::now();
+    let scale = ctx.scale;
     let recording = Recording::start();
     // AssertUnwindSafe: the experiment only borrows Sync registry state;
     // a panicking run's partial work is dropped with its stack, and the
@@ -166,7 +170,7 @@ pub fn run_record_resilient(exp: &dyn Experiment, ctx: ExpCtx) -> (RunRecord, Op
                     schema_version: SCHEMA_VERSION,
                     experiment: exp.id().to_string(),
                     title: exp.title().to_string(),
-                    scale: ctx.scale.name().to_string(),
+                    scale: scale.name().to_string(),
                     deterministic: exp.deterministic(),
                     wall_ms: clock.elapsed().as_secs_f64() * 1e3,
                     counters,
@@ -188,7 +192,7 @@ pub fn run_record_resilient(exp: &dyn Experiment, ctx: ExpCtx) -> (RunRecord, Op
         schema_version: SCHEMA_VERSION,
         experiment: exp.id().to_string(),
         title: exp.title().to_string(),
-        scale: ctx.scale.name().to_string(),
+        scale: scale.name().to_string(),
         deterministic: exp.deterministic(),
         wall_ms: clock.elapsed().as_secs_f64() * 1e3,
         counters,
@@ -219,7 +223,7 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         let distinct: BTreeSet<&str> = ids.iter().copied().collect();
         assert_eq!(ids.len(), distinct.len(), "duplicate registry id");
-        for k in 1..=15 {
+        for k in 1..=16 {
             assert!(distinct.contains(format!("e{k}").as_str()), "missing e{k}");
         }
         assert!(distinct.contains("ablations"));

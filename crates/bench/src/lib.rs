@@ -11,9 +11,13 @@
 //! [`Scale`] keeps the same code usable from debug-mode tests (`Quick`) and
 //! release-mode harness runs (`Full`).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the optional `count-alloc` peak-memory meter is
+// the one `unsafe` island (a `GlobalAlloc` impl must be), scoped by a
+// targeted allow inside `alloc_meter`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_meter;
 pub mod error;
 pub mod experiments;
 pub mod faults;
@@ -22,30 +26,46 @@ pub mod perf;
 
 pub use error::BenchError;
 
-/// Execution context handed to every registered experiment: the scale plus
+/// Execution context handed to every registered experiment: the scale,
 /// the worker-thread budget for the experiment's internal trial fan-out
-/// (0 = available parallelism). Results are bit-identical at any thread
-/// count — see the determinism contract in `cadapt_analysis::parallel` —
-/// so the budget only moves wall time.
-#[derive(Debug, Clone, Copy)]
+/// (0 = available parallelism), and the run's cooperative
+/// [`CancelToken`](cadapt_core::CancelToken). Results are bit-identical
+/// at any thread count — see the determinism contract in
+/// `cadapt_analysis::parallel` — so the budget only moves wall time.
+/// Cursor-driven experiments observe the token between runs and surface a
+/// fired one as [`BenchError::Cancelled`] (exit code 6).
+#[derive(Debug, Clone)]
 pub struct ExpCtx {
     /// How big to run.
     pub scale: Scale,
     /// Worker threads for trial fan-out (0 = available parallelism).
     pub threads: usize,
+    /// Cooperative cancellation flag shared with the CLI's watcher.
+    pub cancel: cadapt_core::CancelToken,
 }
 
 impl ExpCtx {
     /// Context at `scale` with the default thread budget (all cores).
     #[must_use]
     pub fn new(scale: Scale) -> ExpCtx {
-        ExpCtx { scale, threads: 0 }
+        ExpCtx::with_threads(scale, 0)
     }
 
     /// Context with an explicit worker budget.
     #[must_use]
     pub fn with_threads(scale: Scale, threads: usize) -> ExpCtx {
-        ExpCtx { scale, threads }
+        ExpCtx {
+            scale,
+            threads,
+            cancel: cadapt_core::CancelToken::new(),
+        }
+    }
+
+    /// Replace the cancellation token (builder style).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: cadapt_core::CancelToken) -> ExpCtx {
+        self.cancel = cancel;
+        self
     }
 }
 

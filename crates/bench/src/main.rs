@@ -3,7 +3,7 @@
 //! ```text
 //! cadapt-bench list
 //! cadapt-bench run    [--exp e1,e2,…] [--size quick|full] [--threads N] [--out DIR]
-//!                     [--checkpoint-every N] [--resume]
+//!                     [--checkpoint-every N] [--resume] [--cancel-after MS]
 //! cadapt-bench check  [--exp e1,e2,…] [--size quick|full] [--threads N] [--golden DIR]
 //! cadapt-bench perf   [--size quick|full] [--out FILE]
 //! cadapt-bench faults [--seed N] [--cases N] [--out FILE]
@@ -26,6 +26,14 @@
 //! and resumed run's final records are **byte-identical** to an
 //! uninterrupted checkpointed run's. Both flags require `--out`.
 //!
+//! `--cancel-after MS` arms a watcher thread that fires the run's
+//! cooperative [`CancelToken`](cadapt_core::CancelToken) after MS
+//! milliseconds (0 fires it before any experiment starts). Cursor-driven
+//! experiments observe the token between runs and stop with the typed
+//! `cancelled after N boxes` outcome (exit code 6); completed records
+//! already persisted stay valid, so a cancelled checkpointed run resumes
+//! with `--resume` and finishes byte-identical to an uninterrupted one.
+//!
 //! `check` re-runs the selected experiments and compares each against the
 //! committed record in the golden directory (default `tests/golden`) under
 //! the tolerance bands of `cadapt_bench::harness::check`. A missing or
@@ -39,9 +47,10 @@
 //! thread count (the engine's determinism contract), so `--threads` only
 //! moves wall time.
 //!
-//! `perf` times the per-box baseline against the run-length fast path plus
-//! the experiment engine's thread-scaling ladder and writes the suite
-//! record (default `BENCH_7.json`; `--out` overrides the file).
+//! `perf` times the per-box baseline against the run-length fast path,
+//! the streaming cursors against the batched drivers, and the experiment
+//! engine's thread-scaling ladder, and writes the suite record (default
+//! `BENCH_9.json`; `--out` overrides the file).
 //!
 //! `faults` runs the deterministic fault-injection harness: `--cases`
 //! fault plans expanded from `--seed`, each attacking the engine's
@@ -55,9 +64,15 @@
 //! Exit codes (see DESIGN.md's failure model): 0 success, 1 semantic
 //! failure (experiment error, check mismatch), 2 usage, 3 filesystem,
 //! 4 untrusted data (corrupt artifact, bad golden, unusable checkpoint),
-//! 5 isolated panic.
+//! 5 isolated panic, 6 cooperative cancellation.
 
 use cadapt_analysis::parallel::{resolve_threads, run_indexed};
+
+/// With `count-alloc`, every allocation in this process is metered so the
+/// perf suite can assert the streaming pipelines' flat peak memory.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static GLOBAL: cadapt_bench::alloc_meter::CountingAlloc = cadapt_bench::alloc_meter::CountingAlloc;
 use cadapt_bench::faults;
 use cadapt_bench::harness::checkpoint::{self, Checkpointer, Recovered};
 use cadapt_bench::harness::store::{self, ArtifactWriter, FsWriter};
@@ -85,13 +100,16 @@ options:
                            trial fan-out (0 = available parallelism; results
                            are bit-identical at any N)
   --out PATH               run: directory for per-experiment JSON records
-                           perf: output file (default BENCH_7.json)
+                           perf: output file (default BENCH_9.json)
                            faults: report file (default FAULTS.json)
   --golden DIR             check only: golden directory (default tests/golden)
   --checkpoint-every N     run only: flush a crash-safe MANIFEST.json every N
                            completed experiments (requires --out)
   --resume                 run only: reuse verified records from a previous
                            checkpointed run in --out; implies checkpointing
+  --cancel-after MS        run only: fire the cooperative cancel token after
+                           MS milliseconds (0 = before any experiment);
+                           cancelled runs exit 6 and resume cleanly
   --seed N                 faults only: suite seed (default 7)
   --cases N                faults only: fault plans to run (default 16)
 ";
@@ -104,6 +122,7 @@ struct Options {
     golden: PathBuf,
     checkpoint_every: Option<u64>,
     resume: bool,
+    cancel_after_ms: Option<u64>,
     seed: u64,
     cases: u64,
 }
@@ -121,6 +140,7 @@ fn parse_options(args: &[String]) -> Result<Options, BenchError> {
         golden: PathBuf::from("tests/golden"),
         checkpoint_every: None,
         resume: false,
+        cancel_after_ms: None,
         seed: 7,
         cases: 16,
     };
@@ -161,6 +181,10 @@ fn parse_options(args: &[String]) -> Result<Options, BenchError> {
                 options.checkpoint_every = Some(every);
             }
             "--resume" => options.resume = true,
+            "--cancel-after" => {
+                let text = value("--cancel-after")?;
+                options.cancel_after_ms = Some(number("--cancel-after", &text)?);
+            }
             "--seed" => {
                 let text = value("--seed")?;
                 options.seed = number("--seed", &text)?;
@@ -224,8 +248,7 @@ struct JobOutcome {
 fn run_job(
     job: usize,
     exp: &dyn harness::Experiment,
-    scale: Scale,
-    inner_threads: usize,
+    base_ctx: &ExpCtx,
     out: Option<&Path>,
     ckpt: Option<&Checkpointer>,
     recovered: &Recovered,
@@ -241,9 +264,12 @@ fn run_job(
             error: None,
         };
     }
-    eprintln!("[cadapt-bench] running {} ({})…", exp.id(), scale.name());
-    let (mut record, mut error) =
-        harness::run_record_resilient(exp, ExpCtx::with_threads(scale, inner_threads));
+    eprintln!(
+        "[cadapt-bench] running {} ({})…",
+        exp.id(),
+        base_ctx.scale.name()
+    );
+    let (mut record, mut error) = harness::run_record_resilient(exp, base_ctx.clone());
     if ckpt.is_some() {
         // Checkpointed runs canonicalize the one wall-clock-smeared field
         // so a killed-and-resumed run is byte-identical to an
@@ -319,20 +345,30 @@ fn cmd_run(options: &Options) -> Result<(), BenchError> {
         _ => None,
     };
     let (shards, inner) = shard_plan(options.threads, experiments.len());
+    // One token for the whole run. The watcher fires it from its own
+    // thread; cursor-driven experiments observe it between runs and stop
+    // with the typed outcome. MS = 0 fires inline so tests get a
+    // deterministic "cancelled before the first box" ordering.
+    let cancel = cadapt_core::CancelToken::new();
+    if let Some(ms) = options.cancel_after_ms {
+        if ms == 0 {
+            cancel.cancel();
+        } else {
+            let token = cancel.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                token.cancel();
+            });
+        }
+        eprintln!("[cadapt-bench] cancellation watcher armed: {ms} ms");
+    }
     // Tables are buffered in the records and printed in registry order
     // after the fan-out, so sharding never interleaves stdout. Each job
     // persists its own record the moment it completes — a kill mid-suite
     // loses at most the in-flight experiments.
+    let base_ctx = ExpCtx::with_threads(scale, inner).with_cancel(cancel.clone());
     let outcomes: Vec<JobOutcome> = run_indexed(experiments.len(), shards, |i| {
-        run_job(
-            i,
-            experiments[i],
-            scale,
-            inner,
-            out,
-            ckpt.as_ref(),
-            &recovered,
-        )
+        run_job(i, experiments[i], &base_ctx, out, ckpt.as_ref(), &recovered)
     });
     if let Some(ckpt) = &ckpt {
         ckpt.flush(&FsWriter)?;
@@ -419,7 +455,7 @@ fn cmd_perf(options: &Options) -> Result<(), BenchError> {
     let path = options
         .out
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_7.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_9.json"));
     FsWriter.persist(&path, &suite.to_json())?;
     eprintln!("[cadapt-bench] wrote {}", path.display());
     Ok(())

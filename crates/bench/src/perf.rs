@@ -42,7 +42,7 @@ use cadapt_core::profile::ConstantSource;
 use cadapt_core::{Blocks, BoxSource};
 use cadapt_paging::{analytic_fixed, replay_fixed};
 use cadapt_profiles::WorstCase;
-use cadapt_recursion::{run_on_profile, AbcParams, ExecModel, RunConfig};
+use cadapt_recursion::{run_cursor_on_profile, run_on_profile, AbcParams, ExecModel, RunConfig};
 use cadapt_trace::corpus::{test_matrices, test_strings};
 use cadapt_trace::{
     compile, BlockTrace, TraceAlgo, TraceEvent, TraceProgram, TraceSummary, Tracer,
@@ -53,8 +53,11 @@ use std::time::Instant;
 /// Bump when the JSON layout changes shape. 2 added `host_parallelism`
 /// and the `thread_scaling` section; 3 added the `analytic` section and
 /// moved the committed record to `BENCH_6.json`; 4 added the `bytecode`
-/// section and moved the committed record to `BENCH_7.json`.
-pub const SCHEMA_VERSION: u32 = 4;
+/// section and moved the committed record to `BENCH_7.json`; 5 added the
+/// `streaming` section (cursor pipelines vs the batched fast path, plus
+/// the constant-peak-memory scale drive) and moved the committed record
+/// to `BENCH_9.json`.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The trial-parallel experiments timed by the thread-scaling ladder.
 const SCALING_EXPERIMENTS: [&str; 6] = ["e3", "e4", "e5", "e10", "e11", "e13"];
@@ -149,7 +152,56 @@ pub struct BytecodeEntry {
     pub compression: f64,
 }
 
-/// The whole suite, as serialised to `BENCH_7.json`.
+/// One execution driven twice — through the batched [`BoxSource`] fast
+/// path and through the equivalent streaming cursor pipeline — with the
+/// reports asserted equal in process before either clock is read. The
+/// cursor layer is a zero-cost abstraction over the same closed-form
+/// advancement, so `overhead` is expected to sit within timing noise of
+/// 1.0; a committed record pins that claim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingEntry {
+    /// Case name (stable across runs; used by tooling).
+    pub name: String,
+    /// Boxes the execution consumed (identical in both modes).
+    pub boxes: u64,
+    /// Minimum wall time through the batched `BoxSource` driver, in
+    /// milliseconds.
+    pub batched_ms: f64,
+    /// Minimum wall time through the streaming cursor driver, in
+    /// milliseconds.
+    pub streaming_ms: f64,
+    /// `streaming_ms / batched_ms` — the cursor layer's overhead
+    /// (≈ 1.0 expected; the two paths share the draining loop).
+    pub overhead: f64,
+}
+
+/// The constant-memory scale drive: a three-tenant contended round-robin
+/// pipeline streamed through the execution driver at E15's longest replay
+/// length and at 64× that length, with peak heap growth metered (when the
+/// `count-alloc` feature is compiled in) and asserted flat — the long
+/// drive may not allocate more than the short one plus a fixed slack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingScale {
+    /// Boxes streamed in the short drive (= E15's longest replay length).
+    pub boxes_short: u64,
+    /// Boxes streamed in the long drive (64× the short one).
+    pub boxes_long: u64,
+    /// `boxes_long` over E15's longest replay at the same scale.
+    pub growth_vs_e15: f64,
+    /// Minimum wall time of the short drive, in milliseconds.
+    pub short_ms: f64,
+    /// Minimum wall time of the long drive, in milliseconds.
+    pub long_ms: f64,
+    /// Peak heap growth of the short drive, bytes (metered builds only).
+    pub peak_short_bytes: Option<u64>,
+    /// Peak heap growth of the long drive, bytes (metered builds only).
+    /// Asserted in process to stay within [`PEAK_SLACK_BYTES`] of the
+    /// short drive's peak — a `None` means the meter was compiled out,
+    /// never that the assertion was skipped silently.
+    pub peak_long_bytes: Option<u64>,
+}
+
+/// The whole suite, as serialised to `BENCH_9.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfSuite {
     /// JSON layout version.
@@ -167,6 +219,11 @@ pub struct PerfSuite {
     /// Compiled-replay vs kernel re-derivation (stream equality asserted
     /// in process before timing is reported).
     pub bytecode: Vec<BytecodeEntry>,
+    /// Streaming cursor pipelines vs the batched fast path (reports
+    /// asserted equal in process before timing is reported).
+    pub streaming: Vec<StreamingEntry>,
+    /// The constant-memory contended drive at 64× E15 lengths.
+    pub streaming_scale: StreamingScale,
     /// The thread-scaling ladder (serial baseline first per experiment).
     pub thread_scaling: Vec<ScalingEntry>,
 }
@@ -231,6 +288,43 @@ impl PerfSuite {
                     e.compression
                 ));
             }
+        }
+        if !self.streaming.is_empty() {
+            out.push_str(&format!(
+                "\nstreaming cursor vs batched fast path:\n{:<14} {:>12} {:>13} {:>13} {:>9}\n",
+                "case", "boxes", "batched", "streaming", "overhead"
+            ));
+            for e in &self.streaming {
+                out.push_str(&format!(
+                    "{:<14} {:>12} {:>11.2}ms {:>11.2}ms {:>8.2}x\n",
+                    e.name, e.boxes, e.batched_ms, e.streaming_ms, e.overhead
+                ));
+            }
+        }
+        {
+            let s = &self.streaming_scale;
+            let fmt_peak = |p: Option<u64>| match p {
+                Some(bytes) => format!("{bytes} B"),
+                None => "unmetered".to_string(),
+            };
+            out.push_str(&format!(
+                "\ncontended streaming drive (peak heap flat by assertion):\n\
+                 {:<10} {:>14} {:>12} {:>14}\n\
+                 {:<10} {:>14} {:>10.1}ms {:>14}\n\
+                 {:<10} {:>14} {:>10.1}ms {:>14}\n",
+                "drive",
+                "boxes",
+                "wall",
+                "peak heap",
+                "short",
+                s.boxes_short,
+                s.short_ms,
+                fmt_peak(s.peak_short_bytes),
+                "long(64x)",
+                s.boxes_long,
+                s.long_ms,
+                fmt_peak(s.peak_long_bytes),
+            ));
         }
         if !self.thread_scaling.is_empty() {
             out.push_str(&format!(
@@ -604,6 +698,184 @@ fn bytecode_replay(scale: Scale) -> Result<Vec<BytecodeEntry>, BenchError> {
     Ok(out)
 }
 
+/// Heap slack the long contended drive is allowed over the short one when
+/// the `count-alloc` meter is installed: 64 KiB covers allocator jitter
+/// while still failing loudly if any pipeline stage scales with length.
+const PEAK_SLACK_BYTES: u64 = 64 * 1024;
+
+/// Time one execution through the batched `BoxSource` driver and through
+/// the identical streaming cursor pipeline, asserting the two reports are
+/// equal before either clock is read.
+fn streaming_entry<S, C>(
+    name: &str,
+    params: AbcParams,
+    n: u64,
+    make_source: impl Fn() -> S,
+    make_cursor: impl Fn() -> C,
+) -> Result<StreamingEntry, BenchError>
+where
+    S: BoxSource,
+    C: cadapt_core::RunCursor,
+{
+    let config = RunConfig::default();
+
+    // Correctness before clocks: the full adaptivity reports must agree.
+    let batched_report = run_on_profile(params, n, &mut make_source(), &config)?;
+    let streamed_report = run_cursor_on_profile(params, n, &mut make_cursor(), &config)?;
+    if batched_report != streamed_report {
+        return Err(BenchError::invariant(format!(
+            "streaming {name}: cursor drive diverged from the batched fast path"
+        )));
+    }
+
+    let mut batched_ms = f64::INFINITY;
+    let mut streaming_ms = f64::INFINITY;
+    for _ in 0..ITERS {
+        let mut source = make_source();
+        // cadapt-lint: allow(nondet-source) -- wall-clock timing is the point of the perf suite; timings never feed golden records
+        let start = Instant::now();
+        let report = run_on_profile(params, n, &mut source, &config)?;
+        batched_ms = batched_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(&report);
+
+        let mut cursor = make_cursor();
+        // cadapt-lint: allow(nondet-source) -- wall-clock timing is the point of the perf suite; timings never feed golden records
+        let start = Instant::now();
+        let report = run_cursor_on_profile(params, n, &mut cursor, &config)?;
+        streaming_ms = streaming_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(&report);
+    }
+    Ok(StreamingEntry {
+        name: name.to_string(),
+        boxes: batched_report.boxes_used,
+        batched_ms,
+        streaming_ms,
+        overhead: streaming_ms / batched_ms,
+    })
+}
+
+/// The batched-vs-streaming throughput cases: the same two headline feeds
+/// the fast-path section times, driven through cursor pipelines.
+fn streaming_section(scale: Scale) -> Result<Vec<StreamingEntry>, BenchError> {
+    let mm = AbcParams::mm_scan();
+    let constant_n: u64 = scale.pick(1 << 16, 1 << 18);
+    let wide = AbcParams::new(16, 4, 1.0, 1)?;
+    let wc_depth = scale.pick(5, 6);
+    let wc = WorstCase::new(16, 4, 1, wc_depth)?;
+    let wc_n = wide.canonical_size(wc_depth);
+    eprintln!("[cadapt-bench] streaming cursor overhead…");
+    Ok(vec![
+        streaming_entry(
+            "constant",
+            mm,
+            constant_n,
+            || ConstantSource::new(16),
+            || ConstantSource::new(16).into_cursor(),
+        )?,
+        streaming_entry(
+            "worst_case",
+            wide,
+            wc_n,
+            || wc.source(),
+            || wc.source().into_cursor(),
+        )?,
+    ])
+}
+
+/// Stream a three-tenant contended round-robin pipeline for exactly
+/// `target` boxes, returning the minimum wall time and the metered peak
+/// heap growth. The execution cannot complete at `huge_n`, so the typed
+/// `ProfileExhausted { after_boxes == target }` outcome proves every box
+/// was consumed.
+fn contended_drive(target: u64, huge_n: u64) -> Result<(f64, Option<u64>), BenchError> {
+    use cadapt_core::{RunCursor, RunCursorExt};
+    let mm = AbcParams::mm_scan();
+    let config = RunConfig::default();
+    let tooth: Vec<u64> = (1..=32).chain((1..=32).rev()).collect();
+    let tooth = cadapt_core::SquareProfile::new(tooth)
+        .map_err(|e| BenchError::invariant(format!("contended drive tooth menu: {e}")))?;
+    let adversary = WorstCase::new(8, 4, 1, 20)?;
+    let total_cache = 96u64;
+    let mut wall_ms = f64::INFINITY;
+    let mut peak: Option<u64> = None;
+    for _ in 0..ITERS {
+        let drive = || -> Result<(), BenchError> {
+            let tenants: Vec<Box<dyn RunCursor + '_>> = vec![
+                Box::new(adversary.source().into_cursor()),
+                Box::new(tooth.cycle().into_cursor()),
+                Box::new(ConstantSource::new(total_cache).into_cursor()),
+            ];
+            let mut pipeline = cadapt_profiles::contended_round_robin(tenants, 1024, total_cache)
+                .take_boxes(target);
+            match run_cursor_on_profile(mm, huge_n, &mut pipeline, &config) {
+                Err(cadapt_recursion::RunError::ProfileExhausted { after_boxes })
+                    if after_boxes == target =>
+                {
+                    Ok(())
+                }
+                Err(e) => Err(BenchError::invariant(format!(
+                    "contended drive: expected exhaustion at {target}, got {e}"
+                ))),
+                Ok(report) => Err(BenchError::invariant(format!(
+                    "contended drive completed in {} boxes — n is not huge enough",
+                    report.boxes_used
+                ))),
+            }
+        };
+        // cadapt-lint: allow(nondet-source) -- wall-clock timing is the point of the perf suite; timings never feed golden records
+        let start = Instant::now();
+        let (outcome, growth) = crate::alloc_meter::measure_peak_growth(drive);
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        outcome?;
+        peak = match (peak, growth) {
+            (Some(best), Some(g)) => Some(best.min(g)),
+            (None, g) => g,
+            (best, None) => best,
+        };
+    }
+    Ok((wall_ms, peak))
+}
+
+/// The constant-memory scale drive (see [`StreamingScale`]).
+///
+/// # Errors
+///
+/// A drive that does not exhaust its pipeline exactly, or (when metered)
+/// a long drive whose peak heap exceeds the short drive's by more than
+/// [`PEAK_SLACK_BYTES`], is a typed invariant failure.
+fn streaming_scale(scale: Scale) -> Result<StreamingScale, BenchError> {
+    let side = scale.pick(64, 128);
+    let e15_len = TraceAlgo::EXTENDED
+        .iter()
+        .map(|algo| cadapt_trace::compiled(*algo, side, 4).accesses())
+        .max()
+        .ok_or_else(|| BenchError::invariant("streaming scale: empty corpus"))?;
+    let boxes_short = e15_len;
+    let boxes_long = e15_len.saturating_mul(64);
+    let huge_n = AbcParams::mm_scan().canonical_size(30);
+    eprintln!("[cadapt-bench] streaming contended drive: {boxes_short} then {boxes_long} boxes…");
+    let (short_ms, peak_short_bytes) = contended_drive(boxes_short, huge_n)?;
+    let (long_ms, peak_long_bytes) = contended_drive(boxes_long, huge_n)?;
+    if let (Some(short), Some(long)) = (peak_short_bytes, peak_long_bytes) {
+        if long > short.saturating_add(PEAK_SLACK_BYTES) {
+            return Err(BenchError::invariant(format!(
+                "streaming scale: peak heap grew with pipeline length \
+                 ({short} B at {boxes_short} boxes, {long} B at {boxes_long} boxes)"
+            )));
+        }
+        eprintln!("[cadapt-bench] streaming peak heap: {short} B short, {long} B long (flat)");
+    }
+    Ok(StreamingScale {
+        boxes_short,
+        boxes_long,
+        growth_vs_e15: boxes_long as f64 / e15_len as f64,
+        short_ms,
+        long_ms,
+        peak_short_bytes,
+        peak_long_bytes,
+    })
+}
+
 /// `constant_capacity` times the capacity model's steady-cycle batching on
 /// the same constant feed.
 ///
@@ -641,6 +913,8 @@ pub fn run(scale: Scale) -> Result<PerfSuite, BenchError> {
         entries,
         analytic: analytic_vs_simulated(scale)?,
         bytecode: bytecode_replay(scale)?,
+        streaming: streaming_section(scale)?,
+        streaming_scale: streaming_scale(scale)?,
         thread_scaling: thread_scaling(scale, host)?,
     })
 }
@@ -689,6 +963,22 @@ mod tests {
                 bytecode_bytes: 1100,
                 compression: 16.0,
             }],
+            streaming: vec![StreamingEntry {
+                name: "constant".to_string(),
+                boxes: 1 << 15,
+                batched_ms: 1.0,
+                streaming_ms: 1.05,
+                overhead: 1.05,
+            }],
+            streaming_scale: StreamingScale {
+                boxes_short: 1 << 18,
+                boxes_long: 1 << 24,
+                growth_vs_e15: 64.0,
+                short_ms: 1.0,
+                long_ms: 60.0,
+                peak_short_bytes: Some(4096),
+                peak_long_bytes: Some(4096),
+            },
             thread_scaling: vec![ScalingEntry {
                 experiment: "e3".to_string(),
                 threads: 2,
@@ -705,12 +995,45 @@ mod tests {
         assert_eq!(parsed.analytic[0].sweep_points, 11);
         assert_eq!(parsed.bytecode.len(), 1);
         assert_eq!(parsed.bytecode[0].bytecode_bytes, 1100);
+        assert_eq!(parsed.streaming.len(), 1);
+        assert_eq!(parsed.streaming_scale.peak_long_bytes, Some(4096));
         assert_eq!(parsed.thread_scaling.len(), 1);
         let rendered = suite.table();
         assert!(rendered.contains("tiny"));
         assert!(rendered.contains("analytic vs simulated"));
         assert!(rendered.contains("bytecode replay"));
+        assert!(rendered.contains("streaming cursor vs batched"));
+        assert!(rendered.contains("contended streaming drive"));
         assert!(rendered.contains("thread scaling"));
+    }
+
+    #[test]
+    fn streaming_section_agrees_and_reports_sane_numbers() {
+        // Report equality is asserted inside streaming_entry; check shape.
+        let entries = streaming_section(Scale::Quick).expect("streaming section runs");
+        assert_eq!(entries.len(), 2);
+        for e in &entries {
+            assert!(e.boxes > 0);
+            assert!(e.batched_ms >= 0.0 && e.streaming_ms >= 0.0);
+            assert!(e.overhead.is_finite() && e.overhead > 0.0);
+        }
+    }
+
+    #[test]
+    fn unmetered_peak_round_trips_as_null() {
+        let scale = StreamingScale {
+            boxes_short: 10,
+            boxes_long: 640,
+            growth_vs_e15: 64.0,
+            short_ms: 1.0,
+            long_ms: 2.0,
+            peak_short_bytes: None,
+            peak_long_bytes: None,
+        };
+        let json = serde_json::to_value(&scale).render_pretty();
+        assert!(json.contains("null"), "{json}");
+        let back: StreamingScale = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.peak_short_bytes, None);
     }
 
     #[test]

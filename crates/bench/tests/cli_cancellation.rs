@@ -1,0 +1,146 @@
+//! End-to-end cooperative-cancellation tests against the real
+//! `cadapt-bench` binary: `--cancel-after` surfaces the typed outcome as
+//! exit code 6, the partial record stays parseable (and is never vouched
+//! for by the checkpoint manifest), and a cancelled checkpointed run
+//! resumes to records byte-identical to an uninterrupted run's.
+
+use cadapt_bench::harness::RunRecord;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bench_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cadapt-bench")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cadapt-cancel-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn run_bench(args: &[&str]) -> Output {
+    Command::new(bench_bin())
+        .args(args)
+        .output()
+        .expect("cadapt-bench spawns")
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("exited (not signalled)")
+}
+
+fn stderr_text(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A pre-fired token (`--cancel-after 0`) must abort E16's streaming
+/// drive with the typed outcome — exit code 6, "cancelled after 0 boxes"
+/// — while still persisting a parseable partial record that `check`-style
+/// consumers can reject via its `complete: false` marker. Resuming the
+/// same directory re-runs the cancelled experiment and lands the exact
+/// bytes an uninterrupted checkpointed run produces.
+#[test]
+fn cancelled_run_exits_6_and_resumes_byte_identical() {
+    let cancelled_dir = scratch("resume");
+    let reference_dir = scratch("reference");
+    let cancelled_arg = cancelled_dir.to_str().expect("utf8 path");
+    let reference_arg = reference_dir.to_str().expect("utf8 path");
+
+    // Reference: the same plan, uninterrupted.
+    let reference = run_bench(&[
+        "run",
+        "--exp",
+        "e16",
+        "--quick",
+        "--threads",
+        "1",
+        "--out",
+        reference_arg,
+        "--checkpoint-every",
+        "1",
+    ]);
+    assert_eq!(
+        exit_code(&reference),
+        0,
+        "stderr: {}",
+        stderr_text(&reference)
+    );
+
+    // Victim: the token fires before the first box is streamed.
+    let victim = run_bench(&[
+        "run",
+        "--exp",
+        "e16",
+        "--quick",
+        "--threads",
+        "1",
+        "--out",
+        cancelled_arg,
+        "--checkpoint-every",
+        "1",
+        "--cancel-after",
+        "0",
+    ]);
+    assert_eq!(exit_code(&victim), 6, "stderr: {}", stderr_text(&victim));
+    let err = stderr_text(&victim);
+    assert!(err.contains("cancellation watcher armed: 0 ms"), "{err}");
+    assert!(err.contains("cancelled after 0 boxes"), "{err}");
+
+    // The partial record is on disk, parseable, and honestly incomplete —
+    // never a silent stand-in for a healthy record.
+    let partial_path = cancelled_dir.join("e16.json");
+    let partial_text = std::fs::read_to_string(&partial_path).expect("partial record readable");
+    let partial = RunRecord::from_json(&partial_text).expect("partial record parses");
+    assert!(!partial.complete, "cancelled record must not claim success");
+    assert!(
+        partial.tables.concat().contains("cancelled after 0 boxes"),
+        "failure table must carry the typed outcome: {:?}",
+        partial.tables
+    );
+    // The checkpoint manifest must not vouch for the partial record:
+    // `completed_jobs` and `records` stay empty (each vouched record
+    // would carry a `"job"` entry).
+    let manifest =
+        std::fs::read_to_string(cancelled_dir.join("MANIFEST.json")).expect("manifest readable");
+    assert!(
+        !manifest.contains("\"job\""),
+        "manifest vouches for a cancelled record: {manifest}"
+    );
+
+    // Resume without the watcher: the cancelled experiment re-runs and
+    // the final record is byte-identical to the uninterrupted run's.
+    let resumed = run_bench(&[
+        "run",
+        "--exp",
+        "e16",
+        "--quick",
+        "--threads",
+        "1",
+        "--out",
+        cancelled_arg,
+        "--resume",
+    ]);
+    assert_eq!(exit_code(&resumed), 0, "stderr: {}", stderr_text(&resumed));
+    let got = std::fs::read(cancelled_dir.join("e16.json")).expect("resumed record");
+    let want = std::fs::read(reference_dir.join("e16.json")).expect("reference record");
+    assert_eq!(
+        got, want,
+        "resumed record differs from the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&cancelled_dir);
+    let _ = std::fs::remove_dir_all(&reference_dir);
+}
+
+/// An armed watcher that never fires must not disturb a healthy run.
+#[test]
+fn unfired_watcher_leaves_the_run_untouched() {
+    let output = run_bench(&["run", "--exp", "e1", "--quick", "--cancel-after", "600000"]);
+    assert_eq!(exit_code(&output), 0, "stderr: {}", stderr_text(&output));
+    assert!(
+        stderr_text(&output).contains("cancellation watcher armed: 600000 ms"),
+        "{}",
+        stderr_text(&output)
+    );
+}

@@ -32,6 +32,7 @@
 pub mod cast;
 pub mod checksum;
 pub mod counters;
+pub mod cursor;
 pub mod error;
 pub mod memory_profile;
 pub mod potential;
@@ -40,6 +41,7 @@ pub mod progress;
 pub mod report;
 
 pub use counters::CounterSnapshot;
+pub use cursor::{CancelToken, Cancelled, RunCursor, RunCursorExt, SourceCursor};
 pub use error::CoreError;
 pub use memory_profile::MemoryProfile;
 pub use potential::Potential;

@@ -59,6 +59,17 @@ pub trait BoxSource {
             repeat: 1,
         }
     }
+
+    /// Lift this source into the streaming-pipeline world: an infinite
+    /// [`RunCursor`](crate::cursor::RunCursor) yielding this source's
+    /// runs, composable with the cursor combinators
+    /// ([`RunCursorExt`](crate::cursor::RunCursorExt)).
+    fn into_cursor(self) -> crate::cursor::SourceCursor<Self>
+    where
+        Self: Sized,
+    {
+        crate::cursor::SourceCursor::new(self)
+    }
 }
 
 /// Blanket impl so `&mut S` is itself a source (mirrors `Iterator`).

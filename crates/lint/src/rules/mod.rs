@@ -12,6 +12,7 @@
 
 mod counter_balance;
 mod crate_header;
+mod cursor_materialize;
 mod float_eq;
 mod float_ord;
 mod lossy_cast;
@@ -62,6 +63,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(rng_discipline::RngDiscipline),
         Box::new(counter_balance::CounterBalance),
         Box::new(vm_dispatch::VmDispatch),
+        Box::new(cursor_materialize::CursorMaterialize),
     ]
 }
 

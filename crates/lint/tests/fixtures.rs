@@ -303,6 +303,58 @@ fn nondet_source_pass() {
 }
 
 #[test]
+fn cursor_materialize_fail() {
+    // A drained-then-collected run stream and a `.to_vec()` snapshot.
+    assert_eq!(
+        lint_fixture("fail/cursor_materialize.rs", "crates/core/src/cursor.rs"),
+        [("cursor-materialize", 10), ("cursor-materialize", 14)]
+    );
+}
+
+#[test]
+fn cursor_materialize_pass() {
+    // Fold-while-draining, an item named `collect`, and a waived
+    // per-tenant setup all come back clean.
+    assert_eq!(
+        lint_fixture("pass/cursor_materialize.rs", "crates/core/src/cursor.rs"),
+        []
+    );
+}
+
+#[test]
+fn cursor_materialize_covers_every_streaming_module() {
+    // The streaming contract spans five crates; pin the exact paths so a
+    // rename cannot silently drop a module from coverage.
+    for path in [
+        "crates/core/src/cursor.rs",
+        "crates/profiles/src/scenario.rs",
+        "crates/recursion/src/run.rs",
+        "crates/paging/src/replay.rs",
+        "crates/trace/src/summary.rs",
+        "crates/bench/src/experiments/e16_streaming_contention.rs",
+    ] {
+        assert_eq!(
+            lint_fixture("fail/cursor_materialize.rs", path),
+            [("cursor-materialize", 10), ("cursor-materialize", 14)],
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn cursor_materialize_is_scoped_to_streaming_modules() {
+    // Ordinary library code may collect freely — the rule protects the
+    // streaming modules' memory contract, not allocation in general.
+    for path in [LIB_PATH, ACCOUNTING_PATH, "crates/core/src/profile.rs"] {
+        assert_eq!(
+            lint_fixture("fail/cursor_materialize.rs", path),
+            [],
+            "{path}"
+        );
+    }
+}
+
+#[test]
 fn crate_header_fail() {
     assert_eq!(
         lint_fixture("fail/crate_header.rs", ROOT_PATH),
@@ -364,12 +416,13 @@ fn every_rule_documents_itself() {
             rule.id()
         );
     }
-    // The dataflow rules this PR introduced are all registered.
+    // The dataflow rules and the streaming-contract rule are registered.
     for id in [
         "panic-reach",
         "rng-discipline",
         "counter-balance",
         "vm-dispatch",
+        "cursor-materialize",
     ] {
         assert!(ids.contains(id), "{id} missing from registry");
     }

@@ -1,0 +1,15 @@
+//! Fixture: eager materialisation in a streaming-cursor module.
+
+use cadapt_core::{BoxRun, RunCursor};
+
+pub fn drain_all<C: RunCursor>(cursor: &mut C) -> Vec<BoxRun> {
+    let mut runs = Vec::new();
+    while let Ok(Some(run)) = cursor.next_run() {
+        runs.push(run);
+    }
+    runs.iter().cloned().collect::<Vec<_>>()
+}
+
+pub fn snapshot(sizes: &[u64]) -> Vec<u64> {
+    sizes.to_vec()
+}

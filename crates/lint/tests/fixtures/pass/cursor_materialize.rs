@@ -1,0 +1,23 @@
+//! Fixture: streaming-friendly idioms in a streaming-cursor module.
+
+use cadapt_core::RunCursor;
+
+/// Folding while draining keeps resident state O(1).
+pub fn total_boxes<C: RunCursor>(cursor: &mut C) -> u64 {
+    let mut total = 0u64;
+    while let Ok(Some(run)) = cursor.next_run() {
+        total = total.saturating_add(run.repeat);
+    }
+    total
+}
+
+/// An item merely *named* `collect` is not an invocation.
+pub fn collect() -> u64 {
+    7
+}
+
+/// Waived per-tenant setup: one slot per tenant, independent of
+/// pipeline length.
+pub fn tenant_slots(n: usize) -> Vec<Option<u64>> {
+    (0..n).map(|_| None).collect() // cadapt-lint: allow(cursor-materialize) -- one slot per tenant, bounded by the tenant count, not pipeline length
+}

@@ -12,6 +12,9 @@
 //!   cache; the per-box progress ledger feeds the same
 //!   [`AdaptivityReport`](cadapt_core::AdaptivityReport) the abstract
 //!   cursor produces, making the two layers directly comparable (E8).
+//!   [`replay::replay_square_cursor`] is the streaming variant: the same
+//!   replay fed from any [`RunCursor`](cadapt_core::RunCursor) pipeline,
+//!   with cooperative cancellation at run boundaries.
 //! * [`replay::replay_memory_profile`] — the general CA model: an arbitrary
 //!   m(t), evicting down to the new size at every step.
 //!
@@ -44,5 +47,6 @@ pub use analytic::{
 pub use lru::LruCache;
 pub use opt::replay_opt;
 pub use replay::{
-    replay_fixed, replay_memory_profile, replay_square_profile, replay_square_profile_history,
+    replay_fixed, replay_memory_profile, replay_square_cursor, replay_square_profile,
+    replay_square_profile_history, ReplayError,
 };

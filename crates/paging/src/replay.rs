@@ -3,10 +3,41 @@
 
 use crate::lru::LruCache;
 use cadapt_core::{
-    cast, AdaptivityReport, Blocks, BoxRecord, BoxSource, Io, Leaves, MemoryProfile, Potential,
-    ProgressLedger,
+    cast, AdaptivityReport, Blocks, BoxRecord, BoxRun, BoxSource, Io, Leaves, MemoryProfile,
+    Potential, ProgressLedger, RunCursor,
 };
 use cadapt_trace::{TraceEvent, TraceStream};
+
+/// Error from a cursor-driven replay ([`replay_square_cursor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The cursor ran dry before the trace finished replaying.
+    ProfileExhausted {
+        /// Boxes fully consumed before the cursor ended.
+        after_boxes: u64,
+    },
+    /// A [`CancelToken`](cadapt_core::CancelToken) upstream fired; the
+    /// replay stopped cooperatively at a run boundary.
+    Cancelled {
+        /// Boxes fully consumed before cancellation was observed.
+        after_boxes: u64,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::ProfileExhausted { after_boxes } => {
+                write!(f, "profile ran dry after {after_boxes} boxes")
+            }
+            ReplayError::Cancelled { after_boxes } => {
+                write!(f, "replay cancelled after {after_boxes} boxes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
 
 /// Outcome of a fixed-cache (classical DAM) replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +120,7 @@ pub fn replay_square_profile_history<T: TraceStream + ?Sized, S: BoxSource>(
 ) -> (AdaptivityReport, Vec<BoxRecord>) {
     let ledger = ProgressLedger::retaining(rho, trace.distinct_blocks());
     let ledger = replay_square_into(trace, source, ledger);
+    // cadapt-lint: allow(cursor-materialize) -- this entry point exists to hand back the retained per-box history; callers opted into O(boxes) memory by choosing it
     let history = ledger.history().unwrap_or_default().to_vec();
     (ledger.finish(), history)
 }
@@ -96,13 +128,51 @@ pub fn replay_square_profile_history<T: TraceStream + ?Sized, S: BoxSource>(
 fn replay_square_into<T: TraceStream + ?Sized, S: BoxSource>(
     trace: &T,
     source: &mut S,
-    mut ledger: ProgressLedger,
+    ledger: ProgressLedger,
 ) -> ProgressLedger {
+    let mut cursor = cadapt_core::SourceCursor::new(source);
+    replay_cursor_into(trace, &mut cursor, ledger).expect("infallible") // cadapt-lint: allow(panic-reach) -- SourceCursor adapts an infinite BoxSource and carries no cancel token, so neither ReplayError variant can occur
+}
+
+/// The one per-box trace-replay loop in this crate: both the legacy
+/// [`BoxSource`] entry points and the streaming [`replay_square_cursor`]
+/// drain it. Runs are pulled lazily and expanded box by box — trace replay
+/// inherently simulates each box's LRU cache — with at most one pending
+/// run resident (the cursor contract's O(1) bound). Leaf marks are
+/// attached to the preceding access, so trailing marks of the final box
+/// are consumed correctly.
+fn replay_cursor_into<T: TraceStream + ?Sized, C: RunCursor>(
+    trace: &T,
+    source: &mut C,
+    mut ledger: ProgressLedger,
+) -> Result<ProgressLedger, ReplayError> {
     let mut events = trace.events().peekable();
-    // Consume trailing leaf marks of the final box correctly by treating
-    // leaf marks as attached to the preceding access.
+    let mut boxes: u64 = 0;
+    let mut pending: Option<BoxRun> = None;
     while events.peek().is_some() {
-        let size = source.next_box();
+        let run = match pending.take() {
+            Some(run) => run,
+            None => match source.next_run() {
+                Ok(Some(run)) => run,
+                Ok(None) => return Err(ReplayError::ProfileExhausted { after_boxes: boxes }),
+                Err(cadapt_core::Cancelled) => {
+                    return Err(ReplayError::Cancelled { after_boxes: boxes });
+                }
+            },
+        };
+        debug_assert!(run.repeat >= 1 && run.size >= 1, "bad run {run:?}");
+        let size = run.size;
+        if run.repeat > 1 {
+            // Stash the rest of the run; infinite tails stay infinite.
+            pending = Some(BoxRun {
+                size,
+                repeat: if run.repeat == u64::MAX {
+                    u64::MAX
+                } else {
+                    run.repeat - 1
+                },
+            });
+        }
         let mut cache = LruCache::new(cast::usize_from_u64(size));
         let mut budget = Io::from(size);
         let mut progress: Leaves = 0;
@@ -129,6 +199,7 @@ fn replay_square_into<T: TraceStream + ?Sized, S: BoxSource>(
                 }
             }
         }
+        boxes += 1;
         cadapt_core::counters::count_boxes(1);
         cadapt_core::counters::count_io(used);
         ledger.record(BoxRecord {
@@ -137,7 +208,36 @@ fn replay_square_into<T: TraceStream + ?Sized, S: BoxSource>(
             used,
         });
     }
-    ledger
+    Ok(ledger)
+}
+
+/// As [`replay_square_profile`], but fed from a streaming
+/// [`RunCursor`] pipeline instead of a bare [`BoxSource`]: the profile may
+/// be throttled, interleaved, round-robined, or wrapped in
+/// [`cancellable`](cadapt_core::RunCursorExt::cancellable), and the replay
+/// holds O(1) profile state regardless of the pipeline's length.
+///
+/// Runs are expanded box by box — trace replay inherently simulates each
+/// box's LRU cache — but the cursor is pulled one *run* at a time, so
+/// cancellation is observed at run boundaries (cursor law 4) and a
+/// `u64::MAX` constant tail never materialises.
+///
+/// A finite cursor that ends before the trace does yields
+/// [`ReplayError::ProfileExhausted`]; a fired token yields
+/// [`ReplayError::Cancelled`]. Either way the counters reflect exactly the
+/// boxes fully replayed.
+///
+/// # Errors
+///
+/// See above: `ProfileExhausted` and `Cancelled` are the only failure
+/// modes.
+pub fn replay_square_cursor<T: TraceStream + ?Sized, C: RunCursor>(
+    trace: &T,
+    source: &mut C,
+    rho: Potential,
+) -> Result<AdaptivityReport, ReplayError> {
+    let ledger = ProgressLedger::new(rho, trace.distinct_blocks());
+    replay_cursor_into(trace, source, ledger).map(ProgressLedger::finish)
 }
 
 /// Outcome of an arbitrary-profile replay.
@@ -333,6 +433,46 @@ mod tests {
         assert!(replay.completed);
         // First pass: 4 misses. Second pass: cache shrunk to 1 → 4 misses.
         assert_eq!(replay.io, 8);
+    }
+
+    #[test]
+    fn cursor_replay_matches_source_replay() {
+        use cadapt_core::RunCursorExt;
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_inplace(&a, &b, 4);
+        let rho = Potential::new(8, 4);
+        let mut source = ConstantSource::new(16);
+        let classic = replay_square_profile(&trace, &mut source, rho);
+        let mut cursor = ConstantSource::new(16).into_cursor();
+        let streamed = replay_square_cursor(&trace, &mut cursor, rho).unwrap();
+        assert_eq!(classic, streamed);
+        // Through a no-op combinator stack the numbers are unchanged.
+        let mut piped = ConstantSource::new(16).into_cursor().throttle(16);
+        let piped = replay_square_cursor(&trace, &mut piped, rho).unwrap();
+        assert_eq!(classic, piped);
+    }
+
+    #[test]
+    fn cursor_replay_exhausted_profile_is_typed() {
+        use cadapt_core::RunCursorExt;
+        let (a, b) = small_matrices(8);
+        let (_, trace) = mm_scan(&a, &b, 4);
+        // Two boxes of 8 can't finish this trace.
+        let mut cursor = ConstantSource::new(8).into_cursor().take_boxes(2);
+        let err = replay_square_cursor(&trace, &mut cursor, Potential::new(8, 4)).unwrap_err();
+        assert_eq!(err, ReplayError::ProfileExhausted { after_boxes: 2 });
+    }
+
+    #[test]
+    fn cursor_replay_pre_cancelled_token_stops_at_zero_boxes() {
+        use cadapt_core::{CancelToken, RunCursorExt};
+        let (a, b) = small_matrices(4);
+        let (_, trace) = mm_inplace(&a, &b, 2);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cursor = ConstantSource::new(16).into_cursor().cancellable(token);
+        let err = replay_square_cursor(&trace, &mut cursor, Potential::new(8, 4)).unwrap_err();
+        assert_eq!(err, ReplayError::Cancelled { after_boxes: 0 });
     }
 
     #[test]

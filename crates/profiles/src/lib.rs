@@ -21,6 +21,10 @@
 //!   fair-share model. These produce arbitrary profiles m(t); compose with
 //!   [`MemoryProfile::inner_squares`](cadapt_core::MemoryProfile) to obtain
 //!   square profiles.
+//! * [`scenario`] — multi-tenant contention as *streaming cursor
+//!   pipelines*: the N-ary [`RoundRobin`](scenario::RoundRobin)
+//!   time-slicer and fair-share composition over the `cadapt-core` cursor
+//!   combinators, with O(1) resident state at any profile length.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +33,10 @@ pub mod cache;
 pub mod contention;
 pub mod dist;
 pub mod perturb;
+pub mod scenario;
 pub mod worst_case;
 
 pub use cache::{sawtooth_squares, worst_case_squares};
 pub use dist::{BoxDist, DistSource};
+pub use scenario::{contended_round_robin, fair_share, RoundRobin};
 pub use worst_case::{MatchedWorstCase, WorstCase};

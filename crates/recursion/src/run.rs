@@ -1,8 +1,22 @@
-//! Drivers: run an (a, b, c)-regular execution against a box source.
+//! Drivers: run an (a, b, c)-regular execution against a box source or a
+//! streaming [`RunCursor`] pipeline.
+//!
+//! There is exactly **one** run-draining loop in the workspace —
+//! [`run_cursor_with_ledger`] — and everything drives through it: the
+//! legacy [`BoxSource`] entry points wrap the source in a
+//! [`SourceCursor`](cadapt_core::SourceCursor), and the Monte-Carlo
+//! drivers in `cadapt-analysis` call the cursor entry points directly.
+//! The loop advances whole runs in closed form on the fast path, expands
+//! runs per box when history retention (or the measured per-box baseline)
+//! needs `BoxRecord`s, and observes cooperative cancellation between runs
+//! as the typed [`RunError::Cancelled`].
 
 use crate::model::ExecModel;
 use crate::params::AbcParams;
-use cadapt_core::{AdaptivityReport, Blocks, BoxRecord, BoxSource, CoreError, ProgressLedger};
+use cadapt_core::{
+    AdaptivityReport, Blocks, BoxRecord, BoxSource, CoreError, ProgressLedger, RunCursor,
+    SourceCursor,
+};
 
 /// Configuration of a run.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +58,19 @@ pub enum RunError {
         /// The configured cap.
         max_boxes: u64,
     },
+    /// A finite cursor pipeline ran dry before the execution completed.
+    /// (Plain [`BoxSource`]s are infinite and never produce this; a
+    /// [`take_boxes`](cadapt_core::RunCursorExt::take_boxes) pipeline can.)
+    ProfileExhausted {
+        /// Boxes consumed before the pipeline ended.
+        after_boxes: u64,
+    },
+    /// The pipeline's [`CancelToken`](cadapt_core::CancelToken) was
+    /// triggered; the execution stopped cooperatively between runs.
+    Cancelled {
+        /// Boxes consumed before cancellation was observed.
+        after_boxes: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -52,6 +79,12 @@ impl std::fmt::Display for RunError {
             RunError::BadSize(e) => write!(f, "bad problem size: {e}"),
             RunError::BoxBudgetExhausted { max_boxes } => {
                 write!(f, "execution did not complete within {max_boxes} boxes")
+            }
+            RunError::ProfileExhausted { after_boxes } => {
+                write!(f, "profile ran dry after {after_boxes} boxes")
+            }
+            RunError::Cancelled { after_boxes } => {
+                write!(f, "execution cancelled after {after_boxes} boxes")
             }
         }
     }
@@ -106,6 +139,61 @@ pub fn run_with_ledger<S: BoxSource>(
     source: &mut S,
     config: &RunConfig,
 ) -> Result<ProgressLedger, RunError> {
+    // The legacy BoxSource entry point is a thin bridge: wrap the source
+    // as an infinite cursor and drive the one shared loop. Per-run pull
+    // order and counter updates are identical, so results stay
+    // bit-for-bit what they were before the cursor unification.
+    run_cursor_with_ledger(params, n, &mut SourceCursor::new(source), config)
+}
+
+/// As [`run_on_profile`], but consume boxes from any streaming
+/// [`RunCursor`] pipeline — combinator stacks, throttled/interleaved
+/// multi-tenant scenarios, cancellable wrappers — instead of a plain
+/// source.
+///
+/// ```
+/// use cadapt_core::profile::ConstantSource;
+/// use cadapt_core::{BoxSource, RunCursorExt};
+/// use cadapt_recursion::{run_cursor_on_profile, AbcParams, RunConfig};
+///
+/// // MM-Scan against a throttled constant pipeline:
+/// let mut pipeline = ConstantSource::new(64).into_cursor().throttle(16);
+/// let report = run_cursor_on_profile(
+///     AbcParams::mm_scan(), 64, &mut pipeline, &RunConfig::default(),
+/// )?;
+/// assert_eq!(report.boxes_used, 12); // same as constant 16s
+/// # Ok::<(), cadapt_recursion::RunError>(())
+/// ```
+///
+/// # Errors
+///
+/// As [`run_on_profile`], plus [`RunError::ProfileExhausted`] if a finite
+/// pipeline ran dry mid-execution and [`RunError::Cancelled`] if a
+/// [`CancelToken`](cadapt_core::CancelToken) in the pipeline fired.
+pub fn run_cursor_on_profile<C: RunCursor>(
+    params: AbcParams,
+    n: Blocks,
+    cursor: &mut C,
+    config: &RunConfig,
+) -> Result<AdaptivityReport, RunError> {
+    let ledger = run_cursor_with_ledger(params, n, cursor, config)?;
+    Ok(ledger.finish())
+}
+
+/// As [`run_cursor_on_profile`], but returns the raw ledger (with per-box
+/// history when `config.retain_history` is set). **This is the one
+/// run-draining loop in the workspace**; every other driver delegates
+/// here.
+///
+/// # Errors
+///
+/// See [`run_cursor_on_profile`].
+pub fn run_cursor_with_ledger<C: RunCursor>(
+    params: AbcParams,
+    n: Blocks,
+    source: &mut C,
+    config: &RunConfig,
+) -> Result<ProgressLedger, RunError> {
     // The closed-form and descent tables come from the process-wide cache:
     // repeated trials over the same (params, n) clone a shared start-state
     // cursor instead of rebuilding the tables (bit-identical either way).
@@ -126,10 +214,22 @@ pub fn run_with_ledger<S: BoxSource>(
                 max_boxes: config.max_boxes,
             });
         }
+        let run = match source.next_run() {
+            Ok(Some(run)) => run,
+            Ok(None) => {
+                return Err(RunError::ProfileExhausted {
+                    after_boxes: ledger.boxes_used(),
+                })
+            }
+            Err(cadapt_core::Cancelled) => {
+                return Err(RunError::Cancelled {
+                    after_boxes: ledger.boxes_used(),
+                })
+            }
+        };
+        debug_assert!(run.repeat >= 1, "runs must be non-empty");
+        let allowed = config.max_boxes - ledger.boxes_used();
         if drain_runs {
-            let run = source.next_run();
-            debug_assert!(run.repeat >= 1, "runs must be non-empty");
-            let allowed = config.max_boxes - ledger.boxes_used();
             let out = config
                 .model
                 .advance_run(&mut cursor, run.size, run.repeat.min(allowed));
@@ -137,15 +237,22 @@ pub fn run_with_ledger<S: BoxSource>(
             cadapt_core::counters::count_io(out.used);
             ledger.record_run(run.size, out.progress, out.used, out.consumed);
         } else {
-            let size = source.next_box();
-            let out = config.model.advance(&mut cursor, size);
-            cadapt_core::counters::count_boxes(1);
-            cadapt_core::counters::count_io(out.used);
-            ledger.record(BoxRecord {
-                size,
-                progress: out.progress,
-                used: out.used,
-            });
+            // Expand the run per box (a plain source's default runs have
+            // repeat == 1, reproducing the historical per-box pull
+            // pattern exactly). A mid-run completion discards the rest of
+            // the run, per the discard-on-stop law.
+            let mut left = run.repeat.min(allowed);
+            while left > 0 && !cursor.is_done() {
+                let out = config.model.advance(&mut cursor, run.size);
+                cadapt_core::counters::count_boxes(1);
+                cadapt_core::counters::count_io(out.used);
+                ledger.record(BoxRecord {
+                    size: run.size,
+                    progress: out.progress,
+                    used: out.used,
+                });
+                left -= 1;
+            }
         }
     }
     Ok(ledger)
