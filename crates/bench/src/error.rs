@@ -17,6 +17,7 @@
 use cadapt_analysis::{McError, SweepError, TrialPanic};
 use cadapt_core::CoreError;
 use cadapt_recursion::RunError;
+use cadapt_serve::ServeError;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -97,6 +98,9 @@ pub enum BenchError {
         /// Why it cannot be used.
         detail: String,
     },
+    /// The job service failed: the daemon refused to start, a request
+    /// errored, or the serve fault suite found a robustness violation.
+    Service(ServeError),
 }
 
 impl BenchError {
@@ -110,6 +114,7 @@ impl BenchError {
     /// * `5` — an isolated panic (a bug, but one that was contained);
     /// * `6` — cooperative cancellation (a fired
     ///   [`CancelToken`](cadapt_core::CancelToken), not a failure);
+    /// * `7` — a job-service failure (daemon, protocol, or journal);
     /// * `1` — everything else (semantic failures reported cleanly).
     #[must_use]
     pub fn exit_code(&self) -> u8 {
@@ -122,6 +127,7 @@ impl BenchError {
             | BenchError::Checkpoint { .. } => 4,
             BenchError::Panicked { .. } => 5,
             BenchError::Cancelled { .. } => 6,
+            BenchError::Service(_) => 7,
             BenchError::Core(_)
             | BenchError::Run(_)
             | BenchError::Mc(_)
@@ -207,6 +213,7 @@ impl fmt::Display for BenchError {
             BenchError::Checkpoint { path, detail } => {
                 write!(f, "checkpoint manifest {} unusable: {detail}", path.display())
             }
+            BenchError::Service(e) => write!(f, "service error: {e}"),
         }
     }
 }
@@ -218,8 +225,15 @@ impl std::error::Error for BenchError {
             BenchError::Run(e) => Some(e),
             BenchError::Mc(e) => Some(e),
             BenchError::Record { source, .. } => Some(source),
+            BenchError::Service(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ServeError> for BenchError {
+    fn from(e: ServeError) -> BenchError {
+        BenchError::Service(e)
     }
 }
 
@@ -323,6 +337,10 @@ mod tests {
         );
         assert_eq!(BenchError::invariant("x").exit_code(), 1);
         assert_eq!(BenchError::Cancelled { after_boxes: 9 }.exit_code(), 6);
+        assert_eq!(
+            BenchError::Service(ServeError::Overloaded { capacity: 4 }).exit_code(),
+            7
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub struct E16Result {
     pub growth_vs_e15: f64,
     /// Peak resident heap growth during the at-scale drive, when the
     /// `count-alloc` meter is installed (always under
-    /// [`PEAK_CEILING_BYTES`] — asserted, not just reported).
+    /// `PEAK_CEILING_BYTES` — asserted, not just reported).
     pub peak_heap_bytes: Option<u64>,
 }
 

@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod faults;
 pub mod harness;
 pub mod perf;
+pub mod serve_faults;
 
 pub use error::BenchError;
 

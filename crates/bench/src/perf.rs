@@ -195,7 +195,7 @@ pub struct StreamingScale {
     /// Peak heap growth of the short drive, bytes (metered builds only).
     pub peak_short_bytes: Option<u64>,
     /// Peak heap growth of the long drive, bytes (metered builds only).
-    /// Asserted in process to stay within [`PEAK_SLACK_BYTES`] of the
+    /// Asserted in process to stay within `PEAK_SLACK_BYTES` of the
     /// short drive's peak — a `None` means the meter was compiled out,
     /// never that the assertion was skipped silently.
     pub peak_long_bytes: Option<u64>,
@@ -842,7 +842,7 @@ fn contended_drive(target: u64, huge_n: u64) -> Result<(f64, Option<u64>), Bench
 ///
 /// A drive that does not exhaust its pipeline exactly, or (when metered)
 /// a long drive whose peak heap exceeds the short drive's by more than
-/// [`PEAK_SLACK_BYTES`], is a typed invariant failure.
+/// `PEAK_SLACK_BYTES`, is a typed invariant failure.
 fn streaming_scale(scale: Scale) -> Result<StreamingScale, BenchError> {
     let side = scale.pick(64, 128);
     let e15_len = TraceAlgo::EXTENDED

@@ -1,0 +1,600 @@
+//! The service-layer fault-injection harness behind
+//! `cadapt-bench faults --target serve`.
+//!
+//! `cadapt-serve` claims to be crash-safe: every state transition is
+//! journaled before it takes effect, torn journal tails are dropped (not
+//! replayed), sealed-segment corruption is refused typed (never replayed
+//! silently), a `kill -9` mid-job re-runs the job to a byte-identical
+//! result, and keyed double-submits dedup to the same id across
+//! restarts. This module *attacks* those claims on a schedule: a seed
+//! expands into per-case [`ServeFaultPlan`]s, each staging one crash or
+//! abuse scenario against the real daemon, journal, and engine.
+//!
+//! The verdict per case is binary and strict, reusing the engine fault
+//! suite's vocabulary ([`CaseOutcome`]):
+//!
+//! * **recovered** — the service absorbed the fault and the observable
+//!   state (replayed events, result bytes, dedup ids) matches the
+//!   no-fault reference exactly;
+//! * **clean failure** — the service refused the damaged state with a
+//!   typed error and replayed nothing from it.
+//!
+//! Anything else — a replay that silently drops acknowledged events, a
+//! recovered result whose bytes differ from the uninterrupted run, a
+//! corrupt segment that replays — aborts the suite with a typed
+//! [`BenchError`]. The whole report is a pure function of the seed.
+
+use crate::error::BenchError;
+use crate::faults::CaseOutcome;
+use cadapt_analysis::montecarlo::trial_rng;
+use cadapt_core::CancelToken;
+use cadapt_serve::daemon::request_lines;
+use cadapt_serve::protocol;
+use cadapt_serve::{
+    run_job, Algo, Daemon, DaemonConfig, JobSpec, Journal, JournalError, JournalEvent,
+};
+use rand::Rng;
+use serde_json::{Map, Number, Value};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Version of the serve-fault report payload layout.
+pub const REPORT_VERSION: u32 = 1;
+
+/// Which crash or abuse scenario a case stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// Tear the final bytes off a crashed open journal segment: replay
+    /// must keep the valid prefix and drop only the torn tail.
+    TornTail,
+    /// Flip one byte inside a sealed journal segment: replay must refuse
+    /// with a typed corruption error, never replay silently.
+    SealedCorruption,
+    /// Kill the daemon between `Started` and `Finished`: the restarted
+    /// daemon must re-run the job to a byte-identical result.
+    KilledMidJob,
+    /// Submit the same keyed spec twice, restart, submit again: every
+    /// submit must dedup to the same id and the same result bytes.
+    DoubleSubmit,
+}
+
+impl ServeFaultKind {
+    /// Stable report string.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServeFaultKind::TornTail => "torn_tail",
+            ServeFaultKind::SealedCorruption => "sealed_corruption",
+            ServeFaultKind::KilledMidJob => "killed_mid_job",
+            ServeFaultKind::DoubleSubmit => "double_submit",
+        }
+    }
+}
+
+/// What one case stages, derived deterministically from (seed, case).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Suite seed.
+    pub seed: u64,
+    /// Case index.
+    pub case: u64,
+    /// The scenario (cases cycle through all four kinds).
+    pub kind: ServeFaultKind,
+    /// The job the scenario revolves around.
+    pub spec: JobSpec,
+    /// Bytes torn off the tail ([`ServeFaultKind::TornTail`] only).
+    pub cut_back: u64,
+}
+
+impl ServeFaultPlan {
+    /// Expand (seed, case) into a plan. Pure: same inputs, same plan.
+    #[must_use]
+    pub fn for_case(seed: u64, case: u64) -> ServeFaultPlan {
+        let mut rng = trial_rng(seed ^ 0x5e27_7e5e, case);
+        let kind = match case % 4 {
+            0 => ServeFaultKind::TornTail,
+            1 => ServeFaultKind::SealedCorruption,
+            2 => ServeFaultKind::KilledMidJob,
+            _ => ServeFaultKind::DoubleSubmit,
+        };
+        // Canonical mm_scan sizes (base 1, branching 4) only: the specs
+        // must pass the same validation the daemon applies at submit.
+        let n = match rng.gen_range(0..3) {
+            0 => 4u64,
+            1 => 16,
+            _ => 64,
+        };
+        let mut spec = JobSpec::basic(Algo::MmScan, n);
+        spec.seed = rng.gen_range(0..1_000_000);
+        spec.total_cache = match rng.gen_range(0..3) {
+            0 => 8u64,
+            1 => 16,
+            _ => 64,
+        };
+        if rng.gen_range(0..2) == 1 {
+            // Half the cases run under a binding box budget so typed
+            // budget outcomes flow through crash recovery too.
+            spec.max_boxes = Some(rng.gen_range(2..6));
+        }
+        if kind == ServeFaultKind::DoubleSubmit {
+            spec.key = Some(format!("case-{case}"));
+        }
+        let cut_back = rng.gen_range(1..24);
+        ServeFaultPlan {
+            seed,
+            case,
+            kind,
+            spec,
+            cut_back,
+        }
+    }
+}
+
+/// One case's report entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCaseReport {
+    /// The staged scenario.
+    pub plan: ServeFaultPlan,
+    /// The verdict.
+    pub outcome: CaseOutcome,
+    /// Deterministic one-line description of what was observed.
+    pub detail: String,
+}
+
+/// The whole suite's report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeFaultReport {
+    /// Suite seed.
+    pub seed: u64,
+    /// Per-case entries, in case order.
+    pub cases: Vec<ServeCaseReport>,
+}
+
+impl ServeFaultReport {
+    /// Cases that recovered (the rest failed cleanly).
+    #[must_use]
+    pub fn recovered(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| c.outcome == CaseOutcome::Recovered)
+            .count()
+    }
+
+    /// The report's JSON payload (wrapped in a checksummed envelope by
+    /// the caller). Pure function of the seed — no clocks, no paths,
+    /// no port numbers.
+    #[must_use]
+    pub fn to_payload(&self) -> Value {
+        let mut payload = Map::new();
+        payload.insert(
+            "serve_fault_report_version",
+            Value::Number(Number::U(u128::from(REPORT_VERSION))),
+        );
+        payload.insert("seed", Value::Number(Number::U(u128::from(self.seed))));
+        payload.insert(
+            "cases",
+            Value::Array(
+                self.cases
+                    .iter()
+                    .map(|c| {
+                        let mut entry = Map::new();
+                        entry.insert("case", Value::Number(Number::U(u128::from(c.plan.case))));
+                        entry.insert("kind", Value::String(c.plan.kind.as_str().to_string()));
+                        entry.insert("spec", serde_json::to_value(&c.plan.spec));
+                        entry.insert("outcome", Value::String(c.outcome.as_str().to_string()));
+                        entry.insert("detail", Value::String(c.detail.clone()));
+                        Value::Object(entry)
+                    })
+                    .collect(),
+            ),
+        );
+        let count =
+            |n: usize| Value::Number(Number::U(u128::from(cadapt_core::cast::u64_from_usize(n))));
+        payload.insert("recovered", count(self.recovered()));
+        payload.insert("clean_failures", count(self.cases.len() - self.recovered()));
+        Value::Object(payload)
+    }
+}
+
+fn violation(case: u64, what: impl std::fmt::Display) -> BenchError {
+    BenchError::invariant(format!("serve fault case {case}: {what}"))
+}
+
+/// The journal events an uninterrupted run of `spec` (as job 0) appends
+/// before a crash can interrupt it, plus the deterministic final result.
+fn scripted_events(spec: &JobSpec) -> (Vec<JournalEvent>, String) {
+    let result = run_job(spec, &CancelToken::new(), 0, &mut |_| {});
+    let result_bytes = serde_json::to_value(&result).render_compact();
+    let events = vec![
+        JournalEvent::Submitted {
+            id: 0,
+            spec: spec.clone(),
+        },
+        JournalEvent::Started { id: 0, attempt: 0 },
+        JournalEvent::Finished { id: 0, result },
+    ];
+    (events, result_bytes)
+}
+
+/// Write `events` through the real journal, then "crash" (drop without
+/// sealing), leaving the open segment behind.
+fn crash_with_events(
+    dir: &Path,
+    rotate_every: u64,
+    events: &[JournalEvent],
+    case: u64,
+) -> Result<(), BenchError> {
+    let (mut journal, replay) = Journal::open(dir, rotate_every).map_err(|e| violation(case, e))?;
+    if !replay.events.is_empty() {
+        return Err(violation(case, "scratch journal dir was not empty"));
+    }
+    for event in events {
+        journal.append(event).map_err(|e| violation(case, e))?;
+    }
+    drop(journal);
+    Ok(())
+}
+
+/// The one `.open` or `.log` segment file matching `sealed` in `dir`
+/// (cases are staged so exactly one exists).
+fn segment_path(dir: &Path, sealed: bool, case: u64) -> Result<PathBuf, BenchError> {
+    let ext = if sealed { ".log" } else { ".open" };
+    let mut found: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| violation(case, format!("listing journal dir: {e}")))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.to_string_lossy().ends_with(ext))
+        .collect();
+    found.sort();
+    match found.first() {
+        Some(first) => Ok(first.clone()),
+        None => Err(violation(case, format!("no `{ext}` segment staged"))),
+    }
+}
+
+/// Tear the final `cut` bytes off a crashed open segment and assert the
+/// replay keeps exactly the valid prefix.
+fn run_torn_tail(plan: &ServeFaultPlan, dir: &Path) -> Result<ServeCaseReport, BenchError> {
+    let case = plan.case;
+    let (events, _) = scripted_events(&plan.spec);
+    crash_with_events(dir, 256, &events, case)?;
+    let open = segment_path(dir, false, case)?;
+    let mut torn = fs::read(&open).map_err(|e| violation(case, format!("reading segment: {e}")))?;
+    let cut = usize::try_from(plan.cut_back)
+        .unwrap_or(1)
+        .min(torn.len().saturating_sub(1));
+    let keep = torn.len().saturating_sub(cut);
+    torn.truncate(keep);
+    fs::write(&open, &torn).map_err(|e| violation(case, format!("tearing segment: {e}")))?;
+
+    let (_journal, replay) = Journal::open(dir, 256).map_err(|e| {
+        violation(
+            case,
+            format!("torn tail must recover, but replay refused: {e}"),
+        )
+    })?;
+    // The cut is staged to land inside the final (Finished) line, so the
+    // replay must keep the first two events and only them.
+    if replay.events.as_slice() != &events[..2] {
+        return Err(violation(
+            case,
+            format!(
+                "replay kept {} events after tearing the tail (expected the 2-event prefix)",
+                replay.events.len()
+            ),
+        ));
+    }
+    if !replay.dropped_torn_tail {
+        return Err(violation(
+            case,
+            "replay did not report the dropped torn tail",
+        ));
+    }
+    Ok(ServeCaseReport {
+        plan: plan.clone(),
+        outcome: CaseOutcome::Recovered,
+        detail: format!(
+            "tore {cut} tail bytes; replay kept the 2-event valid prefix and dropped the torn line"
+        ),
+    })
+}
+
+/// Flip one byte inside a sealed segment and assert replay refuses typed.
+fn run_sealed_corruption(plan: &ServeFaultPlan, dir: &Path) -> Result<ServeCaseReport, BenchError> {
+    let case = plan.case;
+    let (events, _) = scripted_events(&plan.spec);
+    // rotate_every = 2 seals the first two events into wal-00000000.log.
+    crash_with_events(dir, 2, &events, case)?;
+    let sealed = segment_path(dir, true, case)?;
+    let mut content =
+        fs::read(&sealed).map_err(|e| violation(case, format!("reading segment: {e}")))?;
+    let mut rng = trial_rng(plan.seed ^ 0xf11b, case);
+    let flip_at = rng.gen_range(0..cadapt_core::cast::u64_from_usize(content.len()));
+    let flip_at = usize::try_from(flip_at).unwrap_or(0);
+    content[flip_at] ^= 0x01;
+    fs::write(&sealed, &content).map_err(|e| violation(case, format!("flipping byte: {e}")))?;
+
+    match Journal::open(dir, 2) {
+        Err(JournalError::Corrupt { segment, line, .. }) => Ok(ServeCaseReport {
+            plan: plan.clone(),
+            outcome: CaseOutcome::CleanFailure,
+            detail: format!(
+                "byte flip in sealed segment refused typed (corruption at {segment} line {line})"
+            ),
+        }),
+        Err(other) => Err(violation(
+            case,
+            format!("expected a typed corruption refusal, got: {other}"),
+        )),
+        Ok(_) => Err(violation(
+            case,
+            "SILENT CORRUPTION — a byte-flipped sealed segment replayed without complaint",
+        )),
+    }
+}
+
+/// Parse one daemon response line, requiring `ok: true`.
+fn ok_response(line: &str, what: &str, case: u64) -> Result<Map, BenchError> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| violation(case, format!("{what}: unparseable response: {e}")))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| violation(case, format!("{what}: response is not an object")))?;
+    if obj.get("ok") != Some(&Value::Bool(true)) {
+        return Err(violation(case, format!("{what}: daemon refused: {line}")));
+    }
+    Ok(obj.clone())
+}
+
+/// Extract the compact result bytes from a `results` response.
+fn result_bytes(obj: &Map, case: u64) -> Result<String, BenchError> {
+    obj.get("result")
+        .map(Value::render_compact)
+        .ok_or_else(|| violation(case, "results response carries no result"))
+}
+
+/// Bind a daemon on `dir`, run it on its own thread, send `lines`, and
+/// wait for the clean shutdown (the last line must be `drain`).
+fn with_daemon(
+    dir: &Path,
+    case: u64,
+    lines: &[String],
+) -> Result<(Vec<String>, cadapt_serve::Replay), BenchError> {
+    let mut config = DaemonConfig::new(dir.to_path_buf());
+    config.workers = 1;
+    config.backoff_unit_ms = 0;
+    let daemon = Daemon::bind(config).map_err(BenchError::from)?;
+    let addr = daemon.local_addr().to_string();
+    let replay = daemon.replay().clone();
+    // cadapt-lint: allow(nondet-source) -- the daemon under attack needs its own thread to serve TCP; result bytes come from the per-job deterministic engine, which this suite asserts
+    let handle = std::thread::spawn(move || daemon.run());
+    let responses = request_lines(&addr, lines);
+    let run_outcome = handle
+        .join()
+        .map_err(|_| violation(case, "daemon thread panicked"))?;
+    run_outcome.map_err(BenchError::from)?;
+    Ok((responses.map_err(BenchError::from)?, replay))
+}
+
+/// Crash between `Started` and `Finished`, restart, and assert the
+/// recovered result is byte-identical to the uninterrupted run's.
+fn run_killed_mid_job(plan: &ServeFaultPlan, dir: &Path) -> Result<ServeCaseReport, BenchError> {
+    let case = plan.case;
+    let (events, reference_bytes) = scripted_events(&plan.spec);
+    // The kill window: the submit and the attempt start are journaled,
+    // the finish never lands.
+    crash_with_events(dir, 256, &events[..2], case)?;
+
+    let lines = vec![
+        protocol::bare_request_line("drain"),
+        protocol::id_request_line("results", 0),
+    ];
+    let (responses, replay) = with_daemon(dir, case, &lines)?;
+    if replay.clean_shutdown {
+        return Err(violation(
+            case,
+            "a crashed journal replayed as a clean shutdown",
+        ));
+    }
+    if replay.events.as_slice() != &events[..2] {
+        return Err(violation(case, "replay lost acknowledged pre-kill events"));
+    }
+    ok_response(&responses[0], "drain", case)?;
+    let results = ok_response(&responses[1], "results", case)?;
+    let recovered_bytes = result_bytes(&results, case)?;
+    if recovered_bytes != reference_bytes {
+        return Err(violation(
+            case,
+            format!(
+                "SILENT CORRUPTION — recovered result differs from the uninterrupted run\n  uninterrupted: {reference_bytes}\n  recovered:     {recovered_bytes}"
+            ),
+        ));
+    }
+    Ok(ServeCaseReport {
+        plan: plan.clone(),
+        outcome: CaseOutcome::Recovered,
+        detail: "killed between Started and Finished; restart re-ran the job to byte-identical result bytes"
+            .to_string(),
+    })
+}
+
+/// Submit the same keyed spec twice, restart, submit again: one id, one
+/// result, stable across the restart.
+fn run_double_submit(plan: &ServeFaultPlan, dir: &Path) -> Result<ServeCaseReport, BenchError> {
+    let case = plan.case;
+    let submit = protocol::submit_line(&plan.spec);
+    let first_lines = vec![
+        submit.clone(),
+        submit.clone(),
+        protocol::bare_request_line("drain"),
+        protocol::id_request_line("results", 0),
+    ];
+    let (responses, _) = with_daemon(dir, case, &first_lines)?;
+    let first = ok_response(&responses[0], "first submit", case)?;
+    let second = ok_response(&responses[1], "second submit", case)?;
+    let first_id = first.get("id").and_then(Value::as_u64);
+    let second_id = second.get("id").and_then(Value::as_u64);
+    if first_id != Some(0) || second_id != Some(0) {
+        return Err(violation(
+            case,
+            format!("double submit minted distinct ids: {first_id:?} vs {second_id:?}"),
+        ));
+    }
+    if second.get("deduped") != Some(&Value::Bool(true)) {
+        return Err(violation(case, "second submit was not flagged as deduped"));
+    }
+    ok_response(&responses[2], "drain", case)?;
+    let before = result_bytes(&ok_response(&responses[3], "results", case)?, case)?;
+
+    // Restart on the same journal: the key map must survive replay.
+    let second_lines = vec![
+        submit,
+        protocol::id_request_line("results", 0),
+        protocol::bare_request_line("drain"),
+    ];
+    let (responses, replay) = with_daemon(dir, case, &second_lines)?;
+    if !replay.clean_shutdown {
+        return Err(violation(
+            case,
+            "drained daemon left no clean-shutdown marker",
+        ));
+    }
+    let resubmit = ok_response(&responses[0], "post-restart submit", case)?;
+    if resubmit.get("id").and_then(Value::as_u64) != Some(0)
+        || resubmit.get("deduped") != Some(&Value::Bool(true))
+    {
+        return Err(violation(case, "restart forgot the dedup key"));
+    }
+    let after = result_bytes(
+        &ok_response(&responses[1], "post-restart results", case)?,
+        case,
+    )?;
+    if before != after {
+        return Err(violation(
+            case,
+            "SILENT CORRUPTION — the deduped job's result bytes changed across restart",
+        ));
+    }
+    ok_response(&responses[2], "post-restart drain", case)?;
+    Ok(ServeCaseReport {
+        plan: plan.clone(),
+        outcome: CaseOutcome::Recovered,
+        detail: "three submits (one across a restart) deduped to id 0 with stable result bytes"
+            .to_string(),
+    })
+}
+
+/// Run one case inside its own scratch subdirectory.
+fn run_case(seed: u64, case: u64, dir: &Path) -> Result<ServeCaseReport, BenchError> {
+    let plan = ServeFaultPlan::for_case(seed, case);
+    let case_dir = dir.join(format!("case-{case}"));
+    let _ = fs::remove_dir_all(&case_dir);
+    fs::create_dir_all(&case_dir).map_err(|e| BenchError::io("create", &case_dir, &e))?;
+    match plan.kind {
+        ServeFaultKind::TornTail => run_torn_tail(&plan, &case_dir),
+        ServeFaultKind::SealedCorruption => run_sealed_corruption(&plan, &case_dir),
+        ServeFaultKind::KilledMidJob => run_killed_mid_job(&plan, &case_dir),
+        ServeFaultKind::DoubleSubmit => run_double_submit(&plan, &case_dir),
+    }
+}
+
+/// Run `cases` service fault cases from `seed` inside `dir` (created if
+/// missing), returning the deterministic suite report.
+///
+/// # Errors
+///
+/// A typed [`BenchError`] if any case exhibits silent corruption — a
+/// replay that lies, a recovered result whose bytes drifted, a corrupt
+/// segment that replays — or the scratch directory cannot be used.
+pub fn run_suite(seed: u64, cases: u64, dir: &Path) -> Result<ServeFaultReport, BenchError> {
+    fs::create_dir_all(dir).map_err(|e| BenchError::io("create", dir, &e))?;
+    let mut reports = Vec::new();
+    for case in 0..cases {
+        reports.push(run_case(seed, case, dir)?);
+    }
+    Ok(ServeFaultReport {
+        seed,
+        cases: reports,
+    })
+}
+
+/// A scratch directory for the suite, keyed by seed so concurrent suites
+/// do not collide.
+#[must_use]
+pub fn scratch_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("cadapt-serve-faults-{}-{seed}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_cycle_kinds() {
+        for case in 0..8 {
+            assert_eq!(
+                ServeFaultPlan::for_case(7, case),
+                ServeFaultPlan::for_case(7, case)
+            );
+        }
+        let kinds: Vec<ServeFaultKind> = (0..4)
+            .map(|c| ServeFaultPlan::for_case(7, c).kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ServeFaultKind::TornTail,
+                ServeFaultKind::SealedCorruption,
+                ServeFaultKind::KilledMidJob,
+                ServeFaultKind::DoubleSubmit,
+            ]
+        );
+        assert_ne!(
+            ServeFaultPlan::for_case(7, 0).spec,
+            ServeFaultPlan::for_case(8, 0).spec,
+            "different seeds must draw different specs"
+        );
+        assert!(ServeFaultPlan::for_case(7, 3).spec.key.is_some());
+        assert!(ServeFaultPlan::for_case(7, 0).spec.key.is_none());
+    }
+
+    #[test]
+    fn suite_is_deterministic_and_report_is_byte_stable() {
+        let dir = scratch_dir(7);
+        let first = run_suite(7, 4, &dir).unwrap();
+        let second = run_suite(7, 4, &dir).unwrap();
+        assert_eq!(first, second, "same seed, same verdicts");
+        assert_eq!(
+            first.to_payload().render_pretty(),
+            second.to_payload().render_pretty(),
+            "the report must be byte-stable"
+        );
+        assert_eq!(first.cases.len(), 4);
+        // Every scenario but sealed corruption must recover; corruption
+        // must be refused (a clean failure), never replayed.
+        for c in &first.cases {
+            let expected = match c.plan.kind {
+                ServeFaultKind::SealedCorruption => CaseOutcome::CleanFailure,
+                _ => CaseOutcome::Recovered,
+            };
+            assert_eq!(
+                c.outcome, expected,
+                "case {} ({:?})",
+                c.plan.case, c.plan.kind
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_kind_recovers_across_more_seeds() {
+        let dir = scratch_dir(23);
+        let report = run_suite(23, 8, &dir).unwrap();
+        assert_eq!(
+            report.recovered(),
+            6,
+            "all but the 2 corruption cases recover"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

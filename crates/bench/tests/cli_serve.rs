@@ -1,0 +1,214 @@
+//! CLI-level crash-safety tests for `cadapt-bench serve`: a daemon
+//! killed with SIGKILL mid-job and restarted on the same journal must
+//! hand back results byte-identical to an uninterrupted daemon, and the
+//! seeded `faults --target serve` suite must be bit-reproducible.
+
+// Test-only code: unwraps abort the test (the right failure mode).
+#![allow(clippy::unwrap_used)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BIN: &str = env!("CARGO_BIN_EXE_cadapt-bench");
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("cadapt-cli-serve-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A daemon child with its announced address. Keeps the stdout reader
+/// so the pipe stays open for the child's lifetime.
+struct Served {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+/// Spawn `cadapt-bench serve` on an ephemeral port and read the
+/// announce line to learn the resolved address.
+fn spawn_serve(journal: &Path) -> Served {
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--health-exp",
+            "none",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("daemon announces");
+    let addr = line
+        .trim()
+        .strip_prefix("cadapt-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+    Served {
+        child,
+        addr,
+        stdout,
+    }
+}
+
+/// Wait for the daemon to exit (it does so after a `drain` request) and
+/// return its stderr for assertions about the replay summary.
+fn wait_drained(served: Served) -> String {
+    drop(served.stdout);
+    let output = served.child.wait_with_output().expect("daemon exits");
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        output.status.success(),
+        "daemon exited with {:?}; stderr:\n{stderr}",
+        output.status
+    );
+    stderr
+}
+
+/// Drive the daemon through the `request` subcommand, one `--line` per
+/// request, returning one response line per request.
+fn request(addr: &str, lines: &[&str]) -> Vec<String> {
+    let mut cmd = Command::new(BIN);
+    cmd.args(["request", "--addr", addr]);
+    for line in lines {
+        cmd.args(["--line", line]);
+    }
+    let output = cmd.output().expect("request client runs");
+    assert!(
+        output.status.success(),
+        "request failed: {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let responses: Vec<String> = stdout.lines().map(str::to_string).collect();
+    assert_eq!(responses.len(), lines.len(), "one response per request");
+    responses
+}
+
+/// Job 0 retries through ~765–1530 ms of seeded backoff before
+/// completing, so a SIGKILL fired right after submission always lands
+/// mid-job; job 1 is a plain budget-capped run.
+const SLOW_RETRIER: &str = r#"{"op":"submit","spec":{"algo":"Strassen","n":16,"seed":9,"fail_attempts":8,"max_retries":8}}"#;
+const BUDGETED: &str = r#"{"op":"submit","spec":{"algo":"MmScan","n":64,"total_cache":8,"max_boxes":5,"seed":3,"key":"cli-budget"}}"#;
+const DRAIN: &str = r#"{"op":"drain"}"#;
+const RESULTS_0: &str = r#"{"op":"results","id":0}"#;
+const RESULTS_1: &str = r#"{"op":"results","id":1}"#;
+
+#[test]
+fn kill_dash_nine_recovery_is_byte_identical_to_an_uninterrupted_run() {
+    // Baseline: the same two jobs through a daemon that is never killed.
+    let baseline_dir = scratch_dir("baseline");
+    let served = spawn_serve(&baseline_dir);
+    let responses = request(
+        &served.addr,
+        &[SLOW_RETRIER, BUDGETED, DRAIN, RESULTS_0, RESULTS_1],
+    );
+    let baseline = [responses[3].clone(), responses[4].clone()];
+    assert!(
+        baseline[0].contains(r#""ok":true"#),
+        "baseline job 0 finished: {}",
+        baseline[0]
+    );
+    wait_drained(served);
+
+    // Crash run: submit the same jobs, then SIGKILL the daemon while
+    // job 0 is still sleeping through its backoff schedule.
+    let crash_dir = scratch_dir("crash");
+    let mut served = spawn_serve(&crash_dir);
+    let submits = request(&served.addr, &[SLOW_RETRIER, BUDGETED]);
+    assert!(
+        submits[0].contains(r#""ok":true"#),
+        "submit: {}",
+        submits[0]
+    );
+    served.child.kill().expect("SIGKILL delivered");
+    let _ = served.child.wait();
+
+    // Restart on the same journal; replay must see the crash, finish
+    // the work, and answer with byte-identical results.
+    let served = spawn_serve(&crash_dir);
+    let responses = request(&served.addr, &[DRAIN, RESULTS_0, RESULTS_1]);
+    assert_eq!(
+        responses[1], baseline[0],
+        "recovered job 0 must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        responses[2], baseline[1],
+        "recovered job 1 must be byte-identical to the uninterrupted run"
+    );
+    let stderr = wait_drained(served);
+    assert!(
+        stderr.contains("journal replayed:"),
+        "restart must report the replay: {stderr}"
+    );
+    assert!(
+        stderr.contains("clean shutdown: false"),
+        "a SIGKILL is not a clean shutdown: {stderr}"
+    );
+    assert!(
+        stderr.contains("drained; journal sealed clean"),
+        "the recovered daemon must seal its own shutdown: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn serve_fault_suite_is_bit_reproducible_and_silent_corruption_free() {
+    let dir = scratch_dir("faults");
+    std::fs::create_dir_all(&dir).unwrap();
+    let runs: Vec<(Vec<u8>, String)> = (0..2)
+        .map(|round| {
+            let out = dir.join(format!("faults-{round}.json"));
+            let output = Command::new(BIN)
+                .args([
+                    "faults",
+                    "--target",
+                    "serve",
+                    "--seed",
+                    "7",
+                    "--cases",
+                    "4",
+                    "--out",
+                    out.to_str().unwrap(),
+                ])
+                .output()
+                .expect("fault suite runs");
+            assert!(
+                output.status.success(),
+                "fault suite failed: {:?}\nstderr:\n{}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            );
+            (
+                std::fs::read(&out).expect("report written"),
+                String::from_utf8_lossy(&output.stdout).into_owned(),
+            )
+        })
+        .collect();
+    assert!(
+        runs[0].1.contains("0 silent corruptions"),
+        "suite must certify zero silent corruptions: {}",
+        runs[0].1
+    );
+    assert_eq!(
+        runs[0].0, runs[1].0,
+        "the same seed must produce a byte-identical fault report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

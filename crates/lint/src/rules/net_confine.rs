@@ -1,0 +1,77 @@
+//! `net-confine`: network endpoints live in the service crate and
+//! nowhere else.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::{is_test_or_bin_path, Rule};
+use crate::source::SourceFile;
+
+/// The one crate allowed to open sockets: the job service, whose daemon
+/// front end is the workspace's single network boundary.
+const APPROVED_CRATE_PREFIX: &str = "crates/serve/";
+
+/// Flags `TcpListener`, `TcpStream`, `UdpSocket`, `UnixListener`, and
+/// `UnixStream` in library code outside `crates/serve`.
+pub struct NetConfine;
+
+impl Rule for NetConfine {
+    fn id(&self) -> &'static str {
+        "net-confine"
+    }
+
+    fn summary(&self) -> &'static str {
+        "TcpListener/TcpStream/UdpSocket outside the service crate (crates/serve)"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Every run record is a pure function of (params, seed); the one \
+         place the outside world may reach in is the job service's \
+         NDJSON-over-TCP front end, where every byte crosses a typed \
+         protocol parser and every state transition crosses the \
+         CRC-enveloped journal before it takes effect. A socket opened \
+         anywhere else — an engine module phoning home with progress, an \
+         experiment fetching an input, a debug backdoor listener — \
+         bypasses both boundaries: it injects untyped, unjournaled, \
+         schedule-dependent state into code whose results the goldens pin \
+         bit-for-bit, and it widens the crash-safety audit surface from \
+         one crate to the whole workspace. This rule flags every mention \
+         of `TcpListener`, `TcpStream`, `UdpSocket`, `UnixListener`, or \
+         `UnixStream` (including imports) in library code outside \
+         `crates/serve/`; binaries, tests, and benches stay exempt so \
+         CLIs and harnesses can drive the daemon as clients. Fix: route \
+         the interaction through `cadapt-serve`'s protocol (submit a job, \
+         poll `status`, read `results`), or move the endpoint into the \
+         service crate where the journal and admission control cover it. \
+         A site that provably never exchanges result-affecting data may \
+         keep the type and take a waiver saying exactly that."
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        !is_test_or_bin_path(rel_path) && !rel_path.starts_with(APPROVED_CRATE_PREFIX)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for t in &file.lexed.tokens {
+            if t.kind != TokenKind::Ident || file.in_cfg_test(t.line) {
+                continue;
+            }
+            match t.text.as_str() {
+                "TcpListener" | "TcpStream" | "UdpSocket" | "UnixListener" | "UnixStream" => {}
+                _ => continue,
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                path: file.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` outside the service crate: sockets bypass the \
+                     typed protocol and the write-ahead journal; route \
+                     through cadapt-serve (or move the endpoint into \
+                     crates/serve), or waive with why no result-affecting \
+                     data crosses it",
+                    t.text
+                ),
+            });
+        }
+    }
+}

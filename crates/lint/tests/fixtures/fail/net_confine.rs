@@ -1,0 +1,15 @@
+//! Fixture: network endpoints opened outside the service crate.
+
+use std::net::TcpListener;
+
+pub fn backdoor() -> std::io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
+}
+
+pub fn phone_home(addr: &str) {
+    let _ = std::net::TcpStream::connect(addr);
+}
+
+pub fn beacon() {
+    let _ = std::net::UdpSocket::bind("127.0.0.1:0");
+}

@@ -22,7 +22,7 @@
 //!   [`MemoryProfile::inner_squares`](cadapt_core::MemoryProfile) to obtain
 //!   square profiles.
 //! * [`scenario`] — multi-tenant contention as *streaming cursor
-//!   pipelines*: the N-ary [`RoundRobin`](scenario::RoundRobin)
+//!   pipelines*: the N-ary [`scenario::RoundRobin`]
 //!   time-slicer and fair-share composition over the `cadapt-core` cursor
 //!   combinators, with O(1) resident state at any profile length.
 

@@ -4,7 +4,7 @@
 //! There is exactly **one** run-draining loop in the workspace —
 //! [`run_cursor_with_ledger`] — and everything drives through it: the
 //! legacy [`BoxSource`] entry points wrap the source in a
-//! [`SourceCursor`](cadapt_core::SourceCursor), and the Monte-Carlo
+//! [`cadapt_core::SourceCursor`], and the Monte-Carlo
 //! drivers in `cadapt-analysis` call the cursor entry points directly.
 //! The loop advances whole runs in closed form on the fast path, expands
 //! runs per box when history retention (or the measured per-box baseline)

@@ -1,0 +1,153 @@
+//! [`PolicyCursor`]: an [`AllocationPolicy`] viewed as a box stream.
+//!
+//! The scheduler simulator drives policies round by round across *live*
+//! co-tenants; the service layer needs the opposite view — **one** job's
+//! share sequence as a [`RunCursor`] it can compose with `cancellable` /
+//! `take_boxes` and drain through the engine. The cursor fixes a virtual
+//! tenant count up front, so the share a job sees in round `r` is a pure
+//! function of its own spec (policy, tenants, slot, total cache) and not
+//! of which other jobs happen to be in flight. That purity is what makes
+//! crash recovery byte-identical: replaying a journaled job after a
+//! `kill -9` re-derives exactly the share sequence the lost run saw.
+
+use crate::policy::AllocationPolicy;
+use cadapt_core::{Blocks, BoxRun, Cancelled, CoreError, RunCursor};
+
+/// An infinite [`RunCursor`] yielding, round by round, the share an
+/// [`AllocationPolicy`] grants tenant `slot` out of `tenants` virtual
+/// co-tenants splitting `total` blocks.
+///
+/// Rounds advance one box per [`RunCursor::next_run`] call; shares are
+/// floored at one block (a starved tenant crawls, it does not wedge),
+/// matching the run-positivity law every downstream consumer relies on.
+#[derive(Debug)]
+pub struct PolicyCursor<P> {
+    policy: P,
+    tenants: usize,
+    slot: usize,
+    total: Blocks,
+    round: u64,
+}
+
+impl<P: AllocationPolicy> PolicyCursor<P> {
+    /// View `policy` as tenant `slot`'s share stream among `tenants`
+    /// virtual co-tenants splitting `total` blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if `tenants` is zero, `slot` is
+    /// out of range, or `total` is zero.
+    pub fn new(policy: P, tenants: usize, slot: usize, total: Blocks) -> Result<Self, CoreError> {
+        if tenants == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "tenants",
+                message: "PolicyCursor tenants must be >= 1".to_string(),
+            });
+        }
+        if slot >= tenants {
+            return Err(CoreError::InvalidParameter {
+                name: "slot",
+                message: format!("PolicyCursor slot {slot} out of range for {tenants} tenants"),
+            });
+        }
+        if total == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "total",
+                message: "PolicyCursor total cache must be >= 1 block".to_string(),
+            });
+        }
+        Ok(PolicyCursor {
+            policy,
+            tenants,
+            slot,
+            total,
+            round: 0,
+        })
+    }
+
+    /// The policy's label (for reports and journals).
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.policy.label()
+    }
+}
+
+impl<P: AllocationPolicy> RunCursor for PolicyCursor<P> {
+    fn next_run(&mut self) -> Result<Option<BoxRun>, Cancelled> {
+        let shares = self.policy.allocate(self.tenants, self.total, self.round);
+        self.round += 1;
+        // Policies promise one share per live tenant; a short vector is a
+        // policy bug we degrade to a crawl share rather than a wedge.
+        let share = shares.get(self.slot).copied().unwrap_or(1).max(1);
+        Ok(Some(BoxRun {
+            size: share,
+            repeat: 1,
+        }))
+    }
+
+    fn size_hint(&self) -> (u64, Option<u64>) {
+        // Policies allocate forever; finiteness comes from composing
+        // `take_boxes` (budget) or `cancellable` (deadline) downstream.
+        (u64::MAX, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{EqualShares, WinnerTakeAll};
+    use cadapt_core::{CancelToken, RunCursorExt};
+
+    fn drain(c: &mut impl RunCursor, boxes: usize) -> Vec<Blocks> {
+        let mut out = Vec::new();
+        while out.len() < boxes {
+            let run = c.next_run().expect("not cancelled").expect("infinite");
+            for _ in 0..run.repeat.min((boxes - out.len()) as u64) {
+                out.push(run.size);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn equal_shares_stream_is_constant() {
+        let mut c = PolicyCursor::new(EqualShares, 4, 2, 64).unwrap();
+        assert_eq!(drain(&mut c, 5), vec![16; 5]);
+        assert_eq!(c.size_hint(), (u64::MAX, None));
+    }
+
+    #[test]
+    fn winner_take_all_stream_rotates_by_slot() {
+        let mut slot0 = PolicyCursor::new(WinnerTakeAll { reign: 2 }, 2, 0, 100).unwrap();
+        let mut slot1 = PolicyCursor::new(WinnerTakeAll { reign: 2 }, 2, 1, 100).unwrap();
+        assert_eq!(drain(&mut slot0, 4), vec![99, 99, 1, 1]);
+        assert_eq!(drain(&mut slot1, 4), vec![1, 1, 99, 99]);
+    }
+
+    #[test]
+    fn stream_is_a_pure_function_of_the_spec() {
+        let mut a = PolicyCursor::new(WinnerTakeAll { reign: 3 }, 3, 1, 64).unwrap();
+        let mut b = PolicyCursor::new(WinnerTakeAll { reign: 3 }, 3, 1, 64).unwrap();
+        assert_eq!(drain(&mut a, 12), drain(&mut b, 12));
+    }
+
+    #[test]
+    fn composes_with_budget_and_cancellation() {
+        let token = CancelToken::new();
+        let mut c = PolicyCursor::new(EqualShares, 2, 0, 32)
+            .unwrap()
+            .take_boxes(3)
+            .cancellable(token.clone());
+        assert_eq!(drain(&mut c, 3), vec![16, 16, 16]);
+        assert_eq!(c.next_run(), Ok(None));
+        token.cancel();
+        assert_eq!(c.next_run(), Err(Cancelled));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(PolicyCursor::new(EqualShares, 0, 0, 64).is_err());
+        assert!(PolicyCursor::new(EqualShares, 2, 2, 64).is_err());
+        assert!(PolicyCursor::new(EqualShares, 2, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,725 @@
+//! The daemon: NDJSON-over-TCP front end, bounded admission queue,
+//! worker pool, deadline watcher, and crash-recovering startup.
+//!
+//! Concurrency never touches result bytes: workers execute jobs through
+//! the deterministic engine (each job's share stream is a pure function
+//! of its spec), so the only things the OS schedule can influence are
+//! *when* a job runs and whether a wall-clock deadline cuts it short —
+//! both surfaced as typed outcomes, never as different result bytes for
+//! completed jobs. That separation is why this module may spawn threads
+//! and read clocks under the `nondet-source` service carve-out.
+
+use crate::engine;
+use crate::error::ServeError;
+use crate::journal::{Journal, JournalEvent, Replay};
+use crate::outcome::JobResult;
+use crate::protocol::{parse_request, Request};
+use crate::spec::JobSpec;
+use cadapt_core::{CancelKind, CancelToken};
+use serde::{Map, Number, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Lifecycle state of a job, as reported by `status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Reached a terminal outcome; `results` will serve it.
+    Done,
+}
+
+impl JobState {
+    /// Stable lowercase label for wire responses.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+}
+
+/// What the configured health probe reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// True when the probe found a problem (e.g. a golden mismatch);
+    /// the daemon still serves, but advertises the degradation.
+    pub degraded: bool,
+    /// Human-readable probe detail.
+    pub detail: String,
+}
+
+/// An in-process health probe (the bench CLI injects the golden
+/// self-check here, keeping this crate free of a bench dependency).
+pub type HealthHook = Box<dyn Fn() -> HealthReport + Send + Sync>;
+
+/// Daemon configuration.
+pub struct DaemonConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Directory for the write-ahead journal.
+    pub journal_dir: PathBuf,
+    /// Admission-queue capacity; submits beyond it are rejected typed.
+    pub queue_cap: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Journal records per segment before rotation.
+    pub rotate_every: u64,
+    /// Scale factor for retry backoff sleeps (0 disables sleeping; the
+    /// recorded schedule is unaffected).
+    pub backoff_unit_ms: u64,
+    /// Optional in-process health probe.
+    pub health_hook: Option<HealthHook>,
+}
+
+impl DaemonConfig {
+    /// Defaults: loopback on an ephemeral port, 64-job queue, 2 workers,
+    /// 256-record segments, real-millisecond backoff.
+    #[must_use]
+    pub fn new(journal_dir: PathBuf) -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            journal_dir,
+            queue_cap: 64,
+            workers: 2,
+            rotate_every: 256,
+            backoff_unit_ms: 1,
+            health_hook: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for DaemonConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonConfig")
+            .field("addr", &self.addr)
+            .field("journal_dir", &self.journal_dir)
+            .field("queue_cap", &self.queue_cap)
+            .field("workers", &self.workers)
+            .field("rotate_every", &self.rotate_every)
+            .field("backoff_unit_ms", &self.backoff_unit_ms)
+            .field("health_hook", &self.health_hook.is_some())
+            .finish()
+    }
+}
+
+/// One job's live record.
+struct Entry {
+    spec: JobSpec,
+    state: JobState,
+    token: CancelToken,
+    started: Option<Instant>,
+    result: Option<JobResult>,
+}
+
+/// Mutable daemon state, all under one lock.
+struct Core {
+    jobs: BTreeMap<u64, Entry>,
+    queue: VecDeque<u64>,
+    keys: BTreeMap<String, u64>,
+    next_id: u64,
+    running: usize,
+    draining: bool,
+    journal: Option<Journal>,
+}
+
+impl Core {
+    fn counts(&self) -> (usize, usize, usize) {
+        let done = self
+            .jobs
+            .values()
+            .filter(|e| e.state == JobState::Done)
+            .count();
+        (self.queue.len(), self.running, done)
+    }
+
+    fn journal_append(&mut self, event: &JournalEvent) -> Result<(), ServeError> {
+        match self.journal.as_mut() {
+            Some(j) => j.append(event).map_err(ServeError::from),
+            None => Err(ServeError::Io {
+                context: "journaling after shutdown".to_string(),
+                message: "journal already sealed".to_string(),
+            }),
+        }
+    }
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    /// Signalled when the queue gains work or draining starts.
+    work: Condvar,
+    /// Signalled when a job finishes (drain waits on this).
+    idle: Condvar,
+    /// Set once drain has fully quiesced; unblocks the accept loop.
+    shutting_down: AtomicBool,
+    backoff_unit_ms: u64,
+}
+
+/// Lock the core, absorbing poison: the journal-and-queue state is
+/// repaired from the journal on restart, so a panicked holder (already
+/// contained by `catch_unwind` in the engine) must not wedge the daemon.
+fn lock_core(shared: &Shared) -> std::sync::MutexGuard<'_, Core> {
+    match shared.core.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A bound daemon, ready to run.
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers)
+            .field("queue_cap", &self.queue_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bound daemon, ready to run: the journal is recovered and the
+/// listener bound, but no thread is live yet.
+pub struct Daemon {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: usize,
+    queue_cap: usize,
+    health_hook: Option<HealthHook>,
+    replay: Replay,
+}
+
+impl Daemon {
+    /// Open (recovering if necessary) the journal, rebuild state, and
+    /// bind the listener. No thread starts until [`Daemon::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] if replay finds corruption;
+    /// [`ServeError::Io`] if the bind fails.
+    pub fn bind(config: DaemonConfig) -> Result<Daemon, ServeError> {
+        let (journal, replay) = Journal::open(&config.journal_dir, config.rotate_every)?;
+        let core = rebuild(&replay, journal);
+        let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Io {
+            context: format!("binding {}", config.addr),
+            message: e.to_string(),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| ServeError::Io {
+            context: "reading bound address".to_string(),
+            message: e.to_string(),
+        })?;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(core),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            backoff_unit_ms: config.backoff_unit_ms,
+        });
+        Ok(Daemon {
+            listener,
+            local_addr,
+            shared,
+            workers: config.workers.max(1),
+            queue_cap: config.queue_cap.max(1),
+            health_hook: config.health_hook,
+            replay,
+        })
+    }
+
+    /// The address the daemon actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// What journal replay found at startup (for operator logging).
+    #[must_use]
+    pub fn replay(&self) -> &Replay {
+        &self.replay
+    }
+
+    /// Serve until a `drain` request completes. Blocks the caller;
+    /// spawns workers, the deadline watcher, and one thread per client
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] if the clean-shutdown seal fails.
+    pub fn run(self) -> Result<(), ServeError> {
+        let Daemon {
+            listener,
+            local_addr,
+            shared,
+            workers,
+            queue_cap,
+            health_hook,
+            replay: _,
+        } = self;
+        let health_hook = health_hook.map(Arc::new);
+
+        let mut worker_handles = Vec::new();
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(thread::spawn(move || worker_loop(&shared)));
+        }
+        let watcher_handle = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || deadline_watcher(&shared))
+        };
+
+        let mut client_handles = Vec::new();
+        for stream in listener.incoming() {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&shared);
+            let hook = health_hook.clone();
+            client_handles.push(thread::spawn(move || {
+                handle_client(stream, &shared, hook.as_deref(), local_addr, queue_cap);
+            }));
+        }
+
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        let _ = watcher_handle.join();
+        // Let in-flight conversations finish (a client may still be
+        // reading results after its drain) before sealing the journal;
+        // handlers exit at client EOF.
+        for handle in client_handles {
+            let _ = handle.join();
+        }
+
+        let mut core = lock_core(&shared);
+        match core.journal.take() {
+            Some(journal) => journal.close().map_err(ServeError::from),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Rebuild daemon state from a journal replay: completed jobs keep
+/// their results, incomplete jobs re-enter the queue in id order, and
+/// journaled cancel requests re-fire their tokens.
+fn rebuild(replay: &Replay, journal: Journal) -> Core {
+    let mut jobs: BTreeMap<u64, Entry> = BTreeMap::new();
+    let mut keys: BTreeMap<String, u64> = BTreeMap::new();
+    let mut next_id = 0u64;
+    for event in &replay.events {
+        match event {
+            JournalEvent::Submitted { id, spec } => {
+                if let Some(key) = &spec.key {
+                    keys.insert(key.clone(), *id);
+                }
+                jobs.insert(
+                    *id,
+                    Entry {
+                        spec: spec.clone(),
+                        state: JobState::Queued,
+                        token: CancelToken::new(),
+                        started: None,
+                        result: None,
+                    },
+                );
+                next_id = next_id.max(id + 1);
+            }
+            JournalEvent::Started { .. } => {
+                // The attempt never finished (no Finished event follows,
+                // or one does and overrides below); the re-run starts
+                // from scratch — execution is deterministic, so the
+                // replayed result matches what the lost run would have
+                // produced.
+            }
+            JournalEvent::CancelRequested { id } => {
+                if let Some(entry) = jobs.get_mut(id) {
+                    entry.token.cancel_with(CancelKind::User);
+                }
+            }
+            JournalEvent::Finished { id, result } => {
+                if let Some(entry) = jobs.get_mut(id) {
+                    entry.state = JobState::Done;
+                    entry.result = Some(result.clone());
+                }
+            }
+            JournalEvent::Shutdown => {}
+        }
+    }
+    let queue: VecDeque<u64> = jobs
+        .iter()
+        .filter(|(_, e)| e.state != JobState::Done)
+        .map(|(id, _)| *id)
+        .collect();
+    Core {
+        jobs,
+        queue,
+        keys,
+        next_id,
+        running: 0,
+        draining: false,
+        journal: Some(journal),
+    }
+}
+
+/// Worker: pop, journal the attempt, execute outside the lock, journal
+/// the result. Exits when draining finds the queue empty.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, spec, token) = {
+            let mut core = lock_core(shared);
+            loop {
+                if let Some(id) = core.queue.pop_front() {
+                    let Some(entry) = core.jobs.get_mut(&id) else {
+                        continue;
+                    };
+                    entry.state = JobState::Running;
+                    entry.started = Some(Instant::now());
+                    let picked = (id, entry.spec.clone(), entry.token.clone());
+                    core.running += 1;
+                    break picked;
+                }
+                if core.draining {
+                    return;
+                }
+                core = match shared.work.wait(core) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+
+        let shared_for_attempts = shared;
+        let mut on_attempt = |attempt: u32| {
+            let mut core = lock_core(shared_for_attempts);
+            let _ = core.journal_append(&JournalEvent::Started { id, attempt });
+        };
+        let result = engine::run_job(&spec, &token, shared.backoff_unit_ms, &mut on_attempt);
+
+        let mut core = lock_core(shared);
+        let _ = core.journal_append(&JournalEvent::Finished {
+            id,
+            result: result.clone(),
+        });
+        if let Some(entry) = core.jobs.get_mut(&id) {
+            entry.state = JobState::Done;
+            entry.result = Some(result);
+        }
+        core.running -= 1;
+        shared.idle.notify_all();
+    }
+}
+
+/// Scan running jobs every few milliseconds and fire the deadline
+/// cancellation on any that have overstayed. Observed between runs by
+/// the engine's cancellable stream.
+fn deadline_watcher(shared: &Shared) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        {
+            let core = lock_core(shared);
+            for entry in core.jobs.values() {
+                if entry.state != JobState::Running {
+                    continue;
+                }
+                let (Some(deadline_ms), Some(started)) = (entry.spec.deadline_ms, entry.started)
+                else {
+                    continue;
+                };
+                if started.elapsed() >= Duration::from_millis(deadline_ms) {
+                    entry.token.cancel_with(CancelKind::Deadline);
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+// ------------------------------------------------------------ responses
+
+fn ok_fields(fields: Vec<(&str, Value)>) -> String {
+    let mut obj = Map::new();
+    obj.insert("ok", Value::Bool(true));
+    for (k, v) in fields {
+        obj.insert(k, v);
+    }
+    Value::Object(obj).render_compact()
+}
+
+fn err_line(err: &ServeError) -> String {
+    let mut inner = Map::new();
+    inner.insert("code", Value::String(err.code().to_string()));
+    inner.insert("message", Value::String(err.to_string()));
+    let mut obj = Map::new();
+    obj.insert("ok", Value::Bool(false));
+    obj.insert("error", Value::Object(inner));
+    Value::Object(obj).render_compact()
+}
+
+fn num(n: u64) -> Value {
+    Value::Number(Number::U(u128::from(n)))
+}
+
+// ------------------------------------------------------------ handlers
+
+fn handle_client(
+    stream: TcpStream,
+    shared: &Shared,
+    health_hook: Option<&HealthHook>,
+    local_addr: SocketAddr,
+    queue_cap: usize,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(e) => err_line(&ServeError::Protocol(e)),
+            Ok(Request::Submit { spec }) => handle_submit(shared, spec, queue_cap),
+            Ok(Request::Status { id }) => handle_status(shared, id),
+            Ok(Request::Cancel { id }) => handle_cancel(shared, id),
+            Ok(Request::Results { id }) => handle_results(shared, id),
+            Ok(Request::Health) => handle_health(shared, health_hook),
+            Ok(Request::Drain) => handle_drain(shared, local_addr),
+        };
+        let write = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if write.is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_submit(shared: &Shared, spec: JobSpec, queue_cap: usize) -> String {
+    if let Err(e) = spec.validate() {
+        return err_line(&e);
+    }
+    let mut core = lock_core(shared);
+    if core.draining {
+        return err_line(&ServeError::Draining);
+    }
+    if let Some(key) = &spec.key {
+        if let Some(&existing) = core.keys.get(key) {
+            let state = core
+                .jobs
+                .get(&existing)
+                .map_or(JobState::Queued, |e| e.state);
+            return ok_fields(vec![
+                ("id", num(existing)),
+                ("state", Value::String(state.as_str().to_string())),
+                ("deduped", Value::Bool(true)),
+            ]);
+        }
+    }
+    if core.queue.len() >= queue_cap {
+        return err_line(&ServeError::Overloaded {
+            capacity: queue_cap,
+        });
+    }
+    let id = core.next_id;
+    // WAL discipline: the spec is durable before the job becomes
+    // visible; a crash between the two replays the submit.
+    if let Err(e) = core.journal_append(&JournalEvent::Submitted {
+        id,
+        spec: spec.clone(),
+    }) {
+        return err_line(&e);
+    }
+    core.next_id += 1;
+    if let Some(key) = &spec.key {
+        core.keys.insert(key.clone(), id);
+    }
+    core.jobs.insert(
+        id,
+        Entry {
+            spec,
+            state: JobState::Queued,
+            token: CancelToken::new(),
+            started: None,
+            result: None,
+        },
+    );
+    core.queue.push_back(id);
+    shared.work.notify_one();
+    ok_fields(vec![
+        ("id", num(id)),
+        (
+            "state",
+            Value::String(JobState::Queued.as_str().to_string()),
+        ),
+    ])
+}
+
+fn handle_status(shared: &Shared, id: u64) -> String {
+    let core = lock_core(shared);
+    match core.jobs.get(&id) {
+        None => err_line(&ServeError::UnknownJob { id }),
+        Some(entry) => {
+            let mut fields = vec![
+                ("id", num(id)),
+                ("state", Value::String(entry.state.as_str().to_string())),
+            ];
+            if let Some(result) = &entry.result {
+                fields.push((
+                    "outcome",
+                    Value::String(result.outcome.as_str().to_string()),
+                ));
+            }
+            ok_fields(fields)
+        }
+    }
+}
+
+fn handle_cancel(shared: &Shared, id: u64) -> String {
+    let mut core = lock_core(shared);
+    match core.jobs.get(&id) {
+        None => return err_line(&ServeError::UnknownJob { id }),
+        Some(entry) if entry.state == JobState::Done => {
+            return ok_fields(vec![
+                ("id", num(id)),
+                ("state", Value::String(JobState::Done.as_str().to_string())),
+                ("cancelled", Value::Bool(false)),
+            ]);
+        }
+        Some(_) => {}
+    }
+    if let Err(e) = core.journal_append(&JournalEvent::CancelRequested { id }) {
+        return err_line(&e);
+    }
+    if let Some(entry) = core.jobs.get(&id) {
+        entry.token.cancel_with(CancelKind::User);
+    }
+    shared.work.notify_all();
+    ok_fields(vec![("id", num(id)), ("cancelled", Value::Bool(true))])
+}
+
+fn handle_results(shared: &Shared, id: u64) -> String {
+    let core = lock_core(shared);
+    match core.jobs.get(&id) {
+        None => err_line(&ServeError::UnknownJob { id }),
+        Some(entry) => match &entry.result {
+            None => err_line(&ServeError::NotFinished { id }),
+            Some(result) => ok_fields(vec![
+                ("id", num(id)),
+                ("result", serde_json::to_value(result)),
+            ]),
+        },
+    }
+}
+
+fn handle_health(shared: &Shared, health_hook: Option<&HealthHook>) -> String {
+    let (queued, running, done, draining) = {
+        let core = lock_core(shared);
+        let (q, r, d) = core.counts();
+        (q, r, d, core.draining)
+    };
+    let probe = health_hook.map(|hook| hook());
+    let degraded = probe.as_ref().is_some_and(|p| p.degraded);
+    let detail = probe.map_or_else(|| "no self-check configured".to_string(), |p| p.detail);
+    let mut jobs = Map::new();
+    jobs.insert("queued", num(queued as u64));
+    jobs.insert("running", num(running as u64));
+    jobs.insert("done", num(done as u64));
+    ok_fields(vec![
+        (
+            "status",
+            Value::String(if degraded { "degraded" } else { "ok" }.to_string()),
+        ),
+        ("detail", Value::String(detail)),
+        ("draining", Value::Bool(draining)),
+        ("jobs", Value::Object(jobs)),
+    ])
+}
+
+fn handle_drain(shared: &Shared, local_addr: SocketAddr) -> String {
+    let drained_jobs = {
+        let mut core = lock_core(shared);
+        core.draining = true;
+        shared.work.notify_all();
+        // Block until every queued and running job reaches a terminal
+        // state; the response line is the "fully drained" signal.
+        while !core.queue.is_empty() || core.running > 0 {
+            core = match shared.idle.wait(core) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        core.counts().2
+    };
+    if !shared.shutting_down.swap(true, Ordering::SeqCst) {
+        // Sentinel connection: unblock the accept loop so run() can
+        // join workers and seal the journal.
+        let _ = TcpStream::connect(local_addr);
+    }
+    ok_fields(vec![
+        ("drained", Value::Bool(true)),
+        ("done", num(drained_jobs as u64)),
+    ])
+}
+
+// ------------------------------------------------------------ client
+
+/// Send request lines to a daemon and collect one response line per
+/// request (the thin client used by the CLI and the fault harness).
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connect/read/write failures.
+pub fn request_lines(addr: &str, lines: &[String]) -> Result<Vec<String>, ServeError> {
+    let io = |context: &str, e: std::io::Error| ServeError::Io {
+        context: context.to_string(),
+        message: e.to_string(),
+    };
+    let stream = TcpStream::connect(addr).map_err(|e| io(&format!("connecting {addr}"), e))?;
+    let mut writer = stream.try_clone().map_err(|e| io("cloning stream", e))?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| io("sending request", e))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| io("reading response", e))?;
+        if n == 0 {
+            return Err(ServeError::Io {
+                context: "reading response".to_string(),
+                message: "connection closed before a response arrived".to_string(),
+            });
+        }
+        responses.push(response.trim_end().to_string());
+    }
+    Ok(responses)
+}
+
+/// One-shot [`request_lines`].
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connect/read/write failures, or if the daemon
+/// closed without responding.
+pub fn request_line(addr: &str, line: &str) -> Result<String, ServeError> {
+    let mut responses = request_lines(addr, &[line.to_string()])?;
+    responses.pop().ok_or_else(|| ServeError::Io {
+        context: "reading response".to_string(),
+        message: "no response line".to_string(),
+    })
+}

@@ -1,0 +1,362 @@
+//! The job executor: drives one [`JobSpec`] on the scheduling engine
+//! with cooperative cancellation, box budgets, panic isolation, and
+//! deterministic retry.
+//!
+//! Execution is **per-job deterministic**: the share sequence comes from
+//! a [`PolicyCursor`] parameterised entirely by the spec (policy ×
+//! virtual tenants × slot × total cache), never from live co-tenants, so
+//! a completed result is a pure function of the spec. Deadlines and user
+//! cancels arrive through the [`CancelToken`] and are observed *between
+//! runs* (the PR 9 cancellation law); budgets are a `take_boxes` cap on
+//! the same stream. A panicking attempt is contained by `catch_unwind`
+//! and retried on the seeded backoff schedule, so one poisoned job never
+//! takes the worker — let alone the daemon — down with it.
+
+use crate::outcome::{JobOutcome, JobResult};
+use crate::retry::backoff_ms;
+use crate::spec::{JobSpec, Policy};
+use cadapt_core::{CancelKind, CancelToken, RunCursor, RunCursorExt};
+use cadapt_recursion::ExecModel;
+use cadapt_sched::{EqualShares, Job, PolicyCursor, WinnerTakeAll};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::Duration;
+
+/// How one attempt ended (before retry policy is applied).
+enum Attempt {
+    /// Ran to completion (or budget exhaustion) with these stats.
+    Finished {
+        /// Terminal outcome: `Completed` or `BudgetExhausted`.
+        outcome: JobOutcome,
+        stats: Stats,
+    },
+    /// The cancel token fired between runs.
+    Cut { kind: CancelKind, stats: Stats },
+}
+
+/// Numeric footprint of one attempt, copied out of the sched-layer
+/// outcome so the journal owns its own stable shape.
+#[derive(Clone, Copy)]
+struct Stats {
+    boxes_received: u64,
+    io_used: u128,
+    progress: u128,
+    ratio: f64,
+}
+
+impl Stats {
+    fn from_job(job: &Job) -> Stats {
+        let o = job.outcome();
+        Stats {
+            boxes_received: o.boxes_received,
+            io_used: o.io_used,
+            progress: o.progress,
+            ratio: o.ratio(),
+        }
+    }
+
+    const ZERO: Stats = Stats {
+        boxes_received: 0,
+        io_used: 0,
+        progress: 0,
+        ratio: 0.0,
+    };
+}
+
+/// Drive one attempt to a terminal state. Panics propagate to the
+/// `catch_unwind` in [`run_job`]; spec validation has already happened
+/// at admission, so constructor failures here are defects worth the
+/// loud exit rather than a quiet mis-result.
+fn run_attempt(spec: &JobSpec, attempt: u32, token: &CancelToken) -> Attempt {
+    if attempt < spec.fail_attempts {
+        // The injected-fault knob: the fault harness uses this to prove
+        // per-trial isolation and the seeded retry schedule end to end.
+        // cadapt-lint: allow(panic-reach) -- deliberate injected fault, contained by run_job's catch_unwind and surfaced as a typed Failed outcome
+        panic!(
+            "injected fault: attempt {attempt} of {}",
+            spec.fail_attempts
+        );
+    }
+    let sched_spec = cadapt_sched::JobSpec::new(spec.algo.params(), spec.n);
+    let started = Job::start(sched_spec, ExecModel::capacity());
+    // cadapt-lint: allow(panic-reach) -- spec was validated at admission with the identical constructor; a failure here is a defect, and the panic is contained by run_job's catch_unwind
+    let mut job = started.expect("spec validated at admission");
+    // The policy arms have different cursor types; each boxes its own
+    // composed pipeline (PolicyCursor construction bounds were validated
+    // at admission via JobSpec::validate's identical checks).
+    let mut stream: Box<dyn RunCursor> = match spec.policy {
+        Policy::Equal => compose(
+            PolicyCursor::new(EqualShares, spec.tenants, spec.slot, spec.total_cache),
+            spec.max_boxes,
+            token,
+        ),
+        Policy::Wta { reign } => compose(
+            PolicyCursor::new(
+                WinnerTakeAll { reign },
+                spec.tenants,
+                spec.slot,
+                spec.total_cache,
+            ),
+            spec.max_boxes,
+            token,
+        ),
+    };
+    loop {
+        match stream.next_run() {
+            Err(_cancelled) => {
+                return Attempt::Cut {
+                    kind: token.kind().unwrap_or(CancelKind::User),
+                    stats: Stats::from_job(&job),
+                }
+            }
+            Ok(None) => {
+                // The budget stream ran dry; the job either finished on
+                // the final box or ran out of allowance.
+                let outcome = if job.is_done() {
+                    JobOutcome::Completed
+                } else {
+                    JobOutcome::BudgetExhausted
+                };
+                return Attempt::Finished {
+                    outcome,
+                    stats: Stats::from_job(&job),
+                };
+            }
+            Ok(Some(run)) => {
+                for _ in 0..run.repeat {
+                    let _ = job.grant(run.size);
+                    if job.is_done() {
+                        return Attempt::Finished {
+                            outcome: JobOutcome::Completed,
+                            stats: Stats::from_job(&job),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Attach the budget cap and cancellation gate to a policy stream and
+/// box it for uniform driving.
+fn compose<C: RunCursor + 'static>(
+    cursor: Result<C, cadapt_core::CoreError>,
+    max_boxes: Option<u64>,
+    token: &CancelToken,
+) -> Box<dyn RunCursor> {
+    // cadapt-lint: allow(panic-reach) -- bounds checked at admission (tenants/slot/total_cache); contained by run_job's catch_unwind
+    let cursor = cursor.expect("cursor bounds validated at admission");
+    match max_boxes {
+        Some(budget) => Box::new(cursor.take_boxes(budget).cancellable(token.clone())),
+        None => Box::new(cursor.cancellable(token.clone())),
+    }
+}
+
+/// Render a panic payload as text (the two shapes `panic!` produces).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Execute `spec` to a terminal [`JobResult`].
+///
+/// `on_attempt` fires before each attempt (the daemon journals a
+/// `Started` event there). `backoff_unit_ms` scales the seeded backoff
+/// sleeps — 1 for real milliseconds, 0 to skip sleeping in tests; the
+/// *recorded* schedule is always the unscaled pure function of the seed.
+pub fn run_job(
+    spec: &JobSpec,
+    token: &CancelToken,
+    backoff_unit_ms: u64,
+    on_attempt: &mut dyn FnMut(u32),
+) -> JobResult {
+    let mut slept: Vec<u64> = Vec::new();
+    let mut attempt: u32 = 0;
+    loop {
+        on_attempt(attempt);
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_attempt(spec, attempt, token)));
+        match outcome {
+            Ok(Attempt::Finished { outcome, stats }) => {
+                return JobResult {
+                    outcome,
+                    attempts: attempt + 1,
+                    backoff_ms: slept,
+                    boxes_received: stats.boxes_received,
+                    io_used: stats.io_used,
+                    progress: stats.progress,
+                    ratio: stats.ratio,
+                    error: None,
+                };
+            }
+            Ok(Attempt::Cut { kind, stats }) => {
+                let outcome = match kind {
+                    CancelKind::User => JobOutcome::Cancelled,
+                    CancelKind::Deadline => JobOutcome::DeadlineExceeded,
+                    CancelKind::Budget => JobOutcome::BudgetExhausted,
+                };
+                return JobResult {
+                    outcome,
+                    attempts: attempt + 1,
+                    backoff_ms: slept,
+                    boxes_received: stats.boxes_received,
+                    io_used: stats.io_used,
+                    progress: stats.progress,
+                    ratio: stats.ratio,
+                    error: None,
+                };
+            }
+            Err(payload) => {
+                let error = panic_text(payload.as_ref());
+                if attempt >= spec.max_retries || token.is_cancelled() {
+                    let outcome = if token.is_cancelled() {
+                        match token.kind() {
+                            Some(CancelKind::Deadline) => JobOutcome::DeadlineExceeded,
+                            Some(CancelKind::Budget) => JobOutcome::BudgetExhausted,
+                            _ => JobOutcome::Cancelled,
+                        }
+                    } else {
+                        JobOutcome::Failed
+                    };
+                    return JobResult {
+                        outcome,
+                        attempts: attempt + 1,
+                        backoff_ms: slept,
+                        boxes_received: 0,
+                        io_used: 0,
+                        progress: 0,
+                        ratio: Stats::ZERO.ratio,
+                        error: Some(error),
+                    };
+                }
+                let delay = backoff_ms(spec.seed, attempt + 1);
+                slept.push(delay);
+                if backoff_unit_ms > 0 {
+                    thread::sleep(Duration::from_millis(delay.saturating_mul(backoff_unit_ms)));
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::backoff_schedule;
+    use crate::spec::Algo;
+
+    fn run(spec: &JobSpec) -> JobResult {
+        run_job(spec, &CancelToken::new(), 0, &mut |_| {})
+    }
+
+    #[test]
+    fn completes_and_is_deterministic() {
+        let spec = JobSpec::basic(Algo::MmScan, 64);
+        let a = run(&spec);
+        let b = run(&spec);
+        assert_eq!(a.outcome, JobOutcome::Completed);
+        assert_eq!(a, b, "completed results must be bit-identical");
+        assert!(a.progress > 0 && a.io_used > 0 && a.boxes_received > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed_and_deterministic() {
+        let spec = JobSpec {
+            max_boxes: Some(2),
+            total_cache: 8, // 8-block shares cannot finish n=64 in 2 boxes
+            ..JobSpec::basic(Algo::MmScan, 64)
+        };
+        let a = run(&spec);
+        assert_eq!(a.outcome, JobOutcome::BudgetExhausted);
+        assert_eq!(a.boxes_received, 2);
+        assert!(a.progress > 0, "partial progress is reported");
+        assert_eq!(run(&spec), a);
+    }
+
+    #[test]
+    fn exact_budget_completion_beats_exhaustion() {
+        // Find how many boxes completion takes, then grant exactly that.
+        let free = run(&JobSpec::basic(Algo::MmScan, 64));
+        let spec = JobSpec {
+            max_boxes: Some(free.boxes_received),
+            ..JobSpec::basic(Algo::MmScan, 64)
+        };
+        assert_eq!(run(&spec).outcome, JobOutcome::Completed);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let r = run_job(&JobSpec::basic(Algo::MmScan, 64), &token, 0, &mut |_| {});
+        assert_eq!(r.outcome, JobOutcome::Cancelled);
+        assert_eq!(r.boxes_received, 0);
+    }
+
+    #[test]
+    fn deadline_kind_maps_to_deadline_outcome() {
+        let token = CancelToken::new();
+        token.cancel_with(CancelKind::Deadline);
+        let r = run_job(&JobSpec::basic(Algo::MmScan, 64), &token, 0, &mut |_| {});
+        assert_eq!(r.outcome, JobOutcome::DeadlineExceeded);
+    }
+
+    #[test]
+    fn injected_faults_retry_on_the_seeded_schedule() {
+        let spec = JobSpec {
+            fail_attempts: 2,
+            max_retries: 3,
+            seed: 42,
+            ..JobSpec::basic(Algo::MmScan, 64)
+        };
+        let mut attempts_seen = Vec::new();
+        let r = run_job(&spec, &CancelToken::new(), 0, &mut |a| {
+            attempts_seen.push(a)
+        });
+        assert_eq!(r.outcome, JobOutcome::Completed);
+        assert_eq!(r.attempts, 3);
+        assert_eq!(attempts_seen, vec![0, 1, 2]);
+        assert_eq!(r.backoff_ms, backoff_schedule(42, 2));
+    }
+
+    #[test]
+    fn exhausted_retries_fail_with_the_panic_text() {
+        let spec = JobSpec {
+            fail_attempts: 5,
+            max_retries: 1,
+            ..JobSpec::basic(Algo::MmScan, 64)
+        };
+        let r = run(&spec);
+        assert_eq!(r.outcome, JobOutcome::Failed);
+        assert_eq!(r.attempts, 2);
+        assert_eq!(r.backoff_ms.len(), 1);
+        assert!(r.error.as_deref().unwrap_or("").contains("injected fault"));
+    }
+
+    #[test]
+    fn wta_policy_jobs_complete_with_higher_box_counts_for_losers() {
+        let winner = JobSpec {
+            policy: Policy::Wta { reign: 4 },
+            tenants: 2,
+            slot: 0,
+            total_cache: 128,
+            ..JobSpec::basic(Algo::MmInplace, 64)
+        };
+        let loser = JobSpec {
+            slot: 1,
+            ..winner.clone()
+        };
+        let (w, l) = (run(&winner), run(&loser));
+        assert_eq!(w.outcome, JobOutcome::Completed);
+        assert_eq!(l.outcome, JobOutcome::Completed);
+        assert!(
+            l.boxes_received > w.boxes_received,
+            "starved slot needs more rounds"
+        );
+    }
+}

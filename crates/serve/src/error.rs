@@ -1,0 +1,126 @@
+//! Typed service-layer errors.
+//!
+//! Every failure a client or operator can see is a variant here, with a
+//! stable machine-readable [`ServeError::code`] used both on the wire
+//! (`{"ok":false,"error":{"code":…}}`) and in the process exit-code map
+//! (`cadapt-bench` maps any `ServeError` to exit code 7).
+
+use crate::journal::JournalError;
+use crate::protocol::ProtocolError;
+use std::fmt;
+
+/// Any error raised by the service layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A request line failed to parse as a protocol request.
+    Protocol(ProtocolError),
+    /// The write-ahead journal rejected an operation (I/O failure or
+    /// detected corruption).
+    Journal(JournalError),
+    /// Admission control rejected a submit: the bounded queue is full.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The daemon is draining and no longer admits jobs.
+    Draining,
+    /// The referenced job id has never been submitted.
+    UnknownJob {
+        /// The id the client asked about.
+        id: u64,
+    },
+    /// The job exists but has not finished; its results are not yet
+    /// available.
+    NotFinished {
+        /// The id the client asked about.
+        id: u64,
+    },
+    /// The submitted job specification is invalid.
+    InvalidSpec {
+        /// Why the spec was rejected.
+        message: String,
+    },
+    /// An OS-level I/O failure outside the journal (sockets, mostly).
+    Io {
+        /// What the daemon was doing.
+        context: String,
+        /// The underlying error rendered as text.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// Stable machine-readable error code for wire responses.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Protocol(_) => "protocol",
+            ServeError::Journal(_) => "journal",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Draining => "draining",
+            ServeError::UnknownJob { .. } => "unknown-job",
+            ServeError::NotFinished { .. } => "not-finished",
+            ServeError::InvalidSpec { .. } => "invalid-spec",
+            ServeError::Io { .. } => "io",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServeError::Journal(e) => write!(f, "journal error: {e}"),
+            ServeError::Overloaded { capacity } => {
+                write!(f, "queue full ({capacity} jobs); retry after a drain")
+            }
+            ServeError::Draining => write!(f, "daemon is draining; submissions are closed"),
+            ServeError::UnknownJob { id } => write!(f, "unknown job id {id}"),
+            ServeError::NotFinished { id } => write!(f, "job {id} has not finished"),
+            ServeError::InvalidSpec { message } => write!(f, "invalid job spec: {message}"),
+            ServeError::Io { context, message } => {
+                write!(f, "i/o failure while {context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        ServeError::Protocol(e)
+    }
+}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> Self {
+        ServeError::Journal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(ServeError::Draining.code(), "draining");
+        assert_eq!(ServeError::Overloaded { capacity: 4 }.code(), "overloaded");
+        assert_eq!(ServeError::UnknownJob { id: 9 }.code(), "unknown-job");
+        assert_eq!(ServeError::NotFinished { id: 9 }.code(), "not-finished");
+        assert_eq!(
+            ServeError::InvalidSpec {
+                message: "x".into()
+            }
+            .code(),
+            "invalid-spec"
+        );
+    }
+
+    #[test]
+    fn display_mentions_the_id() {
+        let text = ServeError::UnknownJob { id: 42 }.to_string();
+        assert!(text.contains("42"));
+    }
+}

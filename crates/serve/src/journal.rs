@@ -1,0 +1,599 @@
+//! The crash-safe write-ahead job journal.
+//!
+//! Every state transition the daemon must survive — submission, attempt
+//! start, cancellation request, completion, clean shutdown — is appended
+//! to a segmented log *before* it takes effect, one compact CRC-enveloped
+//! JSON line per event (the same `{"cadapt_envelope":1,"crc32":…,
+//! "payload":…}` envelope the artifact store uses, applied per line).
+//!
+//! Durability discipline:
+//!
+//! * **Append**: write the line, then `sync_data` — an acknowledged event
+//!   is on disk before the daemon acts on it.
+//! * **Rotation**: the active segment `wal-<seq>.open` is sealed by
+//!   `sync_all` + atomic rename to `wal-<seq>.log` + directory fsync once
+//!   it reaches the configured record count; sealed segments are
+//!   immutable and verified strictly.
+//! * **Recovery**: sealed segments must verify line-for-line (any CRC or
+//!   parse failure is typed [`JournalError::Corrupt`] — silent corruption
+//!   never replays). A leftover `.open` segment is the crash case: its
+//!   valid prefix is kept, a torn **final** line is dropped (the only
+//!   damage an interrupted append can cause), and the prefix is re-sealed
+//!   via tmp + fsync + rename before a fresh segment starts. An invalid
+//!   line *before* a valid one is real corruption and refuses to replay.
+//!
+//! A [`JournalEvent::Shutdown`] as the final event of a fully-sealed log
+//! is the clean-shutdown marker; its absence tells the restarting daemon
+//! to re-enqueue incomplete jobs.
+
+use crate::outcome::JobResult;
+use crate::spec::JobSpec;
+use cadapt_core::checksum::crc32_tag;
+use serde::{Deserialize, Map, Number, Serialize, Value};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Envelope format version (shared with the artifact store).
+pub const ENVELOPE_VERSION: u64 = 1;
+
+/// One journaled state transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEvent {
+    /// A job was admitted; its spec is now durable.
+    Submitted {
+        /// The id assigned at admission.
+        id: u64,
+        /// The full spec (defaults applied).
+        spec: JobSpec,
+    },
+    /// An execution attempt began.
+    Started {
+        /// Which job.
+        id: u64,
+        /// Which attempt (0-based).
+        attempt: u32,
+    },
+    /// A client asked for cancellation.
+    CancelRequested {
+        /// Which job.
+        id: u64,
+    },
+    /// The job reached a terminal outcome.
+    Finished {
+        /// Which job.
+        id: u64,
+        /// The final record, as served by `results`.
+        result: JobResult,
+    },
+    /// Clean-shutdown marker: the daemon drained and stopped on purpose.
+    Shutdown,
+}
+
+/// Why the journal refused an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An OS-level I/O failure.
+    Io {
+        /// What the journal was doing.
+        context: String,
+        /// The underlying error rendered as text.
+        message: String,
+    },
+    /// A sealed segment (or the non-tail part of the open segment)
+    /// failed verification; replay refuses to proceed.
+    Corrupt {
+        /// The segment file name.
+        segment: String,
+        /// 1-based line number of the first bad line.
+        line: usize,
+        /// What failed (parse, version, CRC, payload shape).
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { context, message } => {
+                write!(f, "journal i/o failure while {context}: {message}")
+            }
+            JournalError::Corrupt {
+                segment,
+                line,
+                reason,
+            } => write!(f, "journal corruption in {segment} line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(context: &str, e: &std::io::Error) -> JournalError {
+    JournalError::Io {
+        context: context.to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Render one event as a compact CRC-enveloped JSON line (no newline).
+#[must_use]
+pub fn envelope_line(event: &JournalEvent) -> String {
+    let payload = serde_json::to_value(event);
+    let mut envelope = Map::new();
+    envelope.insert(
+        "cadapt_envelope",
+        Value::Number(Number::U(u128::from(ENVELOPE_VERSION))),
+    );
+    envelope.insert(
+        "crc32",
+        Value::String(crc32_tag(payload.render_compact().as_bytes())),
+    );
+    envelope.insert("payload", payload);
+    Value::Object(envelope).render_compact()
+}
+
+/// Decode one journal line, verifying envelope version and CRC.
+///
+/// # Errors
+///
+/// A human-readable reason string (wrapped into [`JournalError::Corrupt`]
+/// with position information by the caller).
+pub fn decode_line(line: &str) -> Result<JournalEvent, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("line is not JSON: {e}"))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| "envelope is not an object".to_string())?;
+    let version = obj
+        .get("cadapt_envelope")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "missing `cadapt_envelope` version field".to_string())?;
+    if version != ENVELOPE_VERSION {
+        return Err(format!(
+            "unsupported envelope version {version} (expected {ENVELOPE_VERSION})"
+        ));
+    }
+    let declared = obj
+        .get("crc32")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing `crc32` field".to_string())?;
+    let payload = obj
+        .get("payload")
+        .ok_or_else(|| "missing `payload` field".to_string())?;
+    let actual = crc32_tag(payload.render_compact().as_bytes());
+    if declared != actual {
+        return Err(format!(
+            "CRC mismatch: declared {declared}, computed {actual}"
+        ));
+    }
+    serde_json::from_value(payload).map_err(|e| format!("payload is not a journal event: {e}"))
+}
+
+/// What replay found on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Every surviving event, in append order across segments.
+    pub events: Vec<JournalEvent>,
+    /// Whether the previous daemon shut down cleanly (all segments
+    /// sealed and the final event is [`JournalEvent::Shutdown`]).
+    pub clean_shutdown: bool,
+    /// Sealed segments read.
+    pub segments: u64,
+    /// Whether a torn final line was dropped from a crashed open segment.
+    pub dropped_torn_tail: bool,
+}
+
+/// The append handle over the journal directory.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    seq: u64,
+    file: File,
+    records: u64,
+    rotate_every: u64,
+}
+
+fn segment_name(seq: u64, sealed: bool) -> String {
+    let ext = if sealed { "log" } else { "open" };
+    format!("wal-{seq:08}.{ext}")
+}
+
+/// Parse `wal-<seq>.<ext>` back into `(seq, sealed)`.
+fn parse_segment_name(name: &str) -> Option<(u64, bool)> {
+    let rest = name.strip_prefix("wal-")?;
+    let (digits, ext) = rest.split_once('.')?;
+    let seq = digits.parse::<u64>().ok()?;
+    match ext {
+        "log" => Some((seq, true)),
+        "open" => Some((seq, false)),
+        _ => None,
+    }
+}
+
+fn sync_dir(dir: &Path) -> Result<(), JournalError> {
+    let d = File::open(dir).map_err(|e| io_err("opening journal dir for fsync", &e))?;
+    d.sync_all().map_err(|e| io_err("fsyncing journal dir", &e))
+}
+
+/// Split file content into lines, reporting whether the final line is
+/// newline-terminated.
+fn split_lines(content: &str) -> (Vec<&str>, bool) {
+    let terminated = content.ends_with('\n');
+    let lines: Vec<&str> = content.split('\n').filter(|l| !l.is_empty()).collect();
+    (lines, terminated)
+}
+
+impl Journal {
+    /// Open (and if necessary recover) the journal at `dir`, replaying
+    /// every surviving event, then start a fresh open segment.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failures;
+    /// [`JournalError::Corrupt`] if a sealed segment — or any non-tail
+    /// line of a crashed open segment — fails verification.
+    pub fn open(dir: &Path, rotate_every: u64) -> Result<(Journal, Replay), JournalError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("creating journal dir", &e))?;
+        let mut sealed: Vec<u64> = Vec::new();
+        let mut open_segs: Vec<u64> = Vec::new();
+        let entries = fs::read_dir(dir).map_err(|e| io_err("listing journal dir", &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("listing journal dir", &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            match parse_segment_name(name) {
+                Some((seq, true)) => sealed.push(seq),
+                Some((seq, false)) => open_segs.push(seq),
+                None => {}
+            }
+        }
+        sealed.sort_unstable();
+        open_segs.sort_unstable();
+        // A seq with both a sealed and an open file means a previous
+        // recovery crashed between sealing the rewrite and removing the
+        // crashed original; the sealed copy is authoritative.
+        open_segs.retain(|seq| {
+            if sealed.binary_search(seq).is_ok() {
+                let _ = fs::remove_file(dir.join(segment_name(*seq, false)));
+                false
+            } else {
+                true
+            }
+        });
+
+        let mut events = Vec::new();
+        for &seq in &sealed {
+            let name = segment_name(seq, true);
+            let path = dir.join(&name);
+            let content =
+                fs::read_to_string(&path).map_err(|e| io_err("reading sealed segment", &e))?;
+            let (lines, terminated) = split_lines(&content);
+            for (i, line) in lines.iter().enumerate() {
+                let last = i + 1 == lines.len();
+                if last && !terminated {
+                    return Err(JournalError::Corrupt {
+                        segment: name.clone(),
+                        line: i + 1,
+                        reason: "sealed segment ends without a newline".to_string(),
+                    });
+                }
+                match decode_line(line) {
+                    Ok(ev) => events.push(ev),
+                    Err(reason) => {
+                        return Err(JournalError::Corrupt {
+                            segment: name.clone(),
+                            line: i + 1,
+                            reason,
+                        })
+                    }
+                }
+            }
+        }
+
+        // A leftover open segment is the crash case: keep the valid
+        // prefix, drop a torn final line, refuse anything worse.
+        let mut dropped_torn_tail = false;
+        let had_open = !open_segs.is_empty();
+        for &seq in &open_segs {
+            let name = segment_name(seq, false);
+            let path = dir.join(&name);
+            let content =
+                fs::read_to_string(&path).map_err(|e| io_err("reading open segment", &e))?;
+            let (lines, terminated) = split_lines(&content);
+            let mut kept_lines: Vec<&str> = Vec::new();
+            for (i, line) in lines.iter().enumerate() {
+                let last = i + 1 == lines.len();
+                match decode_line(line) {
+                    Ok(ev) if !last || terminated => {
+                        kept_lines.push(line);
+                        events.push(ev);
+                    }
+                    // An unterminated final line is torn even if its
+                    // bytes happen to verify so far; drop it — the
+                    // append never acknowledged.
+                    Ok(_) => dropped_torn_tail = true,
+                    Err(reason) if last => {
+                        dropped_torn_tail = true;
+                        let _ = reason;
+                    }
+                    Err(reason) => {
+                        return Err(JournalError::Corrupt {
+                            segment: name.clone(),
+                            line: i + 1,
+                            reason,
+                        })
+                    }
+                }
+            }
+            // Re-seal the surviving prefix via tmp + fsync + rename so the
+            // next replay sees only strictly-verifiable sealed segments.
+            let tmp = dir.join(format!("{name}.tmp"));
+            {
+                let mut f =
+                    File::create(&tmp).map_err(|e| io_err("creating recovery tmp file", &e))?;
+                for line in &kept_lines {
+                    f.write_all(line.as_bytes())
+                        .and_then(|()| f.write_all(b"\n"))
+                        .map_err(|e| io_err("rewriting recovered segment", &e))?;
+                }
+                f.sync_all()
+                    .map_err(|e| io_err("fsyncing recovered segment", &e))?;
+            }
+            fs::rename(&tmp, dir.join(segment_name(seq, true)))
+                .map_err(|e| io_err("sealing recovered segment", &e))?;
+            fs::remove_file(&path).map_err(|e| io_err("removing crashed open segment", &e))?;
+            sync_dir(dir)?;
+        }
+
+        let clean_shutdown = !had_open && matches!(events.last(), Some(JournalEvent::Shutdown));
+        let next_seq = sealed
+            .iter()
+            .chain(open_segs.iter())
+            .max()
+            .map_or(0, |m| m + 1);
+        let journal = Journal::start_segment(dir.to_path_buf(), next_seq, rotate_every)?;
+        let replay = Replay {
+            events,
+            clean_shutdown,
+            segments: sealed.len() as u64 + open_segs.len() as u64,
+            dropped_torn_tail,
+        };
+        Ok((journal, replay))
+    }
+
+    fn start_segment(dir: PathBuf, seq: u64, rotate_every: u64) -> Result<Journal, JournalError> {
+        let path = dir.join(segment_name(seq, false));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("creating open segment", &e))?;
+        sync_dir(&dir)?;
+        Ok(Journal {
+            dir,
+            seq,
+            file,
+            records: 0,
+            rotate_every: rotate_every.max(1),
+        })
+    }
+
+    /// Append one event durably: the line is on disk when this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the write or fsync fails.
+    pub fn append(&mut self, event: &JournalEvent) -> Result<(), JournalError> {
+        let mut line = envelope_line(event);
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err("appending journal event", &e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("fsyncing journal append", &e))?;
+        self.records += 1;
+        if self.records >= self.rotate_every {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Seal the active segment and start the next one.
+    fn rotate(&mut self) -> Result<(), JournalError> {
+        self.seal_current()?;
+        let next = Journal::start_segment(self.dir.clone(), self.seq + 1, self.rotate_every)?;
+        *self = next;
+        Ok(())
+    }
+
+    fn seal_current(&mut self) -> Result<(), JournalError> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("fsyncing segment before seal", &e))?;
+        let open_path = self.dir.join(segment_name(self.seq, false));
+        let sealed_path = self.dir.join(segment_name(self.seq, true));
+        fs::rename(&open_path, &sealed_path).map_err(|e| io_err("sealing segment", &e))?;
+        sync_dir(&self.dir)
+    }
+
+    /// Clean shutdown: append the [`JournalEvent::Shutdown`] marker and
+    /// seal the active segment, consuming the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the final append or seal fails.
+    pub fn close(mut self) -> Result<(), JournalError> {
+        // Append without triggering rotation: the marker belongs to the
+        // segment being sealed.
+        let mut line = envelope_line(&JournalEvent::Shutdown);
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err("appending shutdown marker", &e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("fsyncing shutdown marker", &e))?;
+        self.seal_current()
+    }
+
+    /// The directory this journal lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{JobOutcome, JobResult};
+    use crate::spec::{Algo, JobSpec};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "cadapt-serve-journal-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_events() -> Vec<JournalEvent> {
+        let spec = JobSpec::basic(Algo::MmScan, 64);
+        vec![
+            JournalEvent::Submitted { id: 0, spec },
+            JournalEvent::Started { id: 0, attempt: 0 },
+            JournalEvent::Finished {
+                id: 0,
+                result: JobResult {
+                    outcome: JobOutcome::Completed,
+                    attempts: 1,
+                    backoff_ms: vec![],
+                    boxes_received: 12,
+                    io_used: 345,
+                    progress: 512,
+                    ratio: 1.5,
+                    error: None,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn events_survive_close_and_reopen() {
+        let dir = scratch_dir("reopen");
+        let (mut j, replay) = Journal::open(&dir, 100).unwrap();
+        assert!(replay.events.is_empty());
+        assert!(!replay.clean_shutdown);
+        for ev in sample_events() {
+            j.append(&ev).unwrap();
+        }
+        j.close().unwrap();
+
+        let (_j2, replay) = Journal::open(&dir, 100).unwrap();
+        let mut expected = sample_events();
+        expected.push(JournalEvent::Shutdown);
+        assert_eq!(replay.events, expected);
+        assert!(replay.clean_shutdown);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_replay_spans_them() {
+        let dir = scratch_dir("rotate");
+        let (mut j, _) = Journal::open(&dir, 2).unwrap();
+        for ev in sample_events() {
+            j.append(&ev).unwrap();
+        }
+        // 3 events with rotate_every=2: one sealed segment + one open.
+        let sealed = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".log"))
+            .count();
+        assert_eq!(sealed, 1);
+        drop(j); // simulate crash: open segment left behind
+        let (_j2, replay) = Journal::open(&dir, 2).unwrap();
+        assert_eq!(replay.events, sample_events());
+        assert!(!replay.clean_shutdown);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_in_open_segment_is_dropped_not_fatal() {
+        let dir = scratch_dir("torn");
+        let (mut j, _) = Journal::open(&dir, 100).unwrap();
+        for ev in sample_events() {
+            j.append(&ev).unwrap();
+        }
+        drop(j);
+        // Tear the final line mid-byte.
+        let open = dir.join(segment_name(0, false));
+        let content = fs::read(&open).unwrap();
+        fs::write(&open, &content[..content.len() - 7]).unwrap();
+
+        let (_j2, replay) = Journal::open(&dir, 100).unwrap();
+        assert_eq!(replay.events, sample_events()[..2].to_vec());
+        assert!(replay.dropped_torn_tail);
+        assert!(!replay.clean_shutdown);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_sealed_segment_is_typed_and_fatal() {
+        let dir = scratch_dir("corrupt");
+        let (mut j, _) = Journal::open(&dir, 2).unwrap();
+        for ev in sample_events() {
+            j.append(&ev).unwrap();
+        }
+        j.close().unwrap();
+        // Flip one byte inside the first sealed segment's payload.
+        let sealed = dir.join(segment_name(0, true));
+        let mut content = fs::read(&sealed).unwrap();
+        let mid = content.len() / 2;
+        content[mid] ^= 0x01;
+        fs::write(&sealed, &content).unwrap();
+
+        match Journal::open(&dir, 2) {
+            Err(JournalError::Corrupt { segment, .. }) => {
+                assert_eq!(segment, segment_name(0, true));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn envelope_line_round_trips_every_event_shape() {
+        for ev in sample_events().into_iter().chain([
+            JournalEvent::CancelRequested { id: 3 },
+            JournalEvent::Shutdown,
+        ]) {
+            let line = envelope_line(&ev);
+            assert_eq!(decode_line(&line).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_envelopes_with_reasons() {
+        assert!(decode_line("garbage").is_err());
+        assert!(decode_line("[]").is_err());
+        assert!(
+            decode_line(r#"{"cadapt_envelope":2,"crc32":"crc32:0","payload":1}"#)
+                .unwrap_err()
+                .contains("version")
+        );
+        assert!(decode_line(r#"{"cadapt_envelope":1,"payload":1}"#)
+            .unwrap_err()
+            .contains("crc32"));
+        let good = envelope_line(&JournalEvent::Shutdown);
+        let tampered = good.replace("Shutdown", "Shutdow2");
+        assert!(decode_line(&tampered).unwrap_err().contains("CRC mismatch"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # cadapt-serve — the crash-safe experiment job service
+//!
+//! The ROADMAP's north star is a long-running service scheduling
+//! experiment and analysis jobs on the deterministic engine. This crate
+//! is that service layer: a dependency-free daemon speaking
+//! newline-delimited JSON over TCP (`submit` / `status` / `cancel` /
+//! `results` / `health` / `drain`), executing (a, b, c)-regular jobs
+//! whose cache shares come from `cadapt-sched` allocation policies made
+//! load-bearing via [`cadapt_sched::PolicyCursor`].
+//!
+//! Robustness properties, each pinned by tests:
+//!
+//! * **Crash safety** — every state transition is appended to a
+//!   CRC-enveloped write-ahead [`journal`] before it takes effect;
+//!   `kill -9` mid-job followed by restart replays the journal,
+//!   re-enqueues incomplete jobs, and produces results byte-identical
+//!   to an uninterrupted run (execution is per-job deterministic).
+//! * **Deadlines and budgets** — enforced through the typed
+//!   [`cadapt_core::CancelToken`] between runs and a `take_boxes` cap,
+//!   surfaced as [`JobOutcome::DeadlineExceeded`] /
+//!   [`JobOutcome::BudgetExhausted`]; never as torn journal state.
+//! * **Admission control** — a bounded queue with typed overload
+//!   rejection; memory use cannot grow without bound under load.
+//! * **Deterministic retry** — panicking attempts are contained by
+//!   `catch_unwind` and retried on an exponential-plus-jitter schedule
+//!   that is a pure function of the job seed ([`retry`]).
+//! * **Graceful drain** — `drain` stops admission, finishes in-flight
+//!   work, journals a clean-shutdown marker, and exits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod engine;
+pub mod error;
+pub mod journal;
+pub mod outcome;
+pub mod protocol;
+pub mod retry;
+pub mod spec;
+
+pub use daemon::{Daemon, DaemonConfig, HealthHook, HealthReport, JobState};
+pub use engine::run_job;
+pub use error::ServeError;
+pub use journal::{Journal, JournalError, JournalEvent, Replay};
+pub use outcome::{JobOutcome, JobResult};
+pub use protocol::{parse_request, ProtocolError, Request};
+pub use spec::{Algo, JobSpec, Policy};

@@ -1,0 +1,91 @@
+//! Typed job outcomes and the per-job result record.
+
+use serde::{Deserialize, Serialize};
+
+/// How a job ended. Every termination path has a name: nothing exits
+/// the service as a bare error string or a silent partial record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The job ran to completion.
+    Completed,
+    /// A client cancelled it (`cancel` request).
+    Cancelled,
+    /// The deadline enforcer cut it off between runs.
+    DeadlineExceeded,
+    /// The box budget (`max_boxes`) ran out before completion.
+    BudgetExhausted,
+    /// Every attempt panicked; retries are exhausted.
+    Failed,
+}
+
+impl JobOutcome {
+    /// Stable lowercase label for reports and wire payloads.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::DeadlineExceeded => "deadline-exceeded",
+            JobOutcome::BudgetExhausted => "budget-exhausted",
+            JobOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// The final record for one job, journaled in the `Finished` event and
+/// returned verbatim by the `results` request.
+///
+/// For [`JobOutcome::Completed`] and [`JobOutcome::BudgetExhausted`]
+/// jobs every field is a pure function of the [`crate::JobSpec`], which
+/// is what makes recovered results byte-identical to an uninterrupted
+/// run. Deadline and cancel outcomes depend on when the token fired;
+/// their numeric fields describe how far the job got.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Attempts executed (1 + retries actually used).
+    pub attempts: u32,
+    /// The backoff delays (ms) slept between attempts, in order — the
+    /// seeded schedule prefix that was actually consumed.
+    pub backoff_ms: Vec<u64>,
+    /// Boxes the winning (final) attempt received.
+    pub boxes_received: u64,
+    /// I/Os the final attempt consumed.
+    pub io_used: u128,
+    /// Base cases the final attempt completed.
+    pub progress: u128,
+    /// The Eq. 2 adaptivity ratio of the final attempt.
+    pub ratio: f64,
+    /// Panic payload of the last attempt, for `Failed` outcomes.
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(JobOutcome::Completed.as_str(), "completed");
+        assert_eq!(JobOutcome::DeadlineExceeded.as_str(), "deadline-exceeded");
+        assert_eq!(JobOutcome::BudgetExhausted.as_str(), "budget-exhausted");
+    }
+
+    #[test]
+    fn result_json_round_trips() {
+        let r = JobResult {
+            outcome: JobOutcome::Failed,
+            attempts: 3,
+            backoff_ms: vec![2, 5],
+            boxes_received: 0,
+            io_used: 0,
+            progress: 0,
+            ratio: 0.0,
+            error: Some("injected fault".to_string()),
+        };
+        let text = serde_json::to_string(&r).expect("render");
+        let back: JobResult = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, r);
+    }
+}

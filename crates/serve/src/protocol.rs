@@ -1,0 +1,308 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request. A request is an
+//! object with an `"op"` field naming the operation; `submit` carries a
+//! `"spec"` object in which only `algo` and `n` are mandatory (every
+//! other [`JobSpec`] field has a documented default). Malformed input of
+//! any shape — non-JSON bytes, wrong types, unknown operations, unknown
+//! spec fields — is rejected with a typed [`ProtocolError`]; the parser
+//! never panics (a property pinned by a fuzz proptest).
+
+use crate::spec::JobSpec;
+use serde::{Map, Number, Value};
+use std::fmt;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job for execution.
+    Submit {
+        /// The full spec, defaults applied.
+        spec: JobSpec,
+    },
+    /// Ask for a job's lifecycle state.
+    Status {
+        /// The job id.
+        id: u64,
+    },
+    /// Request cooperative cancellation of a job.
+    Cancel {
+        /// The job id.
+        id: u64,
+    },
+    /// Fetch the final result record of a finished job.
+    Results {
+        /// The job id.
+        id: u64,
+    },
+    /// Service health, including the golden self-check when configured.
+    Health,
+    /// Stop admitting jobs, finish in-flight work, shut down cleanly.
+    Drain,
+}
+
+/// Why a request line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The line is not valid JSON.
+    NotJson {
+        /// The JSON parser's message.
+        message: String,
+    },
+    /// The line parsed, but is not a JSON object.
+    NotAnObject,
+    /// The object has no string `"op"` field.
+    MissingOp,
+    /// The `"op"` names no known operation.
+    UnknownOp {
+        /// What the client sent.
+        op: String,
+    },
+    /// A field is missing, has the wrong type, or is unknown.
+    BadField {
+        /// Which field.
+        field: String,
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::NotJson { message } => write!(f, "request is not JSON: {message}"),
+            ProtocolError::NotAnObject => write!(f, "request must be a JSON object"),
+            ProtocolError::MissingOp => write!(f, "request object has no string \"op\" field"),
+            ProtocolError::UnknownOp { op } => write!(
+                f,
+                "unknown op {op:?} (expected submit/status/cancel/results/health/drain)"
+            ),
+            ProtocolError::BadField { field, message } => {
+                write!(f, "bad field {field:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A field's default-value constructor; `None` marks the field mandatory.
+type FieldDefault = Option<fn() -> Value>;
+
+/// The spec fields `submit` understands, with their defaults (`None` =
+/// mandatory). Order matches [`JobSpec`]'s declaration order so the
+/// reconstructed object deserializes positionally clean.
+const SPEC_FIELDS: [(&str, FieldDefault); 12] = [
+    ("algo", None),
+    ("n", None),
+    ("policy", Some(|| Value::String("Equal".to_string()))),
+    ("tenants", Some(|| Value::Number(Number::U(1)))),
+    ("slot", Some(|| Value::Number(Number::U(0)))),
+    ("total_cache", Some(|| Value::Number(Number::U(64)))),
+    ("seed", Some(|| Value::Number(Number::U(0)))),
+    ("deadline_ms", Some(|| Value::Null)),
+    ("max_boxes", Some(|| Value::Null)),
+    ("max_retries", Some(|| Value::Number(Number::U(0)))),
+    ("fail_attempts", Some(|| Value::Number(Number::U(0)))),
+    ("key", Some(|| Value::Null)),
+];
+
+fn bad_field(field: &str, message: impl Into<String>) -> ProtocolError {
+    ProtocolError::BadField {
+        field: field.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Extract a `u64` id field.
+fn id_field(obj: &Map) -> Result<u64, ProtocolError> {
+    match obj.get("id") {
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad_field("id", "expected a non-negative integer")),
+        None => Err(bad_field("id", "missing")),
+    }
+}
+
+/// Rebuild a full [`JobSpec`] value from a client-supplied partial spec
+/// object: defaults filled in, unknown fields rejected.
+fn spec_from_value(v: &Value) -> Result<JobSpec, ProtocolError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| bad_field("spec", "expected an object"))?;
+    for (key, _) in obj.iter() {
+        if !SPEC_FIELDS.iter().any(|(name, _)| name == key) {
+            return Err(bad_field(key, "unknown spec field"));
+        }
+    }
+    let mut full = Map::new();
+    for (name, default) in SPEC_FIELDS {
+        match (obj.get(name), default) {
+            (Some(given), _) => full.insert(name, given.clone()),
+            (None, Some(make)) => full.insert(name, make()),
+            (None, None) => return Err(bad_field(name, "missing (mandatory spec field)")),
+        }
+    }
+    serde_json::from_value(&Value::Object(full))
+        .map_err(|e| bad_field("spec", format!("does not parse as a job spec: {e}")))
+}
+
+/// Parse one request line.
+///
+/// # Errors
+///
+/// A typed [`ProtocolError`] for every malformed shape; this function
+/// never panics on any input.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let value: Value = serde_json::from_str(line).map_err(|e| ProtocolError::NotJson {
+        message: e.to_string(),
+    })?;
+    let obj = value.as_object().ok_or(ProtocolError::NotAnObject)?;
+    let op = obj
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or(ProtocolError::MissingOp)?;
+    match op {
+        "submit" => {
+            let spec_value = obj
+                .get("spec")
+                .ok_or_else(|| bad_field("spec", "missing"))?;
+            Ok(Request::Submit {
+                spec: spec_from_value(spec_value)?,
+            })
+        }
+        "status" => Ok(Request::Status { id: id_field(obj)? }),
+        "cancel" => Ok(Request::Cancel { id: id_field(obj)? }),
+        "results" => Ok(Request::Results { id: id_field(obj)? }),
+        "health" => Ok(Request::Health),
+        "drain" => Ok(Request::Drain),
+        other => Err(ProtocolError::UnknownOp {
+            op: other.to_string(),
+        }),
+    }
+}
+
+/// Render the request line that submits `spec` (used by the client CLI
+/// and the fault harness; round-trips through [`parse_request`]).
+#[must_use]
+pub fn submit_line(spec: &JobSpec) -> String {
+    let mut obj = Map::new();
+    obj.insert("op", Value::String("submit".to_string()));
+    obj.insert("spec", serde_json::to_value(spec));
+    render_object(obj)
+}
+
+/// Render a one-field id request line (`status`/`cancel`/`results`).
+#[must_use]
+pub fn id_request_line(op: &str, id: u64) -> String {
+    let mut obj = Map::new();
+    obj.insert("op", Value::String(op.to_string()));
+    obj.insert("id", Value::Number(Number::U(u128::from(id))));
+    render_object(obj)
+}
+
+/// Render a no-argument request line (`health`/`drain`).
+#[must_use]
+pub fn bare_request_line(op: &str) -> String {
+    let mut obj = Map::new();
+    obj.insert("op", Value::String(op.to_string()));
+    render_object(obj)
+}
+
+fn render_object(obj: Map) -> String {
+    serde_json::to_string(&Value::Object(obj)).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Algo, Policy};
+
+    #[test]
+    fn minimal_submit_gets_defaults() {
+        let req = parse_request(r#"{"op":"submit","spec":{"algo":"MmScan","n":64}}"#).unwrap();
+        let Request::Submit { spec } = req else {
+            panic!("expected submit")
+        };
+        assert_eq!(spec, JobSpec::basic(Algo::MmScan, 64));
+    }
+
+    #[test]
+    fn full_submit_round_trips() {
+        let spec = JobSpec {
+            policy: Policy::Wta { reign: 2 },
+            tenants: 3,
+            slot: 1,
+            deadline_ms: Some(100),
+            max_boxes: Some(500),
+            max_retries: 2,
+            key: Some("k".to_string()),
+            ..JobSpec::basic(Algo::Gep, 256)
+        };
+        let line = submit_line(&spec);
+        let Request::Submit { spec: back } = parse_request(&line).unwrap() else {
+            panic!("expected submit")
+        };
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn id_requests_parse() {
+        assert_eq!(
+            parse_request(&id_request_line("status", 7)).unwrap(),
+            Request::Status { id: 7 }
+        );
+        assert_eq!(
+            parse_request(&id_request_line("cancel", 8)).unwrap(),
+            Request::Cancel { id: 8 }
+        );
+        assert_eq!(
+            parse_request(&id_request_line("results", 9)).unwrap(),
+            Request::Results { id: 9 }
+        );
+        assert_eq!(
+            parse_request(&bare_request_line("health")).unwrap(),
+            Request::Health
+        );
+        assert_eq!(
+            parse_request(&bare_request_line("drain")).unwrap(),
+            Request::Drain
+        );
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_errors() {
+        assert!(matches!(
+            parse_request("not json at all"),
+            Err(ProtocolError::NotJson { .. })
+        ));
+        assert!(matches!(
+            parse_request("[1,2,3]"),
+            Err(ProtocolError::NotAnObject)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"x":1}"#),
+            Err(ProtocolError::MissingOp)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"reboot"}"#),
+            Err(ProtocolError::UnknownOp { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"status"}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"status","id":-4}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"submit","spec":{"algo":"MmScan"}}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"submit","spec":{"algo":"MmScan","n":64,"bogus":1}}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+    }
+}

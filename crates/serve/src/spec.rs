@@ -1,0 +1,298 @@
+//! Job specifications: what to run, under which allocation policy, with
+//! which limits — plus admission-time validation.
+//!
+//! A [`JobSpec`] is deliberately **self-contained**: policy, virtual
+//! tenant count, slot, and cache size are all part of the spec, so a
+//! job's share sequence (and therefore its completed result) is a pure
+//! function of the spec alone. That is the property crash recovery
+//! leans on: replaying a journaled spec after a `kill -9` reproduces
+//! the interrupted run byte for byte.
+
+use crate::error::ServeError;
+use cadapt_core::Blocks;
+use cadapt_recursion::{AbcParams, ExecModel};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on virtual co-tenants (keeps allocation vectors small).
+pub const MAX_TENANTS: usize = 1024;
+/// Upper bound on retries (bounds worst-case re-execution work).
+pub const MAX_RETRIES: u32 = 8;
+
+/// The four (a, b, c)-regular algorithms the service schedules, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algo {
+    /// Matrix multiply with a linear scan at each node (non-adaptive).
+    MmScan,
+    /// In-place matrix multiply (adaptive).
+    MmInplace,
+    /// Strassen's matrix multiply.
+    Strassen,
+    /// Gaussian elimination paradigm.
+    Gep,
+}
+
+impl Algo {
+    /// The `(a, b, c)` parameters this algorithm runs under.
+    #[must_use]
+    pub fn params(&self) -> AbcParams {
+        match self {
+            Algo::MmScan => AbcParams::mm_scan(),
+            Algo::MmInplace => AbcParams::mm_inplace(),
+            Algo::Strassen => AbcParams::strassen(),
+            Algo::Gep => AbcParams::gep(),
+        }
+    }
+
+    /// Stable lowercase label for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Algo::MmScan => "mm-scan",
+            Algo::MmInplace => "mm-inplace",
+            Algo::Strassen => "strassen",
+            Algo::Gep => "gep",
+        }
+    }
+}
+
+/// Which allocation policy shapes the job's share stream.
+///
+/// Only the deterministic policies are exposed: `ChurnShares` needs an
+/// RNG minted at run time, which would make the share sequence depend on
+/// state outside the spec and break byte-identical crash recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Fair static partitioning among the virtual tenants.
+    Equal,
+    /// Winner-take-all rotation (cache-residency imbalance).
+    Wta {
+        /// Rounds each winner holds the cache (>= 1).
+        reign: u64,
+    },
+}
+
+impl Policy {
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Policy::Equal => "equal-shares".to_string(),
+            Policy::Wta { reign } => format!("winner-take-all({reign})"),
+        }
+    }
+}
+
+/// A complete job specification, as journaled and as accepted on the
+/// wire (`submit` fills defaults for everything but `algo` and `n`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Which algorithm to run.
+    pub algo: Algo,
+    /// Problem size in blocks (must be canonical for the algorithm).
+    pub n: Blocks,
+    /// Allocation policy shaping the share stream.
+    pub policy: Policy,
+    /// Virtual co-tenant count the policy splits the cache among.
+    pub tenants: usize,
+    /// This job's slot among the virtual tenants.
+    pub slot: usize,
+    /// Total cache blocks the policy distributes.
+    pub total_cache: Blocks,
+    /// Seed driving the retry backoff schedule (and nothing else).
+    pub seed: u64,
+    /// Wall-clock deadline in milliseconds, enforced between runs.
+    pub deadline_ms: Option<u64>,
+    /// Box budget: the job is cut off after this many boxes.
+    pub max_boxes: Option<u64>,
+    /// Retries after a failed (panicked) attempt, capped at
+    /// [`MAX_RETRIES`].
+    pub max_retries: u32,
+    /// Injected-fault knob: the first `fail_attempts` attempts panic
+    /// deliberately (exercised by the fault harness; 0 in normal use).
+    pub fail_attempts: u32,
+    /// Idempotency key: a second submit with the same key returns the
+    /// original job id instead of enqueueing a duplicate.
+    pub key: Option<String>,
+}
+
+impl JobSpec {
+    /// A minimal spec for `algo` at size `n` with library defaults:
+    /// equal shares, one tenant, 64 cache blocks, seed 0, no limits.
+    #[must_use]
+    pub fn basic(algo: Algo, n: Blocks) -> JobSpec {
+        JobSpec {
+            algo,
+            n,
+            policy: Policy::Equal,
+            tenants: 1,
+            slot: 0,
+            total_cache: 64,
+            seed: 0,
+            deadline_ms: None,
+            max_boxes: None,
+            max_retries: 0,
+            fail_attempts: 0,
+            key: None,
+        }
+    }
+
+    /// Admission-time validation: every rejection reason a client can
+    /// fix before the job is journaled.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidSpec`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let reject = |message: String| Err(ServeError::InvalidSpec { message });
+        if self.tenants == 0 || self.tenants > MAX_TENANTS {
+            return reject(format!("tenants must be in 1..={MAX_TENANTS}"));
+        }
+        if self.slot >= self.tenants {
+            return reject(format!(
+                "slot {} out of range for {} tenants",
+                self.slot, self.tenants
+            ));
+        }
+        if self.total_cache == 0 {
+            return reject("total_cache must be >= 1 block".to_string());
+        }
+        if let Policy::Wta { reign } = self.policy {
+            if reign == 0 {
+                return reject("winner-take-all reign must be >= 1".to_string());
+            }
+        }
+        if self.deadline_ms == Some(0) {
+            return reject("deadline_ms must be >= 1 when present".to_string());
+        }
+        if self.max_boxes == Some(0) {
+            return reject("max_boxes must be >= 1 when present".to_string());
+        }
+        if self.max_retries > MAX_RETRIES {
+            return reject(format!("max_retries must be <= {MAX_RETRIES}"));
+        }
+        if let Some(key) = &self.key {
+            if key.is_empty() || key.len() > 128 {
+                return reject("key must be 1..=128 bytes".to_string());
+            }
+        }
+        // Canonical-size check: the same validation execution will apply,
+        // done now so the rejection happens before the job is journaled.
+        if let Err(e) = cadapt_sched::Job::start(
+            cadapt_sched::JobSpec::new(self.algo.params(), self.n),
+            ExecModel::capacity(),
+        ) {
+            return reject(format!(
+                "n={} is not canonical for {}: {e}",
+                self.n,
+                self.algo.as_str()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_spec_validates() {
+        assert!(JobSpec::basic(Algo::MmScan, 64).validate().is_ok());
+        assert!(JobSpec::basic(Algo::MmInplace, 64).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_reasons() {
+        let cases: Vec<(JobSpec, &str)> = vec![
+            (
+                JobSpec {
+                    tenants: 0,
+                    ..JobSpec::basic(Algo::MmScan, 64)
+                },
+                "tenants",
+            ),
+            (
+                JobSpec {
+                    slot: 2,
+                    tenants: 2,
+                    ..JobSpec::basic(Algo::MmScan, 64)
+                },
+                "slot",
+            ),
+            (
+                JobSpec {
+                    total_cache: 0,
+                    ..JobSpec::basic(Algo::MmScan, 64)
+                },
+                "total_cache",
+            ),
+            (
+                JobSpec {
+                    policy: Policy::Wta { reign: 0 },
+                    ..JobSpec::basic(Algo::MmScan, 64)
+                },
+                "reign",
+            ),
+            (
+                JobSpec {
+                    deadline_ms: Some(0),
+                    ..JobSpec::basic(Algo::MmScan, 64)
+                },
+                "deadline_ms",
+            ),
+            (
+                JobSpec {
+                    max_boxes: Some(0),
+                    ..JobSpec::basic(Algo::MmScan, 64)
+                },
+                "max_boxes",
+            ),
+            (
+                JobSpec {
+                    max_retries: 99,
+                    ..JobSpec::basic(Algo::MmScan, 64)
+                },
+                "max_retries",
+            ),
+            (
+                JobSpec {
+                    key: Some(String::new()),
+                    ..JobSpec::basic(Algo::MmScan, 64)
+                },
+                "key",
+            ),
+            (JobSpec::basic(Algo::MmScan, 63), "canonical"),
+        ];
+        for (spec, needle) in cases {
+            match spec.validate() {
+                Err(ServeError::InvalidSpec { message }) => {
+                    assert!(
+                        message.contains(needle),
+                        "{message} should mention {needle}"
+                    );
+                }
+                other => panic!("expected InvalidSpec mentioning {needle}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = JobSpec {
+            policy: Policy::Wta { reign: 3 },
+            deadline_ms: Some(250),
+            key: Some("k1".to_string()),
+            ..JobSpec::basic(Algo::Strassen, 128)
+        };
+        let text = serde_json::to_string(&spec).expect("render");
+        let back: JobSpec = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn algo_labels_are_stable() {
+        assert_eq!(Algo::MmScan.as_str(), "mm-scan");
+        assert_eq!(Algo::Gep.as_str(), "gep");
+        assert_eq!(Policy::Wta { reign: 2 }.label(), "winner-take-all(2)");
+    }
+}

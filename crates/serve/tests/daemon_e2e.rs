@@ -1,0 +1,483 @@
+//! In-process end-to-end tests for the daemon: real TCP conversations
+//! against a bound daemon exercising the full submit / status / cancel /
+//! results / health / drain surface, typed overload and error responses,
+//! deadline enforcement, and crash recovery producing results
+//! byte-identical to an uninterrupted run.
+
+// Test-only code: unwraps abort the test (the right failure mode).
+#![allow(clippy::unwrap_used)]
+
+use cadapt_core::CancelToken;
+use cadapt_serve::daemon::request_lines;
+use cadapt_serve::{
+    run_job, Algo, Daemon, DaemonConfig, HealthReport, JobSpec, Journal, JournalEvent, ServeError,
+};
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("cadapt-serve-e2e-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A daemon serving on a background thread; `finish` joins it after the
+/// conversation sends `drain`.
+struct Live {
+    addr: String,
+    handle: thread::JoinHandle<Result<(), ServeError>>,
+}
+
+fn start(config: DaemonConfig) -> Live {
+    let daemon = Daemon::bind(config).expect("daemon binds");
+    let addr = daemon.local_addr().to_string();
+    let handle = thread::spawn(move || daemon.run());
+    Live { addr, handle }
+}
+
+fn finish(live: Live) {
+    live.handle
+        .join()
+        .expect("daemon thread exits")
+        .expect("daemon drains cleanly");
+}
+
+/// Test config: no backoff sleeping, small segments, one worker unless
+/// the test raises it.
+fn config(dir: &std::path::Path) -> DaemonConfig {
+    let mut c = DaemonConfig::new(dir.to_path_buf());
+    c.backoff_unit_ms = 0;
+    c.rotate_every = 4;
+    c.workers = 1;
+    c
+}
+
+fn ask(addr: &str, lines: &[String]) -> Vec<String> {
+    request_lines(addr, lines).expect("conversation completes")
+}
+
+fn parse(line: &str) -> Value {
+    serde_json::from_str(line).unwrap_or_else(|e| panic!("response not JSON ({e}): {line}"))
+}
+
+fn assert_ok(line: &str) -> Value {
+    let v = parse(line);
+    let ok = v.as_object().and_then(|o| o.get("ok")).cloned();
+    assert_eq!(ok, Some(Value::Bool(true)), "expected ok response: {line}");
+    v
+}
+
+fn error_code(line: &str) -> String {
+    let v = parse(line);
+    let obj = v.as_object().expect("object response");
+    assert_eq!(
+        obj.get("ok"),
+        Some(&Value::Bool(false)),
+        "expected error response: {line}"
+    );
+    obj.get("error")
+        .and_then(Value::as_object)
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("error response without code: {line}"))
+        .to_string()
+}
+
+/// Extract `result` from a `results` response, rendered compactly (the
+/// byte-identity currency of the crash-safety tests).
+fn result_bytes(line: &str) -> String {
+    assert_ok(line)
+        .as_object()
+        .and_then(|o| o.get("result"))
+        .map(Value::render_compact)
+        .unwrap_or_else(|| panic!("results response without result: {line}"))
+}
+
+fn result_outcome(line: &str) -> String {
+    let v = assert_ok(line);
+    v.as_object()
+        .and_then(|o| o.get("result"))
+        .and_then(Value::as_object)
+        .and_then(|r| r.get("outcome"))
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("results response without outcome: {line}"))
+        .to_string()
+}
+
+/// The engine's reference answer for a spec, as compact JSON.
+fn engine_reference(spec: &JobSpec) -> String {
+    serde_json::to_value(&run_job(spec, &CancelToken::new(), 0, &mut |_| {})).render_compact()
+}
+
+fn submit(spec: &JobSpec) -> String {
+    cadapt_serve::protocol::submit_line(spec)
+}
+
+fn id_req(op: &str, id: u64) -> String {
+    cadapt_serve::protocol::id_request_line(op, id)
+}
+
+fn bare(op: &str) -> String {
+    cadapt_serve::protocol::bare_request_line(op)
+}
+
+// ------------------------------------------------------------ happy path
+
+#[test]
+fn completed_and_budget_results_match_the_engine_byte_for_byte() {
+    let dir = scratch_dir("happy");
+    let completed = JobSpec {
+        total_cache: 16,
+        seed: 5,
+        ..JobSpec::basic(Algo::MmScan, 64)
+    };
+    let budgeted = JobSpec {
+        total_cache: 8,
+        max_boxes: Some(3),
+        ..JobSpec::basic(Algo::MmScan, 64)
+    };
+    let live = start(config(&dir));
+    let responses = ask(
+        &live.addr,
+        &[
+            submit(&completed),
+            submit(&budgeted),
+            bare("drain"),
+            id_req("results", 0),
+            id_req("results", 1),
+        ],
+    );
+    let first = assert_ok(&responses[0]);
+    let first = first.as_object().unwrap();
+    assert_eq!(first.get("id").and_then(Value::as_u64), Some(0));
+    assert_eq!(first.get("state").and_then(Value::as_str), Some("queued"));
+    let drained = assert_ok(&responses[2]);
+    assert_eq!(
+        drained.as_object().unwrap().get("drained"),
+        Some(&Value::Bool(true))
+    );
+    assert_eq!(result_bytes(&responses[3]), engine_reference(&completed));
+    assert_eq!(result_bytes(&responses[4]), engine_reference(&budgeted));
+    assert_eq!(result_outcome(&responses[4]), "BudgetExhausted");
+    finish(live);
+
+    // The sealed journal carries the whole history plus the marker.
+    let (_, replay) = Journal::open(&dir, 4).unwrap();
+    assert!(replay.clean_shutdown, "drain must seal a clean shutdown");
+    assert!(replay
+        .events
+        .iter()
+        .any(|e| matches!(e, JournalEvent::Finished { id: 0, .. })));
+    assert_eq!(replay.events.last(), Some(&JournalEvent::Shutdown));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----------------------------------------------------------- typed errors
+
+#[test]
+fn bad_requests_get_typed_codes_and_never_kill_the_conversation() {
+    let dir = scratch_dir("typed");
+    let live = start(config(&dir));
+    let responses = ask(
+        &live.addr,
+        &[
+            id_req("status", 99),
+            "this is not json".to_string(),
+            r#"{"op":"submit","spec":{"algo":"MmScan","n":63}}"#.to_string(),
+            r#"{"op":"submit","spec":{"algo":"MmScan","n":64,"bogus":1}}"#.to_string(),
+            submit(&JobSpec::basic(Algo::MmScan, 64)),
+            bare("drain"),
+            id_req("results", 7),
+        ],
+    );
+    assert_eq!(error_code(&responses[0]), "unknown-job");
+    assert_eq!(error_code(&responses[1]), "protocol");
+    assert_eq!(error_code(&responses[2]), "invalid-spec");
+    assert_eq!(error_code(&responses[3]), "protocol");
+    // After four rejections the same connection still submits fine.
+    let ok = assert_ok(&responses[4]);
+    assert_eq!(
+        ok.as_object().unwrap().get("id").and_then(Value::as_u64),
+        Some(0)
+    );
+    assert_eq!(error_code(&responses[6]), "unknown-job");
+    finish(live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_keys_dedup_to_the_original_id() {
+    let dir = scratch_dir("dedup");
+    let keyed = JobSpec {
+        key: Some("nightly-e1".to_string()),
+        ..JobSpec::basic(Algo::MmScan, 64)
+    };
+    let other = JobSpec {
+        key: Some("nightly-e2".to_string()),
+        ..JobSpec::basic(Algo::MmInplace, 64)
+    };
+    let live = start(config(&dir));
+    let responses = ask(
+        &live.addr,
+        &[
+            submit(&keyed),
+            submit(&keyed),
+            submit(&other),
+            bare("drain"),
+        ],
+    );
+    let first = assert_ok(&responses[0]);
+    let first = first.as_object().unwrap();
+    assert_eq!(first.get("id").and_then(Value::as_u64), Some(0));
+    assert!(
+        first.get("deduped").is_none(),
+        "first submit is not a dedup"
+    );
+    let second = assert_ok(&responses[1]);
+    let second = second.as_object().unwrap();
+    assert_eq!(second.get("id").and_then(Value::as_u64), Some(0));
+    assert_eq!(second.get("deduped"), Some(&Value::Bool(true)));
+    let third = assert_ok(&responses[2]);
+    assert_eq!(
+        third.as_object().unwrap().get("id").and_then(Value::as_u64),
+        Some(1),
+        "a different key is a different job"
+    );
+    finish(live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------- deadline / cancel / overload
+
+#[test]
+fn deadlines_cut_retrying_jobs_off_typed() {
+    let dir = scratch_dir("deadline");
+    let mut c = config(&dir);
+    // Real (scaled-down) backoff sleeps so the wall-clock deadline can
+    // fire mid-schedule; the job itself can never complete (8 injected
+    // failures with sleeps far past the deadline).
+    c.backoff_unit_ms = 2;
+    let doomed = JobSpec {
+        fail_attempts: 8,
+        max_retries: 8,
+        seed: 11,
+        deadline_ms: Some(15),
+        ..JobSpec::basic(Algo::MmScan, 64)
+    };
+    let live = start(c);
+    let responses = ask(
+        &live.addr,
+        &[submit(&doomed), bare("drain"), id_req("results", 0)],
+    );
+    assert_eq!(result_outcome(&responses[2]), "DeadlineExceeded");
+    finish(live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_is_typed_and_cancellation_reaches_queued_and_running_jobs() {
+    let dir = scratch_dir("overload");
+    let mut c = config(&dir);
+    c.workers = 1;
+    c.queue_cap = 1;
+    c.backoff_unit_ms = 2; // blocker spends ~1.5s in backoff sleeps
+    let blocker = JobSpec {
+        fail_attempts: 8,
+        max_retries: 8,
+        seed: 3,
+        ..JobSpec::basic(Algo::MmScan, 64)
+    };
+    let live = start(c);
+    assert_ok(&ask(&live.addr, &[submit(&blocker)])[0]);
+    // Wait until the single worker has picked the blocker up, so the
+    // queue slot below is genuinely contended.
+    let mut running = false;
+    for _ in 0..500 {
+        let status = assert_ok(&ask(&live.addr, &[id_req("status", 0)])[0]);
+        if status
+            .as_object()
+            .unwrap()
+            .get("state")
+            .and_then(Value::as_str)
+            == Some("running")
+        {
+            running = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    assert!(running, "blocker never started running");
+
+    let responses = ask(
+        &live.addr,
+        &[
+            submit(&JobSpec::basic(Algo::MmScan, 64)), // fills the queue (id 1)
+            submit(&JobSpec::basic(Algo::Gep, 64)),    // rejected: queue full
+            id_req("cancel", 1),
+            id_req("cancel", 0),
+            bare("drain"),
+            id_req("results", 0),
+            id_req("results", 1),
+        ],
+    );
+    assert_ok(&responses[0]);
+    assert_eq!(error_code(&responses[1]), "overloaded");
+    let cancelled = assert_ok(&responses[2]);
+    assert_eq!(
+        cancelled.as_object().unwrap().get("cancelled"),
+        Some(&Value::Bool(true))
+    );
+    assert_ok(&responses[3]);
+    assert_eq!(result_outcome(&responses[5]), "Cancelled");
+    assert_eq!(result_outcome(&responses[6]), "Cancelled");
+    finish(live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --------------------------------------------------------- crash recovery
+
+#[test]
+fn recovery_from_a_mid_job_crash_is_byte_identical_to_an_uninterrupted_run() {
+    let spec_one = JobSpec {
+        total_cache: 8,
+        seed: 21,
+        ..JobSpec::basic(Algo::MmScan, 256)
+    };
+    let spec_two = JobSpec {
+        max_boxes: Some(20),
+        total_cache: 16,
+        key: Some("recover-me".to_string()),
+        ..JobSpec::basic(Algo::Strassen, 256)
+    };
+
+    // Baseline: the same two specs through an uninterrupted daemon.
+    let baseline_dir = scratch_dir("recovery-baseline");
+    let live = start(config(&baseline_dir));
+    let responses = ask(
+        &live.addr,
+        &[
+            submit(&spec_one),
+            submit(&spec_two),
+            bare("drain"),
+            id_req("results", 0),
+            id_req("results", 1),
+        ],
+    );
+    let baseline = [result_bytes(&responses[3]), result_bytes(&responses[4])];
+    finish(live);
+
+    // Crash scene: the journal an interrupted daemon leaves behind —
+    // both submissions durable, one attempt started, nothing finished,
+    // no seal (the handle is dropped exactly as `kill -9` would).
+    let crash_dir = scratch_dir("recovery-crash");
+    {
+        let (mut journal, _) = Journal::open(&crash_dir, 4).unwrap();
+        journal
+            .append(&JournalEvent::Submitted {
+                id: 0,
+                spec: spec_one.clone(),
+            })
+            .unwrap();
+        journal
+            .append(&JournalEvent::Submitted {
+                id: 1,
+                spec: spec_two.clone(),
+            })
+            .unwrap();
+        journal
+            .append(&JournalEvent::Started { id: 0, attempt: 0 })
+            .unwrap();
+        drop(journal);
+    }
+
+    let daemon = Daemon::bind(config(&crash_dir)).unwrap();
+    let replay = daemon.replay();
+    assert!(!replay.clean_shutdown, "a crash is not a clean shutdown");
+    assert_eq!(replay.events.len(), 3);
+    let addr = daemon.local_addr().to_string();
+    let handle = thread::spawn(move || daemon.run());
+    let responses = ask(
+        &addr,
+        &[bare("drain"), id_req("results", 0), id_req("results", 1)],
+    );
+    assert_eq!(
+        result_bytes(&responses[1]),
+        baseline[0],
+        "recovered job 0 must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        result_bytes(&responses[2]),
+        baseline[1],
+        "recovered job 1 must be byte-identical to the uninterrupted run"
+    );
+    handle.join().unwrap().unwrap();
+
+    // The recovered daemon's own shutdown was clean and fully journaled.
+    let (_, after) = Journal::open(&crash_dir, 4).unwrap();
+    assert!(after.clean_shutdown);
+    assert!(after
+        .events
+        .iter()
+        .any(|e| matches!(e, JournalEvent::Finished { id: 1, .. })));
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+// ----------------------------------------------------------------- health
+
+#[test]
+fn health_reports_the_hook_and_a_degraded_daemon_still_serves() {
+    // Without a hook: plain ok.
+    let plain_dir = scratch_dir("health-plain");
+    let live = start(config(&plain_dir));
+    let response = assert_ok(&ask(&live.addr, &[bare("health")])[0]);
+    let obj = response.as_object().unwrap();
+    assert_eq!(obj.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(
+        obj.get("detail").and_then(Value::as_str),
+        Some("no self-check configured")
+    );
+    assert!(obj.get("jobs").and_then(Value::as_object).is_some());
+    ask(&live.addr, &[bare("drain")]);
+    finish(live);
+
+    // With a failing hook: degraded, not dead — submits still work.
+    let degraded_dir = scratch_dir("health-degraded");
+    let mut c = config(&degraded_dir);
+    c.health_hook = Some(Box::new(|| HealthReport {
+        degraded: true,
+        detail: "golden self-check failed (stub)".to_string(),
+    }));
+    let live = start(c);
+    let responses = ask(
+        &live.addr,
+        &[
+            bare("health"),
+            submit(&JobSpec::basic(Algo::MmScan, 64)),
+            bare("drain"),
+            id_req("results", 0),
+        ],
+    );
+    let health = assert_ok(&responses[0]);
+    let health = health.as_object().unwrap();
+    assert_eq!(
+        health.get("status").and_then(Value::as_str),
+        Some("degraded")
+    );
+    assert_eq!(
+        health.get("detail").and_then(Value::as_str),
+        Some("golden self-check failed (stub)")
+    );
+    assert_ok(&responses[1]);
+    assert_eq!(result_outcome(&responses[3]), "Completed");
+    finish(live);
+    let _ = std::fs::remove_dir_all(&plain_dir);
+    let _ = std::fs::remove_dir_all(&degraded_dir);
+}

@@ -1,0 +1,197 @@
+//! Fuzz-style property suite for the wire-protocol parser: arbitrary
+//! byte soup, mutated valid requests, and truncated valid requests all
+//! produce a typed [`ProtocolError`] or a valid [`Request`] — the parser
+//! never panics on any input — and every render helper round-trips
+//! through [`parse_request`] losslessly.
+
+// Test-only code: unwraps abort the test (the right failure mode).
+#![allow(clippy::unwrap_used)]
+
+use cadapt_serve::protocol::{bare_request_line, id_request_line, submit_line};
+use cadapt_serve::{parse_request, Algo, JobSpec, Policy, ProtocolError, Request};
+use proptest::prelude::*;
+
+/// Valid-but-roaming specs: anything the wire can carry, not only what
+/// admission would accept (parsing and validation are separate layers).
+fn spec_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        0u64..4,
+        1u64..10_000,
+        0u64..1_000_000,
+        0u64..4,
+        (1usize..6, 0usize..6),
+        0u64..4,
+    )
+        .prop_map(|(algo, n, seed, reign, (tenants, slot), extras)| {
+            let algo = match algo {
+                0 => Algo::MmScan,
+                1 => Algo::MmInplace,
+                2 => Algo::Strassen,
+                _ => Algo::Gep,
+            };
+            let policy = if reign == 0 {
+                Policy::Equal
+            } else {
+                Policy::Wta { reign }
+            };
+            JobSpec {
+                algo,
+                policy,
+                tenants,
+                slot: slot % tenants,
+                total_cache: seed % 512 + 1,
+                seed,
+                deadline_ms: (extras == 1).then_some(seed + 1),
+                max_boxes: (extras == 2).then_some(seed % 99 + 1),
+                max_retries: u32::try_from(seed % 9).unwrap_or(0),
+                fail_attempts: u32::try_from(seed % 3).unwrap_or(0),
+                key: (extras == 3).then(|| format!("key-{seed}")),
+                ..JobSpec::basic(algo, n)
+            }
+        })
+}
+
+/// A printable-ish ASCII string with JSON metacharacters over-weighted,
+/// so the soup regularly contains braces, quotes, colons, and digits.
+fn soup_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0x20u8..0x7f).prop_map(char::from),
+            prop_oneof![
+                Just('{'),
+                Just('}'),
+                Just('"'),
+                Just(':'),
+                Just(','),
+                Just('['),
+                Just(']'),
+            ],
+        ],
+        0..80,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    /// Arbitrary lines never panic the parser; failures are typed.
+    #[test]
+    fn arbitrary_lines_yield_typed_errors_or_valid_requests(line in soup_strategy()) {
+        match parse_request(&line) {
+            Ok(_) => {}
+            Err(
+                ProtocolError::NotJson { .. }
+                | ProtocolError::NotAnObject
+                | ProtocolError::MissingOp
+                | ProtocolError::UnknownOp { .. }
+                | ProtocolError::BadField { .. },
+            ) => {}
+        }
+    }
+
+    /// Arbitrary raw bytes (including invalid UTF-8, rendered lossily as
+    /// a client with a broken encoder would) never panic the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..120)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&line);
+    }
+
+    /// A valid submit line round-trips to the identical spec.
+    #[test]
+    fn submit_lines_round_trip(spec in spec_strategy()) {
+        let line = submit_line(&spec);
+        prop_assert_eq!(parse_request(&line).unwrap(), Request::Submit { spec });
+    }
+
+    /// Id-carrying requests round-trip for any id, including u64::MAX.
+    #[test]
+    fn id_requests_round_trip(id in 0u64..=u64::MAX, op in 0u64..3) {
+        let (name, expected) = match op {
+            0 => ("status", Request::Status { id }),
+            1 => ("cancel", Request::Cancel { id }),
+            _ => ("results", Request::Results { id }),
+        };
+        prop_assert_eq!(parse_request(&id_request_line(name, id)).unwrap(), expected);
+    }
+
+    /// Mutating one byte of a valid request never panics; it parses to
+    /// something, or fails typed.
+    #[test]
+    fn single_byte_mutations_never_panic(
+        spec in spec_strategy(),
+        position_seed in 0u64..100_000,
+        mask in 1u8..=255,
+    ) {
+        let line = submit_line(&spec);
+        let mut bytes = line.into_bytes();
+        let position = usize::try_from(position_seed).unwrap() % bytes.len();
+        bytes[position] ^= mask;
+        let mutated = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&mutated);
+    }
+
+    /// Every proper prefix of a valid submit line is rejected (typed),
+    /// and only the full line parses back to the submitted spec.
+    #[test]
+    fn truncated_submit_lines_are_rejected_typed(spec in spec_strategy(), cut_seed in 0u64..100_000) {
+        let line = submit_line(&spec);
+        let cut = usize::try_from(cut_seed).unwrap() % line.len();
+        prop_assert!(
+            parse_request(&line[..cut]).is_err(),
+            "prefix of length {} parsed", cut
+        );
+    }
+}
+
+/// Exhaustive truncation sweep over one representative full-featured
+/// submit line: no prefix parses, no prefix panics.
+#[test]
+fn every_truncation_of_a_full_submit_line_is_rejected() {
+    let spec = JobSpec {
+        policy: Policy::Wta { reign: 3 },
+        tenants: 4,
+        slot: 2,
+        deadline_ms: Some(250),
+        max_boxes: Some(40),
+        max_retries: 2,
+        fail_attempts: 1,
+        key: Some("sweep-key".to_string()),
+        ..JobSpec::basic(Algo::Strassen, 256)
+    };
+    let line = submit_line(&spec);
+    assert_eq!(
+        parse_request(&line).unwrap(),
+        Request::Submit { spec },
+        "the untruncated line must parse"
+    );
+    for cut in 0..line.len() {
+        assert!(
+            parse_request(&line[..cut]).is_err(),
+            "prefix of length {cut} parsed: {:?}",
+            &line[..cut]
+        );
+    }
+}
+
+/// The two bare ops parse from their render helper, and every other
+/// bare-op string is a typed unknown-op rejection.
+#[test]
+fn bare_ops_parse_and_unknown_ops_are_typed() {
+    assert_eq!(
+        parse_request(&bare_request_line("health")).unwrap(),
+        Request::Health
+    );
+    assert_eq!(
+        parse_request(&bare_request_line("drain")).unwrap(),
+        Request::Drain
+    );
+    for bogus in ["reboot", "submitx", "", "HEALTH", "drain "] {
+        assert!(
+            matches!(
+                parse_request(&bare_request_line(bogus)),
+                Err(ProtocolError::UnknownOp { .. })
+            ),
+            "op {bogus:?} must be rejected as unknown"
+        );
+    }
+}
